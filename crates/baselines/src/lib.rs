@@ -1,0 +1,63 @@
+//! The comparison Steiner topology algorithms of §IV-A.
+//!
+//! The paper compares its cost-distance algorithm against three
+//! established routines, each of which "first computes a Steiner topology
+//! in the plane, considering total length instead of congestion cost",
+//! and is then embedded optimally into the global routing graph by
+//! `cds-embed`:
+//!
+//! * **L1** — a short rectilinear Steiner tree (`cds-rsmt`);
+//! * **SL** — shallow-light Steiner arborescences ([`shallow_light`],
+//!   after Held & Rotter \[14\] / SALT \[6\]): start from the short tree,
+//!   reconnect sinks whose delay exceeds `(1+ε)` times their budget
+//!   during a DFS, then try to re-activate deleted arcs in a reverse
+//!   traversal when that saves length;
+//! * **PD** — the Prim–Dijkstra trade-off ([`prim_dijkstra`], after
+//!   Alpert et al. \[2\], \[3\]): grow the tree from the root, each step
+//!   inserting the sink whose best attachment — possibly a new Steiner
+//!   vertex on an existing arc — minimizes a weighted sum of added length
+//!   and source–sink delay.
+//!
+//! Both SL and PD incorporate bifurcation delay penalties, redistributed
+//! with the paper's flexible λ model (Eq. (2)) rather than the historical
+//! fixed `η = 0.5`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_baselines::{prim_dijkstra, PlaneCostModel};
+//! use cds_geom::Point;
+//! use cds_topo::BifurcationConfig;
+//!
+//! let model = PlaneCostModel {
+//!     cost_per_unit: 1.0,
+//!     delay_per_unit: 0.5,
+//!     bif: BifurcationConfig::ZERO,
+//! };
+//! let sinks = [Point::new(5, 0), Point::new(5, 3)];
+//! let topo = prim_dijkstra(Point::new(0, 0), &sinks, &[1.0, 1.0], &model);
+//! assert!(topo.is_bifurcation_compatible());
+//! assert_eq!(topo.sink_nodes().len(), 2);
+//! ```
+
+pub mod pd;
+pub mod sl;
+
+pub use pd::prim_dijkstra;
+pub use sl::{shallow_light, SlParams};
+
+use cds_topo::BifurcationConfig;
+
+/// The plane cost model the baselines optimize against: length priced at
+/// `cost_per_unit`, delay at `delay_per_unit` per gcell (the fastest
+/// layer/wire-type combination, as the embedding can always achieve it),
+/// plus bifurcation penalties.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneCostModel {
+    /// Congestion-cost proxy per gcell of length.
+    pub cost_per_unit: f64,
+    /// Delay per gcell (ps).
+    pub delay_per_unit: f64,
+    /// Bifurcation penalties.
+    pub bif: BifurcationConfig,
+}

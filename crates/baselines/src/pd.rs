@@ -1,0 +1,223 @@
+//! The Prim–Dijkstra topology algorithm with Steiner insertion and
+//! bifurcation penalties.
+//!
+//! Paper §IV-A: "sinks are iteratively added into the root-component. A
+//! sink s and an edge e in the root component are chosen to insert a new
+//! Steiner vertex into e connecting s such that a weighted sum of total
+//! length and path length to s is minimized. … We can distribute the
+//! delay penalty to the two branches, when selecting the edge of the root
+//! component."
+
+use crate::PlaneCostModel;
+use cds_geom::Point;
+use cds_topo::penalty::beta;
+use cds_topo::{NodeId, NodeKind, Topology};
+
+/// One candidate way of attaching a sink to the growing tree.
+#[derive(Debug, Clone, Copy)]
+enum Attachment {
+    /// Under an existing node (through an `attach_slot`).
+    AtNode(NodeId),
+    /// Via a new Steiner vertex at `steiner` splitting the arc into
+    /// `child`.
+    OnArc { child: NodeId, steiner: Point },
+}
+
+/// Builds a Prim–Dijkstra topology for `root` and `sinks`.
+///
+/// Each iteration scans all unplaced sinks against all attachment
+/// candidates and commits the pair minimizing
+///
+/// ```text
+/// cost_per_unit·Δlength + w(s)·delay(s) + β(w(s), W_sibling)
+/// ```
+///
+/// where `delay(s)` is the root–sink delay through the attachment point
+/// (including existing λ penalties on that path) and the β term prices
+/// the new bifurcation under the optimal λ split.
+///
+/// The result is bifurcation compatible.
+///
+/// # Panics
+///
+/// Panics if `sinks` is empty or `weights` has a different length.
+pub fn prim_dijkstra(
+    root: Point,
+    sinks: &[Point],
+    weights: &[f64],
+    model: &PlaneCostModel,
+) -> Topology {
+    assert!(!sinks.is_empty(), "a net needs at least one sink");
+    assert_eq!(sinks.len(), weights.len(), "one weight per sink");
+    let mut topo = Topology::new(root);
+    let mut placed = vec![false; sinks.len()];
+    for _ in 0..sinks.len() {
+        let node_delay = topo.node_delays(weights, model.delay_per_unit, &model.bif);
+        let sub_w = topo.subtree_weights(weights);
+        let mut best: Option<(f64, usize, Attachment)> = None;
+        for (s, &pos) in sinks.iter().enumerate() {
+            if placed[s] {
+                continue;
+            }
+            let w_s = weights[s];
+            // candidate: attach under any existing non-sink node
+            for v in 0..topo.num_nodes() as NodeId {
+                if matches!(topo.node_kind(v), NodeKind::Sink(_)) {
+                    continue;
+                }
+                let vp = topo.position(v);
+                let dist = vp.l1(pos) as f64;
+                let sibling_w = sub_w[v as usize];
+                let penalty = if topo.children(v).is_empty() {
+                    0.0
+                } else {
+                    beta(w_s, sibling_w, &model.bif)
+                };
+                let j = model.cost_per_unit * dist
+                    + w_s * (node_delay[v as usize] + model.delay_per_unit * dist)
+                    + penalty;
+                if best.as_ref().is_none_or(|b| j < b.0) {
+                    best = Some((j, s, Attachment::AtNode(v)));
+                }
+            }
+            // candidate: split an arc (p -> c) at the projection of s
+            for c in 1..topo.num_nodes() as NodeId {
+                let Some(p) = topo.parent(c) else { continue };
+                let (pp, cp) = (topo.position(p), topo.position(c));
+                let z = pos.clamp_to_rect(pp, cp);
+                // Δlength: the split is detour-free only if z lies on
+                // some monotone p–c staircase; clamping guarantees the
+                // bounding box, so the detour is 0 in L1.
+                let dist = z.l1(pos) as f64;
+                let penalty = beta(w_s, sub_w[c as usize], &model.bif);
+                let delay_to_z =
+                    node_delay[p as usize] + model.delay_per_unit * pp.l1(z) as f64;
+                let j = model.cost_per_unit * dist
+                    + w_s * (delay_to_z + model.delay_per_unit * dist)
+                    + penalty;
+                if best.as_ref().is_none_or(|b| j < b.0) {
+                    best = Some((j, s, Attachment::OnArc { child: c, steiner: z }));
+                }
+            }
+        }
+        let (_, s, at) = best.expect("an unplaced sink always has candidates");
+        placed[s] = true;
+        match at {
+            Attachment::AtNode(v) => {
+                let slot = topo.attach_slot(v);
+                topo.add_sink(s, sinks[s], slot);
+            }
+            Attachment::OnArc { child, steiner } => {
+                let z = topo.split_arc(child, steiner);
+                topo.add_sink(s, sinks[s], z);
+            }
+        }
+    }
+    debug_assert!(topo.validate().is_ok());
+    topo.binarize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_topo::BifurcationConfig;
+    use proptest::prelude::*;
+
+    fn model(delay_weight: f64) -> PlaneCostModel {
+        PlaneCostModel {
+            cost_per_unit: 1.0,
+            delay_per_unit: delay_weight,
+            bif: BifurcationConfig::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_sink_direct_connection() {
+        let t = prim_dijkstra(Point::new(0, 0), &[Point::new(3, 4)], &[1.0], &model(1.0));
+        assert_eq!(t.length(), 7);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn steiner_insertion_shares_trunk() {
+        // sinks at (8,0) and (8,2): with low delay pricing the second sink
+        // should tap the first arc near (8,0)…(0,0) instead of running
+        // its own trunk from the root.
+        let sinks = [Point::new(8, 0), Point::new(8, 2)];
+        let t = prim_dijkstra(Point::new(0, 0), &sinks, &[0.01, 0.01], &model(1.0));
+        assert!(t.length() <= 8 + 2, "length {} should share the trunk", t.length());
+    }
+
+    #[test]
+    fn high_delay_weight_gives_star() {
+        // with huge delay weights, each sink connects (near-)directly
+        let sinks = [Point::new(6, 0), Point::new(0, 6), Point::new(6, 6)];
+        let t = prim_dijkstra(Point::new(0, 0), &sinks, &[100.0, 100.0, 100.0], &model(1.0));
+        let d: std::collections::HashMap<usize, f64> = t
+            .sink_delays(&[100.0, 100.0, 100.0], 1.0, &BifurcationConfig::ZERO)
+            .into_iter()
+            .collect();
+        assert_eq!(d[&0], 6.0);
+        assert_eq!(d[&1], 6.0);
+        assert_eq!(d[&2], 12.0);
+    }
+
+    #[test]
+    fn bifurcation_penalty_discourages_branch_on_critical_path() {
+        // One critical sink far right, several light sinks nearby below
+        // the trunk. With a large dbif, light sinks should avoid tapping
+        // the critical trunk (fewer bifurcations on the critical path).
+        let sinks = [
+            Point::new(10, 0),
+            Point::new(3, 1),
+            Point::new(5, 1),
+            Point::new(7, 1),
+        ];
+        let w = [50.0, 0.1, 0.1, 0.1];
+        let no_pen = PlaneCostModel { cost_per_unit: 1.0, delay_per_unit: 1.0, bif: BifurcationConfig::ZERO };
+        let with_pen = PlaneCostModel {
+            cost_per_unit: 1.0,
+            delay_per_unit: 1.0,
+            bif: BifurcationConfig::new(40.0, 0.25),
+        };
+        let t0 = prim_dijkstra(Point::new(0, 0), &sinks, &w, &no_pen);
+        let t1 = prim_dijkstra(Point::new(0, 0), &sinks, &w, &with_pen);
+        let bif_on_crit = |t: &Topology| {
+            let (_, node) = t.sink_nodes().into_iter().find(|&(s, _)| s == 0).unwrap();
+            // count binary nodes on root→sink path
+            let mut cnt = 0;
+            let mut cur = t.parent(node);
+            while let Some(v) = cur {
+                if t.children(v).len() == 2 {
+                    cnt += 1;
+                }
+                cur = t.parent(v);
+            }
+            cnt
+        };
+        assert!(
+            bif_on_crit(&t1) <= bif_on_crit(&t0),
+            "penalties must not increase critical-path bifurcations"
+        );
+    }
+
+    proptest! {
+        /// PD output is always a valid bifurcation-compatible topology
+        /// containing every sink, with length at least the HPWL/2 bound
+        /// and at most the star length.
+        #[test]
+        fn pd_invariants(
+            raw in proptest::collection::vec((0i32..30, 0i32..30), 1..10),
+            wsel in proptest::collection::vec(0.1f64..10.0, 10)
+        ) {
+            let sinks: Vec<Point> = raw.into_iter().map(Point::from).collect();
+            let w = &wsel[..sinks.len()];
+            let t = prim_dijkstra(Point::new(0, 0), &sinks, w, &model(0.5));
+            t.validate().unwrap();
+            prop_assert!(t.is_bifurcation_compatible());
+            prop_assert_eq!(t.sink_nodes().len(), sinks.len());
+            let star: i64 = sinks.iter().map(|&p| Point::new(0, 0).l1(p)).sum();
+            prop_assert!(t.length() <= star, "never worse than the star");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Shallow-light Steiner arborescences (the "SL" baseline).
+//!
+//! After Held & Rotter \[14\] and SALT \[6\], as described in §IV-A:
+//! "start from an approximately minimum-length tree. During a DFS
+//! traversal, sinks are reconnected to the root whenever they violate a
+//! given delay/distance bound by more than a factor (1+ε). In a reverse
+//! DFS traversal, deleted edges may be re-activated to connect former
+//! predecessors if that saves cost." Bifurcation penalties are included
+//! in all delay computations and redistributed with the flexible λ model.
+
+use crate::PlaneCostModel;
+use cds_geom::Point;
+use cds_rsmt::rsmt_topology;
+use cds_topo::{NodeId, Topology};
+
+/// Tuning parameters of the shallow-light construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlParams {
+    /// Budget slack factor ε: a sink is reconnected when its tree delay
+    /// exceeds `(1+ε)·budget`.
+    pub epsilon: f64,
+    /// Distinct-point threshold below which the initial tree is the
+    /// exact RSMT (see [`cds_rsmt::rsmt_topology`]).
+    pub exact_rsmt_threshold: usize,
+}
+
+impl Default for SlParams {
+    fn default() -> Self {
+        SlParams { epsilon: 0.25, exact_rsmt_threshold: 5 }
+    }
+}
+
+/// Builds a shallow-light topology for `root` and `sinks`.
+///
+/// `budgets[i]` is the delay budget of sink `i` (ps). When `None`, the
+/// budget defaults to the sink's direct-connection delay — the tightest
+/// self-consistent choice; the router passes budgets from resource
+/// sharing instead.
+///
+/// The result is bifurcation compatible.
+///
+/// # Panics
+///
+/// Panics if `sinks` is empty or the slice lengths disagree.
+pub fn shallow_light(
+    root: Point,
+    sinks: &[Point],
+    weights: &[f64],
+    budgets: Option<&[f64]>,
+    model: &PlaneCostModel,
+    params: &SlParams,
+) -> Topology {
+    assert!(!sinks.is_empty(), "a net needs at least one sink");
+    assert_eq!(sinks.len(), weights.len(), "one weight per sink");
+    if let Some(b) = budgets {
+        assert_eq!(b.len(), sinks.len(), "one budget per sink");
+    }
+    let budget = |s: usize| -> f64 {
+        match budgets {
+            Some(b) => b[s],
+            None => root.l1(sinks[s]) as f64 * model.delay_per_unit,
+        }
+    };
+
+    // 1. approximately minimum-length initial tree, binarized so that
+    //    delays with penalties are well defined
+    let mut topo = rsmt_topology(root, sinks, params.exact_rsmt_threshold).binarize();
+
+    // 2. forward DFS: reconnect violating sinks directly under the root
+    //    hub; remember the deleted arcs for the reverse pass
+    let mut deleted: Vec<(NodeId, NodeId)> = Vec::new(); // (former parent, node)
+    let mut reconnected = std::collections::HashSet::new();
+    loop {
+        let delays = topo.node_delays(weights, model.delay_per_unit, &model.bif);
+        let violator = topo
+            .sink_nodes()
+            .into_iter()
+            // a directly reconnected sink cannot be improved further —
+            // skipping it also guarantees termination on infeasible budgets
+            .filter(|(_, node)| !reconnected.contains(node))
+            .filter(|&(s, node)| delays[node as usize] > (1.0 + params.epsilon) * budget(s) + 1e-9)
+            // reconnect the worst relative violator first for stability
+            .max_by(|&(s1, n1), &(s2, n2)| {
+                let r1 = delays[n1 as usize] / budget(s1).max(1e-12);
+                let r2 = delays[n2 as usize] / budget(s2).max(1e-12);
+                r1.partial_cmp(&r2).expect("finite delays")
+            });
+        let Some((_, node)) = violator else { break };
+        let parent = topo.parent(node).expect("sinks are not the root");
+        deleted.push((parent, node));
+        reconnected.insert(node);
+        let root_id = topo.root();
+        let slot = topo.attach_slot(root_id);
+        topo.reparent(node, slot);
+    }
+
+    // 3. reverse pass: try to re-activate deleted arcs in reverse order —
+    //    reconnect the former parent's subtree *under the shortcut node*
+    //    when that saves length and breaks no budget
+    for &(former_parent, node) in deleted.iter().rev() {
+        // skip if re-activation would create a cycle
+        if topo.in_subtree(node, former_parent) {
+            continue;
+        }
+        let cur_parent = match topo.parent(former_parent) {
+            Some(p) => p,
+            None => continue,
+        };
+        let old_len = topo
+            .position(former_parent)
+            .l1(topo.position(cur_parent));
+        let new_len = topo.position(former_parent).l1(topo.position(node));
+        if new_len >= old_len {
+            continue;
+        }
+        // tentatively reparent and verify budgets; the shortcut node is a
+        // sink (a leaf), so hang the re-activated arc off a Steiner twin
+        // spliced in above it
+        let before = topo.clone();
+        let twin = topo.split_arc(node, topo.position(node));
+        let slot = topo.attach_slot(twin);
+        topo.reparent(former_parent, slot);
+        let delays = topo.node_delays(weights, model.delay_per_unit, &model.bif);
+        let ok = topo
+            .sink_nodes()
+            .into_iter()
+            .all(|(s, n)| delays[n as usize] <= (1.0 + params.epsilon) * budget(s) + 1e-9);
+        if !ok {
+            topo = before;
+        }
+    }
+    debug_assert!(topo.validate().is_ok());
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_topo::BifurcationConfig;
+    use proptest::prelude::*;
+
+    fn model() -> PlaneCostModel {
+        PlaneCostModel {
+            cost_per_unit: 1.0,
+            delay_per_unit: 1.0,
+            bif: BifurcationConfig::ZERO,
+        }
+    }
+
+    /// A chain of sinks along x: the RSMT is a path, giving the last sink
+    /// delay ≈ total length; with tight budgets SL must shortcut it.
+    #[test]
+    fn tight_budget_forces_shortcuts() {
+        let sinks: Vec<Point> = (1..=6).map(|i| Point::new(4 * i, i % 2)).collect();
+        let w = vec![1.0; sinks.len()];
+        let loose = shallow_light(
+            Point::new(0, 0), &sinks, &w, None,
+            &model(), &SlParams { epsilon: 100.0, exact_rsmt_threshold: 0 },
+        );
+        let tight = shallow_light(
+            Point::new(0, 0), &sinks, &w, None,
+            &model(), &SlParams { epsilon: 0.05, exact_rsmt_threshold: 0 },
+        );
+        let max_ratio = |t: &Topology| {
+            t.sink_delays(&w, 1.0, &BifurcationConfig::ZERO)
+                .into_iter()
+                .map(|(s, d)| d / (Point::new(0, 0).l1(sinks[s]) as f64))
+                .fold(0.0f64, f64::max)
+        };
+        assert!(max_ratio(&tight) <= 1.05 + 1e-6, "tight SL must meet budgets");
+        assert!(loose.length() <= tight.length(), "loose SL keeps the short tree");
+    }
+
+    #[test]
+    fn budgets_are_respected_when_feasible() {
+        let sinks = [Point::new(10, 0), Point::new(11, 1), Point::new(12, 2)];
+        let w = [1.0, 1.0, 1.0];
+        let t = shallow_light(Point::new(0, 0), &sinks, &w, None, &model(), &SlParams::default());
+        t.validate().unwrap();
+        assert!(t.is_bifurcation_compatible());
+        let delays = t.sink_delays(&w, 1.0, &BifurcationConfig::ZERO);
+        for (s, d) in delays {
+            let direct = Point::new(0, 0).l1(sinks[s]) as f64;
+            assert!(d <= 1.25 * direct + 1e-9, "sink {s}: {d} > 1.25×{direct}");
+        }
+    }
+
+    #[test]
+    fn explicit_budgets_override_defaults() {
+        let sinks = [Point::new(8, 0), Point::new(8, 1)];
+        let w = [1.0, 1.0];
+        // infinite budgets: keep the short tree, no shortcuts
+        let t = shallow_light(
+            Point::new(0, 0), &sinks, &w, Some(&[1e9, 1e9]),
+            &model(), &SlParams::default(),
+        );
+        assert!(t.length() <= 9);
+    }
+
+    proptest! {
+        /// SL output is valid, bifurcation compatible, contains all
+        /// sinks, and with ε→∞ matches the initial short tree's length.
+        #[test]
+        fn sl_invariants(raw in proptest::collection::vec((0i32..25, 0i32..25), 1..9)) {
+            let sinks: Vec<Point> = raw.into_iter().map(Point::from).collect();
+            let w = vec![1.0; sinks.len()];
+            let t = shallow_light(
+                Point::new(0, 0), &sinks, &w, None, &model(), &SlParams::default(),
+            );
+            t.validate().unwrap();
+            prop_assert!(t.is_bifurcation_compatible());
+            prop_assert_eq!(t.sink_nodes().len(), sinks.len());
+            // every sink meets its (1+ε) budget: the direct connection is
+            // always available, so this must be satisfiable
+            let delays = t.sink_delays(&w, 1.0, &BifurcationConfig::ZERO);
+            for (s, d) in delays {
+                let direct = Point::new(0, 0).l1(sinks[s]) as f64;
+                prop_assert!(d <= 1.25 * direct + 1e-9);
+            }
+        }
+    }
+}

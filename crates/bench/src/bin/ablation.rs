@@ -1,0 +1,89 @@
+//! §III ablation: the contribution of each practical enhancement.
+//!
+//! DESIGN.md calls out the paper's claim that §III-A "significantly
+//! improves connection costs" and that §III-D "improves the quality in
+//! practice". This harness measures each toggle on harvested router
+//! instances: objective vs the fully enhanced solver, and labels settled
+//! (the work A* saves).
+
+use cds_bench::{env_usize, selected_suite};
+use cds_core::{solve, GridFutureCost, Instance, SolverOptions};
+use cds_graph::{EdgeIndex, GridWindow};
+use cds_router::{Router, RouterConfig};
+use cds_topo::BifurcationConfig;
+
+fn main() {
+    let iterations = env_usize("CDST_ITER", 3);
+    let chips = selected_suite();
+    let chip = chips.first().expect("at least one chip selected");
+    eprintln!("harvesting {}…", chip.name);
+    let router = Router::new(
+        chip,
+        RouterConfig { iterations, harvest: true, ..Default::default() },
+    );
+    let out = router.run();
+    let bif = BifurcationConfig::new(chip.delay_model.dbif_ps(), 0.25);
+    let index = EdgeIndex::new(&chip.grid);
+
+    let variants: [(&str, SolverOptions); 5] = [
+        ("full (A-E)", SolverOptions::default()),
+        ("no III-A discount", SolverOptions { discount_components: false, ..Default::default() }),
+        ("no III-D placement", SolverOptions { better_steiner: false, ..Default::default() }),
+        ("no III-E root enc.", SolverOptions { encourage_root: false, ..Default::default() }),
+        ("base (Sec. II)", SolverOptions::base()),
+    ];
+    let mut sums = vec![0.0f64; variants.len()];
+    let mut astar_settled = 0usize;
+    let mut plain_settled = 0usize;
+    let mut n = 0usize;
+
+    for h in out.harvest.iter().filter(|h| chip.nets[h.net].sinks.len() >= 3) {
+        let net = &chip.nets[h.net];
+        let mut pins = vec![net.root];
+        pins.extend_from_slice(&net.sinks);
+        let window = GridWindow::around(&chip.grid, &index, &pins, 6);
+        let cost = window.slice(&out.prices);
+        let delay = window.grid.graph().delays();
+        let root = window.grid.vertex_at(window.localize(net.root));
+        let sinks: Vec<u32> = net
+            .sinks
+            .iter()
+            .map(|&p| window.grid.vertex_at(window.localize(p)))
+            .collect();
+        let inst = Instance {
+            graph: window.grid.graph(),
+            cost: &cost,
+            delay: &delay,
+            root,
+            sink_vertices: &sinks,
+            weights: &h.weights,
+            bif,
+        };
+        let full = solve(&inst, &variants[0].1).evaluation.total;
+        if full <= 0.0 {
+            continue;
+        }
+        for (i, (_, opts)) in variants.iter().enumerate() {
+            let r = solve(&inst, opts);
+            sums[i] += r.evaluation.total / full - 1.0;
+        }
+        // work saved by §III-C
+        let mut terms = sinks.clone();
+        terms.push(root);
+        let fc = GridFutureCost::new(&window.grid, &terms);
+        astar_settled += solve(&inst, &SolverOptions::enhanced(&fc)).stats.settled;
+        plain_settled += solve(&inst, &SolverOptions::default()).stats.settled;
+        n += 1;
+    }
+    println!("§III ablation over {n} instances of {}", chip.name);
+    println!("{:>22} {:>14}", "variant", "avg obj vs full");
+    for (i, (name, _)) in variants.iter().enumerate() {
+        println!("{name:>22} {:>+13.2}%", sums[i] / n as f64 * 100.0);
+    }
+    println!(
+        "\n§III-C goal-orientation: {} labels settled with A* vs {} without ({:.1}% saved)",
+        astar_settled,
+        plain_settled,
+        (1.0 - astar_settled as f64 / plain_settled.max(1) as f64) * 100.0
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 2 reproduction: buffering freedom at a bifurcation.
+//!
+//! Figure 2 of the paper shows two buffering solutions of the same
+//! branching, trading delay between the branches: the penalty `d_bif`
+//! can be shifted within `[η, 1−η]`. This harness demonstrates the
+//! trade-off numerically from the repeater-chain model: the delay each
+//! branch sees under different λ splits, and that the split of Eq. (2)
+//! minimizes the weighted sum.
+
+use cds_delay::Technology;
+use cds_topo::penalty::{beta, lambda_split, BifurcationConfig};
+
+fn main() {
+    let tech = Technology::five_nm_like(8);
+    let model = tech.calibrate(20.0);
+    let dbif = model.dbif_ps();
+    println!("Fig. 2 — bifurcation delay trade-off (calibrated d_bif = {dbif:.2} ps)");
+    println!("branch weights w_x = 2.0 (critical), w_y = 0.5 (uncritical), η = 0.25\n");
+    let (wx, wy) = (2.0, 0.5);
+    let eta = 0.25;
+    println!("{:>8} {:>12} {:>12} {:>16}", "λ_x", "x delay[ps]", "y delay[ps]", "weighted cost");
+    for lx in [eta, 0.5, 1.0 - eta] {
+        let ly = 1.0 - lx;
+        let cost = wx * lx * dbif + wy * ly * dbif;
+        println!(
+            "{lx:>8.2} {:>12.2} {:>12.2} {:>16.2}",
+            lx * dbif,
+            ly * dbif,
+            cost
+        );
+    }
+    let (lx, ly) = lambda_split(wx, wy, eta);
+    let bif = BifurcationConfig::new(dbif, eta);
+    println!(
+        "\nEq. (2) optimum: λ_x = {lx:.2}, λ_y = {ly:.2} → β(w_x, w_y) = {:.2} ps·w",
+        beta(wx, wy, &bif)
+    );
+    println!("\nrepeater chain calibration per layer (wire type 0):");
+    println!("{:>6} {:>14} {:>16}", "layer", "segment [µm]", "delay [ps/gcell]");
+    for l in 0..model.num_layers() as u8 {
+        println!(
+            "{l:>6} {:>14.1} {:>16.3}",
+            model.segment_um(l, 0),
+            model.wire_delay_per_gcell(l, 0)
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Table I reproduction: average cost increase compared to the best of
+//! the four Steiner methods on identical cost-distance instances, with
+//! `d_bif = 0`, bucketed by sink count.
+//!
+//! Instances are harvested from timing-constrained routing runs on the
+//! synthetic Table III suite, exactly as in the paper ("as they were
+//! generated during timing-constrained global routing").
+
+use cds_bench::{env_usize, instance_comparison, selected_suite, InstanceTable};
+
+fn main() {
+    let iterations = env_usize("CDST_ITER", 4);
+    let mut total = InstanceTable::default();
+    for chip in selected_suite() {
+        eprintln!("harvesting {} ({} nets)…", chip.name, chip.nets.len());
+        total.merge(&instance_comparison(&chip, false, iterations));
+    }
+    total.print("Table I — avg cost increase vs best of 4, d_bif = 0");
+}

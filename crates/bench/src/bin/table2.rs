@@ -1,0 +1,19 @@
+//! Table II reproduction: like Table I but with the calibrated
+//! bifurcation penalty `d_bif > 0` active in every method.
+
+use cds_bench::{env_usize, instance_comparison, selected_suite, InstanceTable};
+
+fn main() {
+    let iterations = env_usize("CDST_ITER", 4);
+    let mut total = InstanceTable::default();
+    for chip in selected_suite() {
+        eprintln!(
+            "harvesting {} ({} nets, d_bif = {:.2} ps)…",
+            chip.name,
+            chip.nets.len(),
+            chip.delay_model.dbif_ps()
+        );
+        total.merge(&instance_comparison(&chip, true, iterations));
+    }
+    total.print("Table II — avg cost increase vs best of 4, d_bif > 0");
+}

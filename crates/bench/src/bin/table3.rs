@@ -1,0 +1,33 @@
+//! Table III reproduction: the instance parameters of the chip suite.
+//!
+//! The paper's industrial chips are substituted by synthetic analogs
+//! with identical layer counts and scaled net counts (see DESIGN.md);
+//! this binary prints the parameters actually used plus the paper's
+//! originals for reference.
+
+use cds_bench::{env_u64, env_usize};
+use cds_instgen::ChipSpec;
+
+fn main() {
+    let divisor = env_usize("CDST_DIVISOR", 800);
+    let seed = env_u64("CDST_SEED", 1);
+    println!("Table III — instance parameters (synthetic suite, divisor {divisor})");
+    println!(
+        "{:>4} {:>10} {:>10} {:>8} {:>12} {:>10}",
+        "Chip", "paper#nets", "our#nets", "#layers", "grid", "d_bif[ps]"
+    );
+    let paper = [49_734, 66_500, 286_619, 305_094, 420_131, 590_060, 650_127, 941_271];
+    for (spec, &pn) in ChipSpec::paper_suite(divisor, seed).iter().zip(&paper) {
+        let chip = spec.generate();
+        let g = chip.grid.spec();
+        println!(
+            "{:>4} {:>10} {:>10} {:>8} {:>12} {:>10.2}",
+            chip.name,
+            pn,
+            chip.nets.len(),
+            g.layers.len(),
+            format!("{}x{}", g.nx, g.ny),
+            chip.delay_model.dbif_ps(),
+        );
+    }
+}

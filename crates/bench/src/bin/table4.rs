@@ -1,0 +1,7 @@
+//! Table IV reproduction: timing-constrained global routing results with
+//! `d_bif = 0` — WS, TNS, ACE4, wirelength, vias, and walltime for each
+//! chip × Steiner method.
+
+fn main() {
+    cds_bench::print_routing_table(false, "Table IV — global routing results, d_bif = 0");
+}

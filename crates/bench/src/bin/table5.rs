@@ -1,0 +1,6 @@
+//! Table V reproduction: timing-constrained global routing results with
+//! the calibrated bifurcation penalty `d_bif > 0`.
+
+fn main() {
+    cds_bench::print_routing_table(true, "Table V — global routing results, d_bif > 0");
+}

@@ -1,0 +1,260 @@
+//! Connected-component bookkeeping for the merge loop.
+//!
+//! Every active terminal owns one component of the partially built tree:
+//! the set of graph edges and vertices its merged subtree occupies. A
+//! disjoint-set union tracks which terminal currently represents each
+//! component as merges happen; the edge/vertex sets support the §III-A
+//! discounting (tree edges are free to reuse) and the delay offsets of
+//! restarted searches.
+
+use cds_graph::{EdgeId, Graph, VertexId};
+use std::collections::HashMap;
+
+/// A terminal slot index (sinks, merged Steiner terminals, and the root).
+pub type TerminalId = usize;
+
+/// Disjoint-set over terminal slots with path compression.
+#[derive(Debug, Clone, Default)]
+pub struct Dsu {
+    parent: Vec<TerminalId>,
+}
+
+impl Dsu {
+    /// Adds a fresh singleton set, returning its id.
+    pub fn push(&mut self) -> TerminalId {
+        let id = self.parent.len();
+        self.parent.push(id);
+        id
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: TerminalId) -> TerminalId {
+        if self.parent[x] != x {
+            let r = self.find(self.parent[x]);
+            self.parent[x] = r;
+        }
+        self.parent[x]
+    }
+
+    /// Merges the sets of `a` and `b` into representative `into`
+    /// (which must be a fresh or existing slot).
+    pub fn union_into(&mut self, a: TerminalId, b: TerminalId, into: TerminalId) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        self.parent[ra] = into;
+        self.parent[rb] = into;
+        let ri = self.find(into);
+        self.parent[ri] = into;
+        self.parent[into] = into;
+    }
+}
+
+/// The tree-so-far of one component: its edges, its vertices, and the
+/// sinks (with delay weights) it has absorbed.
+#[derive(Debug, Clone, Default)]
+pub struct Component {
+    /// Edges of the embedded partial tree.
+    pub edges: Vec<EdgeId>,
+    /// Vertices the component occupies (keys) — values unused, kept as a
+    /// map for cheap membership + iteration.
+    pub vertices: HashMap<VertexId, ()>,
+    /// Sinks inside the component: (vertex, delay weight).
+    pub sinks: Vec<(VertexId, f64)>,
+}
+
+impl Component {
+    /// A single-vertex component carrying the given sinks (one for a
+    /// sink terminal, none for the root).
+    pub fn singleton(v: VertexId, sinks: Vec<(VertexId, f64)>) -> Self {
+        let mut vertices = HashMap::new();
+        vertices.insert(v, ());
+        Component { edges: Vec::new(), vertices, sinks }
+    }
+
+    /// Whether `v` belongs to this component.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.contains_key(&v)
+    }
+
+    /// Absorbs `other` and a connecting `path` (edges between them).
+    pub fn absorb(&mut self, other: Component, path: &[EdgeId], g: &Graph) {
+        self.edges.extend_from_slice(&other.edges);
+        for (v, ()) in other.vertices {
+            self.vertices.insert(v, ());
+        }
+        self.sinks.extend_from_slice(&other.sinks);
+        for &e in path {
+            self.edges.push(e);
+            let ep = g.endpoints(e);
+            self.vertices.insert(ep.u, ());
+            self.vertices.insert(ep.v, ());
+        }
+    }
+
+    /// For every component vertex `y`, the *weighted delay to the
+    /// component's sinks* through the tree: `Σ_q w(q)·d_tree(y, q)`.
+    ///
+    /// This is the exact future delay cost the component's sinks incur
+    /// if the next connection (ultimately: the root path) enters at `y`
+    /// — the exit prices used to seed restarted searches under §III-A.
+    /// For a singleton sink component it is `w·d_tree(y, sink)`, the
+    /// paper's original seeding.
+    pub fn weighted_exit_delay(&self, g: &Graph, d: &[f64]) -> HashMap<VertexId, f64> {
+        let mut out: HashMap<VertexId, f64> =
+            self.vertices.keys().map(|&v| (v, 0.0)).collect();
+        for &(q, w) in &self.sinks {
+            if w == 0.0 {
+                continue;
+            }
+            let delays = self.tree_delays(g, d, q);
+            for (v, acc) in out.iter_mut() {
+                *acc += w * delays.get(v).copied().unwrap_or(0.0);
+            }
+        }
+        out
+    }
+
+    /// Total sink weight *downstream* of each component vertex when the
+    /// component tree is rooted at `root`: the weight that suffers the
+    /// λ penalty if a new branch taps the tree at that vertex. Used to
+    /// price bifurcations on already-routed root-component paths
+    /// (Fig. 1 of the paper: keeping taps off the critical trunk).
+    pub fn downstream_weights(&self, g: &Graph, root: VertexId) -> HashMap<VertexId, f64> {
+        let mut adj: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        for &e in &self.edges {
+            let ep = g.endpoints(e);
+            adj.entry(ep.u).or_default().push(ep.v);
+            adj.entry(ep.v).or_default().push(ep.u);
+        }
+        let mut weight_at: HashMap<VertexId, f64> = HashMap::new();
+        for &(q, w) in &self.sinks {
+            *weight_at.entry(q).or_insert(0.0) += w;
+        }
+        // iterative post-order accumulation from `root`
+        let mut down: HashMap<VertexId, f64> = HashMap::new();
+        let mut parent: HashMap<VertexId, VertexId> = HashMap::new();
+        let mut order = vec![root];
+        let mut seen: HashMap<VertexId, ()> = HashMap::new();
+        seen.insert(root, ());
+        let mut head = 0;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            if let Some(nbrs) = adj.get(&v) {
+                for &w in nbrs {
+                    if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(w) {
+                        e.insert(());
+                        parent.insert(w, v);
+                        order.push(w);
+                    }
+                }
+            }
+        }
+        for &v in order.iter().rev() {
+            let own = weight_at.get(&v).copied().unwrap_or(0.0);
+            let acc = down.get(&v).copied().unwrap_or(0.0) + own;
+            down.insert(v, acc);
+            if let Some(&p) = parent.get(&v) {
+                *down.entry(p).or_insert(0.0) += acc;
+            }
+        }
+        down
+    }
+
+    /// Raw tree delay (`Σ d(e)`) from `from` to every component vertex,
+    /// walking only component edges. Vertices unreachable through the
+    /// component (possible only by construction error) are absent.
+    pub fn tree_delays(&self, g: &Graph, d: &[f64], from: VertexId) -> HashMap<VertexId, f64> {
+        // adjacency restricted to component edges
+        let mut adj: HashMap<VertexId, Vec<(VertexId, EdgeId)>> = HashMap::new();
+        for &e in &self.edges {
+            let ep = g.endpoints(e);
+            adj.entry(ep.u).or_default().push((ep.v, e));
+            adj.entry(ep.v).or_default().push((ep.u, e));
+        }
+        let mut out = HashMap::with_capacity(self.vertices.len());
+        out.insert(from, 0.0);
+        // Dijkstra-style because duplicate edges could create cycles of
+        // differing delay; component sizes are tiny, so simple is fine
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((cds_heap::OrderedF64::new(0.0), from)));
+        while let Some(std::cmp::Reverse((dd, v))) = heap.pop() {
+            if out.get(&v).copied().unwrap_or(f64::INFINITY) < dd.get() {
+                continue;
+            }
+            if let Some(nbrs) = adj.get(&v) {
+                for &(w, e) in nbrs {
+                    let nd = dd.get() + d[e as usize];
+                    if nd < out.get(&w).copied().unwrap_or(f64::INFINITY) {
+                        out.insert(w, nd);
+                        heap.push(std::cmp::Reverse((cds_heap::OrderedF64::new(nd), w)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_graph::{EdgeAttrs, GraphBuilder};
+
+    #[test]
+    fn dsu_union_find() {
+        let mut dsu = Dsu::default();
+        let a = dsu.push();
+        let b = dsu.push();
+        let c = dsu.push();
+        assert_ne!(dsu.find(a), dsu.find(b));
+        let s = dsu.push();
+        dsu.union_into(a, b, s);
+        assert_eq!(dsu.find(a), s);
+        assert_eq!(dsu.find(b), s);
+        assert_eq!(dsu.find(c), c);
+        let s2 = dsu.push();
+        dsu.union_into(s, c, s2);
+        assert_eq!(dsu.find(a), s2);
+        assert_eq!(dsu.find(c), s2);
+    }
+
+    #[test]
+    fn component_absorb_and_delays() {
+        // path graph 0-1-2-3 with delays 1, 2, 4
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, EdgeAttrs::wire(1.0, 1.0));
+        b.add_edge(1, 2, EdgeAttrs::wire(1.0, 2.0));
+        b.add_edge(2, 3, EdgeAttrs::wire(1.0, 4.0));
+        let g = b.build();
+        let d = g.delays();
+        let mut c0 = Component::singleton(0, vec![(0, 1.0)]);
+        let c3 = Component::singleton(3, vec![(3, 2.0)]);
+        // connect them with the full path
+        c0.absorb(c3, &[0, 1, 2], &g);
+        assert!(c0.contains(2));
+        assert_eq!(c0.edges.len(), 3);
+        let delays = c0.tree_delays(&g, &d, 0);
+        assert_eq!(delays[&3], 7.0);
+        assert_eq!(delays[&1], 1.0);
+    }
+
+    #[test]
+    fn weighted_exit_delay_prefers_heavy_side() {
+        // path 0-1-2-3, sink w=1 at 0 and w=3 at 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, EdgeAttrs::wire(1.0, 1.0));
+        b.add_edge(1, 2, EdgeAttrs::wire(1.0, 1.0));
+        b.add_edge(2, 3, EdgeAttrs::wire(1.0, 1.0));
+        let g = b.build();
+        let d = g.delays();
+        let mut comp = Component::singleton(0, vec![(0, 1.0)]);
+        comp.absorb(Component::singleton(3, vec![(3, 3.0)]), &[0, 1, 2], &g);
+        let exits = comp.weighted_exit_delay(&g, &d);
+        // exit at 0: 1*0 + 3*3 = 9; at 3: 1*3 + 3*0 = 3; at 2: 1*2 + 3*1 = 5
+        assert_eq!(exits[&0], 9.0);
+        assert_eq!(exits[&3], 3.0);
+        assert_eq!(exits[&2], 5.0);
+        // the best exit is at the heavy sink
+        assert!(exits[&3] < exits[&0] && exits[&3] < exits[&2]);
+    }
+}

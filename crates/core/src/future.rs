@@ -1,0 +1,294 @@
+//! Future costs (admissible lower bounds) for the goal-oriented path
+//! searches of §III-C.
+//!
+//! The paper lower-bounds connection/congestion costs with landmarks
+//! \[11\] and delays with "L1-distance and the fastest layer and wire
+//! type combination". Both are provided here, plus the trivial zero
+//! bound. To keep labels valid across iterations (terminals come and go
+//! as components merge), bounds target the *fixed* set of all initial
+//! terminal positions — a superset of any iteration's live targets, so
+//! the heuristic only gets weaker, never inadmissible.
+
+use cds_graph::{GridGraph, VertexId};
+use std::collections::VecDeque;
+
+/// An admissible heuristic for the simultaneous Dijkstra searches.
+///
+/// All implementations must guarantee, for a search with delay weight
+/// `w`:
+///
+/// * `bound_nearest(x, w)` ≤ the `c + w·d` length of any path from `x`
+///   to any vertex that can ever become a connection target;
+/// * `bound_to(x, y, w)` ≤ the `c + w·d` length of any `x`→`y` path.
+pub trait FutureCost {
+    /// Lower bound on the remaining search cost from `x` to the nearest
+    /// potential target.
+    fn bound_nearest(&self, x: VertexId, w: f64) -> f64;
+    /// Lower bound on the cost of reaching the specific vertex `y`.
+    fn bound_to(&self, x: VertexId, y: VertexId, w: f64) -> f64;
+    /// Informs the heuristic that `vertices` became connection targets
+    /// (under §III-A discounting, components absorb every vertex of a
+    /// committed path — future bounds must account for them or they stop
+    /// being admissible). Implementations may ignore this only if their
+    /// bounds are already valid for arbitrary target growth.
+    fn note_new_targets(&self, _vertices: &[VertexId]) {}
+}
+
+/// The zero heuristic: plain Dijkstra (§II base algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFutureCost;
+
+impl FutureCost for NoFutureCost {
+    fn bound_nearest(&self, _x: VertexId, _w: f64) -> f64 {
+        0.0
+    }
+    fn bound_to(&self, _x: VertexId, _y: VertexId, _w: f64) -> f64 {
+        0.0
+    }
+}
+
+/// Grid-based future costs: a plane L1 distance transform to the nearest
+/// target (one multi-source BFS at construction, incrementally updated
+/// as components grow), scaled by the cheapest per-gcell cost and the
+/// fastest per-gcell delay.
+///
+/// Admissible because every wire edge of the grid costs at least
+/// `min_cost_per_gcell + w·min_delay_per_gcell` per gcell of L1 progress,
+/// vias make no L1 progress at non-negative cost, and
+/// [`note_new_targets`](FutureCost::note_new_targets) keeps the transform
+/// a lower bound as the set of valid connection targets expands.
+#[derive(Debug)]
+pub struct GridFutureCost<'a> {
+    grid: &'a GridGraph,
+    /// plane distance (in gcells) to the nearest target, row-major;
+    /// interior-mutable so target growth can lower it mid-run
+    plane_dist: std::cell::RefCell<Vec<u32>>,
+    min_cost: f64,
+    min_delay: f64,
+}
+
+impl<'a> GridFutureCost<'a> {
+    /// Builds the distance transform for the terminal positions of an
+    /// instance (`terminals` are graph vertices; their layers are
+    /// ignored — the bound is planar).
+    pub fn new(grid: &'a GridGraph, terminals: &[VertexId]) -> Self {
+        let (nx, ny) = (grid.spec().nx as usize, grid.spec().ny as usize);
+        let mut plane_dist = vec![u32::MAX; nx * ny];
+        let mut queue = VecDeque::new();
+        for &t in terminals {
+            let c = grid.coord(t);
+            let idx = c.y as usize * nx + c.x as usize;
+            if plane_dist[idx] != 0 {
+                plane_dist[idx] = 0;
+                queue.push_back(idx);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            let (x, y) = (i % nx, i / nx);
+            let d = plane_dist[i];
+            let mut push = |j: usize| {
+                if plane_dist[j] == u32::MAX {
+                    plane_dist[j] = d + 1;
+                    queue.push_back(j);
+                }
+            };
+            if x > 0 {
+                push(i - 1);
+            }
+            if x + 1 < nx {
+                push(i + 1);
+            }
+            if y > 0 {
+                push(i - nx);
+            }
+            if y + 1 < ny {
+                push(i + nx);
+            }
+        }
+        GridFutureCost {
+            grid,
+            plane_dist: std::cell::RefCell::new(plane_dist),
+            min_cost: grid.min_cost_per_gcell(),
+            min_delay: grid.min_delay_per_gcell(),
+        }
+    }
+}
+
+impl FutureCost for GridFutureCost<'_> {
+    fn bound_nearest(&self, x: VertexId, w: f64) -> f64 {
+        let c = self.grid.coord(x);
+        let d = self.plane_dist.borrow()
+            [c.y as usize * self.grid.spec().nx as usize + c.x as usize];
+        d as f64 * (self.min_cost + w * self.min_delay)
+    }
+    fn bound_to(&self, x: VertexId, y: VertexId, w: f64) -> f64 {
+        let (cx, cy) = (self.grid.coord(x), self.grid.coord(y));
+        let l1 = cx.point().l1(cy.point()) as f64;
+        l1 * (self.min_cost + w * self.min_delay)
+    }
+    fn note_new_targets(&self, vertices: &[VertexId]) {
+        let nx = self.grid.spec().nx as usize;
+        let mut dist = self.plane_dist.borrow_mut();
+        let ny = dist.len() / nx;
+        let mut queue = VecDeque::new();
+        for &v in vertices {
+            let c = self.grid.coord(v);
+            let idx = c.y as usize * nx + c.x as usize;
+            if dist[idx] != 0 {
+                dist[idx] = 0;
+                queue.push_back(idx);
+            }
+        }
+        // propagate decreases only — the transform is monotone down
+        while let Some(i) = queue.pop_front() {
+            let (x, y) = (i % nx, i / nx);
+            let d = dist[i];
+            let push = |j: usize, dist: &mut Vec<u32>, queue: &mut VecDeque<usize>| {
+                if dist[j] > d + 1 {
+                    dist[j] = d + 1;
+                    queue.push_back(j);
+                }
+            };
+            if x > 0 {
+                push(i - 1, &mut dist, &mut queue);
+            }
+            if x + 1 < nx {
+                push(i + 1, &mut dist, &mut queue);
+            }
+            if y > 0 {
+                push(i - nx, &mut dist, &mut queue);
+            }
+            if y + 1 < ny {
+                push(i + nx, &mut dist, &mut queue);
+            }
+        }
+    }
+}
+
+/// Landmark future costs after Goldberg & Harrelson \[11\]: exact
+/// congestion-cost distances from a few landmark vertices give the bound
+/// `max_ℓ |dist_ℓ(x) − dist_ℓ(p)|` for any target `p`; the delay part
+/// falls back to the planar L1 bound. Stronger than [`GridFutureCost`]
+/// when congestion makes base-cost bounds loose, at `O(k·|P|)` per query.
+pub struct LandmarkFutureCost<'a> {
+    grid: &'a GridGraph,
+    /// `dist[l][v]` = congestion-cost distance from landmark `l`.
+    dist: Vec<Vec<f64>>,
+    /// potential target positions (fixed for the whole run)
+    targets: Vec<VertexId>,
+    min_delay: f64,
+}
+
+impl<'a> LandmarkFutureCost<'a> {
+    /// Chooses `k` landmarks spread over the grid corners/edges and runs
+    /// one Dijkstra each under the supplied congestion costs.
+    pub fn new(grid: &'a GridGraph, cost: &[f64], targets: &[VertexId], k: usize) -> Self {
+        let spec = grid.spec();
+        let corners = [
+            grid.vertex(0, 0, 0),
+            grid.vertex(spec.nx - 1, 0, 0),
+            grid.vertex(0, spec.ny - 1, 0),
+            grid.vertex(spec.nx - 1, spec.ny - 1, 0),
+            grid.vertex(spec.nx / 2, 0, 0),
+            grid.vertex(0, spec.ny / 2, 0),
+        ];
+        let dist = corners
+            .iter()
+            .take(k.max(1).min(corners.len()))
+            .map(|&l| {
+                cds_graph::dijkstra::shortest_distances(grid.graph(), &[(l, 0.0)], |e| {
+                    cost[e as usize]
+                })
+            })
+            .collect();
+        LandmarkFutureCost {
+            grid,
+            dist,
+            targets: targets.to_vec(),
+            min_delay: grid.min_delay_per_gcell(),
+        }
+    }
+
+    fn cost_bound_pair(&self, x: VertexId, y: VertexId) -> f64 {
+        self.dist
+            .iter()
+            .map(|d| (d[x as usize] - d[y as usize]).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn delay_bound_pair(&self, x: VertexId, y: VertexId) -> f64 {
+        let (cx, cy) = (self.grid.coord(x), self.grid.coord(y));
+        cx.point().l1(cy.point()) as f64 * self.min_delay
+    }
+}
+
+impl FutureCost for LandmarkFutureCost<'_> {
+    fn bound_nearest(&self, x: VertexId, w: f64) -> f64 {
+        self.targets
+            .iter()
+            .map(|&p| self.bound_to(x, p, w))
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0)
+    }
+    fn bound_to(&self, x: VertexId, y: VertexId, w: f64) -> f64 {
+        self.cost_bound_pair(x, y) + w * self.delay_bound_pair(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_graph::dijkstra::shortest_distances;
+    use cds_graph::GridSpec;
+
+    #[test]
+    fn grid_bound_is_admissible() {
+        let grid = GridSpec::uniform(6, 5, 3).build();
+        let terminals = [grid.vertex(5, 4, 0), grid.vertex(0, 4, 2)];
+        let fc = GridFutureCost::new(&grid, &terminals);
+        let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+        let w = 2.5;
+        // exact multi-target distance via one Dijkstra from all targets
+        let exact = shortest_distances(
+            grid.graph(),
+            &[(terminals[0], 0.0), (terminals[1], 0.0)],
+            |e| c[e as usize] + w * d[e as usize],
+        );
+        for v in 0..grid.graph().num_vertices() as u32 {
+            assert!(
+                fc.bound_nearest(v, w) <= exact[v as usize] + 1e-9,
+                "vertex {v}: bound {} > exact {}",
+                fc.bound_nearest(v, w),
+                exact[v as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn landmark_bound_is_admissible() {
+        let grid = GridSpec::uniform(5, 5, 2).build();
+        // congest some edges to make base bounds loose
+        let mut c = grid.graph().base_costs();
+        for (e, cost) in c.iter_mut().enumerate() {
+            if e % 3 == 0 {
+                *cost *= 4.0;
+            }
+        }
+        let d = grid.graph().delays();
+        let targets = [grid.vertex(4, 4, 0)];
+        let fc = LandmarkFutureCost::new(&grid, &c, &targets, 4);
+        let w = 1.0;
+        let exact = shortest_distances(grid.graph(), &[(targets[0], 0.0)], |e| {
+            c[e as usize] + w * d[e as usize]
+        });
+        for v in 0..grid.graph().num_vertices() as u32 {
+            assert!(fc.bound_nearest(v, w) <= exact[v as usize] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_bound_is_zero() {
+        assert_eq!(NoFutureCost.bound_nearest(3, 10.0), 0.0);
+        assert_eq!(NoFutureCost.bound_to(3, 4, 10.0), 0.0);
+    }
+}

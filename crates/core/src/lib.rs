@@ -1,0 +1,308 @@
+//! The cost-distance Steiner tree algorithm of Held & Perner (DAC 2025).
+//!
+//! Given a global routing graph with congestion costs `c`, delays `d`, a
+//! root `r`, sinks `S` with delay weights `w`, and a bifurcation penalty
+//! `d_bif`, compute an embedded Steiner tree minimizing
+//!
+//! ```text
+//! cost(T) = Σ_{e∈T} c(e) + Σ_{t∈S} w(t)·delay_T(r, t)          (1)
+//! delay_T(r,t) = Σ_{(u,v)∈T[r,t]} ( d(e) + λ_v·d_bif )          (3)
+//! ```
+//!
+//! The algorithm (Algorithm 1 of the paper) is a Kruskal-style merge
+//! loop driven by simultaneous per-sink Dijkstra searches with the
+//! sink-individual metric `l_u(e) = c(e) + w(u)·d(e)`; it guarantees an
+//! `O(log t)` approximation factor in `O(t(n log n + m))` time, and this
+//! implementation adds the paper's five practical enhancements
+//! (§III-A…E), each individually toggleable.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_core::{solve, Instance, SolverOptions};
+//! use cds_graph::GridSpec;
+//! use cds_topo::BifurcationConfig;
+//!
+//! let grid = GridSpec::uniform(8, 8, 2).build();
+//! let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+//! let inst = Instance {
+//!     graph: grid.graph(),
+//!     cost: &c,
+//!     delay: &d,
+//!     root: grid.vertex(0, 0, 0),
+//!     sink_vertices: &[grid.vertex(7, 0, 0), grid.vertex(0, 7, 0)],
+//!     weights: &[2.0, 1.0],
+//!     bif: BifurcationConfig::ZERO,
+//! };
+//! let result = solve(&inst, &SolverOptions::default());
+//! assert!(result.evaluation.total > 0.0);
+//! result.tree.validate(grid.graph(), 2).unwrap();
+//! ```
+
+pub mod assemble;
+pub mod components;
+pub mod future;
+pub mod search;
+pub mod solver;
+
+pub use assemble::assemble_tree;
+pub use future::{FutureCost, GridFutureCost, LandmarkFutureCost, NoFutureCost};
+pub use solver::{solve, Instance, MergeEvent, SolveResult, SolveStats, SolverOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_exact::optimal_cost_distance;
+    use cds_graph::{GridGraph, GridSpec};
+    use cds_topo::BifurcationConfig;
+    use proptest::prelude::*;
+
+    fn uniform_env(grid: &GridGraph) -> (Vec<f64>, Vec<f64>) {
+        (grid.graph().base_costs(), grid.graph().delays())
+    }
+
+    fn all_option_sets() -> Vec<SolverOptions<'static>> {
+        let mut out = Vec::new();
+        for discount in [false, true] {
+            for better in [false, true] {
+                for encourage in [false, true] {
+                    out.push(SolverOptions {
+                        discount_components: discount,
+                        better_steiner: better,
+                        encourage_root: encourage,
+                        future: None,
+                        seed: 7,
+                        record_trace: false,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_sink_is_exact_shortest_path() {
+        // With t = 1 the algorithm must return exactly the c + w·d
+        // shortest path (one search, one root connection).
+        let grid = GridSpec::uniform(7, 7, 3).build();
+        let (c, d) = uniform_env(&grid);
+        let root = grid.vertex(0, 0, 0);
+        let sink = grid.vertex(6, 5, 0);
+        let w = 3.5;
+        let inst = Instance {
+            graph: grid.graph(),
+            cost: &c,
+            delay: &d,
+            root,
+            sink_vertices: &[sink],
+            weights: &[w],
+            bif: BifurcationConfig::new(10.0, 0.25),
+        };
+        let sp = cds_graph::dijkstra::shortest_distances(grid.graph(), &[(sink, 0.0)], |e| {
+            c[e as usize] + w * d[e as usize]
+        });
+        for opts in all_option_sets() {
+            let r = solve(&inst, &opts);
+            r.tree.validate(grid.graph(), 1).unwrap();
+            // no bifurcations for a single sink → no penalties
+            assert_eq!(r.evaluation.bifurcations, 0);
+            assert!(
+                (r.evaluation.total - sp[root as usize]).abs() < 1e-9,
+                "opts {opts:?}: got {}, want {}",
+                r.evaluation.total,
+                sp[root as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn sink_on_root_costs_nothing() {
+        let grid = GridSpec::uniform(4, 4, 2).build();
+        let (c, d) = uniform_env(&grid);
+        let root = grid.vertex(2, 2, 0);
+        let inst = Instance {
+            graph: grid.graph(),
+            cost: &c,
+            delay: &d,
+            root,
+            sink_vertices: &[root],
+            weights: &[5.0],
+            bif: BifurcationConfig::ZERO,
+        };
+        let r = solve(&inst, &SolverOptions::default());
+        assert_eq!(r.evaluation.total, 0.0);
+    }
+
+    #[test]
+    fn goal_oriented_search_matches_plain_dijkstra() {
+        // §III-C must not change the result, only the work.
+        let grid = GridSpec::uniform(10, 10, 2).build();
+        let (c, d) = uniform_env(&grid);
+        let root = grid.vertex(0, 0, 0);
+        let sinks = [grid.vertex(9, 2, 0), grid.vertex(4, 9, 0), grid.vertex(9, 9, 0)];
+        let weights = [1.0, 2.0, 0.5];
+        let inst = Instance {
+            graph: grid.graph(),
+            cost: &c,
+            delay: &d,
+            root,
+            sink_vertices: &sinks,
+            weights: &weights,
+            bif: BifurcationConfig::new(4.0, 0.25),
+        };
+        let plain = solve(&inst, &SolverOptions::default());
+        let fc = GridFutureCost::new(&grid, &[root, sinks[0], sinks[1], sinks[2]]);
+        let astar = solve(&inst, &SolverOptions::enhanced(&fc));
+        assert!(
+            (plain.evaluation.total - astar.evaluation.total).abs() < 1e-6,
+            "A* changed the objective: {} vs {}",
+            plain.evaluation.total,
+            astar.evaluation.total
+        );
+        assert!(
+            astar.stats.settled <= plain.stats.settled,
+            "A* must not settle more labels ({} > {})",
+            astar.stats.settled,
+            plain.stats.settled
+        );
+    }
+
+    #[test]
+    fn trace_records_every_merge() {
+        let grid = GridSpec::uniform(6, 6, 2).build();
+        let (c, d) = uniform_env(&grid);
+        let sinks = [grid.vertex(5, 0, 0), grid.vertex(0, 5, 0), grid.vertex(5, 5, 0)];
+        let inst = Instance {
+            graph: grid.graph(),
+            cost: &c,
+            delay: &d,
+            root: grid.vertex(0, 0, 0),
+            sink_vertices: &sinks,
+            weights: &[1.0, 1.0, 1.0],
+            bif: BifurcationConfig::ZERO,
+        };
+        let r = solve(&inst, &SolverOptions { record_trace: true, ..Default::default() });
+        assert_eq!(r.trace.len(), r.stats.merges);
+        let sinksink = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, MergeEvent::SinkSink { .. }))
+            .count();
+        let rootc = r
+            .trace
+            .iter()
+            .filter(|e| matches!(e, MergeEvent::RootConnect { .. }))
+            .count();
+        // every sink-sink merge consumes 2 terminals and creates 1; root
+        // connections consume 1: consumption balances sinks + created
+        assert_eq!(rootc + 2 * sinksink, sinks.len() + sinksink);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let grid = GridSpec::uniform(9, 9, 2).build();
+        let (c, d) = uniform_env(&grid);
+        let sinks = [
+            grid.vertex(8, 1, 0),
+            grid.vertex(1, 8, 0),
+            grid.vertex(8, 8, 0),
+            grid.vertex(4, 6, 0),
+        ];
+        let inst = Instance {
+            graph: grid.graph(),
+            cost: &c,
+            delay: &d,
+            root: grid.vertex(0, 0, 0),
+            sink_vertices: &sinks,
+            weights: &[1.0, 2.0, 3.0, 4.0],
+            bif: BifurcationConfig::new(2.0, 0.3),
+        };
+        let opts = SolverOptions { seed: 123, ..Default::default() };
+        let a = solve(&inst, &opts);
+        let b = solve(&inst, &opts);
+        assert_eq!(a.evaluation.total, b.evaluation.total);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// On small random instances the algorithm stays within a modest
+        /// factor of the enumerated true optimum — far tighter than the
+        /// O(log t) guarantee, but random instances are benign; the point
+        /// is catching gross regressions and validating feasibility.
+        #[test]
+        fn approximation_vs_exact_optimum(
+            seedpts in proptest::collection::hash_set((0u32..6, 0u32..6), 2..5),
+            weights_raw in proptest::collection::vec(0.1f64..8.0, 5),
+            dbif in 0.0f64..6.0,
+        ) {
+            let grid = GridSpec::uniform(6, 6, 2).build();
+            let (c, d) = uniform_env(&grid);
+            let root = grid.vertex(3, 3, 0);
+            let sinks: Vec<u32> = seedpts.iter().map(|&(x, y)| grid.vertex(x, y, 0)).collect();
+            let weights = &weights_raw[..sinks.len()];
+            let bif = BifurcationConfig::new(dbif, 0.25);
+            let inst = Instance {
+                graph: grid.graph(),
+                cost: &c,
+                delay: &d,
+                root,
+                sink_vertices: &sinks,
+                weights,
+                bif,
+            };
+            let env = cds_embed::EmbedEnv { graph: grid.graph(), cost: &c, delay: &d, bif };
+            let (opt, _) = optimal_cost_distance(&env, root, &sinks, weights);
+            for opts in all_option_sets() {
+                let r = solve(&inst, &opts);
+                r.tree.validate(grid.graph(), sinks.len()).unwrap();
+                // The §II base variant's *randomized* endpoint placement
+                // legitimately loses a constant factor on unlucky draws
+                // (its guarantee is O(log t) in expectation); the
+                // enhanced variant is held to a tighter practical bound.
+                let factor = if opts.discount_components && opts.better_steiner {
+                    2.5
+                } else {
+                    5.0
+                };
+                prop_assert!(
+                    r.evaluation.total <= factor * opt + 1e-6,
+                    "opts {:?}: {} vs optimum {}",
+                    opts, r.evaluation.total, opt
+                );
+                prop_assert!(r.evaluation.total >= opt - 1e-6, "beat the optimum?!");
+            }
+        }
+
+        /// The tree is always valid and the objective finite, across
+        /// random weights, penalties, and option sets on a mid-size grid.
+        #[test]
+        fn always_valid_trees(
+            seedpts in proptest::collection::hash_set((0u32..10, 0u32..10), 1..10),
+            dbif in 0.0f64..10.0,
+            eta in 0.0f64..=0.5,
+            seed in 0u64..1000,
+        ) {
+            let grid = GridSpec::uniform(10, 10, 3).build();
+            let (c, d) = uniform_env(&grid);
+            let root = grid.vertex(5, 5, 0);
+            let sinks: Vec<u32> = seedpts.iter().map(|&(x, y)| grid.vertex(x, y, 0)).collect();
+            let weights: Vec<f64> = (0..sinks.len()).map(|i| (i as f64 + 1.0) * 0.5).collect();
+            let inst = Instance {
+                graph: grid.graph(),
+                cost: &c,
+                delay: &d,
+                root,
+                sink_vertices: &sinks,
+                weights: &weights,
+                bif: BifurcationConfig::new(dbif, eta),
+            };
+            let fc = GridFutureCost::new(&grid, &sinks);
+            let opts = SolverOptions { future: Some(&fc), seed, ..Default::default() };
+            let r = solve(&inst, &opts);
+            r.tree.validate(grid.graph(), sinks.len()).unwrap();
+            prop_assert!(r.evaluation.total.is_finite());
+            prop_assert!(r.stats.merges >= sinks.len());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-terminal Dijkstra state for the simultaneous searches.
+//!
+//! Each active terminal `u` runs its own labelling with the individual
+//! distance function `l_u(e) = c(e) + w(u)·d(e)` (Eq. (4)). Labels are
+//! sparse (hash maps): with goal-oriented search a terminal only ever
+//! touches a small region, and dense per-search arrays would cost
+//! `O(t·n)` up front.
+
+use cds_graph::{EdgeId, VertexId};
+use std::collections::{HashMap, HashSet};
+
+/// Dijkstra state of one active terminal.
+#[derive(Debug, Clone)]
+pub struct Search {
+    /// Terminal slot this search belongs to.
+    pub terminal: usize,
+    /// Delay weight `w(u)` of the terminal.
+    pub weight: f64,
+    /// The terminal's position `π(u)`.
+    pub origin: VertexId,
+    /// Best known `g` value (true `l_u` distance, without heuristic).
+    pub dist: HashMap<VertexId, f64>,
+    /// Predecessor (vertex, edge) of each labelled vertex; absent for
+    /// seeds.
+    pub parent: HashMap<VertexId, (VertexId, EdgeId)>,
+    /// Permanently labelled vertices.
+    pub settled: HashSet<VertexId>,
+    /// Raw tree delay (`Σ d`, unweighted) from `origin` to each seed —
+    /// needed by the Steiner re-embedding (§III-D). Seeds are the
+    /// component's vertices under §III-A discounting, else just the
+    /// origin.
+    pub seed_raw_delay: HashMap<VertexId, f64>,
+}
+
+impl Search {
+    /// A fresh search with no labels.
+    pub fn new(terminal: usize, weight: f64, origin: VertexId) -> Self {
+        Search {
+            terminal,
+            weight,
+            origin,
+            dist: HashMap::new(),
+            parent: HashMap::new(),
+            settled: HashSet::new(),
+            seed_raw_delay: HashMap::new(),
+        }
+    }
+
+    /// Walks parents from `to` back to a seed. Returns the edges in
+    /// seed→`to` order together with the seed vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` was never labelled.
+    pub fn extract_path(&self, to: VertexId) -> (Vec<EdgeId>, VertexId) {
+        assert!(self.dist.contains_key(&to), "extracting an unlabelled vertex");
+        let mut edges = Vec::new();
+        let mut cur = to;
+        while let Some(&(from, edge)) = self.parent.get(&cur) {
+            edges.push(edge);
+            cur = from;
+        }
+        edges.reverse();
+        (edges, cur)
+    }
+
+    /// The vertex sequence of a seed→`to` path returned by
+    /// [`extract_path`](Self::extract_path), starting at the seed.
+    pub fn path_vertices(
+        &self,
+        graph: &cds_graph::Graph,
+        edges: &[EdgeId],
+        seed: VertexId,
+    ) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(edges.len() + 1);
+        out.push(seed);
+        let mut cur = seed;
+        for &e in edges {
+            cur = graph.endpoints(e).other(cur);
+            out.push(cur);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_extraction_orders_from_seed() {
+        let mut s = Search::new(0, 1.0, 7);
+        s.dist.insert(7, 0.0);
+        s.dist.insert(8, 1.0);
+        s.dist.insert(9, 2.0);
+        s.parent.insert(8, (7, 100));
+        s.parent.insert(9, (8, 101));
+        let (edges, seed) = s.extract_path(9);
+        assert_eq!(edges, vec![100, 101]);
+        assert_eq!(seed, 7);
+        let (edges, seed) = s.extract_path(7);
+        assert!(edges.is_empty());
+        assert_eq!(seed, 7);
+    }
+}

@@ -1,0 +1,692 @@
+//! Algorithm 1 — the cost-distance Steiner tree algorithm.
+//!
+//! The solver runs one Dijkstra per active terminal *simultaneously*
+//! (two-level heap, §III-B), each with its individual metric
+//! `l_u(e) = c(e) + w(u)·d(e)` (Eq. (4)). Whenever a search enters a
+//! vertex of another terminal's component, a *candidate* connection with
+//! value `L(u, v) = dist + b(u, v)` (Eq. (5)) is recorded; once the
+//! globally smallest heap key can no longer beat the best candidate, that
+//! candidate is committed: the two components merge through the found
+//! path, a Steiner terminal with the summed weight replaces them (placed
+//! randomly per §II, or by the re-embedding rule of §III-D), and a fresh
+//! search starts from it. Root connections retire their sink instead.
+//!
+//! Enhancements (all individually toggleable in [`SolverOptions`]):
+//! §III-A component reuse (searches are seeded with the whole component
+//! at delay-true offsets, so tree edges cost no connection charge),
+//! §III-B two-level heap (always on — it is the queue), §III-C A* future
+//! costs, §III-D Steiner re-embedding, §III-E root-connection
+//! encouragement.
+
+use crate::assemble::assemble_tree;
+use crate::components::{Component, Dsu, TerminalId};
+use crate::future::{FutureCost, NoFutureCost};
+use crate::search::Search;
+use cds_graph::{EdgeId, Graph, VertexId};
+use cds_heap::{OrderedF64, TwoLevelHeap};
+use cds_topo::penalty::beta;
+use cds_topo::{BifurcationConfig, EmbeddedTree, Evaluation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A cost-distance Steiner tree instance (paper Eq. (1) + (3)).
+#[derive(Debug, Clone, Copy)]
+pub struct Instance<'a> {
+    /// The global routing graph.
+    pub graph: &'a Graph,
+    /// Congestion cost `c(e)` per edge.
+    pub cost: &'a [f64],
+    /// Delay `d(e)` per edge.
+    pub delay: &'a [f64],
+    /// The net's root (source) vertex `π(r)`.
+    pub root: VertexId,
+    /// Sink positions `π(s)`.
+    pub sink_vertices: &'a [VertexId],
+    /// Sink delay weights `w(s)` (from Lagrangean relaxation in the
+    /// router; any non-negative values standalone).
+    pub weights: &'a [f64],
+    /// Bifurcation penalty configuration (`d_bif`, `η`).
+    pub bif: BifurcationConfig,
+}
+
+/// Toggles for the practical enhancements of §III.
+#[derive(Clone, Copy)]
+pub struct SolverOptions<'a> {
+    /// §III-A: discount existing tree components (reuse tree edges free
+    /// of connection cost; searches start from whole components).
+    pub discount_components: bool,
+    /// §III-C: goal-oriented search with this future cost. `None` means
+    /// plain Dijkstra.
+    pub future: Option<&'a dyn FutureCost>,
+    /// §III-D: re-embed the new Steiner vertex on the found path instead
+    /// of picking a random endpoint.
+    pub better_steiner: bool,
+    /// §III-E: subtract the guaranteed future saving `η·d_bif·w(u)` from
+    /// root connection penalties.
+    pub encourage_root: bool,
+    /// RNG seed for the randomized Steiner placement.
+    pub seed: u64,
+    /// Record a per-merge trace (for the Fig. 3 reproduction).
+    pub record_trace: bool,
+}
+
+impl std::fmt::Debug for SolverOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverOptions")
+            .field("discount_components", &self.discount_components)
+            .field("future", &self.future.is_some())
+            .field("better_steiner", &self.better_steiner)
+            .field("encourage_root", &self.encourage_root)
+            .field("seed", &self.seed)
+            .field("record_trace", &self.record_trace)
+            .finish()
+    }
+}
+
+impl Default for SolverOptions<'_> {
+    fn default() -> Self {
+        SolverOptions {
+            discount_components: true,
+            future: None,
+            better_steiner: true,
+            encourage_root: true,
+            seed: 0x5eed,
+            record_trace: false,
+        }
+    }
+}
+
+impl<'a> SolverOptions<'a> {
+    /// The plain Section-II algorithm: no enhancements, matching the
+    /// theoretical analysis.
+    pub fn base() -> Self {
+        SolverOptions {
+            discount_components: false,
+            future: None,
+            better_steiner: false,
+            encourage_root: false,
+            seed: 0x5eed,
+            record_trace: false,
+        }
+    }
+
+    /// All enhancements on, with the given future cost (§III-C).
+    pub fn enhanced(future: &'a dyn FutureCost) -> Self {
+        SolverOptions { future: Some(future), ..SolverOptions::default() }
+    }
+}
+
+/// One merge of the run (the Fig. 3 trace).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergeEvent {
+    /// Two sink-side terminals merged into a new Steiner terminal.
+    SinkSink {
+        /// Merge index (the `i` of Algorithm 1).
+        iteration: usize,
+        /// Vertex of the initiating terminal `u`.
+        u_vertex: VertexId,
+        /// Vertex of the found terminal `v`.
+        v_vertex: VertexId,
+        /// Chosen position of the new Steiner terminal.
+        steiner_vertex: VertexId,
+        /// The committed `L(u, v)`.
+        l_value: f64,
+        /// Length of the connecting path in edges.
+        path_edges: usize,
+    },
+    /// A terminal connected to the root component.
+    RootConnect {
+        /// Merge index.
+        iteration: usize,
+        /// Vertex of the connected terminal.
+        u_vertex: VertexId,
+        /// The committed `L(u, r)`.
+        l_value: f64,
+        /// Length of the connecting path in edges.
+        path_edges: usize,
+    },
+}
+
+/// Counters for the complexity experiments (Theorem 1 bench).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Vertices permanently labelled over all searches.
+    pub settled: usize,
+    /// Heap pushes (label creations/improvements).
+    pub pushed: usize,
+    /// Merges performed (= `|S|`).
+    pub merges: usize,
+}
+
+/// Everything `solve` returns.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The embedded Steiner tree.
+    pub tree: EmbeddedTree,
+    /// Objective breakdown of `tree` (Eq. (1) + (3)).
+    pub evaluation: Evaluation,
+    /// Work counters.
+    pub stats: SolveStats,
+    /// Per-merge trace (empty unless requested).
+    pub trace: Vec<MergeEvent>,
+}
+
+/// Runs the cost-distance algorithm on `inst`.
+///
+/// # Panics
+///
+/// Panics if the instance has no sinks, mismatched slices, negative
+/// weights, or if some sink is disconnected from the rest of the graph.
+pub fn solve(inst: &Instance<'_>, opts: &SolverOptions<'_>) -> SolveResult {
+    assert!(!inst.sink_vertices.is_empty(), "a net needs at least one sink");
+    assert_eq!(inst.sink_vertices.len(), inst.weights.len(), "one weight per sink");
+    assert!(inst.weights.iter().all(|&w| w >= 0.0), "negative delay weight");
+    assert_eq!(inst.cost.len(), inst.graph.num_edges(), "one cost per edge");
+    assert_eq!(inst.delay.len(), inst.graph.num_edges(), "one delay per edge");
+    let mut state = State::new(inst, opts);
+    while state.active_count > 0 {
+        let cand = state.run_until_candidate();
+        state.commit(cand);
+    }
+    let root_slot = state.root_slot;
+    let root_rep = state.dsu.find(root_slot);
+    let edges = state.terminals[root_rep]
+        .comp
+        .as_ref()
+        .expect("root component lives at its representative")
+        .edges
+        .clone();
+    let tree = assemble_tree(inst.graph, inst.root, inst.sink_vertices, &edges);
+    debug_assert_eq!(
+        tree.validate(inst.graph, inst.sink_vertices.len()),
+        Ok(()),
+        "assembled tree must be valid"
+    );
+    let evaluation = tree.evaluate(inst.cost, inst.delay, inst.weights, &inst.bif);
+    SolveResult { tree, evaluation, stats: state.stats, trace: state.trace }
+}
+
+struct Terminal {
+    vertex: VertexId,
+    weight: f64,
+    alive: bool,
+    /// Component data; present only at DSU representatives.
+    comp: Option<Component>,
+    /// Heap search id, while the terminal is actively searching.
+    sid: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    /// searching terminal
+    u: TerminalId,
+    /// terminal slot whose component was entered (resolve via DSU)
+    target: TerminalId,
+    /// the vertex where the connection was made
+    via: VertexId,
+    /// `g` value of `via` in u's search (stable once settled)
+    g: f64,
+}
+
+struct State<'a, 'b> {
+    inst: &'a Instance<'a>,
+    opts: &'a SolverOptions<'b>,
+    terminals: Vec<Terminal>,
+    root_slot: TerminalId,
+    dsu: Dsu,
+    heap: TwoLevelHeap,
+    searches: Vec<Option<Search>>,
+    /// vertex → terminal slots whose components contain it (stale slots
+    /// resolved through the DSU at query time)
+    vertex_slots: HashMap<VertexId, Vec<TerminalId>>,
+    candidates: BinaryHeap<Reverse<(OrderedF64, usize)>>,
+    cand_store: Vec<Candidate>,
+    /// For root-component vertices: total already-routed sink weight
+    /// downstream (rebuilt after every root merge).
+    root_downstream: HashMap<VertexId, f64>,
+    active_count: usize,
+    total_active_weight: f64,
+    rng: StdRng,
+    stats: SolveStats,
+    trace: Vec<MergeEvent>,
+    no_future: NoFutureCost,
+}
+
+impl<'a, 'b> State<'a, 'b> {
+    fn new(inst: &'a Instance<'a>, opts: &'a SolverOptions<'b>) -> Self {
+        let mut state = State {
+            inst,
+            opts,
+            terminals: Vec::new(),
+            root_slot: 0,
+            dsu: Dsu::default(),
+            heap: TwoLevelHeap::new(),
+            searches: Vec::new(),
+            vertex_slots: HashMap::new(),
+            candidates: BinaryHeap::new(),
+            cand_store: Vec::new(),
+            root_downstream: HashMap::new(),
+            active_count: 0,
+            total_active_weight: 0.0,
+            rng: StdRng::seed_from_u64(opts.seed),
+            stats: SolveStats::default(),
+            trace: Vec::new(),
+            no_future: NoFutureCost,
+        };
+        // sink terminals
+        for (i, (&v, &w)) in inst.sink_vertices.iter().zip(inst.weights).enumerate() {
+            let slot = state.dsu.push();
+            debug_assert_eq!(slot, i);
+            state.terminals.push(Terminal {
+                vertex: v,
+                weight: w,
+                alive: true,
+                comp: Some(Component::singleton(v, vec![(v, w)])),
+                sid: None,
+            });
+            state.vertex_slots.entry(v).or_default().push(slot);
+            state.active_count += 1;
+            state.total_active_weight += w;
+        }
+        // root terminal
+        let root_slot = state.dsu.push();
+        state.root_slot = root_slot;
+        state.terminals.push(Terminal {
+            vertex: inst.root,
+            weight: 0.0,
+            alive: true,
+            comp: Some(Component::singleton(inst.root, Vec::new())),
+            sid: None,
+        });
+        state.vertex_slots.entry(inst.root).or_default().push(root_slot);
+        // start one search per sink
+        for i in 0..inst.sink_vertices.len() {
+            state.start_search(i);
+        }
+        state
+    }
+
+    fn future(&self) -> &dyn FutureCost {
+        self.opts.future.unwrap_or(&self.no_future)
+    }
+
+    /// `b(u, v)` of Eq. (5) for a candidate, under the *current* weights.
+    ///
+    /// For root-component arrivals the paper's `β(w(u), w(S_i∖u))` prices
+    /// the *future* siblings; we additionally price the *already routed*
+    /// sinks downstream of the tap vertex (the bifurcation they would
+    /// suffer is fully determined), taking the larger of the two — this
+    /// is what keeps taps off critical trunks (Fig. 1).
+    fn b_value(&mut self, u: TerminalId, target_rep: TerminalId, via: VertexId) -> f64 {
+        let w_u = self.terminals[u].weight;
+        if target_rep == self.dsu.find(self.root_slot) {
+            let rest = (self.total_active_weight - w_u).max(0.0);
+            let down = self.root_downstream.get(&via).copied().unwrap_or(0.0);
+            let mut b = beta(w_u, rest, &self.inst.bif)
+                .max(beta(w_u, down, &self.inst.bif));
+            if self.opts.encourage_root {
+                // §III-E: connecting now saves at least η·d_bif·w(u) later
+                b -= self.inst.bif.eta * self.inst.bif.dbif * w_u;
+            }
+            b.max(0.0)
+        } else {
+            beta(w_u, self.terminals[target_rep].weight, &self.inst.bif)
+        }
+    }
+
+    /// Starts (or restarts) the Dijkstra of terminal `slot`.
+    fn start_search(&mut self, slot: TerminalId) {
+        let t = &self.terminals[slot];
+        let mut search = Search::new(slot, t.weight, t.vertex);
+        let sid = self.heap.add_search();
+        // Seeds (§III-A): every component vertex is a possible exit; its
+        // price is the weighted tree delay the component's sinks incur if
+        // the connection enters there — Σ_q w(q)·d_tree(y, q). For a
+        // fresh sink this is the paper's plain seeding; for merged
+        // components it keeps critical sinks near cheap exits instead of
+        // charging all weight at the Steiner terminal's position.
+        // Without discounting, just the terminal position (§II).
+        let w = search.weight;
+        let mut seeds: Vec<(VertexId, f64)> = if self.opts.discount_components {
+            let rep = self.dsu.find(slot);
+            let comp = self.terminals[rep].comp.as_ref().expect("live component");
+            // raw tree delays from the terminal position, for §III-D
+            for (v, raw) in comp.tree_delays(self.inst.graph, self.inst.delay, t.vertex) {
+                search.seed_raw_delay.insert(v, raw);
+            }
+            comp.weighted_exit_delay(self.inst.graph, self.inst.delay)
+                .into_iter()
+                .collect()
+        } else {
+            search.seed_raw_delay.insert(t.vertex, 0.0);
+            vec![(t.vertex, 0.0)]
+        };
+        seeds.sort_unstable_by_key(|&(v, _)| v); // determinism
+        for &(v, offset) in &seeds {
+            search.dist.insert(v, offset);
+            let h = self.future().bound_nearest(v, w);
+            self.heap.push(sid, v, offset + h);
+            self.stats.pushed += 1;
+        }
+        self.terminals[slot].sid = Some(sid);
+        if self.searches.len() <= sid as usize {
+            self.searches.resize_with(sid as usize + 1, || None);
+        }
+        self.searches[sid as usize] = Some(search);
+    }
+
+    /// Expands searches until the best candidate provably minimizes
+    /// `L(u, v)`, then returns it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the searches run dry without any candidate (disconnected
+    /// instance).
+    fn run_until_candidate(&mut self) -> Candidate {
+        loop {
+            let best = self.peek_valid_candidate();
+            let heap_min = self.heap.peek_key();
+            match (best, heap_min) {
+                (Some((cv, id)), Some(hm)) if cv <= hm + 1e-12 => {
+                    return self.take_candidate(id);
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => self.expand_once(),
+                (Some((_, id)), None) => return self.take_candidate(id),
+                (None, None) => panic!("instance is disconnected: searches exhausted"),
+            }
+        }
+    }
+
+    fn take_candidate(&mut self, id: usize) -> Candidate {
+        // remove it from the heap top (it is guaranteed to be on top)
+        let Reverse((_, top)) = self.candidates.pop().expect("candidate present");
+        debug_assert_eq!(top, id);
+        self.cand_store[id]
+    }
+
+    /// Lazily revalidates the candidate heap: recompute values under the
+    /// current component structure and weights, dropping dead entries.
+    /// Returns the best (value, id) without removing it.
+    fn peek_valid_candidate(&mut self) -> Option<(f64, usize)> {
+        loop {
+            let &Reverse((val, id)) = self.candidates.peek()?;
+            let cand = self.cand_store[id];
+            // searching terminal must still be alive and searching
+            if !self.terminals[cand.u].alive || self.terminals[cand.u].sid.is_none() {
+                self.candidates.pop();
+                continue;
+            }
+            let target_rep = self.dsu.find(cand.target);
+            let u_rep = self.dsu.find(cand.u);
+            if target_rep == u_rep {
+                self.candidates.pop(); // already in the same component
+                continue;
+            }
+            let fresh = cand.g + self.b_value(cand.u, target_rep, cand.via);
+            if (fresh - val.get()).abs() <= 1e-12 {
+                return Some((val.get(), id));
+            }
+            // value drifted (weights changed by merges): reinsert
+            self.candidates.pop();
+            self.candidates.push(Reverse((OrderedF64::new(fresh), id)));
+        }
+    }
+
+    fn push_candidate(&mut self, u: TerminalId, target: TerminalId, via: VertexId, g: f64) {
+        let target_rep = self.dsu.find(target);
+        if target_rep == self.dsu.find(u) {
+            return;
+        }
+        let val = g + self.b_value(u, target_rep, via);
+        let id = self.cand_store.len();
+        self.cand_store.push(Candidate { u, target: target_rep, via, g });
+        self.candidates.push(Reverse((OrderedF64::new(val), id)));
+    }
+
+    /// Pops one label from the two-level heap, settles it, records
+    /// arrivals, relaxes neighbours.
+    fn expand_once(&mut self) {
+        let Some((sid, x, _key)) = self.heap.pop() else { return };
+        let search = self.searches[sid as usize].as_mut().expect("live search");
+        if search.settled.contains(&x) {
+            return;
+        }
+        search.settled.insert(x);
+        let g = search.dist[&x];
+        let u = search.terminal;
+        let w = search.weight;
+        self.stats.settled += 1;
+
+        // arrival at a foreign component?
+        let mut arrived_foreign = false;
+        if let Some(slots) = self.vertex_slots.get(&x) {
+            let slots = slots.clone();
+            let u_rep = self.dsu.find(u);
+            for slot in slots {
+                let rep = self.dsu.find(slot);
+                if rep != u_rep {
+                    arrived_foreign = true;
+                    self.push_candidate(u, rep, x, g);
+                }
+            }
+        }
+        // §III-A: foreign tree vertices terminate the path — the
+        // connection happens here, so tunnelling through is pointless
+        // and would corrupt component disjointness.
+        if arrived_foreign && self.opts.discount_components {
+            return;
+        }
+
+        // relax neighbours with l_u = c + w·d
+        let graph = self.inst.graph;
+        let neighbors: &[(VertexId, EdgeId)] = graph.neighbors(x);
+        for &(y, e) in neighbors {
+            let search = self.searches[sid as usize].as_ref().expect("live search");
+            if search.settled.contains(&y) {
+                continue;
+            }
+            let len = self.inst.cost[e as usize] + w * self.inst.delay[e as usize];
+            let cand_g = g + len;
+            let cur = search.dist.get(&y).copied().unwrap_or(f64::INFINITY);
+            if cand_g < cur {
+                let h = self.future().bound_nearest(y, w);
+                let sm = self.searches[sid as usize].as_mut().expect("live search");
+                sm.dist.insert(y, cand_g);
+                sm.parent.insert(y, (x, e));
+                self.heap.push(sid, y, cand_g + h);
+                self.stats.pushed += 1;
+            }
+        }
+    }
+
+    /// Commits a merge: joins components, places the Steiner terminal,
+    /// retires/starts searches, rescans settled labels on new vertices.
+    fn commit(&mut self, cand: Candidate) {
+        let u = cand.u;
+        let sid = self.terminals[u].sid.expect("searching terminal");
+        let search = self.searches[sid as usize].as_ref().expect("live search");
+        let (path, seed) = search.extract_path(cand.via);
+        let path_vertices = search.path_vertices(self.inst.graph, &path, seed);
+        // raw (unweighted) tree delay from π(u) to the path's seed — the
+        // §III-D re-embedding needs it after the search is retired
+        let seed_raw_u = search.seed_raw_delay.get(&seed).copied().unwrap_or(0.0);
+        let target_rep = self.dsu.find(cand.target);
+        let l_value = cand.g + self.b_value(u, target_rep, cand.via);
+        let iteration = self.stats.merges;
+        self.stats.merges += 1;
+
+        // retire u's search
+        self.heap.remove_search(sid);
+        self.searches[sid as usize] = None;
+        self.terminals[u].sid = None;
+
+        let u_rep = self.dsu.find(u);
+        let comp_u = self.terminals[u_rep].comp.take().expect("u's component");
+        let comp_t = self.terminals[target_rep].comp.take().expect("target component");
+
+        if target_rep == self.dsu.find(self.root_slot) {
+            // root connection: the root component absorbs u
+            let mut comp = comp_t;
+            comp.absorb(comp_u, &path, self.inst.graph);
+            self.terminals[u].alive = false;
+            self.active_count -= 1;
+            self.total_active_weight -= self.terminals[u].weight;
+            // union keeps the root slot as representative
+            self.dsu.union_into(u_rep, target_rep, self.root_slot);
+            self.root_downstream = comp.downstream_weights(self.inst.graph, self.inst.root);
+            self.terminals[self.root_slot].comp = Some(comp);
+            if self.opts.record_trace {
+                self.trace.push(MergeEvent::RootConnect {
+                    iteration,
+                    u_vertex: self.terminals[u].vertex,
+                    l_value,
+                    path_edges: path.len(),
+                });
+            }
+            self.register_new_vertices(&path_vertices, self.root_slot);
+        } else {
+            // sink–sink merge: create the Steiner terminal s
+            let v_slot = target_rep;
+            let w_u = self.terminals[u].weight;
+            let w_v = self.terminals[v_slot].weight;
+            let pos = self.choose_steiner_position(
+                u, v_slot, &path, &path_vertices, seed_raw_u, &comp_t,
+            );
+            let s = self.dsu.push();
+            let mut comp = comp_u;
+            comp.absorb(comp_t, &path, self.inst.graph);
+            self.terminals[u].alive = false;
+            self.terminals[v_slot].alive = false;
+            if let Some(vsid) = self.terminals[v_slot].sid.take() {
+                self.heap.remove_search(vsid);
+                self.searches[vsid as usize] = None;
+            }
+            self.terminals.push(Terminal {
+                vertex: pos,
+                weight: w_u + w_v,
+                alive: true,
+                comp: Some(comp),
+                sid: None,
+            });
+            debug_assert_eq!(s, self.terminals.len() - 1);
+            self.dsu.union_into(u_rep, v_slot, s);
+            self.active_count -= 1; // two die, one is born
+            self.vertex_slots.entry(pos).or_default().push(s);
+            if self.opts.record_trace {
+                self.trace.push(MergeEvent::SinkSink {
+                    iteration,
+                    u_vertex: self.terminals[u].vertex,
+                    v_vertex: self.terminals[v_slot].vertex,
+                    steiner_vertex: pos,
+                    l_value,
+                    path_edges: path.len(),
+                });
+            }
+            self.register_new_vertices(&path_vertices, s);
+            self.start_search(s);
+        }
+    }
+
+    /// Chooses the new Steiner terminal's position: §III-D re-embedding
+    /// on the path when enabled, otherwise the randomized endpoint rule
+    /// of §II (probability proportional to delay weight).
+    fn choose_steiner_position(
+        &mut self,
+        u: TerminalId,
+        v: TerminalId,
+        path: &[EdgeId],
+        path_vertices: &[VertexId],
+        seed_raw_u: f64,
+        comp_v: &Component,
+    ) -> VertexId {
+        let (w_u, w_v) = (self.terminals[u].weight, self.terminals[v].weight);
+        if !self.opts.better_steiner {
+            // random endpoint ∝ weight (heavier terminal more likely to
+            // stay detour-free towards the root)
+            let p_u = if w_u + w_v > 0.0 { w_u / (w_u + w_v) } else { 0.5 };
+            return if self.rng.gen::<f64>() < p_u {
+                self.terminals[u].vertex
+            } else {
+                self.terminals[v].vertex
+            };
+        }
+        // §III-D: minimize  ĉ(Q) + (w_u+w_v)·d̂(Q) + Σ_y w_y·d(P[y, s])
+        // over path positions s, with Q (the future s→root path)
+        // estimated by future costs.
+        let usearch_raw = seed_raw_u;
+        // raw delay from π(v) to the join vertex inside v's component
+        let join = *path_vertices.last().expect("path has vertices");
+        let v_raw = comp_v
+            .tree_delays(self.inst.graph, self.inst.delay, self.terminals[v].vertex)
+            .get(&join)
+            .copied()
+            .unwrap_or(0.0);
+        // cumulative raw d along the path from the seed side
+        let mut cum = Vec::with_capacity(path_vertices.len());
+        let mut acc = 0.0;
+        cum.push(0.0);
+        for &e in path {
+            acc += self.inst.delay[e as usize];
+            cum.push(acc);
+        }
+        let total: f64 = acc;
+        let w_sum = w_u + w_v;
+        let fc = self.future();
+        let root = self.inst.root;
+        let mut best = (f64::INFINITY, path_vertices[0]);
+        for (i, &p) in path_vertices.iter().enumerate() {
+            let d_u = usearch_raw + cum[i];
+            let d_v = v_raw + (total - cum[i]);
+            let q_est = fc.bound_to(p, root, w_sum);
+            let score = q_est + w_u * d_u + w_v * d_v;
+            if score < best.0 {
+                best = (score, p);
+            }
+        }
+        best.1
+    }
+
+    /// After a merge, vertices of the connecting path join the component;
+    /// other searches that already settled those vertices must get their
+    /// arrival candidates now (their Dijkstras will not revisit them).
+    /// Only relevant under §III-A: without discounting, targets are
+    /// terminal positions only (already registered), and existing
+    /// candidates stay valid through DSU resolution.
+    fn register_new_vertices(&mut self, path_vertices: &[VertexId], owner: TerminalId) {
+        if !self.opts.discount_components {
+            return;
+        }
+        // keep goal-oriented future costs admissible: every path vertex
+        // is a valid connection target from now on (§III-C feasibility)
+        if let Some(fc) = self.opts.future {
+            fc.note_new_targets(path_vertices);
+        }
+        for &v in path_vertices {
+            self.vertex_slots.entry(v).or_default().push(owner);
+        }
+        // also the owner's terminal position (new Steiner terminals)
+        let sids: Vec<u32> = self
+            .terminals
+            .iter()
+            .filter_map(|t| t.sid)
+            .collect();
+        for sid in sids {
+            let Some(search) = self.searches[sid as usize].as_ref() else { continue };
+            let u = search.terminal;
+            if self.dsu.find(u) == self.dsu.find(owner) {
+                continue;
+            }
+            let mut hits: Vec<(VertexId, f64)> = Vec::new();
+            for &v in path_vertices {
+                if search.settled.contains(&v) {
+                    hits.push((v, search.dist[&v]));
+                }
+            }
+            for (v, g) in hits {
+                self.push_candidate(u, owner, v, g);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Optimal uniform repeater chains (Elmore delay).
+
+use crate::tech::{Repeater, WireElectrical};
+
+/// Result of optimizing a uniform repeater chain on one wire type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalChain {
+    /// Optimal repeater spacing `ℓ*` (µm).
+    pub segment_um: f64,
+    /// Asymptotic delay per µm of the buffered wire (ps/µm) — the linear
+    /// delay constant `d(e)/length(e)` of this layer/wire type.
+    pub delay_per_um_ps: f64,
+    /// Delay increase when one extra repeater input capacitance is
+    /// attached at the middle of a segment (ps) — this wire type's
+    /// contribution to `d_bif`.
+    pub dbif_ps: f64,
+}
+
+/// Elmore-delay analysis of uniform repeater chains.
+///
+/// One segment of length `ℓ` driven by a repeater has Elmore delay
+///
+/// ```text
+/// D(ℓ) = t_b + R_b·(c·ℓ + C_in) + r·ℓ·(c·ℓ/2 + C_in)
+/// ```
+///
+/// so the per-unit delay `D(ℓ)/ℓ` is minimized at
+/// `ℓ* = sqrt(2·(t_b + R_b·C_in)/(r·c))`, giving
+/// `D(ℓ*)/ℓ* = R_b·c + r·C_in + sqrt(2·(t_b + R_b·C_in)·r·c)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RepeaterChain {
+    wire: WireElectrical,
+    buf: Repeater,
+}
+
+impl RepeaterChain {
+    /// Creates the analysis for a wire/repeater pair.
+    pub fn new(wire: WireElectrical, buf: Repeater) -> Self {
+        RepeaterChain { wire, buf }
+    }
+
+    /// Elmore delay of a single segment of length `len_um` (ps).
+    pub fn segment_delay(&self, len_um: f64) -> f64 {
+        let (r, c) = (self.wire.res_kohm_per_um, self.wire.cap_ff_per_um);
+        let b = self.buf;
+        b.t_intrinsic_ps
+            + b.r_out_kohm * (c * len_um + b.c_in_ff)
+            + r * len_um * (c * len_um / 2.0 + b.c_in_ff)
+    }
+
+    /// Per-unit delay of a chain with spacing `len_um` (ps/µm).
+    pub fn per_unit_delay(&self, len_um: f64) -> f64 {
+        self.segment_delay(len_um) / len_um
+    }
+
+    /// Delay increase of one segment when an extra capacitance `c_ff`
+    /// is attached at distance `at_um` from the driving repeater: the
+    /// Elmore increment is (upstream resistance) × (added capacitance).
+    pub fn added_cap_delay(&self, at_um: f64, c_ff: f64) -> f64 {
+        (self.buf.r_out_kohm + self.wire.res_kohm_per_um * at_um) * c_ff
+    }
+
+    /// Closed-form optimum. See [`RepeaterChain`] docs; `dbif_ps` adds the
+    /// repeater's own input capacitance at the middle of an optimal
+    /// segment, as prescribed by the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any electrical parameter is non-positive.
+    pub fn optimize(wire: WireElectrical, buf: Repeater) -> OptimalChain {
+        assert!(
+            wire.res_kohm_per_um > 0.0
+                && wire.cap_ff_per_um > 0.0
+                && buf.c_in_ff > 0.0
+                && buf.r_out_kohm > 0.0
+                && buf.t_intrinsic_ps > 0.0,
+            "electrical parameters must be positive"
+        );
+        let chain = RepeaterChain::new(wire, buf);
+        let (r, c) = (wire.res_kohm_per_um, wire.cap_ff_per_um);
+        let fixed = buf.t_intrinsic_ps + buf.r_out_kohm * buf.c_in_ff;
+        let segment_um = (2.0 * fixed / (r * c)).sqrt();
+        let delay_per_um_ps = buf.r_out_kohm * c + r * buf.c_in_ff + (2.0 * fixed * r * c).sqrt();
+        let dbif_ps = chain.added_cap_delay(segment_um / 2.0, buf.c_in_ff);
+        OptimalChain {
+            segment_um,
+            delay_per_um_ps,
+            dbif_ps,
+        }
+    }
+
+    /// Numeric check of the optimum by golden-section search; used in
+    /// tests to validate the closed form.
+    pub fn optimize_numeric(&self, lo: f64, hi: f64) -> f64 {
+        let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+        let (mut a, mut b) = (lo, hi);
+        while b - a > 1e-9 * hi {
+            let x1 = b - phi * (b - a);
+            let x2 = a + phi * (b - a);
+            if self.per_unit_delay(x1) < self.per_unit_delay(x2) {
+                b = x2;
+            } else {
+                a = x1;
+            }
+        }
+        (a + b) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn typical() -> (WireElectrical, Repeater) {
+        (
+            WireElectrical {
+                res_kohm_per_um: 0.005,
+                cap_ff_per_um: 0.2,
+            },
+            Repeater {
+                c_in_ff: 5.0,
+                r_out_kohm: 1.0,
+                t_intrinsic_ps: 20.0,
+            },
+        )
+    }
+
+    #[test]
+    fn closed_form_matches_numeric() {
+        let (w, b) = typical();
+        let opt = RepeaterChain::optimize(w, b);
+        let numeric = RepeaterChain::new(w, b).optimize_numeric(1.0, 10_000.0);
+        assert!((opt.segment_um - numeric).abs() / numeric < 1e-5);
+        let chain = RepeaterChain::new(w, b);
+        assert!((chain.per_unit_delay(opt.segment_um) - opt.delay_per_um_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimum_beats_neighbours() {
+        let (w, b) = typical();
+        let opt = RepeaterChain::optimize(w, b);
+        let chain = RepeaterChain::new(w, b);
+        for f in [0.5, 0.9, 1.1, 2.0] {
+            assert!(
+                chain.per_unit_delay(opt.segment_um) <= chain.per_unit_delay(opt.segment_um * f)
+            );
+        }
+    }
+
+    #[test]
+    fn dbif_is_midpoint_elmore_increment() {
+        let (w, b) = typical();
+        let opt = RepeaterChain::optimize(w, b);
+        let expect = (b.r_out_kohm + w.res_kohm_per_um * opt.segment_um / 2.0) * b.c_in_ff;
+        assert!((opt.dbif_ps - expect).abs() < 1e-12);
+        assert!(opt.dbif_ps > 0.0);
+    }
+
+    proptest! {
+        /// The closed form is the true minimizer for random technologies.
+        #[test]
+        fn closed_form_is_optimal(
+            r in 0.0005f64..0.05, c in 0.05f64..1.0,
+            cin in 0.5f64..20.0, rout in 0.1f64..5.0, tb in 1.0f64..100.0
+        ) {
+            let w = WireElectrical { res_kohm_per_um: r, cap_ff_per_um: c };
+            let b = Repeater { c_in_ff: cin, r_out_kohm: rout, t_intrinsic_ps: tb };
+            let opt = RepeaterChain::optimize(w, b);
+            let chain = RepeaterChain::new(w, b);
+            for f in [0.25f64, 0.5, 0.8, 1.25, 2.0, 4.0] {
+                prop_assert!(
+                    chain.per_unit_delay(opt.segment_um) <=
+                    chain.per_unit_delay(opt.segment_um * f) + 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Linear delay model and repeater-chain calibration.
+//!
+//! Before buffering, routers estimate signal delay with a *linear* model:
+//! the delay of a wire is proportional to its length, with a per-unit
+//! constant that depends on layer and wire type (§I, \[4\], \[18\]). The
+//! per-unit constants come from an *optimally spaced uniform repeater
+//! chain* over that layer/wire type: inserting repeaters every `ℓ*`
+//! micrometres makes delay asymptotically linear in length.
+//!
+//! The same calibration yields the bifurcation penalty `d_bif` of the
+//! paper: "the delay increase when adding the input capacitance in the
+//! middle of a single net, minimizing over all layers and wire types" —
+//! in Elmore terms, the upstream resistance at the middle of an optimal
+//! repeater segment times the added input capacitance.
+//!
+//! Units: resistance in kΩ, capacitance in fF, length in µm, delay in ps
+//! (kΩ·fF = ps).
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_delay::{Repeater, WireElectrical, RepeaterChain};
+//!
+//! let wire = WireElectrical { res_kohm_per_um: 0.005, cap_ff_per_um: 0.2 };
+//! let buf = Repeater { c_in_ff: 5.0, r_out_kohm: 1.0, t_intrinsic_ps: 20.0 };
+//! let chain = RepeaterChain::optimize(wire, buf);
+//! assert!(chain.segment_um > 0.0);
+//! assert!(chain.delay_per_um_ps > 0.0);
+//! assert!(chain.dbif_ps > buf.r_out_kohm * buf.c_in_ff); // upstream R > driver R
+//! ```
+
+pub mod chain;
+pub mod tech;
+
+pub use chain::{OptimalChain, RepeaterChain};
+pub use tech::{DelayModel, LayerElectrical, Repeater, Technology, WireElectrical};

@@ -1,0 +1,217 @@
+//! Technology description and the derived per-layer delay model.
+
+use crate::chain::{OptimalChain, RepeaterChain};
+
+/// Distributed RC of one wire type (per µm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireElectrical {
+    /// Resistance (kΩ/µm). Thin lower-layer wires are resistive; thick
+    /// upper-layer wires are not.
+    pub res_kohm_per_um: f64,
+    /// Capacitance (fF/µm).
+    pub cap_ff_per_um: f64,
+}
+
+/// Repeater (buffer) characteristics of the library's standard repeater.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Repeater {
+    /// Input capacitance (fF).
+    pub c_in_ff: f64,
+    /// Output (driver) resistance (kΩ).
+    pub r_out_kohm: f64,
+    /// Intrinsic delay (ps).
+    pub t_intrinsic_ps: f64,
+}
+
+/// Electrical description of one routing layer: the wire types it offers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerElectrical {
+    /// Wire width/spacing configurations; index = wire type id.
+    pub wire_types: Vec<WireElectrical>,
+}
+
+/// A technology: layer electricals plus the repeater used for
+/// calibration.
+///
+/// [`Technology::five_nm_like`] provides the synthetic 5nm-flavoured
+/// technology used by the experiment harnesses: lower layers thin and
+/// resistive, upper layers progressively thicker and faster, with a wide
+/// wire type available from the middle layers up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Per-layer electrical data, bottom-up.
+    pub layers: Vec<LayerElectrical>,
+    /// The repeater used for chain calibration.
+    pub repeater: Repeater,
+    /// Via resistance contribution expressed as extra delay (ps) per via.
+    pub via_delay_ps: f64,
+}
+
+impl Technology {
+    /// A synthetic technology with `num_layers` metal layers shaped like
+    /// an advanced node: per-unit resistance drops roughly geometrically
+    /// with height; layers ≥ 4 additionally offer a wide (2×) wire type
+    /// that halves resistance for double capacity cost.
+    pub fn five_nm_like(num_layers: u8) -> Self {
+        assert!(num_layers >= 2, "need at least two layers");
+        let mut layers = Vec::with_capacity(num_layers as usize);
+        for l in 0..num_layers {
+            // M0/M1 ~ 20 Ω/µm falling to ~1 Ω/µm on top layers.
+            let res = 0.020 * 0.7f64.powi(i32::from(l));
+            let cap = 0.20 + 0.01 * f64::from(l); // slightly rising C
+            let mut wire_types = vec![WireElectrical {
+                res_kohm_per_um: res,
+                cap_ff_per_um: cap,
+            }];
+            if l >= 4 {
+                wire_types.push(WireElectrical {
+                    res_kohm_per_um: res / 2.5,
+                    cap_ff_per_um: cap * 1.1,
+                });
+            }
+            layers.push(LayerElectrical { wire_types });
+        }
+        Technology {
+            layers,
+            repeater: Repeater {
+                c_in_ff: 5.0,
+                r_out_kohm: 1.0,
+                t_intrinsic_ps: 20.0,
+            },
+            via_delay_ps: 1.5,
+        }
+    }
+
+    /// Calibrates the linear delay model for this technology.
+    pub fn calibrate(&self, gcell_um: f64) -> DelayModel {
+        assert!(gcell_um > 0.0, "gcell pitch must be positive");
+        let chains: Vec<Vec<OptimalChain>> = self
+            .layers
+            .iter()
+            .map(|layer| {
+                layer
+                    .wire_types
+                    .iter()
+                    .map(|&w| RepeaterChain::optimize(w, self.repeater))
+                    .collect()
+            })
+            .collect();
+        let dbif_ps = chains
+            .iter()
+            .flatten()
+            .map(|c| c.dbif_ps)
+            .fold(f64::INFINITY, f64::min);
+        DelayModel {
+            gcell_um,
+            chains,
+            via_delay_ps: self.via_delay_ps,
+            dbif_ps,
+        }
+    }
+}
+
+/// The calibrated linear delay model: delay per gcell for every
+/// (layer, wire type), via delay, and the global bifurcation penalty
+/// `d_bif` (minimum over all layers and wire types, per the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    gcell_um: f64,
+    chains: Vec<Vec<OptimalChain>>,
+    via_delay_ps: f64,
+    dbif_ps: f64,
+}
+
+impl DelayModel {
+    /// Delay of one gcell of wire on (layer, wire type), in ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown layer or wire type.
+    pub fn wire_delay_per_gcell(&self, layer: u8, wire_type: u8) -> f64 {
+        self.chains[layer as usize][wire_type as usize].delay_per_um_ps * self.gcell_um
+    }
+
+    /// Optimal repeater spacing on (layer, wire type), in µm.
+    pub fn segment_um(&self, layer: u8, wire_type: u8) -> f64 {
+        self.chains[layer as usize][wire_type as usize].segment_um
+    }
+
+    /// Delay of one via, in ps.
+    pub fn via_delay_ps(&self) -> f64 {
+        self.via_delay_ps
+    }
+
+    /// The calibrated bifurcation penalty `d_bif` (ps).
+    pub fn dbif_ps(&self) -> f64 {
+        self.dbif_ps
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Number of wire types on `layer`.
+    pub fn num_wire_types(&self, layer: u8) -> usize {
+        self.chains[layer as usize].len()
+    }
+
+    /// gcell pitch (µm).
+    pub fn gcell_um(&self) -> f64 {
+        self.gcell_um
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_layers_are_faster() {
+        let tech = Technology::five_nm_like(8);
+        let model = tech.calibrate(10.0);
+        let d0 = model.wire_delay_per_gcell(0, 0);
+        let d7 = model.wire_delay_per_gcell(7, 0);
+        assert!(d7 < d0, "top layer must be faster: {d7} !< {d0}");
+    }
+
+    #[test]
+    fn wide_wires_are_faster_than_default_on_same_layer() {
+        let tech = Technology::five_nm_like(8);
+        let model = tech.calibrate(10.0);
+        for l in 4..8u8 {
+            assert!(model.wire_delay_per_gcell(l, 1) < model.wire_delay_per_gcell(l, 0));
+        }
+    }
+
+    #[test]
+    fn dbif_is_min_over_layers() {
+        let tech = Technology::five_nm_like(8);
+        let model = tech.calibrate(10.0);
+        let mut min = f64::INFINITY;
+        for (l, layer) in tech.layers.iter().enumerate() {
+            for &w in &layer.wire_types {
+                min = min.min(RepeaterChain::optimize(w, tech.repeater).dbif_ps);
+            }
+            let _ = l;
+        }
+        assert_eq!(model.dbif_ps(), min);
+        assert!(model.dbif_ps() > 0.0);
+    }
+
+    #[test]
+    fn delay_scales_with_gcell_pitch() {
+        let tech = Technology::five_nm_like(4);
+        let m1 = tech.calibrate(1.0);
+        let m10 = tech.calibrate(10.0);
+        assert!((m10.wire_delay_per_gcell(0, 0) - 10.0 * m1.wire_delay_per_gcell(0, 0)).abs() < 1e-9);
+        // dbif is independent of the pitch
+        assert_eq!(m1.dbif_ps(), m10.dbif_ps());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two layers")]
+    fn tiny_tech_panics() {
+        let _ = Technology::five_nm_like(1);
+    }
+}

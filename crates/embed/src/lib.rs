@@ -1,0 +1,342 @@
+//! Optimal embedding of a Steiner topology into the routing graph.
+//!
+//! The baselines of §IV-A compute a topology in the plane and then embed
+//! it "optimally into the global routing graph minimizing the
+//! cost-distance objective (1) using a Dijkstra-style embedding as
+//! described in \[13\]". That embedding is what this crate implements.
+//!
+//! # The DP
+//!
+//! The objective decomposes over arcs: if `W_a` is the total sink delay
+//! weight below arc `a`, then
+//!
+//! ```text
+//! cost(T) = Σ_a [ c(path_a) + W_a·d(path_a) ] + Σ_branches β(W_x, W_y)
+//! ```
+//!
+//! because every sink's delay accumulates `d` along its root path, and the
+//! λ-split penalties of Eq. (2) at a branching depend only on subtree
+//! weights. The branch penalties are constants, so for a *fixed* topology
+//! the optimal embedding is a bottom-up dynamic program: for each topology
+//! node `v` compute the label vector
+//!
+//! ```text
+//! L_v(x) = Σ_{children c} min_y [ L_c(y) + dist_{c + W_c·d}(x, y) ]
+//! ```
+//!
+//! where each inner minimization is one multi-source Dijkstra seeded with
+//! `L_c` (the "propagate" step — this is why layer and wire-type selection
+//! falls out for free: the Dijkstra chooses among parallel edges).
+//! `L_root(π(r))` plus the constant penalties is the optimum; paths are
+//! recovered from the Dijkstra parent pointers.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_embed::{embed_topology, EmbedEnv};
+//! use cds_graph::GridSpec;
+//! use cds_topo::{BifurcationConfig, Topology};
+//! use cds_geom::Point;
+//!
+//! let grid = GridSpec::uniform(4, 4, 2).build();
+//! let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+//!
+//! let mut topo = Topology::new(Point::new(0, 0));
+//! let s = topo.add_steiner(Point::new(2, 2), topo.root());
+//! topo.add_sink(0, Point::new(3, 0), s);
+//! topo.add_sink(1, Point::new(0, 3), s);
+//!
+//! let env = EmbedEnv {
+//!     graph: grid.graph(),
+//!     cost: &c,
+//!     delay: &d,
+//!     bif: BifurcationConfig::ZERO,
+//! };
+//! let root = grid.vertex_at(Point::new(0, 0));
+//! let sinks = [grid.vertex_at(Point::new(3, 0)), grid.vertex_at(Point::new(0, 3))];
+//! let tree = embed_topology(&env, &topo, root, &sinks, &[1.0, 1.0]);
+//! tree.validate(grid.graph(), 2).unwrap();
+//! ```
+
+use cds_graph::dijkstra::{shortest_paths, Parent, SpTree};
+use cds_graph::{Graph, VertexId};
+use cds_topo::penalty::beta;
+use cds_topo::{BifurcationConfig, EmbeddedTree, NodeId, NodeKind, Topology};
+
+/// Everything the embedding needs to know about the routing graph state.
+#[derive(Debug, Clone, Copy)]
+pub struct EmbedEnv<'a> {
+    /// The routing graph.
+    pub graph: &'a Graph,
+    /// Current congestion cost per edge (`c`).
+    pub cost: &'a [f64],
+    /// Delay per edge (`d`).
+    pub delay: &'a [f64],
+    /// Bifurcation penalty configuration.
+    pub bif: BifurcationConfig,
+}
+
+/// Optimally embeds `topo` into the graph, returning the embedded tree.
+///
+/// `topo` must be [bifurcation compatible](Topology::is_bifurcation_compatible)
+/// (call [`Topology::binarize`] first); its node positions are ignored —
+/// only the *shape* matters. `root_vertex` and `sink_vertices` fix the
+/// terminals; `weights` is indexed by sink index.
+///
+/// The returned tree reproduces the topology shape node-for-node, with
+/// each arc carrying its optimal path.
+///
+/// # Panics
+///
+/// Panics if the topology is not bifurcation compatible, if a sink index
+/// exceeds `weights`/`sink_vertices`, or if some terminal is unreachable.
+pub fn embed_topology(
+    env: &EmbedEnv<'_>,
+    topo: &Topology,
+    root_vertex: VertexId,
+    sink_vertices: &[VertexId],
+    weights: &[f64],
+) -> EmbeddedTree {
+    assert!(
+        topo.is_bifurcation_compatible(),
+        "embed requires a bifurcation-compatible topology"
+    );
+    let n = env.graph.num_vertices();
+    let order = topo.dfs_order();
+    let sub_w = topo.subtree_weights(weights);
+
+    // Bottom-up labels; `pull_trees[v]` is the Dijkstra forest used to
+    // pull node v's label to its parent.
+    let mut labels: Vec<Option<Vec<f64>>> = vec![None; topo.num_nodes()];
+    let mut pull_trees: Vec<Option<SpTree>> = vec![None; topo.num_nodes()];
+
+    for &v in order.iter().rev() {
+        // 1. combine children into L_v
+        let mut lv = vec![0.0f64; n];
+        let mut any_inf = vec![false; n];
+        match topo.node_kind(v) {
+            NodeKind::Sink(s) => {
+                let pin = sink_vertices[s];
+                lv = vec![f64::INFINITY; n];
+                lv[pin as usize] = 0.0;
+            }
+            NodeKind::Root | NodeKind::Steiner => {
+                for &c in topo.children(v) {
+                    let m = labels[c as usize]
+                        .as_ref()
+                        .expect("children processed before parents");
+                    for x in 0..n {
+                        if m[x].is_infinite() {
+                            any_inf[x] = true;
+                        } else {
+                            lv[x] += m[x];
+                        }
+                    }
+                }
+                for x in 0..n {
+                    if any_inf[x] {
+                        lv[x] = f64::INFINITY;
+                    }
+                }
+            }
+        }
+        // 2. pull L_v through one Dijkstra with metric c + W_v·d so the
+        //    parent can read min_y [L_v(y) + dist(x, y)] at any x.
+        if v != topo.root() {
+            let w_arc = sub_w[v as usize];
+            let sources: Vec<(VertexId, f64)> = lv
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.is_finite())
+                .map(|(x, &d)| (x as VertexId, d))
+                .collect();
+            assert!(!sources.is_empty(), "subtree of node {v} is unreachable");
+            let sp = shortest_paths(env.graph, &sources, |e| {
+                env.cost[e as usize] + w_arc * env.delay[e as usize]
+            });
+            labels[v as usize] = Some(sp.dist.clone());
+            pull_trees[v as usize] = Some(sp);
+        } else {
+            labels[v as usize] = Some(lv);
+        }
+    }
+
+    // Top-down recovery of positions and paths.
+    let mut out = EmbeddedTree::new(root_vertex);
+    let mut map: Vec<Option<(NodeId, VertexId)>> = vec![None; topo.num_nodes()];
+    map[topo.root() as usize] = Some((out.root(), root_vertex));
+    for &v in &order {
+        if v == topo.root() {
+            continue;
+        }
+        let p = topo.parent(v).expect("non-root");
+        let (out_parent, parent_vertex) = map[p as usize].expect("parents placed first");
+        let sp = pull_trees[v as usize].as_ref().expect("pull tree stored");
+        // Walk from the parent's chosen vertex back towards the Dijkstra
+        // seed. Parent pointers lead away from the seed, so following
+        // them from `parent_vertex` already emits edges in
+        // parent_vertex → seed order — exactly the arc direction we store.
+        let mut edges = Vec::new();
+        let mut cur = parent_vertex;
+        while let Parent::Edge { from, edge } = sp.parent[cur as usize] {
+            edges.push(edge);
+            cur = from;
+        }
+        let seed = cur;
+        let out_id = out.add_node(topo.node_kind(v), seed, out_parent, edges);
+        map[v as usize] = Some((out_id, seed));
+    }
+    out
+}
+
+/// The optimal objective value of embedding `topo` — identical to
+/// evaluating the tree returned by [`embed_topology`].
+pub fn embed_value(
+    env: &EmbedEnv<'_>,
+    topo: &Topology,
+    root_vertex: VertexId,
+    sink_vertices: &[VertexId],
+    weights: &[f64],
+) -> f64 {
+    let tree = embed_topology(env, topo, root_vertex, sink_vertices, weights);
+    tree.evaluate(env.cost, env.delay, weights, &env.bif).total
+}
+
+/// Sum of the constant λ-penalty costs of a topology:
+/// `Σ_{binary nodes} β(W_left, W_right)`.
+pub fn topology_penalty_cost(topo: &Topology, weights: &[f64], bif: &BifurcationConfig) -> f64 {
+    let sub_w = topo.subtree_weights(weights);
+    (0..topo.num_nodes() as NodeId)
+        .filter(|&v| topo.children(v).len() == 2)
+        .map(|v| {
+            let kids = topo.children(v);
+            beta(sub_w[kids[0] as usize], sub_w[kids[1] as usize], bif)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_geom::Point;
+    use cds_graph::{EdgeAttrs, GraphBuilder, GridSpec};
+
+    fn two_sink_topo() -> Topology {
+        let mut t = Topology::new(Point::new(0, 0));
+        let s = t.add_steiner(Point::new(0, 0), t.root());
+        t.add_sink(0, Point::new(0, 0), s);
+        t.add_sink(1, Point::new(0, 0), s);
+        t
+    }
+
+    #[test]
+    fn single_sink_is_shortest_path() {
+        let grid = GridSpec::uniform(5, 5, 2).build();
+        let g = grid.graph();
+        let (c, d) = (g.base_costs(), g.delays());
+        let env = EmbedEnv { graph: g, cost: &c, delay: &d, bif: BifurcationConfig::ZERO };
+        let mut topo = Topology::new(Point::new(0, 0));
+        topo.add_sink(0, Point::new(4, 4), topo.root());
+        let root = grid.vertex_at(Point::new(0, 0));
+        let sink = grid.vertex_at(Point::new(4, 4));
+        let w = [3.0];
+        let tree = embed_topology(&env, &topo, root, &[sink], &w);
+        tree.validate(g, 1).unwrap();
+        let ev = tree.evaluate(&c, &d, &w, &BifurcationConfig::ZERO);
+        // reference: plain Dijkstra with combined metric c + w·d
+        let sp = cds_graph::dijkstra::shortest_distances(g, &[(root, 0.0)], |e| {
+            c[e as usize] + 3.0 * d[e as usize]
+        });
+        assert!((ev.total - sp[sink as usize]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steiner_point_is_chosen_optimally() {
+        // Star: r(0) -- 1 -- 2 -- {3, 4}; the optimal Steiner node is
+        // vertex 2, sharing the 0-1-2 trunk.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, EdgeAttrs::wire(1.0, 1.0));
+        b.add_edge(1, 2, EdgeAttrs::wire(1.0, 1.0));
+        b.add_edge(2, 3, EdgeAttrs::wire(1.0, 1.0));
+        b.add_edge(2, 4, EdgeAttrs::wire(1.0, 1.0));
+        let g = b.build();
+        let (c, d) = (g.base_costs(), g.delays());
+        let env = EmbedEnv { graph: &g, cost: &c, delay: &d, bif: BifurcationConfig::ZERO };
+        let topo = two_sink_topo();
+        let tree = embed_topology(&env, &topo, 0, &[3, 4], &[1.0, 1.0]);
+        tree.validate(&g, 2).unwrap();
+        let ev = tree.evaluate(&c, &d, &[1.0, 1.0], &BifurcationConfig::ZERO);
+        // connection = 4 edges, delays: both sinks at distance 3, weight 1
+        assert!((ev.connection_cost - 4.0).abs() < 1e-9);
+        assert!((ev.delay_cost - 6.0).abs() < 1e-9);
+        // the Steiner node must have landed on vertex 2
+        let steiner_vertices: Vec<_> = (0..tree.num_nodes() as u32)
+            .filter(|&v| tree.node_kind(v) == NodeKind::Steiner)
+            .map(|v| tree.vertex(v))
+            .collect();
+        assert_eq!(steiner_vertices, vec![2]);
+    }
+
+    #[test]
+    fn weights_steer_delay_allocation() {
+        let grid = GridSpec::uniform(6, 6, 2).build();
+        let g = grid.graph();
+        let (c, d) = (g.base_costs(), g.delays());
+        let env = EmbedEnv { graph: g, cost: &c, delay: &d, bif: BifurcationConfig::ZERO };
+        let topo = two_sink_topo();
+        let root = grid.vertex_at(Point::new(0, 0));
+        let s_a = grid.vertex_at(Point::new(5, 0));
+        let s_b = grid.vertex_at(Point::new(0, 5));
+        let heavy = embed_topology(&env, &topo, root, &[s_a, s_b], &[50.0, 1.0]);
+        let ev_h = heavy.evaluate(&c, &d, &[50.0, 1.0], &BifurcationConfig::ZERO);
+        let light = embed_topology(&env, &topo, root, &[s_a, s_b], &[1.0, 50.0]);
+        let ev_l = light.evaluate(&c, &d, &[1.0, 50.0], &BifurcationConfig::ZERO);
+        // raising a sink's weight must never increase its achieved delay
+        assert!(ev_h.sink_delays[0] <= ev_l.sink_delays[0] + 1e-9);
+        assert!(ev_l.sink_delays[1] <= ev_h.sink_delays[1] + 1e-9);
+    }
+
+    #[test]
+    fn embedding_shares_the_trunk() {
+        // Two sinks in the same direction: the tree must share the trunk,
+        // beating two independent shortest paths in connection cost.
+        let grid = GridSpec::uniform(8, 3, 2).build();
+        let g = grid.graph();
+        let (c, d) = (g.base_costs(), g.delays());
+        let env = EmbedEnv { graph: g, cost: &c, delay: &d, bif: BifurcationConfig::ZERO };
+        let topo = two_sink_topo();
+        let root = grid.vertex_at(Point::new(0, 0));
+        let a = grid.vertex_at(Point::new(7, 0));
+        let bb = grid.vertex_at(Point::new(7, 2));
+        let tree = embed_topology(&env, &topo, root, &[a, bb], &[0.001, 0.001]);
+        let ev = tree.evaluate(&c, &d, &[0.001, 0.001], &BifurcationConfig::ZERO);
+        let star_cost = 7.0 + 7.0 + 2.0 + 2.0; // two trunks + dogleg + vias
+        assert!(ev.connection_cost < star_cost);
+    }
+
+    #[test]
+    fn penalty_constant_matches_beta_sum() {
+        let topo = two_sink_topo();
+        let bif = BifurcationConfig::new(10.0, 0.25);
+        let w = [4.0, 1.0];
+        let want = cds_topo::penalty::beta(4.0, 1.0, &bif);
+        assert!((topology_penalty_cost(&topo, &w, &bif) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn embedded_value_includes_penalties() {
+        let grid = GridSpec::uniform(4, 4, 2).build();
+        let g = grid.graph();
+        let (c, d) = (g.base_costs(), g.delays());
+        let bif = BifurcationConfig::new(5.0, 0.25);
+        let env = EmbedEnv { graph: g, cost: &c, delay: &d, bif };
+        let topo = two_sink_topo();
+        let root = grid.vertex_at(Point::new(0, 0));
+        let sinks = [grid.vertex_at(Point::new(3, 0)), grid.vertex_at(Point::new(0, 3))];
+        let w = [2.0, 1.0];
+        let with = embed_value(&env, &topo, root, &sinks, &w);
+        let env0 = EmbedEnv { bif: BifurcationConfig::ZERO, ..env };
+        let without = embed_value(&env0, &topo, root, &sinks, &w);
+        assert!(with > without, "penalties must increase the objective");
+    }
+}

@@ -1,0 +1,36 @@
+//! Exact reference algorithms for testing and calibration.
+//!
+//! Heuristics need ground truth. This crate provides two exact solvers
+//! that are tractable on small instances:
+//!
+//! * [`steiner_minimal_tree`] — the Dreyfus–Wagner subset DP for minimum
+//!   Steiner trees under arbitrary edge lengths (`O(3^k n + 2^k n log n)`).
+//!   Validates the RSMT heuristics on Hanan grids and the `w = 0`
+//!   degenerate case of the cost-distance objective.
+//! * [`optimal_cost_distance`] — the true optimum of the cost-distance
+//!   objective (1)+(3) by enumerating all `(2k−3)!!` bifurcation-compatible
+//!   topology shapes and optimally embedding each. This is the reference
+//!   against which the `O(log t)` approximation guarantee of the paper's
+//!   algorithm is property-tested.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_exact::steiner_minimal_tree;
+//! use cds_graph::{GraphBuilder, EdgeAttrs};
+//!
+//! // star: terminals 1, 2, 3 around center 0
+//! let mut b = GraphBuilder::new(4);
+//! for leaf in 1..4 {
+//!     b.add_edge(0, leaf, EdgeAttrs::wire(1.0, 1.0));
+//! }
+//! let g = b.build();
+//! let smt = steiner_minimal_tree(&g, &[1, 2, 3], |e| g.edge(e).base_cost);
+//! assert_eq!(smt.cost, 3.0); // uses the Steiner center
+//! ```
+
+pub mod dreyfus_wagner;
+pub mod enumerate;
+
+pub use dreyfus_wagner::{steiner_minimal_tree, SteinerTreeResult};
+pub use enumerate::{enumerate_topologies, optimal_cost_distance};

@@ -1,0 +1,95 @@
+//! Axis-aligned bounding boxes over gcell points.
+
+use crate::point::Point;
+
+/// An axis-aligned rectangle, inclusive on all sides.
+///
+/// ```
+/// use cds_geom::{BoundingBox, Point};
+/// let bb = BoundingBox::of(&[Point::new(1, 5), Point::new(4, 2)]).unwrap();
+/// assert_eq!(bb.half_perimeter(), 3 + 3);
+/// assert!(bb.contains(Point::new(2, 3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoundingBox {
+    /// lower-left corner
+    pub min: Point,
+    /// upper-right corner
+    pub max: Point,
+}
+
+impl BoundingBox {
+    /// Bounding box of a single point.
+    pub fn point(p: Point) -> Self {
+        BoundingBox { min: p, max: p }
+    }
+
+    /// Smallest box containing all `points`; `None` when empty.
+    pub fn of(points: &[Point]) -> Option<Self> {
+        let mut it = points.iter();
+        let first = *it.next()?;
+        let mut bb = BoundingBox::point(first);
+        for &p in it {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to include `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Width + height (the HPWL of the contained point set).
+    pub fn half_perimeter(&self) -> i64 {
+        i64::from(self.max.x - self.min.x) + i64::from(self.max.y - self.min.y)
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// L1 distance from `p` to the box (0 when inside).
+    pub fn l1_dist_to(&self, p: Point) -> i64 {
+        let dx = (i64::from(self.min.x) - i64::from(p.x)).max(0)
+            + (i64::from(p.x) - i64::from(self.max.x)).max(0);
+        let dy = (i64::from(self.min.y) - i64::from(p.y)).max(0)
+            + (i64::from(p.y) - i64::from(self.max.y)).max(0);
+        dx + dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn of_empty_is_none() {
+        assert!(BoundingBox::of(&[]).is_none());
+    }
+
+    #[test]
+    fn dist_inside_is_zero() {
+        let bb = BoundingBox::of(&[Point::new(0, 0), Point::new(10, 10)]).unwrap();
+        assert_eq!(bb.l1_dist_to(Point::new(5, 5)), 0);
+        assert_eq!(bb.l1_dist_to(Point::new(12, 5)), 2);
+        assert_eq!(bb.l1_dist_to(Point::new(-1, -1)), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn contains_all_inputs(pts in proptest::collection::vec((-100i32..100, -100i32..100), 1..20)) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let bb = BoundingBox::of(&pts).unwrap();
+            for &p in &pts {
+                prop_assert!(bb.contains(p));
+                prop_assert_eq!(bb.l1_dist_to(p), 0);
+            }
+        }
+    }
+}

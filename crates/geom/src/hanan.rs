@@ -1,0 +1,74 @@
+//! Hanan grid construction.
+//!
+//! Hanan's theorem: some rectilinear Steiner minimal tree uses only Steiner
+//! points at intersections of horizontal and vertical lines through the
+//! terminals. Exact RSMT algorithms therefore restrict their search to this
+//! grid.
+
+use crate::point::Point;
+
+/// Distinct, sorted x and y coordinates of a terminal set.
+///
+/// ```
+/// use cds_geom::{hanan_xs_ys, Point};
+/// let (xs, ys) = hanan_xs_ys(&[Point::new(3, 1), Point::new(0, 1)]);
+/// assert_eq!(xs, vec![0, 3]);
+/// assert_eq!(ys, vec![1]);
+/// ```
+pub fn hanan_xs_ys(terminals: &[Point]) -> (Vec<i32>, Vec<i32>) {
+    let mut xs: Vec<i32> = terminals.iter().map(|p| p.x).collect();
+    let mut ys: Vec<i32> = terminals.iter().map(|p| p.y).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    ys.sort_unstable();
+    ys.dedup();
+    (xs, ys)
+}
+
+/// All Hanan grid points of a terminal set, in row-major order.
+///
+/// The result has `|xs| * |ys|` points and always contains every terminal.
+///
+/// ```
+/// use cds_geom::{hanan_grid, Point};
+/// let g = hanan_grid(&[Point::new(0, 0), Point::new(2, 3)]);
+/// assert!(g.contains(&Point::new(0, 3)));
+/// assert!(g.contains(&Point::new(2, 0)));
+/// ```
+pub fn hanan_grid(terminals: &[Point]) -> Vec<Point> {
+    let (xs, ys) = hanan_xs_ys(terminals);
+    let mut out = Vec::with_capacity(xs.len() * ys.len());
+    for &y in &ys {
+        for &x in &xs {
+            out.push(Point::new(x, y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grid_of_collinear_points_is_the_points() {
+        let pts = [Point::new(0, 5), Point::new(3, 5), Point::new(9, 5)];
+        assert_eq!(hanan_grid(&pts), pts.to_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn grid_contains_terminals_and_has_product_size(
+            pts in proptest::collection::vec((-20i32..20, -20i32..20), 1..12)
+        ) {
+            let pts: Vec<Point> = pts.into_iter().map(Point::from).collect();
+            let (xs, ys) = hanan_xs_ys(&pts);
+            let grid = hanan_grid(&pts);
+            prop_assert_eq!(grid.len(), xs.len() * ys.len());
+            for &p in &pts {
+                prop_assert!(grid.contains(&p));
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Planar geometry primitives for global routing.
+//!
+//! Global routing operates on a grid of *gcells*; pins and Steiner points
+//! live at integer gcell coordinates. This crate provides the [`Point`]
+//! type, the L1 (rectilinear) metric used throughout the paper's baselines,
+//! bounding boxes, and the Hanan grid construction used by exact
+//! rectilinear Steiner tree algorithms.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_geom::{Point, l1_dist, hanan_grid};
+//!
+//! let a = Point::new(0, 0);
+//! let b = Point::new(3, 4);
+//! assert_eq!(l1_dist(a, b), 7);
+//!
+//! let grid = hanan_grid(&[a, b, Point::new(3, 0)]);
+//! assert_eq!(grid.len(), 4); // 2 distinct xs * 2 distinct ys
+//! ```
+
+pub mod bbox;
+pub mod hanan;
+pub mod point;
+
+pub use bbox::BoundingBox;
+pub use hanan::{hanan_grid, hanan_xs_ys};
+pub use point::{l1_dist, Point};
+
+/// Half-perimeter wirelength of a set of points — the classic lower bound
+/// on the length of any rectilinear tree connecting them.
+///
+/// Returns 0 for fewer than two points.
+///
+/// ```
+/// use cds_geom::{hpwl, Point};
+/// let pts = [Point::new(0, 0), Point::new(2, 5), Point::new(4, 1)];
+/// assert_eq!(hpwl(&pts), 4 + 5);
+/// ```
+pub fn hpwl(points: &[Point]) -> i64 {
+    match BoundingBox::of(points) {
+        Some(bb) => bb.half_perimeter(),
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpwl_empty_and_single() {
+        assert_eq!(hpwl(&[]), 0);
+        assert_eq!(hpwl(&[Point::new(5, 5)]), 0);
+    }
+
+    #[test]
+    fn hpwl_is_lower_bound_on_star() {
+        // HPWL <= sum of distances from any point to all others.
+        let pts = [
+            Point::new(0, 0),
+            Point::new(10, 3),
+            Point::new(4, 8),
+            Point::new(7, 1),
+        ];
+        let star: i64 = pts.iter().map(|&p| l1_dist(pts[0], p)).sum();
+        assert!(hpwl(&pts) <= star);
+    }
+}

@@ -1,0 +1,123 @@
+//! Integer gcell coordinates and the rectilinear metric.
+
+use std::fmt;
+
+/// A point on the gcell grid (planar; layers are handled by `cds-graph`).
+///
+/// Coordinates are `i32` gcell indices. Distances are returned as `i64`
+/// so that sums over many edges cannot overflow.
+///
+/// ```
+/// use cds_geom::Point;
+/// let p = Point::new(2, 3);
+/// assert_eq!((p.x, p.y), (2, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Point {
+    /// gcell column
+    pub x: i32,
+    /// gcell row
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    pub const fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// L1 distance to `other`.
+    ///
+    /// ```
+    /// use cds_geom::Point;
+    /// assert_eq!(Point::new(0, 0).l1(Point::new(-2, 3)), 5);
+    /// ```
+    pub fn l1(self, other: Point) -> i64 {
+        l1_dist(self, other)
+    }
+
+    /// Component-wise clamp of `self` into the axis-aligned rectangle
+    /// spanned by `a` and `b` (in either order). This is the nearest point
+    /// to `self` (in L1) on that rectangle, used when projecting a sink
+    /// onto a tree edge's bounding box (Prim–Dijkstra Steiner insertion).
+    ///
+    /// ```
+    /// use cds_geom::Point;
+    /// let p = Point::new(5, -1).clamp_to_rect(Point::new(0, 0), Point::new(3, 3));
+    /// assert_eq!(p, Point::new(3, 0));
+    /// ```
+    pub fn clamp_to_rect(self, a: Point, b: Point) -> Point {
+        let (lox, hix) = (a.x.min(b.x), a.x.max(b.x));
+        let (loy, hiy) = (a.y.min(b.y), a.y.max(b.y));
+        Point::new(self.x.clamp(lox, hix), self.y.clamp(loy, hiy))
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Point {
+    fn from((x, y): (i32, i32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// L1 (Manhattan) distance between two points.
+///
+/// ```
+/// use cds_geom::{l1_dist, Point};
+/// assert_eq!(l1_dist(Point::new(1, 1), Point::new(4, -3)), 7);
+/// ```
+pub fn l1_dist(a: Point, b: Point) -> i64 {
+    (i64::from(a.x) - i64::from(b.x)).abs() + (i64::from(a.y) - i64::from(b.y)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display_and_from_tuple() {
+        let p: Point = (7, -2).into();
+        assert_eq!(p.to_string(), "(7, -2)");
+    }
+
+    #[test]
+    fn clamp_inside_is_identity() {
+        let p = Point::new(1, 1);
+        assert_eq!(p.clamp_to_rect(Point::new(0, 0), Point::new(2, 2)), p);
+    }
+
+    proptest! {
+        #[test]
+        fn l1_is_a_metric(ax in -1000i32..1000, ay in -1000i32..1000,
+                          bx in -1000i32..1000, by in -1000i32..1000,
+                          cx in -1000i32..1000, cy in -1000i32..1000) {
+            let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+            prop_assert_eq!(l1_dist(a, b), l1_dist(b, a));
+            prop_assert!(l1_dist(a, b) >= 0);
+            prop_assert_eq!(l1_dist(a, a), 0);
+            prop_assert!(l1_dist(a, c) <= l1_dist(a, b) + l1_dist(b, c));
+        }
+
+        #[test]
+        fn clamp_is_nearest_rect_point(px in -100i32..100, py in -100i32..100,
+                                       ax in -50i32..50, ay in -50i32..50,
+                                       bx in -50i32..50, by in -50i32..50) {
+            let p = Point::new(px, py);
+            let (a, b) = (Point::new(ax, ay), Point::new(bx, by));
+            let q = p.clamp_to_rect(a, b);
+            // q is inside the rectangle
+            prop_assert!(q.x >= a.x.min(b.x) && q.x <= a.x.max(b.x));
+            prop_assert!(q.y >= a.y.min(b.y) && q.y <= a.y.max(b.y));
+            // and no corner is closer
+            for corner in [a, b, Point::new(a.x, b.y), Point::new(b.x, a.y)] {
+                prop_assert!(l1_dist(p, q) <= l1_dist(p, corner));
+            }
+        }
+    }
+}

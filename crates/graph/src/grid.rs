@@ -1,0 +1,394 @@
+//! 3D grid graph construction: layers, preferred directions, wire types,
+//! vias.
+
+use crate::graph::{EdgeAttrs, EdgeKind, Graph, GraphBuilder, VertexId};
+use cds_geom::Point;
+
+/// Preferred routing direction of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Wires run along x.
+    Horizontal,
+    /// Wires run along y.
+    Vertical,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Horizontal => Direction::Vertical,
+            Direction::Vertical => Direction::Horizontal,
+        }
+    }
+}
+
+/// A wire width/spacing configuration available on a layer. Wide wires
+/// cost more routing capacity per track but are faster — this is the
+/// cost/delay decoupling that motivates the cost-distance formulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireTypeSpec {
+    /// Congestion cost per gcell at zero usage.
+    pub cost_per_gcell: f64,
+    /// Delay per gcell (ps) in the linear delay model.
+    pub delay_per_gcell: f64,
+    /// Capacity each edge of this type offers (tracks per gcell boundary).
+    pub capacity: f64,
+}
+
+/// One routing layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Preferred direction.
+    pub dir: Direction,
+    /// Available wire types; each becomes a parallel edge.
+    pub wire_types: Vec<WireTypeSpec>,
+}
+
+/// Full grid description. `build` turns it into a [`GridGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// gcell columns.
+    pub nx: u32,
+    /// gcell rows.
+    pub ny: u32,
+    /// Layers bottom-up; layer 0 is the pin layer.
+    pub layers: Vec<LayerSpec>,
+    /// Base congestion cost of one via.
+    pub via_cost: f64,
+    /// Delay of one via (ps).
+    pub via_delay: f64,
+    /// Via capacity per gcell.
+    pub via_capacity: f64,
+    /// Physical gcell pitch in micrometres (for wirelength reporting).
+    pub gcell_um: f64,
+}
+
+impl GridSpec {
+    /// A small uniform test grid: `nl` alternating layers, one wire type,
+    /// unit costs/delays. Layer 0 is horizontal.
+    pub fn uniform(nx: u32, ny: u32, nl: u8) -> Self {
+        let layers = (0..nl)
+            .map(|l| LayerSpec {
+                dir: if l % 2 == 0 {
+                    Direction::Horizontal
+                } else {
+                    Direction::Vertical
+                },
+                wire_types: vec![WireTypeSpec {
+                    cost_per_gcell: 1.0,
+                    delay_per_gcell: 1.0,
+                    capacity: 10.0,
+                }],
+            })
+            .collect();
+        GridSpec {
+            nx,
+            ny,
+            layers,
+            via_cost: 1.0,
+            via_delay: 1.0,
+            via_capacity: 20.0,
+            gcell_um: 1.0,
+        }
+    }
+
+    /// Builds the grid graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is degenerate (no gcells or no layers).
+    pub fn build(self) -> GridGraph {
+        GridGraph::new(self)
+    }
+}
+
+/// Where a vertex sits in the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VertexCoord {
+    /// gcell column.
+    pub x: u32,
+    /// gcell row.
+    pub y: u32,
+    /// layer index.
+    pub layer: u8,
+}
+
+impl VertexCoord {
+    /// Planar projection.
+    pub fn point(self) -> Point {
+        Point::new(self.x as i32, self.y as i32)
+    }
+}
+
+/// The 3D global routing graph: a [`Graph`] plus grid metadata needed for
+/// pin mapping, A* future costs, and reporting.
+#[derive(Debug, Clone)]
+pub struct GridGraph {
+    spec: GridSpec,
+    graph: Graph,
+    /// Fastest delay per gcell over all (layer, wire type) pairs; an
+    /// admissible per-unit delay bound for A* (§III-C).
+    min_delay_per_gcell: f64,
+    /// Cheapest base cost per gcell over all (layer, wire type) pairs; an
+    /// admissible per-unit connection cost bound when prices ≥ base.
+    min_cost_per_gcell: f64,
+}
+
+impl GridGraph {
+    /// Builds the graph for `spec`. See [`GridSpec::build`].
+    pub fn new(spec: GridSpec) -> Self {
+        assert!(spec.nx > 0 && spec.ny > 0, "empty grid");
+        assert!(!spec.layers.is_empty(), "no layers");
+        for (l, layer) in spec.layers.iter().enumerate() {
+            assert!(!layer.wire_types.is_empty(), "layer {l} has no wire types");
+        }
+        let n = spec.nx as usize * spec.ny as usize * spec.layers.len();
+        let mut b = GraphBuilder::new(n);
+        let vid = |x: u32, y: u32, l: u8| -> VertexId {
+            (l as u32 * spec.ny + y) * spec.nx + x
+        };
+        for (l, layer) in spec.layers.iter().enumerate() {
+            let l = l as u8;
+            for y in 0..spec.ny {
+                for x in 0..spec.nx {
+                    // wire edges along the preferred direction
+                    let next = match layer.dir {
+                        Direction::Horizontal if x + 1 < spec.nx => Some(vid(x + 1, y, l)),
+                        Direction::Vertical if y + 1 < spec.ny => Some(vid(x, y + 1, l)),
+                        _ => None,
+                    };
+                    if let Some(w) = next {
+                        for (t, wt) in layer.wire_types.iter().enumerate() {
+                            b.add_edge(
+                                vid(x, y, l),
+                                w,
+                                EdgeAttrs {
+                                    base_cost: wt.cost_per_gcell,
+                                    delay: wt.delay_per_gcell,
+                                    capacity: wt.capacity,
+                                    length: 1.0,
+                                    kind: EdgeKind::Wire,
+                                    layer: l,
+                                    wire_type: t as u8,
+                                },
+                            );
+                        }
+                    }
+                    // via to the next layer up
+                    if (l as usize) + 1 < spec.layers.len() {
+                        b.add_edge(
+                            vid(x, y, l),
+                            vid(x, y, l + 1),
+                            EdgeAttrs {
+                                base_cost: spec.via_cost,
+                                delay: spec.via_delay,
+                                capacity: spec.via_capacity,
+                                length: 0.0,
+                                kind: EdgeKind::Via,
+                                layer: l,
+                                wire_type: 0,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let graph = b.build();
+        let min_delay_per_gcell = spec
+            .layers
+            .iter()
+            .flat_map(|l| l.wire_types.iter())
+            .map(|wt| wt.delay_per_gcell)
+            .fold(f64::INFINITY, f64::min);
+        let min_cost_per_gcell = spec
+            .layers
+            .iter()
+            .flat_map(|l| l.wire_types.iter())
+            .map(|wt| wt.cost_per_gcell)
+            .fold(f64::INFINITY, f64::min);
+        GridGraph {
+            spec,
+            graph,
+            min_delay_per_gcell,
+            min_cost_per_gcell,
+        }
+    }
+
+    /// Reassembles a grid graph from a spec and a compatible graph whose
+    /// edge attributes were post-processed (e.g. capacity depletion under
+    /// macros). The graph must have the same vertex/edge structure the
+    /// spec would build — only attributes may differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex count does not match the spec.
+    pub fn from_parts(spec: GridSpec, graph: Graph) -> Self {
+        let n = spec.nx as usize * spec.ny as usize * spec.layers.len();
+        assert_eq!(graph.num_vertices(), n, "graph does not match the spec");
+        let min_delay_per_gcell = spec
+            .layers
+            .iter()
+            .flat_map(|l| l.wire_types.iter())
+            .map(|wt| wt.delay_per_gcell)
+            .fold(f64::INFINITY, f64::min);
+        let min_cost_per_gcell = spec
+            .layers
+            .iter()
+            .flat_map(|l| l.wire_types.iter())
+            .map(|wt| wt.cost_per_gcell)
+            .fold(f64::INFINITY, f64::min);
+        GridGraph { spec, graph, min_delay_per_gcell, min_cost_per_gcell }
+    }
+
+    /// The underlying CSR graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The grid description.
+    pub fn spec(&self) -> &GridSpec {
+        &self.spec
+    }
+
+    /// Vertex id at grid coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn vertex(&self, x: u32, y: u32, layer: u8) -> VertexId {
+        assert!(x < self.spec.nx && y < self.spec.ny, "gcell out of range");
+        assert!((layer as usize) < self.spec.layers.len(), "layer out of range");
+        (layer as u32 * self.spec.ny + y) * self.spec.nx + x
+    }
+
+    /// Vertex on the pin layer (layer 0) at a planar point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has negative coordinates or is out of range.
+    pub fn vertex_at(&self, p: Point) -> VertexId {
+        assert!(p.x >= 0 && p.y >= 0, "negative gcell coordinate");
+        self.vertex(p.x as u32, p.y as u32, 0)
+    }
+
+    /// Grid coordinates of a vertex.
+    pub fn coord(&self, v: VertexId) -> VertexCoord {
+        let per_layer = self.spec.nx * self.spec.ny;
+        VertexCoord {
+            x: v % self.spec.nx,
+            y: (v / self.spec.nx) % self.spec.ny,
+            layer: (v / per_layer) as u8,
+        }
+    }
+
+    /// Admissible lower bound on the *delay* of any `a`→`b` connection:
+    /// L1 distance times the fastest per-gcell delay (§III-C: "delays are
+    /// bounded based on L1-distance and the fastest layer and wire type
+    /// combination").
+    pub fn delay_lower_bound(&self, a: VertexId, b: VertexId) -> f64 {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        ca.point().l1(cb.point()) as f64 * self.min_delay_per_gcell
+    }
+
+    /// Admissible lower bound on the *base* connection cost of any
+    /// `a`→`b` path (valid whenever prices are ≥ base costs, which the
+    /// router guarantees).
+    pub fn cost_lower_bound(&self, a: VertexId, b: VertexId) -> f64 {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        ca.point().l1(cb.point()) as f64 * self.min_cost_per_gcell
+    }
+
+    /// Fastest per-gcell delay over all layers and wire types.
+    pub fn min_delay_per_gcell(&self) -> f64 {
+        self.min_delay_per_gcell
+    }
+
+    /// Cheapest per-gcell base cost over all layers and wire types.
+    pub fn min_cost_per_gcell(&self) -> f64 {
+        self.min_cost_per_gcell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::shortest_distances;
+
+    #[test]
+    fn vertex_coord_roundtrip() {
+        let g = GridSpec::uniform(5, 4, 3).build();
+        for l in 0..3u8 {
+            for y in 0..4 {
+                for x in 0..5 {
+                    let v = g.vertex(x, y, l);
+                    assert_eq!(g.coord(v), VertexCoord { x, y, layer: l });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_formula() {
+        let (nx, ny, nl) = (6u32, 5u32, 4u8);
+        let g = GridSpec::uniform(nx, ny, nl).build();
+        assert_eq!(g.graph().num_vertices(), (nx * ny * nl as u32) as usize);
+        // horizontal layers (0, 2): (nx-1)*ny wire edges; vertical (1, 3): nx*(ny-1)
+        let wires = 2 * (nx - 1) * ny + 2 * nx * (ny - 1);
+        let vias = nx * ny * (nl as u32 - 1);
+        assert_eq!(g.graph().num_edges(), (wires + vias) as usize);
+    }
+
+    #[test]
+    fn preferred_directions_are_enforced() {
+        let g = GridSpec::uniform(3, 3, 2).build();
+        // On layer 0 (horizontal) there is no wire between (0,0) and (0,1).
+        let v00 = g.vertex(0, 0, 0);
+        let has_vertical_wire = g
+            .graph()
+            .neighbors(v00)
+            .iter()
+            .any(|&(w, e)| w == g.vertex(0, 1, 0) && g.graph().edge(e).kind == EdgeKind::Wire);
+        assert!(!has_vertical_wire);
+    }
+
+    #[test]
+    fn parallel_wire_types_exist() {
+        let mut spec = GridSpec::uniform(2, 1, 1);
+        spec.layers[0].wire_types.push(WireTypeSpec {
+            cost_per_gcell: 2.0,
+            delay_per_gcell: 0.25,
+            capacity: 3.0,
+        });
+        let g = spec.build();
+        assert_eq!(g.graph().num_edges(), 2);
+        assert_eq!(g.min_delay_per_gcell(), 0.25);
+        assert_eq!(g.min_cost_per_gcell(), 1.0);
+    }
+
+    #[test]
+    fn shortest_path_respects_alternating_layers() {
+        // To move vertically from layer 0 (H), a path must via up to layer 1.
+        let g = GridSpec::uniform(3, 3, 2).build();
+        let c: Vec<f64> = g.graph().base_costs();
+        let from = g.vertex(0, 0, 0);
+        let to = g.vertex(0, 2, 0);
+        let dist = shortest_distances(g.graph(), &[(from, 0.0)], |e| c[e as usize]);
+        // up via + 2 vertical wires + down via = 1+2+1 = 4
+        assert_eq!(dist[to as usize], 4.0);
+    }
+
+    #[test]
+    fn bounds_are_admissible_on_uniform_grid() {
+        let g = GridSpec::uniform(4, 4, 2).build();
+        let c = g.graph().base_costs();
+        let d = g.graph().delays();
+        let from = g.vertex(0, 0, 0);
+        let dist_c = shortest_distances(g.graph(), &[(from, 0.0)], |e| c[e as usize]);
+        let dist_d = shortest_distances(g.graph(), &[(from, 0.0)], |e| d[e as usize]);
+        for v in 0..g.graph().num_vertices() as u32 {
+            assert!(g.cost_lower_bound(from, v) <= dist_c[v as usize] + 1e-9);
+            assert!(g.delay_lower_bound(from, v) <= dist_d[v as usize] + 1e-9);
+        }
+    }
+}

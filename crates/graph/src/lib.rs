@@ -1,0 +1,40 @@
+//! The 3D global routing graph.
+//!
+//! The paper's instances are 3D global routing graphs: a grid of gcells per
+//! routing layer, wire edges along each layer's preferred direction — with
+//! a *parallel edge per wire type*, each with its own cost and delay — and
+//! via edges between adjacent layers. Edge costs `c(e)` arise from current
+//! congestion, edge delays `d(e)` from a linear delay model; the two are
+//! essentially uncorrelated, which is the whole point of the cost-distance
+//! formulation.
+//!
+//! This crate provides:
+//!
+//! * [`Graph`] / [`GraphBuilder`] — a generic undirected multigraph in CSR
+//!   form, used directly by tests and by the exact reference algorithms;
+//! * [`GridGraph`] / [`GridSpec`] — the 3D grid construction with layers,
+//!   preferred directions, wire types and vias;
+//! * [`dijkstra`] — single/multi-source shortest path labelling shared by
+//!   the embedding DP, landmark future costs, and the exact algorithms.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_graph::{GraphBuilder, EdgeAttrs, dijkstra::shortest_distances};
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1, EdgeAttrs::wire(1.0, 2.0));
+//! b.add_edge(1, 2, EdgeAttrs::wire(1.0, 2.0));
+//! let g = b.build();
+//! let dist = shortest_distances(&g, &[(0, 0.0)], |e| g.edge(e).base_cost);
+//! assert_eq!(dist[2], 2.0);
+//! ```
+
+pub mod dijkstra;
+pub mod graph;
+pub mod grid;
+pub mod window;
+
+pub use graph::{EdgeAttrs, EdgeId, EdgeKind, Graph, GraphBuilder, VertexId};
+pub use grid::{Direction, GridGraph, GridSpec, LayerSpec, VertexCoord, WireTypeSpec};
+pub use window::{EdgeIndex, GridWindow};

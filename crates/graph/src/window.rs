@@ -1,0 +1,189 @@
+//! Windowed subgrids for per-net routing.
+//!
+//! Routers do not run net-level Steiner searches over the whole chip:
+//! each net is routed inside a bounding-box window (plus margin) of the
+//! global grid. [`GridWindow`] builds the sub-[`GridGraph`] for a window
+//! and maps its edge ids back to the global graph so that prices can be
+//! sliced in and usage accumulated out.
+
+use crate::graph::{EdgeId, EdgeKind, VertexId};
+use crate::grid::{GridGraph, GridSpec};
+use cds_geom::Point;
+use std::collections::HashMap;
+
+/// Key identifying a global edge by its endpoints and flavour, used to
+/// translate window edges to global ids.
+fn edge_key(u: VertexId, v: VertexId, kind: EdgeKind, wire_type: u8) -> (u32, u32, bool, u8) {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    (a, b, kind == EdgeKind::Via, wire_type)
+}
+
+/// Precomputed lookup from (endpoints, flavour) to global edge id.
+/// Build once per chip; shared by all windows.
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    map: HashMap<(u32, u32, bool, u8), EdgeId>,
+}
+
+impl EdgeIndex {
+    /// Indexes all edges of `grid`.
+    pub fn new(grid: &GridGraph) -> Self {
+        let g = grid.graph();
+        let mut map = HashMap::with_capacity(g.num_edges());
+        for e in g.edge_ids() {
+            let ep = g.endpoints(e);
+            let a = g.edge(e);
+            map.insert(edge_key(ep.u, ep.v, a.kind, a.wire_type), e);
+        }
+        EdgeIndex { map }
+    }
+}
+
+/// A rectangular window of a [`GridGraph`]: a self-contained sub-grid
+/// plus translations to/from the global graph.
+#[derive(Debug, Clone)]
+pub struct GridWindow {
+    /// The sub-grid (all layers, clipped x/y range).
+    pub grid: GridGraph,
+    /// Window origin in global gcell coordinates.
+    pub x0: u32,
+    /// Window origin in global gcell coordinates.
+    pub y0: u32,
+    /// For each window edge id, the corresponding global edge id.
+    pub to_global_edge: Vec<EdgeId>,
+}
+
+impl GridWindow {
+    /// Builds the window `[x0..=x1] × [y0..=y1]` (inclusive, clamped to
+    /// the grid) of `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty after clamping.
+    pub fn build(grid: &GridGraph, index: &EdgeIndex, x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        let spec = grid.spec();
+        let x1 = x1.min(spec.nx - 1);
+        let y1 = y1.min(spec.ny - 1);
+        assert!(x0 <= x1 && y0 <= y1, "empty window");
+        let sub_spec = GridSpec {
+            nx: x1 - x0 + 1,
+            ny: y1 - y0 + 1,
+            layers: spec.layers.clone(),
+            via_cost: spec.via_cost,
+            via_delay: spec.via_delay,
+            via_capacity: spec.via_capacity,
+            gcell_um: spec.gcell_um,
+        };
+        let sub = sub_spec.build();
+        // translate each window edge to its global id
+        let sg = sub.graph();
+        let mut to_global_edge = Vec::with_capacity(sg.num_edges());
+        for e in sg.edge_ids() {
+            let ep = sg.endpoints(e);
+            let a = sg.edge(e);
+            let cu = sub.coord(ep.u);
+            let cv = sub.coord(ep.v);
+            let gu = grid.vertex(cu.x + x0, cu.y + y0, cu.layer);
+            let gv = grid.vertex(cv.x + x0, cv.y + y0, cv.layer);
+            let global = *index
+                .map
+                .get(&edge_key(gu, gv, a.kind, a.wire_type))
+                .expect("window edge exists globally");
+            to_global_edge.push(global);
+        }
+        GridWindow { grid: sub, x0, y0, to_global_edge }
+    }
+
+    /// Window around a set of planar points with the given margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or has out-of-grid coordinates.
+    pub fn around(
+        grid: &GridGraph,
+        index: &EdgeIndex,
+        points: &[Point],
+        margin: u32,
+    ) -> Self {
+        assert!(!points.is_empty(), "window of no points");
+        let xs: Vec<i32> = points.iter().map(|p| p.x).collect();
+        let ys: Vec<i32> = points.iter().map(|p| p.y).collect();
+        let x0 = (*xs.iter().min().expect("nonempty") as u32).saturating_sub(margin);
+        let y0 = (*ys.iter().min().expect("nonempty") as u32).saturating_sub(margin);
+        let x1 = *xs.iter().max().expect("nonempty") as u32 + margin;
+        let y1 = *ys.iter().max().expect("nonempty") as u32 + margin;
+        GridWindow::build(grid, index, x0, y0, x1, y1)
+    }
+
+    /// Translates a global planar point into the window.
+    pub fn localize(&self, p: Point) -> Point {
+        Point::new(p.x - self.x0 as i32, p.y - self.y0 as i32)
+    }
+
+    /// Slices a global per-edge array into window edge order.
+    pub fn slice<T: Copy>(&self, global: &[T]) -> Vec<T> {
+        self.to_global_edge.iter().map(|&e| global[e as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridSpec;
+
+    #[test]
+    fn window_edges_map_to_matching_global_edges() {
+        let grid = GridSpec::uniform(8, 6, 3).build();
+        let index = EdgeIndex::new(&grid);
+        let w = GridWindow::build(&grid, &index, 2, 1, 5, 4);
+        assert_eq!(w.grid.spec().nx, 4);
+        assert_eq!(w.grid.spec().ny, 4);
+        let sg = w.grid.graph();
+        let gg = grid.graph();
+        for e in sg.edge_ids() {
+            let global = w.to_global_edge[e as usize];
+            let (sa, ga) = (sg.edge(e), gg.edge(global));
+            assert_eq!(sa.kind, ga.kind);
+            assert_eq!(sa.layer, ga.layer);
+            assert_eq!(sa.wire_type, ga.wire_type);
+            // endpoints correspond under translation
+            let sep = sg.endpoints(e);
+            let (cu, cv) = (w.grid.coord(sep.u), w.grid.coord(sep.v));
+            let gu = grid.vertex(cu.x + 2, cu.y + 1, cu.layer);
+            let gv = grid.vertex(cv.x + 2, cv.y + 1, cv.layer);
+            let gep = gg.endpoints(global);
+            assert!(
+                (gep.u == gu && gep.v == gv) || (gep.u == gv && gep.v == gu),
+                "edge {e} endpoints mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn around_clamps_to_grid() {
+        let grid = GridSpec::uniform(5, 5, 2).build();
+        let index = EdgeIndex::new(&grid);
+        let w = GridWindow::around(
+            &grid,
+            &index,
+            &[Point::new(0, 0), Point::new(4, 4)],
+            10,
+        );
+        assert_eq!(w.grid.spec().nx, 5);
+        assert_eq!(w.grid.spec().ny, 5);
+        assert_eq!(w.x0, 0);
+    }
+
+    #[test]
+    fn localize_and_slice() {
+        let grid = GridSpec::uniform(6, 6, 2).build();
+        let index = EdgeIndex::new(&grid);
+        let w = GridWindow::build(&grid, &index, 1, 2, 4, 5);
+        assert_eq!(w.localize(Point::new(3, 4)), Point::new(2, 2));
+        let global: Vec<f64> = (0..grid.graph().num_edges()).map(|i| i as f64).collect();
+        let local = w.slice(&global);
+        for (le, &v) in local.iter().enumerate() {
+            assert_eq!(v, w.to_global_edge[le] as f64);
+        }
+    }
+}

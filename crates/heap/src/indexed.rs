@@ -1,0 +1,331 @@
+//! Binary min-heaps over `u32` ids with decrease-key.
+//!
+//! The heap logic is generic over the *position map* that tracks where each
+//! id sits in the heap array:
+//!
+//! * [`IndexedBinaryHeap`] uses a dense `Vec` — right for single-source
+//!   Dijkstra over dense vertex ids (embedding, landmarks, baselines);
+//! * [`SparseIndexedHeap`] uses a `HashMap` — right for the many
+//!   simultaneous per-sink searches of Algorithm 1, where each search only
+//!   ever touches a small, A*-pruned region of the graph and a dense
+//!   per-search array would cost `O(t · n)` memory up front.
+
+use std::collections::HashMap;
+
+/// Maps an id to its index in the heap array.
+///
+/// Implementation detail of the heaps; sealed by being private to the
+/// crate's public surface (only the two aliases below are exported).
+pub trait PositionMap: Default {
+    /// Creates a map able to hold ids `0..capacity` (dense) or any ids
+    /// (sparse, capacity is a size hint).
+    fn with_capacity(capacity: usize) -> Self;
+    /// Position of `id`, if queued.
+    fn get(&self, id: u32) -> Option<u32>;
+    /// Records `id` at heap index `p`.
+    fn set(&mut self, id: u32, p: u32);
+    /// Forgets `id`.
+    fn remove(&mut self, id: u32);
+    /// Forgets everything.
+    fn clear(&mut self);
+}
+
+/// Dense position map backed by a `Vec<u32>`.
+#[derive(Debug, Clone, Default)]
+pub struct DensePos(Vec<u32>);
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl PositionMap for DensePos {
+    fn with_capacity(capacity: usize) -> Self {
+        DensePos(vec![NOT_IN_HEAP; capacity])
+    }
+    fn get(&self, id: u32) -> Option<u32> {
+        match self.0[id as usize] {
+            NOT_IN_HEAP => None,
+            p => Some(p),
+        }
+    }
+    fn set(&mut self, id: u32, p: u32) {
+        self.0[id as usize] = p;
+    }
+    fn remove(&mut self, id: u32) {
+        self.0[id as usize] = NOT_IN_HEAP;
+    }
+    fn clear(&mut self) {
+        self.0.fill(NOT_IN_HEAP);
+    }
+}
+
+/// Sparse position map backed by a `HashMap`.
+#[derive(Debug, Clone, Default)]
+pub struct SparsePos(HashMap<u32, u32>);
+
+impl PositionMap for SparsePos {
+    fn with_capacity(capacity: usize) -> Self {
+        SparsePos(HashMap::with_capacity(capacity.min(64)))
+    }
+    fn get(&self, id: u32) -> Option<u32> {
+        self.0.get(&id).copied()
+    }
+    fn set(&mut self, id: u32, p: u32) {
+        self.0.insert(id, p);
+    }
+    fn remove(&mut self, id: u32) {
+        self.0.remove(&id);
+    }
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+/// The shared heap implementation. Use via [`IndexedBinaryHeap`] or
+/// [`SparseIndexedHeap`].
+#[derive(Debug, Clone, Default)]
+pub struct RawIndexedHeap<M: PositionMap> {
+    heap: Vec<(f64, u32)>,
+    pos: M,
+}
+
+/// Dense-id binary min-heap with decrease-key; the workhorse of every
+/// single-source Dijkstra in this workspace.
+///
+/// ```
+/// use cds_heap::IndexedBinaryHeap;
+/// let mut h = IndexedBinaryHeap::new(3);
+/// h.push(2, 9.0);
+/// h.push(0, 5.0);
+/// assert_eq!(h.peek(), Some((0, 5.0)));
+/// h.decrease_key(2, 1.0);
+/// assert_eq!(h.pop(), Some((2, 1.0)));
+/// ```
+pub type IndexedBinaryHeap = RawIndexedHeap<DensePos>;
+
+/// Sparse-id binary min-heap with decrease-key; used for the per-sink
+/// sub-heaps of [`TwoLevelHeap`](crate::TwoLevelHeap).
+///
+/// ```
+/// use cds_heap::SparseIndexedHeap;
+/// let mut h = SparseIndexedHeap::new(0);
+/// h.push(1_000_000, 2.0); // ids need not be dense
+/// assert_eq!(h.pop(), Some((1_000_000, 2.0)));
+/// ```
+pub type SparseIndexedHeap = RawIndexedHeap<SparsePos>;
+
+impl<M: PositionMap> RawIndexedHeap<M> {
+    /// Creates an empty heap. For the dense variant `capacity` must bound
+    /// all ids ever pushed; for the sparse variant it is a size hint.
+    pub fn new(capacity: usize) -> Self {
+        RawIndexedHeap {
+            heap: Vec::new(),
+            pos: M::with_capacity(capacity),
+        }
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Smallest (id, key) without removing it.
+    pub fn peek(&self) -> Option<(u32, f64)> {
+        self.heap.first().map(|&(k, id)| (id, k))
+    }
+
+    /// Current key of `id` if queued.
+    pub fn key_of(&self, id: u32) -> Option<f64> {
+        self.pos.get(id).map(|p| self.heap[p as usize].0)
+    }
+
+    /// Whether `id` is currently queued.
+    pub fn contains(&self, id: u32) -> bool {
+        self.pos.get(id).is_some()
+    }
+
+    /// Inserts `id` with `key`, or lowers its key if already queued with a
+    /// larger one. Returns `true` if the heap changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is NaN (and, for the dense variant, if `id` exceeds
+    /// the capacity).
+    pub fn push(&mut self, id: u32, key: f64) -> bool {
+        assert!(!key.is_nan(), "NaN key");
+        match self.pos.get(id) {
+            None => {
+                self.heap.push((key, id));
+                self.pos.set(id, (self.heap.len() - 1) as u32);
+                self.sift_up(self.heap.len() - 1);
+                true
+            }
+            Some(p) if key < self.heap[p as usize].0 => {
+                self.heap[p as usize].0 = key;
+                self.sift_up(p as usize);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Lowers the key of a queued `id`. Equivalent to [`push`](Self::push)
+    /// for already-queued ids; provided for intent-revealing call sites.
+    pub fn decrease_key(&mut self, id: u32, key: f64) -> bool {
+        self.push(id, key)
+    }
+
+    /// Removes and returns the smallest (id, key).
+    pub fn pop(&mut self) -> Option<(u32, f64)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let (key, id) = self.heap.swap_remove(0);
+        self.pos.remove(id);
+        if !self.heap.is_empty() {
+            self.pos.set(self.heap[0].1, 0);
+            self.sift_down(0);
+        }
+        Some((id, key))
+    }
+
+    /// Removes every element. Keeps the capacity.
+    pub fn clear(&mut self) {
+        self.pos.clear();
+        self.heap.clear();
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].0 < self.heap[parent].0 {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.heap[l].0 < self.heap[smallest].0 {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap[r].0 < self.heap[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos.set(self.heap[a].1, a as u32);
+        self.pos.set(self.heap[b].1, b as u32);
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for i in 1..self.heap.len() {
+            assert!(self.heap[(i - 1) / 2].0 <= self.heap[i].0, "heap order");
+        }
+        for (i, &(_, id)) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos.get(id), Some(i as u32), "pos map");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn push_pop_ordering() {
+        let mut h = IndexedBinaryHeap::new(10);
+        for (id, k) in [(3u32, 5.0), (1, 2.0), (7, 8.0), (2, 1.0)] {
+            h.push(id, k);
+            h.check_invariants();
+        }
+        let mut out = Vec::new();
+        while let Some((id, _)) = h.pop() {
+            out.push(id);
+            h.check_invariants();
+        }
+        assert_eq!(out, vec![2, 1, 3, 7]);
+    }
+
+    #[test]
+    fn push_existing_only_decreases() {
+        let mut h = IndexedBinaryHeap::new(4);
+        h.push(0, 5.0);
+        assert!(!h.push(0, 7.0), "increase must be ignored");
+        assert_eq!(h.key_of(0), Some(5.0));
+        assert!(h.push(0, 3.0));
+        assert_eq!(h.key_of(0), Some(3.0));
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut h = IndexedBinaryHeap::new(4);
+        h.push(1, 1.0);
+        h.push(2, 2.0);
+        h.clear();
+        assert!(h.is_empty());
+        assert!(!h.contains(1));
+        h.push(1, 9.0);
+        assert_eq!(h.pop(), Some((1, 9.0)));
+    }
+
+    #[test]
+    fn sparse_accepts_large_ids() {
+        let mut h = SparseIndexedHeap::new(0);
+        h.push(u32::MAX - 1, 1.0);
+        h.push(12345, 0.5);
+        assert_eq!(h.pop(), Some((12345, 0.5)));
+        assert_eq!(h.pop(), Some((u32::MAX - 1, 1.0)));
+    }
+
+    fn reference_run<M: PositionMap>(mut h: RawIndexedHeap<M>, ops: Vec<(u32, f64)>) {
+        let mut reference: std::collections::HashMap<u32, f64> = Default::default();
+        for (id, key) in ops {
+            let cur = reference.get(&id).copied();
+            h.push(id, key);
+            if cur.is_none_or(|c| key < c) {
+                reference.insert(id, key);
+            }
+            h.check_invariants();
+        }
+        let mut got = Vec::new();
+        while let Some((id, k)) = h.pop() {
+            got.push((id, k));
+        }
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1, "non-decreasing pops");
+        }
+        let mut want: Vec<(u32, f64)> = reference.into_iter().collect();
+        want.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        got.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        assert_eq!(got, want);
+    }
+
+    proptest! {
+        /// Both variants agree with a sorted reference under random
+        /// workloads, including decrease-key.
+        #[test]
+        fn matches_reference(ops in proptest::collection::vec((0u32..64, 0.0f64..100.0), 1..200)) {
+            reference_run(IndexedBinaryHeap::new(64), ops.clone());
+            reference_run(SparseIndexedHeap::new(0), ops);
+        }
+    }
+}

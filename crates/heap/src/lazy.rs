@@ -1,0 +1,87 @@
+//! Conventional lazy-deletion heap (ablation baseline).
+
+use crate::ordered::OrderedF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap without decrease-key: updates push duplicates and `pop`
+/// skips entries that are stale with respect to `best`, the caller-supplied
+/// current-distance array.
+///
+/// This is the textbook alternative to [`IndexedBinaryHeap`]; the `heaps`
+/// Criterion bench compares the two on Dijkstra workloads.
+///
+/// ```
+/// use cds_heap::LazyHeap;
+/// let mut best = vec![f64::INFINITY; 3];
+/// let mut h = LazyHeap::new();
+/// h.push(0, 4.0); best[0] = 4.0;
+/// h.push(0, 2.0); best[0] = 2.0; // duplicate; the 4.0 entry is now stale
+/// assert_eq!(h.pop(&best), Some((0, 2.0)));
+/// assert_eq!(h.pop(&best), None); // stale entry skipped
+/// ```
+///
+/// [`IndexedBinaryHeap`]: crate::IndexedBinaryHeap
+#[derive(Debug, Clone, Default)]
+pub struct LazyHeap {
+    heap: BinaryHeap<Reverse<(OrderedF64, u32)>>,
+}
+
+impl LazyHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue length including stale duplicates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries (not even stale ones) remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pushes `(id, key)` unconditionally.
+    pub fn push(&mut self, id: u32, key: f64) {
+        self.heap.push(Reverse((OrderedF64::new(key), id)));
+    }
+
+    /// Pops the smallest entry whose key still equals `best[id]`;
+    /// entries with `key > best[id]` are discarded as stale.
+    pub fn pop(&mut self, best: &[f64]) -> Option<(u32, f64)> {
+        while let Some(Reverse((k, id))) = self.heap.pop() {
+            if k.get() <= best[id as usize] {
+                return Some((id, k.get()));
+            }
+        }
+        None
+    }
+
+    /// Discards all entries.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_stale_entries() {
+        let mut best = vec![f64::INFINITY; 4];
+        let mut h = LazyHeap::new();
+        h.push(1, 10.0);
+        best[1] = 10.0;
+        h.push(1, 3.0);
+        best[1] = 3.0;
+        h.push(2, 5.0);
+        best[2] = 5.0;
+        assert_eq!(h.pop(&best), Some((1, 3.0)));
+        assert_eq!(h.pop(&best), Some((2, 5.0)));
+        assert_eq!(h.pop(&best), None);
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Priority queues for label-propagation path searches.
+//!
+//! The paper (§III-B) observes that global routing graphs have `m ∈ O(n)`,
+//! so plain binary heaps beat Fibonacci heaps in practice, and proposes a
+//! *two-level* structure for the simultaneous multi-source searches of
+//! Algorithm 1: one heap per active sink plus a top-level heap storing the
+//! minimum key of each sink heap. This crate implements:
+//!
+//! * [`OrderedF64`] — a total order over non-NaN `f64` keys,
+//! * [`IndexedBinaryHeap`] — a `u32`-keyed binary min-heap with
+//!   `decrease-key`, the workhorse of every Dijkstra in this workspace,
+//! * [`TwoLevelHeap`] — the paper's structure (§III-B), including the
+//!   "operate with a single sink heap until the minimum label in the
+//!   top-level heap is exceeded" fast path,
+//! * [`LazyHeap`] — a conventional lazy-deletion heap used as the ablation
+//!   baseline in the `heap` Criterion bench.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_heap::IndexedBinaryHeap;
+//!
+//! let mut h = IndexedBinaryHeap::new(4);
+//! h.push(0, 3.0);
+//! h.push(1, 1.0);
+//! h.decrease_key(0, 0.5);
+//! assert_eq!(h.pop(), Some((0, 0.5)));
+//! assert_eq!(h.pop(), Some((1, 1.0)));
+//! assert_eq!(h.pop(), None);
+//! ```
+
+pub mod indexed;
+pub mod lazy;
+pub mod ordered;
+pub mod two_level;
+
+pub use indexed::{IndexedBinaryHeap, SparseIndexedHeap};
+pub use lazy::LazyHeap;
+pub use ordered::OrderedF64;
+pub use two_level::TwoLevelHeap;

@@ -1,0 +1,87 @@
+//! A totally ordered wrapper around `f64`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An `f64` that is guaranteed not to be NaN and therefore totally ordered.
+///
+/// All costs and delays in this workspace are finite non-negative reals, so
+/// a NaN is always a bug; construction panics on NaN to surface it early.
+///
+/// ```
+/// use cds_heap::OrderedF64;
+/// let a = OrderedF64::new(1.5);
+/// let b = OrderedF64::new(2.0);
+/// assert!(a < b);
+/// assert_eq!(a.get(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "NaN key in priority queue");
+        OrderedF64(v)
+    }
+
+    /// Returns the wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is excluded at construction.
+        self.0.partial_cmp(&other.0).expect("NaN in OrderedF64")
+    }
+}
+
+impl fmt::Debug for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        OrderedF64::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        let mut v = [3.0, 1.0, 2.0].map(OrderedF64::new);
+        v.sort();
+        assert_eq!(v.map(OrderedF64::get), [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+}

@@ -1,0 +1,231 @@
+//! Plain-text serialization of chips and nets.
+//!
+//! Experiments should be shareable without re-running the generator:
+//! this module writes and parses a compact line-oriented format for
+//! [`Net`] lists and timing chains, so harvested workloads can be
+//! archived next to EXPERIMENTS.md and replayed byte-identically.
+//!
+//! Format (one record per line, `#` comments allowed):
+//!
+//! ```text
+//! net <root_x> <root_y> : <x> <y> [<x> <y> ...]
+//! chain <rat_ps> : <net>[/<cont_sink>] ...
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_instgen::io::{nets_to_string, parse_nets};
+//! use cds_instgen::Net;
+//! use cds_geom::Point;
+//!
+//! let nets = vec![Net { root: Point::new(1, 2), sinks: vec![Point::new(3, 4)] }];
+//! let text = nets_to_string(&nets);
+//! assert_eq!(parse_nets(&text).unwrap(), nets);
+//! ```
+
+use crate::{Chain, ChainLink, Net};
+use cds_geom::Point;
+use std::fmt::Write as _;
+
+/// Error from parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+/// Serializes nets to the text format.
+pub fn nets_to_string(nets: &[Net]) -> String {
+    let mut out = String::new();
+    for n in nets {
+        let _ = write!(out, "net {} {} :", n.root.x, n.root.y);
+        for s in &n.sinks {
+            let _ = write!(out, " {} {}", s.x, s.y);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes chains to the text format.
+pub fn chains_to_string(chains: &[Chain]) -> String {
+    let mut out = String::new();
+    for c in chains {
+        let _ = write!(out, "chain {} :", c.rat_ps);
+        for l in &c.links {
+            match l.cont_sink {
+                Some(s) => {
+                    let _ = write!(out, " {}/{}", l.net, s);
+                }
+                None => {
+                    let _ = write!(out, " {}", l.net);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseWorkloadError {
+    ParseWorkloadError { line, message: message.into() }
+}
+
+/// Parses nets from the text format (ignoring chain lines and comments).
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse_nets(text: &str) -> Result<Vec<Net>, ParseWorkloadError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("chain ") {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("net ") else {
+            return Err(err(i + 1, format!("unknown record: {line}")));
+        };
+        let (head, tail) = rest
+            .split_once(':')
+            .ok_or_else(|| err(i + 1, "missing ':' separator"))?;
+        let mut hp = head.split_whitespace();
+        let root = Point::new(
+            hp.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(i + 1, "bad root x"))?,
+            hp.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err(i + 1, "bad root y"))?,
+        );
+        let coords: Vec<i32> = tail
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| err(i + 1, format!("bad coordinate {v}"))))
+            .collect::<Result<_, _>>()?;
+        if !coords.len().is_multiple_of(2) || coords.is_empty() {
+            return Err(err(i + 1, "sink coordinates must come in non-empty pairs"));
+        }
+        let sinks = coords.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
+        out.push(Net { root, sinks });
+    }
+    Ok(out)
+}
+
+/// Parses chains from the text format (ignoring net lines and comments).
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse_chains(text: &str) -> Result<Vec<Chain>, ParseWorkloadError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("net ") {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("chain ") else {
+            return Err(err(i + 1, format!("unknown record: {line}")));
+        };
+        let (head, tail) = rest
+            .split_once(':')
+            .ok_or_else(|| err(i + 1, "missing ':' separator"))?;
+        let rat_ps: f64 = head
+            .trim()
+            .parse()
+            .map_err(|_| err(i + 1, "bad RAT"))?;
+        let mut links = Vec::new();
+        for tok in tail.split_whitespace() {
+            let link = match tok.split_once('/') {
+                Some((n, s)) => ChainLink {
+                    net: n.parse().map_err(|_| err(i + 1, format!("bad net {n}")))?,
+                    cont_sink: Some(
+                        s.parse().map_err(|_| err(i + 1, format!("bad sink {s}")))?,
+                    ),
+                },
+                None => ChainLink {
+                    net: tok.parse().map_err(|_| err(i + 1, format!("bad net {tok}")))?,
+                    cont_sink: None,
+                },
+            };
+            links.push(link);
+        }
+        if links.is_empty() {
+            return Err(err(i + 1, "empty chain"));
+        }
+        if links.last().expect("nonempty").cont_sink.is_some() {
+            return Err(err(i + 1, "last link must not continue"));
+        }
+        out.push(Chain { links, rat_ps });
+    }
+    Ok(out)
+}
+
+/// Serializes a full workload (nets + chains) to one document.
+pub fn workload_to_string(nets: &[Net], chains: &[Chain]) -> String {
+    format!(
+        "# cdst workload: {} nets, {} chains\n{}{}",
+        nets.len(),
+        chains.len(),
+        nets_to_string(nets),
+        chains_to_string(chains)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChipSpec;
+
+    #[test]
+    fn roundtrip_generated_chip() {
+        let chip = ChipSpec::small_test(5).generate();
+        let doc = workload_to_string(&chip.nets, &chip.chains);
+        let nets = parse_nets(&doc).unwrap();
+        let chains = parse_chains(&doc).unwrap();
+        assert_eq!(nets, chip.nets);
+        assert_eq!(chains.len(), chip.chains.len());
+        for (a, b) in chains.iter().zip(&chip.chains) {
+            assert_eq!(a.links, b.links);
+            // RAT survives the decimal round-trip to printed precision
+            assert!((a.rat_ps - b.rat_ps).abs() < 1e-9 * b.rat_ps.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let doc = "# comment\n\nnet 0 0 : 1 1\n";
+        assert_eq!(parse_nets(doc).unwrap().len(), 1);
+        assert!(parse_chains(doc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_numbers() {
+        let doc = "net 0 0 : 1\n";
+        let e = parse_nets(doc).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("pairs"));
+
+        let e = parse_chains("chain x : 1\n").unwrap_err();
+        assert!(e.message.contains("RAT"));
+
+        let e = parse_chains("chain 5 : 1/0\n").unwrap_err();
+        assert!(e.message.contains("continue"), "{e}");
+    }
+
+    #[test]
+    fn display_formats_error() {
+        let e = ParseWorkloadError { line: 3, message: "boom".into() };
+        assert_eq!(e.to_string(), "line 3: boom");
+    }
+}

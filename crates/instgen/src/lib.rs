@@ -1,0 +1,504 @@
+//! Synthetic chip and instance generation.
+//!
+//! The paper evaluates on eight industrial 5nm microprocessor/ASIC units
+//! (Table III) that are not public. This crate generates synthetic
+//! stand-ins with the same *structure*: the identical layer counts, net
+//! counts scaled to laptop size, a power-law pin-count distribution
+//! matching the Table I/II bucket proportions, clustered placements,
+//! timing chains with required arrival times, and capacities calibrated
+//! to a target utilization so congestion is real. The routing algorithms
+//! only ever see the graph, pins, prices and weights, so relative
+//! algorithm behaviour is preserved (see DESIGN.md, "Substitutions").
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_instgen::ChipSpec;
+//!
+//! let chip = ChipSpec::small_test(42).generate();
+//! assert!(!chip.nets.is_empty());
+//! assert!(chip.grid.graph().num_vertices() > 0);
+//! ```
+
+pub mod io;
+
+use cds_delay::{DelayModel, Technology};
+use cds_geom::{hpwl, Point};
+use cds_graph::{Direction, GridGraph, GridSpec, LayerSpec, WireTypeSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A net: one root (source) pin and one or more sink pins, in gcell
+/// coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Source pin.
+    pub root: Point,
+    /// Sink pins.
+    pub sinks: Vec<Point>,
+}
+
+/// One stage of a timing chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainLink {
+    /// Net index into [`Chip::nets`].
+    pub net: usize,
+    /// Sink of this net that drives the next stage (`None` for the last
+    /// link).
+    pub cont_sink: Option<usize>,
+}
+
+/// A combinational path: a sequence of nets separated by cells, with a
+/// required arrival time at the final net's sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chain {
+    /// The stages in order.
+    pub links: Vec<ChainLink>,
+    /// Required arrival time (ps) at the last net's sinks.
+    pub rat_ps: f64,
+}
+
+/// A generated chip: grid, delay model, nets, and timing structure.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    /// Chip name (`c1`…`c8` for the paper suite).
+    pub name: String,
+    /// The 3D global routing graph.
+    pub grid: GridGraph,
+    /// Calibrated linear delay model (also the source of `d_bif`).
+    pub delay_model: DelayModel,
+    /// All nets.
+    pub nets: Vec<Net>,
+    /// Timing chains covering every net exactly once.
+    pub chains: Vec<Chain>,
+    /// Fixed cell delay between chain stages (ps).
+    pub cell_delay_ps: f64,
+}
+
+/// The per-gcell delay of a mid-stack layer — what a net can typically
+/// achieve given that the fastest top layers have little capacity.
+/// Timing budgets (RATs, SL budgets) are based on this.
+pub fn typical_delay_per_gcell(model: &DelayModel) -> f64 {
+    let mid = (model.num_layers() / 2) as u8;
+    model.wire_delay_per_gcell(mid, 0)
+}
+
+/// Parameters of a synthetic chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// Chip name.
+    pub name: String,
+    /// Number of nets to generate.
+    pub num_nets: usize,
+    /// Metal layer count (Table III: 7-15).
+    pub num_layers: u8,
+    /// RNG seed — generation is fully deterministic.
+    pub seed: u64,
+    /// gcell pitch (µm).
+    pub gcell_um: f64,
+    /// Target average utilization for capacity calibration (0, 1];
+    /// higher = more congestion.
+    pub utilization: f64,
+    /// RAT slack factor: 1.0 makes direct-routed paths exactly meet
+    /// timing; smaller is tighter.
+    pub rat_tightness: f64,
+    /// Maximum nets per timing chain.
+    pub max_chain_len: usize,
+}
+
+impl ChipSpec {
+    /// A tiny chip for tests and the quickstart example.
+    pub fn small_test(seed: u64) -> Self {
+        ChipSpec {
+            name: "test".into(),
+            num_nets: 60,
+            num_layers: 4,
+            seed,
+            gcell_um: 20.0,
+            utilization: 0.33,
+            rat_tightness: 1.25,
+            max_chain_len: 3,
+        }
+    }
+
+    /// The scaled Table III suite: identical layer counts, net counts
+    /// divided by `divisor` (the paper's chips have 49 734 - 941 271
+    /// nets; `divisor = 400` gives a few-minute laptop run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn paper_suite(divisor: usize, seed: u64) -> Vec<ChipSpec> {
+        assert!(divisor > 0, "divisor must be positive");
+        let table_iii: [(&str, usize, u8); 8] = [
+            ("c1", 49_734, 8),
+            ("c2", 66_500, 9),
+            ("c3", 286_619, 7),
+            ("c4", 305_094, 15),
+            ("c5", 420_131, 9),
+            ("c6", 590_060, 9),
+            ("c7", 650_127, 15),
+            ("c8", 941_271, 15),
+        ];
+        table_iii
+            .iter()
+            .enumerate()
+            .map(|(i, &(name, nets, layers))| ChipSpec {
+                name: name.into(),
+                num_nets: (nets / divisor).max(40),
+                num_layers: layers,
+                seed: seed.wrapping_add(i as u64 * 7919),
+                gcell_um: 20.0,
+                utilization: 0.33,
+                rat_tightness: 1.25,
+                max_chain_len: 4,
+            })
+            .collect()
+    }
+
+    /// Generates the chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero nets, fewer than 2 layers).
+    pub fn generate(&self) -> Chip {
+        assert!(self.num_nets > 0, "need nets");
+        assert!(self.num_layers >= 2, "need at least 2 layers");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // grid dimensions: roughly one net per 1.5 gcells of area
+        let side = ((self.num_nets as f64 * 1.5).sqrt().ceil() as u32).max(12) + 8;
+        let (nx, ny) = (side, side);
+
+        // macro blockages first: pins must stay outside them
+        let macros = self.macros(&mut rng, nx, ny);
+
+        // pins
+        let nets = self.generate_nets(&mut rng, nx, ny, &macros);
+
+        // technology & delay model
+        let tech = Technology::five_nm_like(self.num_layers);
+        let delay_model = tech.calibrate(self.gcell_um);
+
+        // capacity calibration: spread expected demand over wire edges
+        let total_wl: f64 = nets
+            .iter()
+            .map(|n| {
+                let mut pts = n.sinks.clone();
+                pts.push(n.root);
+                hpwl(&pts) as f64 * 1.15 + 2.0
+            })
+            .sum();
+        let wire_edges_per_layer = ((nx - 1) * ny + nx * (ny - 1)) / 2; // avg over directions
+        // demand concentrates on the lower layers (pins are at layer 0 and
+        // vias cost); provision capacity as if it all lands on four layers
+        let effective_layers = (self.num_layers as f64).min(2.5);
+        let num_wire_edges = wire_edges_per_layer as f64 * effective_layers;
+        let cap = (total_wl / num_wire_edges / self.utilization).max(2.0);
+
+        // layers: alternate directions; wide wire type from layer 4 up
+        let layers: Vec<LayerSpec> = (0..self.num_layers)
+            .map(|l| {
+                let mut wire_types = vec![WireTypeSpec {
+                    cost_per_gcell: 1.0,
+                    delay_per_gcell: delay_model.wire_delay_per_gcell(l, 0),
+                    capacity: cap,
+                }];
+                if usize::from(l) < delay_model.num_layers()
+                    && delay_model.num_wire_types(l) > 1
+                {
+                    wire_types.push(WireTypeSpec {
+                        // wide wires burn two tracks: twice the cost
+                        cost_per_gcell: 2.0,
+                        delay_per_gcell: delay_model.wire_delay_per_gcell(l, 1),
+                        capacity: cap,
+                    });
+                }
+                LayerSpec {
+                    dir: if l % 2 == 0 { Direction::Horizontal } else { Direction::Vertical },
+                    wire_types,
+                }
+            })
+            .collect();
+        let spec = GridSpec {
+            nx,
+            ny,
+            layers,
+            via_cost: 1.0,
+            via_delay: delay_model.via_delay_ps(),
+            via_capacity: cap * 2.0,
+            gcell_um: self.gcell_um,
+        };
+        // Macro blockages: industrial units have macros that deplete
+        // lower-layer capacity locally, producing the congestion hot
+        // spots that differentiate congestion-aware routing. Modelled by
+        // slashing wire capacity inside a few random rectangles.
+        let mut grid = spec.clone().build();
+        if !macros.is_empty() {
+            // GridSpec capacities are uniform per wire type, so deplete
+            // per-edge attributes in a rebuild pass
+            let graph = grid.graph();
+            let mut b = cds_graph::GraphBuilder::new(graph.num_vertices());
+            let inside = |x: u32, y: u32| {
+                macros.iter().any(|&(mx0, my0, mx1, my1)| {
+                    x >= mx0 && x <= mx1 && y >= my0 && y <= my1
+                })
+            };
+            for e in graph.edge_ids() {
+                let ep = graph.endpoints(e);
+                let mut attrs = *graph.edge(e);
+                if attrs.kind == cds_graph::EdgeKind::Wire && attrs.layer < 4 {
+                    let (cu, cv) = (grid.coord(ep.u), grid.coord(ep.v));
+                    if inside(cu.x, cu.y) && inside(cv.x, cv.y) {
+                        attrs.capacity *= 0.35;
+                    }
+                }
+                b.add_edge(ep.u, ep.v, attrs);
+            }
+            grid = GridGraph::from_parts(spec, b.build());
+        }
+
+        // timing chains
+        let chains = self.generate_chains(&mut rng, &nets, &grid, &delay_model);
+
+        Chip {
+            name: self.name.clone(),
+            grid,
+            delay_model,
+            nets,
+            chains,
+            cell_delay_ps: 18.0,
+        }
+    }
+
+    /// Pin-count distribution matching the Table I/II bucket shape:
+    /// mostly 1-5 sinks, a thin tail up to ~60.
+    fn sink_count(rng: &mut StdRng) -> usize {
+        let r: f64 = rng.gen();
+        if r < 0.40 {
+            1
+        } else if r < 0.60 {
+            2
+        } else if r < 0.84 {
+            rng.gen_range(3..=5)
+        } else if r < 0.94 {
+            rng.gen_range(6..=14)
+        } else if r < 0.985 {
+            rng.gen_range(15..=29)
+        } else {
+            rng.gen_range(30..=60)
+        }
+    }
+
+    fn generate_nets(
+        &self,
+        rng: &mut StdRng,
+        nx: u32,
+        ny: u32,
+        macros: &[(u32, u32, u32, u32)],
+    ) -> Vec<Net> {
+        let cluster_radius = (nx.min(ny) / 8).max(2) as i32;
+        let blocked = |p: Point| {
+            macros.iter().any(|&(x0, y0, x1, y1)| {
+                p.x as u32 >= x0 && p.x as u32 <= x1 && p.y as u32 >= y0 && p.y as u32 <= y1
+            })
+        };
+        // rejection-sample pins outside macro blockages (cells do not sit
+        // inside macros; macro pins are rare and live on their boundary)
+        let sample = |rng: &mut StdRng, near: Option<Point>| -> Point {
+            for _ in 0..64 {
+                let p = match near {
+                    Some(c) => Point::new(
+                        (c.x + rng.gen_range(-cluster_radius..=cluster_radius))
+                            .clamp(0, nx as i32 - 1),
+                        (c.y + rng.gen_range(-cluster_radius..=cluster_radius))
+                            .clamp(0, ny as i32 - 1),
+                    ),
+                    None => Point::new(
+                        rng.gen_range(0..nx as i32),
+                        rng.gen_range(0..ny as i32),
+                    ),
+                };
+                if !blocked(p) {
+                    return p;
+                }
+            }
+            Point::new(0, 0) // pathological macro coverage; keep going
+        };
+        (0..self.num_nets)
+            .map(|_| {
+                let root = sample(rng, None);
+                let k = Self::sink_count(rng);
+                let sinks = (0..k)
+                    .map(|_| {
+                        let near = (rng.gen::<f64>() < 0.75).then_some(root);
+                        sample(rng, near)
+                    })
+                    .collect();
+                Net { root, sinks }
+            })
+            .collect()
+    }
+
+    fn generate_chains(
+        &self,
+        rng: &mut StdRng,
+        nets: &[Net],
+        grid: &GridGraph,
+        delay_model: &DelayModel,
+    ) -> Vec<Chain> {
+        // estimated *achievable* delay of a root→sink connection: based
+        // on a mid-stack layer (the fastest layers have little capacity)
+        // plus a detour allowance
+        let typ = typical_delay_per_gcell(delay_model);
+        let est = |a: Point, b: Point| -> f64 {
+            a.l1(b) as f64 * typ * 1.15 + 2.0 * grid.spec().via_delay
+        };
+        let mut order: Vec<usize> = (0..nets.len()).collect();
+        // deterministic shuffle
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut chains = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let len = rng.gen_range(1..=self.max_chain_len).min(order.len() - i);
+            let members: Vec<usize> = order[i..i + len].to_vec();
+            i += len;
+            let mut links = Vec::with_capacity(len);
+            let mut est_delay = 0.0;
+            for (j, &net) in members.iter().enumerate() {
+                let cont_sink = if j + 1 < len {
+                    // continue through the sink nearest the next root
+                    let next_root = nets[members[j + 1]].root;
+                    let (best, _) = nets[net]
+                        .sinks
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &s)| s.l1(next_root))
+                        .expect("nets have sinks");
+                    Some(best)
+                } else {
+                    None
+                };
+                let stage_sink = match cont_sink {
+                    Some(s) => nets[net].sinks[s],
+                    // last stage: budget for the slowest sink
+                    None => *nets[net]
+                        .sinks
+                        .iter()
+                        .max_by_key(|&&s| s.l1(nets[net].root))
+                        .expect("nets have sinks"),
+                };
+                est_delay += est(nets[net].root, stage_sink) + self.cell_delay();
+                links.push(ChainLink { net, cont_sink });
+            }
+            let jitter = rng.gen_range(0.85..1.30);
+            chains.push(Chain { links, rat_ps: est_delay * self.rat_tightness * jitter });
+        }
+        chains
+    }
+
+    fn cell_delay(&self) -> f64 {
+        18.0
+    }
+
+    /// Random macro rectangles (x0, y0, x1, y1); roughly one per 150
+    /// nets, each about a sixth of the die on a side.
+    fn macros(&self, rng: &mut StdRng, nx: u32, ny: u32) -> Vec<(u32, u32, u32, u32)> {
+        let count = (self.num_nets / 150).min(6);
+        (0..count)
+            .map(|_| {
+                let w = (nx / 6).max(3);
+                let h = (ny / 6).max(3);
+                let x0 = rng.gen_range(0..nx.saturating_sub(w).max(1));
+                let y0 = rng.gen_range(0..ny.saturating_sub(h).max(1));
+                (x0, y0, x0 + w, y0 + h)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ChipSpec::small_test(7).generate();
+        let b = ChipSpec::small_test(7).generate();
+        assert_eq!(a.nets, b.nets);
+        assert_eq!(a.chains.len(), b.chains.len());
+        for (x, y) in a.chains.iter().zip(&b.chains) {
+            assert_eq!(x.links, y.links);
+            assert!((x.rat_ps - y.rat_ps).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChipSpec::small_test(1).generate();
+        let b = ChipSpec::small_test(2).generate();
+        assert_ne!(a.nets, b.nets);
+    }
+
+    #[test]
+    fn chains_cover_every_net_once() {
+        let chip = ChipSpec::small_test(3).generate();
+        let mut seen = HashSet::new();
+        for chain in &chip.chains {
+            assert!(!chain.links.is_empty());
+            assert!(chain.rat_ps > 0.0);
+            for link in &chain.links {
+                assert!(seen.insert(link.net), "net {} in two chains", link.net);
+                if let Some(s) = link.cont_sink {
+                    assert!(s < chip.nets[link.net].sinks.len());
+                }
+            }
+            assert!(chain.links.last().expect("nonempty").cont_sink.is_none());
+        }
+        assert_eq!(seen.len(), chip.nets.len());
+    }
+
+    #[test]
+    fn pins_are_on_grid() {
+        let chip = ChipSpec::small_test(4).generate();
+        let spec = chip.grid.spec();
+        for net in &chip.nets {
+            for &p in std::iter::once(&net.root).chain(&net.sinks) {
+                assert!(p.x >= 0 && (p.x as u32) < spec.nx);
+                assert!(p.y >= 0 && (p.y as u32) < spec.ny);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_suite_matches_table_iii_layers() {
+        let suite = ChipSpec::paper_suite(400, 99);
+        assert_eq!(suite.len(), 8);
+        let layers: Vec<u8> = suite.iter().map(|c| c.num_layers).collect();
+        assert_eq!(layers, vec![8, 9, 7, 15, 9, 9, 15, 15]);
+        assert!(suite[7].num_nets > suite[0].num_nets, "c8 is the biggest");
+    }
+
+    #[test]
+    fn sink_distribution_has_big_nets() {
+        let chip = ChipSpec {
+            num_nets: 2000,
+            ..ChipSpec::small_test(11)
+        }
+        .generate();
+        let buckets = chip.nets.iter().fold([0usize; 4], |mut b, n| {
+            match n.sinks.len() {
+                0..=5 => b[0] += 1,
+                6..=14 => b[1] += 1,
+                15..=29 => b[2] += 1,
+                _ => b[3] += 1,
+            }
+            b
+        });
+        assert!(buckets[0] > buckets[1]);
+        assert!(buckets[1] > buckets[2]);
+        assert!(buckets[3] > 0, "some >=30-sink nets must exist");
+    }
+}

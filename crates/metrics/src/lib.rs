@@ -1,0 +1,165 @@
+//! Routability and routing-quality metrics.
+//!
+//! Implements the congestion metrics the paper reports in Tables IV/V:
+//! **ACE(x)** — "the average congestion of the x% most critical global
+//! routing edges" \[19\] — and the composite
+//! `ACE4 = (ACE(0.5) + ACE(1) + ACE(2) + ACE(5)) / 4`, plus wirelength
+//! and via accounting. An ACE4 of 93% is usually considered routable;
+//! detailed routing degrades noticeably above 90%.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_metrics::{ace, ace4};
+//!
+//! // congestion ratios (usage/capacity) per edge
+//! let cong = vec![1.2, 0.9, 0.5, 0.1];
+//! assert!((ace(&cong, 25.0) - 120.0).abs() < 1e-9); // top 25% = the 1.2 edge
+//! assert!(ace4(&cong) >= 100.0); // dominated by the overflowing edge
+//! ```
+
+use cds_graph::{EdgeKind, Graph};
+
+/// ACE(x): average congestion (in percent) of the x% most congested
+/// edges. `congestion` holds usage/capacity ratios; at least one edge is
+/// always averaged.
+///
+/// # Panics
+///
+/// Panics if `congestion` is empty or `x_percent` is not in (0, 100].
+pub fn ace(congestion: &[f64], x_percent: f64) -> f64 {
+    assert!(!congestion.is_empty(), "ACE of no edges");
+    assert!(x_percent > 0.0 && x_percent <= 100.0, "x must be in (0, 100]");
+    let mut sorted: Vec<f64> = congestion.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite congestion"));
+    let k = ((sorted.len() as f64) * x_percent / 100.0).ceil().max(1.0) as usize;
+    let k = k.min(sorted.len());
+    let avg: f64 = sorted[..k].iter().sum::<f64>() / k as f64;
+    avg * 100.0
+}
+
+/// The composite ACE4 metric of \[19\]:
+/// `(ACE(0.5) + ACE(1) + ACE(2) + ACE(5)) / 4`, in percent.
+pub fn ace4(congestion: &[f64]) -> f64 {
+    (ace(congestion, 0.5) + ace(congestion, 1.0) + ace(congestion, 2.0) + ace(congestion, 5.0))
+        / 4.0
+}
+
+/// Per-edge congestion ratios (usage / capacity) of the *wire* edges of
+/// a graph — vias are excluded from ACE, matching \[19\].
+pub fn wire_congestion(g: &Graph, usage: &[f64]) -> Vec<f64> {
+    g.edge_ids()
+        .filter(|&e| g.edge(e).kind == EdgeKind::Wire)
+        .map(|e| usage[e as usize] / g.edge(e).capacity.max(1e-12))
+        .collect()
+}
+
+/// Number of edges with usage exceeding capacity.
+pub fn overflowed_edges(g: &Graph, usage: &[f64]) -> usize {
+    g.edge_ids()
+        .filter(|&e| usage[e as usize] > g.edge(e).capacity + 1e-9)
+        .count()
+}
+
+/// Aggregate result metrics of one routing run (one row of Table IV/V).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Worst slack (ps).
+    pub ws: f64,
+    /// Total negative slack (ps).
+    pub tns: f64,
+    /// ACE4 (percent).
+    pub ace4: f64,
+    /// Total wirelength (metres).
+    pub wl_m: f64,
+    /// Via count.
+    pub vias: usize,
+    /// Wall time (seconds).
+    pub walltime_s: f64,
+}
+
+impl RunMetrics {
+    /// Formats the row the way the paper's tables do.
+    pub fn table_row(&self, chip: &str, run: &str) -> String {
+        format!(
+            "{chip:>4} {run:>3} {ws:>9.0} {tns:>12.0} {ace4:>7.2} {wl:>9.4} {vias:>10} {wt:>9.1}",
+            ws = self.ws,
+            tns = self.tns,
+            ace4 = self.ace4,
+            wl = self.wl_m,
+            vias = self.vias,
+            wt = self.walltime_s,
+        )
+    }
+}
+
+/// Gcell wirelength to metres given the gcell pitch in µm.
+pub fn wirelength_meters(gcells: f64, gcell_um: f64) -> f64 {
+    gcells * gcell_um * 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_graph::{EdgeAttrs, GraphBuilder};
+    use proptest::prelude::*;
+
+    #[test]
+    fn ace_of_uniform_is_uniform() {
+        let c = vec![0.5; 100];
+        for x in [0.5, 1.0, 2.0, 5.0, 100.0] {
+            assert!((ace(&c, x) - 50.0).abs() < 1e-9);
+        }
+        assert!((ace4(&c) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ace_top_percentile_takes_worst() {
+        let mut c = vec![0.1; 199];
+        c.push(2.0);
+        // 0.5% of 200 = 1 edge: the 2.0 one
+        assert!((ace(&c, 0.5) - 200.0).abs() < 1e-9);
+        // 100%: average = (199*0.1 + 2.0)/200
+        let want = (199.0 * 0.1 + 2.0) / 200.0 * 100.0;
+        assert!((ace(&c, 100.0) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_congestion_skips_vias() {
+        let mut b = GraphBuilder::new(3);
+        let mut wire = EdgeAttrs::wire(1.0, 1.0);
+        wire.capacity = 2.0;
+        b.add_edge(0, 1, wire);
+        b.add_edge(1, 2, EdgeAttrs::via(1.0, 1.0, 0));
+        let g = b.build();
+        let usage = vec![1.0, 5.0];
+        let cong = wire_congestion(&g, &usage);
+        assert_eq!(cong, vec![0.5]);
+        assert_eq!(overflowed_edges(&g, &usage), 1);
+    }
+
+    #[test]
+    fn metres_conversion() {
+        // 1000 gcells at 50 µm = 0.05 m
+        assert!((wirelength_meters(1000.0, 50.0) - 0.05).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// ACE is monotone: a smaller percentile never averages lower
+        /// congestion than a larger one.
+        #[test]
+        fn ace_monotone_in_percentile(c in proptest::collection::vec(0.0f64..2.0, 1..100)) {
+            let a05 = ace(&c, 0.5);
+            let a1 = ace(&c, 1.0);
+            let a2 = ace(&c, 2.0);
+            let a5 = ace(&c, 5.0);
+            let a100 = ace(&c, 100.0);
+            prop_assert!(a05 >= a1 - 1e-9);
+            prop_assert!(a1 >= a2 - 1e-9);
+            prop_assert!(a2 >= a5 - 1e-9);
+            prop_assert!(a5 >= a100 - 1e-9);
+            let a4 = ace4(&c);
+            prop_assert!(a4 >= a100 - 1e-9 && a4 <= a05 + 1e-9);
+        }
+    }
+}

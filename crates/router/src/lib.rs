@@ -1,0 +1,600 @@
+//! Timing-constrained global routing with a Steiner tree oracle.
+//!
+//! A laptop-scale reproduction of the routing framework the paper
+//! evaluates in (§IV, after Held et al. \[13\]): Lagrangean relaxation of
+//! the global timing and routing constraints turns the per-net subproblem
+//! into exactly the cost-distance Steiner tree problem of Eq. (1) — edge
+//! prices `c(e)` from congestion, sink delay weights `w(t)` from timing
+//! criticality. The loop:
+//!
+//! 1. price every edge from current usage (multiplicative weights,
+//!    prices never drop below base cost so A* stays admissible),
+//! 2. rip-up & re-route every net with the configured oracle
+//!    (L1/SL/PD/CD, §IV-A) inside a bounding-box window, in parallel,
+//! 3. run STA over the chip's timing chains, update the delay weights
+//!    from slacks, repeat.
+//!
+//! Outputs are the paper's Table IV/V columns: WS, TNS, ACE4, wirelength,
+//! vias, walltime.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use cds_instgen::ChipSpec;
+//! use cds_router::{Router, RouterConfig, SteinerMethod};
+//!
+//! let chip = ChipSpec::small_test(1).generate();
+//! let config = RouterConfig { method: SteinerMethod::Cd, ..RouterConfig::default() };
+//! let outcome = Router::new(&chip, config).run();
+//! println!("WS {:.0}ps TNS {:.0}ps ACE4 {:.1}%", outcome.metrics.ws,
+//!          outcome.metrics.tns, outcome.metrics.ace4);
+//! ```
+
+pub mod oracle;
+
+pub use oracle::{route_net, OracleRequest, SteinerMethod};
+
+use cds_geom::Point;
+use cds_graph::{EdgeId, EdgeIndex, GridWindow};
+use cds_instgen::Chip;
+use cds_metrics::{ace4, wire_congestion, wirelength_meters, RunMetrics};
+use cds_sta::{TimingGraph, TimingReport};
+use cds_topo::BifurcationConfig;
+use std::time::Instant;
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Which Steiner oracle to use.
+    pub method: SteinerMethod,
+    /// Rip-up & re-route iterations.
+    pub iterations: usize,
+    /// Worker threads (the paper uses 16).
+    pub threads: usize,
+    /// Use the calibrated bifurcation penalty (`d_bif > 0` tables) or not.
+    pub use_dbif: bool,
+    /// λ shielding limit η.
+    pub eta: f64,
+    /// RNG seed (forwarded to CD's randomized placement).
+    pub seed: u64,
+    /// Routing window margin around each net's bounding box (gcells).
+    pub window_margin: u32,
+    /// Congestion price exponent per unit utilization, scaled by the
+    /// iteration number.
+    pub price_alpha: f64,
+    /// Temperature (ps) of the slack → delay-weight update.
+    pub weight_tau_ps: f64,
+    /// Collect final-iteration instances for the Table I/II comparisons.
+    pub harvest: bool,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            method: SteinerMethod::Cd,
+            iterations: 5,
+            threads: std::thread::available_parallelism().map_or(8, |p| p.get()).min(16),
+            use_dbif: false,
+            eta: 0.25,
+            seed: 0xC0FFEE,
+            window_margin: 6,
+            price_alpha: 1.0,
+            weight_tau_ps: 250.0,
+            harvest: false,
+        }
+    }
+}
+
+/// Result of routing one net (window-independent summary).
+#[derive(Debug, Clone)]
+pub struct RoutedNet {
+    /// Wirelength in gcells.
+    pub wirelength_gcells: f64,
+    /// Vias used.
+    pub vias: usize,
+    /// Delay per sink (ps), including λ penalties.
+    pub sink_delays: Vec<f64>,
+    /// Global edge ids used, with the tracks each use consumes.
+    pub used_edges: Vec<(EdgeId, f64)>,
+}
+
+/// A cost-distance instance captured during routing, for the Table I/II
+/// apples-to-apples comparisons ("instances … as they were generated
+/// during timing-constrained global routing").
+#[derive(Debug, Clone)]
+pub struct HarvestedInstance {
+    /// Net index into the chip.
+    pub net: usize,
+    /// The delay weights the router used for this net.
+    pub weights: Vec<f64>,
+    /// The SL delay budgets in effect for this net.
+    pub budgets: Vec<f64>,
+}
+
+/// Everything a router run produces.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// The Table IV/V row.
+    pub metrics: RunMetrics,
+    /// Final timing report.
+    pub timing: TimingReport,
+    /// Final edge usage (tracks) per global edge.
+    pub usage: Vec<f64>,
+    /// Final edge prices.
+    pub prices: Vec<f64>,
+    /// Per-net summaries (net order).
+    pub nets: Vec<RoutedNet>,
+    /// Harvested instances (final iteration, nets with ≥ 3 sinks), when
+    /// requested.
+    pub harvest: Vec<HarvestedInstance>,
+}
+
+/// The timing-constrained global router.
+pub struct Router<'a> {
+    chip: &'a Chip,
+    config: RouterConfig,
+    edge_index: EdgeIndex,
+}
+
+impl<'a> Router<'a> {
+    /// Prepares a router for `chip`.
+    pub fn new(chip: &'a Chip, config: RouterConfig) -> Self {
+        let edge_index = EdgeIndex::new(&chip.grid);
+        Router { chip, config, edge_index }
+    }
+
+    /// The bifurcation config this run uses.
+    pub fn bif(&self) -> BifurcationConfig {
+        if self.config.use_dbif {
+            BifurcationConfig::new(self.chip.delay_model.dbif_ps(), self.config.eta)
+        } else {
+            BifurcationConfig::ZERO
+        }
+    }
+
+    /// Runs the full rip-up & re-route loop.
+    pub fn run(&self) -> RoutingOutcome {
+        let start = Instant::now();
+        let chip = self.chip;
+        let g = chip.grid.graph();
+        let m = g.num_edges();
+        let base: Vec<f64> = g.base_costs();
+        let bif = self.bif();
+
+        // timing graph skeleton
+        let (tg_template, net_nodes) = self.build_timing_graph();
+        let mut tg = tg_template;
+
+        // Per-sink delay weights (Lagrange multipliers). The floor keeps
+        // every sink's delay weakly priced — TNS counts all endpoints, so
+        // a zero-weight sink would otherwise be free to meander.
+        let mut weights: Vec<Vec<f64>> =
+            chip.nets.iter().map(|n| vec![0.05; n.sinks.len()]).collect();
+        // per-sink budgets for SL (None before the first STA)
+        let mut budgets: Vec<Option<Vec<f64>>> = vec![None; chip.nets.len()];
+
+        let mut usage = vec![0.0f64; m];
+        let mut usage_hist = vec![0.0f64; m];
+        let mut prices = base.clone();
+        let mut nets_out: Vec<RoutedNet> = Vec::new();
+        let mut report = tg.analyze();
+
+        for iter in 0..self.config.iterations {
+            // 1. prices from damped usage (history smoothing avoids the
+            //    herding oscillation of cost-seeking oracles on frozen
+            //    prices)
+            prices = self.compute_prices(&base, &usage_hist, iter);
+
+            // 2. route all nets in parallel on frozen prices
+            nets_out = self.route_all(&prices, &weights, &budgets, bif);
+
+            // 3. accumulate usage and blend into the pricing history
+            usage.fill(0.0);
+            for rn in &nets_out {
+                for &(e, tracks) in &rn.used_edges {
+                    usage[e as usize] += tracks;
+                }
+            }
+            for (h, &u) in usage_hist.iter_mut().zip(&usage) {
+                *h = if iter == 0 { u } else { 0.5 * *h + 0.5 * u };
+            }
+
+            // 4. timing update
+            for (i, rn) in nets_out.iter().enumerate() {
+                for (arc, &d) in net_nodes.sink_arc[i].iter().zip(&rn.sink_delays) {
+                    tg.set_arc_delay(*arc, d);
+                }
+            }
+            report = tg.analyze();
+
+            // 5. weight & budget updates from slacks
+            for (i, net) in chip.nets.iter().enumerate() {
+                let mut b = Vec::with_capacity(net.sinks.len());
+                // j indexes three parallel arrays; an iterator zip would
+                // only obscure that
+                #[allow(clippy::needless_range_loop)]
+                for j in 0..net.sinks.len() {
+                    let node = net_nodes.sink_node[i][j];
+                    let slack = report.slack[node as usize];
+                    if slack.is_finite() {
+                        let f = (-slack / self.config.weight_tau_ps).exp();
+                        weights[i][j] = (weights[i][j] * f).clamp(1e-3, 2.0);
+                    }
+                    // absolute budget: what timing actually allows this
+                    // sink — achieved delay plus its slack (floored at
+                    // the direct-connection delay, which is always
+                    // achievable)
+                    let direct = net.root.l1(net.sinks[j]) as f64
+                        * chip.grid.min_delay_per_gcell()
+                        + 2.0 * chip.grid.spec().via_delay; // true lower bound
+                    let achieved = nets_out[i].sink_delays[j];
+                    let allowed = if slack.is_finite() { achieved + slack } else { f64::MAX / 4.0 };
+                    b.push(allowed.max(direct));
+                }
+                budgets[i] = Some(b);
+            }
+        }
+
+        // final metrics
+        let cong = wire_congestion(g, &usage);
+        let wl_gcells: f64 = nets_out.iter().map(|n| n.wirelength_gcells).sum();
+        let vias: usize = nets_out.iter().map(|n| n.vias).sum();
+        let metrics = RunMetrics {
+            ws: report.ws,
+            tns: report.tns,
+            ace4: ace4(&cong),
+            wl_m: wirelength_meters(wl_gcells, chip.grid.spec().gcell_um),
+            vias,
+            walltime_s: start.elapsed().as_secs_f64(),
+        };
+        let harvest = if self.config.harvest {
+            chip.nets
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.sinks.len() >= 3)
+                .map(|(i, _)| HarvestedInstance {
+                    net: i,
+                    weights: weights[i].clone(),
+                    budgets: budgets[i].clone().unwrap_or_default(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        RoutingOutcome {
+            metrics,
+            timing: report,
+            usage,
+            prices,
+            nets: nets_out,
+            harvest,
+        }
+    }
+
+    /// Routes one net against explicit prices/weights; shared by the
+    /// main loop and the table harnesses (which must present *identical*
+    /// instances to all four methods).
+    pub fn route_one(
+        &self,
+        net_id: usize,
+        method: SteinerMethod,
+        prices: &[f64],
+        weights: &[f64],
+        budgets: Option<&[f64]>,
+        bif: BifurcationConfig,
+    ) -> (RoutedNet, f64) {
+        let chip = self.chip;
+        let net = &chip.nets[net_id];
+        let mut pins = vec![net.root];
+        pins.extend_from_slice(&net.sinks);
+        let window =
+            GridWindow::around(&chip.grid, &self.edge_index, &pins, self.config.window_margin);
+        let local_cost = window.slice(prices);
+        let local_delay = window.grid.graph().delays();
+        let local_sinks: Vec<Point> = net.sinks.iter().map(|&p| window.localize(p)).collect();
+        let req = OracleRequest {
+            grid: &window.grid,
+            cost: &local_cost,
+            delay: &local_delay,
+            root: window.localize(net.root),
+            sinks: &local_sinks,
+            weights,
+            budgets,
+            bif,
+            seed: self.config.seed ^ (net_id as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        };
+        let tree = route_net(method, &req);
+        let ev = tree.evaluate(&local_cost, &local_delay, weights, &bif);
+        let wg = window.grid.graph();
+        let used_edges: Vec<(EdgeId, f64)> = tree
+            .edges()
+            .map(|e| {
+                let attrs = wg.edge(e);
+                let tracks = if attrs.kind == cds_graph::EdgeKind::Wire && attrs.wire_type == 1 {
+                    2.0
+                } else {
+                    1.0
+                };
+                (window.to_global_edge[e as usize], tracks)
+            })
+            .collect();
+        (
+            RoutedNet {
+                wirelength_gcells: tree.wirelength(wg),
+                vias: tree.via_count(wg),
+                sink_delays: ev.sink_delays.clone(),
+                used_edges,
+            },
+            ev.total,
+        )
+    }
+
+    fn route_all(
+        &self,
+        prices: &[f64],
+        weights: &[Vec<f64>],
+        budgets: &[Option<Vec<f64>>],
+        bif: BifurcationConfig,
+    ) -> Vec<RoutedNet> {
+        let n = self.chip.nets.len();
+        let threads = self.config.threads.max(1).min(n.max(1));
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Option<RoutedNet>> = vec![None; n];
+        let slots: Vec<&mut [Option<RoutedNet>]> = results.chunks_mut(chunk).collect();
+        crossbeam::thread::scope(|scope| {
+            for (ci, slot) in slots.into_iter().enumerate() {
+                let lo = ci * chunk;
+                scope.spawn(move |_| {
+                    for (k, out) in slot.iter_mut().enumerate() {
+                        let net_id = lo + k;
+                        let (rn, _) = self.route_one(
+                            net_id,
+                            self.config.method,
+                            prices,
+                            &weights[net_id],
+                            budgets[net_id].as_deref(),
+                            bif,
+                        );
+                        *out = Some(rn);
+                    }
+                });
+            }
+        })
+        .expect("routing threads must not panic");
+        results
+            .into_iter()
+            .map(|r| r.expect("all nets routed"))
+            .collect()
+    }
+
+    /// Multiplicative-weight congestion pricing: price never drops below
+    /// base cost (A* admissibility) and grows exponentially with
+    /// utilization, sharpening each iteration.
+    fn compute_prices(&self, base: &[f64], usage: &[f64], iteration: usize) -> Vec<f64> {
+        let g = self.chip.grid.graph();
+        let alpha = self.config.price_alpha * iteration as f64;
+        base.iter()
+            .enumerate()
+            .map(|(e, &b)| {
+                let cap = g.edge(e as EdgeId).capacity.max(1e-9);
+                // cap the exponent so hopeless hot spots do not destroy
+                // the price landscape for everyone else
+                b * (alpha * usage[e] / cap).min(6.0).exp()
+            })
+            .collect()
+    }
+
+    /// Builds the chip's timing DAG: one node per net root and per sink,
+    /// net arcs (updated every iteration) and fixed cell arcs along the
+    /// chains; ATs at chain heads, RATs at all true endpoints.
+    fn build_timing_graph(&self) -> (TimingGraph, NetNodes) {
+        let chip = self.chip;
+        let mut count = 0u32;
+        let mut root_node = Vec::with_capacity(chip.nets.len());
+        let mut sink_node = Vec::with_capacity(chip.nets.len());
+        for net in &chip.nets {
+            root_node.push(count);
+            count += 1;
+            let mut s = Vec::with_capacity(net.sinks.len());
+            for _ in &net.sinks {
+                s.push(count);
+                count += 1;
+            }
+            sink_node.push(s);
+        }
+        let mut tg = TimingGraph::new(count as usize);
+        // net arcs with placeholder direct-delay estimates, matching the
+        // generator's typical-layer model so RAT distribution is sane
+        let typ = cds_instgen::typical_delay_per_gcell(&chip.delay_model);
+        let est = |a: Point, b: Point| -> f64 {
+            a.l1(b) as f64 * typ * 1.15 + 2.0 * chip.grid.spec().via_delay
+        };
+        let mut sink_arc = Vec::with_capacity(chip.nets.len());
+        for (i, net) in chip.nets.iter().enumerate() {
+            let mut arcs = Vec::with_capacity(net.sinks.len());
+            for (j, &s) in net.sinks.iter().enumerate() {
+                arcs.push(tg.add_arc(root_node[i], sink_node[i][j], est(net.root, s)));
+            }
+            sink_arc.push(arcs);
+        }
+        // chains: cell arcs, inputs, RATs
+        for chain in &chip.chains {
+            let first = chain.links.first().expect("chains are nonempty");
+            tg.set_input(root_node[first.net], 0.0);
+            // prefix of estimated stage delays, for distributing the RAT
+            // over intermediate endpoints
+            let mut prefix = 0.0;
+            let mut est_total = 0.0;
+            for link in &chain.links {
+                let net = &chip.nets[link.net];
+                let stage_sink = match link.cont_sink {
+                    Some(s) => net.sinks[s],
+                    None => *net
+                        .sinks
+                        .iter()
+                        .max_by_key(|&&s| s.l1(net.root))
+                        .expect("nets have sinks"),
+                };
+                est_total += est(net.root, stage_sink) + chip.cell_delay_ps;
+            }
+            let scale = chain.rat_ps / est_total.max(1e-9);
+            for (li, link) in chain.links.iter().enumerate() {
+                let net = &chip.nets[link.net];
+                for (j, &s) in net.sinks.iter().enumerate() {
+                    let is_cont = link.cont_sink == Some(j);
+                    if is_cont {
+                        // cell arc to the next stage's root
+                        let next = chain.links[li + 1].net;
+                        tg.add_arc(sink_node[link.net][j], root_node[next], chip.cell_delay_ps);
+                    } else {
+                        // endpoint: RAT proportional to its estimated
+                        // position on the chain
+                        let rat = (prefix + est(net.root, s) + chip.cell_delay_ps) * scale;
+                        tg.set_required(sink_node[link.net][j], rat);
+                    }
+                }
+                let stage_sink = match link.cont_sink {
+                    Some(s) => net.sinks[s],
+                    None => *net
+                        .sinks
+                        .iter()
+                        .max_by_key(|&&s| s.l1(net.root))
+                        .expect("nets have sinks"),
+                };
+                prefix += est(net.root, stage_sink) + chip.cell_delay_ps;
+            }
+        }
+        (tg, NetNodes { root_node, sink_node, sink_arc })
+    }
+}
+
+/// Timing-node bookkeeping per net.
+struct NetNodes {
+    #[allow(dead_code)]
+    root_node: Vec<u32>,
+    sink_node: Vec<Vec<u32>>,
+    sink_arc: Vec<Vec<u32>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_instgen::ChipSpec;
+
+    fn tiny_chip() -> cds_instgen::Chip {
+        ChipSpec {
+            num_nets: 30,
+            ..ChipSpec::small_test(5)
+        }
+        .generate()
+    }
+
+    #[test]
+    fn router_runs_all_methods() {
+        let chip = tiny_chip();
+        for method in SteinerMethod::ALL {
+            let config = RouterConfig {
+                method,
+                iterations: 2,
+                threads: 2,
+                ..Default::default()
+            };
+            let out = Router::new(&chip, config).run();
+            assert!(out.metrics.wl_m > 0.0, "{method}: no wirelength");
+            assert!(out.metrics.ace4 >= 0.0);
+            assert_eq!(out.nets.len(), chip.nets.len());
+            for (i, rn) in out.nets.iter().enumerate() {
+                assert_eq!(rn.sink_delays.len(), chip.nets[i].sinks.len());
+                assert!(rn.sink_delays.iter().all(|d| d.is_finite() && *d >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let chip = tiny_chip();
+        let mk = |threads| {
+            Router::new(
+                &chip,
+                RouterConfig { threads, iterations: 2, ..Default::default() },
+            )
+            .run()
+        };
+        let a = mk(1);
+        let b = mk(4);
+        assert_eq!(a.metrics.ws, b.metrics.ws);
+        assert_eq!(a.metrics.tns, b.metrics.tns);
+        assert_eq!(a.metrics.vias, b.metrics.vias);
+        assert!((a.metrics.wl_m - b.metrics.wl_m).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_matches_used_edges() {
+        let chip = tiny_chip();
+        let out = Router::new(
+            &chip,
+            RouterConfig { iterations: 1, ..Default::default() },
+        )
+        .run();
+        let mut recount = vec![0.0; chip.grid.graph().num_edges()];
+        for rn in &out.nets {
+            for &(e, t) in &rn.used_edges {
+                recount[e as usize] += t;
+            }
+        }
+        assert_eq!(recount, out.usage);
+    }
+
+    #[test]
+    fn prices_never_below_base() {
+        let chip = tiny_chip();
+        let out = Router::new(
+            &chip,
+            RouterConfig { iterations: 3, ..Default::default() },
+        )
+        .run();
+        let base = chip.grid.graph().base_costs();
+        for (p, b) in out.prices.iter().zip(&base) {
+            assert!(p >= b, "price {p} below base {b}");
+        }
+    }
+
+    #[test]
+    fn harvest_collects_multi_sink_nets() {
+        let chip = tiny_chip();
+        let out = Router::new(
+            &chip,
+            RouterConfig { iterations: 1, harvest: true, ..Default::default() },
+        )
+        .run();
+        let expect = chip.nets.iter().filter(|n| n.sinks.len() >= 3).count();
+        assert_eq!(out.harvest.len(), expect);
+        for h in &out.harvest {
+            assert_eq!(h.weights.len(), chip.nets[h.net].sinks.len());
+        }
+    }
+
+    #[test]
+    fn more_iterations_do_not_explode_overflow() {
+        // Pricing should spread congestion. On a chip large enough for
+        // the capacity calibration to be meaningful, ACE4 after pricing
+        // iterations must stay in the same ballpark as the unpriced
+        // first pass (tiny chips are noisy, hence the generous bound).
+        let chip = ChipSpec { num_nets: 150, ..ChipSpec::small_test(5) }.generate();
+        let run = |iters| {
+            Router::new(
+                &chip,
+                RouterConfig { iterations: iters, ..Default::default() },
+            )
+            .run()
+            .metrics
+            .ace4
+        };
+        let one = run(1);
+        let three = run(3);
+        assert!(
+            three <= 1.5 * one + 20.0,
+            "ACE4 exploded under pricing: {one} → {three}"
+        );
+    }
+}

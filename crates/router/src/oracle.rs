@@ -1,0 +1,195 @@
+//! The four Steiner tree oracles of §IV-A, behind one interface.
+//!
+//! Every oracle answers the same question the Lagrangean router asks:
+//! *given current edge prices `c`, delays `d`, and sink delay weights
+//! `w`, produce an embedded tree for this net*. The three baselines
+//! compute a plane topology first and embed it optimally (`cds-embed`);
+//! CD solves the cost-distance problem directly on the graph.
+
+use cds_baselines::{prim_dijkstra, shallow_light, PlaneCostModel, SlParams};
+use cds_core::{solve, GridFutureCost, Instance, SolverOptions};
+use cds_embed::{embed_topology, EmbedEnv};
+use cds_geom::Point;
+use cds_graph::{GridGraph, VertexId};
+use cds_rsmt::rsmt_topology;
+use cds_topo::{BifurcationConfig, EmbeddedTree};
+
+/// Which Steiner tree construction a router run uses (the paper's table
+/// row labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SteinerMethod {
+    /// Short rectilinear Steiner tree, embedded optimally.
+    L1,
+    /// Shallow-light arborescence, embedded optimally.
+    Sl,
+    /// Prim–Dijkstra trade-off tree, embedded optimally.
+    Pd,
+    /// The paper's cost-distance algorithm (with all enhancements).
+    Cd,
+}
+
+impl SteinerMethod {
+    /// All four methods in the paper's table order.
+    pub const ALL: [SteinerMethod; 4] =
+        [SteinerMethod::L1, SteinerMethod::Sl, SteinerMethod::Pd, SteinerMethod::Cd];
+}
+
+impl std::fmt::Display for SteinerMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SteinerMethod::L1 => "L1",
+            SteinerMethod::Sl => "SL",
+            SteinerMethod::Pd => "PD",
+            SteinerMethod::Cd => "CD",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One oracle request: a net inside its routing window.
+#[derive(Debug, Clone)]
+pub struct OracleRequest<'a> {
+    /// The (windowed) grid to route in.
+    pub grid: &'a GridGraph,
+    /// Edge prices `c(e)` in window edge order (≥ base costs, so grid
+    /// future costs stay admissible).
+    pub cost: &'a [f64],
+    /// Edge delays `d(e)` in window edge order.
+    pub delay: &'a [f64],
+    /// Root pin (window coordinates).
+    pub root: Point,
+    /// Sink pins (window coordinates).
+    pub sinks: &'a [Point],
+    /// Delay weights `w(t)` per sink.
+    pub weights: &'a [f64],
+    /// Delay budgets per sink (ps) — used by SL only; `None` before the
+    /// first timing iteration.
+    pub budgets: Option<&'a [f64]>,
+    /// Bifurcation penalty configuration.
+    pub bif: BifurcationConfig,
+    /// RNG seed for CD's randomized placement.
+    pub seed: u64,
+}
+
+/// Runs one oracle, returning the embedded tree (in window edge ids).
+///
+/// # Panics
+///
+/// Panics on empty sinks or inconsistent slice lengths (the router
+/// guarantees both).
+pub fn route_net(method: SteinerMethod, req: &OracleRequest<'_>) -> EmbeddedTree {
+    let root_v: VertexId = req.grid.vertex_at(req.root);
+    let sink_vs: Vec<VertexId> = req.sinks.iter().map(|&p| req.grid.vertex_at(p)).collect();
+    match method {
+        SteinerMethod::Cd => {
+            let mut terminals = sink_vs.clone();
+            terminals.push(root_v);
+            let fc = GridFutureCost::new(req.grid, &terminals);
+            let inst = Instance {
+                graph: req.grid.graph(),
+                cost: req.cost,
+                delay: req.delay,
+                root: root_v,
+                sink_vertices: &sink_vs,
+                weights: req.weights,
+                bif: req.bif,
+            };
+            let opts = SolverOptions { seed: req.seed, ..SolverOptions::enhanced(&fc) };
+            solve(&inst, &opts).tree
+        }
+        _ => {
+            let model = PlaneCostModel {
+                cost_per_unit: req.grid.min_cost_per_gcell(),
+                delay_per_unit: req.grid.min_delay_per_gcell(),
+                bif: req.bif,
+            };
+            let topo = match method {
+                SteinerMethod::L1 => rsmt_topology(req.root, req.sinks, 5).binarize(),
+                SteinerMethod::Sl => shallow_light(
+                    req.root,
+                    req.sinks,
+                    req.weights,
+                    req.budgets,
+                    &model,
+                    &SlParams::default(),
+                ),
+                SteinerMethod::Pd => prim_dijkstra(req.root, req.sinks, req.weights, &model),
+                SteinerMethod::Cd => unreachable!("handled above"),
+            };
+            let env = EmbedEnv {
+                graph: req.grid.graph(),
+                cost: req.cost,
+                delay: req.delay,
+                bif: req.bif,
+            };
+            embed_topology(&env, &topo, root_v, &sink_vs, req.weights)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_graph::GridSpec;
+
+    fn request_on<'a>(
+        grid: &'a GridGraph,
+        cost: &'a [f64],
+        delay: &'a [f64],
+        sinks: &'a [Point],
+        weights: &'a [f64],
+    ) -> OracleRequest<'a> {
+        OracleRequest {
+            grid,
+            cost,
+            delay,
+            root: Point::new(0, 0),
+            sinks,
+            weights,
+            budgets: None,
+            bif: BifurcationConfig::new(5.0, 0.25),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_methods_produce_valid_trees() {
+        let grid = GridSpec::uniform(9, 9, 4).build();
+        let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+        let sinks = [Point::new(8, 0), Point::new(0, 8), Point::new(8, 8), Point::new(4, 4)];
+        let w = [1.0, 2.0, 0.5, 4.0];
+        let req = request_on(&grid, &c, &d, &sinks, &w);
+        for m in SteinerMethod::ALL {
+            let tree = route_net(m, &req);
+            tree.validate(grid.graph(), sinks.len())
+                .unwrap_or_else(|e| panic!("{m}: {e}"));
+            let ev = tree.evaluate(&c, &d, &w, &req.bif);
+            assert!(ev.total.is_finite() && ev.total > 0.0, "{m}: objective {}", ev.total);
+        }
+    }
+
+    #[test]
+    fn single_sink_all_methods_agree() {
+        // one sink ⇒ the optimum is the c + w·d shortest path; every
+        // method must find it (embedding is exact, CD is exact for t=1)
+        let grid = GridSpec::uniform(7, 7, 3).build();
+        let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+        let sinks = [Point::new(6, 6)];
+        let w = [2.0];
+        let req = request_on(&grid, &c, &d, &sinks, &w);
+        let mut totals = Vec::new();
+        for m in SteinerMethod::ALL {
+            let tree = route_net(m, &req);
+            totals.push(tree.evaluate(&c, &d, &w, &req.bif).total);
+        }
+        for t in &totals {
+            assert!((t - totals[0]).abs() < 1e-6, "totals {totals:?}");
+        }
+    }
+
+    #[test]
+    fn method_display_matches_paper_labels() {
+        let labels: Vec<String> = SteinerMethod::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(labels, vec!["L1", "SL", "PD", "CD"]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Borah–Owens–Irwin edge-based rectilinear Steiner tree improvement.
+//!
+//! Start from the L1 MST; repeatedly find a (vertex `v`, tree edge
+//! `(a, b)`) pair such that replacing `(a, b)` by a star through the
+//! component-wise median `s = med(v, a, b)` — and deleting the longest
+//! edge on the tree path from `v` to the `(a, b)` side it connects to —
+//! shortens the tree. Apply the best positive-gain move, repeat until no
+//! move improves. Quality is close to iterated 1-Steiner at a fraction of
+//! the cost.
+
+use crate::mst::{l1_mst, tree_length};
+use cds_geom::{l1_dist, Point};
+
+/// An unrooted rectilinear Steiner tree: original terminals first, then
+/// added Steiner points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsmtResult {
+    /// Terminal points (input order) followed by Steiner points.
+    pub points: Vec<Point>,
+    /// Tree edges as index pairs into `points`.
+    pub edges: Vec<(u32, u32)>,
+    /// Total L1 length.
+    pub length: i64,
+}
+
+/// Component-wise median of three points — the meeting point of the
+/// rectilinear star connecting them.
+fn median3(a: Point, b: Point, c: Point) -> Point {
+    let mx = {
+        let mut xs = [a.x, b.x, c.x];
+        xs.sort_unstable();
+        xs[1]
+    };
+    let my = {
+        let mut ys = [a.y, b.y, c.y];
+        ys.sort_unstable();
+        ys[1]
+    };
+    Point::new(mx, my)
+}
+
+/// Builds a short rectilinear Steiner tree over `points` (BOI heuristic).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+///
+/// ```
+/// use cds_geom::Point;
+/// use cds_rsmt::rectilinear_steiner_tree;
+/// let pts = [Point::new(0, 0), Point::new(4, 0), Point::new(2, 3)];
+/// let t = rectilinear_steiner_tree(&pts);
+/// assert_eq!(t.length, 7); // star through (2, 0)
+/// ```
+pub fn rectilinear_steiner_tree(points: &[Point]) -> RsmtResult {
+    assert!(!points.is_empty(), "RSMT of an empty point set");
+    let mut pts: Vec<Point> = points.to_vec();
+    let mut edges = l1_mst(&pts);
+    // A bounded number of improvement rounds; each strictly reduces
+    // length, so k rounds is a generous cap.
+    for _ in 0..pts.len().max(4) {
+        match best_boi_move(&pts, &edges) {
+            Some(mv) if mv.gain > 0 => apply_move(&mut pts, &mut edges, mv),
+            _ => break,
+        }
+    }
+    prune_useless_steiner(&mut pts, &mut edges, points.len());
+    let length = tree_length(&pts, &edges);
+    RsmtResult { points: pts, edges, length }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BoiMove {
+    v: u32,
+    edge_idx: usize,
+    remove_idx: usize,
+    steiner: Point,
+    gain: i64,
+}
+
+/// Scans all (vertex, edge) pairs for the highest-gain BOI move.
+fn best_boi_move(pts: &[Point], edges: &[(u32, u32)]) -> Option<BoiMove> {
+    let k = pts.len();
+    let mut adj: Vec<Vec<(u32, usize)>> = vec![Vec::new(); k];
+    for (i, &(a, b)) in edges.iter().enumerate() {
+        adj[a as usize].push((b, i));
+        adj[b as usize].push((a, i));
+    }
+    let mut best: Option<BoiMove> = None;
+    for (ei, &(a, b)) in edges.iter().enumerate() {
+        // Split the tree at edge ei; find, for every vertex v, the
+        // maximum edge on the path from v to this edge's nearer endpoint.
+        // One DFS from each endpoint (skipping ei) gives both sides.
+        let (side_a, max_a) = paths_from(pts, &adj, a, ei);
+        let (side_b, max_b) = paths_from(pts, &adj, b, ei);
+        for v in 0..k as u32 {
+            if v == a || v == b {
+                continue;
+            }
+            let s = median3(pts[v as usize], pts[a as usize], pts[b as usize]);
+            let new_len = l1_dist(pts[v as usize], s)
+                + l1_dist(pts[a as usize], s)
+                + l1_dist(pts[b as usize], s);
+            let old_edge = l1_dist(pts[a as usize], pts[b as usize]);
+            // v sits on exactly one side; the cycle closes through that side
+            let (reach, max_on_path) = if side_a[v as usize] {
+                (&side_a, &max_a)
+            } else {
+                (&side_b, &max_b)
+            };
+            debug_assert!(reach[v as usize]);
+            let (rm_len, rm_idx) = max_on_path[v as usize];
+            let gain = old_edge + rm_len - new_len;
+            if gain > 0 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(BoiMove { v, edge_idx: ei, remove_idx: rm_idx, steiner: s, gain });
+            }
+        }
+    }
+    best
+}
+
+/// DFS from `start` avoiding edge `skip`; returns reachability plus, per
+/// vertex, the longest edge (length, index) on the path from `start`.
+#[allow(clippy::type_complexity)]
+fn paths_from(
+    pts: &[Point],
+    adj: &[Vec<(u32, usize)>],
+    start: u32,
+    skip: usize,
+) -> (Vec<bool>, Vec<(i64, usize)>) {
+    let k = pts.len();
+    let mut reach = vec![false; k];
+    let mut max_edge = vec![(0i64, usize::MAX); k];
+    let mut stack = vec![start];
+    reach[start as usize] = true;
+    while let Some(u) = stack.pop() {
+        for &(w, ei) in &adj[u as usize] {
+            if ei == skip || reach[w as usize] {
+                continue;
+            }
+            reach[w as usize] = true;
+            let len = l1_dist(pts[u as usize], pts[w as usize]);
+            let cand = if len > max_edge[u as usize].0 {
+                (len, ei)
+            } else {
+                max_edge[u as usize]
+            };
+            max_edge[w as usize] = cand;
+            stack.push(w);
+        }
+    }
+    (reach, max_edge)
+}
+
+fn apply_move(pts: &mut Vec<Point>, edges: &mut Vec<(u32, u32)>, mv: BoiMove) {
+    let (a, b) = edges[mv.edge_idx];
+    let s_idx = pts.len() as u32;
+    pts.push(mv.steiner);
+    // remove the split edge and the cycle's max edge (remove larger
+    // index first so the smaller index stays valid)
+    let (hi, lo) = if mv.edge_idx > mv.remove_idx {
+        (mv.edge_idx, mv.remove_idx)
+    } else {
+        (mv.remove_idx, mv.edge_idx)
+    };
+    debug_assert_ne!(hi, lo, "cannot remove the same edge twice");
+    edges.swap_remove(hi);
+    edges.swap_remove(lo);
+    edges.push((a, s_idx));
+    edges.push((b, s_idx));
+    edges.push((mv.v, s_idx));
+}
+
+/// Removes Steiner points of degree ≤ 2 (degree-2 ones are spliced; in
+/// L1 a 3-point median guarantees no detour is introduced when the point
+/// lies on the bounding box of its neighbours, which medians do).
+fn prune_useless_steiner(pts: &mut Vec<Point>, edges: &mut Vec<(u32, u32)>, num_terminals: usize) {
+    loop {
+        let k = pts.len();
+        let mut deg = vec![0usize; k];
+        for &(a, b) in edges.iter() {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        // find a removable Steiner point
+        let victim = (num_terminals..k).find(|&i| deg[i] <= 2);
+        let Some(vi) = victim else { break };
+        if deg[vi] == 0 {
+            // isolated: drop point by swap with last, fixing indices
+        } else if deg[vi] == 1 {
+            edges.retain(|&(a, b)| a as usize != vi && b as usize != vi);
+        } else {
+            // splice: connect the two neighbours directly
+            let nbrs: Vec<u32> = edges
+                .iter()
+                .filter(|&&(a, b)| a as usize == vi || b as usize == vi)
+                .map(|&(a, b)| if a as usize == vi { b } else { a })
+                .collect();
+            edges.retain(|&(a, b)| a as usize != vi && b as usize != vi);
+            edges.push((nbrs[0], nbrs[1]));
+        }
+        // remove the point: swap-remove and rename the moved index
+        let last = pts.len() - 1;
+        pts.swap_remove(vi);
+        if vi != last {
+            for e in edges.iter_mut() {
+                if e.0 as usize == last {
+                    e.0 = vi as u32;
+                }
+                if e.1 as usize == last {
+                    e.1 = vi as u32;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_geom::hpwl;
+    use proptest::prelude::*;
+
+    #[test]
+    fn median_is_componentwise() {
+        let m = median3(Point::new(0, 5), Point::new(3, 0), Point::new(7, 2));
+        assert_eq!(m, Point::new(3, 2));
+    }
+
+    #[test]
+    fn three_point_star() {
+        let pts = [Point::new(0, 0), Point::new(4, 0), Point::new(2, 3)];
+        let t = rectilinear_steiner_tree(&pts);
+        // MST = 4 + 5 = 9; star through (2,0): 2 + 2 + 3 = 7
+        assert_eq!(t.length, 7);
+    }
+
+    #[test]
+    fn square_gains_over_mst() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(4, 0),
+            Point::new(0, 4),
+            Point::new(4, 4),
+        ];
+        let mst_len = tree_length(&pts, &l1_mst(&pts));
+        let t = rectilinear_steiner_tree(&pts);
+        assert_eq!(mst_len, 12);
+        assert!(t.length <= 12, "BOI must not lose to MST");
+    }
+
+    fn assert_valid_tree(t: &RsmtResult, num_terminals: usize) {
+        // spanning + acyclic over the points that appear
+        let k = t.points.len();
+        assert_eq!(t.edges.len(), k - 1, "tree edge count");
+        let mut parent: Vec<u32> = (0..k as u32).collect();
+        fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+            if p[x as usize] != x {
+                let r = find(p, p[x as usize]);
+                p[x as usize] = r;
+            }
+            p[x as usize]
+        }
+        for &(a, b) in &t.edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            assert_ne!(ra, rb, "cycle");
+            parent[ra as usize] = rb;
+        }
+        let r0 = find(&mut parent, 0);
+        for i in 0..num_terminals as u32 {
+            assert_eq!(find(&mut parent, i), r0, "terminal {i} disconnected");
+        }
+    }
+
+    proptest! {
+        /// BOI output is a valid tree over all terminals, never longer
+        /// than the MST, and never shorter than half the HPWL.
+        #[test]
+        fn boi_invariants(raw in proptest::collection::vec((-40i32..40, -40i32..40), 1..16)) {
+            let pts: Vec<Point> = raw.into_iter().map(Point::from).collect();
+            let mst_len = tree_length(&pts, &l1_mst(&pts));
+            let t = rectilinear_steiner_tree(&pts);
+            assert_valid_tree(&t, pts.len());
+            prop_assert!(t.length <= mst_len);
+            prop_assert!(2 * t.length >= hpwl(&pts));
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Exact RSMT via Dreyfus–Wagner on the Hanan grid.
+//!
+//! By Hanan's theorem, some optimal rectilinear Steiner tree only uses
+//! Steiner points on the grid induced by the terminals' coordinates, so
+//! running the exact graph-Steiner algorithm on that grid solves the
+//! plane problem exactly. Practical up to ~7 distinct terminals.
+
+use crate::boi::RsmtResult;
+use cds_exact::steiner_minimal_tree;
+use cds_geom::{hanan_xs_ys, Point};
+use cds_graph::{EdgeAttrs, GraphBuilder};
+
+/// Exact rectilinear Steiner minimal tree over `points`.
+///
+/// The result keeps the input terminals (in order) followed by the grid
+/// Steiner points the optimum uses.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or has more than 16 distinct positions
+/// (the underlying DP is exponential).
+pub fn exact_rsmt(points: &[Point]) -> RsmtResult {
+    assert!(!points.is_empty(), "RSMT of an empty point set");
+    let (xs, ys) = hanan_xs_ys(points);
+    let (nx, ny) = (xs.len(), ys.len());
+    let idx = |xi: usize, yi: usize| (yi * nx + xi) as u32;
+    // build the Hanan grid graph with L1 edge lengths
+    let mut b = GraphBuilder::new(nx * ny);
+    for yi in 0..ny {
+        for xi in 0..nx {
+            if xi + 1 < nx {
+                let len = (xs[xi + 1] - xs[xi]) as f64;
+                b.add_edge(idx(xi, yi), idx(xi + 1, yi), EdgeAttrs::wire(len, 0.0));
+            }
+            if yi + 1 < ny {
+                let len = (ys[yi + 1] - ys[yi]) as f64;
+                b.add_edge(idx(xi, yi), idx(xi, yi + 1), EdgeAttrs::wire(len, 0.0));
+            }
+        }
+    }
+    let g = b.build();
+    let locate = |p: Point| {
+        let xi = xs.binary_search(&p.x).expect("terminal x on grid");
+        let yi = ys.binary_search(&p.y).expect("terminal y on grid");
+        idx(xi, yi)
+    };
+    let mut terminals: Vec<u32> = points.iter().map(|&p| locate(p)).collect();
+    terminals.sort_unstable();
+    terminals.dedup();
+    let smt = steiner_minimal_tree(&g, &terminals, |e| g.edge(e).base_cost);
+
+    // Convert the grid edges back to a point tree. Grid vertices used by
+    // the tree that are not terminals become Steiner points; degree-2
+    // pass-throughs on straight segments remain (harmless).
+    let vertex_point = |v: u32| {
+        let (xi, yi) = ((v as usize) % nx, (v as usize) / nx);
+        Point::new(xs[xi], ys[yi])
+    };
+    let mut out_points: Vec<Point> = points.to_vec();
+    let mut index_of = std::collections::HashMap::new();
+    // map each used grid vertex to an output index, preferring an input
+    // terminal slot when the positions coincide
+    let mut edges_out = Vec::with_capacity(smt.edges.len());
+    let mut map_vertex = |v: u32, out_points: &mut Vec<Point>| -> u32 {
+        *index_of.entry(v).or_insert_with(|| {
+            let p = vertex_point(v);
+            match points.iter().position(|&q| q == p) {
+                Some(i) => i as u32,
+                None => {
+                    out_points.push(p);
+                    (out_points.len() - 1) as u32
+                }
+            }
+        })
+    };
+    for &e in &smt.edges {
+        let ep = g.endpoints(e);
+        let a = map_vertex(ep.u, &mut out_points);
+        let bb = map_vertex(ep.v, &mut out_points);
+        edges_out.push((a, bb));
+    }
+    // duplicate input points: connect them with zero-length edges to
+    // their representative so every terminal index is in the tree
+    let mut seen_pos = std::collections::HashMap::new();
+    for (i, &p) in points.iter().enumerate() {
+        match seen_pos.entry(p) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i as u32);
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                edges_out.push((*e.get(), i as u32));
+            }
+        }
+    }
+    let length = smt.cost.round() as i64;
+    RsmtResult { points: out_points, edges: edges_out, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boi::rectilinear_steiner_tree;
+    use crate::mst::tree_length;
+    use proptest::prelude::*;
+
+    #[test]
+    fn square_optimum_is_six() {
+        let pts = [
+            Point::new(0, 0),
+            Point::new(2, 0),
+            Point::new(0, 2),
+            Point::new(2, 2),
+        ];
+        let t = exact_rsmt(&pts);
+        assert_eq!(t.length, 6);
+        assert_eq!(tree_length(&t.points, &t.edges), 6);
+    }
+
+    #[test]
+    fn cross_medians_help() {
+        // plus-sign terminals: exact tree = 8 (through center)
+        let pts = [
+            Point::new(2, 0),
+            Point::new(2, 4),
+            Point::new(0, 2),
+            Point::new(4, 2),
+        ];
+        let t = exact_rsmt(&pts);
+        assert_eq!(t.length, 8);
+    }
+
+    #[test]
+    fn all_same_point() {
+        let pts = [Point::new(3, 3); 3];
+        let t = exact_rsmt(&pts);
+        assert_eq!(t.length, 0);
+        // all three indices connected via zero-length edges
+        assert_eq!(t.edges.len(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// The heuristic is never better than the exact optimum, and the
+        /// exact result is a consistent tree.
+        #[test]
+        fn exact_lower_bounds_heuristic(
+            raw in proptest::collection::hash_set((-10i32..10, -10i32..10), 2..6)
+        ) {
+            let pts: Vec<Point> = raw.into_iter().map(Point::from).collect();
+            let exact = exact_rsmt(&pts);
+            let heur = rectilinear_steiner_tree(&pts);
+            prop_assert!(exact.length <= heur.length,
+                "exact {} > heuristic {}", exact.length, heur.length);
+            prop_assert_eq!(tree_length(&exact.points, &exact.edges), exact.length);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Rectilinear Steiner tree construction (the "L1" baseline of §IV-A).
+//!
+//! The first comparison routine of the paper "just computes a short L1
+//! Steiner tree and embeds it optimally into the global routing graph".
+//! This crate builds those short L1 trees:
+//!
+//! * [`l1_mst`] — Prim's algorithm over the L1 metric closure, the
+//!   starting point (and a 1.5-approximation of the RSMT by Hwang's
+//!   theorem);
+//! * [`rectilinear_steiner_tree`] — Borah–Owens–Irwin edge-based
+//!   improvement on top of the MST, introducing Steiner points at
+//!   component-wise medians (within a few percent of optimal on random
+//!   instances);
+//! * [`exact_rsmt`] — exact RSMT via Dreyfus–Wagner on the Hanan grid for
+//!   small terminal counts;
+//! * [`rsmt_topology`] — the net-level entry point: an r-arborescence
+//!   [`Topology`] for a root and sinks, exact when small, heuristic
+//!   otherwise.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_geom::Point;
+//! use cds_rsmt::rectilinear_steiner_tree;
+//!
+//! // 4 corners of a square: the RSMT is 2 units shorter than the MST
+//! let pts = [Point::new(0, 0), Point::new(2, 0), Point::new(0, 2), Point::new(2, 2)];
+//! let t = rectilinear_steiner_tree(&pts);
+//! assert!(t.length <= 6);
+//! ```
+
+pub mod boi;
+pub mod hanan_exact;
+pub mod mst;
+
+pub use boi::{rectilinear_steiner_tree, RsmtResult};
+pub use hanan_exact::exact_rsmt;
+pub use mst::l1_mst;
+
+use cds_geom::Point;
+use cds_topo::{NodeId, Topology};
+
+/// Builds an r-arborescence topology connecting `root` to `sinks` with a
+/// short rectilinear Steiner tree: exact (Dreyfus–Wagner on the Hanan
+/// grid) when `root + sinks` has at most `exact_threshold` distinct
+/// points, Borah–Owens–Irwin heuristic otherwise.
+///
+/// Sinks at identical positions are all attached; sink `i` of the result
+/// corresponds to `sinks[i]`.
+///
+/// # Panics
+///
+/// Panics if `sinks` is empty.
+pub fn rsmt_topology(root: Point, sinks: &[Point], exact_threshold: usize) -> Topology {
+    assert!(!sinks.is_empty(), "a net needs at least one sink");
+    let mut pts = Vec::with_capacity(sinks.len() + 1);
+    pts.push(root);
+    pts.extend_from_slice(sinks);
+    let mut distinct = pts.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let result = if distinct.len() <= exact_threshold.min(7) {
+        exact_rsmt(&pts)
+    } else {
+        rectilinear_steiner_tree(&pts)
+    };
+    result_to_topology(&result, sinks.len())
+}
+
+/// Roots an unrooted [`RsmtResult`] at point 0 and labels points
+/// `1..=num_sinks` as sinks.
+fn result_to_topology(r: &RsmtResult, num_sinks: usize) -> Topology {
+    // adjacency over result points
+    let n = r.points.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &r.edges {
+        adj[a as usize].push(b as usize);
+        adj[b as usize].push(a as usize);
+    }
+    let mut topo = Topology::new(r.points[0]);
+    let mut node_of: Vec<Option<NodeId>> = vec![None; n];
+    node_of[0] = Some(topo.root());
+    // BFS from the root point
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    let mut visited = vec![false; n];
+    visited[0] = true;
+    while let Some(u) = queue.pop_front() {
+        let parent_node = node_of[u].expect("visited nodes are mapped");
+        for &v in &adj[u].clone() {
+            if visited[v] {
+                continue;
+            }
+            visited[v] = true;
+            let node = if v >= 1 && v <= num_sinks {
+                // sink point: it may carry a subtree, so hang a Steiner
+                // twin first if it has further neighbours
+                if adj[v].len() > 1 {
+                    let tw = topo.add_steiner(r.points[v], parent_node);
+                    topo.add_sink(v - 1, r.points[v], tw);
+                    tw
+                } else {
+                    topo.add_sink(v - 1, r.points[v], parent_node)
+                }
+            } else {
+                topo.add_steiner(r.points[v], parent_node)
+            };
+            node_of[v] = Some(node);
+            queue.push_back(v);
+        }
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_topo::NodeKind;
+
+    #[test]
+    fn topology_contains_all_sinks() {
+        let sinks = [Point::new(3, 0), Point::new(0, 3), Point::new(3, 3)];
+        let t = rsmt_topology(Point::new(0, 0), &sinks, 0);
+        t.validate().unwrap();
+        let mut found: Vec<usize> = t.sink_nodes().iter().map(|&(s, _)| s).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec![0, 1, 2]);
+        assert_eq!(t.node_kind(t.root()), NodeKind::Root);
+    }
+
+    #[test]
+    fn exact_mode_is_no_longer_than_heuristic() {
+        let sinks = [
+            Point::new(4, 0),
+            Point::new(0, 4),
+            Point::new(4, 4),
+            Point::new(2, 2),
+        ];
+        let heur = rsmt_topology(Point::new(0, 0), &sinks, 0);
+        let exact = rsmt_topology(Point::new(0, 0), &sinks, 7);
+        assert!(exact.length() <= heur.length());
+    }
+
+    #[test]
+    fn coincident_sink_and_root() {
+        let sinks = [Point::new(0, 0), Point::new(5, 5)];
+        let t = rsmt_topology(Point::new(0, 0), &sinks, 7);
+        t.validate().unwrap();
+        assert_eq!(t.sink_nodes().len(), 2);
+        assert_eq!(t.length(), 10);
+    }
+
+    #[test]
+    fn single_sink_is_direct() {
+        let t = rsmt_topology(Point::new(1, 1), &[Point::new(4, 5)], 7);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 7);
+    }
+}

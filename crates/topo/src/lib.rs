@@ -1,0 +1,37 @@
+//! Steiner tree topologies and the cost-distance objective.
+//!
+//! Two tree representations are shared across the workspace:
+//!
+//! * [`Topology`] — an r-arborescence in the plane (nodes have gcell
+//!   positions). The comparison baselines (L1 / shallow-light /
+//!   Prim–Dijkstra) produce these, which are then embedded into the global
+//!   routing graph by `cds-embed`.
+//! * [`EmbeddedTree`] — a tree whose arcs carry explicit edge paths in a
+//!   routing [`Graph`](cds_graph::Graph). Both the embedding and the
+//!   paper's cost-distance algorithm produce these; [`EmbeddedTree::evaluate`]
+//!   computes the paper's objective, Eq. (1) with the bifurcation-penalty
+//!   delay model of Eq. (3).
+//!
+//! The bifurcation penalty machinery of §I — the split rule Eq. (2), the
+//! merge penalty `β(w, w′)` — lives in [`penalty`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_topo::penalty::{lambda_split, beta, BifurcationConfig};
+//!
+//! let bif = BifurcationConfig { dbif: 8.0, eta: 0.25 };
+//! // heavier subtree gets the small share of the penalty
+//! let (lx, ly) = lambda_split(3.0, 1.0, bif.eta);
+//! assert_eq!((lx, ly), (0.25, 0.75));
+//! // β is the weighted penalty under the optimal split
+//! assert_eq!(beta(3.0, 1.0, &bif), 8.0 * (0.25 * 3.0 + 0.75 * 1.0));
+//! ```
+
+pub mod embedded;
+pub mod penalty;
+pub mod topology;
+
+pub use embedded::{EmbeddedArc, EmbeddedTree, Evaluation};
+pub use penalty::{beta, lambda_split, BifurcationConfig};
+pub use topology::{NodeId, NodeKind, Topology};

@@ -1,0 +1,118 @@
+//! Bifurcation delay penalties (paper §I, Eqs. (2) and (3)).
+//!
+//! After buffering, every bifurcation adds capacitance and therefore delay.
+//! The paper models this with a total penalty `d_bif` per bifurcation that
+//! may be split between the two branches: branch `x` receives `λ_x·d_bif`
+//! with `λ_x ∈ [η, 1−η]` and `λ_y = 1 − λ_x` — buffering can shield one
+//! branch (Fig. 2), but only so far (`η`).
+
+/// The bifurcation penalty parameters of an instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BifurcationConfig {
+    /// Total penalty per bifurcation (ps). `0.0` disables penalties.
+    pub dbif: f64,
+    /// Shielding limit, `0 ≤ η ≤ 1/2`. The paper's predecessors fixed
+    /// `η = 0.5` (no freedom); smaller η lets buffering favour the
+    /// critical branch.
+    pub eta: f64,
+}
+
+impl BifurcationConfig {
+    /// No bifurcation penalties (the `d_bif = 0` experiments).
+    pub const ZERO: BifurcationConfig = BifurcationConfig { dbif: 0.0, eta: 0.5 };
+
+    /// Creates a config, validating the ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dbif ≥ 0` and `0 ≤ eta ≤ 1/2`.
+    pub fn new(dbif: f64, eta: f64) -> Self {
+        assert!(dbif >= 0.0, "dbif must be non-negative");
+        assert!((0.0..=0.5).contains(&eta), "eta must lie in [0, 1/2]");
+        BifurcationConfig { dbif, eta }
+    }
+}
+
+/// The optimum split `(λ_x, λ_y)` of Eq. (2) for subtree delay weights
+/// `w_x` and `w_y`: the heavier subtree takes the minimum share `η`, ties
+/// split evenly.
+///
+/// ```
+/// use cds_topo::penalty::lambda_split;
+/// assert_eq!(lambda_split(1.0, 1.0, 0.3), (0.5, 0.5));
+/// assert_eq!(lambda_split(5.0, 1.0, 0.3), (0.3, 0.7));
+/// assert_eq!(lambda_split(1.0, 5.0, 0.3), (0.7, 0.3));
+/// ```
+pub fn lambda_split(w_x: f64, w_y: f64, eta: f64) -> (f64, f64) {
+    if w_x > w_y {
+        (eta, 1.0 - eta)
+    } else if w_x < w_y {
+        (1.0 - eta, eta)
+    } else {
+        (0.5, 0.5)
+    }
+}
+
+/// The minimum possible *weighted* delay penalty when merging two
+/// components with delay weights `w` and `w′` (paper §II):
+///
+/// ```text
+/// β(w, w′) = d_bif · (η·max(w, w′) + (1−η)·min(w, w′))
+/// ```
+///
+/// This is what the optimal λ split of Eq. (2) achieves: the larger
+/// weight multiplies the smaller share.
+pub fn beta(w: f64, w_prime: f64, bif: &BifurcationConfig) -> f64 {
+    bif.dbif * (bif.eta * w.max(w_prime) + (1.0 - bif.eta) * w.min(w_prime))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_config_disables_penalty() {
+        assert_eq!(beta(3.0, 7.0, &BifurcationConfig::ZERO), 0.0);
+    }
+
+    #[test]
+    fn eta_half_is_even_split() {
+        let bif = BifurcationConfig::new(10.0, 0.5);
+        // with η = 1/2 both shares are 1/2 regardless of weights
+        assert_eq!(beta(4.0, 1.0, &bif), 10.0 * 0.5 * 5.0);
+        assert_eq!(lambda_split(4.0, 1.0, 0.5), (0.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "eta")]
+    fn invalid_eta_panics() {
+        let _ = BifurcationConfig::new(1.0, 0.7);
+    }
+
+    proptest! {
+        /// Eq. (2) is optimal: for any admissible λ, the weighted penalty
+        /// λ·w_x + (1−λ)·w_y is at least β/d_bif.
+        #[test]
+        fn lambda_split_minimizes(wx in 0.0f64..100.0, wy in 0.0f64..100.0,
+                                  eta in 0.0f64..=0.5, lam_t in 0.0f64..=1.0) {
+            let bif = BifurcationConfig::new(1.0, eta);
+            let lam = eta + lam_t * (1.0 - 2.0 * eta); // any λ in [η, 1−η]
+            let candidate = lam * wx + (1.0 - lam) * wy;
+            prop_assert!(beta(wx, wy, &bif) <= candidate + 1e-9);
+            // and the optimum is attained by lambda_split
+            let (lx, ly) = lambda_split(wx, wy, eta);
+            prop_assert!((lx + ly - 1.0).abs() < 1e-12);
+            prop_assert!((lx * wx + ly * wy - beta(wx, wy, &bif)).abs() < 1e-9);
+        }
+
+        /// β is symmetric and monotone in both arguments.
+        #[test]
+        fn beta_symmetric_monotone(w1 in 0.0f64..50.0, w2 in 0.0f64..50.0,
+                                   inc in 0.0f64..10.0, eta in 0.0f64..=0.5) {
+            let bif = BifurcationConfig::new(2.5, eta);
+            prop_assert_eq!(beta(w1, w2, &bif), beta(w2, w1, &bif));
+            prop_assert!(beta(w1 + inc, w2, &bif) >= beta(w1, w2, &bif) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! `cdst` — cost-distance Steiner trees for timing-constrained global
+//! routing.
+//!
+//! Umbrella crate re-exporting the whole workspace: the paper's
+//! algorithm ([`core`]), the routing substrates ([`graph`], [`delay`],
+//! [`topo`]), the comparison baselines ([`baselines`], [`rsmt`],
+//! [`embed`]), exact references ([`exact`]), and the experiment stack
+//! ([`instgen`], [`router`], [`sta`], [`metrics`]).
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the
+//! system inventory; each sub-crate's documentation describes its slice
+//! of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use cdst::core::{solve, Instance, SolverOptions};
+//! use cdst::graph::GridSpec;
+//! use cdst::topo::BifurcationConfig;
+//!
+//! let grid = GridSpec::uniform(8, 8, 2).build();
+//! let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+//! let inst = Instance {
+//!     graph: grid.graph(),
+//!     cost: &c,
+//!     delay: &d,
+//!     root: grid.vertex(0, 0, 0),
+//!     sink_vertices: &[grid.vertex(7, 7, 0)],
+//!     weights: &[1.0],
+//!     bif: BifurcationConfig::ZERO,
+//! };
+//! let result = solve(&inst, &SolverOptions::default());
+//! assert!(result.evaluation.total > 0.0);
+//! ```
+
+pub use cds_baselines as baselines;
+pub use cds_core as core;
+pub use cds_delay as delay;
+pub use cds_embed as embed;
+pub use cds_exact as exact;
+pub use cds_geom as geom;
+pub use cds_graph as graph;
+pub use cds_heap as heap;
+pub use cds_instgen as instgen;
+pub use cds_metrics as metrics;
+pub use cds_router as router;
+pub use cds_rsmt as rsmt;
+pub use cds_sta as sta;
+pub use cds_topo as topo;

@@ -1,0 +1,126 @@
+//! Determinism and thread-safety guarantees across the stack.
+//!
+//! Everything in this workspace is specified to be reproducible: same
+//! seed → same bits, regardless of thread count or repetition. These
+//! tests pin that contract, plus the `Send`/`Sync` properties the
+//! parallel router relies on.
+
+use cds_core::{solve, Instance, SolverOptions};
+use cds_graph::GridSpec;
+use cds_instgen::ChipSpec;
+use cds_router::{Router, RouterConfig, SteinerMethod};
+use cds_topo::BifurcationConfig;
+
+#[test]
+fn solver_bitwise_deterministic_across_repeats() {
+    let grid = GridSpec::uniform(12, 12, 3).build();
+    let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+    let sinks = [
+        grid.vertex(11, 3, 0),
+        grid.vertex(2, 11, 0),
+        grid.vertex(7, 7, 0),
+        grid.vertex(11, 11, 0),
+        grid.vertex(1, 1, 0),
+    ];
+    let weights = [0.3, 1.7, 0.02, 2.4, 0.9];
+    let inst = Instance {
+        graph: grid.graph(),
+        cost: &c,
+        delay: &d,
+        root: grid.vertex(0, 5, 0),
+        sink_vertices: &sinks,
+        weights: &weights,
+        bif: BifurcationConfig::new(4.0, 0.25),
+    };
+    let runs: Vec<_> = (0..3)
+        .map(|_| solve(&inst, &SolverOptions { seed: 77, ..Default::default() }))
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(r.evaluation.total.to_bits(), runs[0].evaluation.total.to_bits());
+        assert_eq!(r.stats, runs[0].stats);
+        let edges: Vec<_> = r.tree.edges().collect();
+        let edges0: Vec<_> = runs[0].tree.edges().collect();
+        assert_eq!(edges, edges0, "identical edge sets, identical order");
+    }
+}
+
+#[test]
+fn different_seeds_may_differ_but_stay_valid() {
+    // the randomized placement only matters without §III-D; exercise it
+    let grid = GridSpec::uniform(10, 10, 2).build();
+    let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+    let sinks = [grid.vertex(9, 0, 0), grid.vertex(0, 9, 0), grid.vertex(9, 9, 0)];
+    let weights = [1.0, 1.0, 1.0];
+    let inst = Instance {
+        graph: grid.graph(),
+        cost: &c,
+        delay: &d,
+        root: grid.vertex(0, 0, 0),
+        sink_vertices: &sinks,
+        weights: &weights,
+        bif: BifurcationConfig::ZERO,
+    };
+    for seed in 0..12 {
+        let opts = SolverOptions {
+            better_steiner: false, // re-enable the random endpoint rule
+            seed,
+            ..Default::default()
+        };
+        let r = solve(&inst, &opts);
+        r.tree.validate(grid.graph(), sinks.len()).unwrap();
+    }
+}
+
+#[test]
+fn router_identical_for_1_2_and_8_threads() {
+    let chip = ChipSpec { num_nets: 40, ..ChipSpec::small_test(44) }.generate();
+    let run = |threads| {
+        Router::new(
+            &chip,
+            RouterConfig {
+                threads,
+                iterations: 2,
+                method: SteinerMethod::Cd,
+                ..Default::default()
+            },
+        )
+        .run()
+    };
+    let (a, b, c) = (run(1), run(2), run(8));
+    assert_eq!(a.metrics.tns.to_bits(), b.metrics.tns.to_bits());
+    assert_eq!(b.metrics.tns.to_bits(), c.metrics.tns.to_bits());
+    assert_eq!(a.usage, b.usage);
+    assert_eq!(b.usage, c.usage);
+}
+
+#[test]
+fn chip_generation_is_pure() {
+    let spec = ChipSpec::small_test(123);
+    let a = spec.generate();
+    let b = spec.generate();
+    assert_eq!(a.nets, b.nets);
+    assert_eq!(
+        a.grid.graph().num_edges(),
+        b.grid.graph().num_edges()
+    );
+    // capacities (including macro depletion) are identical
+    for e in a.grid.graph().edge_ids() {
+        assert_eq!(
+            a.grid.graph().edge(e).capacity.to_bits(),
+            b.grid.graph().edge(e).capacity.to_bits()
+        );
+    }
+}
+
+#[test]
+fn core_types_are_send_and_sync_where_needed() {
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+    // the router shares these across worker threads
+    assert_send_sync::<cds_graph::Graph>();
+    assert_send_sync::<cds_graph::GridGraph>();
+    assert_send_sync::<cds_graph::EdgeIndex>();
+    assert_send_sync::<cds_instgen::Chip>();
+    assert_send::<cds_topo::EmbeddedTree>();
+    assert_send::<cds_core::SolveResult>();
+}

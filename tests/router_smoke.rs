@@ -1,0 +1,81 @@
+//! Integration smoke tests of the full timing-constrained router.
+
+use cds_instgen::ChipSpec;
+use cds_router::{Router, RouterConfig, SteinerMethod};
+
+fn tiny() -> cds_instgen::Chip {
+    ChipSpec { num_nets: 50, ..ChipSpec::small_test(321) }.generate()
+}
+
+#[test]
+fn full_pipeline_smoke_every_method() {
+    let chip = tiny();
+    for m in SteinerMethod::ALL {
+        let out = Router::new(
+            &chip,
+            RouterConfig { method: m, iterations: 2, use_dbif: true, ..Default::default() },
+        )
+        .run();
+        assert_eq!(out.nets.len(), chip.nets.len(), "{m}");
+        assert!(out.metrics.wl_m > 0.0);
+        assert!(out.metrics.vias > 0);
+        assert!(out.metrics.ws <= 0.0 || out.metrics.tns == 0.0);
+        // usage is consistent with per-net edges
+        let total_usage: f64 = out.usage.iter().sum();
+        let from_nets: f64 = out
+            .nets
+            .iter()
+            .flat_map(|n| n.used_edges.iter().map(|&(_, t)| t))
+            .sum();
+        assert!((total_usage - from_nets).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn harvested_instances_replay_identically() {
+    let chip = tiny();
+    let router = Router::new(
+        &chip,
+        RouterConfig { iterations: 2, harvest: true, ..Default::default() },
+    );
+    let out = router.run();
+    let bif = router.bif();
+    for h in out.harvest.iter().take(5) {
+        let a = router.route_one(h.net, SteinerMethod::Cd, &out.prices, &h.weights, None, bif);
+        let b = router.route_one(h.net, SteinerMethod::Cd, &out.prices, &h.weights, None, bif);
+        assert_eq!(a.1, b.1, "objective must replay deterministically");
+        assert_eq!(a.0.used_edges, b.0.used_edges);
+    }
+}
+
+#[test]
+fn dbif_increases_delays() {
+    // the bifurcation penalty can only make delays (weakly) worse
+    let chip = tiny();
+    let run = |use_dbif| {
+        Router::new(
+            &chip,
+            RouterConfig { iterations: 2, use_dbif, ..Default::default() },
+        )
+        .run()
+    };
+    let without = run(false);
+    let with = run(true);
+    let sum = |o: &cds_router::RoutingOutcome| -> f64 {
+        o.nets.iter().flat_map(|n| n.sink_delays.iter()).sum()
+    };
+    assert!(
+        sum(&with) >= sum(&without) - 1e-6,
+        "penalties cannot reduce total delay"
+    );
+}
+
+#[test]
+fn timing_graph_slacks_respond_to_routing() {
+    let chip = tiny();
+    let out = Router::new(&chip, RouterConfig { iterations: 2, ..Default::default() }).run();
+    // at least one endpoint has finite slack and the report is coherent
+    let finite = out.timing.slack.iter().filter(|s| s.is_finite()).count();
+    assert!(finite > 0, "no constrained endpoints?");
+    assert!(out.metrics.ws <= out.timing.slack.iter().cloned().fold(f64::INFINITY, f64::min) + 1e-9);
+}
