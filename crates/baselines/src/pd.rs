@@ -90,8 +90,7 @@ pub fn prim_dijkstra(
                 // bounding box, so the detour is 0 in L1.
                 let dist = z.l1(pos) as f64;
                 let penalty = beta(w_s, sub_w[c as usize], &model.bif);
-                let delay_to_z =
-                    node_delay[p as usize] + model.delay_per_unit * pp.l1(z) as f64;
+                let delay_to_z = node_delay[p as usize] + model.delay_per_unit * pp.l1(z) as f64;
                 let j = model.cost_per_unit * dist
                     + w_s * (delay_to_z + model.delay_per_unit * dist)
                     + penalty;
@@ -167,14 +166,13 @@ mod tests {
         // One critical sink far right, several light sinks nearby below
         // the trunk. With a large dbif, light sinks should avoid tapping
         // the critical trunk (fewer bifurcations on the critical path).
-        let sinks = [
-            Point::new(10, 0),
-            Point::new(3, 1),
-            Point::new(5, 1),
-            Point::new(7, 1),
-        ];
+        let sinks = [Point::new(10, 0), Point::new(3, 1), Point::new(5, 1), Point::new(7, 1)];
         let w = [50.0, 0.1, 0.1, 0.1];
-        let no_pen = PlaneCostModel { cost_per_unit: 1.0, delay_per_unit: 1.0, bif: BifurcationConfig::ZERO };
+        let no_pen = PlaneCostModel {
+            cost_per_unit: 1.0,
+            delay_per_unit: 1.0,
+            bif: BifurcationConfig::ZERO,
+        };
         let with_pen = PlaneCostModel {
             cost_per_unit: 1.0,
             delay_per_unit: 1.0,

@@ -106,9 +106,7 @@ pub fn shallow_light(
             Some(p) => p,
             None => continue,
         };
-        let old_len = topo
-            .position(former_parent)
-            .l1(topo.position(cur_parent));
+        let old_len = topo.position(former_parent).l1(topo.position(cur_parent));
         let new_len = topo.position(former_parent).l1(topo.position(node));
         if new_len >= old_len {
             continue;
@@ -140,11 +138,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn model() -> PlaneCostModel {
-        PlaneCostModel {
-            cost_per_unit: 1.0,
-            delay_per_unit: 1.0,
-            bif: BifurcationConfig::ZERO,
-        }
+        PlaneCostModel { cost_per_unit: 1.0, delay_per_unit: 1.0, bif: BifurcationConfig::ZERO }
     }
 
     /// A chain of sinks along x: the RSMT is a path, giving the last sink
@@ -154,12 +148,20 @@ mod tests {
         let sinks: Vec<Point> = (1..=6).map(|i| Point::new(4 * i, i % 2)).collect();
         let w = vec![1.0; sinks.len()];
         let loose = shallow_light(
-            Point::new(0, 0), &sinks, &w, None,
-            &model(), &SlParams { epsilon: 100.0, exact_rsmt_threshold: 0 },
+            Point::new(0, 0),
+            &sinks,
+            &w,
+            None,
+            &model(),
+            &SlParams { epsilon: 100.0, exact_rsmt_threshold: 0 },
         );
         let tight = shallow_light(
-            Point::new(0, 0), &sinks, &w, None,
-            &model(), &SlParams { epsilon: 0.05, exact_rsmt_threshold: 0 },
+            Point::new(0, 0),
+            &sinks,
+            &w,
+            None,
+            &model(),
+            &SlParams { epsilon: 0.05, exact_rsmt_threshold: 0 },
         );
         let max_ratio = |t: &Topology| {
             t.sink_delays(&w, 1.0, &BifurcationConfig::ZERO)
@@ -191,8 +193,12 @@ mod tests {
         let w = [1.0, 1.0];
         // infinite budgets: keep the short tree, no shortcuts
         let t = shallow_light(
-            Point::new(0, 0), &sinks, &w, Some(&[1e9, 1e9]),
-            &model(), &SlParams::default(),
+            Point::new(0, 0),
+            &sinks,
+            &w,
+            Some(&[1e9, 1e9]),
+            &model(),
+            &SlParams::default(),
         );
         assert!(t.length() <= 9);
     }

@@ -28,12 +28,8 @@ fn bench_tables_1_2(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(8));
     g.warm_up_time(Duration::from_secs(1));
-    g.bench_function("table1", |b| {
-        b.iter(|| black_box(instance_comparison(&chip, false, 2)))
-    });
-    g.bench_function("table2", |b| {
-        b.iter(|| black_box(instance_comparison(&chip, true, 2)))
-    });
+    g.bench_function("table1", |b| b.iter(|| black_box(instance_comparison(&chip, false, 2))));
+    g.bench_function("table2", |b| b.iter(|| black_box(instance_comparison(&chip, true, 2))));
     g.finish();
 }
 
@@ -44,12 +40,8 @@ fn bench_tables_4_5(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(8));
     g.warm_up_time(Duration::from_secs(1));
-    g.bench_function("table4", |b| {
-        b.iter(|| black_box(routing_comparison(&chip, false, 2)))
-    });
-    g.bench_function("table5", |b| {
-        b.iter(|| black_box(routing_comparison(&chip, true, 2)))
-    });
+    g.bench_function("table4", |b| b.iter(|| black_box(routing_comparison(&chip, false, 2))));
+    g.bench_function("table5", |b| b.iter(|| black_box(routing_comparison(&chip, true, 2))));
     g.finish();
 }
 
@@ -64,9 +56,8 @@ fn bench_scaling(c: &mut Criterion) {
         let grid = GridSpec::uniform(40, 40, 4).build();
         let (cost, delay) = (grid.graph().base_costs(), grid.graph().delays());
         let mut rng = StdRng::seed_from_u64(t as u64);
-        let sinks: Vec<u32> = (0..t)
-            .map(|_| grid.vertex(rng.gen_range(0..40), rng.gen_range(0..40), 0))
-            .collect();
+        let sinks: Vec<u32> =
+            (0..t).map(|_| grid.vertex(rng.gen_range(0..40), rng.gen_range(0..40), 0)).collect();
         let weights = vec![0.2; t];
         let root = grid.vertex(0, 0, 0);
         g.bench_with_input(BenchmarkId::new("terminals", t), &t, |b, _| {
@@ -119,9 +110,8 @@ fn bench_ablation(c: &mut Criterion) {
     let grid = GridSpec::uniform(32, 32, 4).build();
     let (cost, delay) = (grid.graph().base_costs(), grid.graph().delays());
     let mut rng = StdRng::seed_from_u64(17);
-    let sinks: Vec<u32> = (0..24)
-        .map(|_| grid.vertex(rng.gen_range(0..32), rng.gen_range(0..32), 0))
-        .collect();
+    let sinks: Vec<u32> =
+        (0..24).map(|_| grid.vertex(rng.gen_range(0..32), rng.gen_range(0..32), 0)).collect();
     let weights = vec![0.2; 24];
     let root = grid.vertex(0, 0, 0);
     let inst = Instance {
@@ -139,9 +129,7 @@ fn bench_ablation(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(3));
     g.warm_up_time(Duration::from_secs(1));
-    g.bench_function("base", |b| {
-        b.iter(|| black_box(solve(&inst, &SolverOptions::base())))
-    });
+    g.bench_function("base", |b| b.iter(|| black_box(solve(&inst, &SolverOptions::base()))));
     g.bench_function("enhanced_no_astar", |b| {
         b.iter(|| black_box(solve(&inst, &SolverOptions::default())))
     });
@@ -230,10 +218,7 @@ fn bench_fig3(c: &mut Criterion) {
     };
     c.bench_function("fig3_trace", |b| {
         b.iter(|| {
-            black_box(solve(
-                &inst,
-                &SolverOptions { record_trace: true, ..Default::default() },
-            ))
+            black_box(solve(&inst, &SolverOptions { record_trace: true, ..Default::default() }))
         })
     });
 }

@@ -17,10 +17,8 @@ fn main() {
     let chips = selected_suite();
     let chip = chips.first().expect("at least one chip selected");
     eprintln!("harvesting {}…", chip.name);
-    let router = Router::new(
-        chip,
-        RouterConfig { iterations, harvest: true, ..Default::default() },
-    );
+    let router =
+        Router::new(chip, RouterConfig { iterations, harvest: true, ..Default::default() });
     let out = router.run();
     let bif = BifurcationConfig::new(chip.delay_model.dbif_ps(), 0.25);
     let index = EdgeIndex::new(&chip.grid);
@@ -45,11 +43,8 @@ fn main() {
         let cost = window.slice(&out.prices);
         let delay = window.grid.graph().delays();
         let root = window.grid.vertex_at(window.localize(net.root));
-        let sinks: Vec<u32> = net
-            .sinks
-            .iter()
-            .map(|&p| window.grid.vertex_at(window.localize(p)))
-            .collect();
+        let sinks: Vec<u32> =
+            net.sinks.iter().map(|&p| window.grid.vertex_at(window.localize(p))).collect();
         let inst = Instance {
             graph: window.grid.graph(),
             cost: &cost,

@@ -24,7 +24,10 @@ fn main() {
     weights.extend(std::iter::repeat_n(0.05, 8));
     let bif = BifurcationConfig::new(8.0, 0.25);
     println!("Fig. 1 — bifurcations on the critical path (critical sink at (23,5), w=5)");
-    println!("{:>4} {:>18} {:>16} {:>12}", "Run", "bifs on crit path", "crit delay [ps]", "objective");
+    println!(
+        "{:>4} {:>18} {:>16} {:>12}",
+        "Run", "bifs on crit path", "crit delay [ps]", "objective"
+    );
     for m in SteinerMethod::ALL {
         let req = OracleRequest {
             grid: &grid,

@@ -22,12 +22,7 @@ fn main() {
     for lx in [eta, 0.5, 1.0 - eta] {
         let ly = 1.0 - lx;
         let cost = wx * lx * dbif + wy * ly * dbif;
-        println!(
-            "{lx:>8.2} {:>12.2} {:>12.2} {:>16.2}",
-            lx * dbif,
-            ly * dbif,
-            cost
-        );
+        println!("{lx:>8.2} {:>12.2} {:>12.2} {:>16.2}", lx * dbif, ly * dbif, cost);
     }
     let (lx, ly) = lambda_split(wx, wy, eta);
     let bif = BifurcationConfig::new(dbif, eta);

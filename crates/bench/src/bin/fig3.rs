@@ -41,11 +41,20 @@ fn main() {
     };
     for ev in &result.trace {
         match *ev {
-            MergeEvent::SinkSink { iteration, u_vertex, v_vertex, steiner_vertex, l_value, path_edges } => {
+            MergeEvent::SinkSink {
+                iteration,
+                u_vertex,
+                v_vertex,
+                steiner_vertex,
+                l_value,
+                path_edges,
+            } => {
                 println!(
                     "i={iteration}: u at {} finds v at {}; Steiner vertex s at {} \
                      (L = {l_value:.2}, path {path_edges} edges)",
-                    coord(u_vertex), coord(v_vertex), coord(steiner_vertex)
+                    coord(u_vertex),
+                    coord(v_vertex),
+                    coord(steiner_vertex)
                 );
             }
             MergeEvent::RootConnect { iteration, u_vertex, l_value, path_edges } => {

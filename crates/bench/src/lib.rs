@@ -21,18 +21,12 @@ use cds_topo::BifurcationConfig;
 
 /// Reads a `usize` environment knob.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Reads a `u64` environment knob.
 pub fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// The chip suite selected by the environment (see module docs).
@@ -44,11 +38,7 @@ pub fn selected_suite() -> Vec<Chip> {
         .map(|s| s.split(',').map(|x| x.trim().to_string()).collect());
     ChipSpec::paper_suite(divisor, seed)
         .into_iter()
-        .filter(|spec| {
-            filter
-                .as_ref()
-                .is_none_or(|f| f.iter().any(|x| x == &spec.name))
-        })
+        .filter(|spec| filter.as_ref().is_none_or(|f| f.iter().any(|x| x == &spec.name)))
         .map(|spec| spec.generate())
         .collect()
 }
@@ -70,9 +60,8 @@ pub struct InstanceTable {
 impl InstanceTable {
     /// Accumulates one instance's objectives (paper order L1, SL, PD, CD).
     pub fn add(&mut self, num_sinks: usize, objectives: [f64; 4]) {
-        let Some(bucket) = BUCKETS
-            .iter()
-            .position(|&(_, lo, hi)| num_sinks >= lo && num_sinks <= hi)
+        let Some(bucket) =
+            BUCKETS.iter().position(|&(_, lo, hi)| num_sinks >= lo && num_sinks <= hi)
         else {
             return;
         };
@@ -143,9 +132,7 @@ pub fn instance_comparison(chip: &Chip, use_dbif: bool, iterations: usize) -> In
     for h in &out.harvest {
         let mut objs = [0.0f64; 4];
         for (i, m) in SteinerMethod::ALL.iter().enumerate() {
-            objs[i] = router
-                .route_one(h.net, *m, &out.prices, &h.weights, Some(&h.budgets), bif)
-                .1;
+            objs[i] = router.route_one(h.net, *m, &out.prices, &h.weights, Some(&h.budgets), bif).1;
         }
         table.add(chip.nets[h.net].sinks.len(), objs);
     }

@@ -68,10 +68,7 @@ pub fn assemble_tree(
         }
     }
     for (i, &v) in sink_vertices.iter().enumerate() {
-        assert!(
-            visited.contains_key(&v),
-            "sink {i} at vertex {v} is not connected to the root"
-        );
+        assert!(visited.contains_key(&v), "sink {i} at vertex {v} is not connected to the root");
     }
 
     // children lists of the DFS tree
@@ -204,9 +201,7 @@ mod tests {
         let root = grid.vertex(0, 1, 1);
         // route root to hub on layer 1 (vertical? layer 1 is vertical);
         // use explicit Dijkstra path instead of hand-picking edges
-        let sp = cds_graph::dijkstra::shortest_paths(g, &[(root, 0.0)], |e| {
-            g.edge(e).base_cost
-        });
+        let sp = cds_graph::dijkstra::shortest_paths(g, &[(root, 0.0)], |e| g.edge(e).base_cost);
         let path = sp.path_to(hub).unwrap();
         let t = assemble_tree(g, root, &[hub, hub, hub], &path);
         t.validate(g, 3).unwrap();

@@ -46,6 +46,11 @@ impl Dsu {
         self.parent[ri] = into;
         self.parent[into] = into;
     }
+
+    /// Forgets all sets, keeping the allocation (workspace reuse).
+    pub fn clear(&mut self) {
+        self.parent.clear();
+    }
 }
 
 /// The tree-so-far of one component: its edges, its vertices, and the
@@ -70,18 +75,35 @@ impl Component {
         Component { edges: Vec::new(), vertices, sinks }
     }
 
+    /// Re-initializes a (possibly recycled) component as a singleton,
+    /// keeping whatever capacity its buffers already have.
+    pub fn init_singleton(&mut self, v: VertexId, sinks: &[(VertexId, f64)]) {
+        self.reset();
+        self.vertices.insert(v, ());
+        self.sinks.extend_from_slice(sinks);
+    }
+
+    /// Empties the component, keeping allocations (workspace reuse).
+    pub fn reset(&mut self) {
+        self.edges.clear();
+        self.vertices.clear();
+        self.sinks.clear();
+    }
+
     /// Whether `v` belongs to this component.
     pub fn contains(&self, v: VertexId) -> bool {
         self.vertices.contains_key(&v)
     }
 
     /// Absorbs `other` and a connecting `path` (edges between them).
-    pub fn absorb(&mut self, other: Component, path: &[EdgeId], g: &Graph) {
-        self.edges.extend_from_slice(&other.edges);
-        for (v, ()) in other.vertices {
+    /// `other` is drained but keeps its buffers, so callers can recycle
+    /// it through a component pool.
+    pub fn absorb(&mut self, other: &mut Component, path: &[EdgeId], g: &Graph) {
+        self.edges.append(&mut other.edges);
+        for (v, ()) in other.vertices.drain() {
             self.vertices.insert(v, ());
         }
-        self.sinks.extend_from_slice(&other.sinks);
+        self.sinks.append(&mut other.sinks);
         for &e in path {
             self.edges.push(e);
             let ep = g.endpoints(e);
@@ -99,18 +121,29 @@ impl Component {
     /// For a singleton sink component it is `w·d_tree(y, sink)`, the
     /// paper's original seeding.
     pub fn weighted_exit_delay(&self, g: &Graph, d: &[f64]) -> HashMap<VertexId, f64> {
-        let mut out: HashMap<VertexId, f64> =
-            self.vertices.keys().map(|&v| (v, 0.0)).collect();
+        let mut out: HashMap<VertexId, f64> = self.vertices.keys().map(|&v| (v, 0.0)).collect();
+        let adj = self.adjacency(g);
         for &(q, w) in &self.sinks {
             if w == 0.0 {
                 continue;
             }
-            let delays = self.tree_delays(g, d, q);
+            let delays = tree_delays_over(&adj, d, q, self.vertices.len());
             for (v, acc) in out.iter_mut() {
                 *acc += w * delays.get(v).copied().unwrap_or(0.0);
             }
         }
         out
+    }
+
+    /// Adjacency restricted to the component's edges.
+    fn adjacency(&self, g: &Graph) -> HashMap<VertexId, Vec<(VertexId, EdgeId)>> {
+        let mut adj: HashMap<VertexId, Vec<(VertexId, EdgeId)>> = HashMap::new();
+        for &e in &self.edges {
+            let ep = g.endpoints(e);
+            adj.entry(ep.u).or_default().push((ep.v, e));
+            adj.entry(ep.v).or_default().push((ep.u, e));
+        }
+        adj
     }
 
     /// Total sink weight *downstream* of each component vertex when the
@@ -119,6 +152,22 @@ impl Component {
     /// price bifurcations on already-routed root-component paths
     /// (Fig. 1 of the paper: keeping taps off the critical trunk).
     pub fn downstream_weights(&self, g: &Graph, root: VertexId) -> HashMap<VertexId, f64> {
+        let mut down = HashMap::new();
+        self.downstream_weights_into(g, root, &mut down);
+        down
+    }
+
+    /// [`downstream_weights`](Self::downstream_weights) into a
+    /// caller-owned map (cleared first), so the solver workspace can
+    /// refill its pooled map on every root merge instead of
+    /// reallocating.
+    pub fn downstream_weights_into(
+        &self,
+        g: &Graph,
+        root: VertexId,
+        down: &mut HashMap<VertexId, f64>,
+    ) {
+        down.clear();
         let mut adj: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
         for &e in &self.edges {
             let ep = g.endpoints(e);
@@ -130,7 +179,6 @@ impl Component {
             *weight_at.entry(q).or_insert(0.0) += w;
         }
         // iterative post-order accumulation from `root`
-        let mut down: HashMap<VertexId, f64> = HashMap::new();
         let mut parent: HashMap<VertexId, VertexId> = HashMap::new();
         let mut order = vec![root];
         let mut seen: HashMap<VertexId, ()> = HashMap::new();
@@ -157,42 +205,44 @@ impl Component {
                 *down.entry(p).or_insert(0.0) += acc;
             }
         }
-        down
     }
 
     /// Raw tree delay (`Σ d(e)`) from `from` to every component vertex,
     /// walking only component edges. Vertices unreachable through the
     /// component (possible only by construction error) are absent.
     pub fn tree_delays(&self, g: &Graph, d: &[f64], from: VertexId) -> HashMap<VertexId, f64> {
-        // adjacency restricted to component edges
-        let mut adj: HashMap<VertexId, Vec<(VertexId, EdgeId)>> = HashMap::new();
-        for &e in &self.edges {
-            let ep = g.endpoints(e);
-            adj.entry(ep.u).or_default().push((ep.v, e));
-            adj.entry(ep.v).or_default().push((ep.u, e));
+        tree_delays_over(&self.adjacency(g), d, from, self.vertices.len())
+    }
+}
+
+/// The tree-delay Dijkstra over a prebuilt component adjacency —
+/// Dijkstra-style because duplicate edges could create cycles of
+/// differing delay; component sizes are tiny, so simple is fine.
+fn tree_delays_over(
+    adj: &HashMap<VertexId, Vec<(VertexId, EdgeId)>>,
+    d: &[f64],
+    from: VertexId,
+    capacity: usize,
+) -> HashMap<VertexId, f64> {
+    let mut out = HashMap::with_capacity(capacity);
+    out.insert(from, 0.0);
+    let mut heap = std::collections::BinaryHeap::new();
+    heap.push(std::cmp::Reverse((cds_heap::OrderedF64::new(0.0), from)));
+    while let Some(std::cmp::Reverse((dd, v))) = heap.pop() {
+        if out.get(&v).copied().unwrap_or(f64::INFINITY) < dd.get() {
+            continue;
         }
-        let mut out = HashMap::with_capacity(self.vertices.len());
-        out.insert(from, 0.0);
-        // Dijkstra-style because duplicate edges could create cycles of
-        // differing delay; component sizes are tiny, so simple is fine
-        let mut heap = std::collections::BinaryHeap::new();
-        heap.push(std::cmp::Reverse((cds_heap::OrderedF64::new(0.0), from)));
-        while let Some(std::cmp::Reverse((dd, v))) = heap.pop() {
-            if out.get(&v).copied().unwrap_or(f64::INFINITY) < dd.get() {
-                continue;
-            }
-            if let Some(nbrs) = adj.get(&v) {
-                for &(w, e) in nbrs {
-                    let nd = dd.get() + d[e as usize];
-                    if nd < out.get(&w).copied().unwrap_or(f64::INFINITY) {
-                        out.insert(w, nd);
-                        heap.push(std::cmp::Reverse((cds_heap::OrderedF64::new(nd), w)));
-                    }
+        if let Some(nbrs) = adj.get(&v) {
+            for &(w, e) in nbrs {
+                let nd = dd.get() + d[e as usize];
+                if nd < out.get(&w).copied().unwrap_or(f64::INFINITY) {
+                    out.insert(w, nd);
+                    heap.push(std::cmp::Reverse((cds_heap::OrderedF64::new(nd), w)));
                 }
             }
         }
-        out
     }
+    out
 }
 
 #[cfg(test)]
@@ -228,9 +278,10 @@ mod tests {
         let g = b.build();
         let d = g.delays();
         let mut c0 = Component::singleton(0, vec![(0, 1.0)]);
-        let c3 = Component::singleton(3, vec![(3, 2.0)]);
+        let mut c3 = Component::singleton(3, vec![(3, 2.0)]);
         // connect them with the full path
-        c0.absorb(c3, &[0, 1, 2], &g);
+        c0.absorb(&mut c3, &[0, 1, 2], &g);
+        assert!(c3.edges.is_empty() && c3.sinks.is_empty(), "absorb drains the other side");
         assert!(c0.contains(2));
         assert_eq!(c0.edges.len(), 3);
         let delays = c0.tree_delays(&g, &d, 0);
@@ -248,7 +299,7 @@ mod tests {
         let g = b.build();
         let d = g.delays();
         let mut comp = Component::singleton(0, vec![(0, 1.0)]);
-        comp.absorb(Component::singleton(3, vec![(3, 3.0)]), &[0, 1, 2], &g);
+        comp.absorb(&mut Component::singleton(3, vec![(3, 3.0)]), &[0, 1, 2], &g);
         let exits = comp.weighted_exit_delay(&g, &d);
         // exit at 0: 1*0 + 3*3 = 9; at 3: 1*3 + 3*0 = 3; at 2: 1*2 + 3*1 = 5
         assert_eq!(exits[&0], 9.0);

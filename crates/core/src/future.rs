@@ -11,6 +11,7 @@
 
 use cds_graph::{GridGraph, VertexId};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// An admissible heuristic for the simultaneous Dijkstra searches.
 ///
@@ -20,7 +21,15 @@ use std::collections::VecDeque;
 /// * `bound_nearest(x, w)` ≤ the `c + w·d` length of any path from `x`
 ///   to any vertex that can ever become a connection target;
 /// * `bound_to(x, y, w)` ≤ the `c + w·d` length of any `x`→`y` path.
-pub trait FutureCost {
+///
+/// `Sync` is a supertrait so that requests referencing a future cost
+/// can be fanned out across the worker threads of
+/// [`Solver::solve_batch`](crate::Solver::solve_batch) (each request is
+/// still *used* by exactly one thread at a time; a future must not be
+/// shared between different requests, since
+/// [`note_new_targets`](Self::note_new_targets) specializes it to one
+/// net's target set).
+pub trait FutureCost: Sync {
     /// Lower bound on the remaining search cost from `x` to the nearest
     /// potential target.
     fn bound_nearest(&self, x: VertexId, w: f64) -> f64;
@@ -60,9 +69,12 @@ impl FutureCost for NoFutureCost {
 #[derive(Debug)]
 pub struct GridFutureCost<'a> {
     grid: &'a GridGraph,
-    /// plane distance (in gcells) to the nearest target, row-major;
-    /// interior-mutable so target growth can lower it mid-run
-    plane_dist: std::cell::RefCell<Vec<u32>>,
+    /// Plane distance (in gcells) to the nearest target, row-major.
+    /// Atomic cells (relaxed, plain-load cost on mainstream ISAs) give
+    /// the interior mutability `note_new_targets` needs through `&self`
+    /// while keeping the type `Sync` for batched solving; a single
+    /// solve run is the only writer at any time.
+    plane_dist: Vec<AtomicU32>,
     min_cost: f64,
     min_delay: f64,
 }
@@ -72,23 +84,70 @@ impl<'a> GridFutureCost<'a> {
     /// instance (`terminals` are graph vertices; their layers are
     /// ignored — the bound is planar).
     pub fn new(grid: &'a GridGraph, terminals: &[VertexId]) -> Self {
+        Self::with_buffer(grid, terminals, Vec::new())
+    }
+
+    /// Like [`new`](Self::new), but reusing a recycled plane buffer
+    /// (from [`into_buffer`](Self::into_buffer)) so per-net future-cost
+    /// construction in a routing loop allocates nothing once warm.
+    pub fn with_buffer(
+        grid: &'a GridGraph,
+        terminals: &[VertexId],
+        mut buf: Vec<AtomicU32>,
+    ) -> Self {
         let (nx, ny) = (grid.spec().nx as usize, grid.spec().ny as usize);
-        let mut plane_dist = vec![u32::MAX; nx * ny];
+        buf.clear();
+        buf.resize_with(nx * ny, || AtomicU32::new(u32::MAX));
+        let fc = GridFutureCost {
+            grid,
+            plane_dist: buf,
+            min_cost: grid.min_cost_per_gcell(),
+            min_delay: grid.min_delay_per_gcell(),
+        };
+        // on an all-MAX transform, the decrease-only propagation of
+        // `note_new_targets` is exactly the multi-source BFS
+        fc.note_new_targets(terminals);
+        fc
+    }
+
+    /// Consumes the future cost, returning the plane buffer for reuse.
+    pub fn into_buffer(self) -> Vec<AtomicU32> {
+        self.plane_dist
+    }
+}
+
+impl FutureCost for GridFutureCost<'_> {
+    fn bound_nearest(&self, x: VertexId, w: f64) -> f64 {
+        let c = self.grid.coord(x);
+        let d = self.plane_dist[c.y as usize * self.grid.spec().nx as usize + c.x as usize]
+            .load(Ordering::Relaxed);
+        d as f64 * (self.min_cost + w * self.min_delay)
+    }
+    fn bound_to(&self, x: VertexId, y: VertexId, w: f64) -> f64 {
+        let (cx, cy) = (self.grid.coord(x), self.grid.coord(y));
+        let l1 = cx.point().l1(cy.point()) as f64;
+        l1 * (self.min_cost + w * self.min_delay)
+    }
+    fn note_new_targets(&self, vertices: &[VertexId]) {
+        let nx = self.grid.spec().nx as usize;
+        let dist = &self.plane_dist;
+        let ny = dist.len() / nx;
         let mut queue = VecDeque::new();
-        for &t in terminals {
-            let c = grid.coord(t);
+        for &v in vertices {
+            let c = self.grid.coord(v);
             let idx = c.y as usize * nx + c.x as usize;
-            if plane_dist[idx] != 0 {
-                plane_dist[idx] = 0;
+            if dist[idx].load(Ordering::Relaxed) != 0 {
+                dist[idx].store(0, Ordering::Relaxed);
                 queue.push_back(idx);
             }
         }
+        // propagate decreases only — the transform is monotone down
         while let Some(i) = queue.pop_front() {
             let (x, y) = (i % nx, i / nx);
-            let d = plane_dist[i];
+            let d = dist[i].load(Ordering::Relaxed);
             let mut push = |j: usize| {
-                if plane_dist[j] == u32::MAX {
-                    plane_dist[j] = d + 1;
+                if dist[j].load(Ordering::Relaxed) > d + 1 {
+                    dist[j].store(d + 1, Ordering::Relaxed);
                     queue.push_back(j);
                 }
             };
@@ -103,63 +162,6 @@ impl<'a> GridFutureCost<'a> {
             }
             if y + 1 < ny {
                 push(i + nx);
-            }
-        }
-        GridFutureCost {
-            grid,
-            plane_dist: std::cell::RefCell::new(plane_dist),
-            min_cost: grid.min_cost_per_gcell(),
-            min_delay: grid.min_delay_per_gcell(),
-        }
-    }
-}
-
-impl FutureCost for GridFutureCost<'_> {
-    fn bound_nearest(&self, x: VertexId, w: f64) -> f64 {
-        let c = self.grid.coord(x);
-        let d = self.plane_dist.borrow()
-            [c.y as usize * self.grid.spec().nx as usize + c.x as usize];
-        d as f64 * (self.min_cost + w * self.min_delay)
-    }
-    fn bound_to(&self, x: VertexId, y: VertexId, w: f64) -> f64 {
-        let (cx, cy) = (self.grid.coord(x), self.grid.coord(y));
-        let l1 = cx.point().l1(cy.point()) as f64;
-        l1 * (self.min_cost + w * self.min_delay)
-    }
-    fn note_new_targets(&self, vertices: &[VertexId]) {
-        let nx = self.grid.spec().nx as usize;
-        let mut dist = self.plane_dist.borrow_mut();
-        let ny = dist.len() / nx;
-        let mut queue = VecDeque::new();
-        for &v in vertices {
-            let c = self.grid.coord(v);
-            let idx = c.y as usize * nx + c.x as usize;
-            if dist[idx] != 0 {
-                dist[idx] = 0;
-                queue.push_back(idx);
-            }
-        }
-        // propagate decreases only — the transform is monotone down
-        while let Some(i) = queue.pop_front() {
-            let (x, y) = (i % nx, i / nx);
-            let d = dist[i];
-            let push = |j: usize, dist: &mut Vec<u32>, queue: &mut VecDeque<usize>| {
-                if dist[j] > d + 1 {
-                    dist[j] = d + 1;
-                    queue.push_back(j);
-                }
-            };
-            if x > 0 {
-                push(i - 1, &mut dist, &mut queue);
-            }
-            if x + 1 < nx {
-                push(i + 1, &mut dist, &mut queue);
-            }
-            if y > 0 {
-                push(i - nx, &mut dist, &mut queue);
-            }
-            if y + 1 < ny {
-                push(i + nx, &mut dist, &mut queue);
             }
         }
     }
@@ -210,10 +212,7 @@ impl<'a> LandmarkFutureCost<'a> {
     }
 
     fn cost_bound_pair(&self, x: VertexId, y: VertexId) -> f64 {
-        self.dist
-            .iter()
-            .map(|d| (d[x as usize] - d[y as usize]).abs())
-            .fold(0.0, f64::max)
+        self.dist.iter().map(|d| (d[x as usize] - d[y as usize]).abs()).fold(0.0, f64::max)
     }
 
     fn delay_bound_pair(&self, x: VertexId, y: VertexId) -> f64 {
@@ -224,11 +223,7 @@ impl<'a> LandmarkFutureCost<'a> {
 
 impl FutureCost for LandmarkFutureCost<'_> {
     fn bound_nearest(&self, x: VertexId, w: f64) -> f64 {
-        self.targets
-            .iter()
-            .map(|&p| self.bound_to(x, p, w))
-            .fold(f64::INFINITY, f64::min)
-            .max(0.0)
+        self.targets.iter().map(|&p| self.bound_to(x, p, w)).fold(f64::INFINITY, f64::min).max(0.0)
     }
     fn bound_to(&self, x: VertexId, y: VertexId, w: f64) -> f64 {
         self.cost_bound_pair(x, y) + w * self.delay_bound_pair(x, y)
@@ -249,11 +244,10 @@ mod tests {
         let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
         let w = 2.5;
         // exact multi-target distance via one Dijkstra from all targets
-        let exact = shortest_distances(
-            grid.graph(),
-            &[(terminals[0], 0.0), (terminals[1], 0.0)],
-            |e| c[e as usize] + w * d[e as usize],
-        );
+        let exact =
+            shortest_distances(grid.graph(), &[(terminals[0], 0.0), (terminals[1], 0.0)], |e| {
+                c[e as usize] + w * d[e as usize]
+            });
         for v in 0..grid.graph().num_vertices() as u32 {
             assert!(
                 fc.bound_nearest(v, w) <= exact[v as usize] + 1e-9,

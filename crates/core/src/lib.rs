@@ -18,8 +18,13 @@
 //!
 //! # Examples
 //!
+//! One-off solves use the free function [`solve`]; hot loops hold a
+//! [`Solver`] session whose [`SolverWorkspace`] is cleared-and-reused
+//! across calls (bit-identical results either way — see the
+//! [`session`] module docs):
+//!
 //! ```
-//! use cds_core::{solve, Instance, SolverOptions};
+//! use cds_core::{solve, Instance, Request, Solver, SolverOptions};
 //! use cds_graph::GridSpec;
 //! use cds_topo::BifurcationConfig;
 //!
@@ -34,20 +39,27 @@
 //!     weights: &[2.0, 1.0],
 //!     bif: BifurcationConfig::ZERO,
 //! };
-//! let result = solve(&inst, &SolverOptions::default());
-//! assert!(result.evaluation.total > 0.0);
-//! result.tree.validate(grid.graph(), 2).unwrap();
+//! let fresh = solve(&inst, &SolverOptions::default());
+//! fresh.tree.validate(grid.graph(), 2).unwrap();
+//!
+//! let mut solver = Solver::new(); // session: reusable workspace
+//! let reused = solver.solve(&Request::from_instance(&inst));
+//! assert_eq!(fresh.evaluation.total.to_bits(), reused.evaluation.total.to_bits());
 //! ```
 
 pub mod assemble;
 pub mod components;
 pub mod future;
 pub mod search;
+pub mod session;
 pub mod solver;
 
 pub use assemble::assemble_tree;
 pub use future::{FutureCost, GridFutureCost, LandmarkFutureCost, NoFutureCost};
-pub use solver::{solve, Instance, MergeEvent, SolveResult, SolveStats, SolverOptions};
+pub use session::{Request, SessionConfig, Solver, SolverBuilder};
+pub use solver::{
+    solve, Instance, MergeEvent, SolveResult, SolveStats, SolverOptions, SolverWorkspace,
+};
 
 #[cfg(test)]
 mod tests {
@@ -183,16 +195,8 @@ mod tests {
         };
         let r = solve(&inst, &SolverOptions { record_trace: true, ..Default::default() });
         assert_eq!(r.trace.len(), r.stats.merges);
-        let sinksink = r
-            .trace
-            .iter()
-            .filter(|e| matches!(e, MergeEvent::SinkSink { .. }))
-            .count();
-        let rootc = r
-            .trace
-            .iter()
-            .filter(|e| matches!(e, MergeEvent::RootConnect { .. }))
-            .count();
+        let sinksink = r.trace.iter().filter(|e| matches!(e, MergeEvent::SinkSink { .. })).count();
+        let rootc = r.trace.iter().filter(|e| matches!(e, MergeEvent::RootConnect { .. })).count();
         // every sink-sink merge consumes 2 terminals and creates 1; root
         // connections consume 1: consumption balances sinks + created
         assert_eq!(rootc + 2 * sinksink, sinks.len() + sinksink);

@@ -46,6 +46,21 @@ impl Search {
         }
     }
 
+    /// Re-initializes a (possibly recycled) search for a new terminal,
+    /// clearing all labels but keeping the hash tables' capacity — the
+    /// workspace-reuse fast path: a rip-up & re-route loop starts one
+    /// search per terminal per net, and the label tables are the
+    /// solver's hottest allocations.
+    pub fn reset(&mut self, terminal: usize, weight: f64, origin: VertexId) {
+        self.terminal = terminal;
+        self.weight = weight;
+        self.origin = origin;
+        self.dist.clear();
+        self.parent.clear();
+        self.settled.clear();
+        self.seed_raw_delay.clear();
+    }
+
     /// Walks parents from `to` back to a seed. Returns the edges in
     /// seed→`to` order together with the seed vertex.
     ///

@@ -1,0 +1,500 @@
+//! The solver session API: reusable workspaces for rip-up & re-route
+//! workloads.
+//!
+//! The paper's headline result (§IV) is that the cost-distance algorithm
+//! is fast enough to serve as the per-net oracle inside a Lagrangean
+//! rip-up-and-reroute loop — *millions* of solve calls over a chip. The
+//! free function [`solve`](crate::solve) pays for that workload with
+//! allocation churn: every call builds fresh hash tables, heaps, and
+//! candidate stores, only to drop them microseconds later.
+//!
+//! A [`Solver`] is a session object that keeps all of those buffers in a
+//! [`SolverWorkspace`] and clears-and-reuses them call after call:
+//!
+//! ```
+//! use cds_core::{Request, Solver};
+//! use cds_graph::GridSpec;
+//!
+//! let grid = GridSpec::uniform(8, 8, 2).build();
+//! let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+//! let mut solver = Solver::builder().seed(7).build();
+//! for k in 1..6u32 {
+//!     let sinks = [grid.vertex(7, k % 8, 0), grid.vertex(k % 8, 7, 0)];
+//!     let req = Request::new(grid.graph(), &c, &d, grid.vertex(0, 0, 0), &sinks, &[1.0, 2.0]);
+//!     let result = solver.solve(&req);
+//!     assert!(result.evaluation.total > 0.0);
+//! }
+//! ```
+//!
+//! Results are specified to be **bit-identical** to fresh-per-call
+//! solving: a reused workspace only retains *capacity*, never state, and
+//! the solver contains no iteration-order-sensitive reads of its hash
+//! tables. `tests/determinism.rs` pins that contract.
+//!
+//! For batches of independent nets, [`Solver::solve_batch`] fans the
+//! requests out over a pool of workspaces (one per worker thread) and
+//! returns results in request order, again bit-identical to sequential
+//! solving.
+
+use crate::future::FutureCost;
+use crate::solver::{solve_in, Instance, SolveResult, SolverOptions, SolverWorkspace};
+use cds_graph::{Graph, VertexId};
+use cds_topo::BifurcationConfig;
+
+/// Session-level solver configuration: the §III enhancement toggles and
+/// the default RNG seed. Unlike [`SolverOptions`] this is owned (no
+/// borrowed future cost), so a session can outlive any one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// §III-A component discounting.
+    pub discount_components: bool,
+    /// §III-D Steiner re-embedding.
+    pub better_steiner: bool,
+    /// §III-E root-connection encouragement.
+    pub encourage_root: bool,
+    /// Default seed for the randomized Steiner placement; a
+    /// [`Request::seed`] overrides it per net.
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+impl SessionConfig {
+    /// The default seed shared by every construction path.
+    pub const DEFAULT_SEED: u64 = 0x5eed;
+
+    /// All §III enhancements on — the single source of truth for the
+    /// defaults of [`SolverOptions`](crate::SolverOptions),
+    /// [`SolverBuilder`], and the router's `CdOracle` alike (keeping
+    /// the compat path and the session path bit-identical).
+    pub const DEFAULT: SessionConfig = SessionConfig {
+        discount_components: true,
+        better_steiner: true,
+        encourage_root: true,
+        seed: Self::DEFAULT_SEED,
+    };
+
+    /// The plain Section-II algorithm (all enhancements off).
+    pub const BASE: SessionConfig = SessionConfig {
+        discount_components: false,
+        better_steiner: false,
+        encourage_root: false,
+        seed: Self::DEFAULT_SEED,
+    };
+
+    /// The plain Section-II algorithm (all enhancements off).
+    pub fn base() -> Self {
+        Self::BASE
+    }
+}
+
+/// Builder for [`Solver`] sessions.
+///
+/// ```
+/// use cds_core::Solver;
+/// let solver = Solver::builder()
+///     .discount_components(true)
+///     .better_steiner(true)
+///     .encourage_root(false)
+///     .seed(42)
+///     .build();
+/// assert_eq!(solver.config().seed, 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolverBuilder {
+    config: SessionConfig,
+}
+
+impl SolverBuilder {
+    /// Starts from the default (fully enhanced) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from the plain Section-II configuration.
+    pub fn base() -> Self {
+        SolverBuilder { config: SessionConfig::base() }
+    }
+
+    /// Toggles §III-A component discounting.
+    pub fn discount_components(mut self, on: bool) -> Self {
+        self.config.discount_components = on;
+        self
+    }
+
+    /// Toggles §III-D Steiner re-embedding.
+    pub fn better_steiner(mut self, on: bool) -> Self {
+        self.config.better_steiner = on;
+        self
+    }
+
+    /// Toggles §III-E root-connection encouragement.
+    pub fn encourage_root(mut self, on: bool) -> Self {
+        self.config.encourage_root = on;
+        self
+    }
+
+    /// Sets the session's default RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finishes the session. The workspace starts empty and grows to the
+    /// session's largest instance, then stays warm.
+    pub fn build(self) -> Solver {
+        Solver { config: self.config, ws: SolverWorkspace::new(), pool: Vec::new() }
+    }
+}
+
+/// One cost-distance request: an [`Instance`] plus the per-net options
+/// (future cost, seed override, tracing) that used to live in
+/// [`SolverOptions`].
+///
+/// Requests are cheap to build — all heavy state lives in the
+/// [`Solver`]'s workspace. The graph travels with the request (not the
+/// session) because rip-up & re-route loops route each net in its own
+/// bounding-box window graph.
+#[derive(Clone, Copy)]
+pub struct Request<'a> {
+    /// The routing graph to solve on.
+    pub graph: &'a Graph,
+    /// Congestion cost `c(e)` per edge.
+    pub cost: &'a [f64],
+    /// Delay `d(e)` per edge.
+    pub delay: &'a [f64],
+    /// The net's root vertex.
+    pub root: VertexId,
+    /// Sink vertices.
+    pub sinks: &'a [VertexId],
+    /// Sink delay weights `w(s)`.
+    pub weights: &'a [f64],
+    /// Bifurcation penalty configuration.
+    pub bif: BifurcationConfig,
+    /// §III-C future cost for goal-oriented search; `None` means plain
+    /// Dijkstra. Use one future per request — it specializes to the
+    /// net's targets as components merge.
+    pub future: Option<&'a dyn FutureCost>,
+    /// Overrides the session seed for this net, e.g. with a per-net hash
+    /// so rip-up order does not change placements.
+    pub seed: Option<u64>,
+    /// Record the per-merge trace.
+    pub record_trace: bool,
+}
+
+impl std::fmt::Debug for Request<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Request")
+            .field("root", &self.root)
+            .field("sinks", &self.sinks)
+            .field("weights", &self.weights)
+            .field("bif", &self.bif)
+            .field("future", &self.future.is_some())
+            .field("seed", &self.seed)
+            .field("record_trace", &self.record_trace)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Request<'a> {
+    /// A request with no bifurcation penalty, no future cost, the
+    /// session's seed, and no tracing. Override fields directly or with
+    /// the `with_*` helpers.
+    pub fn new(
+        graph: &'a Graph,
+        cost: &'a [f64],
+        delay: &'a [f64],
+        root: VertexId,
+        sinks: &'a [VertexId],
+        weights: &'a [f64],
+    ) -> Self {
+        Request {
+            graph,
+            cost,
+            delay,
+            root,
+            sinks,
+            weights,
+            bif: BifurcationConfig::ZERO,
+            future: None,
+            seed: None,
+            record_trace: false,
+        }
+    }
+
+    /// The same net as `inst`, as a request.
+    pub fn from_instance(inst: &Instance<'a>) -> Self {
+        Request {
+            graph: inst.graph,
+            cost: inst.cost,
+            delay: inst.delay,
+            root: inst.root,
+            sinks: inst.sink_vertices,
+            weights: inst.weights,
+            bif: inst.bif,
+            future: None,
+            seed: None,
+            record_trace: false,
+        }
+    }
+
+    /// Sets the bifurcation penalty configuration.
+    pub fn with_bif(mut self, bif: BifurcationConfig) -> Self {
+        self.bif = bif;
+        self
+    }
+
+    /// Sets the §III-C future cost.
+    pub fn with_future(mut self, future: &'a dyn FutureCost) -> Self {
+        self.future = Some(future);
+        self
+    }
+
+    /// Overrides the session seed for this request.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Enables the per-merge trace.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// The equivalent [`Instance`] view of this request.
+    pub fn instance(&self) -> Instance<'a> {
+        Instance {
+            graph: self.graph,
+            cost: self.cost,
+            delay: self.delay,
+            root: self.root,
+            sink_vertices: self.sinks,
+            weights: self.weights,
+            bif: self.bif,
+        }
+    }
+}
+
+/// A solver session: configuration plus a reusable [`SolverWorkspace`].
+///
+/// See the [module docs](self) for the motivation and the determinism
+/// contract. Construct with [`Solver::builder`] (or [`Solver::new`] for
+/// defaults); solve with [`solve`](Solver::solve) /
+/// [`solve_batch`](Solver::solve_batch).
+#[derive(Debug, Default)]
+pub struct Solver {
+    config: SessionConfig,
+    ws: SolverWorkspace,
+    /// Extra workspaces for [`solve_batch`](Self::solve_batch) workers;
+    /// grown on demand, kept warm across batches.
+    pool: Vec<SolverWorkspace>,
+}
+
+impl Solver {
+    /// A session with the default (fully enhanced) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts building a session.
+    pub fn builder() -> SolverBuilder {
+        SolverBuilder::new()
+    }
+
+    /// A session with an explicit configuration.
+    pub fn with_config(config: SessionConfig) -> Self {
+        Solver { config, ws: SolverWorkspace::new(), pool: Vec::new() }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Number of solves served by this session's primary workspace.
+    pub fn solves(&self) -> u64 {
+        self.ws.solves()
+    }
+
+    /// Resolves the effective [`SolverOptions`] for one request.
+    fn options<'a>(config: &SessionConfig, req: &Request<'a>) -> SolverOptions<'a> {
+        SolverOptions {
+            future: req.future,
+            seed: req.seed.unwrap_or(config.seed),
+            record_trace: req.record_trace,
+            ..SolverOptions::from_session(*config)
+        }
+    }
+
+    /// Solves one request, reusing the session workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed requests (no sinks, mismatched slice lengths,
+    /// negative weights) or disconnected instances, exactly like
+    /// [`solve`](crate::solve).
+    pub fn solve(&mut self, req: &Request<'_>) -> SolveResult {
+        Self::solve_with(&self.config, &mut self.ws, req)
+    }
+
+    /// Solves one request against an explicit workspace — the building
+    /// block for callers that manage their own workspace pools (the
+    /// router's worker threads do).
+    pub fn solve_with(
+        config: &SessionConfig,
+        ws: &mut SolverWorkspace,
+        req: &Request<'_>,
+    ) -> SolveResult {
+        let inst = req.instance();
+        let opts = Self::options(config, req);
+        solve_in(ws, &inst, &opts)
+    }
+
+    /// Solves independent requests in parallel over a pool of
+    /// workspaces, returning results in request order.
+    ///
+    /// Results are bit-identical to solving the requests sequentially
+    /// (and therefore to fresh-per-call [`solve`](crate::solve)):
+    /// parallelism only changes *which* workspace serves a request, and
+    /// workspaces carry no state between solves. `threads` is clamped to
+    /// `[1, reqs.len()]`; the workspace pool persists across batches, so
+    /// steady-state batches allocate almost nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two requests share one [`FutureCost`] instance. A
+    /// future specializes to its net's targets during the solve
+    /// ([`note_new_targets`](crate::FutureCost::note_new_targets)), so
+    /// sharing one across concurrently solved requests would race and
+    /// break the bit-identical contract — build one future per request
+    /// (they are cheap relative to a solve).
+    pub fn solve_batch(&mut self, reqs: &[Request<'_>], threads: usize) -> Vec<SolveResult> {
+        let n = reqs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // zero-sized futures (e.g. NoFutureCost) are stateless and may
+        // share addresses; only stateful instances can race
+        let stateful = |r: &&Request<'_>| r.future.is_some_and(|f| std::mem::size_of_val(f) > 0);
+        let mut future_ptrs: Vec<*const ()> = reqs
+            .iter()
+            .filter(stateful)
+            .map(|r| {
+                let f = r.future.expect("filtered to Some");
+                f as *const dyn FutureCost as *const ()
+            })
+            .collect();
+        let stateful_count = future_ptrs.len();
+        future_ptrs.sort_unstable();
+        future_ptrs.dedup();
+        assert_eq!(
+            future_ptrs.len(),
+            stateful_count,
+            "solve_batch requests must not share a FutureCost instance (one future per net)"
+        );
+        let threads = threads.clamp(1, n);
+        if threads == 1 {
+            return reqs.iter().map(|r| self.solve(r)).collect();
+        }
+        // one workspace per worker: the primary plus pool extras
+        while self.pool.len() + 1 < threads {
+            self.pool.push(SolverWorkspace::new());
+        }
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Option<SolveResult>> = (0..n).map(|_| None).collect();
+        let config = self.config;
+        {
+            let mut workspaces: Vec<&mut SolverWorkspace> =
+                std::iter::once(&mut self.ws).chain(self.pool.iter_mut()).collect();
+            std::thread::scope(|scope| {
+                for ((req_chunk, out_chunk), ws) in
+                    reqs.chunks(chunk).zip(results.chunks_mut(chunk)).zip(workspaces.drain(..))
+                {
+                    scope.spawn(move || {
+                        for (req, out) in req_chunk.iter().zip(out_chunk.iter_mut()) {
+                            *out = Some(Self::solve_with(&config, ws, req));
+                        }
+                    });
+                }
+            });
+        }
+        results.into_iter().map(|r| r.expect("every request solved")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use cds_graph::GridSpec;
+
+    fn trees_equal(a: &SolveResult, b: &SolveResult) -> bool {
+        a.evaluation.total.to_bits() == b.evaluation.total.to_bits()
+            && a.stats == b.stats
+            && a.tree.edges().collect::<Vec<_>>() == b.tree.edges().collect::<Vec<_>>()
+    }
+
+    #[test]
+    fn session_matches_free_function() {
+        let grid = GridSpec::uniform(9, 9, 2).build();
+        let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+        let sinks = [grid.vertex(8, 1, 0), grid.vertex(1, 8, 0), grid.vertex(8, 8, 0)];
+        let weights = [1.0, 2.0, 0.5];
+        let req = Request::new(grid.graph(), &c, &d, grid.vertex(0, 0, 0), &sinks, &weights)
+            .with_bif(BifurcationConfig::new(3.0, 0.25));
+        let mut solver = Solver::new();
+        let fresh = solve(&req.instance(), &SolverOptions::default());
+        for _ in 0..5 {
+            let reused = solver.solve(&req);
+            assert!(trees_equal(&fresh, &reused), "reuse must not change results");
+        }
+        assert_eq!(solver.solves(), 5);
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_request_order() {
+        let grid = GridSpec::uniform(10, 10, 2).build();
+        let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+        let root = grid.vertex(0, 0, 0);
+        let sink_sets: Vec<Vec<u32>> = (0..13)
+            .map(|i| {
+                vec![
+                    grid.vertex(9, (i * 3) % 10, 0),
+                    grid.vertex((i * 7) % 10, 9, 0),
+                    grid.vertex((2 + i) % 10, (5 + i * 5) % 10, 0),
+                ]
+            })
+            .collect();
+        let weights = [1.0, 0.25, 2.0];
+        let reqs: Vec<Request<'_>> = sink_sets
+            .iter()
+            .map(|s| {
+                Request::new(grid.graph(), &c, &d, root, s, &weights)
+                    .with_bif(BifurcationConfig::new(2.0, 0.25))
+            })
+            .collect();
+        let mut solver = Solver::new();
+        let sequential: Vec<SolveResult> = reqs.iter().map(|r| solver.solve(r)).collect();
+        let batched = solver.solve_batch(&reqs, 4);
+        assert_eq!(batched.len(), sequential.len());
+        for (s, b) in sequential.iter().zip(&batched) {
+            assert!(trees_equal(s, b), "batch must match sequential bit-for-bit");
+        }
+    }
+
+    #[test]
+    fn builder_presets_match_legacy_options() {
+        let base = SolverBuilder::base().build();
+        assert!(!base.config().discount_components);
+        assert!(!base.config().better_steiner);
+        assert!(!base.config().encourage_root);
+        let full = Solver::builder().seed(9).build();
+        assert!(full.config().discount_components);
+        assert_eq!(full.config().seed, 9);
+    }
+}

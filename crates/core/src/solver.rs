@@ -87,29 +87,29 @@ impl std::fmt::Debug for SolverOptions<'_> {
 
 impl Default for SolverOptions<'_> {
     fn default() -> Self {
-        SolverOptions {
-            discount_components: true,
-            future: None,
-            better_steiner: true,
-            encourage_root: true,
-            seed: 0x5eed,
-            record_trace: false,
-        }
+        Self::from_session(crate::SessionConfig::DEFAULT)
     }
 }
 
 impl<'a> SolverOptions<'a> {
+    /// The toggles of a session config, with no future cost or tracing
+    /// — the one conversion point that keeps the compat path and the
+    /// session path agreeing on defaults.
+    pub fn from_session(config: crate::SessionConfig) -> Self {
+        SolverOptions {
+            discount_components: config.discount_components,
+            future: None,
+            better_steiner: config.better_steiner,
+            encourage_root: config.encourage_root,
+            seed: config.seed,
+            record_trace: false,
+        }
+    }
+
     /// The plain Section-II algorithm: no enhancements, matching the
     /// theoretical analysis.
     pub fn base() -> Self {
-        SolverOptions {
-            discount_components: false,
-            future: None,
-            better_steiner: false,
-            encourage_root: false,
-            seed: 0x5eed,
-            record_trace: false,
-        }
+        Self::from_session(crate::SessionConfig::BASE)
     }
 
     /// All enhancements on, with the given future cost (§III-C).
@@ -173,32 +173,55 @@ pub struct SolveResult {
     pub trace: Vec<MergeEvent>,
 }
 
-/// Runs the cost-distance algorithm on `inst`.
+/// Runs the cost-distance algorithm on `inst` with a throwaway
+/// workspace.
+///
+/// This is the compatibility entry point: one-off solves and code
+/// predating the session API. Hot loops should hold a
+/// [`Solver`](crate::Solver) session (or a [`SolverWorkspace`] of their
+/// own) and reuse it — results are specified to be bit-identical either
+/// way.
 ///
 /// # Panics
 ///
 /// Panics if the instance has no sinks, mismatched slices, negative
 /// weights, or if some sink is disconnected from the rest of the graph.
 pub fn solve(inst: &Instance<'_>, opts: &SolverOptions<'_>) -> SolveResult {
+    let mut ws = SolverWorkspace::new();
+    solve_in(&mut ws, inst, opts)
+}
+
+/// Runs the cost-distance algorithm on `inst` against a caller-owned
+/// workspace, clearing (not reallocating) whatever the workspace held.
+///
+/// # Panics
+///
+/// Same contract as [`solve`].
+pub(crate) fn solve_in(
+    ws: &mut SolverWorkspace,
+    inst: &Instance<'_>,
+    opts: &SolverOptions<'_>,
+) -> SolveResult {
     assert!(!inst.sink_vertices.is_empty(), "a net needs at least one sink");
     assert_eq!(inst.sink_vertices.len(), inst.weights.len(), "one weight per sink");
     assert!(inst.weights.iter().all(|&w| w >= 0.0), "negative delay weight");
     assert_eq!(inst.cost.len(), inst.graph.num_edges(), "one cost per edge");
     assert_eq!(inst.delay.len(), inst.graph.num_edges(), "one delay per edge");
-    let mut state = State::new(inst, opts);
+    ws.reset();
+    ws.solves += 1;
+    let mut state = State::new(inst, opts, ws);
     while state.active_count > 0 {
         let cand = state.run_until_candidate();
         state.commit(cand);
     }
     let root_slot = state.root_slot;
-    let root_rep = state.dsu.find(root_slot);
-    let edges = state.terminals[root_rep]
+    let root_rep = state.ws.dsu.find(root_slot);
+    let edges = &state.ws.terminals[root_rep]
         .comp
         .as_ref()
         .expect("root component lives at its representative")
-        .edges
-        .clone();
-    let tree = assemble_tree(inst.graph, inst.root, inst.sink_vertices, &edges);
+        .edges;
+    let tree = assemble_tree(inst.graph, inst.root, inst.sink_vertices, edges);
     debug_assert_eq!(
         tree.validate(inst.graph, inst.sink_vertices.len()),
         Ok(()),
@@ -230,11 +253,19 @@ struct Candidate {
     g: f64,
 }
 
-struct State<'a, 'b> {
-    inst: &'a Instance<'a>,
-    opts: &'a SolverOptions<'b>,
+/// The reusable buffers of one solver run: terminals, per-search label
+/// tables, the two-level heap, candidate stores, and component pools.
+///
+/// A workspace holds no semantic state between solves — only warmed-up
+/// capacity. [`reset`](Self::reset) (called automatically by every
+/// solve) clears contents but returns searches, components, and
+/// sub-heaps to internal pools instead of dropping them, which is where
+/// the session API's allocation savings come from. Create one through
+/// [`Solver`](crate::Solver), or directly with [`SolverWorkspace::new`]
+/// for caller-managed pools (e.g. one per router worker thread).
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
     terminals: Vec<Terminal>,
-    root_slot: TerminalId,
     dsu: Dsu,
     heap: TwoLevelHeap,
     searches: Vec<Option<Search>>,
@@ -246,6 +277,107 @@ struct State<'a, 'b> {
     /// For root-component vertices: total already-routed sink weight
     /// downstream (rebuilt after every root merge).
     root_downstream: HashMap<VertexId, f64>,
+    /// Retired [`Search`] label tables, cleared, awaiting reuse.
+    search_pool: Vec<Search>,
+    /// Retired [`Component`] buffers, cleared, awaiting reuse.
+    component_pool: Vec<Component>,
+    /// Scratch for the arrival check of the expansion hot loop (avoids
+    /// cloning `vertex_slots` entries per settled vertex).
+    scratch_slots: Vec<TerminalId>,
+    /// Solves served by this workspace (diagnostics).
+    solves: u64,
+}
+
+impl std::fmt::Debug for Terminal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Terminal")
+            .field("vertex", &self.vertex)
+            .field("weight", &self.weight)
+            .field("alive", &self.alive)
+            .field("sid", &self.sid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves served by this workspace so far.
+    pub fn solves(&self) -> u64 {
+        self.solves
+    }
+
+    /// Clears all per-solve state while keeping every allocation:
+    /// collection capacities survive, and searches / components /
+    /// sub-heaps move to pools for the next solve.
+    pub fn reset(&mut self) {
+        for mut t in self.terminals.drain(..) {
+            if let Some(mut comp) = t.comp.take() {
+                comp.reset();
+                self.component_pool.push(comp);
+            }
+        }
+        for slot in &mut self.searches {
+            if let Some(mut s) = slot.take() {
+                s.reset(0, 0.0, 0);
+                self.search_pool.push(s);
+            }
+        }
+        self.searches.clear();
+        self.dsu.clear();
+        self.heap.clear();
+        self.vertex_slots.clear();
+        self.candidates.clear();
+        self.cand_store.clear();
+        self.root_downstream.clear();
+    }
+
+    /// A cleared component from the pool (or a fresh one), initialized
+    /// as a singleton.
+    fn alloc_component(&mut self, v: VertexId, sinks: &[(VertexId, f64)]) -> Component {
+        match self.component_pool.pop() {
+            Some(mut comp) => {
+                comp.init_singleton(v, sinks);
+                comp
+            }
+            None => Component::singleton(v, sinks.to_vec()),
+        }
+    }
+
+    /// Returns a drained component's buffers to the pool.
+    fn free_component(&mut self, mut comp: Component) {
+        comp.reset();
+        self.component_pool.push(comp);
+    }
+
+    /// A cleared search from the pool (or a fresh one).
+    fn alloc_search(&mut self, terminal: TerminalId, weight: f64, origin: VertexId) -> Search {
+        match self.search_pool.pop() {
+            Some(mut s) => {
+                s.reset(terminal, weight, origin);
+                s
+            }
+            None => Search::new(terminal, weight, origin),
+        }
+    }
+
+    /// Retires a search, returning its label tables to the pool.
+    fn free_search(&mut self, sid: u32) {
+        if let Some(mut s) = self.searches[sid as usize].take() {
+            s.reset(0, 0.0, 0);
+            self.search_pool.push(s);
+        }
+    }
+}
+
+struct State<'w, 'a, 'b> {
+    inst: &'a Instance<'a>,
+    opts: &'a SolverOptions<'b>,
+    ws: &'w mut SolverWorkspace,
+    root_slot: TerminalId,
     active_count: usize,
     total_active_weight: f64,
     rng: StdRng,
@@ -254,20 +386,17 @@ struct State<'a, 'b> {
     no_future: NoFutureCost,
 }
 
-impl<'a, 'b> State<'a, 'b> {
-    fn new(inst: &'a Instance<'a>, opts: &'a SolverOptions<'b>) -> Self {
+impl<'w, 'a, 'b> State<'w, 'a, 'b> {
+    fn new(
+        inst: &'a Instance<'a>,
+        opts: &'a SolverOptions<'b>,
+        ws: &'w mut SolverWorkspace,
+    ) -> Self {
         let mut state = State {
             inst,
             opts,
-            terminals: Vec::new(),
+            ws,
             root_slot: 0,
-            dsu: Dsu::default(),
-            heap: TwoLevelHeap::new(),
-            searches: Vec::new(),
-            vertex_slots: HashMap::new(),
-            candidates: BinaryHeap::new(),
-            cand_store: Vec::new(),
-            root_downstream: HashMap::new(),
             active_count: 0,
             total_active_weight: 0.0,
             rng: StdRng::seed_from_u64(opts.seed),
@@ -277,30 +406,32 @@ impl<'a, 'b> State<'a, 'b> {
         };
         // sink terminals
         for (i, (&v, &w)) in inst.sink_vertices.iter().zip(inst.weights).enumerate() {
-            let slot = state.dsu.push();
+            let slot = state.ws.dsu.push();
             debug_assert_eq!(slot, i);
-            state.terminals.push(Terminal {
+            let comp = state.ws.alloc_component(v, &[(v, w)]);
+            state.ws.terminals.push(Terminal {
                 vertex: v,
                 weight: w,
                 alive: true,
-                comp: Some(Component::singleton(v, vec![(v, w)])),
+                comp: Some(comp),
                 sid: None,
             });
-            state.vertex_slots.entry(v).or_default().push(slot);
+            state.ws.vertex_slots.entry(v).or_default().push(slot);
             state.active_count += 1;
             state.total_active_weight += w;
         }
         // root terminal
-        let root_slot = state.dsu.push();
+        let root_slot = state.ws.dsu.push();
         state.root_slot = root_slot;
-        state.terminals.push(Terminal {
+        let root_comp = state.ws.alloc_component(inst.root, &[]);
+        state.ws.terminals.push(Terminal {
             vertex: inst.root,
             weight: 0.0,
             alive: true,
-            comp: Some(Component::singleton(inst.root, Vec::new())),
+            comp: Some(root_comp),
             sid: None,
         });
-        state.vertex_slots.entry(inst.root).or_default().push(root_slot);
+        state.ws.vertex_slots.entry(inst.root).or_default().push(root_slot);
         // start one search per sink
         for i in 0..inst.sink_vertices.len() {
             state.start_search(i);
@@ -320,27 +451,30 @@ impl<'a, 'b> State<'a, 'b> {
     /// suffer is fully determined), taking the larger of the two — this
     /// is what keeps taps off critical trunks (Fig. 1).
     fn b_value(&mut self, u: TerminalId, target_rep: TerminalId, via: VertexId) -> f64 {
-        let w_u = self.terminals[u].weight;
-        if target_rep == self.dsu.find(self.root_slot) {
+        let w_u = self.ws.terminals[u].weight;
+        if target_rep == self.ws.dsu.find(self.root_slot) {
             let rest = (self.total_active_weight - w_u).max(0.0);
-            let down = self.root_downstream.get(&via).copied().unwrap_or(0.0);
-            let mut b = beta(w_u, rest, &self.inst.bif)
-                .max(beta(w_u, down, &self.inst.bif));
+            let down = self.ws.root_downstream.get(&via).copied().unwrap_or(0.0);
+            let mut b = beta(w_u, rest, &self.inst.bif).max(beta(w_u, down, &self.inst.bif));
             if self.opts.encourage_root {
                 // §III-E: connecting now saves at least η·d_bif·w(u) later
                 b -= self.inst.bif.eta * self.inst.bif.dbif * w_u;
             }
             b.max(0.0)
         } else {
-            beta(w_u, self.terminals[target_rep].weight, &self.inst.bif)
+            beta(w_u, self.ws.terminals[target_rep].weight, &self.inst.bif)
         }
     }
 
-    /// Starts (or restarts) the Dijkstra of terminal `slot`.
+    /// Starts (or restarts) the Dijkstra of terminal `slot`, drawing the
+    /// search's label tables from the workspace pool.
     fn start_search(&mut self, slot: TerminalId) {
-        let t = &self.terminals[slot];
-        let mut search = Search::new(slot, t.weight, t.vertex);
-        let sid = self.heap.add_search();
+        let (t_weight, t_vertex) = {
+            let t = &self.ws.terminals[slot];
+            (t.weight, t.vertex)
+        };
+        let mut search = self.ws.alloc_search(slot, t_weight, t_vertex);
+        let sid = self.ws.heap.add_search();
         // Seeds (§III-A): every component vertex is a possible exit; its
         // price is the weighted tree delay the component's sinks incur if
         // the connection enters there — Σ_q w(q)·d_tree(y, q). For a
@@ -349,32 +483,35 @@ impl<'a, 'b> State<'a, 'b> {
         // charging all weight at the Steiner terminal's position.
         // Without discounting, just the terminal position (§II).
         let w = search.weight;
-        let mut seeds: Vec<(VertexId, f64)> = if self.opts.discount_components {
-            let rep = self.dsu.find(slot);
-            let comp = self.terminals[rep].comp.as_ref().expect("live component");
-            // raw tree delays from the terminal position, for §III-D
-            for (v, raw) in comp.tree_delays(self.inst.graph, self.inst.delay, t.vertex) {
-                search.seed_raw_delay.insert(v, raw);
-            }
-            comp.weighted_exit_delay(self.inst.graph, self.inst.delay)
-                .into_iter()
-                .collect()
-        } else {
-            search.seed_raw_delay.insert(t.vertex, 0.0);
-            vec![(t.vertex, 0.0)]
-        };
+        let rep = self.ws.dsu.find(slot);
+        let comp = self.ws.terminals[rep].comp.as_ref().expect("live component");
+        let mut seeds: Vec<(VertexId, f64)> =
+            if self.opts.discount_components && !comp.edges.is_empty() {
+                // raw tree delays from the terminal position, for §III-D
+                for (v, raw) in comp.tree_delays(self.inst.graph, self.inst.delay, t_vertex) {
+                    search.seed_raw_delay.insert(v, raw);
+                }
+                comp.weighted_exit_delay(self.inst.graph, self.inst.delay).into_iter().collect()
+            } else {
+                // a single-vertex component seeds only its own position
+                // at zero offset — same result as the general path,
+                // without building the tree-delay tables (the t initial
+                // searches of every solve take this branch)
+                search.seed_raw_delay.insert(t_vertex, 0.0);
+                vec![(t_vertex, 0.0)]
+            };
         seeds.sort_unstable_by_key(|&(v, _)| v); // determinism
         for &(v, offset) in &seeds {
             search.dist.insert(v, offset);
             let h = self.future().bound_nearest(v, w);
-            self.heap.push(sid, v, offset + h);
+            self.ws.heap.push(sid, v, offset + h);
             self.stats.pushed += 1;
         }
-        self.terminals[slot].sid = Some(sid);
-        if self.searches.len() <= sid as usize {
-            self.searches.resize_with(sid as usize + 1, || None);
+        self.ws.terminals[slot].sid = Some(sid);
+        if self.ws.searches.len() <= sid as usize {
+            self.ws.searches.resize_with(sid as usize + 1, || None);
         }
-        self.searches[sid as usize] = Some(search);
+        self.ws.searches[sid as usize] = Some(search);
     }
 
     /// Expands searches until the best candidate provably minimizes
@@ -387,7 +524,7 @@ impl<'a, 'b> State<'a, 'b> {
     fn run_until_candidate(&mut self) -> Candidate {
         loop {
             let best = self.peek_valid_candidate();
-            let heap_min = self.heap.peek_key();
+            let heap_min = self.ws.heap.peek_key();
             match (best, heap_min) {
                 (Some((cv, id)), Some(hm)) if cv <= hm + 1e-12 => {
                     return self.take_candidate(id);
@@ -401,9 +538,9 @@ impl<'a, 'b> State<'a, 'b> {
 
     fn take_candidate(&mut self, id: usize) -> Candidate {
         // remove it from the heap top (it is guaranteed to be on top)
-        let Reverse((_, top)) = self.candidates.pop().expect("candidate present");
+        let Reverse((_, top)) = self.ws.candidates.pop().expect("candidate present");
         debug_assert_eq!(top, id);
-        self.cand_store[id]
+        self.ws.cand_store[id]
     }
 
     /// Lazily revalidates the candidate heap: recompute values under the
@@ -411,17 +548,17 @@ impl<'a, 'b> State<'a, 'b> {
     /// Returns the best (value, id) without removing it.
     fn peek_valid_candidate(&mut self) -> Option<(f64, usize)> {
         loop {
-            let &Reverse((val, id)) = self.candidates.peek()?;
-            let cand = self.cand_store[id];
+            let &Reverse((val, id)) = self.ws.candidates.peek()?;
+            let cand = self.ws.cand_store[id];
             // searching terminal must still be alive and searching
-            if !self.terminals[cand.u].alive || self.terminals[cand.u].sid.is_none() {
-                self.candidates.pop();
+            if !self.ws.terminals[cand.u].alive || self.ws.terminals[cand.u].sid.is_none() {
+                self.ws.candidates.pop();
                 continue;
             }
-            let target_rep = self.dsu.find(cand.target);
-            let u_rep = self.dsu.find(cand.u);
+            let target_rep = self.ws.dsu.find(cand.target);
+            let u_rep = self.ws.dsu.find(cand.u);
             if target_rep == u_rep {
-                self.candidates.pop(); // already in the same component
+                self.ws.candidates.pop(); // already in the same component
                 continue;
             }
             let fresh = cand.g + self.b_value(cand.u, target_rep, cand.via);
@@ -429,27 +566,27 @@ impl<'a, 'b> State<'a, 'b> {
                 return Some((val.get(), id));
             }
             // value drifted (weights changed by merges): reinsert
-            self.candidates.pop();
-            self.candidates.push(Reverse((OrderedF64::new(fresh), id)));
+            self.ws.candidates.pop();
+            self.ws.candidates.push(Reverse((OrderedF64::new(fresh), id)));
         }
     }
 
     fn push_candidate(&mut self, u: TerminalId, target: TerminalId, via: VertexId, g: f64) {
-        let target_rep = self.dsu.find(target);
-        if target_rep == self.dsu.find(u) {
+        let target_rep = self.ws.dsu.find(target);
+        if target_rep == self.ws.dsu.find(u) {
             return;
         }
         let val = g + self.b_value(u, target_rep, via);
-        let id = self.cand_store.len();
-        self.cand_store.push(Candidate { u, target: target_rep, via, g });
-        self.candidates.push(Reverse((OrderedF64::new(val), id)));
+        let id = self.ws.cand_store.len();
+        self.ws.cand_store.push(Candidate { u, target: target_rep, via, g });
+        self.ws.candidates.push(Reverse((OrderedF64::new(val), id)));
     }
 
     /// Pops one label from the two-level heap, settles it, records
     /// arrivals, relaxes neighbours.
     fn expand_once(&mut self) {
-        let Some((sid, x, _key)) = self.heap.pop() else { return };
-        let search = self.searches[sid as usize].as_mut().expect("live search");
+        let Some((sid, x, _key)) = self.ws.heap.pop() else { return };
+        let search = self.ws.searches[sid as usize].as_mut().expect("live search");
         if search.settled.contains(&x) {
             return;
         }
@@ -459,19 +596,25 @@ impl<'a, 'b> State<'a, 'b> {
         let w = search.weight;
         self.stats.settled += 1;
 
-        // arrival at a foreign component?
+        // arrival at a foreign component? (scratch-copy the slot list so
+        // candidate pushes can re-borrow the workspace)
         let mut arrived_foreign = false;
-        if let Some(slots) = self.vertex_slots.get(&x) {
-            let slots = slots.clone();
-            let u_rep = self.dsu.find(u);
-            for slot in slots {
-                let rep = self.dsu.find(slot);
+        let mut scratch = std::mem::take(&mut self.ws.scratch_slots);
+        scratch.clear();
+        if let Some(slots) = self.ws.vertex_slots.get(&x) {
+            scratch.extend_from_slice(slots);
+        }
+        if !scratch.is_empty() {
+            let u_rep = self.ws.dsu.find(u);
+            for &slot in &scratch {
+                let rep = self.ws.dsu.find(slot);
                 if rep != u_rep {
                     arrived_foreign = true;
                     self.push_candidate(u, rep, x, g);
                 }
             }
         }
+        self.ws.scratch_slots = scratch;
         // §III-A: foreign tree vertices terminate the path — the
         // connection happens here, so tunnelling through is pointless
         // and would corrupt component disjointness.
@@ -483,7 +626,7 @@ impl<'a, 'b> State<'a, 'b> {
         let graph = self.inst.graph;
         let neighbors: &[(VertexId, EdgeId)] = graph.neighbors(x);
         for &(y, e) in neighbors {
-            let search = self.searches[sid as usize].as_ref().expect("live search");
+            let search = self.ws.searches[sid as usize].as_ref().expect("live search");
             if search.settled.contains(&y) {
                 continue;
             }
@@ -492,10 +635,10 @@ impl<'a, 'b> State<'a, 'b> {
             let cur = search.dist.get(&y).copied().unwrap_or(f64::INFINITY);
             if cand_g < cur {
                 let h = self.future().bound_nearest(y, w);
-                let sm = self.searches[sid as usize].as_mut().expect("live search");
+                let sm = self.ws.searches[sid as usize].as_mut().expect("live search");
                 sm.dist.insert(y, cand_g);
                 sm.parent.insert(y, (x, e));
-                self.heap.push(sid, y, cand_g + h);
+                self.ws.heap.push(sid, y, cand_g + h);
                 self.stats.pushed += 1;
             }
         }
@@ -505,42 +648,47 @@ impl<'a, 'b> State<'a, 'b> {
     /// retires/starts searches, rescans settled labels on new vertices.
     fn commit(&mut self, cand: Candidate) {
         let u = cand.u;
-        let sid = self.terminals[u].sid.expect("searching terminal");
-        let search = self.searches[sid as usize].as_ref().expect("live search");
+        let sid = self.ws.terminals[u].sid.expect("searching terminal");
+        let search = self.ws.searches[sid as usize].as_ref().expect("live search");
         let (path, seed) = search.extract_path(cand.via);
         let path_vertices = search.path_vertices(self.inst.graph, &path, seed);
         // raw (unweighted) tree delay from π(u) to the path's seed — the
         // §III-D re-embedding needs it after the search is retired
         let seed_raw_u = search.seed_raw_delay.get(&seed).copied().unwrap_or(0.0);
-        let target_rep = self.dsu.find(cand.target);
+        let target_rep = self.ws.dsu.find(cand.target);
         let l_value = cand.g + self.b_value(u, target_rep, cand.via);
         let iteration = self.stats.merges;
         self.stats.merges += 1;
 
-        // retire u's search
-        self.heap.remove_search(sid);
-        self.searches[sid as usize] = None;
-        self.terminals[u].sid = None;
+        // retire u's search (its label tables go back to the pool)
+        self.ws.heap.remove_search(sid);
+        self.ws.free_search(sid);
+        self.ws.terminals[u].sid = None;
 
-        let u_rep = self.dsu.find(u);
-        let comp_u = self.terminals[u_rep].comp.take().expect("u's component");
-        let comp_t = self.terminals[target_rep].comp.take().expect("target component");
+        let u_rep = self.ws.dsu.find(u);
+        let mut comp_u = self.ws.terminals[u_rep].comp.take().expect("u's component");
+        let mut comp_t = self.ws.terminals[target_rep].comp.take().expect("target component");
 
-        if target_rep == self.dsu.find(self.root_slot) {
+        if target_rep == self.ws.dsu.find(self.root_slot) {
             // root connection: the root component absorbs u
             let mut comp = comp_t;
-            comp.absorb(comp_u, &path, self.inst.graph);
-            self.terminals[u].alive = false;
+            comp.absorb(&mut comp_u, &path, self.inst.graph);
+            self.ws.free_component(comp_u);
+            self.ws.terminals[u].alive = false;
             self.active_count -= 1;
-            self.total_active_weight -= self.terminals[u].weight;
+            self.total_active_weight -= self.ws.terminals[u].weight;
             // union keeps the root slot as representative
-            self.dsu.union_into(u_rep, target_rep, self.root_slot);
-            self.root_downstream = comp.downstream_weights(self.inst.graph, self.inst.root);
-            self.terminals[self.root_slot].comp = Some(comp);
+            self.ws.dsu.union_into(u_rep, target_rep, self.root_slot);
+            comp.downstream_weights_into(
+                self.inst.graph,
+                self.inst.root,
+                &mut self.ws.root_downstream,
+            );
+            self.ws.terminals[self.root_slot].comp = Some(comp);
             if self.opts.record_trace {
                 self.trace.push(MergeEvent::RootConnect {
                     iteration,
-                    u_vertex: self.terminals[u].vertex,
+                    u_vertex: self.ws.terminals[u].vertex,
                     l_value,
                     path_edges: path.len(),
                 });
@@ -549,36 +697,36 @@ impl<'a, 'b> State<'a, 'b> {
         } else {
             // sink–sink merge: create the Steiner terminal s
             let v_slot = target_rep;
-            let w_u = self.terminals[u].weight;
-            let w_v = self.terminals[v_slot].weight;
-            let pos = self.choose_steiner_position(
-                u, v_slot, &path, &path_vertices, seed_raw_u, &comp_t,
-            );
-            let s = self.dsu.push();
+            let w_u = self.ws.terminals[u].weight;
+            let w_v = self.ws.terminals[v_slot].weight;
+            let pos =
+                self.choose_steiner_position(u, v_slot, &path, &path_vertices, seed_raw_u, &comp_t);
+            let s = self.ws.dsu.push();
             let mut comp = comp_u;
-            comp.absorb(comp_t, &path, self.inst.graph);
-            self.terminals[u].alive = false;
-            self.terminals[v_slot].alive = false;
-            if let Some(vsid) = self.terminals[v_slot].sid.take() {
-                self.heap.remove_search(vsid);
-                self.searches[vsid as usize] = None;
+            comp.absorb(&mut comp_t, &path, self.inst.graph);
+            self.ws.free_component(comp_t);
+            self.ws.terminals[u].alive = false;
+            self.ws.terminals[v_slot].alive = false;
+            if let Some(vsid) = self.ws.terminals[v_slot].sid.take() {
+                self.ws.heap.remove_search(vsid);
+                self.ws.free_search(vsid);
             }
-            self.terminals.push(Terminal {
+            self.ws.terminals.push(Terminal {
                 vertex: pos,
                 weight: w_u + w_v,
                 alive: true,
                 comp: Some(comp),
                 sid: None,
             });
-            debug_assert_eq!(s, self.terminals.len() - 1);
-            self.dsu.union_into(u_rep, v_slot, s);
+            debug_assert_eq!(s, self.ws.terminals.len() - 1);
+            self.ws.dsu.union_into(u_rep, v_slot, s);
             self.active_count -= 1; // two die, one is born
-            self.vertex_slots.entry(pos).or_default().push(s);
+            self.ws.vertex_slots.entry(pos).or_default().push(s);
             if self.opts.record_trace {
                 self.trace.push(MergeEvent::SinkSink {
                     iteration,
-                    u_vertex: self.terminals[u].vertex,
-                    v_vertex: self.terminals[v_slot].vertex,
+                    u_vertex: self.ws.terminals[u].vertex,
+                    v_vertex: self.ws.terminals[v_slot].vertex,
                     steiner_vertex: pos,
                     l_value,
                     path_edges: path.len(),
@@ -601,15 +749,15 @@ impl<'a, 'b> State<'a, 'b> {
         seed_raw_u: f64,
         comp_v: &Component,
     ) -> VertexId {
-        let (w_u, w_v) = (self.terminals[u].weight, self.terminals[v].weight);
+        let (w_u, w_v) = (self.ws.terminals[u].weight, self.ws.terminals[v].weight);
         if !self.opts.better_steiner {
             // random endpoint ∝ weight (heavier terminal more likely to
             // stay detour-free towards the root)
             let p_u = if w_u + w_v > 0.0 { w_u / (w_u + w_v) } else { 0.5 };
             return if self.rng.gen::<f64>() < p_u {
-                self.terminals[u].vertex
+                self.ws.terminals[u].vertex
             } else {
-                self.terminals[v].vertex
+                self.ws.terminals[v].vertex
             };
         }
         // §III-D: minimize  ĉ(Q) + (w_u+w_v)·d̂(Q) + Σ_y w_y·d(P[y, s])
@@ -619,7 +767,7 @@ impl<'a, 'b> State<'a, 'b> {
         // raw delay from π(v) to the join vertex inside v's component
         let join = *path_vertices.last().expect("path has vertices");
         let v_raw = comp_v
-            .tree_delays(self.inst.graph, self.inst.delay, self.terminals[v].vertex)
+            .tree_delays(self.inst.graph, self.inst.delay, self.ws.terminals[v].vertex)
             .get(&join)
             .copied()
             .unwrap_or(0.0);
@@ -664,20 +812,18 @@ impl<'a, 'b> State<'a, 'b> {
             fc.note_new_targets(path_vertices);
         }
         for &v in path_vertices {
-            self.vertex_slots.entry(v).or_default().push(owner);
+            self.ws.vertex_slots.entry(v).or_default().push(owner);
         }
         // also the owner's terminal position (new Steiner terminals)
-        let sids: Vec<u32> = self
-            .terminals
-            .iter()
-            .filter_map(|t| t.sid)
-            .collect();
+        let sids: Vec<u32> = self.ws.terminals.iter().filter_map(|t| t.sid).collect();
         for sid in sids {
-            let Some(search) = self.searches[sid as usize].as_ref() else { continue };
-            let u = search.terminal;
-            if self.dsu.find(u) == self.dsu.find(owner) {
+            let Some(u) = self.ws.searches[sid as usize].as_ref().map(|s| s.terminal) else {
+                continue;
+            };
+            if self.ws.dsu.find(u) == self.ws.dsu.find(owner) {
                 continue;
             }
+            let search = self.ws.searches[sid as usize].as_ref().expect("checked above");
             let mut hits: Vec<(VertexId, f64)> = Vec::new();
             for &v in path_vertices {
                 if search.settled.contains(&v) {

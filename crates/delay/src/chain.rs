@@ -82,11 +82,7 @@ impl RepeaterChain {
         let segment_um = (2.0 * fixed / (r * c)).sqrt();
         let delay_per_um_ps = buf.r_out_kohm * c + r * buf.c_in_ff + (2.0 * fixed * r * c).sqrt();
         let dbif_ps = chain.added_cap_delay(segment_um / 2.0, buf.c_in_ff);
-        OptimalChain {
-            segment_um,
-            delay_per_um_ps,
-            dbif_ps,
-        }
+        OptimalChain { segment_um, delay_per_um_ps, dbif_ps }
     }
 
     /// Numeric check of the optimum by golden-section search; used in
@@ -114,15 +110,8 @@ mod tests {
 
     fn typical() -> (WireElectrical, Repeater) {
         (
-            WireElectrical {
-                res_kohm_per_um: 0.005,
-                cap_ff_per_um: 0.2,
-            },
-            Repeater {
-                c_in_ff: 5.0,
-                r_out_kohm: 1.0,
-                t_intrinsic_ps: 20.0,
-            },
+            WireElectrical { res_kohm_per_um: 0.005, cap_ff_per_um: 0.2 },
+            Repeater { c_in_ff: 5.0, r_out_kohm: 1.0, t_intrinsic_ps: 20.0 },
         )
     }
 

@@ -59,25 +59,16 @@ impl Technology {
             // M0/M1 ~ 20 Ω/µm falling to ~1 Ω/µm on top layers.
             let res = 0.020 * 0.7f64.powi(i32::from(l));
             let cap = 0.20 + 0.01 * f64::from(l); // slightly rising C
-            let mut wire_types = vec![WireElectrical {
-                res_kohm_per_um: res,
-                cap_ff_per_um: cap,
-            }];
+            let mut wire_types = vec![WireElectrical { res_kohm_per_um: res, cap_ff_per_um: cap }];
             if l >= 4 {
-                wire_types.push(WireElectrical {
-                    res_kohm_per_um: res / 2.5,
-                    cap_ff_per_um: cap * 1.1,
-                });
+                wire_types
+                    .push(WireElectrical { res_kohm_per_um: res / 2.5, cap_ff_per_um: cap * 1.1 });
             }
             layers.push(LayerElectrical { wire_types });
         }
         Technology {
             layers,
-            repeater: Repeater {
-                c_in_ff: 5.0,
-                r_out_kohm: 1.0,
-                t_intrinsic_ps: 20.0,
-            },
+            repeater: Repeater { c_in_ff: 5.0, r_out_kohm: 1.0, t_intrinsic_ps: 20.0 },
             via_delay_ps: 1.5,
         }
     }
@@ -96,17 +87,8 @@ impl Technology {
                     .collect()
             })
             .collect();
-        let dbif_ps = chains
-            .iter()
-            .flatten()
-            .map(|c| c.dbif_ps)
-            .fold(f64::INFINITY, f64::min);
-        DelayModel {
-            gcell_um,
-            chains,
-            via_delay_ps: self.via_delay_ps,
-            dbif_ps,
-        }
+        let dbif_ps = chains.iter().flatten().map(|c| c.dbif_ps).fold(f64::INFINITY, f64::min);
+        DelayModel { gcell_um, chains, via_delay_ps: self.via_delay_ps, dbif_ps }
     }
 }
 
@@ -204,7 +186,9 @@ mod tests {
         let tech = Technology::five_nm_like(4);
         let m1 = tech.calibrate(1.0);
         let m10 = tech.calibrate(10.0);
-        assert!((m10.wire_delay_per_gcell(0, 0) - 10.0 * m1.wire_delay_per_gcell(0, 0)).abs() < 1e-9);
+        assert!(
+            (m10.wire_delay_per_gcell(0, 0) - 10.0 * m1.wire_delay_per_gcell(0, 0)).abs() < 1e-9
+        );
         // dbif is independent of the pitch
         assert_eq!(m1.dbif_ps(), m10.dbif_ps());
     }

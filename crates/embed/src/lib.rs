@@ -97,10 +97,7 @@ pub fn embed_topology(
     sink_vertices: &[VertexId],
     weights: &[f64],
 ) -> EmbeddedTree {
-    assert!(
-        topo.is_bifurcation_compatible(),
-        "embed requires a bifurcation-compatible topology"
-    );
+    assert!(topo.is_bifurcation_compatible(), "embed requires a bifurcation-compatible topology");
     let n = env.graph.num_vertices();
     let order = topo.dfs_order();
     let sub_w = topo.subtree_weights(weights);
@@ -122,9 +119,7 @@ pub fn embed_topology(
             }
             NodeKind::Root | NodeKind::Steiner => {
                 for &c in topo.children(v) {
-                    let m = labels[c as usize]
-                        .as_ref()
-                        .expect("children processed before parents");
+                    let m = labels[c as usize].as_ref().expect("children processed before parents");
                     for x in 0..n {
                         if m[x].is_infinite() {
                             any_inf[x] = true;

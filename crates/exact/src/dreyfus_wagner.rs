@@ -184,11 +184,7 @@ mod tests {
     /// and the edge set connects all terminals (checked by union-find).
     fn verify_tree(g: &Graph, terminals: &[VertexId], r: &SteinerTreeResult) {
         let sum: f64 = r.edges.iter().map(|&e| g.edge(e).base_cost).sum();
-        assert!(
-            (sum - r.cost).abs() < 1e-6,
-            "edge sum {sum} vs cost {}",
-            r.cost
-        );
+        assert!((sum - r.cost).abs() < 1e-6, "edge sum {sum} vs cost {}", r.cost);
         // union-find connectivity
         let mut parent: Vec<u32> = (0..g.num_vertices() as u32).collect();
         fn find(p: &mut Vec<u32>, x: u32) -> u32 {

@@ -57,12 +57,7 @@ mod tests {
     #[test]
     fn hpwl_is_lower_bound_on_star() {
         // HPWL <= sum of distances from any point to all others.
-        let pts = [
-            Point::new(0, 0),
-            Point::new(10, 3),
-            Point::new(4, 8),
-            Point::new(7, 1),
-        ];
+        let pts = [Point::new(0, 0), Point::new(10, 3), Point::new(4, 8), Point::new(7, 1)];
         let star: i64 = pts.iter().map(|&p| l1_dist(pts[0], p)).sum();
         assert!(hpwl(&pts) <= star);
     }

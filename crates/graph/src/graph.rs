@@ -168,11 +168,7 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        GraphBuilder {
-            n,
-            ends: Vec::new(),
-            attrs: Vec::new(),
-        }
+        GraphBuilder { n, ends: Vec::new(), attrs: Vec::new() }
     }
 
     /// Adds `count` fresh vertices, returning the id of the first.
@@ -216,13 +212,7 @@ impl GraphBuilder {
             adj[cursor[e.v as usize] as usize] = (e.u, id);
             cursor[e.v as usize] += 1;
         }
-        Graph {
-            n: self.n,
-            ends: self.ends,
-            attrs: self.attrs,
-            adj_start,
-            adj,
-        }
+        Graph { n: self.n, ends: self.ends, attrs: self.attrs, adj_start, adj }
     }
 }
 

@@ -70,11 +70,7 @@ impl GridSpec {
     pub fn uniform(nx: u32, ny: u32, nl: u8) -> Self {
         let layers = (0..nl)
             .map(|l| LayerSpec {
-                dir: if l % 2 == 0 {
-                    Direction::Horizontal
-                } else {
-                    Direction::Vertical
-                },
+                dir: if l % 2 == 0 { Direction::Horizontal } else { Direction::Vertical },
                 wire_types: vec![WireTypeSpec {
                     cost_per_gcell: 1.0,
                     delay_per_gcell: 1.0,
@@ -145,9 +141,7 @@ impl GridGraph {
         }
         let n = spec.nx as usize * spec.ny as usize * spec.layers.len();
         let mut b = GraphBuilder::new(n);
-        let vid = |x: u32, y: u32, l: u8| -> VertexId {
-            (l as u32 * spec.ny + y) * spec.nx + x
-        };
+        let vid = |x: u32, y: u32, l: u8| -> VertexId { (l as u32 * spec.ny + y) * spec.nx + x };
         for (l, layer) in spec.layers.iter().enumerate() {
             let l = l as u8;
             for y in 0..spec.ny {
@@ -207,12 +201,7 @@ impl GridGraph {
             .flat_map(|l| l.wire_types.iter())
             .map(|wt| wt.cost_per_gcell)
             .fold(f64::INFINITY, f64::min);
-        GridGraph {
-            spec,
-            graph,
-            min_delay_per_gcell,
-            min_cost_per_gcell,
-        }
+        GridGraph { spec, graph, min_delay_per_gcell, min_cost_per_gcell }
     }
 
     /// Reassembles a grid graph from a spec and a compatible graph whose

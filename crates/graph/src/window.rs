@@ -99,12 +99,7 @@ impl GridWindow {
     /// # Panics
     ///
     /// Panics if `points` is empty or has out-of-grid coordinates.
-    pub fn around(
-        grid: &GridGraph,
-        index: &EdgeIndex,
-        points: &[Point],
-        margin: u32,
-    ) -> Self {
+    pub fn around(grid: &GridGraph, index: &EdgeIndex, points: &[Point], margin: u32) -> Self {
         assert!(!points.is_empty(), "window of no points");
         let xs: Vec<i32> = points.iter().map(|p| p.x).collect();
         let ys: Vec<i32> = points.iter().map(|p| p.y).collect();
@@ -163,12 +158,7 @@ mod tests {
     fn around_clamps_to_grid() {
         let grid = GridSpec::uniform(5, 5, 2).build();
         let index = EdgeIndex::new(&grid);
-        let w = GridWindow::around(
-            &grid,
-            &index,
-            &[Point::new(0, 0), Point::new(4, 4)],
-            10,
-        );
+        let w = GridWindow::around(&grid, &index, &[Point::new(0, 0), Point::new(4, 4)], 10);
         assert_eq!(w.grid.spec().nx, 5);
         assert_eq!(w.grid.spec().ny, 5);
         assert_eq!(w.x0, 0);

@@ -116,10 +116,7 @@ impl<M: PositionMap> RawIndexedHeap<M> {
     /// Creates an empty heap. For the dense variant `capacity` must bound
     /// all ids ever pushed; for the sparse variant it is a size hint.
     pub fn new(capacity: usize) -> Self {
-        RawIndexedHeap {
-            heap: Vec::new(),
-            pos: M::with_capacity(capacity),
-        }
+        RawIndexedHeap { heap: Vec::new(), pos: M::with_capacity(capacity) }
     }
 
     /// Number of elements currently queued.

@@ -44,6 +44,11 @@ pub struct TwoLevelHeap {
     /// Search the last pop was served from; kept hot to exploit locality.
     current: Option<u32>,
     len: usize,
+    /// Retired sub-heaps kept for reuse: a solver session adds and
+    /// removes thousands of searches, and recycling the sub-heaps keeps
+    /// their backing arrays (and hash tables) warm across searches *and*
+    /// across [`clear`](Self::clear)ed runs.
+    pool: Vec<SparseIndexedHeap>,
 }
 
 impl TwoLevelHeap {
@@ -55,31 +60,51 @@ impl TwoLevelHeap {
     /// Registers a new search and returns its id.
     pub fn add_search(&mut self) -> u32 {
         let id = self.subs.len() as u32;
-        self.subs.push(Some(SparseIndexedHeap::new(0)));
+        let sub = self.pool.pop().unwrap_or_else(|| SparseIndexedHeap::new(0));
+        debug_assert!(sub.is_empty(), "pooled sub-heaps are cleared on retire");
+        self.subs.push(Some(sub));
         id
     }
 
     /// Drops a search and all its queued labels (used when a terminal is
-    /// merged and its Dijkstra dies).
+    /// merged and its Dijkstra dies). The sub-heap's storage is retained
+    /// for the next [`add_search`](Self::add_search).
     ///
     /// # Panics
     ///
     /// Panics if `search` was never added.
     pub fn remove_search(&mut self, search: u32) {
         let slot = &mut self.subs[search as usize];
-        if let Some(sub) = slot.take() {
+        if let Some(mut sub) = slot.take() {
             self.len -= sub.len();
+            sub.clear();
+            self.pool.push(sub);
         }
         if self.current == Some(search) {
             self.current = None;
         }
     }
 
+    /// Removes every search and label while keeping all allocations —
+    /// the reset path of a reused
+    /// [`SolverWorkspace`](../cds_core/struct.SolverWorkspace.html).
+    /// After `clear`, search ids restart from zero.
+    pub fn clear(&mut self) {
+        for slot in &mut self.subs {
+            if let Some(mut sub) = slot.take() {
+                sub.clear();
+                self.pool.push(sub);
+            }
+        }
+        self.subs.clear();
+        self.top.clear();
+        self.current = None;
+        self.len = 0;
+    }
+
     /// Whether `search` is still alive.
     pub fn is_alive(&self, search: u32) -> bool {
-        self.subs
-            .get(search as usize)
-            .is_some_and(|s| s.is_some())
+        self.subs.get(search as usize).is_some_and(|s| s.is_some())
     }
 
     /// Total number of queued labels over all live searches.
@@ -153,10 +178,7 @@ impl TwoLevelHeap {
 
     fn current_min(&self) -> Option<f64> {
         let cur = self.current?;
-        self.subs[cur as usize]
-            .as_ref()?
-            .peek()
-            .map(|(_, k)| k)
+        self.subs[cur as usize].as_ref()?.peek().map(|(_, k)| k)
     }
 
     /// Pops stale/dead top entries and re-inserts corrected ones until the
@@ -226,6 +248,25 @@ mod tests {
         assert_eq!(h.pop(), None);
         assert!(!h.is_alive(a));
         assert!(!h.push(a, 9, 0.1), "push to dead search ignored");
+    }
+
+    #[test]
+    fn clear_keeps_reusable_state() {
+        let mut h = TwoLevelHeap::new();
+        let a = h.add_search();
+        let b = h.add_search();
+        h.push(a, 1, 1.0);
+        h.push(b, 2, 2.0);
+        h.pop();
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.peek_key(), None);
+        // ids restart from zero and the structure behaves like new
+        let s = h.add_search();
+        assert_eq!(s, 0);
+        h.push(s, 7, 0.5);
+        assert_eq!(h.pop(), Some((s, 7, 0.5)));
+        assert_eq!(h.pop(), None);
     }
 
     #[test]

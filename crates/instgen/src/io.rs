@@ -97,17 +97,12 @@ pub fn parse_nets(text: &str) -> Result<Vec<Net>, ParseWorkloadError> {
         let Some(rest) = line.strip_prefix("net ") else {
             return Err(err(i + 1, format!("unknown record: {line}")));
         };
-        let (head, tail) = rest
-            .split_once(':')
-            .ok_or_else(|| err(i + 1, "missing ':' separator"))?;
+        let (head, tail) =
+            rest.split_once(':').ok_or_else(|| err(i + 1, "missing ':' separator"))?;
         let mut hp = head.split_whitespace();
         let root = Point::new(
-            hp.next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| err(i + 1, "bad root x"))?,
-            hp.next()
-                .and_then(|v| v.parse().ok())
-                .ok_or_else(|| err(i + 1, "bad root y"))?,
+            hp.next().and_then(|v| v.parse().ok()).ok_or_else(|| err(i + 1, "bad root x"))?,
+            hp.next().and_then(|v| v.parse().ok()).ok_or_else(|| err(i + 1, "bad root y"))?,
         );
         let coords: Vec<i32> = tail
             .split_whitespace()
@@ -137,21 +132,15 @@ pub fn parse_chains(text: &str) -> Result<Vec<Chain>, ParseWorkloadError> {
         let Some(rest) = line.strip_prefix("chain ") else {
             return Err(err(i + 1, format!("unknown record: {line}")));
         };
-        let (head, tail) = rest
-            .split_once(':')
-            .ok_or_else(|| err(i + 1, "missing ':' separator"))?;
-        let rat_ps: f64 = head
-            .trim()
-            .parse()
-            .map_err(|_| err(i + 1, "bad RAT"))?;
+        let (head, tail) =
+            rest.split_once(':').ok_or_else(|| err(i + 1, "missing ':' separator"))?;
+        let rat_ps: f64 = head.trim().parse().map_err(|_| err(i + 1, "bad RAT"))?;
         let mut links = Vec::new();
         for tok in tail.split_whitespace() {
             let link = match tok.split_once('/') {
                 Some((n, s)) => ChainLink {
                     net: n.parse().map_err(|_| err(i + 1, format!("bad net {n}")))?,
-                    cont_sink: Some(
-                        s.parse().map_err(|_| err(i + 1, format!("bad sink {s}")))?,
-                    ),
+                    cont_sink: Some(s.parse().map_err(|_| err(i + 1, format!("bad sink {s}")))?),
                 },
                 None => ChainLink {
                     net: tok.parse().map_err(|_| err(i + 1, format!("bad net {tok}")))?,

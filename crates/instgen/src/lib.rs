@@ -188,7 +188,8 @@ impl ChipSpec {
                 hpwl(&pts) as f64 * 1.15 + 2.0
             })
             .sum();
-        let wire_edges_per_layer = ((nx - 1) * ny + nx * (ny - 1)) / 2; // avg over directions
+        // averaged over the two routing directions
+        let wire_edges_per_layer = ((nx - 1) * ny + nx * (ny - 1)) / 2;
         // demand concentrates on the lower layers (pins are at layer 0 and
         // vias cost); provision capacity as if it all lands on four layers
         let effective_layers = (self.num_layers as f64).min(2.5);
@@ -203,9 +204,7 @@ impl ChipSpec {
                     delay_per_gcell: delay_model.wire_delay_per_gcell(l, 0),
                     capacity: cap,
                 }];
-                if usize::from(l) < delay_model.num_layers()
-                    && delay_model.num_wire_types(l) > 1
-                {
+                if usize::from(l) < delay_model.num_layers() && delay_model.num_wire_types(l) > 1 {
                     wire_types.push(WireTypeSpec {
                         // wide wires burn two tracks: twice the cost
                         cost_per_gcell: 2.0,
@@ -239,9 +238,9 @@ impl ChipSpec {
             let graph = grid.graph();
             let mut b = cds_graph::GraphBuilder::new(graph.num_vertices());
             let inside = |x: u32, y: u32| {
-                macros.iter().any(|&(mx0, my0, mx1, my1)| {
-                    x >= mx0 && x <= mx1 && y >= my0 && y <= my1
-                })
+                macros
+                    .iter()
+                    .any(|&(mx0, my0, mx1, my1)| x >= mx0 && x <= mx1 && y >= my0 && y <= my1)
             };
             for e in graph.edge_ids() {
                 let ep = graph.endpoints(e);
@@ -260,14 +259,7 @@ impl ChipSpec {
         // timing chains
         let chains = self.generate_chains(&mut rng, &nets, &grid, &delay_model);
 
-        Chip {
-            name: self.name.clone(),
-            grid,
-            delay_model,
-            nets,
-            chains,
-            cell_delay_ps: 18.0,
-        }
+        Chip { name: self.name.clone(), grid, delay_model, nets, chains, cell_delay_ps: 18.0 }
     }
 
     /// Pin-count distribution matching the Table I/II bucket shape:
@@ -313,10 +305,7 @@ impl ChipSpec {
                         (c.y + rng.gen_range(-cluster_radius..=cluster_radius))
                             .clamp(0, ny as i32 - 1),
                     ),
-                    None => Point::new(
-                        rng.gen_range(0..nx as i32),
-                        rng.gen_range(0..ny as i32),
-                    ),
+                    None => Point::new(rng.gen_range(0..nx as i32), rng.gen_range(0..ny as i32)),
                 };
                 if !blocked(p) {
                     return p;
@@ -483,11 +472,7 @@ mod tests {
 
     #[test]
     fn sink_distribution_has_big_nets() {
-        let chip = ChipSpec {
-            num_nets: 2000,
-            ..ChipSpec::small_test(11)
-        }
-        .generate();
+        let chip = ChipSpec { num_nets: 2000, ..ChipSpec::small_test(11) }.generate();
         let buckets = chip.nets.iter().fold([0usize; 4], |mut b, n| {
             match n.sinks.len() {
                 0..=5 => b[0] += 1,

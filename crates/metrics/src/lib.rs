@@ -56,9 +56,7 @@ pub fn wire_congestion(g: &Graph, usage: &[f64]) -> Vec<f64> {
 
 /// Number of edges with usage exceeding capacity.
 pub fn overflowed_edges(g: &Graph, usage: &[f64]) -> usize {
-    g.edge_ids()
-        .filter(|&e| usage[e as usize] > g.edge(e).capacity + 1e-9)
-        .count()
+    g.edge_ids().filter(|&e| usage[e as usize] > g.edge(e).capacity + 1e-9).count()
 }
 
 /// Aggregate result metrics of one routing run (one row of Table IV/V).

@@ -32,7 +32,10 @@
 
 pub mod oracle;
 
-pub use oracle::{route_net, OracleRequest, SteinerMethod};
+pub use oracle::{
+    route_net, CdOracle, L1Oracle, OracleRequest, OracleWorkspace, PdOracle, SlOracle,
+    SteinerMethod, SteinerOracle,
+};
 
 use cds_geom::Point;
 use cds_graph::{EdgeId, EdgeIndex, GridWindow};
@@ -130,17 +133,42 @@ pub struct RoutingOutcome {
 }
 
 /// The timing-constrained global router.
+///
+/// Dispatches every per-net routing call through a
+/// [`SteinerOracle`] trait object: [`new`](Router::new) resolves the
+/// configured [`SteinerMethod`] to its built-in oracle, and
+/// [`with_oracle`](Router::with_oracle) accepts any external
+/// implementation — the router itself never inspects the method again.
 pub struct Router<'a> {
     chip: &'a Chip,
     config: RouterConfig,
     edge_index: EdgeIndex,
+    oracle: Box<dyn SteinerOracle>,
 }
 
 impl<'a> Router<'a> {
-    /// Prepares a router for `chip`.
+    /// Prepares a router for `chip` with the built-in oracle named by
+    /// `config.method`.
     pub fn new(chip: &'a Chip, config: RouterConfig) -> Self {
+        let oracle: Box<dyn SteinerOracle> = Box::new(config.method.oracle());
+        Self::with_oracle(chip, config, oracle)
+    }
+
+    /// Prepares a router that routes every net with the given oracle
+    /// (`config.method` is ignored for routing and kept only for
+    /// labels).
+    pub fn with_oracle(
+        chip: &'a Chip,
+        config: RouterConfig,
+        oracle: Box<dyn SteinerOracle>,
+    ) -> Self {
         let edge_index = EdgeIndex::new(&chip.grid);
-        Router { chip, config, edge_index }
+        Router { chip, config, edge_index, oracle }
+    }
+
+    /// The oracle this router dispatches to.
+    pub fn oracle(&self) -> &dyn SteinerOracle {
+        self.oracle.as_ref()
     }
 
     /// The bifurcation config this run uses.
@@ -179,6 +207,11 @@ impl<'a> Router<'a> {
         let mut nets_out: Vec<RoutedNet> = Vec::new();
         let mut report = tg.analyze();
 
+        // one warm oracle workspace per worker thread, reused across
+        // nets *and* rip-up iterations — the session-API payoff
+        let mut workspaces: Vec<OracleWorkspace> =
+            (0..self.config.threads.max(1)).map(|_| OracleWorkspace::new()).collect();
+
         for iter in 0..self.config.iterations {
             // 1. prices from damped usage (history smoothing avoids the
             //    herding oscillation of cost-seeking oracles on frozen
@@ -186,7 +219,7 @@ impl<'a> Router<'a> {
             prices = self.compute_prices(&base, &usage_hist, iter);
 
             // 2. route all nets in parallel on frozen prices
-            nets_out = self.route_all(&prices, &weights, &budgets, bif);
+            nets_out = self.route_all(&prices, &weights, &budgets, bif, &mut workspaces);
 
             // 3. accumulate usage and blend into the pricing history
             usage.fill(0.0);
@@ -224,8 +257,7 @@ impl<'a> Router<'a> {
                     // sink — achieved delay plus its slack (floored at
                     // the direct-connection delay, which is always
                     // achievable)
-                    let direct = net.root.l1(net.sinks[j]) as f64
-                        * chip.grid.min_delay_per_gcell()
+                    let direct = net.root.l1(net.sinks[j]) as f64 * chip.grid.min_delay_per_gcell()
                         + 2.0 * chip.grid.spec().via_delay; // true lower bound
                     let achieved = nets_out[i].sink_delays[j];
                     let allowed = if slack.is_finite() { achieved + slack } else { f64::MAX / 4.0 };
@@ -261,18 +293,12 @@ impl<'a> Router<'a> {
         } else {
             Vec::new()
         };
-        RoutingOutcome {
-            metrics,
-            timing: report,
-            usage,
-            prices,
-            nets: nets_out,
-            harvest,
-        }
+        RoutingOutcome { metrics, timing: report, usage, prices, nets: nets_out, harvest }
     }
 
-    /// Routes one net against explicit prices/weights; shared by the
-    /// main loop and the table harnesses (which must present *identical*
+    /// Routes one net with a built-in method and a throwaway workspace —
+    /// the convenience form of [`route_one_with`](Self::route_one_with)
+    /// used by the table harnesses (which must present *identical*
     /// instances to all four methods).
     pub fn route_one(
         &self,
@@ -282,6 +308,30 @@ impl<'a> Router<'a> {
         weights: &[f64],
         budgets: Option<&[f64]>,
         bif: BifurcationConfig,
+    ) -> (RoutedNet, f64) {
+        self.route_one_with(
+            net_id,
+            method.oracle(),
+            prices,
+            weights,
+            budgets,
+            bif,
+            &mut OracleWorkspace::new(),
+        )
+    }
+
+    /// Routes one net through an explicit oracle and workspace; shared
+    /// by the main loop's worker threads and every harness.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_one_with(
+        &self,
+        net_id: usize,
+        oracle: &dyn SteinerOracle,
+        prices: &[f64],
+        weights: &[f64],
+        budgets: Option<&[f64]>,
+        bif: BifurcationConfig,
+        ws: &mut OracleWorkspace,
     ) -> (RoutedNet, f64) {
         let chip = self.chip;
         let net = &chip.nets[net_id];
@@ -303,7 +353,7 @@ impl<'a> Router<'a> {
             bif,
             seed: self.config.seed ^ (net_id as u64).wrapping_mul(0x9E3779B97F4A7C15),
         };
-        let tree = route_net(method, &req);
+        let tree = oracle.route(&req, ws);
         let ev = tree.evaluate(&local_cost, &local_delay, weights, &bif);
         let wg = window.grid.graph();
         let used_edges: Vec<(EdgeId, f64)> = tree
@@ -335,36 +385,38 @@ impl<'a> Router<'a> {
         weights: &[Vec<f64>],
         budgets: &[Option<Vec<f64>>],
         bif: BifurcationConfig,
+        workspaces: &mut [OracleWorkspace],
     ) -> Vec<RoutedNet> {
         let n = self.chip.nets.len();
-        let threads = self.config.threads.max(1).min(n.max(1));
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.config.threads.max(1).min(n).min(workspaces.len().max(1));
         let chunk = n.div_ceil(threads);
+        let oracle = self.oracle.as_ref();
         let mut results: Vec<Option<RoutedNet>> = vec![None; n];
-        let slots: Vec<&mut [Option<RoutedNet>]> = results.chunks_mut(chunk).collect();
-        crossbeam::thread::scope(|scope| {
-            for (ci, slot) in slots.into_iter().enumerate() {
+        std::thread::scope(|scope| {
+            for ((ci, slot), ws) in results.chunks_mut(chunk).enumerate().zip(workspaces.iter_mut())
+            {
                 let lo = ci * chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (k, out) in slot.iter_mut().enumerate() {
                         let net_id = lo + k;
-                        let (rn, _) = self.route_one(
+                        let (rn, _) = self.route_one_with(
                             net_id,
-                            self.config.method,
+                            oracle,
                             prices,
                             &weights[net_id],
                             budgets[net_id].as_deref(),
                             bif,
+                            ws,
                         );
                         *out = Some(rn);
                     }
                 });
             }
-        })
-        .expect("routing threads must not panic");
-        results
-            .into_iter()
-            .map(|r| r.expect("all nets routed"))
-            .collect()
+        });
+        results.into_iter().map(|r| r.expect("all nets routed")).collect()
     }
 
     /// Multiplicative-weight congestion pricing: price never drops below
@@ -429,11 +481,9 @@ impl<'a> Router<'a> {
                 let net = &chip.nets[link.net];
                 let stage_sink = match link.cont_sink {
                     Some(s) => net.sinks[s],
-                    None => *net
-                        .sinks
-                        .iter()
-                        .max_by_key(|&&s| s.l1(net.root))
-                        .expect("nets have sinks"),
+                    None => {
+                        *net.sinks.iter().max_by_key(|&&s| s.l1(net.root)).expect("nets have sinks")
+                    }
                 };
                 est_total += est(net.root, stage_sink) + chip.cell_delay_ps;
             }
@@ -455,11 +505,9 @@ impl<'a> Router<'a> {
                 }
                 let stage_sink = match link.cont_sink {
                     Some(s) => net.sinks[s],
-                    None => *net
-                        .sinks
-                        .iter()
-                        .max_by_key(|&&s| s.l1(net.root))
-                        .expect("nets have sinks"),
+                    None => {
+                        *net.sinks.iter().max_by_key(|&&s| s.l1(net.root)).expect("nets have sinks")
+                    }
                 };
                 prefix += est(net.root, stage_sink) + chip.cell_delay_ps;
             }
@@ -482,23 +530,14 @@ mod tests {
     use cds_instgen::ChipSpec;
 
     fn tiny_chip() -> cds_instgen::Chip {
-        ChipSpec {
-            num_nets: 30,
-            ..ChipSpec::small_test(5)
-        }
-        .generate()
+        ChipSpec { num_nets: 30, ..ChipSpec::small_test(5) }.generate()
     }
 
     #[test]
     fn router_runs_all_methods() {
         let chip = tiny_chip();
         for method in SteinerMethod::ALL {
-            let config = RouterConfig {
-                method,
-                iterations: 2,
-                threads: 2,
-                ..Default::default()
-            };
+            let config = RouterConfig { method, iterations: 2, threads: 2, ..Default::default() };
             let out = Router::new(&chip, config).run();
             assert!(out.metrics.wl_m > 0.0, "{method}: no wirelength");
             assert!(out.metrics.ace4 >= 0.0);
@@ -514,11 +553,7 @@ mod tests {
     fn deterministic_across_thread_counts() {
         let chip = tiny_chip();
         let mk = |threads| {
-            Router::new(
-                &chip,
-                RouterConfig { threads, iterations: 2, ..Default::default() },
-            )
-            .run()
+            Router::new(&chip, RouterConfig { threads, iterations: 2, ..Default::default() }).run()
         };
         let a = mk(1);
         let b = mk(4);
@@ -531,11 +566,7 @@ mod tests {
     #[test]
     fn usage_matches_used_edges() {
         let chip = tiny_chip();
-        let out = Router::new(
-            &chip,
-            RouterConfig { iterations: 1, ..Default::default() },
-        )
-        .run();
+        let out = Router::new(&chip, RouterConfig { iterations: 1, ..Default::default() }).run();
         let mut recount = vec![0.0; chip.grid.graph().num_edges()];
         for rn in &out.nets {
             for &(e, t) in &rn.used_edges {
@@ -548,11 +579,7 @@ mod tests {
     #[test]
     fn prices_never_below_base() {
         let chip = tiny_chip();
-        let out = Router::new(
-            &chip,
-            RouterConfig { iterations: 3, ..Default::default() },
-        )
-        .run();
+        let out = Router::new(&chip, RouterConfig { iterations: 3, ..Default::default() }).run();
         let base = chip.grid.graph().base_costs();
         for (p, b) in out.prices.iter().zip(&base) {
             assert!(p >= b, "price {p} below base {b}");
@@ -562,11 +589,9 @@ mod tests {
     #[test]
     fn harvest_collects_multi_sink_nets() {
         let chip = tiny_chip();
-        let out = Router::new(
-            &chip,
-            RouterConfig { iterations: 1, harvest: true, ..Default::default() },
-        )
-        .run();
+        let out =
+            Router::new(&chip, RouterConfig { iterations: 1, harvest: true, ..Default::default() })
+                .run();
         let expect = chip.nets.iter().filter(|n| n.sinks.len() >= 3).count();
         assert_eq!(out.harvest.len(), expect);
         for h in &out.harvest {
@@ -582,19 +607,13 @@ mod tests {
         // first pass (tiny chips are noisy, hence the generous bound).
         let chip = ChipSpec { num_nets: 150, ..ChipSpec::small_test(5) }.generate();
         let run = |iters| {
-            Router::new(
-                &chip,
-                RouterConfig { iterations: iters, ..Default::default() },
-            )
-            .run()
-            .metrics
-            .ace4
+            Router::new(&chip, RouterConfig { iterations: iters, ..Default::default() })
+                .run()
+                .metrics
+                .ace4
         };
         let one = run(1);
         let three = run(3);
-        assert!(
-            three <= 1.5 * one + 20.0,
-            "ACE4 exploded under pricing: {one} → {three}"
-        );
+        assert!(three <= 1.5 * one + 20.0, "ACE4 exploded under pricing: {one} → {three}");
     }
 }

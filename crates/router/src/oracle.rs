@@ -1,21 +1,40 @@
-//! The four Steiner tree oracles of §IV-A, behind one interface.
+//! The Steiner tree oracles of §IV-A, behind one *open* interface.
 //!
 //! Every oracle answers the same question the Lagrangean router asks:
 //! *given current edge prices `c`, delays `d`, and sink delay weights
-//! `w`, produce an embedded tree for this net*. The three baselines
-//! compute a plane topology first and embed it optimally (`cds-embed`);
-//! CD solves the cost-distance problem directly on the graph.
+//! `w`, produce an embedded tree for this net*. The [`SteinerOracle`]
+//! trait is that question as a type: the router, the table harnesses,
+//! and the examples all dispatch through `&dyn SteinerOracle`, so new
+//! oracles plug in without touching the router (implement the trait,
+//! hand the router a box — see [`Router::with_oracle`]).
+//!
+//! Four implementations ship with the workspace, matching the paper's
+//! table rows: [`CdOracle`] solves the cost-distance problem directly on
+//! the graph (with a reusable [`SolverWorkspace`] session underneath);
+//! [`L1Oracle`], [`SlOracle`], and [`PdOracle`] compute a plane topology
+//! first and embed it optimally (`cds-embed`).
+//!
+//! Oracles are stateless (`&self`); all per-net scratch lives in the
+//! [`OracleWorkspace`] the caller passes in, which is what lets the
+//! router keep one warm workspace per worker thread across the whole
+//! rip-up & re-route run.
+//!
+//! [`Router::with_oracle`]: crate::Router::with_oracle
+//! [`SolverWorkspace`]: cds_core::SolverWorkspace
 
 use cds_baselines::{prim_dijkstra, shallow_light, PlaneCostModel, SlParams};
-use cds_core::{solve, GridFutureCost, Instance, SolverOptions};
+use cds_core::{GridFutureCost, Request, SessionConfig, Solver, SolverWorkspace};
 use cds_embed::{embed_topology, EmbedEnv};
 use cds_geom::Point;
 use cds_graph::{GridGraph, VertexId};
 use cds_rsmt::rsmt_topology;
-use cds_topo::{BifurcationConfig, EmbeddedTree};
+use cds_topo::{BifurcationConfig, EmbeddedTree, Topology};
 
-/// Which Steiner tree construction a router run uses (the paper's table
-/// row labels).
+/// Which built-in Steiner tree construction a router run uses (the
+/// paper's table row labels). This enum is a *name*, not a dispatcher:
+/// routing goes through [`SteinerOracle`], and
+/// [`oracle`](SteinerMethod::oracle) maps each name to its singleton
+/// implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SteinerMethod {
     /// Short rectilinear Steiner tree, embedded optimally.
@@ -32,17 +51,30 @@ impl SteinerMethod {
     /// All four methods in the paper's table order.
     pub const ALL: [SteinerMethod; 4] =
         [SteinerMethod::L1, SteinerMethod::Sl, SteinerMethod::Pd, SteinerMethod::Cd];
+
+    /// The singleton oracle implementing this method.
+    ///
+    /// This factory is the only place a `SteinerMethod` value is
+    /// inspected; everything downstream holds `&dyn SteinerOracle`.
+    pub fn oracle(self) -> &'static dyn SteinerOracle {
+        static L1: L1Oracle = L1Oracle;
+        static SL: SlOracle = SlOracle;
+        static PD: PdOracle = PdOracle;
+        static CD: CdOracle = CdOracle::enhanced();
+        match self {
+            SteinerMethod::L1 => &L1,
+            SteinerMethod::Sl => &SL,
+            SteinerMethod::Pd => &PD,
+            SteinerMethod::Cd => &CD,
+        }
+    }
 }
 
 impl std::fmt::Display for SteinerMethod {
+    /// `Display` is the mapped oracle's [`name`](SteinerOracle::name),
+    /// keeping the paper's labels in one place.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            SteinerMethod::L1 => "L1",
-            SteinerMethod::Sl => "SL",
-            SteinerMethod::Pd => "PD",
-            SteinerMethod::Cd => "CD",
-        };
-        write!(f, "{s}")
+        write!(f, "{}", self.oracle().name())
     }
 }
 
@@ -71,60 +103,210 @@ pub struct OracleRequest<'a> {
     pub seed: u64,
 }
 
-/// Runs one oracle, returning the embedded tree (in window edge ids).
+impl<'a> OracleRequest<'a> {
+    /// Root and sinks as graph vertices of the window grid.
+    fn vertices(&self) -> (VertexId, Vec<VertexId>) {
+        let root = self.grid.vertex_at(self.root);
+        let sinks = self.sinks.iter().map(|&p| self.grid.vertex_at(p)).collect();
+        (root, sinks)
+    }
+}
+
+/// Reusable per-worker scratch for oracle calls.
+///
+/// Holds the CD solver's [`SolverWorkspace`] plus the per-net scratch
+/// of the CD oracle itself (future-cost plane buffer, vertex lists);
+/// the plane-topology baselines are allocation-light and currently keep
+/// no scratch, but the workspace still travels through their calls so
+/// the interface stays uniform (and so future baselines can add reuse
+/// without an API break).
+#[derive(Debug, Default)]
+pub struct OracleWorkspace {
+    /// The cost-distance solver's session workspace.
+    pub solver: SolverWorkspace,
+    /// Recycled plane buffer for [`GridFutureCost`].
+    plane: Vec<std::sync::atomic::AtomicU32>,
+    /// Recycled sink-vertex list.
+    sinks: Vec<VertexId>,
+    /// Recycled terminal-vertex list.
+    terminals: Vec<VertexId>,
+}
+
+impl OracleWorkspace {
+    /// An empty workspace; buffers grow on first use and stay warm.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A per-net Steiner tree constructor, the open interface between the
+/// router and the tree algorithms.
+///
+/// Implementations must be stateless across calls (`&self`, `Sync`):
+/// the router shares one oracle between all worker threads and gives
+/// each thread its own [`OracleWorkspace`]. Determinism contract: for a
+/// fixed request, `route` must return the same tree regardless of the
+/// workspace's history (the built-in oracles are bit-reproducible; see
+/// `tests/determinism.rs`).
+pub trait SteinerOracle: Send + Sync {
+    /// The table label (`"CD"`, `"L1"`, …) of this oracle.
+    fn name(&self) -> &str;
+
+    /// Routes one net, returning the embedded tree (window edge ids).
+    ///
+    /// # Panics
+    ///
+    /// May panic on empty sinks or inconsistent slice lengths (the
+    /// router guarantees both).
+    fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree;
+}
+
+/// References to oracles are oracles, so `&'static dyn SteinerOracle`
+/// (what [`SteinerMethod::oracle`] hands out) can be boxed into the
+/// router's `Box<dyn SteinerOracle>` slot without an adapter type.
+impl<T: SteinerOracle + ?Sized> SteinerOracle for &'static T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree {
+        (**self).route(req, ws)
+    }
+}
+
+/// The paper's cost-distance algorithm as an oracle, running on a
+/// reusable solver session.
+#[derive(Debug, Clone, Copy)]
+pub struct CdOracle {
+    /// Enhancement toggles for the underlying solver session.
+    pub config: SessionConfig,
+}
+
+impl CdOracle {
+    /// All §III enhancements on (the paper's "CD" rows).
+    pub const fn enhanced() -> Self {
+        CdOracle { config: SessionConfig::DEFAULT }
+    }
+
+    /// A CD oracle with explicit solver toggles (ablations).
+    pub fn with_config(config: SessionConfig) -> Self {
+        CdOracle { config }
+    }
+}
+
+impl Default for CdOracle {
+    fn default() -> Self {
+        Self::enhanced()
+    }
+}
+
+impl SteinerOracle for CdOracle {
+    fn name(&self) -> &str {
+        "CD"
+    }
+
+    fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree {
+        // per-net scratch comes from (and returns to) the workspace, so
+        // a warm worker routes nets without allocating
+        let root = req.grid.vertex_at(req.root);
+        let mut sinks = std::mem::take(&mut ws.sinks);
+        sinks.clear();
+        sinks.extend(req.sinks.iter().map(|&p| req.grid.vertex_at(p)));
+        let mut terminals = std::mem::take(&mut ws.terminals);
+        terminals.clear();
+        terminals.extend_from_slice(&sinks);
+        terminals.push(root);
+        let fc = GridFutureCost::with_buffer(req.grid, &terminals, std::mem::take(&mut ws.plane));
+        let request =
+            Request::new(req.grid.graph(), req.cost, req.delay, root, &sinks, req.weights)
+                .with_bif(req.bif)
+                .with_future(&fc)
+                .with_seed(req.seed);
+        let tree = Solver::solve_with(&self.config, &mut ws.solver, &request).tree;
+        ws.plane = fc.into_buffer();
+        ws.sinks = sinks;
+        ws.terminals = terminals;
+        tree
+    }
+}
+
+/// Shared tail of the three plane-topology baselines: the per-unit cost
+/// model and the optimal embedding.
+fn embed_plane_topology(req: &OracleRequest<'_>, topo: &Topology) -> EmbeddedTree {
+    let (root, sinks) = req.vertices();
+    let env = EmbedEnv { graph: req.grid.graph(), cost: req.cost, delay: req.delay, bif: req.bif };
+    embed_topology(&env, topo, root, &sinks, req.weights)
+}
+
+fn plane_model(req: &OracleRequest<'_>) -> PlaneCostModel {
+    PlaneCostModel {
+        cost_per_unit: req.grid.min_cost_per_gcell(),
+        delay_per_unit: req.grid.min_delay_per_gcell(),
+        bif: req.bif,
+    }
+}
+
+/// Short rectilinear Steiner trees (`cds-rsmt`), embedded optimally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct L1Oracle;
+
+impl SteinerOracle for L1Oracle {
+    fn name(&self) -> &str {
+        "L1"
+    }
+
+    fn route(&self, req: &OracleRequest<'_>, _ws: &mut OracleWorkspace) -> EmbeddedTree {
+        let topo = rsmt_topology(req.root, req.sinks, 5).binarize();
+        embed_plane_topology(req, &topo)
+    }
+}
+
+/// Shallow-light arborescences, embedded optimally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlOracle;
+
+impl SteinerOracle for SlOracle {
+    fn name(&self) -> &str {
+        "SL"
+    }
+
+    fn route(&self, req: &OracleRequest<'_>, _ws: &mut OracleWorkspace) -> EmbeddedTree {
+        let topo = shallow_light(
+            req.root,
+            req.sinks,
+            req.weights,
+            req.budgets,
+            &plane_model(req),
+            &SlParams::default(),
+        );
+        embed_plane_topology(req, &topo)
+    }
+}
+
+/// Prim–Dijkstra trade-off trees, embedded optimally.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PdOracle;
+
+impl SteinerOracle for PdOracle {
+    fn name(&self) -> &str {
+        "PD"
+    }
+
+    fn route(&self, req: &OracleRequest<'_>, _ws: &mut OracleWorkspace) -> EmbeddedTree {
+        let topo = prim_dijkstra(req.root, req.sinks, req.weights, &plane_model(req));
+        embed_plane_topology(req, &topo)
+    }
+}
+
+/// Runs one oracle with a throwaway workspace (compatibility wrapper;
+/// hot loops should hold an [`OracleWorkspace`] and call
+/// [`SteinerOracle::route`]).
 ///
 /// # Panics
 ///
 /// Panics on empty sinks or inconsistent slice lengths (the router
 /// guarantees both).
 pub fn route_net(method: SteinerMethod, req: &OracleRequest<'_>) -> EmbeddedTree {
-    let root_v: VertexId = req.grid.vertex_at(req.root);
-    let sink_vs: Vec<VertexId> = req.sinks.iter().map(|&p| req.grid.vertex_at(p)).collect();
-    match method {
-        SteinerMethod::Cd => {
-            let mut terminals = sink_vs.clone();
-            terminals.push(root_v);
-            let fc = GridFutureCost::new(req.grid, &terminals);
-            let inst = Instance {
-                graph: req.grid.graph(),
-                cost: req.cost,
-                delay: req.delay,
-                root: root_v,
-                sink_vertices: &sink_vs,
-                weights: req.weights,
-                bif: req.bif,
-            };
-            let opts = SolverOptions { seed: req.seed, ..SolverOptions::enhanced(&fc) };
-            solve(&inst, &opts).tree
-        }
-        _ => {
-            let model = PlaneCostModel {
-                cost_per_unit: req.grid.min_cost_per_gcell(),
-                delay_per_unit: req.grid.min_delay_per_gcell(),
-                bif: req.bif,
-            };
-            let topo = match method {
-                SteinerMethod::L1 => rsmt_topology(req.root, req.sinks, 5).binarize(),
-                SteinerMethod::Sl => shallow_light(
-                    req.root,
-                    req.sinks,
-                    req.weights,
-                    req.budgets,
-                    &model,
-                    &SlParams::default(),
-                ),
-                SteinerMethod::Pd => prim_dijkstra(req.root, req.sinks, req.weights, &model),
-                SteinerMethod::Cd => unreachable!("handled above"),
-            };
-            let env = EmbedEnv {
-                graph: req.grid.graph(),
-                cost: req.cost,
-                delay: req.delay,
-                bif: req.bif,
-            };
-            embed_topology(&env, &topo, root_v, &sink_vs, req.weights)
-        }
-    }
+    method.oracle().route(req, &mut OracleWorkspace::new())
 }
 
 #[cfg(test)]
@@ -161,8 +343,7 @@ mod tests {
         let req = request_on(&grid, &c, &d, &sinks, &w);
         for m in SteinerMethod::ALL {
             let tree = route_net(m, &req);
-            tree.validate(grid.graph(), sinks.len())
-                .unwrap_or_else(|e| panic!("{m}: {e}"));
+            tree.validate(grid.graph(), sinks.len()).unwrap_or_else(|e| panic!("{m}: {e}"));
             let ev = tree.evaluate(&c, &d, &w, &req.bif);
             assert!(ev.total.is_finite() && ev.total > 0.0, "{m}: objective {}", ev.total);
         }
@@ -191,5 +372,24 @@ mod tests {
     fn method_display_matches_paper_labels() {
         let labels: Vec<String> = SteinerMethod::ALL.iter().map(|m| m.to_string()).collect();
         assert_eq!(labels, vec!["L1", "SL", "PD", "CD"]);
+    }
+
+    #[test]
+    fn trait_objects_reuse_one_workspace_across_oracles() {
+        // the smoke test for the open interface: all four oracles
+        // through &dyn SteinerOracle, sharing one workspace
+        let grid = GridSpec::uniform(8, 8, 2).build();
+        let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+        let sinks = [Point::new(7, 2), Point::new(3, 7)];
+        let w = [1.5, 0.5];
+        let req = request_on(&grid, &c, &d, &sinks, &w);
+        let mut ws = OracleWorkspace::new();
+        for m in SteinerMethod::ALL {
+            let oracle: &dyn SteinerOracle = m.oracle();
+            let tree = oracle.route(&req, &mut ws);
+            tree.validate(grid.graph(), sinks.len())
+                .unwrap_or_else(|e| panic!("{}: {e}", oracle.name()));
+        }
+        assert_eq!(ws.solver.solves(), 1, "only CD touches the solver workspace");
     }
 }

@@ -103,11 +103,8 @@ fn best_boi_move(pts: &[Point], edges: &[(u32, u32)]) -> Option<BoiMove> {
                 + l1_dist(pts[b as usize], s);
             let old_edge = l1_dist(pts[a as usize], pts[b as usize]);
             // v sits on exactly one side; the cycle closes through that side
-            let (reach, max_on_path) = if side_a[v as usize] {
-                (&side_a, &max_a)
-            } else {
-                (&side_b, &max_b)
-            };
+            let (reach, max_on_path) =
+                if side_a[v as usize] { (&side_a, &max_a) } else { (&side_b, &max_b) };
             debug_assert!(reach[v as usize]);
             let (rm_len, rm_idx) = max_on_path[v as usize];
             let gain = old_edge + rm_len - new_len;
@@ -140,11 +137,7 @@ fn paths_from(
             }
             reach[w as usize] = true;
             let len = l1_dist(pts[u as usize], pts[w as usize]);
-            let cand = if len > max_edge[u as usize].0 {
-                (len, ei)
-            } else {
-                max_edge[u as usize]
-            };
+            let cand = if len > max_edge[u as usize].0 { (len, ei) } else { max_edge[u as usize] };
             max_edge[w as usize] = cand;
             stack.push(w);
         }
@@ -237,12 +230,7 @@ mod tests {
 
     #[test]
     fn square_gains_over_mst() {
-        let pts = [
-            Point::new(0, 0),
-            Point::new(4, 0),
-            Point::new(0, 4),
-            Point::new(4, 4),
-        ];
+        let pts = [Point::new(0, 0), Point::new(4, 0), Point::new(0, 4), Point::new(4, 4)];
         let mst_len = tree_length(&pts, &l1_mst(&pts));
         let t = rectilinear_steiner_tree(&pts);
         assert_eq!(mst_len, 12);

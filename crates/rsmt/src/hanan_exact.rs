@@ -105,12 +105,7 @@ mod tests {
 
     #[test]
     fn square_optimum_is_six() {
-        let pts = [
-            Point::new(0, 0),
-            Point::new(2, 0),
-            Point::new(0, 2),
-            Point::new(2, 2),
-        ];
+        let pts = [Point::new(0, 0), Point::new(2, 0), Point::new(0, 2), Point::new(2, 2)];
         let t = exact_rsmt(&pts);
         assert_eq!(t.length, 6);
         assert_eq!(tree_length(&t.points, &t.edges), 6);
@@ -119,12 +114,7 @@ mod tests {
     #[test]
     fn cross_medians_help() {
         // plus-sign terminals: exact tree = 8 (through center)
-        let pts = [
-            Point::new(2, 0),
-            Point::new(2, 4),
-            Point::new(0, 2),
-            Point::new(4, 2),
-        ];
+        let pts = [Point::new(2, 0), Point::new(2, 4), Point::new(0, 2), Point::new(4, 2)];
         let t = exact_rsmt(&pts);
         assert_eq!(t.length, 8);
     }

@@ -129,12 +129,7 @@ mod tests {
 
     #[test]
     fn exact_mode_is_no_longer_than_heuristic() {
-        let sinks = [
-            Point::new(4, 0),
-            Point::new(0, 4),
-            Point::new(4, 4),
-            Point::new(2, 2),
-        ];
+        let sinks = [Point::new(4, 0), Point::new(0, 4), Point::new(4, 4), Point::new(2, 2)];
         let heur = rsmt_topology(Point::new(0, 0), &sinks, 0);
         let exact = rsmt_topology(Point::new(0, 0), &sinks, 7);
         assert!(exact.length() <= heur.length());

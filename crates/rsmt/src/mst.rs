@@ -56,10 +56,7 @@ pub fn l1_mst(points: &[Point]) -> Vec<(u32, u32)> {
 
 /// Total L1 length of an edge list over `points`.
 pub fn tree_length(points: &[Point], edges: &[(u32, u32)]) -> i64 {
-    edges
-        .iter()
-        .map(|&(a, b)| l1_dist(points[a as usize], points[b as usize]))
-        .sum()
+    edges.iter().map(|&(a, b)| l1_dist(points[a as usize], points[b as usize])).sum()
 }
 
 #[cfg(test)]

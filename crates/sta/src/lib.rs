@@ -57,12 +57,7 @@ pub struct TimingReport {
 impl TimingGraph {
     /// An empty DAG over `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        TimingGraph {
-            num_nodes,
-            arcs: Vec::new(),
-            inputs: Vec::new(),
-            required: Vec::new(),
-        }
+        TimingGraph { num_nodes, arcs: Vec::new(), inputs: Vec::new(), required: Vec::new() }
     }
 
     /// Number of nodes.
@@ -106,9 +101,8 @@ impl TimingGraph {
         for &(_, to, _) in &self.arcs {
             indeg[to as usize] += 1;
         }
-        let mut queue: Vec<TimingNodeId> = (0..self.num_nodes as TimingNodeId)
-            .filter(|&v| indeg[v as usize] == 0)
-            .collect();
+        let mut queue: Vec<TimingNodeId> =
+            (0..self.num_nodes as TimingNodeId).filter(|&v| indeg[v as usize] == 0).collect();
         let mut out_adj: Vec<Vec<(TimingNodeId, f64)>> = vec![Vec::new(); self.num_nodes];
         for &(from, to, d) in &self.arcs {
             out_adj[from as usize].push((to, d));

@@ -228,11 +228,8 @@ impl EmbeddedTree {
                 [0.0, 0.0]
             };
             for (i, &child) in kids.iter().enumerate() {
-                let wire: f64 = self.paths[child as usize]
-                    .edges
-                    .iter()
-                    .map(|&e| d[e as usize])
-                    .sum();
+                let wire: f64 =
+                    self.paths[child as usize].edges.iter().map(|&e| d[e as usize]).sum();
                 delay[child as usize] = delay[v as usize] + wire + lambdas[i] * bif.dbif;
             }
         }
@@ -240,11 +237,8 @@ impl EmbeddedTree {
         for (s, node) in self.sink_nodes() {
             sink_delays[s] = delay[node as usize];
         }
-        let delay_cost: f64 = self
-            .sink_nodes()
-            .iter()
-            .map(|&(s, node)| weights[s] * delay[node as usize])
-            .sum();
+        let delay_cost: f64 =
+            self.sink_nodes().iter().map(|&(s, node)| weights[s] * delay[node as usize]).sum();
         Evaluation {
             connection_cost,
             delay_cost,
@@ -274,7 +268,9 @@ impl EmbeddedTree {
                         } else if ep.v == cur {
                             cur = ep.u;
                         } else {
-                            return Err(format!("path of node {v}: edge {e} does not continue the walk"));
+                            return Err(format!(
+                                "path of node {v}: edge {e} does not continue the walk"
+                            ));
                         }
                     }
                     if cur != self.vertices[v as usize] {

@@ -135,10 +135,7 @@ impl Topology {
     /// subtree (which would create a cycle).
     pub fn reparent(&mut self, v: NodeId, new_parent: NodeId) {
         let old = self.parent[v as usize].expect("cannot reparent the root");
-        assert!(
-            !self.in_subtree(new_parent, v),
-            "reparent would create a cycle"
-        );
+        assert!(!self.in_subtree(new_parent, v), "reparent would create a cycle");
         self.children[old as usize].retain(|&c| c != v);
         self.children[new_parent as usize].push(v);
         self.parent[v as usize] = Some(new_parent);
@@ -274,10 +271,7 @@ impl Topology {
         bif: &BifurcationConfig,
     ) -> Vec<(usize, f64)> {
         let delay = self.node_delays(weights, delay_per_unit, bif);
-        self.sink_nodes()
-            .into_iter()
-            .map(|(s, v)| (s, delay[v as usize]))
-            .collect()
+        self.sink_nodes().into_iter().map(|(s, v)| (s, delay[v as usize])).collect()
     }
 
     /// Plane proxy of the cost-distance objective: `cost_per_unit × total
@@ -392,8 +386,8 @@ impl Topology {
             };
             let c = self.children(v)[0];
             let direct = self.pos[p as usize].l1(self.pos[c as usize]);
-            let via_v =
-                self.pos[p as usize].l1(self.pos[v as usize]) + self.pos[v as usize].l1(self.pos[c as usize]);
+            let via_v = self.pos[p as usize].l1(self.pos[v as usize])
+                + self.pos[v as usize].l1(self.pos[c as usize]);
             if direct == via_v {
                 self.reparent(c, p);
                 self.children[p as usize].retain(|&x| x != v);

@@ -9,7 +9,7 @@
 //! cargo run --release --example algorithm_trace
 //! ```
 
-use cds_core::{solve, Instance, MergeEvent, SolverOptions};
+use cds_core::{MergeEvent, Request, Solver};
 use cds_graph::GridSpec;
 use cds_topo::BifurcationConfig;
 
@@ -26,16 +26,10 @@ fn main() {
     ];
     // dot sizes of the paper's figure = delay weights
     let weights = [2.0, 0.5, 1.0, 0.7, 1.4];
-    let inst = Instance {
-        graph: grid.graph(),
-        cost: &cost,
-        delay: &delay,
-        root: grid.vertex(10, 10, 0),
-        sink_vertices: &sinks,
-        weights: &weights,
-        bif: BifurcationConfig::new(5.0, 0.25),
-    };
-    let result = solve(&inst, &SolverOptions { record_trace: true, ..Default::default() });
+    let req = Request::new(grid.graph(), &cost, &delay, grid.vertex(10, 10, 0), &sinks, &weights)
+        .with_bif(BifurcationConfig::new(5.0, 0.25))
+        .with_trace();
+    let result = Solver::new().solve(&req);
     let coord = |v: u32| {
         let c = grid.coord(v);
         format!("({:2},{:2})", c.x, c.y)

@@ -12,7 +12,7 @@
 
 use cds_geom::Point;
 use cds_graph::GridSpec;
-use cds_router::{route_net, OracleRequest, SteinerMethod};
+use cds_router::{OracleRequest, OracleWorkspace, SteinerMethod, SteinerOracle};
 use cds_topo::BifurcationConfig;
 
 fn main() {
@@ -29,6 +29,9 @@ fn main() {
     weights.extend(std::iter::repeat_n(0.05, 10));
 
     println!("same net, with and without bifurcation penalties (CD oracle):\n");
+    // one oracle + one warm workspace for all three configurations
+    let oracle: &dyn SteinerOracle = SteinerMethod::Cd.oracle();
+    let mut ws = OracleWorkspace::new();
     for (label, bif) in [
         ("d_bif = 0        ", BifurcationConfig::ZERO),
         ("d_bif = 9, η=0.25", BifurcationConfig::new(9.0, 0.25)),
@@ -45,7 +48,7 @@ fn main() {
             bif,
             seed: 11,
         };
-        let tree = route_net(SteinerMethod::Cd, &req);
+        let tree = oracle.route(&req, &mut ws);
         let ev = tree.evaluate(&cost, &delay, &weights, &bif);
         let crit = tree
             .sink_nodes()

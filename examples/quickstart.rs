@@ -1,14 +1,17 @@
-//! Quickstart: solve one cost-distance Steiner tree instance.
+//! Quickstart: solve cost-distance Steiner tree instances through a
+//! solver session.
 //!
-//! Builds a small 3D global routing grid, places a net with a critical
-//! and a few non-critical sinks, runs the paper's algorithm with all
-//! enhancements, and prints the tree and its objective breakdown.
+//! Builds a small 3D global routing grid, creates a [`Solver`] session,
+//! and routes a net with a critical and a few non-critical sinks — then
+//! routes a second net through the *same* session to show the
+//! workspace-reuse API (no reallocation, bit-identical results to
+//! fresh-per-call solving).
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use cds_core::{solve, GridFutureCost, Instance, SolverOptions};
+use cds_core::{GridFutureCost, Request, Solver};
 use cds_graph::GridSpec;
 use cds_topo::BifurcationConfig;
 
@@ -18,7 +21,10 @@ fn main() {
     let cost = grid.graph().base_costs();
     let delay = grid.graph().delays();
 
-    // one net: root bottom-left, one critical sink (w = 4) far away,
+    // one session for all nets: buffers warm up once, then get reused
+    let mut solver = Solver::builder().seed(0x5eed).build();
+
+    // net 1: root bottom-left, one critical sink (w = 4) far away,
     // three cheap fan-out sinks
     let root = grid.vertex(0, 0, 0);
     let sinks = [
@@ -29,22 +35,15 @@ fn main() {
     ];
     let weights = [4.0, 0.1, 0.1, 0.1];
 
-    let inst = Instance {
-        graph: grid.graph(),
-        cost: &cost,
-        delay: &delay,
-        root,
-        sink_vertices: &sinks,
-        weights: &weights,
-        bif: BifurcationConfig::new(6.0, 0.25), // d_bif = 6 ps, η = 1/4
-    };
-
-    // goal-oriented search needs an admissible future cost for this grid
+    // goal-oriented search needs an admissible future cost per net
     let mut terminals = sinks.to_vec();
     terminals.push(root);
     let fc = GridFutureCost::new(&grid, &terminals);
 
-    let result = solve(&inst, &SolverOptions::enhanced(&fc));
+    let req = Request::new(grid.graph(), &cost, &delay, root, &sinks, &weights)
+        .with_bif(BifurcationConfig::new(6.0, 0.25)) // d_bif = 6 ps, η = 1/4
+        .with_future(&fc);
+    let result = solver.solve(&req);
     result
         .tree
         .validate(grid.graph(), sinks.len())
@@ -60,8 +59,15 @@ fn main() {
     for (i, d) in result.evaluation.sink_delays.iter().enumerate() {
         println!("  sink {i}: delay {d:.2} ps (weight {})", weights[i]);
     }
+    println!("  work: {} labels settled, {} merges", result.stats.settled, result.stats.merges);
+
+    // net 2 reuses the warmed-up workspace — same API, no reallocation
+    let sinks2 = [grid.vertex(1, 14, 0), grid.vertex(14, 1, 0)];
+    let req2 = Request::new(grid.graph(), &cost, &delay, root, &sinks2, &[1.0, 1.0]);
+    let result2 = solver.solve(&req2);
     println!(
-        "  work: {} labels settled, {} merges",
-        result.stats.settled, result.stats.merges
+        "\nsecond net through the same session: objective {:.2} ({} solves served)",
+        result2.evaluation.total,
+        solver.solves()
     );
 }

@@ -15,12 +15,8 @@ use cds_metrics::{overflowed_edges, wire_congestion};
 use cds_router::{Router, RouterConfig, SteinerMethod};
 
 fn main() {
-    let chip = ChipSpec {
-        name: "demo".into(),
-        num_nets: 300,
-        ..ChipSpec::small_test(2024)
-    }
-    .generate();
+    let chip =
+        ChipSpec { name: "demo".into(), num_nets: 300, ..ChipSpec::small_test(2024) }.generate();
     println!(
         "chip {}: {} nets, {}×{} gcells, {} layers, d_bif = {:.2} ps",
         chip.name,
@@ -32,12 +28,8 @@ fn main() {
     );
 
     for method in SteinerMethod::ALL {
-        let config = RouterConfig {
-            method,
-            iterations: 3,
-            use_dbif: true,
-            ..RouterConfig::default()
-        };
+        let config =
+            RouterConfig { method, iterations: 3, use_dbif: true, ..RouterConfig::default() };
         let out = Router::new(&chip, config).run();
         println!(
             "{method}: WS {:7.0} ps  TNS {:9.0} ps  ACE4 {:6.1}%  WL {:.4} m  vias {:5}  {:4.1}s",

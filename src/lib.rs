@@ -13,24 +13,53 @@
 //!
 //! # Examples
 //!
+//! The session API: build a [`core::Solver`] once, route many nets over
+//! its reusable workspace (results are bit-identical to fresh-per-call
+//! [`core::solve`]):
+//!
 //! ```
-//! use cdst::core::{solve, Instance, SolverOptions};
+//! use cdst::core::{Request, Solver};
 //! use cdst::graph::GridSpec;
+//!
+//! let grid = GridSpec::uniform(8, 8, 2).build();
+//! let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
+//! let mut solver = Solver::builder().seed(1).build();
+//! for k in 1..4u32 {
+//!     let sinks = [grid.vertex(7, 7, 0), grid.vertex(k, 7, 0)];
+//!     let req = Request::new(grid.graph(), &c, &d, grid.vertex(0, 0, 0), &sinks, &[1.0, 0.5]);
+//!     let result = solver.solve(&req);
+//!     assert!(result.evaluation.total > 0.0);
+//! }
+//! assert_eq!(solver.solves(), 3);
+//! ```
+//!
+//! Routing through the open oracle interface (any
+//! [`router::SteinerOracle`] plugs into the router):
+//!
+//! ```
+//! use cdst::geom::Point;
+//! use cdst::graph::GridSpec;
+//! use cdst::router::{OracleRequest, OracleWorkspace, SteinerMethod, SteinerOracle};
 //! use cdst::topo::BifurcationConfig;
 //!
 //! let grid = GridSpec::uniform(8, 8, 2).build();
 //! let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
-//! let inst = Instance {
-//!     graph: grid.graph(),
+//! let req = OracleRequest {
+//!     grid: &grid,
 //!     cost: &c,
 //!     delay: &d,
-//!     root: grid.vertex(0, 0, 0),
-//!     sink_vertices: &[grid.vertex(7, 7, 0)],
+//!     root: Point::new(0, 0),
+//!     sinks: &[Point::new(7, 7)],
 //!     weights: &[1.0],
+//!     budgets: None,
 //!     bif: BifurcationConfig::ZERO,
+//!     seed: 1,
 //! };
-//! let result = solve(&inst, &SolverOptions::default());
-//! assert!(result.evaluation.total > 0.0);
+//! let mut ws = OracleWorkspace::new();
+//! for m in SteinerMethod::ALL {
+//!     let tree = m.oracle().route(&req, &mut ws);
+//!     tree.validate(grid.graph(), 1).unwrap();
+//! }
 //! ```
 
 pub use cds_baselines as baselines;

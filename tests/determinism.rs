@@ -5,8 +5,8 @@
 //! tests pin that contract, plus the `Send`/`Sync` properties the
 //! parallel router relies on.
 
-use cds_core::{solve, Instance, SolverOptions};
-use cds_graph::GridSpec;
+use cds_core::{solve, Instance, Request, SolveResult, Solver, SolverOptions};
+use cds_graph::{GridGraph, GridSpec};
 use cds_instgen::ChipSpec;
 use cds_router::{Router, RouterConfig, SteinerMethod};
 use cds_topo::BifurcationConfig;
@@ -32,9 +32,8 @@ fn solver_bitwise_deterministic_across_repeats() {
         weights: &weights,
         bif: BifurcationConfig::new(4.0, 0.25),
     };
-    let runs: Vec<_> = (0..3)
-        .map(|_| solve(&inst, &SolverOptions { seed: 77, ..Default::default() }))
-        .collect();
+    let runs: Vec<_> =
+        (0..3).map(|_| solve(&inst, &SolverOptions { seed: 77, ..Default::default() })).collect();
     for r in &runs[1..] {
         assert_eq!(r.evaluation.total.to_bits(), runs[0].evaluation.total.to_bits());
         assert_eq!(r.stats, runs[0].stats);
@@ -71,6 +70,107 @@ fn different_seeds_may_differ_but_stay_valid() {
     }
 }
 
+/// One net of the synthetic request stream: grid index, sinks, weights,
+/// penalty config, seed.
+type StreamNet = (usize, Vec<u32>, Vec<f64>, BifurcationConfig, u64);
+
+/// Builds a stream of ≥ 100 heterogeneous requests over several grids:
+/// varying grid sizes, sink counts, weights, penalties, and seeds — the
+/// shape of a rip-up & re-route request stream.
+fn heterogeneous_stream(grids: &[GridGraph]) -> Vec<StreamNet> {
+    let mut stream = Vec::new();
+    for i in 0..120u64 {
+        let gi = (i % grids.len() as u64) as usize;
+        let grid = &grids[gi];
+        let (nx, ny) = (grid.spec().nx, grid.spec().ny);
+        let k = 1 + (i % 7) as u32;
+        let sinks: Vec<u32> = (0..k)
+            .map(|j| {
+                grid.vertex(
+                    (3 + i as u32 * 5 + j * 11) % nx,
+                    (1 + i as u32 * 3 + j * 7) % ny,
+                    (j as u8 % grid.spec().layers.len() as u8).min(1),
+                )
+            })
+            .collect();
+        let weights: Vec<f64> = (0..k).map(|j| 0.05 + (j as f64) * 0.4 + (i % 3) as f64).collect();
+        let bif = if i % 2 == 0 {
+            BifurcationConfig::ZERO
+        } else {
+            BifurcationConfig::new(3.0 + (i % 5) as f64, 0.25)
+        };
+        stream.push((gi, sinks, weights, bif, i * 31 + 7));
+    }
+    stream
+}
+
+fn assert_bit_identical(a: &SolveResult, b: &SolveResult, ctx: &str) {
+    assert_eq!(
+        a.evaluation.total.to_bits(),
+        b.evaluation.total.to_bits(),
+        "{ctx}: objective differs"
+    );
+    assert_eq!(a.stats, b.stats, "{ctx}: work counters differ");
+    let ea: Vec<_> = a.tree.edges().collect();
+    let eb: Vec<_> = b.tree.edges().collect();
+    assert_eq!(ea, eb, "{ctx}: edge sets differ");
+}
+
+#[test]
+fn solver_session_reuse_matches_fresh_per_call_over_100_requests() {
+    // the session-API contract: a Solver reused across a long, mixed
+    // request stream is bit-identical to fresh-per-call solve()
+    let grids = [
+        GridSpec::uniform(8, 8, 2).build(),
+        GridSpec::uniform(12, 9, 3).build(),
+        GridSpec::uniform(15, 15, 2).build(),
+    ];
+    let envs: Vec<(Vec<f64>, Vec<f64>)> =
+        grids.iter().map(|g| (g.graph().base_costs(), g.graph().delays())).collect();
+    let stream = heterogeneous_stream(&grids);
+    assert!(stream.len() >= 100);
+    let mut session = Solver::new();
+    for (n, (gi, sinks, weights, bif, seed)) in stream.iter().enumerate() {
+        let grid = &grids[*gi];
+        let (cost, delay) = &envs[*gi];
+        let root = grid.vertex(0, 0, 0);
+        let req = Request::new(grid.graph(), cost, delay, root, sinks, weights)
+            .with_bif(*bif)
+            .with_seed(*seed);
+        let fresh = solve(&req.instance(), &SolverOptions { seed: *seed, ..Default::default() });
+        let reused = session.solve(&req);
+        assert_bit_identical(&fresh, &reused, &format!("request {n}"));
+    }
+    assert_eq!(session.solves(), stream.len() as u64);
+}
+
+#[test]
+fn solve_batch_matches_sequential_across_thread_counts() {
+    let grids = [GridSpec::uniform(10, 10, 2).build(), GridSpec::uniform(7, 13, 3).build()];
+    let envs: Vec<(Vec<f64>, Vec<f64>)> =
+        grids.iter().map(|g| (g.graph().base_costs(), g.graph().delays())).collect();
+    let stream = heterogeneous_stream(&grids);
+    let reqs: Vec<Request<'_>> = stream
+        .iter()
+        .map(|(gi, sinks, weights, bif, seed)| {
+            let grid = &grids[*gi];
+            let (cost, delay) = &envs[*gi];
+            Request::new(grid.graph(), cost, delay, grid.vertex(0, 0, 0), sinks, weights)
+                .with_bif(*bif)
+                .with_seed(*seed)
+        })
+        .collect();
+    let mut session = Solver::new();
+    let sequential: Vec<SolveResult> = reqs.iter().map(|r| session.solve(r)).collect();
+    for threads in [2, 5, 8] {
+        let batched = session.solve_batch(&reqs, threads);
+        assert_eq!(batched.len(), sequential.len());
+        for (n, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+            assert_bit_identical(s, b, &format!("threads {threads}, request {n}"));
+        }
+    }
+}
+
 #[test]
 fn router_identical_for_1_2_and_8_threads() {
     let chip = ChipSpec { num_nets: 40, ..ChipSpec::small_test(44) }.generate();
@@ -99,10 +199,7 @@ fn chip_generation_is_pure() {
     let a = spec.generate();
     let b = spec.generate();
     assert_eq!(a.nets, b.nets);
-    assert_eq!(
-        a.grid.graph().num_edges(),
-        b.grid.graph().num_edges()
-    );
+    assert_eq!(a.grid.graph().num_edges(), b.grid.graph().num_edges());
     // capacities (including macro depletion) are identical
     for e in a.grid.graph().edge_ids() {
         assert_eq!(

@@ -23,9 +23,8 @@ fn enumeration_matches_dreyfus_wagner_at_zero_weight() {
     for _ in 0..5 {
         let root = grid.vertex(rng.gen_range(0..5), rng.gen_range(0..5), 0);
         let k = rng.gen_range(2..4);
-        let sinks: Vec<u32> = (0..k)
-            .map(|_| grid.vertex(rng.gen_range(0..5), rng.gen_range(0..5), 0))
-            .collect();
+        let sinks: Vec<u32> =
+            (0..k).map(|_| grid.vertex(rng.gen_range(0..5), rng.gen_range(0..5), 0)).collect();
         let weights = vec![0.0; k];
         let env = EmbedEnv { graph: g, cost: &c, delay: &d, bif: BifurcationConfig::ZERO };
         let (opt, tree) = optimal_cost_distance(&env, root, &sinks, &weights);
@@ -100,10 +99,7 @@ fn l1_pipeline_matches_enumeration_at_zero_weight() {
     let tree = embed_topology(&env, &topo, root, &sinks, &weights);
     let got = tree.evaluate(&c, &d, &weights, &BifurcationConfig::ZERO).total;
     let (opt, _) = optimal_cost_distance(&env, root, &sinks, &weights);
-    assert!(
-        got <= opt * 1.15 + 1e-9,
-        "L1 pipeline {got} should be near the optimum {opt}"
-    );
+    assert!(got <= opt * 1.15 + 1e-9, "L1 pipeline {got} should be near the optimum {opt}");
 }
 
 /// Every enumerated topology shape embeds to a value at least the

@@ -9,9 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn random_points(rng: &mut StdRng, n: usize, side: i32) -> Vec<Point> {
-    (0..n)
-        .map(|_| Point::new(rng.gen_range(0..side), rng.gen_range(0..side)))
-        .collect()
+    (0..n).map(|_| Point::new(rng.gen_range(0..side), rng.gen_range(0..side))).collect()
 }
 
 #[test]
@@ -66,7 +64,8 @@ fn cd_is_competitive_on_the_objective() {
     for trial in 0..10 {
         let k = rng.gen_range(3..12);
         let sinks = random_points(&mut rng, k, 16);
-        let weights: Vec<f64> = (0..k).map(|_| 0.02 * 10f64.powf(rng.gen_range(0.0..1.5))).collect();
+        let weights: Vec<f64> =
+            (0..k).map(|_| 0.02 * 10f64.powf(rng.gen_range(0.0..1.5))).collect();
         let req = OracleRequest {
             grid: &grid,
             cost: &cost,

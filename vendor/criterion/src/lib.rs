@@ -1,0 +1,273 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of criterion's API the workspace's benches use
+//! — groups, `bench_function` / `bench_with_input`, `iter`, the
+//! `criterion_group!` / `criterion_main!` macros — on top of plain
+//! `std::time::Instant` sampling. Reported statistics are the per-sample
+//! mean, median, and min over `sample_size` samples after a warm-up
+//! period; output is one line per benchmark on stdout.
+//!
+//! Extras over upstream that the session bench uses:
+//!
+//! * `CRITERION_QUICK=1` (or a `--test` CLI argument) runs every
+//!   benchmark with one sample of one iteration — used to smoke-test
+//!   bench targets cheaply;
+//! * `Bencher::iterations()` exposes how many iterations the last
+//!   measurement loop ran, for throughput accounting.
+
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (benches may also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+fn quick_mode() -> bool {
+    std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--test")
+}
+
+/// Benchmark driver handed to the `criterion_group!` functions.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { quick: quick_mode() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            quick: self.quick,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 20, Duration::from_secs(3), Duration::from_millis(500), self.quick, f);
+        self
+    }
+}
+
+/// A named parameterized benchmark id, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    quick: bool,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        run_one(&full, self.sample_size, self.measurement_time, self.warm_up_time, self.quick, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input reference, mirroring criterion's
+    /// `bench_with_input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            self.quick,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (formatting no-op, kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion of plain strings and [`BenchmarkId`]s into display ids.
+pub trait IntoBenchId {
+    /// The display id.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measurement loop.
+pub struct Bencher {
+    /// Number of iterations to run this sample.
+    iters: u64,
+    /// Measured duration of the sample (set by `iter`).
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Iterations the last `iter` call ran (shim extension).
+    pub fn iterations(&self) -> u64 {
+        self.iters
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one<F>(
+    name: &str,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    quick: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if quick {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("{name:<48} quick-check ok ({})", fmt_duration(b.elapsed));
+        return;
+    }
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // estimating the per-iteration time as we go.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < warm_up {
+        f(&mut b);
+        if b.elapsed > Duration::ZERO {
+            per_iter = b.elapsed;
+        }
+    }
+    // Pick an iteration count so `sample_size` samples fit the budget.
+    let budget_per_sample = measurement.as_nanos() / sample_size.max(1) as u128;
+    let iters = (budget_per_sample / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut sb = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut sb);
+        samples.push(sb.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    let min = samples.first().copied().unwrap_or(0.0);
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let d = |ns: f64| fmt_duration(Duration::from_nanos(ns as u64));
+    println!(
+        "{name:<48} min {:>12}  median {:>12}  mean {:>12}  ({} samples × {} iters)",
+        d(min),
+        d(median),
+        d(mean),
+        samples.len(),
+        iters
+    );
+}
+
+/// Declares a benchmark group function list, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the groups, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
