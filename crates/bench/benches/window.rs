@@ -1,0 +1,134 @@
+//! Zero-copy window views vs materialized window graphs — the
+//! per-net routing-path measurement of the `SteinerGraph` refactor.
+//!
+//! The router's inner loop used to build a fresh window `GridGraph`
+//! (plus sliced cost/delay vectors) for every net of every rip-up
+//! iteration. The [`WindowView`] backend routes the same window
+//! directly over the global grid: local dense vertex ids for the
+//! solver's label slabs, global edge ids so the chip-wide price/delay
+//! arrays index unsliced. This bench routes an identical rip-up
+//! workload through both backends (results are asserted bit-identical)
+//! and reports wall clock plus allocator traffic per routed net.
+//!
+//! ```text
+//! cargo bench -p cds-bench --bench window
+//! ```
+//!
+//! [`WindowView`]: cds_graph::WindowView
+
+use cds_instgen::{Chip, ChipSpec};
+use cds_router::{Router, RouterConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// System allocator wrapped with relaxed counters.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> (u64, u64) {
+    (ALLOC_CALLS.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+const ITERATIONS: usize = 3;
+
+fn build_chip() -> Chip {
+    ChipSpec { num_nets: 120, ..ChipSpec::small_test(7) }.generate()
+}
+
+fn run(chip: &Chip, materialize_windows: bool) -> (f64, f64, usize) {
+    let out = Router::new(
+        chip,
+        RouterConfig {
+            iterations: ITERATIONS,
+            threads: 1, // single worker: clean per-net allocation counts
+            materialize_windows,
+            ..Default::default()
+        },
+    )
+    .run();
+    (out.metrics.tns, out.metrics.wl_m, out.metrics.vias)
+}
+
+fn alloc_report(chip: &Chip) {
+    let nets_routed = (chip.nets.len() * ITERATIONS) as u64;
+    // warm both paths once so one-time setup is out of the numbers
+    let warm_view = run(chip, false);
+    let warm_mat = run(chip, true);
+    assert_eq!(warm_view, warm_mat, "backends diverged");
+
+    let mut rows = Vec::new();
+    for (name, materialize) in [("materialized", true), ("view", false)] {
+        let (a0, b0) = allocs_now();
+        let start = Instant::now();
+        let got = run(chip, materialize);
+        let wall = start.elapsed();
+        let (a1, b1) = allocs_now();
+        assert_eq!(got, warm_view, "backends diverged");
+        rows.push((name, wall, a1 - a0, b1 - b0));
+    }
+
+    println!(
+        "\nwindow-backend report ({} nets × {ITERATIONS} rip-up iterations = {nets_routed} routed nets)",
+        chip.nets.len()
+    );
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>12} {:>12}",
+        "backend", "wall", "allocs", "allocs/net", "MiB", "nets/s"
+    );
+    for &(name, wall, allocs, bytes) in &rows {
+        println!(
+            "{:<14} {:>12} {:>14} {:>12.1} {:>12.1} {:>12.0}",
+            name,
+            format!("{wall:.1?}"),
+            allocs,
+            allocs as f64 / nets_routed as f64,
+            bytes as f64 / (1u64 << 20) as f64,
+            nets_routed as f64 / wall.as_secs_f64()
+        );
+    }
+    let (mat, view) = (&rows[0], &rows[1]);
+    println!(
+        "allocation ratio materialized/view: {:.1}x; speedup view vs materialized: {:.2}x\n",
+        mat.2 as f64 / view.2.max(1) as f64,
+        mat.1.as_secs_f64() / view.1.as_secs_f64()
+    );
+}
+
+fn bench_window(c: &mut Criterion) {
+    let chip = build_chip();
+    alloc_report(&chip);
+    let mut g = c.benchmark_group("window");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("materialized_windows", |b| b.iter(|| black_box(run(&chip, true))));
+    g.bench_function("zero_copy_views", |b| b.iter(|| black_box(run(&chip, false))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

@@ -30,7 +30,7 @@ fn main() {
     );
     for m in SteinerMethod::ALL {
         let req = OracleRequest {
-            grid: &grid,
+            surface: &grid,
             cost: &cost,
             delay: &delay,
             root: Point::new(0, 5),

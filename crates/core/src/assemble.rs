@@ -8,12 +8,71 @@
 //! sinks become leaves hanging off their host vertices, and high-degree
 //! branch points are expanded into same-vertex Steiner chains so the
 //! result is bifurcation compatible.
+//!
+//! All working tables (subgraph adjacency, DFS state, children lists)
+//! are dense epoch-stamped slabs in an [`AssembleScratch`] pooled by the
+//! [`SolverWorkspace`](crate::SolverWorkspace) — a warm workspace
+//! assembles trees without touching the allocator beyond the output
+//! tree itself.
 
-use cds_graph::{EdgeId, Graph, VertexId};
+use crate::components::DenseAdjacency;
+use crate::table::{VertexSet, VertexTable};
+use cds_graph::{EdgeId, SteinerGraph, VertexId};
 use cds_topo::{EmbeddedTree, NodeId, NodeKind};
-use std::collections::HashMap;
 
-/// Builds the final tree from the used edge set.
+const NO_LINK: u32 = u32::MAX;
+
+/// Reusable buffers for [`assemble_tree_in`]: the used-subgraph
+/// adjacency, DFS state, per-vertex sink lists, and children lists. All
+/// vertex-keyed tables are epoch-stamped (`O(1)` clear, warm slabs).
+#[derive(Debug, Default)]
+pub struct AssembleScratch {
+    used: Vec<EdgeId>,
+    adj: DenseAdjacency,
+    nbrs: Vec<(VertexId, EdgeId)>,
+    visited: VertexSet,
+    parent: VertexTable<(VertexId, EdgeId)>,
+    order: Vec<VertexId>,
+    stack: Vec<VertexId>,
+    /// head of each vertex's sink list (index into `sink_links`)
+    sink_head: VertexTable<u32>,
+    /// (next link, sink index) — lists traverse in increasing sink index
+    sink_links: Vec<(u32, u32)>,
+    /// children lists in CSR form keyed by parent vertex
+    cdeg: VertexTable<u32>,
+    cstart: VertexTable<u32>,
+    cend: VertexTable<u32>,
+    centries: Vec<(VertexId, EdgeId)>,
+    pending: Vec<Attachment>,
+}
+
+impl AssembleScratch {
+    fn clear(&mut self) {
+        self.used.clear();
+        self.visited.clear();
+        self.parent.clear();
+        self.order.clear();
+        self.stack.clear();
+        self.sink_head.clear();
+        self.sink_links.clear();
+        self.cdeg.clear();
+        self.cstart.clear();
+        self.cend.clear();
+        self.centries.clear();
+        self.pending.clear();
+    }
+
+    fn children(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        match (self.cstart.get(v), self.cend.get(v)) {
+            (Some(s), Some(e)) => &self.centries[s as usize..e as usize],
+            _ => &[],
+        }
+    }
+}
+
+/// Builds the final tree from the used edge set with a throwaway
+/// scratch. Hot loops (the solver does) should hold an
+/// [`AssembleScratch`] and call [`assemble_tree_in`].
 ///
 /// `sink_vertices[i]` is sink `i`'s vertex. Edges may contain duplicates
 /// (the base algorithm without §III-A can produce overlapping paths);
@@ -22,62 +81,95 @@ use std::collections::HashMap;
 /// # Panics
 ///
 /// Panics if some sink is not connected to the root through `edges`.
-pub fn assemble_tree(
-    graph: &Graph,
+pub fn assemble_tree<G: SteinerGraph + ?Sized>(
+    graph: &G,
     root: VertexId,
     sink_vertices: &[VertexId],
     edges: &[EdgeId],
 ) -> EmbeddedTree {
+    assemble_tree_in(&mut AssembleScratch::default(), graph, root, sink_vertices, edges)
+}
+
+/// [`assemble_tree`] against caller-owned scratch buffers — the
+/// allocation-free path of a warm workspace.
+///
+/// # Panics
+///
+/// Same contract as [`assemble_tree`].
+pub fn assemble_tree_in<G: SteinerGraph + ?Sized>(
+    s: &mut AssembleScratch,
+    graph: &G,
+    root: VertexId,
+    sink_vertices: &[VertexId],
+    edges: &[EdgeId],
+) -> EmbeddedTree {
+    s.clear();
     // Deduplicated adjacency of the used subgraph.
-    let mut used = edges.to_vec();
-    used.sort_unstable();
-    used.dedup();
-    let mut adj: HashMap<VertexId, Vec<(VertexId, EdgeId)>> = HashMap::new();
-    for &e in &used {
-        let ep = graph.endpoints(e);
-        adj.entry(ep.u).or_default().push((ep.v, e));
-        adj.entry(ep.v).or_default().push((ep.u, e));
-    }
-    // sinks per vertex
-    let mut sinks_at: HashMap<VertexId, Vec<usize>> = HashMap::new();
-    for (i, &v) in sink_vertices.iter().enumerate() {
-        sinks_at.entry(v).or_default().push(i);
+    s.used.extend_from_slice(edges);
+    s.used.sort_unstable();
+    s.used.dedup();
+    s.adj.build(&s.used, graph);
+    // sinks per vertex: build the linked lists back to front so each
+    // vertex's list traverses in increasing sink index
+    for (i, &v) in sink_vertices.iter().enumerate().rev() {
+        let next = s.sink_head.get_or(v, NO_LINK);
+        s.sink_links.push((next, i as u32));
+        s.sink_head.insert(v, s.sink_links.len() as u32 - 1);
     }
 
     // DFS from the root, recording the spanning-tree parent of each
     // vertex (cycle edges are skipped — they would only add cost).
-    let mut parent: HashMap<VertexId, (VertexId, EdgeId)> = HashMap::new();
-    let mut order = vec![root];
-    let mut visited: HashMap<VertexId, ()> = HashMap::new();
-    visited.insert(root, ());
-    let mut stack = vec![root];
-    while let Some(v) = stack.pop() {
-        if let Some(nbrs) = adj.get(&v) {
-            // deterministic order
-            let mut nbrs = nbrs.clone();
-            nbrs.sort_unstable();
-            for (w, e) in nbrs {
-                if visited.contains_key(&w) {
-                    continue;
-                }
-                visited.insert(w, ());
-                parent.insert(w, (v, e));
-                order.push(w);
-                stack.push(w);
+    s.visited.insert(root);
+    s.order.push(root);
+    s.stack.push(root);
+    while let Some(v) = s.stack.pop() {
+        // deterministic order
+        s.nbrs.clear();
+        s.nbrs.extend_from_slice(s.adj.neighbors(v));
+        s.nbrs.sort_unstable();
+        for i in 0..s.nbrs.len() {
+            let (w, e) = s.nbrs[i];
+            if s.visited.insert(w) {
+                s.parent.insert(w, (v, e));
+                s.order.push(w);
+                s.stack.push(w);
             }
         }
     }
     for (i, &v) in sink_vertices.iter().enumerate() {
-        assert!(visited.contains_key(&v), "sink {i} at vertex {v} is not connected to the root");
+        assert!(s.visited.contains(v), "sink {i} at vertex {v} is not connected to the root");
     }
 
-    // children lists of the DFS tree
-    let mut children: HashMap<VertexId, Vec<(VertexId, EdgeId)>> = HashMap::new();
-    for (&v, &(p, e)) in &parent {
-        children.entry(p).or_default().push((v, e));
+    // children lists of the DFS tree, CSR over parent vertices, each
+    // segment sorted for determinism
+    for i in 0..s.order.len() {
+        if let Some((p, _)) = s.parent.get(s.order[i]) {
+            s.cdeg.add(p, 0, 1);
+        }
     }
-    for c in children.values_mut() {
-        c.sort_unstable(); // determinism
+    let mut cur = 0u32;
+    for i in 0..s.order.len() {
+        let v = s.order[i];
+        if let Some(d) = s.cdeg.get(v) {
+            s.cstart.insert(v, cur);
+            s.cend.insert(v, cur);
+            cur += d;
+        }
+    }
+    s.centries.resize(cur as usize, (0, 0));
+    for i in 0..s.order.len() {
+        let v = s.order[i];
+        if let Some((p, e)) = s.parent.get(v) {
+            let c = s.cend.get(p).expect("counted") as usize;
+            s.centries[c] = (v, e);
+            s.cend.insert(p, c as u32 + 1);
+        }
+    }
+    for i in 0..s.order.len() {
+        let v = s.order[i];
+        if let (Some(a), Some(b)) = (s.cstart.get(v), s.cend.get(v)) {
+            s.centries[a as usize..b as usize].sort_unstable();
+        }
     }
 
     // Emit the EmbeddedTree: walk down from the root, compressing
@@ -90,10 +182,9 @@ pub fn assemble_tree(
     while let Some((parent_node, mut v, mut path)) = work.pop() {
         // compress: follow single-child, sink-free vertices
         loop {
-            let kid_count = children.get(&v).map_or(0, |c| c.len());
-            let has_sinks = sinks_at.contains_key(&v);
-            if kid_count == 1 && !has_sinks && !path.is_empty() {
-                let (w, e) = children[&v][0];
+            let kids = s.children(v);
+            if kids.len() == 1 && !s.sink_head.contains(v) && !path.is_empty() {
+                let (w, e) = kids[0];
                 path.push(e);
                 v = w;
             } else {
@@ -107,16 +198,19 @@ pub fn assemble_tree(
         } else {
             out.add_node(NodeKind::Steiner, v, parent_node, path)
         };
-        // gather attachments: sink leaves first, then subtrees
-        let mut pending: Vec<Attachment> = Vec::new();
-        if let Some(sinks) = sinks_at.get(&v) {
-            for &s in sinks {
-                pending.push(Attachment::Sink(s));
-            }
+        // gather attachments: sink leaves first (lists traverse in
+        // increasing sink index), then subtrees
+        s.pending.clear();
+        let mut link = s.sink_head.get_or(v, NO_LINK);
+        while link != NO_LINK {
+            let (next, sink) = s.sink_links[link as usize];
+            s.pending.push(Attachment::Sink(sink as usize));
+            link = next;
         }
-        if let Some(kids) = children.get(&v) {
-            for &(w, e) in kids {
-                pending.push(Attachment::Subtree(w, e));
+        if let (Some(a), Some(b)) = (s.cstart.get(v), s.cend.get(v)) {
+            for i in a as usize..b as usize {
+                let (w, e) = s.centries[i];
+                s.pending.push(Attachment::Subtree(w, e));
             }
         }
         // Chain attachments so no node exceeds its capacity. Subtrees
@@ -124,8 +218,8 @@ pub fn assemble_tree(
         // slots explicitly.
         let mut cur = host;
         let mut used = out.children(cur).len();
-        let total = pending.len();
-        for (i, att) in pending.into_iter().enumerate() {
+        let total = s.pending.len();
+        for (i, att) in s.pending.drain(..).enumerate() {
             let remaining_after = total - i - 1;
             loop {
                 let cap: usize = if cur == out.root() { 1 } else { 2 };
@@ -139,8 +233,8 @@ pub fn assemble_tree(
                 used = 0;
             }
             match att {
-                Attachment::Sink(s) => {
-                    out.add_node(NodeKind::Sink(s), v, cur, Vec::new());
+                Attachment::Sink(sink) => {
+                    out.add_node(NodeKind::Sink(sink), v, cur, Vec::new());
                 }
                 Attachment::Subtree(w, e) => {
                     work.push((cur, w, vec![e]));
@@ -152,6 +246,7 @@ pub fn assemble_tree(
     out
 }
 
+#[derive(Debug)]
 enum Attachment {
     Sink(usize),
     Subtree(VertexId, EdgeId),
@@ -224,6 +319,28 @@ mod tests {
         assert_eq!(ev.connection_cost, 4.0);
         // the 3-way branch at vertex 1 is two chained bifurcations
         assert_eq!(ev.bifurcations, 2);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let grid = GridSpec::uniform(4, 4, 2).build();
+        let g = grid.graph();
+        let root = grid.vertex(0, 0, 0);
+        let sinks = [grid.vertex(3, 0, 0), grid.vertex(0, 3, 0)];
+        let sp = cds_graph::dijkstra::shortest_paths(g, &[(root, 0.0)], |e| g.edge(e).base_cost);
+        let mut edges = sp.path_to(sinks[0]).unwrap();
+        edges.extend(sp.path_to(sinks[1]).unwrap());
+        let mut scratch = AssembleScratch::default();
+        let mut reference: Option<Vec<EdgeId>> = None;
+        for _ in 0..3 {
+            let t = assemble_tree_in(&mut scratch, g, root, &sinks, &edges);
+            t.validate(g, 2).unwrap();
+            let got: Vec<EdgeId> = t.edges().collect();
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "scratch reuse changed the tree"),
+            }
+        }
     }
 
     #[test]

@@ -6,9 +6,18 @@
 //! component as merges happen; the edge/vertex sets support the §III-A
 //! discounting (tree edges are free to reuse) and the delay offsets of
 //! restarted searches.
+//!
+//! All per-merge tables — component adjacency, tree-delay and
+//! exit-price tables, downstream weights — live in dense, epoch-stamped
+//! [`VertexTable`] slabs inside a [`CompScratch`] arena pooled by the
+//! [`SolverWorkspace`](crate::SolverWorkspace), so the merge path of a
+//! warm workspace performs no allocation.
 
-use cds_graph::{EdgeId, Graph, VertexId};
-use std::collections::HashMap;
+use crate::table::{VertexSet, VertexTable};
+use cds_graph::{EdgeId, SteinerGraph, VertexId};
+use cds_heap::OrderedF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A terminal slot index (sinks, merged Steiner terminals, and the root).
 pub type TerminalId = usize;
@@ -53,15 +62,105 @@ impl Dsu {
     }
 }
 
+/// CSR-style adjacency over an explicit edge list, rebuilt in place.
+///
+/// Per-vertex neighbor order is the order the edges touch the vertex in
+/// the input list — the same order the old hash-map adjacency produced,
+/// which keeps every traversal that runs over it bit-deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct DenseAdjacency {
+    deg: VertexTable<u32>,
+    start: VertexTable<u32>,
+    /// Fill cursor during construction; slice end afterwards.
+    end: VertexTable<u32>,
+    entries: Vec<(VertexId, EdgeId)>,
+    touched: Vec<VertexId>,
+}
+
+impl DenseAdjacency {
+    /// Rebuilds the adjacency for `edges` (duplicates allowed — each
+    /// occurrence contributes an entry, like the map it replaced).
+    pub fn build<G: SteinerGraph + ?Sized>(&mut self, edges: &[EdgeId], g: &G) {
+        self.deg.clear();
+        self.start.clear();
+        self.end.clear();
+        self.touched.clear();
+        self.entries.clear();
+        for &e in edges {
+            let ep = g.endpoints(e);
+            for v in [ep.u, ep.v] {
+                match self.deg.get(v) {
+                    None => {
+                        self.deg.insert(v, 1);
+                        self.touched.push(v);
+                    }
+                    Some(d) => self.deg.insert(v, d + 1),
+                }
+            }
+        }
+        let mut cur = 0u32;
+        for &v in &self.touched {
+            self.start.insert(v, cur);
+            self.end.insert(v, cur);
+            cur += self.deg.get(v).expect("touched vertices have degrees");
+        }
+        self.entries.resize(cur as usize, (0, 0));
+        for &e in edges {
+            let ep = g.endpoints(e);
+            for (a, b) in [(ep.u, ep.v), (ep.v, ep.u)] {
+                let c = self.end.get(a).expect("counted") as usize;
+                self.entries[c] = (b, e);
+                self.end.insert(a, c as u32 + 1);
+            }
+        }
+    }
+
+    /// Neighbors of `v` as (neighbor, edge) pairs; empty for vertices
+    /// the edge list does not touch.
+    pub fn neighbors(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        match (self.start.get(v), self.end.get(v)) {
+            (Some(s), Some(e)) => &self.entries[s as usize..e as usize],
+            _ => &[],
+        }
+    }
+
+    /// Vertices touched by the edge list, in first-touch order.
+    pub fn touched(&self) -> &[VertexId] {
+        &self.touched
+    }
+}
+
+/// The pooled scratch arena for per-merge component computations:
+/// adjacency, tree-delay and exit-price tables, and the downstream
+/// accumulation state. One lives in every
+/// [`SolverWorkspace`](crate::SolverWorkspace); all tables clear in
+/// `O(1)` and keep their slabs warm across merges and solves.
+#[derive(Debug, Default)]
+pub struct CompScratch {
+    /// Component adjacency (rebuilt per query).
+    pub(crate) adj: DenseAdjacency,
+    /// Raw tree delays from the last [`Component::tree_delays_into`].
+    pub delay: VertexTable<f64>,
+    /// Weighted exit prices from the last
+    /// [`Component::weighted_exit_delay_into`].
+    pub exit: VertexTable<f64>,
+    heap: BinaryHeap<Reverse<(OrderedF64, VertexId)>>,
+    parent: VertexTable<VertexId>,
+    weight_at: VertexTable<f64>,
+    seen: VertexSet,
+    order: Vec<VertexId>,
+}
+
 /// The tree-so-far of one component: its edges, its vertices, and the
 /// sinks (with delay weights) it has absorbed.
 #[derive(Debug, Clone, Default)]
 pub struct Component {
     /// Edges of the embedded partial tree.
     pub edges: Vec<EdgeId>,
-    /// Vertices the component occupies (keys) — values unused, kept as a
-    /// map for cheap membership + iteration.
-    pub vertices: HashMap<VertexId, ()>,
+    /// Vertices the component occupies, deduplicated, in insertion
+    /// order (membership is tracked by an epoch-stamped side table).
+    vertices: Vec<VertexId>,
+    member: VertexSet,
     /// Sinks inside the component: (vertex, delay weight).
     pub sinks: Vec<(VertexId, f64)>,
 }
@@ -70,16 +169,16 @@ impl Component {
     /// A single-vertex component carrying the given sinks (one for a
     /// sink terminal, none for the root).
     pub fn singleton(v: VertexId, sinks: Vec<(VertexId, f64)>) -> Self {
-        let mut vertices = HashMap::new();
-        vertices.insert(v, ());
-        Component { edges: Vec::new(), vertices, sinks }
+        let mut c = Component { sinks, ..Component::default() };
+        c.push_vertex(v);
+        c
     }
 
     /// Re-initializes a (possibly recycled) component as a singleton,
     /// keeping whatever capacity its buffers already have.
     pub fn init_singleton(&mut self, v: VertexId, sinks: &[(VertexId, f64)]) {
         self.reset();
-        self.vertices.insert(v, ());
+        self.push_vertex(v);
         self.sinks.extend_from_slice(sinks);
     }
 
@@ -87,131 +186,147 @@ impl Component {
     pub fn reset(&mut self) {
         self.edges.clear();
         self.vertices.clear();
+        self.member.clear();
         self.sinks.clear();
+    }
+
+    /// The component's vertices, deduplicated, in insertion order.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
     }
 
     /// Whether `v` belongs to this component.
     pub fn contains(&self, v: VertexId) -> bool {
-        self.vertices.contains_key(&v)
+        self.member.contains(v)
+    }
+
+    fn push_vertex(&mut self, v: VertexId) {
+        if self.member.insert(v) {
+            self.vertices.push(v);
+        }
     }
 
     /// Absorbs `other` and a connecting `path` (edges between them).
     /// `other` is drained but keeps its buffers, so callers can recycle
     /// it through a component pool.
-    pub fn absorb(&mut self, other: &mut Component, path: &[EdgeId], g: &Graph) {
+    pub fn absorb<G: SteinerGraph + ?Sized>(
+        &mut self,
+        other: &mut Component,
+        path: &[EdgeId],
+        g: &G,
+    ) {
         self.edges.append(&mut other.edges);
-        for (v, ()) in other.vertices.drain() {
-            self.vertices.insert(v, ());
+        for i in 0..other.vertices.len() {
+            self.push_vertex(other.vertices[i]);
         }
+        other.vertices.clear();
+        other.member.clear();
         self.sinks.append(&mut other.sinks);
         for &e in path {
             self.edges.push(e);
             let ep = g.endpoints(e);
-            self.vertices.insert(ep.u, ());
-            self.vertices.insert(ep.v, ());
+            self.push_vertex(ep.u);
+            self.push_vertex(ep.v);
         }
     }
 
     /// For every component vertex `y`, the *weighted delay to the
-    /// component's sinks* through the tree: `Σ_q w(q)·d_tree(y, q)`.
+    /// component's sinks* through the tree: `Σ_q w(q)·d_tree(y, q)`,
+    /// into `scratch.exit` (read with `get_or(v, 0.0)`).
     ///
     /// This is the exact future delay cost the component's sinks incur
     /// if the next connection (ultimately: the root path) enters at `y`
     /// — the exit prices used to seed restarted searches under §III-A.
     /// For a singleton sink component it is `w·d_tree(y, sink)`, the
     /// paper's original seeding.
-    pub fn weighted_exit_delay(&self, g: &Graph, d: &[f64]) -> HashMap<VertexId, f64> {
-        let mut out: HashMap<VertexId, f64> = self.vertices.keys().map(|&v| (v, 0.0)).collect();
-        let adj = self.adjacency(g);
+    pub fn weighted_exit_delay_into<G: SteinerGraph + ?Sized>(
+        &self,
+        g: &G,
+        d: &[f64],
+        scratch: &mut CompScratch,
+    ) {
+        scratch.adj.build(&self.edges, g);
+        self.weighted_exit_delay_prebuilt(d, scratch);
+    }
+
+    /// [`weighted_exit_delay_into`](Self::weighted_exit_delay_into)
+    /// assuming `scratch.adj` was already built for this component's
+    /// edges (e.g. by an immediately preceding
+    /// [`tree_delays_into`](Self::tree_delays_into)), skipping the
+    /// redundant rebuild.
+    pub fn weighted_exit_delay_prebuilt(&self, d: &[f64], scratch: &mut CompScratch) {
+        scratch.exit.clear();
         for &(q, w) in &self.sinks {
             if w == 0.0 {
                 continue;
             }
-            let delays = tree_delays_over(&adj, d, q, self.vertices.len());
-            for (v, acc) in out.iter_mut() {
-                *acc += w * delays.get(v).copied().unwrap_or(0.0);
+            tree_delays_over(&scratch.adj, d, q, &mut scratch.delay, &mut scratch.heap);
+            for &v in &self.vertices {
+                scratch.exit.add(v, 0.0, w * scratch.delay.get_or(v, 0.0));
             }
         }
-        out
-    }
-
-    /// Adjacency restricted to the component's edges.
-    fn adjacency(&self, g: &Graph) -> HashMap<VertexId, Vec<(VertexId, EdgeId)>> {
-        let mut adj: HashMap<VertexId, Vec<(VertexId, EdgeId)>> = HashMap::new();
-        for &e in &self.edges {
-            let ep = g.endpoints(e);
-            adj.entry(ep.u).or_default().push((ep.v, e));
-            adj.entry(ep.v).or_default().push((ep.u, e));
-        }
-        adj
     }
 
     /// Total sink weight *downstream* of each component vertex when the
-    /// component tree is rooted at `root`: the weight that suffers the
-    /// λ penalty if a new branch taps the tree at that vertex. Used to
-    /// price bifurcations on already-routed root-component paths
-    /// (Fig. 1 of the paper: keeping taps off the critical trunk).
-    pub fn downstream_weights(&self, g: &Graph, root: VertexId) -> HashMap<VertexId, f64> {
-        let mut down = HashMap::new();
-        self.downstream_weights_into(g, root, &mut down);
-        down
-    }
-
-    /// [`downstream_weights`](Self::downstream_weights) into a
-    /// caller-owned map (cleared first), so the solver workspace can
-    /// refill its pooled map on every root merge instead of
-    /// reallocating.
-    pub fn downstream_weights_into(
+    /// component tree is rooted at `root`, into `down` (cleared first):
+    /// the weight that suffers the λ penalty if a new branch taps the
+    /// tree at that vertex. Used to price bifurcations on already-routed
+    /// root-component paths (Fig. 1 of the paper: keeping taps off the
+    /// critical trunk). `down` is caller-owned so the solver workspace
+    /// can refill its pooled table on every root merge.
+    pub fn downstream_weights_into<G: SteinerGraph + ?Sized>(
         &self,
-        g: &Graph,
+        g: &G,
         root: VertexId,
-        down: &mut HashMap<VertexId, f64>,
+        down: &mut VertexTable<f64>,
+        scratch: &mut CompScratch,
     ) {
         down.clear();
-        let mut adj: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
-        for &e in &self.edges {
-            let ep = g.endpoints(e);
-            adj.entry(ep.u).or_default().push(ep.v);
-            adj.entry(ep.v).or_default().push(ep.u);
-        }
-        let mut weight_at: HashMap<VertexId, f64> = HashMap::new();
+        scratch.adj.build(&self.edges, g);
+        scratch.weight_at.clear();
         for &(q, w) in &self.sinks {
-            *weight_at.entry(q).or_insert(0.0) += w;
+            scratch.weight_at.add(q, 0.0, w);
         }
         // iterative post-order accumulation from `root`
-        let mut parent: HashMap<VertexId, VertexId> = HashMap::new();
-        let mut order = vec![root];
-        let mut seen: HashMap<VertexId, ()> = HashMap::new();
-        seen.insert(root, ());
+        scratch.parent.clear();
+        scratch.seen.clear();
+        scratch.order.clear();
+        scratch.order.push(root);
+        scratch.seen.insert(root);
         let mut head = 0;
-        while head < order.len() {
-            let v = order[head];
+        while head < scratch.order.len() {
+            let v = scratch.order[head];
             head += 1;
-            if let Some(nbrs) = adj.get(&v) {
-                for &w in nbrs {
-                    if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(w) {
-                        e.insert(());
-                        parent.insert(w, v);
-                        order.push(w);
-                    }
+            for &(w, _) in scratch.adj.neighbors(v) {
+                if scratch.seen.insert(w) {
+                    scratch.parent.insert(w, v);
+                    scratch.order.push(w);
                 }
             }
         }
-        for &v in order.iter().rev() {
-            let own = weight_at.get(&v).copied().unwrap_or(0.0);
-            let acc = down.get(&v).copied().unwrap_or(0.0) + own;
+        for &v in scratch.order.iter().rev() {
+            let own = scratch.weight_at.get_or(v, 0.0);
+            let acc = down.get_or(v, 0.0) + own;
             down.insert(v, acc);
-            if let Some(&p) = parent.get(&v) {
-                *down.entry(p).or_insert(0.0) += acc;
+            if let Some(p) = scratch.parent.get(v) {
+                down.add(p, 0.0, acc);
             }
         }
     }
 
     /// Raw tree delay (`Σ d(e)`) from `from` to every component vertex,
-    /// walking only component edges. Vertices unreachable through the
-    /// component (possible only by construction error) are absent.
-    pub fn tree_delays(&self, g: &Graph, d: &[f64], from: VertexId) -> HashMap<VertexId, f64> {
-        tree_delays_over(&self.adjacency(g), d, from, self.vertices.len())
+    /// walking only component edges, into `scratch.delay` (read with
+    /// `get`; vertices unreachable through the component — possible only
+    /// by construction error — are absent).
+    pub fn tree_delays_into<G: SteinerGraph + ?Sized>(
+        &self,
+        g: &G,
+        d: &[f64],
+        from: VertexId,
+        scratch: &mut CompScratch,
+    ) {
+        scratch.adj.build(&self.edges, g);
+        tree_delays_over(&scratch.adj, d, from, &mut scratch.delay, &mut scratch.heap);
     }
 }
 
@@ -219,30 +334,28 @@ impl Component {
 /// Dijkstra-style because duplicate edges could create cycles of
 /// differing delay; component sizes are tiny, so simple is fine.
 fn tree_delays_over(
-    adj: &HashMap<VertexId, Vec<(VertexId, EdgeId)>>,
+    adj: &DenseAdjacency,
     d: &[f64],
     from: VertexId,
-    capacity: usize,
-) -> HashMap<VertexId, f64> {
-    let mut out = HashMap::with_capacity(capacity);
+    out: &mut VertexTable<f64>,
+    heap: &mut BinaryHeap<Reverse<(OrderedF64, VertexId)>>,
+) {
+    out.clear();
+    heap.clear();
     out.insert(from, 0.0);
-    let mut heap = std::collections::BinaryHeap::new();
-    heap.push(std::cmp::Reverse((cds_heap::OrderedF64::new(0.0), from)));
-    while let Some(std::cmp::Reverse((dd, v))) = heap.pop() {
-        if out.get(&v).copied().unwrap_or(f64::INFINITY) < dd.get() {
+    heap.push(Reverse((OrderedF64::new(0.0), from)));
+    while let Some(Reverse((dd, v))) = heap.pop() {
+        if out.get_or(v, f64::INFINITY) < dd.get() {
             continue;
         }
-        if let Some(nbrs) = adj.get(&v) {
-            for &(w, e) in nbrs {
-                let nd = dd.get() + d[e as usize];
-                if nd < out.get(&w).copied().unwrap_or(f64::INFINITY) {
-                    out.insert(w, nd);
-                    heap.push(std::cmp::Reverse((cds_heap::OrderedF64::new(nd), w)));
-                }
+        for &(w, e) in adj.neighbors(v) {
+            let nd = dd.get() + d[e as usize];
+            if nd < out.get_or(w, f64::INFINITY) {
+                out.insert(w, nd);
+                heap.push(Reverse((OrderedF64::new(nd), w)));
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -282,11 +395,27 @@ mod tests {
         // connect them with the full path
         c0.absorb(&mut c3, &[0, 1, 2], &g);
         assert!(c3.edges.is_empty() && c3.sinks.is_empty(), "absorb drains the other side");
+        assert!(c3.vertices().is_empty());
         assert!(c0.contains(2));
         assert_eq!(c0.edges.len(), 3);
-        let delays = c0.tree_delays(&g, &d, 0);
-        assert_eq!(delays[&3], 7.0);
-        assert_eq!(delays[&1], 1.0);
+        let mut s = CompScratch::default();
+        c0.tree_delays_into(&g, &d, 0, &mut s);
+        assert_eq!(s.delay.get(3), Some(7.0));
+        assert_eq!(s.delay.get(1), Some(1.0));
+    }
+
+    #[test]
+    fn vertices_stay_deduplicated() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, EdgeAttrs::wire(1.0, 1.0));
+        b.add_edge(1, 2, EdgeAttrs::wire(1.0, 1.0));
+        let g = b.build();
+        let mut c = Component::singleton(0, vec![(0, 1.0)]);
+        // the path shares vertex 1 between both edges; 0 is already in
+        c.absorb(&mut Component::singleton(2, vec![]), &[0, 1], &g);
+        let mut vs = c.vertices().to_vec();
+        vs.sort_unstable();
+        assert_eq!(vs, vec![0, 1, 2]);
     }
 
     #[test]
@@ -300,12 +429,47 @@ mod tests {
         let d = g.delays();
         let mut comp = Component::singleton(0, vec![(0, 1.0)]);
         comp.absorb(&mut Component::singleton(3, vec![(3, 3.0)]), &[0, 1, 2], &g);
-        let exits = comp.weighted_exit_delay(&g, &d);
+        let mut s = CompScratch::default();
+        comp.weighted_exit_delay_into(&g, &d, &mut s);
         // exit at 0: 1*0 + 3*3 = 9; at 3: 1*3 + 3*0 = 3; at 2: 1*2 + 3*1 = 5
-        assert_eq!(exits[&0], 9.0);
-        assert_eq!(exits[&3], 3.0);
-        assert_eq!(exits[&2], 5.0);
+        assert_eq!(s.exit.get_or(0, 0.0), 9.0);
+        assert_eq!(s.exit.get_or(3, 0.0), 3.0);
+        assert_eq!(s.exit.get_or(2, 0.0), 5.0);
         // the best exit is at the heavy sink
-        assert!(exits[&3] < exits[&0] && exits[&3] < exits[&2]);
+        assert!(s.exit.get_or(3, 0.0) < s.exit.get_or(0, 0.0));
+    }
+
+    #[test]
+    fn downstream_weights_accumulate_towards_root() {
+        // root 0 - 1 - 2 with sinks w=2 at 1 and w=5 at 2
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, EdgeAttrs::wire(1.0, 1.0));
+        b.add_edge(1, 2, EdgeAttrs::wire(1.0, 1.0));
+        let g = b.build();
+        let mut comp = Component::singleton(0, vec![]);
+        comp.absorb(&mut Component::singleton(1, vec![(1, 2.0)]), &[0], &g);
+        comp.absorb(&mut Component::singleton(2, vec![(2, 5.0)]), &[1], &g);
+        let mut s = CompScratch::default();
+        let mut down = VertexTable::new();
+        comp.downstream_weights_into(&g, 0, &mut down, &mut s);
+        assert_eq!(down.get(2), Some(5.0));
+        assert_eq!(down.get(1), Some(7.0));
+        assert_eq!(down.get(0), Some(7.0));
+    }
+
+    #[test]
+    fn dense_adjacency_preserves_edge_order() {
+        let mut b = GraphBuilder::new(3);
+        let e0 = b.add_edge(0, 1, EdgeAttrs::wire(1.0, 1.0));
+        let e1 = b.add_edge(0, 2, EdgeAttrs::wire(1.0, 1.0));
+        let e2 = b.add_edge(0, 1, EdgeAttrs::wire(2.0, 2.0)); // parallel
+        let g = b.build();
+        let mut adj = DenseAdjacency::default();
+        adj.build(&[e1, e0, e2], &g);
+        // per-vertex order follows the input edge list, not edge ids
+        assert_eq!(adj.neighbors(0), &[(2, e1), (1, e0), (1, e2)]);
+        assert_eq!(adj.neighbors(1), &[(0, e0), (0, e2)]);
+        assert_eq!(adj.touched(), &[0, 2, 1]);
+        assert!(adj.neighbors(9).is_empty());
     }
 }

@@ -9,7 +9,7 @@
 //! terminal positions — a superset of any iteration's live targets, so
 //! the heuristic only gets weaker, never inadmissible.
 
-use cds_graph::{GridGraph, VertexId};
+use cds_graph::{GridGraph, RoutingSurface, VertexId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -61,14 +61,20 @@ impl FutureCost for NoFutureCost {
 /// as components grow), scaled by the cheapest per-gcell cost and the
 /// fastest per-gcell delay.
 ///
+/// Works over any [`RoutingSurface`] — the whole grid, a materialized
+/// window, or a zero-copy [`WindowView`](cds_graph::WindowView): the
+/// transform only needs the surface's plane dimensions and per-gcell
+/// bounds, which it copies out, so the type borrows nothing.
+///
 /// Admissible because every wire edge of the grid costs at least
 /// `min_cost_per_gcell + w·min_delay_per_gcell` per gcell of L1 progress,
 /// vias make no L1 progress at non-negative cost, and
 /// [`note_new_targets`](FutureCost::note_new_targets) keeps the transform
 /// a lower bound as the set of valid connection targets expands.
 #[derive(Debug)]
-pub struct GridFutureCost<'a> {
-    grid: &'a GridGraph,
+pub struct GridFutureCost {
+    nx: usize,
+    ny: usize,
     /// Plane distance (in gcells) to the nearest target, row-major.
     /// Atomic cells (relaxed, plain-load cost on mainstream ISAs) give
     /// the interior mutability `note_new_targets` needs through `&self`
@@ -79,30 +85,32 @@ pub struct GridFutureCost<'a> {
     min_delay: f64,
 }
 
-impl<'a> GridFutureCost<'a> {
+impl GridFutureCost {
     /// Builds the distance transform for the terminal positions of an
-    /// instance (`terminals` are graph vertices; their layers are
+    /// instance (`terminals` are vertices of `surface`; their layers are
     /// ignored — the bound is planar).
-    pub fn new(grid: &'a GridGraph, terminals: &[VertexId]) -> Self {
-        Self::with_buffer(grid, terminals, Vec::new())
+    pub fn new<S: RoutingSurface + ?Sized>(surface: &S, terminals: &[VertexId]) -> Self {
+        Self::with_buffer(surface, terminals, Vec::new())
     }
 
     /// Like [`new`](Self::new), but reusing a recycled plane buffer
     /// (from [`into_buffer`](Self::into_buffer)) so per-net future-cost
     /// construction in a routing loop allocates nothing once warm.
-    pub fn with_buffer(
-        grid: &'a GridGraph,
+    pub fn with_buffer<S: RoutingSurface + ?Sized>(
+        surface: &S,
         terminals: &[VertexId],
         mut buf: Vec<AtomicU32>,
     ) -> Self {
-        let (nx, ny) = (grid.spec().nx as usize, grid.spec().ny as usize);
+        let (nx, ny) = surface.plane_dims();
+        let (nx, ny) = (nx as usize, ny as usize);
         buf.clear();
         buf.resize_with(nx * ny, || AtomicU32::new(u32::MAX));
         let fc = GridFutureCost {
-            grid,
+            nx,
+            ny,
             plane_dist: buf,
-            min_cost: grid.min_cost_per_gcell(),
-            min_delay: grid.min_delay_per_gcell(),
+            min_cost: surface.min_cost_per_gcell(),
+            min_delay: surface.min_delay_per_gcell(),
         };
         // on an all-MAX transform, the decrease-only propagation of
         // `note_new_targets` is exactly the multi-source BFS
@@ -114,28 +122,36 @@ impl<'a> GridFutureCost<'a> {
     pub fn into_buffer(self) -> Vec<AtomicU32> {
         self.plane_dist
     }
+
+    /// Planar cell index of a vertex (ids are `(l·ny + y)·nx + x` on
+    /// every surface backend).
+    #[inline]
+    fn cell(&self, v: VertexId) -> usize {
+        let x = v as usize % self.nx;
+        let y = (v as usize / self.nx) % self.ny;
+        y * self.nx + x
+    }
 }
 
-impl FutureCost for GridFutureCost<'_> {
+impl FutureCost for GridFutureCost {
     fn bound_nearest(&self, x: VertexId, w: f64) -> f64 {
-        let c = self.grid.coord(x);
-        let d = self.plane_dist[c.y as usize * self.grid.spec().nx as usize + c.x as usize]
-            .load(Ordering::Relaxed);
+        let d = self.plane_dist[self.cell(x)].load(Ordering::Relaxed);
         d as f64 * (self.min_cost + w * self.min_delay)
     }
     fn bound_to(&self, x: VertexId, y: VertexId, w: f64) -> f64 {
-        let (cx, cy) = (self.grid.coord(x), self.grid.coord(y));
-        let l1 = cx.point().l1(cy.point()) as f64;
+        let (cx, cy) = (self.cell(x), self.cell(y));
+        let (x0, y0) = ((cx % self.nx) as i64, (cx / self.nx) as i64);
+        let (x1, y1) = ((cy % self.nx) as i64, (cy / self.nx) as i64);
+        let l1 = ((x0 - x1).abs() + (y0 - y1).abs()) as f64;
         l1 * (self.min_cost + w * self.min_delay)
     }
     fn note_new_targets(&self, vertices: &[VertexId]) {
-        let nx = self.grid.spec().nx as usize;
+        let nx = self.nx;
         let dist = &self.plane_dist;
         let ny = dist.len() / nx;
         let mut queue = VecDeque::new();
         for &v in vertices {
-            let c = self.grid.coord(v);
-            let idx = c.y as usize * nx + c.x as usize;
+            let idx = self.cell(v);
             if dist[idx].load(Ordering::Relaxed) != 0 {
                 dist[idx].store(0, Ordering::Relaxed);
                 queue.push_back(idx);

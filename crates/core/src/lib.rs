@@ -53,13 +53,15 @@ pub mod future;
 pub mod search;
 pub mod session;
 pub mod solver;
+pub mod table;
 
-pub use assemble::assemble_tree;
+pub use assemble::{assemble_tree, assemble_tree_in, AssembleScratch};
 pub use future::{FutureCost, GridFutureCost, LandmarkFutureCost, NoFutureCost};
 pub use session::{Request, SessionConfig, Solver, SolverBuilder};
 pub use solver::{
     solve, Instance, MergeEvent, SolveResult, SolveStats, SolverOptions, SolverWorkspace,
 };
+pub use table::{VertexSet, VertexTable};
 
 #[cfg(test)]
 mod tests {

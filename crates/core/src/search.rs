@@ -1,16 +1,18 @@
 //! Per-terminal Dijkstra state for the simultaneous searches.
 //!
 //! Each active terminal `u` runs its own labelling with the individual
-//! distance function `l_u(e) = c(e) + w(u)·d(e)` (Eq. (4)). Labels are
-//! sparse (hash maps): with goal-oriented search a terminal only ever
-//! touches a small region, and dense per-search arrays would cost
-//! `O(t·n)` up front.
+//! distance function `l_u(e) = c(e) + w(u)·d(e)` (Eq. (4)). Labels live
+//! in epoch-stamped dense [`VertexTable`] slabs: graph backends expose
+//! compact (window-local) vertex ids, so a slab is window-sized, clears
+//! in `O(1)`, and — pooled through the
+//! [`SolverWorkspace`](crate::SolverWorkspace) — is reused across
+//! searches and solves without reallocating.
 
-use cds_graph::{EdgeId, VertexId};
-use std::collections::{HashMap, HashSet};
+use crate::table::{VertexSet, VertexTable};
+use cds_graph::{EdgeId, SteinerGraph, VertexId};
 
 /// Dijkstra state of one active terminal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Search {
     /// Terminal slot this search belongs to.
     pub terminal: usize,
@@ -19,38 +21,31 @@ pub struct Search {
     /// The terminal's position `π(u)`.
     pub origin: VertexId,
     /// Best known `g` value (true `l_u` distance, without heuristic).
-    pub dist: HashMap<VertexId, f64>,
+    pub dist: VertexTable<f64>,
     /// Predecessor (vertex, edge) of each labelled vertex; absent for
     /// seeds.
-    pub parent: HashMap<VertexId, (VertexId, EdgeId)>,
+    pub parent: VertexTable<(VertexId, EdgeId)>,
     /// Permanently labelled vertices.
-    pub settled: HashSet<VertexId>,
+    pub settled: VertexSet,
     /// Raw tree delay (`Σ d`, unweighted) from `origin` to each seed —
     /// needed by the Steiner re-embedding (§III-D). Seeds are the
     /// component's vertices under §III-A discounting, else just the
     /// origin.
-    pub seed_raw_delay: HashMap<VertexId, f64>,
+    pub seed_raw_delay: VertexTable<f64>,
 }
 
 impl Search {
     /// A fresh search with no labels.
     pub fn new(terminal: usize, weight: f64, origin: VertexId) -> Self {
-        Search {
-            terminal,
-            weight,
-            origin,
-            dist: HashMap::new(),
-            parent: HashMap::new(),
-            settled: HashSet::new(),
-            seed_raw_delay: HashMap::new(),
-        }
+        Search { terminal, weight, origin, ..Search::default() }
     }
 
     /// Re-initializes a (possibly recycled) search for a new terminal,
-    /// clearing all labels but keeping the hash tables' capacity — the
+    /// clearing all labels but keeping the slabs' capacity — the
     /// workspace-reuse fast path: a rip-up & re-route loop starts one
     /// search per terminal per net, and the label tables are the
-    /// solver's hottest allocations.
+    /// solver's hottest state. With epoch-stamped tables the clear is
+    /// four epoch bumps, `O(1)`.
     pub fn reset(&mut self, terminal: usize, weight: f64, origin: VertexId) {
         self.terminal = terminal;
         self.weight = weight;
@@ -68,33 +63,59 @@ impl Search {
     ///
     /// Panics if `to` was never labelled.
     pub fn extract_path(&self, to: VertexId) -> (Vec<EdgeId>, VertexId) {
-        assert!(self.dist.contains_key(&to), "extracting an unlabelled vertex");
         let mut edges = Vec::new();
+        let seed = self.extract_path_into(to, &mut edges);
+        (edges, seed)
+    }
+
+    /// [`extract_path`](Self::extract_path) into a caller-owned buffer
+    /// (cleared first), returning the seed vertex — the allocation-free
+    /// path of the merge loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` was never labelled.
+    pub fn extract_path_into(&self, to: VertexId, out: &mut Vec<EdgeId>) -> VertexId {
+        assert!(self.dist.contains(to), "extracting an unlabelled vertex");
+        out.clear();
         let mut cur = to;
-        while let Some(&(from, edge)) = self.parent.get(&cur) {
-            edges.push(edge);
+        while let Some((from, edge)) = self.parent.get(cur) {
+            out.push(edge);
             cur = from;
         }
-        edges.reverse();
-        (edges, cur)
+        out.reverse();
+        cur
     }
 
     /// The vertex sequence of a seed→`to` path returned by
     /// [`extract_path`](Self::extract_path), starting at the seed.
-    pub fn path_vertices(
+    pub fn path_vertices<G: SteinerGraph + ?Sized>(
         &self,
-        graph: &cds_graph::Graph,
+        graph: &G,
         edges: &[EdgeId],
         seed: VertexId,
     ) -> Vec<VertexId> {
         let mut out = Vec::with_capacity(edges.len() + 1);
+        self.path_vertices_into(graph, edges, seed, &mut out);
+        out
+    }
+
+    /// [`path_vertices`](Self::path_vertices) into a caller-owned buffer
+    /// (cleared first).
+    pub fn path_vertices_into<G: SteinerGraph + ?Sized>(
+        &self,
+        graph: &G,
+        edges: &[EdgeId],
+        seed: VertexId,
+        out: &mut Vec<VertexId>,
+    ) {
+        out.clear();
         out.push(seed);
         let mut cur = seed;
         for &e in edges {
             cur = graph.endpoints(e).other(cur);
             out.push(cur);
         }
-        out
     }
 }
 
@@ -116,5 +137,18 @@ mod tests {
         let (edges, seed) = s.extract_path(7);
         assert!(edges.is_empty());
         assert_eq!(seed, 7);
+    }
+
+    #[test]
+    fn reset_clears_labels_in_place() {
+        let mut s = Search::new(0, 1.0, 7);
+        s.dist.insert(7, 0.0);
+        s.settled.insert(7);
+        s.seed_raw_delay.insert(7, 0.5);
+        s.reset(3, 2.0, 9);
+        assert_eq!(s.terminal, 3);
+        assert!(!s.dist.contains(7));
+        assert!(!s.settled.contains(7));
+        assert_eq!(s.seed_raw_delay.get(7), None);
     }
 }

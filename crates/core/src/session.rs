@@ -38,7 +38,7 @@
 
 use crate::future::FutureCost;
 use crate::solver::{solve_in, Instance, SolveResult, SolverOptions, SolverWorkspace};
-use cds_graph::{Graph, VertexId};
+use cds_graph::{Graph, SteinerGraph, VertexId};
 use cds_topo::BifurcationConfig;
 
 /// Session-level solver configuration: the §III enhancement toggles and
@@ -68,7 +68,7 @@ impl SessionConfig {
     pub const DEFAULT_SEED: u64 = 0x5eed;
 
     /// All §III enhancements on — the single source of truth for the
-    /// defaults of [`SolverOptions`](crate::SolverOptions),
+    /// defaults of [`SolverOptions`],
     /// [`SolverBuilder`], and the router's `CdOracle` alike (keeping
     /// the compat path and the session path bit-identical).
     pub const DEFAULT: SessionConfig = SessionConfig {
@@ -158,11 +158,13 @@ impl SolverBuilder {
 /// Requests are cheap to build — all heavy state lives in the
 /// [`Solver`]'s workspace. The graph travels with the request (not the
 /// session) because rip-up & re-route loops route each net in its own
-/// bounding-box window graph.
-#[derive(Clone, Copy)]
-pub struct Request<'a> {
-    /// The routing graph to solve on.
-    pub graph: &'a Graph,
+/// bounding-box window, and is generic over the [`SteinerGraph`]
+/// backend: a materialized [`Graph`] (the default) or a zero-copy
+/// [`WindowView`](cds_graph::WindowView) — possibly behind `dyn
+/// RoutingSurface`, which is how the router passes it.
+pub struct Request<'a, G: ?Sized = Graph> {
+    /// The routing graph backend to solve on.
+    pub graph: &'a G,
     /// Congestion cost `c(e)` per edge.
     pub cost: &'a [f64],
     /// Delay `d(e)` per edge.
@@ -186,7 +188,15 @@ pub struct Request<'a> {
     pub record_trace: bool,
 }
 
-impl std::fmt::Debug for Request<'_> {
+impl<G: ?Sized> Clone for Request<'_, G> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<G: ?Sized> Copy for Request<'_, G> {}
+
+impl<G: ?Sized> std::fmt::Debug for Request<'_, G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Request")
             .field("root", &self.root)
@@ -200,12 +210,12 @@ impl std::fmt::Debug for Request<'_> {
     }
 }
 
-impl<'a> Request<'a> {
+impl<'a, G: ?Sized> Request<'a, G> {
     /// A request with no bifurcation penalty, no future cost, the
     /// session's seed, and no tracing. Override fields directly or with
     /// the `with_*` helpers.
     pub fn new(
-        graph: &'a Graph,
+        graph: &'a G,
         cost: &'a [f64],
         delay: &'a [f64],
         root: VertexId,
@@ -227,7 +237,7 @@ impl<'a> Request<'a> {
     }
 
     /// The same net as `inst`, as a request.
-    pub fn from_instance(inst: &Instance<'a>) -> Self {
+    pub fn from_instance(inst: &Instance<'a, G>) -> Self {
         Request {
             graph: inst.graph,
             cost: inst.cost,
@@ -267,7 +277,7 @@ impl<'a> Request<'a> {
     }
 
     /// The equivalent [`Instance`] view of this request.
-    pub fn instance(&self) -> Instance<'a> {
+    pub fn instance(&self) -> Instance<'a, G> {
         Instance {
             graph: self.graph,
             cost: self.cost,
@@ -322,7 +332,7 @@ impl Solver {
     }
 
     /// Resolves the effective [`SolverOptions`] for one request.
-    fn options<'a>(config: &SessionConfig, req: &Request<'a>) -> SolverOptions<'a> {
+    fn options<'a, G: ?Sized>(config: &SessionConfig, req: &Request<'a, G>) -> SolverOptions<'a> {
         SolverOptions {
             future: req.future,
             seed: req.seed.unwrap_or(config.seed),
@@ -338,17 +348,17 @@ impl Solver {
     /// Panics on malformed requests (no sinks, mismatched slice lengths,
     /// negative weights) or disconnected instances, exactly like
     /// [`solve`](crate::solve).
-    pub fn solve(&mut self, req: &Request<'_>) -> SolveResult {
+    pub fn solve<G: SteinerGraph + ?Sized>(&mut self, req: &Request<'_, G>) -> SolveResult {
         Self::solve_with(&self.config, &mut self.ws, req)
     }
 
     /// Solves one request against an explicit workspace — the building
     /// block for callers that manage their own workspace pools (the
     /// router's worker threads do).
-    pub fn solve_with(
+    pub fn solve_with<G: SteinerGraph + ?Sized>(
         config: &SessionConfig,
         ws: &mut SolverWorkspace,
-        req: &Request<'_>,
+        req: &Request<'_, G>,
     ) -> SolveResult {
         let inst = req.instance();
         let opts = Self::options(config, req);
@@ -373,14 +383,18 @@ impl Solver {
     /// sharing one across concurrently solved requests would race and
     /// break the bit-identical contract — build one future per request
     /// (they are cheap relative to a solve).
-    pub fn solve_batch(&mut self, reqs: &[Request<'_>], threads: usize) -> Vec<SolveResult> {
+    pub fn solve_batch<G: SteinerGraph + ?Sized>(
+        &mut self,
+        reqs: &[Request<'_, G>],
+        threads: usize,
+    ) -> Vec<SolveResult> {
         let n = reqs.len();
         if n == 0 {
             return Vec::new();
         }
         // zero-sized futures (e.g. NoFutureCost) are stateless and may
         // share addresses; only stateful instances can race
-        let stateful = |r: &&Request<'_>| r.future.is_some_and(|f| std::mem::size_of_val(f) > 0);
+        let stateful = |r: &&Request<'_, G>| r.future.is_some_and(|f| std::mem::size_of_val(f) > 0);
         let mut future_ptrs: Vec<*const ()> = reqs
             .iter()
             .filter(stateful)

@@ -11,6 +11,14 @@
 //! randomly per §II, or by the re-embedding rule of §III-D), and a fresh
 //! search starts from it. Root connections retire their sink instead.
 //!
+//! The solver is generic over [`SteinerGraph`], so the same code routes
+//! a materialized [`Graph`] and a zero-copy
+//! [`WindowView`](cds_graph::WindowView) of the global grid — backends
+//! are specified to produce bit-identical trees. All per-solve state
+//! lives in dense, epoch-stamped [`VertexTable`]
+//! slabs pooled by the [`SolverWorkspace`]: clearing is an epoch bump,
+//! and a warm workspace solves without touching the allocator.
+//!
 //! Enhancements (all individually toggleable in [`SolverOptions`]):
 //! §III-A component reuse (searches are seeded with the whole component
 //! at delay-true offsets, so tree edges cost no connection charge),
@@ -18,24 +26,33 @@
 //! costs, §III-D Steiner re-embedding, §III-E root-connection
 //! encouragement.
 
-use crate::assemble::assemble_tree;
-use crate::components::{Component, Dsu, TerminalId};
+use crate::assemble::{assemble_tree_in, AssembleScratch};
+use crate::components::{CompScratch, Component, Dsu, TerminalId};
 use crate::future::{FutureCost, NoFutureCost};
 use crate::search::Search;
-use cds_graph::{EdgeId, Graph, VertexId};
+use crate::table::VertexTable;
+use cds_graph::{EdgeId, Graph, SteinerGraph, VertexId};
 use cds_heap::{OrderedF64, TwoLevelHeap};
 use cds_topo::penalty::beta;
 use cds_topo::{BifurcationConfig, EmbeddedTree, Evaluation};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+
+/// Sentinel for "no entry" in the intrusive per-vertex slot lists.
+const NO_LINK: u32 = u32::MAX;
 
 /// A cost-distance Steiner tree instance (paper Eq. (1) + (3)).
-#[derive(Debug, Clone, Copy)]
-pub struct Instance<'a> {
-    /// The global routing graph.
-    pub graph: &'a Graph,
+///
+/// Generic over the graph backend: `G` defaults to the materialized
+/// [`Graph`], and the router instantiates it with the zero-copy
+/// [`WindowView`](cds_graph::WindowView) (through `dyn
+/// RoutingSurface`). Cost/delay slices are indexed by edge id and must
+/// cover [`edge_bound`](SteinerGraph::edge_bound).
+pub struct Instance<'a, G: ?Sized = Graph> {
+    /// The routing graph backend.
+    pub graph: &'a G,
     /// Congestion cost `c(e)` per edge.
     pub cost: &'a [f64],
     /// Delay `d(e)` per edge.
@@ -49,6 +66,25 @@ pub struct Instance<'a> {
     pub weights: &'a [f64],
     /// Bifurcation penalty configuration (`d_bif`, `η`).
     pub bif: BifurcationConfig,
+}
+
+impl<G: ?Sized> Clone for Instance<'_, G> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<G: ?Sized> Copy for Instance<'_, G> {}
+
+impl<G: ?Sized> std::fmt::Debug for Instance<'_, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("root", &self.root)
+            .field("sink_vertices", &self.sink_vertices)
+            .field("weights", &self.weights)
+            .field("bif", &self.bif)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Toggles for the practical enhancements of §III.
@@ -186,7 +222,10 @@ pub struct SolveResult {
 ///
 /// Panics if the instance has no sinks, mismatched slices, negative
 /// weights, or if some sink is disconnected from the rest of the graph.
-pub fn solve(inst: &Instance<'_>, opts: &SolverOptions<'_>) -> SolveResult {
+pub fn solve<G: SteinerGraph + ?Sized>(
+    inst: &Instance<'_, G>,
+    opts: &SolverOptions<'_>,
+) -> SolveResult {
     let mut ws = SolverWorkspace::new();
     solve_in(&mut ws, inst, opts)
 }
@@ -197,16 +236,16 @@ pub fn solve(inst: &Instance<'_>, opts: &SolverOptions<'_>) -> SolveResult {
 /// # Panics
 ///
 /// Same contract as [`solve`].
-pub(crate) fn solve_in(
+pub(crate) fn solve_in<G: SteinerGraph + ?Sized>(
     ws: &mut SolverWorkspace,
-    inst: &Instance<'_>,
+    inst: &Instance<'_, G>,
     opts: &SolverOptions<'_>,
 ) -> SolveResult {
     assert!(!inst.sink_vertices.is_empty(), "a net needs at least one sink");
     assert_eq!(inst.sink_vertices.len(), inst.weights.len(), "one weight per sink");
     assert!(inst.weights.iter().all(|&w| w >= 0.0), "negative delay weight");
-    assert_eq!(inst.cost.len(), inst.graph.num_edges(), "one cost per edge");
-    assert_eq!(inst.delay.len(), inst.graph.num_edges(), "one delay per edge");
+    assert!(inst.cost.len() >= inst.graph.edge_bound(), "cost slice must cover all edge ids");
+    assert!(inst.delay.len() >= inst.graph.edge_bound(), "delay slice must cover all edge ids");
     ws.reset();
     ws.solves += 1;
     let mut state = State::new(inst, opts, ws);
@@ -216,12 +255,18 @@ pub(crate) fn solve_in(
     }
     let root_slot = state.root_slot;
     let root_rep = state.ws.dsu.find(root_slot);
-    let edges = &state.ws.terminals[root_rep]
+    let comp = state.ws.terminals[root_rep]
         .comp
-        .as_ref()
-        .expect("root component lives at its representative")
-        .edges;
-    let tree = assemble_tree(inst.graph, inst.root, inst.sink_vertices, edges);
+        .take()
+        .expect("root component lives at its representative");
+    let tree = assemble_tree_in(
+        &mut state.ws.assemble,
+        inst.graph,
+        inst.root,
+        inst.sink_vertices,
+        &comp.edges,
+    );
+    state.ws.free_component(comp);
     debug_assert_eq!(
         tree.validate(inst.graph, inst.sink_vertices.len()),
         Ok(()),
@@ -254,36 +299,56 @@ struct Candidate {
 }
 
 /// The reusable buffers of one solver run: terminals, per-search label
-/// tables, the two-level heap, candidate stores, and component pools.
+/// slabs, the two-level heap, candidate stores, component pools, and
+/// the dense scratch arenas for merge-time tables and tree assembly.
 ///
 /// A workspace holds no semantic state between solves — only warmed-up
 /// capacity. [`reset`](Self::reset) (called automatically by every
 /// solve) clears contents but returns searches, components, and
-/// sub-heaps to internal pools instead of dropping them, which is where
-/// the session API's allocation savings come from. Create one through
-/// [`Solver`](crate::Solver), or directly with [`SolverWorkspace::new`]
-/// for caller-managed pools (e.g. one per router worker thread).
+/// sub-heaps to internal pools instead of dropping them; every
+/// vertex-keyed table is an epoch-stamped [`VertexTable`] whose clear is
+/// `O(1)`. This is where the session API's allocation savings come
+/// from. Create one through [`Solver`](crate::Solver), or directly with
+/// [`SolverWorkspace::new`] for caller-managed pools (e.g. one per
+/// router worker thread).
 #[derive(Debug, Default)]
 pub struct SolverWorkspace {
     terminals: Vec<Terminal>,
     dsu: Dsu,
     heap: TwoLevelHeap,
     searches: Vec<Option<Search>>,
-    /// vertex → terminal slots whose components contain it (stale slots
+    /// vertex → head of its slot list in `slot_links` (stale slots
     /// resolved through the DSU at query time)
-    vertex_slots: HashMap<VertexId, Vec<TerminalId>>,
+    slot_head: VertexTable<u32>,
+    /// intrusive singly-linked lists: (next link, terminal slot)
+    slot_links: Vec<(u32, TerminalId)>,
     candidates: BinaryHeap<Reverse<(OrderedF64, usize)>>,
     cand_store: Vec<Candidate>,
     /// For root-component vertices: total already-routed sink weight
     /// downstream (rebuilt after every root merge).
-    root_downstream: HashMap<VertexId, f64>,
-    /// Retired [`Search`] label tables, cleared, awaiting reuse.
+    root_downstream: VertexTable<f64>,
+    /// Retired [`Search`] label slabs, cleared, awaiting reuse.
     search_pool: Vec<Search>,
     /// Retired [`Component`] buffers, cleared, awaiting reuse.
     component_pool: Vec<Component>,
-    /// Scratch for the arrival check of the expansion hot loop (avoids
-    /// cloning `vertex_slots` entries per settled vertex).
+    /// Merge-time component tables (adjacency, tree delays, exit
+    /// prices, downstream accumulation) — the arena that replaced the
+    /// per-merge hash maps.
+    comp_scratch: CompScratch,
+    /// Tree-assembly tables (used-subgraph adjacency, DFS state,
+    /// children lists).
+    assemble: AssembleScratch,
+    /// Scratch for the arrival check of the expansion hot loop.
     scratch_slots: Vec<TerminalId>,
+    /// Scratch for neighbor enumeration (filled by the graph backend).
+    nbrs: Vec<(VertexId, EdgeId)>,
+    /// Scratch for search seeds, committed paths, and candidate rescans.
+    seed_scratch: Vec<(VertexId, f64)>,
+    path_scratch: Vec<EdgeId>,
+    pathv_scratch: Vec<VertexId>,
+    cum_scratch: Vec<f64>,
+    sid_scratch: Vec<u32>,
+    hit_scratch: Vec<(VertexId, f64)>,
     /// Solves served by this workspace (diagnostics).
     solves: u64,
 }
@@ -311,8 +376,9 @@ impl SolverWorkspace {
     }
 
     /// Clears all per-solve state while keeping every allocation:
-    /// collection capacities survive, and searches / components /
-    /// sub-heaps move to pools for the next solve.
+    /// collection capacities survive, epoch-stamped tables clear in
+    /// `O(1)`, and searches / components / sub-heaps move to pools for
+    /// the next solve.
     pub fn reset(&mut self) {
         for mut t in self.terminals.drain(..) {
             if let Some(mut comp) = t.comp.take() {
@@ -329,10 +395,31 @@ impl SolverWorkspace {
         self.searches.clear();
         self.dsu.clear();
         self.heap.clear();
-        self.vertex_slots.clear();
+        self.slot_head.clear();
+        self.slot_links.clear();
         self.candidates.clear();
         self.cand_store.clear();
         self.root_downstream.clear();
+    }
+
+    /// Appends `slot` to the list of terminal slots whose components
+    /// contain `v`.
+    fn push_slot(&mut self, v: VertexId, slot: TerminalId) {
+        let next = self.slot_head.get_or(v, NO_LINK);
+        self.slot_links.push((next, slot));
+        self.slot_head.insert(v, self.slot_links.len() as u32 - 1);
+    }
+
+    /// Appends the slots registered at `v` to `out`, in insertion order.
+    fn slots_at(&self, v: VertexId, out: &mut Vec<TerminalId>) {
+        let base = out.len();
+        let mut link = self.slot_head.get_or(v, NO_LINK);
+        while link != NO_LINK {
+            let (next, slot) = self.slot_links[link as usize];
+            out.push(slot);
+            link = next;
+        }
+        out[base..].reverse();
     }
 
     /// A cleared component from the pool (or a fresh one), initialized
@@ -364,7 +451,7 @@ impl SolverWorkspace {
         }
     }
 
-    /// Retires a search, returning its label tables to the pool.
+    /// Retires a search, returning its label slabs to the pool.
     fn free_search(&mut self, sid: u32) {
         if let Some(mut s) = self.searches[sid as usize].take() {
             s.reset(0, 0.0, 0);
@@ -373,8 +460,8 @@ impl SolverWorkspace {
     }
 }
 
-struct State<'w, 'a, 'b> {
-    inst: &'a Instance<'a>,
+struct State<'w, 'a, 'b, G: ?Sized> {
+    inst: &'a Instance<'a, G>,
     opts: &'a SolverOptions<'b>,
     ws: &'w mut SolverWorkspace,
     root_slot: TerminalId,
@@ -386,9 +473,9 @@ struct State<'w, 'a, 'b> {
     no_future: NoFutureCost,
 }
 
-impl<'w, 'a, 'b> State<'w, 'a, 'b> {
+impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
     fn new(
-        inst: &'a Instance<'a>,
+        inst: &'a Instance<'a, G>,
         opts: &'a SolverOptions<'b>,
         ws: &'w mut SolverWorkspace,
     ) -> Self {
@@ -416,7 +503,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
                 comp: Some(comp),
                 sid: None,
             });
-            state.ws.vertex_slots.entry(v).or_default().push(slot);
+            state.ws.push_slot(v, slot);
             state.active_count += 1;
             state.total_active_weight += w;
         }
@@ -431,7 +518,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
             comp: Some(root_comp),
             sid: None,
         });
-        state.ws.vertex_slots.entry(inst.root).or_default().push(root_slot);
+        state.ws.push_slot(inst.root, root_slot);
         // start one search per sink
         for i in 0..inst.sink_vertices.len() {
             state.start_search(i);
@@ -454,7 +541,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
         let w_u = self.ws.terminals[u].weight;
         if target_rep == self.ws.dsu.find(self.root_slot) {
             let rest = (self.total_active_weight - w_u).max(0.0);
-            let down = self.ws.root_downstream.get(&via).copied().unwrap_or(0.0);
+            let down = self.ws.root_downstream.get_or(via, 0.0);
             let mut b = beta(w_u, rest, &self.inst.bif).max(beta(w_u, down, &self.inst.bif));
             if self.opts.encourage_root {
                 // §III-E: connecting now saves at least η·d_bif·w(u) later
@@ -467,7 +554,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
     }
 
     /// Starts (or restarts) the Dijkstra of terminal `slot`, drawing the
-    /// search's label tables from the workspace pool.
+    /// search's label slabs from the workspace pool.
     fn start_search(&mut self, slot: TerminalId) {
         let (t_weight, t_vertex) = {
             let t = &self.ws.terminals[slot];
@@ -484,22 +571,32 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
         // Without discounting, just the terminal position (§II).
         let w = search.weight;
         let rep = self.ws.dsu.find(slot);
-        let comp = self.ws.terminals[rep].comp.as_ref().expect("live component");
-        let mut seeds: Vec<(VertexId, f64)> =
+        let mut seeds = std::mem::take(&mut self.ws.seed_scratch);
+        seeds.clear();
+        {
+            let mut cs = std::mem::take(&mut self.ws.comp_scratch);
+            let comp = self.ws.terminals[rep].comp.as_ref().expect("live component");
             if self.opts.discount_components && !comp.edges.is_empty() {
                 // raw tree delays from the terminal position, for §III-D
-                for (v, raw) in comp.tree_delays(self.inst.graph, self.inst.delay, t_vertex) {
-                    search.seed_raw_delay.insert(v, raw);
+                comp.tree_delays_into(self.inst.graph, self.inst.delay, t_vertex, &mut cs);
+                for &v in comp.vertices() {
+                    if let Some(raw) = cs.delay.get(v) {
+                        search.seed_raw_delay.insert(v, raw);
+                    }
                 }
-                comp.weighted_exit_delay(self.inst.graph, self.inst.delay).into_iter().collect()
+                // the adjacency built by tree_delays_into is still valid
+                comp.weighted_exit_delay_prebuilt(self.inst.delay, &mut cs);
+                seeds.extend(comp.vertices().iter().map(|&v| (v, cs.exit.get_or(v, 0.0))));
             } else {
                 // a single-vertex component seeds only its own position
                 // at zero offset — same result as the general path,
                 // without building the tree-delay tables (the t initial
                 // searches of every solve take this branch)
                 search.seed_raw_delay.insert(t_vertex, 0.0);
-                vec![(t_vertex, 0.0)]
-            };
+                seeds.push((t_vertex, 0.0));
+            }
+            self.ws.comp_scratch = cs;
+        }
         seeds.sort_unstable_by_key(|&(v, _)| v); // determinism
         for &(v, offset) in &seeds {
             search.dist.insert(v, offset);
@@ -507,6 +604,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
             self.ws.heap.push(sid, v, offset + h);
             self.stats.pushed += 1;
         }
+        self.ws.seed_scratch = seeds;
         self.ws.terminals[slot].sid = Some(sid);
         if self.ws.searches.len() <= sid as usize {
             self.ws.searches.resize_with(sid as usize + 1, || None);
@@ -587,11 +685,10 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
     fn expand_once(&mut self) {
         let Some((sid, x, _key)) = self.ws.heap.pop() else { return };
         let search = self.ws.searches[sid as usize].as_mut().expect("live search");
-        if search.settled.contains(&x) {
+        if !search.settled.insert(x) {
             return;
         }
-        search.settled.insert(x);
-        let g = search.dist[&x];
+        let g = search.dist.get(x).expect("settled vertices are labelled");
         let u = search.terminal;
         let w = search.weight;
         self.stats.settled += 1;
@@ -601,9 +698,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
         let mut arrived_foreign = false;
         let mut scratch = std::mem::take(&mut self.ws.scratch_slots);
         scratch.clear();
-        if let Some(slots) = self.ws.vertex_slots.get(&x) {
-            scratch.extend_from_slice(slots);
-        }
+        self.ws.slots_at(x, &mut scratch);
         if !scratch.is_empty() {
             let u_rep = self.ws.dsu.find(u);
             for &slot in &scratch {
@@ -624,15 +719,16 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
 
         // relax neighbours with l_u = c + w·d
         let graph = self.inst.graph;
-        let neighbors: &[(VertexId, EdgeId)] = graph.neighbors(x);
-        for &(y, e) in neighbors {
+        let mut nbrs = std::mem::take(&mut self.ws.nbrs);
+        graph.neighbors_into(x, &mut nbrs);
+        for &(y, e) in &nbrs {
             let search = self.ws.searches[sid as usize].as_ref().expect("live search");
-            if search.settled.contains(&y) {
+            if search.settled.contains(y) {
                 continue;
             }
             let len = self.inst.cost[e as usize] + w * self.inst.delay[e as usize];
             let cand_g = g + len;
-            let cur = search.dist.get(&y).copied().unwrap_or(f64::INFINITY);
+            let cur = search.dist.get_or(y, f64::INFINITY);
             if cand_g < cur {
                 let h = self.future().bound_nearest(y, w);
                 let sm = self.ws.searches[sid as usize].as_mut().expect("live search");
@@ -642,6 +738,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
                 self.stats.pushed += 1;
             }
         }
+        self.ws.nbrs = nbrs;
     }
 
     /// Commits a merge: joins components, places the Steiner terminal,
@@ -650,17 +747,19 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
         let u = cand.u;
         let sid = self.ws.terminals[u].sid.expect("searching terminal");
         let search = self.ws.searches[sid as usize].as_ref().expect("live search");
-        let (path, seed) = search.extract_path(cand.via);
-        let path_vertices = search.path_vertices(self.inst.graph, &path, seed);
+        let mut path = std::mem::take(&mut self.ws.path_scratch);
+        let mut path_vertices = std::mem::take(&mut self.ws.pathv_scratch);
+        let seed = search.extract_path_into(cand.via, &mut path);
+        search.path_vertices_into(self.inst.graph, &path, seed, &mut path_vertices);
         // raw (unweighted) tree delay from π(u) to the path's seed — the
         // §III-D re-embedding needs it after the search is retired
-        let seed_raw_u = search.seed_raw_delay.get(&seed).copied().unwrap_or(0.0);
+        let seed_raw_u = search.seed_raw_delay.get_or(seed, 0.0);
         let target_rep = self.ws.dsu.find(cand.target);
         let l_value = cand.g + self.b_value(u, target_rep, cand.via);
         let iteration = self.stats.merges;
         self.stats.merges += 1;
 
-        // retire u's search (its label tables go back to the pool)
+        // retire u's search (its label slabs go back to the pool)
         self.ws.heap.remove_search(sid);
         self.ws.free_search(sid);
         self.ws.terminals[u].sid = None;
@@ -679,11 +778,13 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
             self.total_active_weight -= self.ws.terminals[u].weight;
             // union keeps the root slot as representative
             self.ws.dsu.union_into(u_rep, target_rep, self.root_slot);
-            comp.downstream_weights_into(
-                self.inst.graph,
-                self.inst.root,
-                &mut self.ws.root_downstream,
-            );
+            {
+                let mut cs = std::mem::take(&mut self.ws.comp_scratch);
+                let mut down = std::mem::take(&mut self.ws.root_downstream);
+                comp.downstream_weights_into(self.inst.graph, self.inst.root, &mut down, &mut cs);
+                self.ws.root_downstream = down;
+                self.ws.comp_scratch = cs;
+            }
             self.ws.terminals[self.root_slot].comp = Some(comp);
             if self.opts.record_trace {
                 self.trace.push(MergeEvent::RootConnect {
@@ -721,7 +822,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
             debug_assert_eq!(s, self.ws.terminals.len() - 1);
             self.ws.dsu.union_into(u_rep, v_slot, s);
             self.active_count -= 1; // two die, one is born
-            self.ws.vertex_slots.entry(pos).or_default().push(s);
+            self.ws.push_slot(pos, s);
             if self.opts.record_trace {
                 self.trace.push(MergeEvent::SinkSink {
                     iteration,
@@ -735,6 +836,8 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
             self.register_new_vertices(&path_vertices, s);
             self.start_search(s);
         }
+        self.ws.path_scratch = path;
+        self.ws.pathv_scratch = path_vertices;
     }
 
     /// Chooses the new Steiner terminal's position: §III-D re-embedding
@@ -766,13 +869,17 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
         let usearch_raw = seed_raw_u;
         // raw delay from π(v) to the join vertex inside v's component
         let join = *path_vertices.last().expect("path has vertices");
-        let v_raw = comp_v
-            .tree_delays(self.inst.graph, self.inst.delay, self.ws.terminals[v].vertex)
-            .get(&join)
-            .copied()
-            .unwrap_or(0.0);
+        let v_raw = {
+            let mut cs = std::mem::take(&mut self.ws.comp_scratch);
+            let v_vertex = self.ws.terminals[v].vertex;
+            comp_v.tree_delays_into(self.inst.graph, self.inst.delay, v_vertex, &mut cs);
+            let raw = cs.delay.get_or(join, 0.0);
+            self.ws.comp_scratch = cs;
+            raw
+        };
         // cumulative raw d along the path from the seed side
-        let mut cum = Vec::with_capacity(path_vertices.len());
+        let mut cum = std::mem::take(&mut self.ws.cum_scratch);
+        cum.clear();
         let mut acc = 0.0;
         cum.push(0.0);
         for &e in path {
@@ -793,6 +900,7 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
                 best = (score, p);
             }
         }
+        self.ws.cum_scratch = cum;
         best.1
     }
 
@@ -812,27 +920,34 @@ impl<'w, 'a, 'b> State<'w, 'a, 'b> {
             fc.note_new_targets(path_vertices);
         }
         for &v in path_vertices {
-            self.ws.vertex_slots.entry(v).or_default().push(owner);
+            self.ws.push_slot(v, owner);
         }
         // also the owner's terminal position (new Steiner terminals)
-        let sids: Vec<u32> = self.ws.terminals.iter().filter_map(|t| t.sid).collect();
-        for sid in sids {
+        let mut sids = std::mem::take(&mut self.ws.sid_scratch);
+        sids.clear();
+        sids.extend(self.ws.terminals.iter().filter_map(|t| t.sid));
+        for &sid in &sids {
             let Some(u) = self.ws.searches[sid as usize].as_ref().map(|s| s.terminal) else {
                 continue;
             };
             if self.ws.dsu.find(u) == self.ws.dsu.find(owner) {
                 continue;
             }
-            let search = self.ws.searches[sid as usize].as_ref().expect("checked above");
-            let mut hits: Vec<(VertexId, f64)> = Vec::new();
-            for &v in path_vertices {
-                if search.settled.contains(&v) {
-                    hits.push((v, search.dist[&v]));
+            let mut hits = std::mem::take(&mut self.ws.hit_scratch);
+            hits.clear();
+            {
+                let search = self.ws.searches[sid as usize].as_ref().expect("checked above");
+                for &v in path_vertices {
+                    if search.settled.contains(v) {
+                        hits.push((v, search.dist.get(v).expect("settled vertices are labelled")));
+                    }
                 }
             }
-            for (v, g) in hits {
+            for &(v, g) in &hits {
                 self.push_candidate(u, owner, v, g);
             }
+            self.ws.hit_scratch = hits;
         }
+        self.ws.sid_scratch = sids;
     }
 }

@@ -59,21 +59,38 @@
 //! ```
 
 use cds_graph::dijkstra::{shortest_paths, Parent, SpTree};
-use cds_graph::{Graph, VertexId};
+use cds_graph::{Graph, SteinerGraph, VertexId};
 use cds_topo::penalty::beta;
 use cds_topo::{BifurcationConfig, EmbeddedTree, NodeId, NodeKind, Topology};
 
 /// Everything the embedding needs to know about the routing graph state.
-#[derive(Debug, Clone, Copy)]
-pub struct EmbedEnv<'a> {
-    /// The routing graph.
-    pub graph: &'a Graph,
+///
+/// Generic over the [`SteinerGraph`] backend (default: a materialized
+/// [`Graph`]); the router embeds directly over its zero-copy window
+/// views.
+pub struct EmbedEnv<'a, G: ?Sized = Graph> {
+    /// The routing graph backend.
+    pub graph: &'a G,
     /// Current congestion cost per edge (`c`).
     pub cost: &'a [f64],
     /// Delay per edge (`d`).
     pub delay: &'a [f64],
     /// Bifurcation penalty configuration.
     pub bif: BifurcationConfig,
+}
+
+impl<G: ?Sized> Clone for EmbedEnv<'_, G> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<G: ?Sized> Copy for EmbedEnv<'_, G> {}
+
+impl<G: ?Sized> std::fmt::Debug for EmbedEnv<'_, G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbedEnv").field("bif", &self.bif).finish_non_exhaustive()
+    }
 }
 
 /// Optimally embeds `topo` into the graph, returning the embedded tree.
@@ -90,8 +107,8 @@ pub struct EmbedEnv<'a> {
 ///
 /// Panics if the topology is not bifurcation compatible, if a sink index
 /// exceeds `weights`/`sink_vertices`, or if some terminal is unreachable.
-pub fn embed_topology(
-    env: &EmbedEnv<'_>,
+pub fn embed_topology<G: SteinerGraph + ?Sized>(
+    env: &EmbedEnv<'_, G>,
     topo: &Topology,
     root_vertex: VertexId,
     sink_vertices: &[VertexId],
@@ -186,8 +203,8 @@ pub fn embed_topology(
 
 /// The optimal objective value of embedding `topo` — identical to
 /// evaluating the tree returned by [`embed_topology`].
-pub fn embed_value(
-    env: &EmbedEnv<'_>,
+pub fn embed_value<G: SteinerGraph + ?Sized>(
+    env: &EmbedEnv<'_, G>,
     topo: &Topology,
     root_vertex: VertexId,
     sink_vertices: &[VertexId],

@@ -5,7 +5,8 @@
 //! of tests. The core algorithm of the paper (`cds-core`) has its own
 //! specialised simultaneous search and does not use this module.
 
-use crate::graph::{EdgeId, Graph, VertexId};
+use crate::graph::{EdgeId, VertexId};
+use crate::steiner::SteinerGraph;
 use cds_heap::IndexedBinaryHeap;
 
 /// Predecessor record: how a vertex was first permanently labelled.
@@ -51,7 +52,8 @@ impl SpTree {
     }
 }
 
-/// Multi-source Dijkstra over non-negative edge lengths given by `len`.
+/// Multi-source Dijkstra over non-negative edge lengths given by `len`,
+/// over any [`SteinerGraph`] backend.
 ///
 /// `sources` are (vertex, initial distance) pairs — seeding with nonzero
 /// offsets is what the embedding DP needs. Runs to exhaustion.
@@ -59,8 +61,9 @@ impl SpTree {
 /// # Panics
 ///
 /// Panics if `len` returns a negative or NaN value.
-pub fn shortest_paths<F>(g: &Graph, sources: &[(VertexId, f64)], len: F) -> SpTree
+pub fn shortest_paths<G, F>(g: &G, sources: &[(VertexId, f64)], len: F) -> SpTree
 where
+    G: SteinerGraph + ?Sized,
     F: Fn(EdgeId) -> f64,
 {
     shortest_paths_until(g, sources, len, |_, _| false)
@@ -69,13 +72,14 @@ where
 /// Like [`shortest_paths`] but stops as soon as `stop(vertex, dist)`
 /// returns `true` for a permanently labelled vertex (that vertex *is*
 /// labelled). Distances of unsettled vertices are tentative.
-pub fn shortest_paths_until<F, S>(
-    g: &Graph,
+pub fn shortest_paths_until<G, F, S>(
+    g: &G,
     sources: &[(VertexId, f64)],
     len: F,
     mut stop: S,
 ) -> SpTree
 where
+    G: SteinerGraph + ?Sized,
     F: Fn(EdgeId) -> f64,
     S: FnMut(VertexId, f64) -> bool,
 {
@@ -92,6 +96,7 @@ where
         }
     }
     let mut settled = vec![false; n];
+    let mut nbrs = Vec::new();
     while let Some((v, dv)) = heap.pop() {
         if settled[v as usize] {
             continue;
@@ -100,7 +105,8 @@ where
         if stop(v, dv) {
             break;
         }
-        for &(w, e) in g.neighbors(v) {
+        g.neighbors_into(v, &mut nbrs);
+        for &(w, e) in &nbrs {
             if settled[w as usize] {
                 continue;
             }
@@ -118,8 +124,9 @@ where
 }
 
 /// Convenience wrapper returning only distances.
-pub fn shortest_distances<F>(g: &Graph, sources: &[(VertexId, f64)], len: F) -> Vec<f64>
+pub fn shortest_distances<G, F>(g: &G, sources: &[(VertexId, f64)], len: F) -> Vec<f64>
 where
+    G: SteinerGraph + ?Sized,
     F: Fn(EdgeId) -> f64,
 {
     shortest_paths(g, sources, len).dist
@@ -128,7 +135,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{EdgeAttrs, GraphBuilder};
+    use crate::graph::{EdgeAttrs, Graph, GraphBuilder};
     use proptest::prelude::*;
 
     fn line(n: usize, costs: &[f64]) -> Graph {

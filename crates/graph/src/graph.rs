@@ -147,6 +147,13 @@ impl Graph {
     pub fn delays(&self) -> Vec<f64> {
         self.attrs.iter().map(|a| a.delay).collect()
     }
+
+    /// [`delays`](Self::delays) into a caller-owned buffer (cleared
+    /// first), for per-net loops that keep one warm buffer per worker.
+    pub fn delays_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.attrs.iter().map(|a| a.delay));
+    }
 }
 
 /// Incremental [`Graph`] construction.

@@ -14,6 +14,11 @@
 //!   form, used directly by tests and by the exact reference algorithms;
 //! * [`GridGraph`] / [`GridSpec`] — the 3D grid construction with layers,
 //!   preferred directions, wire types and vias;
+//! * [`SteinerGraph`] / [`RoutingSurface`] — the graph abstraction the
+//!   solvers and oracles route over, with two backends: the
+//!   materialized graphs above and the zero-copy [`WindowView`]
+//!   (window-local dense vertex ids, global edge ids — route a window
+//!   of the grid without building a per-net graph or slicing costs);
 //! * [`dijkstra`] — single/multi-source shortest path labelling shared by
 //!   the embedding DP, landmark future costs, and the exact algorithms.
 //!
@@ -33,8 +38,10 @@
 pub mod dijkstra;
 pub mod graph;
 pub mod grid;
+pub mod steiner;
 pub mod window;
 
-pub use graph::{EdgeAttrs, EdgeId, EdgeKind, Graph, GraphBuilder, VertexId};
+pub use graph::{EdgeAttrs, EdgeId, EdgeKind, Endpoints, Graph, GraphBuilder, VertexId};
 pub use grid::{Direction, GridGraph, GridSpec, LayerSpec, VertexCoord, WireTypeSpec};
-pub use window::{EdgeIndex, GridWindow};
+pub use steiner::{RoutingSurface, SteinerGraph};
+pub use window::{EdgeIndex, GridWindow, WindowView};

@@ -2,12 +2,26 @@
 //!
 //! Routers do not run net-level Steiner searches over the whole chip:
 //! each net is routed inside a bounding-box window (plus margin) of the
-//! global grid. [`GridWindow`] builds the sub-[`GridGraph`] for a window
-//! and maps its edge ids back to the global graph so that prices can be
-//! sliced in and usage accumulated out.
+//! global grid. Two window backends exist:
+//!
+//! * [`WindowView`] — the zero-copy backend: a
+//!   [`SteinerGraph`]/[`RoutingSurface`] that routes directly over the
+//!   global grid, restricted to the window. Vertex ids are window-local
+//!   and dense; edge ids are *global*, so the global price and delay
+//!   arrays index directly and nothing is materialized or sliced per
+//!   net. This is what [`Router::run`](../cds_router/struct.Router.html)
+//!   uses.
+//! * [`GridWindow`] — the materialized backend: builds the
+//!   sub-[`GridGraph`] for a window and maps its edge ids back to the
+//!   global graph so that prices can be sliced in and usage accumulated
+//!   out. Kept for harnesses that want a self-contained instance, and as
+//!   the reference the view backend is checked against (routing over a
+//!   `WindowView` is bit-identical to routing over the corresponding
+//!   `GridWindow`).
 
-use crate::graph::{EdgeId, EdgeKind, VertexId};
-use crate::grid::{GridGraph, GridSpec};
+use crate::graph::{EdgeAttrs, EdgeId, EdgeKind, Endpoints, VertexId};
+use crate::grid::{GridGraph, GridSpec, VertexCoord};
+use crate::steiner::{RoutingSurface, SteinerGraph};
 use cds_geom::Point;
 use std::collections::HashMap;
 
@@ -117,7 +131,190 @@ impl GridWindow {
 
     /// Slices a global per-edge array into window edge order.
     pub fn slice<T: Copy>(&self, global: &[T]) -> Vec<T> {
-        self.to_global_edge.iter().map(|&e| global[e as usize]).collect()
+        let mut out = Vec::new();
+        self.slice_into(global, &mut out);
+        out
+    }
+
+    /// [`slice`](Self::slice) into a caller-owned buffer (cleared
+    /// first), so per-net slicing in a routing loop reuses one warm
+    /// allocation per worker instead of building a fresh `Vec` per net.
+    pub fn slice_into<T: Copy>(&self, global: &[T], out: &mut Vec<T>) {
+        out.clear();
+        out.extend(self.to_global_edge.iter().map(|&e| global[e as usize]));
+    }
+}
+
+/// A zero-copy rectangular window of a [`GridGraph`]: routes over the
+/// global grid without materializing a sub-graph.
+///
+/// Local vertex ids are dense, laid out exactly like the vertex ids of
+/// the [`GridGraph`] a [`GridWindow`] of the same bounds would build
+/// (`(layer · ny + y) · nx + x` in window coordinates), so per-solve
+/// label slabs stay window-sized. Edge ids are the *global* edge ids,
+/// so the chip-wide price/delay arrays index directly — no per-net
+/// slicing — and routed edges come out in global ids with no
+/// translation step.
+///
+/// ```
+/// use cds_graph::{GridSpec, SteinerGraph, WindowView};
+/// let grid = GridSpec::uniform(8, 6, 2).build();
+/// let view = WindowView::new(&grid, 2, 1, 5, 4);
+/// assert_eq!(view.num_vertices(), 4 * 4 * 2);
+/// assert_eq!(view.edge_bound(), grid.graph().num_edges());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WindowView<'a> {
+    grid: &'a GridGraph,
+    x0: u32,
+    y0: u32,
+    nx: u32,
+    ny: u32,
+}
+
+impl<'a> WindowView<'a> {
+    /// The view of `[x0..=x1] × [y0..=y1]` (inclusive, clamped to the
+    /// grid), all layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty after clamping.
+    pub fn new(grid: &'a GridGraph, x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        let spec = grid.spec();
+        let x1 = x1.min(spec.nx - 1);
+        let y1 = y1.min(spec.ny - 1);
+        assert!(x0 <= x1 && y0 <= y1, "empty window");
+        WindowView { grid, x0, y0, nx: x1 - x0 + 1, ny: y1 - y0 + 1 }
+    }
+
+    /// View around a set of planar points (global coordinates) with the
+    /// given margin — the same bounds [`GridWindow::around`] would use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or has out-of-grid coordinates.
+    pub fn around(grid: &'a GridGraph, points: &[Point], margin: u32) -> Self {
+        assert!(!points.is_empty(), "window of no points");
+        let (mut x0, mut y0, mut x1, mut y1) = (u32::MAX, u32::MAX, 0u32, 0u32);
+        for p in points {
+            assert!(p.x >= 0 && p.y >= 0, "negative gcell coordinate");
+            x0 = x0.min(p.x as u32);
+            y0 = y0.min(p.y as u32);
+            x1 = x1.max(p.x as u32);
+            y1 = y1.max(p.y as u32);
+        }
+        WindowView::new(
+            grid,
+            x0.saturating_sub(margin),
+            y0.saturating_sub(margin),
+            x1 + margin,
+            y1 + margin,
+        )
+    }
+
+    /// The global grid this view windows.
+    pub fn grid(&self) -> &'a GridGraph {
+        self.grid
+    }
+
+    /// Window origin in global gcell coordinates.
+    pub fn origin(&self) -> (u32, u32) {
+        (self.x0, self.y0)
+    }
+
+    /// Window extent `(nx, ny)` in gcells.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.nx, self.ny)
+    }
+
+    /// Window coordinates of a local vertex id.
+    pub fn coord(&self, v: VertexId) -> VertexCoord {
+        let per_layer = self.nx * self.ny;
+        VertexCoord { x: v % self.nx, y: (v / self.nx) % self.ny, layer: (v / per_layer) as u8 }
+    }
+
+    /// The global vertex id of local vertex `v`.
+    pub fn to_global_vertex(&self, v: VertexId) -> VertexId {
+        let c = self.coord(v);
+        self.grid.vertex(c.x + self.x0, c.y + self.y0, c.layer)
+    }
+
+    /// The local vertex id of global vertex `g`, if it lies inside the
+    /// window.
+    pub fn to_local_vertex(&self, g: VertexId) -> Option<VertexId> {
+        let c = self.grid.coord(g);
+        let (x, y) = (c.x.wrapping_sub(self.x0), c.y.wrapping_sub(self.y0));
+        if x < self.nx && y < self.ny {
+            Some((c.layer as u32 * self.ny + y) * self.nx + x)
+        } else {
+            None
+        }
+    }
+}
+
+impl SteinerGraph for WindowView<'_> {
+    fn num_vertices(&self) -> usize {
+        self.nx as usize * self.ny as usize * self.grid.spec().layers.len()
+    }
+
+    fn edge_bound(&self) -> usize {
+        self.grid.graph().num_edges()
+    }
+
+    /// Endpoints as *local* vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` does not lie inside the window — views only ever
+    /// see edges discovered through their own neighbor enumeration.
+    fn endpoints(&self, e: EdgeId) -> Endpoints {
+        let ep = self.grid.graph().endpoints(e);
+        Endpoints {
+            u: self.to_local_vertex(ep.u).expect("edge endpoint inside the window"),
+            v: self.to_local_vertex(ep.v).expect("edge endpoint inside the window"),
+        }
+    }
+
+    fn edge_attrs(&self, e: EdgeId) -> EdgeAttrs {
+        *self.grid.graph().edge(e)
+    }
+
+    /// Window-restricted neighbors, in ascending global edge id order —
+    /// order-isomorphic to the CSR adjacency of the materialized window
+    /// grid, which keeps the two backends bit-identical.
+    fn neighbors_into(&self, v: VertexId, out: &mut Vec<(VertexId, EdgeId)>) {
+        out.clear();
+        let g = self.to_global_vertex(v);
+        for &(w, e) in self.grid.graph().neighbors(g) {
+            if let Some(lw) = self.to_local_vertex(w) {
+                out.push((lw, e));
+            }
+        }
+    }
+}
+
+impl RoutingSurface for WindowView<'_> {
+    fn plane_dims(&self) -> (u32, u32) {
+        (self.nx, self.ny)
+    }
+
+    fn vertex_at(&self, p: Point) -> VertexId {
+        assert!(p.x >= 0 && p.y >= 0, "negative window coordinate");
+        let (x, y) = (p.x as u32, p.y as u32);
+        assert!(x < self.nx && y < self.ny, "point outside the window");
+        y * self.nx + x
+    }
+
+    fn localize(&self, p: Point) -> Point {
+        Point::new(p.x - self.x0 as i32, p.y - self.y0 as i32)
+    }
+
+    fn min_cost_per_gcell(&self) -> f64 {
+        self.grid.min_cost_per_gcell()
+    }
+
+    fn min_delay_per_gcell(&self) -> f64 {
+        self.grid.min_delay_per_gcell()
     }
 }
 
@@ -162,6 +359,80 @@ mod tests {
         assert_eq!(w.grid.spec().nx, 5);
         assert_eq!(w.grid.spec().ny, 5);
         assert_eq!(w.x0, 0);
+    }
+
+    #[test]
+    fn view_matches_materialized_window_structure() {
+        // The zero-copy view and the materialized window must agree:
+        // same vertex id layout, and for every vertex the same neighbor
+        // sequence under the local→global edge translation.
+        let grid = GridSpec::uniform(9, 7, 3).build();
+        let index = EdgeIndex::new(&grid);
+        for (x0, y0, x1, y1) in [(2, 1, 6, 5), (0, 0, 8, 6), (3, 3, 3, 3), (7, 0, 20, 2)] {
+            let w = GridWindow::build(&grid, &index, x0, y0, x1, y1);
+            let v = WindowView::new(&grid, x0, y0, x1, y1);
+            let sg = w.grid.graph();
+            assert_eq!(v.num_vertices(), sg.num_vertices());
+            assert_eq!(v.dims(), (w.grid.spec().nx, w.grid.spec().ny));
+            let mut nbrs = Vec::new();
+            for lv in 0..sg.num_vertices() as VertexId {
+                v.neighbors_into(lv, &mut nbrs);
+                let want: Vec<(VertexId, EdgeId)> = sg
+                    .neighbors(lv)
+                    .iter()
+                    .map(|&(wv, we)| (wv, w.to_global_edge[we as usize]))
+                    .collect();
+                assert_eq!(nbrs, want, "window ({x0},{y0})-({x1},{y1}) vertex {lv}");
+                for &(_, e) in &nbrs {
+                    let ep = v.endpoints(e);
+                    assert!(ep.u == lv || ep.v == lv, "endpoints map back into the window");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_around_matches_window_around() {
+        let grid = GridSpec::uniform(10, 10, 2).build();
+        let index = EdgeIndex::new(&grid);
+        let pts = [Point::new(2, 3), Point::new(7, 5)];
+        let w = GridWindow::around(&grid, &index, &pts, 2);
+        let v = WindowView::around(&grid, &pts, 2);
+        assert_eq!(v.origin(), (w.x0, w.y0));
+        assert_eq!(v.dims(), (w.grid.spec().nx, w.grid.spec().ny));
+        assert_eq!(v.localize(Point::new(4, 4)), w.localize(Point::new(4, 4)));
+        let p = v.localize(pts[0]);
+        assert_eq!(v.vertex_at(p), w.grid.vertex_at(p));
+    }
+
+    #[test]
+    fn view_vertex_roundtrip_and_attrs() {
+        let grid = GridSpec::uniform(6, 6, 2).build();
+        let v = WindowView::new(&grid, 1, 2, 4, 5);
+        for lv in 0..v.num_vertices() as VertexId {
+            let g = v.to_global_vertex(lv);
+            assert_eq!(v.to_local_vertex(g), Some(lv));
+        }
+        // vertices outside the window do not map
+        assert_eq!(v.to_local_vertex(grid.vertex(0, 0, 0)), None);
+        assert_eq!(v.to_local_vertex(grid.vertex(5, 5, 1)), None);
+        // edge attrs come straight from the global graph
+        let mut nbrs = Vec::new();
+        v.neighbors_into(0, &mut nbrs);
+        for &(_, e) in &nbrs {
+            assert_eq!(v.edge_attrs(e), *grid.graph().edge(e));
+        }
+    }
+
+    #[test]
+    fn slice_into_reuses_buffer() {
+        let grid = GridSpec::uniform(6, 6, 2).build();
+        let index = EdgeIndex::new(&grid);
+        let w = GridWindow::build(&grid, &index, 1, 1, 4, 4);
+        let global: Vec<f64> = (0..grid.graph().num_edges()).map(|i| i as f64).collect();
+        let mut buf = vec![0.0; 3];
+        w.slice_into(&global, &mut buf);
+        assert_eq!(buf, w.slice(&global));
     }
 
     #[test]

@@ -5,10 +5,13 @@
 //!
 //! * [`IndexedBinaryHeap`] uses a dense `Vec` — right for single-source
 //!   Dijkstra over dense vertex ids (embedding, landmarks, baselines);
-//! * [`SparseIndexedHeap`] uses a `HashMap` — right for the many
-//!   simultaneous per-sink searches of Algorithm 1, where each search only
-//!   ever touches a small, A*-pruned region of the graph and a dense
-//!   per-search array would cost `O(t · n)` memory up front.
+//! * [`StampedIndexedHeap`] uses a dense `Vec` with epoch stamps — the
+//!   per-sink sub-heaps of [`TwoLevelHeap`](crate::TwoLevelHeap): ids are
+//!   the solver's compact window-local vertex ids, slabs grow on demand
+//!   and stay warm across pooled reuse, and `clear` is one epoch bump
+//!   instead of an `O(n)` wipe;
+//! * [`SparseIndexedHeap`] uses a `HashMap` — for callers whose id space
+//!   is genuinely unbounded.
 
 use std::collections::HashMap;
 
@@ -57,6 +60,57 @@ impl PositionMap for DensePos {
     }
 }
 
+/// Dense position map with epoch stamps: membership is `stamp[id] ==
+/// epoch`, so [`clear`](PositionMap::clear) is an epoch bump — `O(1)` —
+/// and the slabs survive pooled reuse warm. Slabs grow on demand, so ids
+/// need no up-front capacity; sizing via `with_capacity` merely
+/// pre-grows them.
+#[derive(Debug, Clone)]
+pub struct StampedPos {
+    stamp: Vec<u32>,
+    pos: Vec<u32>,
+    epoch: u32,
+}
+
+impl Default for StampedPos {
+    fn default() -> Self {
+        StampedPos { stamp: Vec::new(), pos: Vec::new(), epoch: 1 }
+    }
+}
+
+impl PositionMap for StampedPos {
+    fn with_capacity(capacity: usize) -> Self {
+        StampedPos { stamp: vec![0; capacity], pos: vec![0; capacity], epoch: 1 }
+    }
+    fn get(&self, id: u32) -> Option<u32> {
+        match self.stamp.get(id as usize) {
+            Some(&s) if s == self.epoch => Some(self.pos[id as usize]),
+            _ => None,
+        }
+    }
+    fn set(&mut self, id: u32, p: u32) {
+        let i = id as usize;
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+            self.pos.resize(i + 1, 0);
+        }
+        self.stamp[i] = self.epoch;
+        self.pos[i] = p;
+    }
+    fn remove(&mut self, id: u32) {
+        // 0 is never a live epoch (epochs start at 1)
+        self.stamp[id as usize] = 0;
+    }
+    fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+}
+
 /// Sparse position map backed by a `HashMap`.
 #[derive(Debug, Clone, Default)]
 pub struct SparsePos(HashMap<u32, u32>);
@@ -101,8 +155,22 @@ pub struct RawIndexedHeap<M: PositionMap> {
 /// ```
 pub type IndexedBinaryHeap = RawIndexedHeap<DensePos>;
 
-/// Sparse-id binary min-heap with decrease-key; used for the per-sink
-/// sub-heaps of [`TwoLevelHeap`](crate::TwoLevelHeap).
+/// Epoch-stamped dense-id binary min-heap with decrease-key; the
+/// per-sink sub-heaps of [`TwoLevelHeap`](crate::TwoLevelHeap). Ids are
+/// the solver's compact vertex ids; slabs grow on demand and `clear` is
+/// `O(1)`.
+///
+/// ```
+/// use cds_heap::StampedIndexedHeap;
+/// let mut h = StampedIndexedHeap::new(0);
+/// h.push(7, 2.0); // slabs grow on demand
+/// h.clear(); // O(1): epoch bump
+/// h.push(7, 1.0);
+/// assert_eq!(h.pop(), Some((7, 1.0)));
+/// ```
+pub type StampedIndexedHeap = RawIndexedHeap<StampedPos>;
+
+/// Sparse-id binary min-heap with decrease-key, for unbounded id spaces.
 ///
 /// ```
 /// use cds_heap::SparseIndexedHeap;

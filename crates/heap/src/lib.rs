@@ -34,7 +34,7 @@ pub mod lazy;
 pub mod ordered;
 pub mod two_level;
 
-pub use indexed::{IndexedBinaryHeap, SparseIndexedHeap};
+pub use indexed::{IndexedBinaryHeap, SparseIndexedHeap, StampedIndexedHeap};
 pub use lazy::LazyHeap;
 pub use ordered::OrderedF64;
 pub use two_level::TwoLevelHeap;

@@ -7,7 +7,7 @@
 //! single sink heap for as long as its minimum does not exceed the best
 //! other sink, avoiding top-level traffic on every push/pop.
 
-use crate::indexed::SparseIndexedHeap;
+use crate::indexed::StampedIndexedHeap;
 use crate::ordered::OrderedF64;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -15,10 +15,11 @@ use std::collections::BinaryHeap;
 /// Two-level priority queue over (search, vertex, key) triples.
 ///
 /// Searches are identified by dense `u32` ids assigned by the caller;
-/// vertices are arbitrary `u32` ids (sparse per-search storage). The
-/// top-level heap is maintained lazily: entries may be stale and are
-/// validated against the actual sub-heap minimum on extraction, which is
-/// exactly what lets the structure stay within one sub-heap cheaply.
+/// vertices are dense `u32` ids keyed by epoch-stamped per-search slabs
+/// that grow on demand and stay warm across pooled reuse. The top-level
+/// heap is maintained lazily: entries may be stale and are validated
+/// against the actual sub-heap minimum on extraction, which is exactly
+/// what lets the structure stay within one sub-heap cheaply.
 ///
 /// ```
 /// use cds_heap::TwoLevelHeap;
@@ -35,7 +36,7 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Default)]
 pub struct TwoLevelHeap {
-    subs: Vec<Option<SparseIndexedHeap>>,
+    subs: Vec<Option<StampedIndexedHeap>>,
     /// Lazy top-level heap of (sub-min key, search id); may hold stale
     /// entries whose key is *lower* than the search's actual minimum
     /// (pops raise sub-minima) — never higher, because pushes that lower a
@@ -48,7 +49,7 @@ pub struct TwoLevelHeap {
     /// removes thousands of searches, and recycling the sub-heaps keeps
     /// their backing arrays (and hash tables) warm across searches *and*
     /// across [`clear`](Self::clear)ed runs.
-    pool: Vec<SparseIndexedHeap>,
+    pool: Vec<StampedIndexedHeap>,
 }
 
 impl TwoLevelHeap {
@@ -60,7 +61,7 @@ impl TwoLevelHeap {
     /// Registers a new search and returns its id.
     pub fn add_search(&mut self) -> u32 {
         let id = self.subs.len() as u32;
-        let sub = self.pool.pop().unwrap_or_else(|| SparseIndexedHeap::new(0));
+        let sub = self.pool.pop().unwrap_or_else(|| StampedIndexedHeap::new(0));
         debug_assert!(sub.is_empty(), "pooled sub-heaps are cleared on retire");
         self.subs.push(Some(sub));
         id

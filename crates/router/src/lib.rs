@@ -38,7 +38,7 @@ pub use oracle::{
 };
 
 use cds_geom::Point;
-use cds_graph::{EdgeId, EdgeIndex, GridWindow};
+use cds_graph::{EdgeAttrs, EdgeId, EdgeIndex, EdgeKind, GridWindow, RoutingSurface, WindowView};
 use cds_instgen::Chip;
 use cds_metrics::{ace4, wire_congestion, wirelength_meters, RunMetrics};
 use cds_sta::{TimingGraph, TimingReport};
@@ -69,6 +69,12 @@ pub struct RouterConfig {
     pub weight_tau_ps: f64,
     /// Collect final-iteration instances for the Table I/II comparisons.
     pub harvest: bool,
+    /// Route over materialized per-net window graphs instead of the
+    /// default zero-copy [`WindowView`]s. The two backends are
+    /// bit-identical (pinned by `tests/determinism.rs`); materializing
+    /// costs a graph build plus price/delay slices per net and exists as
+    /// the reference/validation backend.
+    pub materialize_windows: bool,
 }
 
 impl Default for RouterConfig {
@@ -84,6 +90,7 @@ impl Default for RouterConfig {
             price_alpha: 1.0,
             weight_tau_ps: 250.0,
             harvest: false,
+            materialize_windows: false,
         }
     }
 }
@@ -142,7 +149,13 @@ pub struct RoutingOutcome {
 pub struct Router<'a> {
     chip: &'a Chip,
     config: RouterConfig,
-    edge_index: EdgeIndex,
+    /// Global (endpoints, flavour) → edge id lookup; only the
+    /// materialized-window backend needs it.
+    edge_index: Option<EdgeIndex>,
+    /// Chip-wide per-edge delays, computed once — window views index
+    /// them directly with global edge ids, so no per-net delay vector
+    /// is ever built.
+    delays: Vec<f64>,
     oracle: Box<dyn SteinerOracle>,
 }
 
@@ -162,8 +175,9 @@ impl<'a> Router<'a> {
         config: RouterConfig,
         oracle: Box<dyn SteinerOracle>,
     ) -> Self {
-        let edge_index = EdgeIndex::new(&chip.grid);
-        Router { chip, config, edge_index, oracle }
+        let edge_index = config.materialize_windows.then(|| EdgeIndex::new(&chip.grid));
+        let delays = chip.grid.graph().delays();
+        Router { chip, config, edge_index, delays, oracle }
     }
 
     /// The oracle this router dispatches to.
@@ -322,6 +336,15 @@ impl<'a> Router<'a> {
 
     /// Routes one net through an explicit oracle and workspace; shared
     /// by the main loop's worker threads and every harness.
+    ///
+    /// The default backend routes over a zero-copy [`WindowView`] of the
+    /// global grid: no per-net graph is materialized, and `prices` plus
+    /// the router's precomputed global delays are passed to the oracle
+    /// unsliced (window edge ids *are* global edge ids). With
+    /// [`RouterConfig::materialize_windows`] the net is routed over a
+    /// materialized [`GridWindow`] instead, with prices/delays sliced
+    /// into per-worker buffers — bit-identical results, kept as the
+    /// reference backend.
     #[allow(clippy::too_many_arguments)]
     pub fn route_one_with(
         &self,
@@ -335,48 +358,93 @@ impl<'a> Router<'a> {
     ) -> (RoutedNet, f64) {
         let chip = self.chip;
         let net = &chip.nets[net_id];
-        let mut pins = vec![net.root];
+        let seed = self.config.seed ^ (net_id as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let mut pins = std::mem::take(&mut ws.pins);
+        pins.clear();
+        pins.push(net.root);
         pins.extend_from_slice(&net.sinks);
-        let window =
-            GridWindow::around(&chip.grid, &self.edge_index, &pins, self.config.window_margin);
-        let local_cost = window.slice(prices);
-        let local_delay = window.grid.graph().delays();
-        let local_sinks: Vec<Point> = net.sinks.iter().map(|&p| window.localize(p)).collect();
-        let req = OracleRequest {
-            grid: &window.grid,
-            cost: &local_cost,
-            delay: &local_delay,
-            root: window.localize(net.root),
-            sinks: &local_sinks,
-            weights,
-            budgets,
-            bif,
-            seed: self.config.seed ^ (net_id as u64).wrapping_mul(0x9E3779B97F4A7C15),
-        };
-        let tree = oracle.route(&req, ws);
-        let ev = tree.evaluate(&local_cost, &local_delay, weights, &bif);
-        let wg = window.grid.graph();
-        let used_edges: Vec<(EdgeId, f64)> = tree
-            .edges()
-            .map(|e| {
-                let attrs = wg.edge(e);
-                let tracks = if attrs.kind == cds_graph::EdgeKind::Wire && attrs.wire_type == 1 {
-                    2.0
-                } else {
-                    1.0
-                };
-                (window.to_global_edge[e as usize], tracks)
-            })
-            .collect();
-        (
-            RoutedNet {
+        let mut local_sinks = std::mem::take(&mut ws.local_sinks);
+
+        let result = if self.config.materialize_windows {
+            let index =
+                self.edge_index.as_ref().expect("materialize_windows prebuilds the edge index");
+            let window = GridWindow::around(&chip.grid, index, &pins, self.config.window_margin);
+            let mut local_cost = std::mem::take(&mut ws.cost_buf);
+            window.slice_into(prices, &mut local_cost);
+            let mut local_delay = std::mem::take(&mut ws.delay_buf);
+            window.slice_into(&self.delays, &mut local_delay);
+            local_sinks.clear();
+            local_sinks.extend(net.sinks.iter().map(|&p| window.localize(p)));
+            let req = OracleRequest {
+                surface: &window.grid,
+                cost: &local_cost,
+                delay: &local_delay,
+                root: window.localize(net.root),
+                sinks: &local_sinks,
+                weights,
+                budgets,
+                bif,
+                seed,
+            };
+            let tree = oracle.route(&req, ws);
+            let ev = tree.evaluate(&local_cost, &local_delay, weights, &bif);
+            let wg = window.grid.graph();
+            let used_edges: Vec<(EdgeId, f64)> = tree
+                .edges()
+                .map(|e| (window.to_global_edge[e as usize], Self::tracks(wg.edge(e))))
+                .collect();
+            let rn = RoutedNet {
                 wirelength_gcells: tree.wirelength(wg),
                 vias: tree.via_count(wg),
                 sink_delays: ev.sink_delays.clone(),
                 used_edges,
-            },
-            ev.total,
-        )
+            };
+            ws.cost_buf = local_cost;
+            ws.delay_buf = local_delay;
+            (rn, ev.total)
+        } else {
+            let view = WindowView::around(&chip.grid, &pins, self.config.window_margin);
+            local_sinks.clear();
+            local_sinks.extend(net.sinks.iter().map(|&p| view.localize(p)));
+            let req = OracleRequest {
+                surface: &view,
+                cost: prices,
+                delay: &self.delays,
+                root: view.localize(net.root),
+                sinks: &local_sinks,
+                weights,
+                budgets,
+                bif,
+                seed,
+            };
+            let tree = oracle.route(&req, ws);
+            let ev = tree.evaluate(prices, &self.delays, weights, &bif);
+            // view edge ids are global: usage accumulation and
+            // length/via metrics read the global graph directly
+            let g = chip.grid.graph();
+            let used_edges: Vec<(EdgeId, f64)> =
+                tree.edges().map(|e| (e, Self::tracks(g.edge(e)))).collect();
+            let rn = RoutedNet {
+                wirelength_gcells: tree.wirelength(g),
+                vias: tree.via_count(g),
+                sink_delays: ev.sink_delays.clone(),
+                used_edges,
+            };
+            (rn, ev.total)
+        };
+        ws.pins = pins;
+        ws.local_sinks = local_sinks;
+        result
+    }
+
+    /// Routing capacity one use of `e` consumes (wide wire types take
+    /// two tracks).
+    fn tracks(attrs: &EdgeAttrs) -> f64 {
+        if attrs.kind == EdgeKind::Wire && attrs.wire_type == 1 {
+            2.0
+        } else {
+            1.0
+        }
     }
 
     fn route_all(

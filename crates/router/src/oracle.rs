@@ -26,7 +26,7 @@ use cds_baselines::{prim_dijkstra, shallow_light, PlaneCostModel, SlParams};
 use cds_core::{GridFutureCost, Request, SessionConfig, Solver, SolverWorkspace};
 use cds_embed::{embed_topology, EmbedEnv};
 use cds_geom::Point;
-use cds_graph::{GridGraph, VertexId};
+use cds_graph::{RoutingSurface, VertexId};
 use cds_rsmt::rsmt_topology;
 use cds_topo::{BifurcationConfig, EmbeddedTree, Topology};
 
@@ -79,18 +79,25 @@ impl std::fmt::Display for SteinerMethod {
 }
 
 /// One oracle request: a net inside its routing window.
-#[derive(Debug, Clone)]
+///
+/// The routing region travels as a `&dyn` [`RoutingSurface`], so one
+/// request type covers both window backends: the router's default
+/// zero-copy [`WindowView`](cds_graph::WindowView) (edge ids are global
+/// — `cost`/`delay` are the chip-wide arrays, unsliced) and a
+/// materialized window [`GridGraph`](cds_graph::GridGraph) (edge ids are
+/// window-local — `cost`/`delay` are window slices).
+#[derive(Clone)]
 pub struct OracleRequest<'a> {
-    /// The (windowed) grid to route in.
-    pub grid: &'a GridGraph,
-    /// Edge prices `c(e)` in window edge order (≥ base costs, so grid
-    /// future costs stay admissible).
+    /// The routing region (window view or materialized grid).
+    pub surface: &'a dyn RoutingSurface,
+    /// Edge prices `c(e)`, indexed by the surface's edge ids (≥ base
+    /// costs, so grid future costs stay admissible).
     pub cost: &'a [f64],
-    /// Edge delays `d(e)` in window edge order.
+    /// Edge delays `d(e)`, indexed by the surface's edge ids.
     pub delay: &'a [f64],
-    /// Root pin (window coordinates).
+    /// Root pin (surface-local coordinates).
     pub root: Point,
-    /// Sink pins (window coordinates).
+    /// Sink pins (surface-local coordinates).
     pub sinks: &'a [Point],
     /// Delay weights `w(t)` per sink.
     pub weights: &'a [f64],
@@ -103,11 +110,23 @@ pub struct OracleRequest<'a> {
     pub seed: u64,
 }
 
+impl std::fmt::Debug for OracleRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleRequest")
+            .field("root", &self.root)
+            .field("sinks", &self.sinks)
+            .field("weights", &self.weights)
+            .field("bif", &self.bif)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> OracleRequest<'a> {
-    /// Root and sinks as graph vertices of the window grid.
+    /// Root and sinks as vertices of the routing surface.
     fn vertices(&self) -> (VertexId, Vec<VertexId>) {
-        let root = self.grid.vertex_at(self.root);
-        let sinks = self.sinks.iter().map(|&p| self.grid.vertex_at(p)).collect();
+        let root = self.surface.vertex_at(self.root);
+        let sinks = self.sinks.iter().map(|&p| self.surface.vertex_at(p)).collect();
         (root, sinks)
     }
 }
@@ -130,6 +149,15 @@ pub struct OracleWorkspace {
     sinks: Vec<VertexId>,
     /// Recycled terminal-vertex list.
     terminals: Vec<VertexId>,
+    /// Recycled pin list (root + sinks, global points) for the router's
+    /// window construction.
+    pub(crate) pins: Vec<Point>,
+    /// Recycled localized sink-point list.
+    pub(crate) local_sinks: Vec<Point>,
+    /// Recycled window price slice (materialized backend only).
+    pub(crate) cost_buf: Vec<f64>,
+    /// Recycled window delay slice (materialized backend only).
+    pub(crate) delay_buf: Vec<f64>,
 }
 
 impl OracleWorkspace {
@@ -207,20 +235,20 @@ impl SteinerOracle for CdOracle {
     fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree {
         // per-net scratch comes from (and returns to) the workspace, so
         // a warm worker routes nets without allocating
-        let root = req.grid.vertex_at(req.root);
+        let root = req.surface.vertex_at(req.root);
         let mut sinks = std::mem::take(&mut ws.sinks);
         sinks.clear();
-        sinks.extend(req.sinks.iter().map(|&p| req.grid.vertex_at(p)));
+        sinks.extend(req.sinks.iter().map(|&p| req.surface.vertex_at(p)));
         let mut terminals = std::mem::take(&mut ws.terminals);
         terminals.clear();
         terminals.extend_from_slice(&sinks);
         terminals.push(root);
-        let fc = GridFutureCost::with_buffer(req.grid, &terminals, std::mem::take(&mut ws.plane));
-        let request =
-            Request::new(req.grid.graph(), req.cost, req.delay, root, &sinks, req.weights)
-                .with_bif(req.bif)
-                .with_future(&fc)
-                .with_seed(req.seed);
+        let fc =
+            GridFutureCost::with_buffer(req.surface, &terminals, std::mem::take(&mut ws.plane));
+        let request = Request::new(req.surface, req.cost, req.delay, root, &sinks, req.weights)
+            .with_bif(req.bif)
+            .with_future(&fc)
+            .with_seed(req.seed);
         let tree = Solver::solve_with(&self.config, &mut ws.solver, &request).tree;
         ws.plane = fc.into_buffer();
         ws.sinks = sinks;
@@ -230,17 +258,18 @@ impl SteinerOracle for CdOracle {
 }
 
 /// Shared tail of the three plane-topology baselines: the per-unit cost
-/// model and the optimal embedding.
+/// model and the optimal embedding (directly over the surface — no
+/// materialization either).
 fn embed_plane_topology(req: &OracleRequest<'_>, topo: &Topology) -> EmbeddedTree {
     let (root, sinks) = req.vertices();
-    let env = EmbedEnv { graph: req.grid.graph(), cost: req.cost, delay: req.delay, bif: req.bif };
+    let env = EmbedEnv { graph: req.surface, cost: req.cost, delay: req.delay, bif: req.bif };
     embed_topology(&env, topo, root, &sinks, req.weights)
 }
 
 fn plane_model(req: &OracleRequest<'_>) -> PlaneCostModel {
     PlaneCostModel {
-        cost_per_unit: req.grid.min_cost_per_gcell(),
-        delay_per_unit: req.grid.min_delay_per_gcell(),
+        cost_per_unit: req.surface.min_cost_per_gcell(),
+        delay_per_unit: req.surface.min_delay_per_gcell(),
         bif: req.bif,
     }
 }
@@ -312,7 +341,7 @@ pub fn route_net(method: SteinerMethod, req: &OracleRequest<'_>) -> EmbeddedTree
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cds_graph::GridSpec;
+    use cds_graph::{GridGraph, GridSpec};
 
     fn request_on<'a>(
         grid: &'a GridGraph,
@@ -322,7 +351,7 @@ mod tests {
         weights: &'a [f64],
     ) -> OracleRequest<'a> {
         OracleRequest {
-            grid,
+            surface: grid,
             cost,
             delay,
             root: Point::new(0, 0),

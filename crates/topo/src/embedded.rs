@@ -14,7 +14,7 @@
 
 use crate::penalty::{lambda_split, BifurcationConfig};
 use crate::topology::{NodeId, NodeKind};
-use cds_graph::{EdgeId, EdgeKind, Graph, VertexId};
+use cds_graph::{EdgeId, EdgeKind, SteinerGraph, VertexId};
 
 /// One arc of an embedded tree: the path from the parent's vertex to the
 /// node's vertex. May be empty when both map to the same vertex.
@@ -144,13 +144,13 @@ impl EmbeddedTree {
     }
 
     /// Total wirelength in gcell units (sum of edge lengths).
-    pub fn wirelength(&self, g: &Graph) -> f64 {
-        self.edges().map(|e| g.edge(e).length).sum()
+    pub fn wirelength<G: SteinerGraph + ?Sized>(&self, g: &G) -> f64 {
+        self.edges().map(|e| g.edge_attrs(e).length).sum()
     }
 
     /// Number of via edges used.
-    pub fn via_count(&self, g: &Graph) -> usize {
-        self.edges().filter(|&e| g.edge(e).kind == EdgeKind::Via).count()
+    pub fn via_count<G: SteinerGraph + ?Sized>(&self, g: &G) -> usize {
+        self.edges().filter(|&e| g.edge_attrs(e).kind == EdgeKind::Via).count()
     }
 
     /// Nodes in depth-first preorder.
@@ -251,7 +251,11 @@ impl EmbeddedTree {
     /// Checks that every arc's path actually walks from the parent vertex
     /// to the node vertex in `g`, that sinks `0..num_sinks` each appear
     /// exactly once as leaves, and that internal nodes have ≤ 2 children.
-    pub fn validate(&self, g: &Graph, num_sinks: usize) -> Result<(), String> {
+    pub fn validate<G: SteinerGraph + ?Sized>(
+        &self,
+        g: &G,
+        num_sinks: usize,
+    ) -> Result<(), String> {
         let mut sink_seen = vec![0usize; num_sinks];
         for v in 0..self.num_nodes() as NodeId {
             match (self.parent(v), v) {
@@ -307,7 +311,7 @@ impl EmbeddedTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cds_graph::{EdgeAttrs, GraphBuilder};
+    use cds_graph::{EdgeAttrs, Graph, GraphBuilder};
 
     /// 0 -1- 1 -2- 2 -3- 3 line graph with edge ids 0, 1, 2 and
     /// cost 1, delay 10 each.

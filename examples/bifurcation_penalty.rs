@@ -38,7 +38,7 @@ fn main() {
         ("d_bif = 9, η=0.5 ", BifurcationConfig::new(9.0, 0.5)),
     ] {
         let req = OracleRequest {
-            grid: &grid,
+            surface: &grid,
             cost: &cost,
             delay: &delay,
             root: Point::new(0, 6),

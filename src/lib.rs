@@ -45,7 +45,7 @@
 //! let grid = GridSpec::uniform(8, 8, 2).build();
 //! let (c, d) = (grid.graph().base_costs(), grid.graph().delays());
 //! let req = OracleRequest {
-//!     grid: &grid,
+//!     surface: &grid,
 //!     cost: &c,
 //!     delay: &d,
 //!     root: Point::new(0, 0),

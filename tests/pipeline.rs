@@ -23,7 +23,7 @@ fn all_methods_valid_across_sizes_and_penalties() {
             let weights: Vec<f64> = (0..k).map(|i| 0.05 + i as f64 * 0.3).collect();
             let bif = BifurcationConfig::new(dbif, 0.25);
             let req = OracleRequest {
-                grid: &grid,
+                surface: &grid,
                 cost: &cost,
                 delay: &delay,
                 root: Point::new(0, 0),
@@ -67,7 +67,7 @@ fn cd_is_competitive_on_the_objective() {
         let weights: Vec<f64> =
             (0..k).map(|_| 0.02 * 10f64.powf(rng.gen_range(0.0..1.5))).collect();
         let req = OracleRequest {
-            grid: &grid,
+            surface: &grid,
             cost: &cost,
             delay: &delay,
             root: Point::new(8, 8),
@@ -106,7 +106,7 @@ fn congestion_pricing_steers_cd_away() {
     }
     let sinks = [Point::new(11, 6)];
     let req = OracleRequest {
-        grid: &grid,
+        surface: &grid,
         cost: &cost,
         delay: &delay,
         root: Point::new(0, 6),
