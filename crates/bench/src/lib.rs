@@ -116,7 +116,10 @@ impl InstanceTable {
 
 /// Runs the Table I/II experiment on one chip: route with the CD oracle
 /// (harvesting weights/budgets/prices), then present every harvested
-/// instance identically to all four methods.
+/// instance identically to all four methods. The replay prices are the
+/// run's post-loop vector (`RoutingOutcome::prices`) — not necessarily
+/// what any single iteration routed on, but identical across the four
+/// methods, which is what the comparison needs.
 pub fn instance_comparison(chip: &Chip, use_dbif: bool, iterations: usize) -> InstanceTable {
     let router = Router::new(
         chip,
@@ -132,7 +135,10 @@ pub fn instance_comparison(chip: &Chip, use_dbif: bool, iterations: usize) -> In
     for h in &out.harvest {
         let mut objs = [0.0f64; 4];
         for (i, m) in SteinerMethod::ALL.iter().enumerate() {
-            objs[i] = router.route_one(h.net, *m, &out.prices, &h.weights, Some(&h.budgets), bif).1;
+            // budgets are empty when the final iteration routed before
+            // any STA-derived budgets existed (single-iteration runs)
+            let budgets = (!h.budgets.is_empty()).then_some(h.budgets.as_slice());
+            objs[i] = router.route_one(h.net, *m, &out.prices, &h.weights, budgets, bif).1;
         }
         table.add(chip.nets[h.net].sinks.len(), objs);
     }

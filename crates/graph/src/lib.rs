@@ -44,4 +44,4 @@ pub mod window;
 pub use graph::{EdgeAttrs, EdgeId, EdgeKind, Endpoints, Graph, GraphBuilder, VertexId};
 pub use grid::{Direction, GridGraph, GridSpec, LayerSpec, VertexCoord, WireTypeSpec};
 pub use steiner::{RoutingSurface, SteinerGraph};
-pub use window::{EdgeIndex, GridWindow, WindowView};
+pub use window::{window_bounds, EdgeIndex, GridWindow, WindowView};

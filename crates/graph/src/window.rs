@@ -25,6 +25,36 @@ use crate::steiner::{RoutingSurface, SteinerGraph};
 use cds_geom::Point;
 use std::collections::HashMap;
 
+/// The inclusive window bounds `(x0, y0, x1, y1)` around a set of
+/// planar points (global grid coordinates) with the given margin,
+/// clamped to an `nx × ny` grid.
+///
+/// This is the single source of truth for per-net routing-window
+/// extents: [`WindowView::around`], [`GridWindow::around`], and the
+/// router's dirty-net drift certificate (which must cover *exactly*
+/// the window a net routes in) all derive their bounds here.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or contains a negative coordinate.
+pub fn window_bounds(points: &[Point], margin: u32, nx: u32, ny: u32) -> (u32, u32, u32, u32) {
+    assert!(!points.is_empty(), "window of no points");
+    let (mut x0, mut y0, mut x1, mut y1) = (u32::MAX, u32::MAX, 0u32, 0u32);
+    for p in points {
+        assert!(p.x >= 0 && p.y >= 0, "negative gcell coordinate");
+        x0 = x0.min(p.x as u32);
+        y0 = y0.min(p.y as u32);
+        x1 = x1.max(p.x as u32);
+        y1 = y1.max(p.y as u32);
+    }
+    (
+        x0.saturating_sub(margin),
+        y0.saturating_sub(margin),
+        (x1 + margin).min(nx - 1),
+        (y1 + margin).min(ny - 1),
+    )
+}
+
 /// Key identifying a global edge by its endpoints and flavour, used to
 /// translate window edges to global ids.
 fn edge_key(u: VertexId, v: VertexId, kind: EdgeKind, wire_type: u8) -> (u32, u32, bool, u8) {
@@ -114,13 +144,8 @@ impl GridWindow {
     ///
     /// Panics if `points` is empty or has out-of-grid coordinates.
     pub fn around(grid: &GridGraph, index: &EdgeIndex, points: &[Point], margin: u32) -> Self {
-        assert!(!points.is_empty(), "window of no points");
-        let xs: Vec<i32> = points.iter().map(|p| p.x).collect();
-        let ys: Vec<i32> = points.iter().map(|p| p.y).collect();
-        let x0 = (*xs.iter().min().expect("nonempty") as u32).saturating_sub(margin);
-        let y0 = (*ys.iter().min().expect("nonempty") as u32).saturating_sub(margin);
-        let x1 = *xs.iter().max().expect("nonempty") as u32 + margin;
-        let y1 = *ys.iter().max().expect("nonempty") as u32 + margin;
+        let spec = grid.spec();
+        let (x0, y0, x1, y1) = window_bounds(points, margin, spec.nx, spec.ny);
         GridWindow::build(grid, index, x0, y0, x1, y1)
     }
 
@@ -194,22 +219,9 @@ impl<'a> WindowView<'a> {
     ///
     /// Panics if `points` is empty or has out-of-grid coordinates.
     pub fn around(grid: &'a GridGraph, points: &[Point], margin: u32) -> Self {
-        assert!(!points.is_empty(), "window of no points");
-        let (mut x0, mut y0, mut x1, mut y1) = (u32::MAX, u32::MAX, 0u32, 0u32);
-        for p in points {
-            assert!(p.x >= 0 && p.y >= 0, "negative gcell coordinate");
-            x0 = x0.min(p.x as u32);
-            y0 = y0.min(p.y as u32);
-            x1 = x1.max(p.x as u32);
-            y1 = y1.max(p.y as u32);
-        }
-        WindowView::new(
-            grid,
-            x0.saturating_sub(margin),
-            y0.saturating_sub(margin),
-            x1 + margin,
-            y1 + margin,
-        )
+        let spec = grid.spec();
+        let (x0, y0, x1, y1) = window_bounds(points, margin, spec.nx, spec.ny);
+        WindowView::new(grid, x0, y0, x1, y1)
     }
 
     /// The global grid this view windows.

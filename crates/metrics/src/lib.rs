@@ -54,9 +54,27 @@ pub fn wire_congestion(g: &Graph, usage: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Slack before an edge counts as overflowed — absorbs the float noise
+/// of capacity calibration, not of usage accumulation (track counts are
+/// integer-valued).
+pub const OVERFLOW_EPS: f64 = 1e-9;
+
+/// Whether one edge's usage exceeds its capacity.
+#[inline]
+pub fn edge_overflowed(g: &Graph, usage: &[f64], e: cds_graph::EdgeId) -> bool {
+    usage[e as usize] > g.edge(e).capacity + OVERFLOW_EPS
+}
+
 /// Number of edges with usage exceeding capacity.
 pub fn overflowed_edges(g: &Graph, usage: &[f64]) -> usize {
-    g.edge_ids().filter(|&e| usage[e as usize] > g.edge(e).capacity + 1e-9).count()
+    g.edge_ids().filter(|&e| edge_overflowed(g, usage, e)).count()
+}
+
+/// Per-edge overflow flags (`usage > capacity`), indexed by edge id —
+/// the dirty-net scheduler's bulk query: compute once per iteration,
+/// then test each net's used edges in O(1).
+pub fn overflow_flags(g: &Graph, usage: &[f64]) -> Vec<bool> {
+    g.edge_ids().map(|e| edge_overflowed(g, usage, e)).collect()
 }
 
 /// Aggregate result metrics of one routing run (one row of Table IV/V).
@@ -134,6 +152,9 @@ mod tests {
         let cong = wire_congestion(&g, &usage);
         assert_eq!(cong, vec![0.5]);
         assert_eq!(overflowed_edges(&g, &usage), 1);
+        assert_eq!(overflow_flags(&g, &usage), vec![false, true]);
+        assert!(!edge_overflowed(&g, &usage, 0));
+        assert!(edge_overflowed(&g, &usage, 1));
     }
 
     #[test]

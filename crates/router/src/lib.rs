@@ -9,13 +9,18 @@
 //!
 //! 1. price every edge from current usage (multiplicative weights,
 //!    prices never drop below base cost so A* stays admissible),
-//! 2. rip-up & re-route every net with the configured oracle
-//!    (L1/SL/PD/CD, §IV-A) inside a bounding-box window, in parallel,
-//! 3. run STA over the chip's timing chains, update the delay weights
-//!    from slacks, repeat.
+//! 2. rip-up & re-route with the configured oracle (L1/SL/PD/CD, §IV-A)
+//!    inside a bounding-box window, in parallel — every net in the
+//!    first iteration, then (by default) only *dirty* nets: overflow
+//!    touchers, negative-slack nets, and nets whose window prices /
+//!    weights / budgets drifted beyond [`RouterConfig::price_tol`]
+//!    (clean nets keep their routes; see the `schedule` module docs),
+//! 3. run STA over the chip's timing chains — incrementally, only the
+//!    cones of changed arcs — and update the delay weights from
+//!    slacks, repeat.
 //!
 //! Outputs are the paper's Table IV/V columns: WS, TNS, ACE4, wirelength,
-//! vias, walltime.
+//! vias, walltime, plus [`RouterStats`] (how much rip-up actually ran).
 //!
 //! # Examples
 //!
@@ -31,6 +36,7 @@
 //! ```
 
 pub mod oracle;
+mod schedule;
 
 pub use oracle::{
     route_net, CdOracle, L1Oracle, OracleRequest, OracleWorkspace, PdOracle, SlOracle,
@@ -40,9 +46,10 @@ pub use oracle::{
 use cds_geom::Point;
 use cds_graph::{EdgeAttrs, EdgeId, EdgeIndex, EdgeKind, GridWindow, RoutingSurface, WindowView};
 use cds_instgen::Chip;
-use cds_metrics::{ace4, wire_congestion, wirelength_meters, RunMetrics};
-use cds_sta::{TimingGraph, TimingReport};
+use cds_metrics::{ace4, overflow_flags, wire_congestion, wirelength_meters, RunMetrics};
+use cds_sta::{IncrementalSta, TimingGraph, TimingReport};
 use cds_topo::BifurcationConfig;
+use schedule::{DirtyCause, DirtyTracker};
 use std::time::Instant;
 
 /// Router tuning knobs.
@@ -75,6 +82,35 @@ pub struct RouterConfig {
     /// costs a graph build plus price/delay slices per net and exists as
     /// the reference/validation backend.
     pub materialize_windows: bool,
+    /// Incremental rip-up & re-route: after the first full iteration,
+    /// reroute only *dirty* nets — a net touching an overflowed edge, a
+    /// net with a negative-slack sink, or a net whose window prices /
+    /// delay weights / budgets moved beyond [`price_tol`](Self::price_tol)
+    /// since it was last routed — while clean nets keep their previous
+    /// [`RoutedNet`] verbatim, with incremental usage accounting and
+    /// incremental STA. `false` is the full-reroute reference backend
+    /// (every net, every iteration), which incremental mode reproduces
+    /// bit-identically at `price_tol: 0.0` (pinned by
+    /// `tests/incremental.rs`).
+    pub incremental: bool,
+    /// Dirtiness tolerance of incremental mode: a clean net's window
+    /// prices, delay weights and budgets (when the oracle reads them)
+    /// must have stayed within this accumulated relative change since
+    /// the net was last routed. `0.0` means "rip up on any bit of
+    /// change" — exact but rarely skipping, because the sharpening
+    /// price schedule (`alpha = price_alpha · iteration`) moves every
+    /// used edge's price every iteration by roughly
+    /// `exp(utilization) − 1`. The default of `2.0` lets a clean net's
+    /// window prices move up to ~3× before a refresh reroute, which on
+    /// a converging chip means quiet nets are revisited every few
+    /// iterations while overflow/negative-slack nets (the nets that
+    /// matter) are ripped up unconditionally every iteration.
+    pub price_tol: f64,
+    /// Every `recount_every` iterations incremental mode recomputes the
+    /// usage vector exactly from all routed nets (and asserts the
+    /// incremental accounting matched), bounding float drift from
+    /// subtract/add cycles. `0` disables periodic recounts.
+    pub recount_every: usize,
 }
 
 impl Default for RouterConfig {
@@ -91,6 +127,9 @@ impl Default for RouterConfig {
             weight_tau_ps: 250.0,
             harvest: false,
             materialize_windows: false,
+            incremental: true,
+            price_tol: 2.0,
+            recount_every: 4,
         }
     }
 }
@@ -108,6 +147,18 @@ pub struct RoutedNet {
     pub used_edges: Vec<(EdgeId, f64)>,
 }
 
+/// Sums every net's used edges into `out` (cleared first) — the one
+/// definition of "usage" that the full sweep, the periodic recount,
+/// and the accounting tests all share.
+fn accumulate_usage(nets: &[RoutedNet], out: &mut [f64]) {
+    out.fill(0.0);
+    for rn in nets {
+        for &(e, tracks) in &rn.used_edges {
+            out[e as usize] += tracks;
+        }
+    }
+}
+
 /// A cost-distance instance captured during routing, for the Table I/II
 /// apples-to-apples comparisons ("instances … as they were generated
 /// during timing-constrained global routing").
@@ -115,10 +166,62 @@ pub struct RoutedNet {
 pub struct HarvestedInstance {
     /// Net index into the chip.
     pub net: usize,
-    /// The delay weights the router used for this net.
+    /// The delay weights this net's *committed* route was produced
+    /// with: the values in effect when the net was last ripped up —
+    /// the final iteration's pre-update weights in full-reroute mode,
+    /// or (in incremental mode) the weights of whichever iteration
+    /// produced the kept route. Never the output of the closing slack
+    /// update, which routes nothing.
     pub weights: Vec<f64>,
-    /// The SL delay budgets in effect for this net.
+    /// The SL delay budgets in effect when the net was last ripped up;
+    /// empty when no budgets existed yet (single-iteration runs, where
+    /// routing precedes the first STA-derived budgets).
     pub budgets: Vec<f64>,
+}
+
+/// Work accounting of one router run — how much rip-up the dirty-net
+/// scheduler actually performed (full-reroute runs report every net in
+/// every iteration).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RouterStats {
+    /// Nets rerouted in each iteration (`[0]` is always the full sweep).
+    pub rerouted_per_iter: Vec<usize>,
+    /// Nets routed because they had never been routed (includes every
+    /// net of every full-reroute iteration).
+    pub dirty_fresh: usize,
+    /// Reroutes caused by a used edge exceeding capacity.
+    pub dirty_overflow: usize,
+    /// Reroutes caused by a negative-slack sink.
+    pub dirty_timing: usize,
+    /// Reroutes caused by window price drift beyond tolerance.
+    pub dirty_price: usize,
+    /// Reroutes caused by delay-weight drift beyond tolerance.
+    pub dirty_weight: usize,
+    /// Reroutes caused by budget drift beyond tolerance.
+    pub dirty_budget: usize,
+    /// Exact usage recounts performed (drift bounding).
+    pub usage_recounts: usize,
+    /// Timing nodes re-propagated by the incremental STA engine
+    /// (`0` in full-reroute mode, which re-analyzes the whole DAG).
+    pub sta_nodes_retimed: u64,
+}
+
+impl RouterStats {
+    /// Total oracle calls across all iterations.
+    pub fn total_rerouted(&self) -> usize {
+        self.rerouted_per_iter.iter().sum()
+    }
+
+    pub(crate) fn note(&mut self, cause: DirtyCause) {
+        match cause {
+            DirtyCause::Fresh => self.dirty_fresh += 1,
+            DirtyCause::Overflow => self.dirty_overflow += 1,
+            DirtyCause::Timing => self.dirty_timing += 1,
+            DirtyCause::Price => self.dirty_price += 1,
+            DirtyCause::Weight => self.dirty_weight += 1,
+            DirtyCause::Budget => self.dirty_budget += 1,
+        }
+    }
 }
 
 /// Everything a router run produces.
@@ -130,13 +233,25 @@ pub struct RoutingOutcome {
     pub timing: TimingReport,
     /// Final edge usage (tracks) per global edge.
     pub usage: Vec<f64>,
-    /// Final edge prices.
+    /// Edge prices implied by the final usage history — the vector one
+    /// more iteration would route on, recomputed *after* the loop so it
+    /// is consistent with the returned `usage`. (Earlier versions
+    /// returned the stale vector the last iteration had routed on,
+    /// which was derived from the previous iteration's usage.) Table
+    /// harness replays of harvested instances happen under this
+    /// post-loop vector — identical for all compared methods, which is
+    /// what the apples-to-apples comparison requires.
     pub prices: Vec<f64>,
     /// Per-net summaries (net order).
     pub nets: Vec<RoutedNet>,
-    /// Harvested instances (final iteration, nets with ≥ 3 sinks), when
-    /// requested.
+    /// Harvested instances (nets with ≥ 3 sinks), when requested: each
+    /// net's committed route with the weights/budgets it was last
+    /// ripped up with — the final iteration's in full-reroute mode, or
+    /// whichever iteration produced the kept route in incremental mode
+    /// (see [`HarvestedInstance`]).
     pub harvest: Vec<HarvestedInstance>,
+    /// Rip-up work accounting.
+    pub stats: RouterStats,
 }
 
 /// The timing-constrained global router.
@@ -195,17 +310,36 @@ impl<'a> Router<'a> {
     }
 
     /// Runs the full rip-up & re-route loop.
+    ///
+    /// With [`RouterConfig::incremental`] (the default), iterations
+    /// after the first rip up only the nets the dirty-net scheduler
+    /// marks (see [`RouterConfig::price_tol`]); clean nets keep their
+    /// previous [`RoutedNet`] verbatim, usage is maintained by
+    /// subtracting a ripped net's old edges and adding its new ones
+    /// (with periodic exact recounts), and timing is refreshed by
+    /// re-propagating only the cones of the arcs that changed
+    /// ([`IncrementalSta`]). Determinism is preserved: the schedule is
+    /// derived from shared per-iteration state, every per-net result
+    /// depends only on that net's inputs, and results are identical
+    /// across thread counts and window backends.
     pub fn run(&self) -> RoutingOutcome {
         let start = Instant::now();
         let chip = self.chip;
         let g = chip.grid.graph();
         let m = g.num_edges();
+        let n = chip.nets.len();
         let base: Vec<f64> = g.base_costs();
         let bif = self.bif();
+        let incremental = self.config.incremental;
 
-        // timing graph skeleton
+        // timing: the DAG skeleton, analyzed fully every iteration in
+        // the reference path, or held by the incremental engine
         let (tg_template, net_nodes) = self.build_timing_graph();
         let mut tg = tg_template;
+        let mut sta = incremental.then(|| IncrementalSta::new(&tg));
+        // full-reroute mode's report; incremental mode always reads the
+        // engine's (which analyzed fully at construction)
+        let mut report = (!incremental).then(|| tg.analyze());
 
         // Per-sink delay weights (Lagrange multipliers). The floor keeps
         // every sink's delay weakly priced — TNS counts all endpoints, so
@@ -213,13 +347,21 @@ impl<'a> Router<'a> {
         let mut weights: Vec<Vec<f64>> =
             chip.nets.iter().map(|n| vec![0.05; n.sinks.len()]).collect();
         // per-sink budgets for SL (None before the first STA)
-        let mut budgets: Vec<Option<Vec<f64>>> = vec![None; chip.nets.len()];
+        let mut budgets: Vec<Option<Vec<f64>>> = vec![None; n];
 
         let mut usage = vec![0.0f64; m];
         let mut usage_hist = vec![0.0f64; m];
-        let mut prices = base.clone();
         let mut nets_out: Vec<RoutedNet> = Vec::new();
-        let mut report = tg.analyze();
+        let mut stats = RouterStats::default();
+        let mut tracker = incremental
+            .then(|| DirtyTracker::new(chip, self.config.window_margin, self.config.price_tol));
+        // weights/budgets as routed by the *final* iteration, for harvest
+        let mut harvest_weights: Vec<Vec<f64>> = Vec::new();
+        let mut harvest_budgets: Vec<Option<Vec<f64>>> = Vec::new();
+        if self.config.harvest {
+            harvest_weights = weights.clone();
+            harvest_budgets = budgets.clone();
+        }
 
         // one warm oracle workspace per worker thread, reused across
         // nets *and* rip-up iterations — the session-API payoff
@@ -230,29 +372,135 @@ impl<'a> Router<'a> {
             // 1. prices from damped usage (history smoothing avoids the
             //    herding oscillation of cost-seeking oracles on frozen
             //    prices)
-            prices = self.compute_prices(&base, &usage_hist, iter);
+            let prices = self.compute_prices(&base, &usage_hist, iter);
 
-            // 2. route all nets in parallel on frozen prices
-            nets_out = self.route_all(&prices, &weights, &budgets, bif, &mut workspaces);
+            // 1b. schedule: which nets this iteration rips up. The first
+            //     iteration (and every full-reroute iteration) takes all
+            //     of them; afterwards only dirty nets.
+            let dirty: Vec<usize> = match &mut tracker {
+                Some(t) if iter > 0 => {
+                    t.accumulate_drift(&chip.grid, &prices);
+                    let budget_sensitive = self.oracle.uses_budgets();
+                    (0..n)
+                        .filter(|&i| {
+                            match t.dirty_cause(
+                                i,
+                                &weights[i],
+                                budgets[i].as_deref(),
+                                budget_sensitive,
+                            ) {
+                                Some(cause) => {
+                                    stats.note(cause);
+                                    true
+                                }
+                                None => false,
+                            }
+                        })
+                        .collect()
+                }
+                _ => {
+                    if let Some(t) = &mut tracker {
+                        t.prime_prices(&prices);
+                    }
+                    stats.dirty_fresh += n;
+                    (0..n).collect()
+                }
+            };
+            stats.rerouted_per_iter.push(dirty.len());
 
-            // 3. accumulate usage and blend into the pricing history
-            usage.fill(0.0);
-            for rn in &nets_out {
-                for &(e, tracks) in &rn.used_edges {
-                    usage[e as usize] += tracks;
+            // 2. route the scheduled nets in parallel on frozen prices
+            let routed = self.route_ids(&dirty, &prices, &weights, &budgets, bif, &mut workspaces);
+
+            // 3. usage accounting: full sweeps recompute from scratch
+            //    (the reference rule); partial sweeps subtract each
+            //    ripped net's old edges and add its new ones
+            if dirty.len() == n {
+                nets_out = routed;
+                accumulate_usage(&nets_out, &mut usage);
+            } else {
+                for (&i, rn) in dirty.iter().zip(routed) {
+                    for &(e, tracks) in &nets_out[i].used_edges {
+                        usage[e as usize] -= tracks;
+                    }
+                    for &(e, tracks) in &rn.used_edges {
+                        usage[e as usize] += tracks;
+                    }
+                    nets_out[i] = rn;
+                }
+                // periodic exact recount bounds float drift from the
+                // subtract/add cycles and asserts the incremental
+                // accounting stayed consistent
+                if self.config.recount_every > 0 && (iter + 1) % self.config.recount_every == 0 {
+                    let mut recount = vec![0.0f64; m];
+                    accumulate_usage(&nets_out, &mut recount);
+                    for (e, (&r, &u)) in recount.iter().zip(&usage).enumerate() {
+                        assert!(
+                            (r - u).abs() <= 1e-6 * r.abs().max(u.abs()).max(1.0),
+                            "incremental usage drifted at edge {e}: {u} vs recount {r}"
+                        );
+                    }
+                    usage = recount;
+                    stats.usage_recounts += 1;
                 }
             }
+
+            // snapshot the inputs the ripped nets were routed with (the
+            // dirtiness reference for later iterations), and flag nets
+            // now touching overflowed edges
+            if let Some(t) = &mut tracker {
+                for &i in &dirty {
+                    t.note_routed(i, &weights[i], budgets[i].as_deref());
+                }
+                let overflowed = overflow_flags(g, &usage);
+                t.set_overflow_touch(&nets_out, &overflowed);
+            }
+
+            // blend into the pricing history
             for (h, &u) in usage_hist.iter_mut().zip(&usage) {
                 *h = if iter == 0 { u } else { 0.5 * *h + 0.5 * u };
             }
 
-            // 4. timing update
-            for (i, rn) in nets_out.iter().enumerate() {
-                for (arc, &d) in net_nodes.sink_arc[i].iter().zip(&rn.sink_delays) {
-                    tg.set_arc_delay(*arc, d);
+            // 4. timing update: the reference path rewrites every arc
+            //    and re-analyzes the DAG; the incremental engine takes
+            //    only the ripped nets' arcs and re-propagates their cones
+            match &mut sta {
+                Some(s) => {
+                    for &i in &dirty {
+                        for (arc, &d) in net_nodes.sink_arc[i].iter().zip(&nets_out[i].sink_delays)
+                        {
+                            s.set_arc_delay(*arc, d);
+                        }
+                    }
+                    s.refresh();
+                    stats.sta_nodes_retimed = s.total_retimed();
+                }
+                None => {
+                    for (i, rn) in nets_out.iter().enumerate() {
+                        for (arc, &d) in net_nodes.sink_arc[i].iter().zip(&rn.sink_delays) {
+                            tg.set_arc_delay(*arc, d);
+                        }
+                    }
+                    report = Some(tg.analyze());
                 }
             }
-            report = tg.analyze();
+            // this iteration's report — borrowed from the engine in
+            // incremental mode, no per-iteration clone
+            let rep: &TimingReport = match (&sta, &report) {
+                (Some(s), _) => s.report(),
+                (None, Some(r)) => r,
+                (None, None) => unreachable!("full mode analyzed above"),
+            };
+            if let Some(t) = &mut tracker {
+                t.set_neg_slack(&net_nodes.sink_node, rep);
+            }
+
+            // the final iteration's weights/budgets are harvested *as
+            // routed*, before the closing slack update below rewrites
+            // them (the update's output never routes anything)
+            if self.config.harvest && iter + 1 == self.config.iterations {
+                harvest_weights.clone_from(&weights);
+                harvest_budgets.clone_from(&budgets);
+            }
 
             // 5. weight & budget updates from slacks
             for (i, net) in chip.nets.iter().enumerate() {
@@ -262,7 +510,7 @@ impl<'a> Router<'a> {
                 #[allow(clippy::needless_range_loop)]
                 for j in 0..net.sinks.len() {
                     let node = net_nodes.sink_node[i][j];
-                    let slack = report.slack[node as usize];
+                    let slack = rep.slack[node as usize];
                     if slack.is_finite() {
                         let f = (-slack / self.config.weight_tau_ps).exp();
                         weights[i][j] = (weights[i][j] * f).clamp(1e-3, 2.0);
@@ -281,6 +529,15 @@ impl<'a> Router<'a> {
             }
         }
 
+        // final usage/price consistency: the returned prices are
+        // recomputed from the final usage history, so they correspond to
+        // the returned usage rather than to the previous iteration's
+        let prices = self.compute_prices(&base, &usage_hist, self.config.iterations);
+        let report = match &sta {
+            Some(s) => s.report().clone(),
+            None => report.expect("full mode analyzed the DAG before the loop"),
+        };
+
         // final metrics
         let cong = wire_congestion(g, &usage);
         let wl_gcells: f64 = nets_out.iter().map(|n| n.wirelength_gcells).sum();
@@ -298,16 +555,29 @@ impl<'a> Router<'a> {
                 .iter()
                 .enumerate()
                 .filter(|(_, n)| n.sinks.len() >= 3)
-                .map(|(i, _)| HarvestedInstance {
-                    net: i,
-                    weights: weights[i].clone(),
-                    budgets: budgets[i].clone().unwrap_or_default(),
+                .map(|(i, _)| {
+                    // the inputs the *kept* route was actually produced
+                    // with: the tracker's last-routed snapshot in
+                    // incremental mode (a clean net's route may predate
+                    // the final iteration), the pre-update
+                    // final-iteration values in full-reroute mode
+                    let (weights, budgets) = match &tracker {
+                        Some(t) if t.has_routed(i) => (
+                            t.last_routed_weights(i).to_vec(),
+                            t.last_routed_budgets(i).map_or_else(Vec::new, <[f64]>::to_vec),
+                        ),
+                        _ => (
+                            harvest_weights[i].clone(),
+                            harvest_budgets[i].clone().unwrap_or_default(),
+                        ),
+                    };
+                    HarvestedInstance { net: i, weights, budgets }
                 })
                 .collect()
         } else {
             Vec::new()
         };
-        RoutingOutcome { metrics, timing: report, usage, prices, nets: nets_out, harvest }
+        RoutingOutcome { metrics, timing: report, usage, prices, nets: nets_out, harvest, stats }
     }
 
     /// Routes one net with a built-in method and a throwaway workspace —
@@ -447,29 +717,35 @@ impl<'a> Router<'a> {
         }
     }
 
-    fn route_all(
+    /// Routes the given nets in parallel, returning results aligned with
+    /// `ids`. The scheduler's work distribution is determinism-safe:
+    /// per-net results depend only on per-net inputs (the workspace
+    /// contract of [`SteinerOracle`]), so how the id list is chunked
+    /// over threads cannot change any result — only which warm
+    /// workspace computes it.
+    fn route_ids(
         &self,
+        ids: &[usize],
         prices: &[f64],
         weights: &[Vec<f64>],
         budgets: &[Option<Vec<f64>>],
         bif: BifurcationConfig,
         workspaces: &mut [OracleWorkspace],
     ) -> Vec<RoutedNet> {
-        let n = self.chip.nets.len();
-        if n == 0 {
+        if ids.is_empty() {
             return Vec::new();
         }
-        let threads = self.config.threads.max(1).min(n).min(workspaces.len().max(1));
-        let chunk = n.div_ceil(threads);
+        let threads = self.config.threads.max(1).min(ids.len()).min(workspaces.len().max(1));
+        let chunk = ids.len().div_ceil(threads);
         let oracle = self.oracle.as_ref();
-        let mut results: Vec<Option<RoutedNet>> = vec![None; n];
+        let mut results: Vec<Option<RoutedNet>> = vec![None; ids.len()];
         std::thread::scope(|scope| {
             for ((ci, slot), ws) in results.chunks_mut(chunk).enumerate().zip(workspaces.iter_mut())
             {
                 let lo = ci * chunk;
                 scope.spawn(move || {
                     for (k, out) in slot.iter_mut().enumerate() {
-                        let net_id = lo + k;
+                        let net_id = ids[lo + k];
                         let (rn, _) = self.route_one_with(
                             net_id,
                             oracle,
@@ -484,7 +760,7 @@ impl<'a> Router<'a> {
                 });
             }
         });
-        results.into_iter().map(|r| r.expect("all nets routed")).collect()
+        results.into_iter().map(|r| r.expect("all scheduled nets routed")).collect()
     }
 
     /// Multiplicative-weight congestion pricing: price never drops below
@@ -542,10 +818,14 @@ impl<'a> Router<'a> {
             let first = chain.links.first().expect("chains are nonempty");
             tg.set_input(root_node[first.net], 0.0);
             // prefix of estimated stage delays, for distributing the RAT
-            // over intermediate endpoints
+            // over intermediate endpoints. A chain of L links crosses
+            // L−1 cells (between consecutive stages); the terminal link
+            // ends at true endpoints with no downstream cell, so neither
+            // the total nor the terminal endpoints' RAT positions may
+            // count one.
             let mut prefix = 0.0;
             let mut est_total = 0.0;
-            for link in &chain.links {
+            for (li, link) in chain.links.iter().enumerate() {
                 let net = &chip.nets[link.net];
                 let stage_sink = match link.cont_sink {
                     Some(s) => net.sinks[s],
@@ -553,11 +833,14 @@ impl<'a> Router<'a> {
                         *net.sinks.iter().max_by_key(|&&s| s.l1(net.root)).expect("nets have sinks")
                     }
                 };
-                est_total += est(net.root, stage_sink) + chip.cell_delay_ps;
+                let cell = if li + 1 == chain.links.len() { 0.0 } else { chip.cell_delay_ps };
+                est_total += est(net.root, stage_sink) + cell;
             }
             let scale = chain.rat_ps / est_total.max(1e-9);
             for (li, link) in chain.links.iter().enumerate() {
                 let net = &chip.nets[link.net];
+                let downstream_cell =
+                    if li + 1 == chain.links.len() { 0.0 } else { chip.cell_delay_ps };
                 for (j, &s) in net.sinks.iter().enumerate() {
                     let is_cont = link.cont_sink == Some(j);
                     if is_cont {
@@ -567,7 +850,7 @@ impl<'a> Router<'a> {
                     } else {
                         // endpoint: RAT proportional to its estimated
                         // position on the chain
-                        let rat = (prefix + est(net.root, s) + chip.cell_delay_ps) * scale;
+                        let rat = (prefix + est(net.root, s) + downstream_cell) * scale;
                         tg.set_required(sink_node[link.net][j], rat);
                     }
                 }
@@ -665,6 +948,49 @@ mod tests {
         for h in &out.harvest {
             assert_eq!(h.weights.len(), chip.nets[h.net].sinks.len());
         }
+    }
+
+    #[test]
+    fn terminal_chain_link_rat_has_no_downstream_cell_delay() {
+        // Regression: est_total and terminal-link endpoint RAT positions
+        // used to count a cell delay after the last link, where no
+        // downstream cell exists, skewing the whole chain's RAT
+        // distribution (scale = rat_ps / est_total).
+        use cds_instgen::{Chain, ChainLink, Net};
+        let mut chip = ChipSpec::small_test(1).generate();
+        let net_a = Net { root: Point::new(0, 0), sinks: vec![Point::new(6, 0), Point::new(0, 4)] };
+        let net_b =
+            Net { root: Point::new(6, 0), sinks: vec![Point::new(10, 0), Point::new(6, 3)] };
+        chip.nets = vec![net_a, net_b];
+        chip.chains = vec![Chain {
+            links: vec![
+                ChainLink { net: 0, cont_sink: Some(0) },
+                ChainLink { net: 1, cont_sink: None },
+            ],
+            rat_ps: 1000.0,
+        }];
+        let router = Router::new(&chip, RouterConfig::default());
+        let (tg, nodes) = router.build_timing_graph();
+        let rep = tg.analyze();
+
+        let typ = cds_instgen::typical_delay_per_gcell(&chip.delay_model);
+        let est = |d: u32| d as f64 * typ * 1.15 + 2.0 * chip.grid.spec().via_delay;
+        let cell = chip.cell_delay_ps;
+        // 2 links ⇒ exactly one cell between the stages
+        let est_total = est(6) + cell + est(4);
+        let scale = 1000.0 / est_total;
+
+        // terminal stage sink sits at the end of the chain: RAT = rat_ps
+        let t_far = nodes.sink_node[1][0] as usize;
+        assert!((rep.rat[t_far] - 1000.0).abs() < 1e-9, "terminal RAT {}", rep.rat[t_far]);
+        // the terminal link's other endpoint: no downstream cell either
+        let t_near = nodes.sink_node[1][1] as usize;
+        let want_near = (est(6) + cell + est(3)) * scale;
+        assert!((rep.rat[t_near] - want_near).abs() < 1e-9, "{} vs {want_near}", rep.rat[t_near]);
+        // intermediate endpoint keeps its downstream cell in the estimate
+        let t_mid = nodes.sink_node[0][1] as usize;
+        let want_mid = (est(4) + cell) * scale;
+        assert!((rep.rat[t_mid] - want_mid).abs() < 1e-9, "{} vs {want_mid}", rep.rat[t_mid]);
     }
 
     #[test]

@@ -180,6 +180,18 @@ pub trait SteinerOracle: Send + Sync {
     /// The table label (`"CD"`, `"L1"`, …) of this oracle.
     fn name(&self) -> &str;
 
+    /// Whether [`route`](Self::route) reads
+    /// [`OracleRequest::budgets`]. The router's dirty-net scheduler
+    /// uses this to decide if budget movement can change this oracle's
+    /// output: an oracle returning `false` promises its result is
+    /// independent of the budget slice, so clean nets need not be
+    /// ripped up when only budgets moved. Defaults to `true` (the
+    /// conservative answer — external oracles that ignore budgets may
+    /// override). Of the built-ins only [`SlOracle`] reads budgets.
+    fn uses_budgets(&self) -> bool {
+        true
+    }
+
     /// Routes one net, returning the embedded tree (window edge ids).
     ///
     /// # Panics
@@ -195,6 +207,9 @@ pub trait SteinerOracle: Send + Sync {
 impl<T: SteinerOracle + ?Sized> SteinerOracle for &'static T {
     fn name(&self) -> &str {
         (**self).name()
+    }
+    fn uses_budgets(&self) -> bool {
+        (**self).uses_budgets()
     }
     fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree {
         (**self).route(req, ws)
@@ -230,6 +245,12 @@ impl Default for CdOracle {
 impl SteinerOracle for CdOracle {
     fn name(&self) -> &str {
         "CD"
+    }
+
+    /// CD prices sinks through delay weights only; the budget slice is
+    /// never read.
+    fn uses_budgets(&self) -> bool {
+        false
     }
 
     fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree {
@@ -283,6 +304,11 @@ impl SteinerOracle for L1Oracle {
         "L1"
     }
 
+    /// Pure rectilinear topology — budgets are never read.
+    fn uses_budgets(&self) -> bool {
+        false
+    }
+
     fn route(&self, req: &OracleRequest<'_>, _ws: &mut OracleWorkspace) -> EmbeddedTree {
         let topo = rsmt_topology(req.root, req.sinks, 5).binarize();
         embed_plane_topology(req, &topo)
@@ -318,6 +344,12 @@ pub struct PdOracle;
 impl SteinerOracle for PdOracle {
     fn name(&self) -> &str {
         "PD"
+    }
+
+    /// The Prim–Dijkstra trade-off uses weights only — budgets are
+    /// never read.
+    fn uses_budgets(&self) -> bool {
+        false
     }
 
     fn route(&self, req: &OracleRequest<'_>, _ws: &mut OracleWorkspace) -> EmbeddedTree {

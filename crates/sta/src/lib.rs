@@ -5,7 +5,10 @@
 //! per-sink slacks drive the delay weights `w(t)` of the cost-distance
 //! subproblem. This is a standard arrival/required propagation over a
 //! timing DAG whose arc delays the router updates after every routing
-//! iteration.
+//! iteration. [`analyze`](TimingGraph::analyze) is the full reference
+//! pass; [`IncrementalSta`] is the bit-identical fast path behind it,
+//! re-propagating only the cones of arcs whose delay changed — what
+//! the router's incremental mode uses.
 //!
 //! # Examples
 //!
@@ -23,6 +26,10 @@
 //! assert_eq!(rep.tns, 0.0);
 //! ```
 
+mod incremental;
+
+pub use incremental::IncrementalSta;
+
 /// Dense timing node id.
 pub type TimingNodeId = u32;
 /// Dense timing arc id.
@@ -32,9 +39,9 @@ pub type ArcId = u32;
 #[derive(Debug, Clone)]
 pub struct TimingGraph {
     num_nodes: usize,
-    arcs: Vec<(TimingNodeId, TimingNodeId, f64)>,
-    inputs: Vec<(TimingNodeId, f64)>,
-    required: Vec<(TimingNodeId, f64)>,
+    pub(crate) arcs: Vec<(TimingNodeId, TimingNodeId, f64)>,
+    pub(crate) inputs: Vec<(TimingNodeId, f64)>,
+    pub(crate) required: Vec<(TimingNodeId, f64)>,
 }
 
 /// The result of [`TimingGraph::analyze`].
@@ -96,7 +103,7 @@ impl TimingGraph {
     /// # Panics
     ///
     /// Panics if the graph has a cycle.
-    fn topo_order(&self) -> Vec<TimingNodeId> {
+    pub(crate) fn topo_order(&self) -> Vec<TimingNodeId> {
         let mut indeg = vec![0usize; self.num_nodes];
         for &(_, to, _) in &self.arcs {
             indeg[to as usize] += 1;

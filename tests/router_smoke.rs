@@ -32,20 +32,45 @@ impl SteinerOracle for CountingOracle {
 fn custom_oracle_plugs_into_router() {
     let chip = tiny();
     let iterations = 2;
-    let config = RouterConfig { iterations, ..Default::default() };
+    // full-reroute reference: the wrapper must be routed through for
+    // every net in every iteration
+    let config = RouterConfig { iterations, incremental: false, ..Default::default() };
     let baseline = Router::new(&chip, config.clone()).run();
     let calls = Arc::new(AtomicUsize::new(0));
     let counting = Box::new(CountingOracle { calls: calls.clone() });
     let router = Router::with_oracle(&chip, config, counting);
     assert_eq!(router.oracle().name(), "CD+count");
     let out = router.run();
-    // the wrapper is routed through for every net in every iteration
     // (route() is only reachable via the trait object we installed)…
     assert_eq!(calls.load(Ordering::Relaxed), chip.nets.len() * iterations);
+    assert_eq!(out.stats.total_rerouted(), chip.nets.len() * iterations);
     assert_eq!(out.nets.len(), chip.nets.len());
     // …and produces exactly the stock CD results, since it delegates
     assert_eq!(out.metrics.tns.to_bits(), baseline.metrics.tns.to_bits());
     assert_eq!(out.usage, baseline.usage);
+}
+
+#[test]
+fn oracle_calls_match_scheduler_stats_in_incremental_mode() {
+    // the dirty-net scheduler's stats are the ground truth for how many
+    // oracle calls actually happened
+    let chip = tiny();
+    let calls = Arc::new(AtomicUsize::new(0));
+    let counting = Box::new(CountingOracle { calls: calls.clone() });
+    let config = RouterConfig { iterations: 4, ..Default::default() };
+    assert!(config.incremental, "incremental mode is the default");
+    let out = Router::with_oracle(&chip, config, counting).run();
+    assert_eq!(calls.load(Ordering::Relaxed), out.stats.total_rerouted());
+    assert_eq!(out.stats.rerouted_per_iter.len(), 4);
+    assert_eq!(out.stats.rerouted_per_iter[0], chip.nets.len(), "first iteration routes all");
+    // the wrapper delegates to CD but reports uses_budgets = true (the
+    // conservative default), so its schedule may only be a superset of
+    // stock CD's — still, it must skip something on a 4-iteration run
+    assert!(
+        out.stats.total_rerouted() < chip.nets.len() * 4,
+        "scheduler never skipped a net: {:?}",
+        out.stats.rerouted_per_iter
+    );
 }
 
 #[test]
