@@ -1,0 +1,455 @@
+//! `cds-cli` — the end-to-end driver over the routing engine.
+//!
+//! Turns the library into a tool: chips travel as `cdst/1` documents
+//! (see `cds_instgen::io::doc`), and every experiment becomes three
+//! shell lines instead of a Rust test harness:
+//!
+//! ```text
+//! cds-cli gen --preset smoke -o chip.cdst
+//! cds-cli route chip.cdst --oracle cd          # JSON metrics + checksum
+//! cds-cli verify chip.cdst --expect 0x<hex>    # re-route and diff
+//! ```
+//!
+//! Subcommands:
+//!
+//! * `gen` — synthesize a chip (`--preset`, `--nets`, `--layers`,
+//!   `--seed`, `--utilization`, `--name`) and print its document.
+//! * `route` — parse a document (file or stdin), route it, print run
+//!   metrics, `RouterStats`, and the outcome checksum as JSON.
+//! * `verify` — route and compare the checksum against `--expect`;
+//!   exit 1 on mismatch (the CI golden gate).
+//! * `harvest` — route with instance harvesting and print the document
+//!   extended with the per-net `weights`/`budgets` archive.
+//! * `fixtures` — regenerate the pinned documents under
+//!   `tests/fixtures/` (the 300-net converging chip, the hard-congested
+//!   chip, the 120-request solver stream, and the CI smoke checksum).
+//!
+//! Router configuration layers, later wins: `RouterConfig::default()`,
+//! then the document's `config` records, then CLI flags
+//! (`--oracle/--threads/--iterations/--incremental/--price-tol/...`).
+
+use cds_instgen::io::doc::{chip_doc_to_string, read_chip_doc, ChipDoc, RequestRecord};
+use cds_instgen::{Chip, ChipSpec};
+use cds_router::{Router, RouterConfig, RoutingOutcome};
+use std::fmt::Write as _;
+use std::io::{BufReader, Write as _};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("cds-cli: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: cds-cli <gen|route|verify|harvest|fixtures> [args]
+  gen      [--preset smoke|small|converging|congested] [--nets N] [--layers N]
+           [--seed N] [--utilization F] [--name S] [-o FILE]
+  route    [FILE|-] [--oracle cd|l1|sl|pd] [--threads N] [--iterations N]
+           [--incremental BOOL] [--price-tol F] [--materialize] [--seed N]
+           [--set key=value]...
+  verify   [FILE|-] --expect 0xHEX [route flags]
+  harvest  [FILE|-] [route flags] [-o FILE]
+  fixtures DIR";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, rest) = args.split_first().ok_or(USAGE)?;
+    match cmd.as_str() {
+        "gen" => gen(rest),
+        "route" => route(rest),
+        "verify" => verify(rest),
+        "harvest" => harvest(rest),
+        "fixtures" => fixtures(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown subcommand {other}\n{USAGE}")),
+    }
+}
+
+// ---------------------------------------------------------------- flags
+
+/// Minimal flag cursor: `--flag value` pairs, bare `--flag` switches,
+/// and at most one positional (the document path). Flags are kept in
+/// command-line order so configuration layering is truly "later wins".
+struct Flags {
+    named: Vec<(String, Option<String>)>,
+    positional: Option<String>,
+}
+
+impl Flags {
+    /// `valued` lists the flags that take a value, `switches` those
+    /// that take none; anything else is rejected (a misspelled flag
+    /// must not silently swallow the following argument).
+    fn parse(args: &[String], valued: &[&str], switches: &[&str]) -> Result<Self, String> {
+        let mut named = Vec::new();
+        let mut positional = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if switches.contains(&name) {
+                    named.push((name.to_string(), None));
+                } else if valued.contains(&name) {
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                    named.push((name.to_string(), Some(v.clone())));
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else if a == "-o" {
+                let v = it.next().ok_or("-o needs a file name")?;
+                named.push(("o".to_string(), Some(v.clone())));
+            } else if positional.is_none() {
+                positional = Some(a.clone());
+            } else {
+                return Err(format!("unexpected argument {a}"));
+            }
+        }
+        Ok(Flags { named, positional })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.named.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_deref().unwrap_or(""))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("bad value {v} for --{name}")),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ gen
+
+fn preset_spec(name: &str) -> Result<ChipSpec, String> {
+    Ok(match name {
+        // the CI smoke chip: small enough to route in seconds, big
+        // enough for real congestion
+        "smoke" => ChipSpec { name: "smoke".into(), num_nets: 40, ..ChipSpec::small_test(44) },
+        "small" => ChipSpec::small_test(1),
+        // the converging chip the `incremental` bench measures
+        "converging" => ChipSpec {
+            name: "converging".into(),
+            num_nets: 300,
+            utilization: 0.22,
+            ..ChipSpec::small_test(5)
+        },
+        // the hard-congested chip (overflow rip-up irreducible)
+        "congested" => {
+            ChipSpec { name: "congested".into(), num_nets: 150, ..ChipSpec::small_test(7) }
+        }
+        other => {
+            return Err(format!("unknown preset {other} (want smoke/small/converging/congested)"))
+        }
+    })
+}
+
+const GEN_FLAGS: &[&str] = &["preset", "nets", "layers", "seed", "utilization", "name"];
+
+fn gen(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, GEN_FLAGS, &[])?;
+    let mut spec = preset_spec(flags.get("preset").unwrap_or("small"))?;
+    if let Some(n) = flags.num::<usize>("nets")? {
+        spec.num_nets = n;
+    }
+    if let Some(l) = flags.num::<u8>("layers")? {
+        spec.num_layers = l;
+    }
+    if let Some(s) = flags.num::<u64>("seed")? {
+        spec.seed = s;
+    }
+    if let Some(u) = flags.num::<f64>("utilization")? {
+        spec.utilization = u;
+    }
+    if let Some(name) = flags.get("name") {
+        spec.name = name.to_string();
+    }
+    let doc = ChipDoc::from_chip(&spec.generate()).map_err(|e| e.to_string())?;
+    emit(flags.get("o"), &chip_doc_to_string(&doc).map_err(|e| e.to_string())?)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------- route
+
+fn load_doc(path: Option<&str>) -> Result<ChipDoc, String> {
+    match path {
+        None | Some("-") => {
+            read_chip_doc(std::io::stdin().lock()).map_err(|e| format!("<stdin>: {e}"))
+        }
+        Some(p) => {
+            let f = std::fs::File::open(p).map_err(|e| format!("{p}: {e}"))?;
+            read_chip_doc(BufReader::new(f)).map_err(|e| format!("{p}: {e}"))
+        }
+    }
+}
+
+/// Default config ← document `config` records ← CLI flags, the flags
+/// strictly in command-line order (so `--set iterations=3
+/// --iterations 9` ends at 9, and vice versa).
+fn build_config(doc: &ChipDoc, flags: &Flags) -> Result<RouterConfig, String> {
+    let mut config = RouterConfig::default();
+    for (k, v) in &doc.config {
+        config.set_knob(k, v).map_err(|e| format!("document config record: {e}"))?;
+    }
+    for (name, value) in &flags.named {
+        let v = value.as_deref().unwrap_or("");
+        match name.as_str() {
+            "oracle" | "threads" | "iterations" | "incremental" | "seed" => {
+                config.set_knob(name, v)?;
+            }
+            "price-tol" => config.set_knob("price_tol", v)?,
+            "materialize" => config.materialize_windows = true,
+            "set" => {
+                let (k, v) =
+                    v.split_once('=').ok_or_else(|| format!("--set wants key=value, got {v}"))?;
+                config.set_knob(k, v)?;
+            }
+            // verify's --expect and the -o output path are not knobs
+            _ => {}
+        }
+    }
+    Ok(config)
+}
+
+fn route_doc(doc: &ChipDoc, flags: &Flags) -> Result<(Chip, RouterConfig, RoutingOutcome), String> {
+    let config = build_config(doc, flags)?;
+    let chip = doc.build_chip();
+    let outcome = Router::new(&chip, config.clone()).run();
+    Ok((chip, config, outcome))
+}
+
+/// JSON-safe float: shortest-round-trip for finite values, `null`
+/// otherwise (JSON has no inf/NaN literals).
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string escaping — chip names are free-form tokens and may
+/// contain `"` or `\`.
+fn js(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn outcome_json(chip: &Chip, config: &RouterConfig, out: &RoutingOutcome) -> String {
+    let spec = chip.grid.spec();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"chip\": \"{}\",\n  \"nets\": {},\n  \"grid\": {{\"nx\": {}, \"ny\": {}, \
+         \"layers\": {}, \"edges\": {}}},\n",
+        js(&chip.name),
+        chip.nets.len(),
+        spec.nx,
+        spec.ny,
+        spec.layers.len(),
+        chip.grid.graph().num_edges()
+    );
+    let _ = writeln!(
+        s,
+        "  \"config\": {{\"oracle\": \"{}\", \"threads\": {}, \"iterations\": {}, \
+         \"incremental\": {}, \"price_tol\": {}}},",
+        config.method,
+        config.threads,
+        config.iterations,
+        config.incremental,
+        jf(config.price_tol)
+    );
+    let m = &out.metrics;
+    let _ = writeln!(
+        s,
+        "  \"metrics\": {{\"ws_ps\": {}, \"tns_ps\": {}, \"ace4_pct\": {}, \
+         \"wirelength_m\": {}, \"vias\": {}, \"walltime_s\": {}}},",
+        jf(m.ws),
+        jf(m.tns),
+        jf(m.ace4),
+        jf(m.wl_m),
+        m.vias,
+        jf(m.walltime_s)
+    );
+    let st = &out.stats;
+    let per: Vec<String> = st.rerouted_per_iter.iter().map(|r| r.to_string()).collect();
+    let _ = writeln!(
+        s,
+        "  \"stats\": {{\"rerouted_per_iter\": [{}], \"oracle_calls\": {}, \
+         \"dirty\": {{\"fresh\": {}, \"overflow\": {}, \"timing\": {}, \"price\": {}, \
+         \"weight\": {}, \"budget\": {}}}, \"usage_recounts\": {}, \"sta_nodes_retimed\": {}}},",
+        per.join(", "),
+        st.total_rerouted(),
+        st.dirty_fresh,
+        st.dirty_overflow,
+        st.dirty_timing,
+        st.dirty_price,
+        st.dirty_weight,
+        st.dirty_budget,
+        st.usage_recounts,
+        st.sta_nodes_retimed
+    );
+    let _ = write!(s, "  \"checksum\": \"{:#018x}\"\n}}", out.checksum());
+    s
+}
+
+const ROUTE_FLAGS: &[&str] =
+    &["oracle", "threads", "iterations", "incremental", "price-tol", "seed", "set", "expect"];
+const ROUTE_SWITCHES: &[&str] = &["materialize"];
+
+fn route(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
+    let doc = load_doc(flags.positional.as_deref())?;
+    let (chip, config, out) = route_doc(&doc, &flags)?;
+    println!("{}", outcome_json(&chip, &config, &out));
+    Ok(ExitCode::SUCCESS)
+}
+
+// --------------------------------------------------------------- verify
+
+fn parse_checksum(v: &str) -> Result<u64, String> {
+    let hex = v.strip_prefix("0x").unwrap_or(v);
+    u64::from_str_radix(hex, 16).map_err(|_| format!("bad checksum {v} (want 0x<hex>)"))
+}
+
+fn verify(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
+    let expect = parse_checksum(flags.get("expect").ok_or("verify needs --expect 0x<hex>")?)?;
+    let doc = load_doc(flags.positional.as_deref())?;
+    let (chip, config, out) = route_doc(&doc, &flags)?;
+    let actual = out.checksum();
+    let ok = actual == expect;
+    println!(
+        "{{\"chip\": \"{}\", \"oracle\": \"{}\", \"expected\": \"{:#018x}\", \
+         \"actual\": \"{:#018x}\", \"match\": {}}}",
+        js(&chip.name),
+        config.method,
+        expect,
+        actual,
+        ok
+    );
+    if ok {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("cds-cli: checksum mismatch — the route diverged from the recorded golden");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+// -------------------------------------------------------------- harvest
+
+fn harvest(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
+    let mut doc = load_doc(flags.positional.as_deref())?;
+    let mut config = build_config(&doc, &flags)?;
+    config.harvest = true;
+    let chip = doc.build_chip();
+    let out = Router::new(&chip, config).run();
+    doc.weights.clear();
+    doc.budgets.clear();
+    for h in &out.harvest {
+        doc.weights.push((h.net, h.weights.clone()));
+        // budgets are empty before the first STA (1-iteration runs)
+        if !h.budgets.is_empty() {
+            doc.budgets.push((h.net, h.budgets.clone()));
+        }
+    }
+    emit(flags.get("o"), &chip_doc_to_string(&doc).map_err(|e| e.to_string())?)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+// ------------------------------------------------------------- fixtures
+
+/// The 120-request heterogeneous solver stream pinned by
+/// `tests/determinism.rs` (`stream_results_match_sparse_era_golden`),
+/// split per grid: requests `i ≡ gi (mod 3)` land on grid `gi`, so a
+/// round-robin over the three documents reconstructs stream order.
+fn stream_requests(gi: usize, nx: u32, ny: u32, nl: u8) -> Vec<RequestRecord> {
+    (0..120u64)
+        .filter(|i| (i % 3) as usize == gi)
+        .map(|i| {
+            let k = 1 + (i % 7) as u32;
+            let sinks: Vec<(u32, u32, u8)> = (0..k)
+                .map(|j| {
+                    (
+                        (3 + i as u32 * 5 + j * 11) % nx,
+                        (1 + i as u32 * 3 + j * 7) % ny,
+                        (j as u8 % nl).min(1),
+                    )
+                })
+                .collect();
+            let weights: Vec<f64> =
+                (0..k).map(|j| 0.05 + (j as f64) * 0.4 + (i % 3) as f64).collect();
+            let (dbif, eta) = if i % 2 == 0 { (0.0, 0.5) } else { (3.0 + (i % 5) as f64, 0.25) };
+            RequestRecord { seed: i * 31 + 7, dbif, eta, root: (0, 0, 0), sinks, weights }
+        })
+        .collect()
+}
+
+fn stream_doc(gi: usize, nx: u32, ny: u32, nl: u8) -> Result<String, String> {
+    let doc = ChipDoc {
+        name: format!("stream-{nx}x{ny}"),
+        tech_layers: 2,
+        cell_delay_ps: 18.0,
+        config: Vec::new(),
+        grid: cds_graph::GridSpec::uniform(nx, ny, nl),
+        ecap: Vec::new(),
+        nets: Vec::new(),
+        chains: Vec::new(),
+        weights: Vec::new(),
+        budgets: Vec::new(),
+        requests: stream_requests(gi, nx, ny, nl),
+    };
+    chip_doc_to_string(&doc).map_err(|e| e.to_string())
+}
+
+fn fixtures(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, &[], &[])?;
+    let dir = std::path::PathBuf::from(flags.positional.as_deref().unwrap_or("tests/fixtures"));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let write = |name: &str, text: &str| -> Result<(), String> {
+        let path = dir.join(name);
+        std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    };
+    for preset in ["converging", "congested"] {
+        let doc =
+            ChipDoc::from_chip(&preset_spec(preset)?.generate()).map_err(|e| e.to_string())?;
+        write(&format!("{preset}.cdst"), &chip_doc_to_string(&doc).map_err(|e| e.to_string())?)?;
+    }
+    for (gi, (nx, ny, nl)) in [(8u32, 8u32, 2u8), (12, 9, 3), (15, 15, 2)].into_iter().enumerate() {
+        write(&format!("stream_{nx}x{ny}.cdst"), &stream_doc(gi, nx, ny, nl)?)?;
+    }
+    // the CI smoke golden: default config, CD oracle
+    let chip = preset_spec("smoke")?.generate();
+    let out = Router::new(&chip, RouterConfig::default()).run();
+    write("smoke_cd.expect", &format!("{:#018x}\n", out.checksum()))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+// ----------------------------------------------------------------- misc
+
+fn emit(path: Option<&str>, text: &str) -> Result<(), String> {
+    match path {
+        None | Some("-") => {
+            std::io::stdout().write_all(text.as_bytes()).map_err(|e| format!("stdout: {e}"))
+        }
+        Some(p) => std::fs::write(p, text).map_err(|e| format!("{p}: {e}")),
+    }
+}

@@ -1,0 +1,214 @@
+//! Process-level tests of the `cds-cli` binary: the gen → route →
+//! verify → harvest pipeline, stdin documents, exit codes, and error
+//! reporting.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cds-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().unwrap();
+    assert!(
+        out.status.success(),
+        "{cmd:?} failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn json_field<'a>(json: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\": ");
+    let start = json.find(&pat).unwrap_or_else(|| panic!("no {key} in {json}")) + pat.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '\n', '}']).unwrap();
+    rest[..end].trim().trim_matches('"')
+}
+
+#[test]
+fn gen_route_verify_pipeline() {
+    let doc = tmp("pipeline.cdst");
+    run_ok(
+        bin()
+            .args(["gen", "--preset", "small", "--nets", "25", "--seed", "9"])
+            .args(["-o", doc.to_str().unwrap()]),
+    );
+    let json = run_ok(bin().args([
+        "route",
+        doc.to_str().unwrap(),
+        "--oracle",
+        "cd",
+        "--iterations",
+        "2",
+        "--threads",
+        "2",
+    ]));
+    assert_eq!(json_field(&json, "nets"), "25");
+    assert_eq!(json_field(&json, "oracle"), "CD");
+    let checksum = json_field(&json, "checksum").to_string();
+    assert!(checksum.starts_with("0x") && checksum.len() == 18, "{checksum}");
+
+    // verify against the checksum route just reported: must match
+    let ok = bin()
+        .args(["verify", doc.to_str().unwrap(), "--oracle", "cd", "--iterations", "2"])
+        .args(["--expect", &checksum])
+        .output()
+        .unwrap();
+    assert!(ok.status.success(), "verify rejected its own checksum");
+
+    // and a wrong golden must exit 1 with match: false
+    let bad = bin()
+        .args(["verify", doc.to_str().unwrap(), "--oracle", "cd", "--iterations", "2"])
+        .args(["--expect", "0x1"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("\"match\": false"));
+}
+
+fn pipe_stdin(cmd: &mut Command, input: &str) -> Output {
+    let mut child =
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::piped()).spawn().unwrap();
+    child.stdin.take().unwrap().write_all(input.as_bytes()).unwrap();
+    child.wait_with_output().unwrap()
+}
+
+#[test]
+fn route_reads_document_from_stdin() {
+    let doc = run_ok(bin().args(["gen", "--preset", "small", "--nets", "20"]));
+    let out = pipe_stdin(bin().args(["route", "-", "--iterations", "1"]), &doc);
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(json_field(&json, "nets"), "20");
+}
+
+#[test]
+fn document_config_records_apply_and_cli_flags_override() {
+    let doc = run_ok(bin().args(["gen", "--preset", "small", "--nets", "20"]));
+    // config records belong to the preamble: splice them in after the
+    // celldelay line
+    let mut lines: Vec<&str> = doc.lines().collect();
+    let at = lines.iter().position(|l| l.starts_with("celldelay")).unwrap() + 1;
+    lines.insert(at, "config oracle l1");
+    lines.insert(at + 1, "config iterations 1");
+    let with_config = format!("{}\n", lines.join("\n"));
+    let out = pipe_stdin(bin().args(["route", "-"]), &with_config);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(json_field(&json, "oracle"), "L1", "document config record ignored");
+    assert_eq!(json_field(&json, "iterations"), "1");
+
+    // CLI flag beats the document record
+    let out = pipe_stdin(bin().args(["route", "-", "--oracle", "pd"]), &with_config);
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(json_field(&json, "oracle"), "PD", "CLI flag lost to document config");
+}
+
+#[test]
+fn harvest_emits_the_instance_archive() {
+    let doc = run_ok(bin().args(["gen", "--preset", "small", "--nets", "30", "--seed", "3"]));
+    // full-reroute mode: the final iteration re-routes every net with
+    // STA-derived budgets, so every harvested instance carries both
+    let out = pipe_stdin(
+        bin().args(["harvest", "-", "--iterations", "2", "--incremental", "false"]),
+        &doc,
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let archive = String::from_utf8(out.stdout).unwrap();
+    let weights = archive.lines().filter(|l| l.starts_with("weights ")).count();
+    let budgets = archive.lines().filter(|l| l.starts_with("budgets ")).count();
+    assert!(weights > 0, "no weights records in the harvest archive");
+    assert_eq!(weights, budgets, "full-reroute harvests carry budgets for every instance");
+
+    // incremental mode: clean nets keep their iteration-0 route, whose
+    // budgets were empty (routing preceded the first STA) — the archive
+    // reports exactly the inputs each kept route was produced with
+    let out = pipe_stdin(bin().args(["harvest", "-", "--iterations", "2"]), &doc);
+    let archive_inc = String::from_utf8(out.stdout).unwrap();
+    let weights_inc = archive_inc.lines().filter(|l| l.starts_with("weights ")).count();
+    let budgets_inc = archive_inc.lines().filter(|l| l.starts_with("budgets ")).count();
+    assert_eq!(weights_inc, weights, "every instance still reports its weights");
+    assert!(budgets_inc < weights_inc, "some kept route should predate the first budgets");
+    // the archive is itself a valid document: routing it still works
+    let rerun = pipe_stdin(bin().args(["route", "-", "--iterations", "1"]), &archive);
+    assert!(rerun.status.success(), "{}", String::from_utf8_lossy(&rerun.stderr));
+}
+
+#[test]
+fn malformed_documents_exit_2_with_line_numbers() {
+    let out = pipe_stdin(bin().args(["route", "-"]), "cdst/1\nbogus record\n");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "stderr lacks the line number: {err}");
+
+    let out = bin().args(["route", "/nonexistent/chip.cdst"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = bin().args(["frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flags_are_rejected_instead_of_swallowing_arguments() {
+    // Regression: a misspelled flag used to consume the next argument
+    // as its value and route with silently-wrong configuration (or
+    // hang on stdin after eating the document path).
+    let out = bin().args(["route", "x.cdst", "--itrations", "3"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --itrations"));
+
+    let out = bin().args(["route", "--materialise", "x.cdst"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --materialise"));
+
+    let out = bin().args(["gen", "--nest", "9"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn config_flags_apply_in_command_line_order() {
+    // Regression: --set pairs used to apply after all dedicated flags
+    // regardless of position, so a later dedicated flag could not
+    // override an earlier --set.
+    let doc = run_ok(bin().args(["gen", "--preset", "small", "--nets", "15"]));
+    let later_flag =
+        pipe_stdin(bin().args(["route", "-", "--set", "iterations=3", "--iterations", "1"]), &doc);
+    let json = String::from_utf8(later_flag.stdout).unwrap();
+    assert_eq!(json_field(&json, "iterations"), "1", "later --iterations lost to earlier --set");
+    let later_set =
+        pipe_stdin(bin().args(["route", "-", "--iterations", "3", "--set", "iterations=1"]), &doc);
+    let json = String::from_utf8(later_set.stdout).unwrap();
+    assert_eq!(json_field(&json, "iterations"), "1", "later --set lost to earlier --iterations");
+}
+
+#[test]
+fn chip_names_are_json_escaped() {
+    // `"` and `\` are legal in cdst/1 name tokens; the JSON output
+    // must escape them
+    let doc = run_ok(bin().args(["gen", "--preset", "small", "--nets", "12", "--name", "a\"b\\c"]));
+    let out = pipe_stdin(bin().args(["route", "-", "--iterations", "1"]), &doc);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"chip\": \"a\\\"b\\\\c\""), "unescaped name in: {json}");
+}
+
+#[test]
+fn gen_is_deterministic_and_respects_overrides() {
+    let a = run_ok(bin().args(["gen", "--preset", "congested", "--name", "x"]));
+    let b = run_ok(bin().args(["gen", "--preset", "congested", "--name", "x"]));
+    assert_eq!(a, b, "gen is not deterministic");
+    assert!(a.contains("chip x\n"));
+    let c = run_ok(bin().args(["gen", "--nets", "17", "--layers", "5"]));
+    assert!(c.contains("# chip document: 17 nets"));
+    assert!(c.contains(" 5 "), "layer override ignored");
+}

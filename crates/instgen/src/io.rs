@@ -3,14 +3,23 @@
 //! Experiments should be shareable without re-running the generator:
 //! this module writes and parses a compact line-oriented format for
 //! [`Net`] lists and timing chains, so harvested workloads can be
-//! archived next to EXPERIMENTS.md and replayed byte-identically.
+//! archived next to EXPERIMENTS.md and replayed byte-identically. The
+//! [`doc`] submodule extends the same records into the full `cdst/1`
+//! *chip document* format (grid, layers, capacities, workload, config
+//! overrides) used by `cds-cli` and the `tests/fixtures/` archive.
 //!
 //! Format (one record per line, `#` comments allowed):
 //!
 //! ```text
-//! net <root_x> <root_y> : <x> <y> [<x> <y> ...]
+//! net <root_x> <root_y> : [<x> <y> ...]
 //! chain <rat_ps> : <net>[/<cont_sink>] ...
 //! ```
+//!
+//! Serialization is *total*: every line the writers emit parses back to
+//! the value it came from, bit-identically. Floats are printed with
+//! shortest-round-trip (`{:?}`) formatting, and a sink-less net's
+//! `net x y :` record is accepted by [`parse_nets`] (it used to be
+//! rejected, making write → parse partial).
 //!
 //! # Examples
 //!
@@ -23,6 +32,8 @@
 //! let text = nets_to_string(&nets);
 //! assert_eq!(parse_nets(&text).unwrap(), nets);
 //! ```
+
+pub mod doc;
 
 use crate::{Chain, ChainLink, Net};
 use cds_geom::Point;
@@ -62,7 +73,9 @@ pub fn nets_to_string(nets: &[Net]) -> String {
 pub fn chains_to_string(chains: &[Chain]) -> String {
     let mut out = String::new();
     for c in chains {
-        let _ = write!(out, "chain {} :", c.rat_ps);
+        // {:?} is shortest-round-trip: parse_chains recovers rat_ps
+        // bit-exactly ({} used to truncate to ~1e-9 relative error)
+        let _ = write!(out, "chain {:?} :", c.rat_ps);
         for l in &c.links {
             match l.cont_sink {
                 Some(s) => {
@@ -82,6 +95,59 @@ fn err(line: usize, message: impl Into<String>) -> ParseWorkloadError {
     ParseWorkloadError { line, message: message.into() }
 }
 
+/// Parses the payload of one `net` record (everything after `net `).
+/// Shared by [`parse_nets`] and the [`doc`] parser so the record grammar
+/// exists exactly once.
+pub(crate) fn parse_net_record(rest: &str, line: usize) -> Result<Net, ParseWorkloadError> {
+    let (head, tail) = rest.split_once(':').ok_or_else(|| err(line, "missing ':' separator"))?;
+    let mut hp = head.split_whitespace();
+    let root = Point::new(
+        hp.next().and_then(|v| v.parse().ok()).ok_or_else(|| err(line, "bad root x"))?,
+        hp.next().and_then(|v| v.parse().ok()).ok_or_else(|| err(line, "bad root y"))?,
+    );
+    if let Some(extra) = hp.next() {
+        return Err(err(line, format!("unexpected token {extra} after root coordinates")));
+    }
+    let coords: Vec<i32> = tail
+        .split_whitespace()
+        .map(|v| v.parse().map_err(|_| err(line, format!("bad coordinate {v}"))))
+        .collect::<Result<_, _>>()?;
+    // an empty tail is a sink-less net: the writer emits `net x y :` for
+    // it, so the parser must accept it (serialization is total)
+    if !coords.len().is_multiple_of(2) {
+        return Err(err(line, "sink coordinates must come in pairs"));
+    }
+    let sinks = coords.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
+    Ok(Net { root, sinks })
+}
+
+/// Parses the payload of one `chain` record (everything after `chain `).
+pub(crate) fn parse_chain_record(rest: &str, line: usize) -> Result<Chain, ParseWorkloadError> {
+    let (head, tail) = rest.split_once(':').ok_or_else(|| err(line, "missing ':' separator"))?;
+    let rat_ps: f64 = head.trim().parse().map_err(|_| err(line, "bad RAT"))?;
+    let mut links = Vec::new();
+    for tok in tail.split_whitespace() {
+        let link = match tok.split_once('/') {
+            Some((n, s)) => ChainLink {
+                net: n.parse().map_err(|_| err(line, format!("bad net {n}")))?,
+                cont_sink: Some(s.parse().map_err(|_| err(line, format!("bad sink {s}")))?),
+            },
+            None => ChainLink {
+                net: tok.parse().map_err(|_| err(line, format!("bad net {tok}")))?,
+                cont_sink: None,
+            },
+        };
+        links.push(link);
+    }
+    if links.is_empty() {
+        return Err(err(line, "empty chain"));
+    }
+    if links.last().expect("nonempty").cont_sink.is_some() {
+        return Err(err(line, "last link must not continue"));
+    }
+    Ok(Chain { links, rat_ps })
+}
+
 /// Parses nets from the text format (ignoring chain lines and comments).
 ///
 /// # Errors
@@ -97,22 +163,7 @@ pub fn parse_nets(text: &str) -> Result<Vec<Net>, ParseWorkloadError> {
         let Some(rest) = line.strip_prefix("net ") else {
             return Err(err(i + 1, format!("unknown record: {line}")));
         };
-        let (head, tail) =
-            rest.split_once(':').ok_or_else(|| err(i + 1, "missing ':' separator"))?;
-        let mut hp = head.split_whitespace();
-        let root = Point::new(
-            hp.next().and_then(|v| v.parse().ok()).ok_or_else(|| err(i + 1, "bad root x"))?,
-            hp.next().and_then(|v| v.parse().ok()).ok_or_else(|| err(i + 1, "bad root y"))?,
-        );
-        let coords: Vec<i32> = tail
-            .split_whitespace()
-            .map(|v| v.parse().map_err(|_| err(i + 1, format!("bad coordinate {v}"))))
-            .collect::<Result<_, _>>()?;
-        if !coords.len().is_multiple_of(2) || coords.is_empty() {
-            return Err(err(i + 1, "sink coordinates must come in non-empty pairs"));
-        }
-        let sinks = coords.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
-        out.push(Net { root, sinks });
+        out.push(parse_net_record(rest, i + 1)?);
     }
     Ok(out)
 }
@@ -132,30 +183,7 @@ pub fn parse_chains(text: &str) -> Result<Vec<Chain>, ParseWorkloadError> {
         let Some(rest) = line.strip_prefix("chain ") else {
             return Err(err(i + 1, format!("unknown record: {line}")));
         };
-        let (head, tail) =
-            rest.split_once(':').ok_or_else(|| err(i + 1, "missing ':' separator"))?;
-        let rat_ps: f64 = head.trim().parse().map_err(|_| err(i + 1, "bad RAT"))?;
-        let mut links = Vec::new();
-        for tok in tail.split_whitespace() {
-            let link = match tok.split_once('/') {
-                Some((n, s)) => ChainLink {
-                    net: n.parse().map_err(|_| err(i + 1, format!("bad net {n}")))?,
-                    cont_sink: Some(s.parse().map_err(|_| err(i + 1, format!("bad sink {s}")))?),
-                },
-                None => ChainLink {
-                    net: tok.parse().map_err(|_| err(i + 1, format!("bad net {tok}")))?,
-                    cont_sink: None,
-                },
-            };
-            links.push(link);
-        }
-        if links.is_empty() {
-            return Err(err(i + 1, "empty chain"));
-        }
-        if links.last().expect("nonempty").cont_sink.is_some() {
-            return Err(err(i + 1, "last link must not continue"));
-        }
-        out.push(Chain { links, rat_ps });
+        out.push(parse_chain_record(rest, i + 1)?);
     }
     Ok(out)
 }
@@ -183,12 +211,37 @@ mod tests {
         let nets = parse_nets(&doc).unwrap();
         let chains = parse_chains(&doc).unwrap();
         assert_eq!(nets, chip.nets);
-        assert_eq!(chains.len(), chip.chains.len());
-        for (a, b) in chains.iter().zip(&chip.chains) {
-            assert_eq!(a.links, b.links);
-            // RAT survives the decimal round-trip to printed precision
-            assert!((a.rat_ps - b.rat_ps).abs() < 1e-9 * b.rat_ps.abs().max(1.0));
+        // {:?} RAT formatting makes the round trip bit-exact
+        assert_eq!(chains, chip.chains);
+    }
+
+    #[test]
+    fn rat_round_trips_bit_exactly() {
+        // Regression: rat_ps used to be written with `{}` (Display),
+        // which truncates — round trips only held to ~1e-9 relative
+        // error. Shortest-round-trip `{:?}` formatting recovers the
+        // exact bits, including awkward values.
+        let chains: Vec<Chain> = [0.1 + 0.2, 1.0 / 3.0, 1e-300, 7.0e300, 123456.78901234567]
+            .into_iter()
+            .map(|rat_ps| Chain { links: vec![ChainLink { net: 0, cont_sink: None }], rat_ps })
+            .collect();
+        let parsed = parse_chains(&chains_to_string(&chains)).unwrap();
+        assert_eq!(parsed.len(), chains.len());
+        for (a, b) in parsed.iter().zip(&chains) {
+            assert_eq!(a.rat_ps.to_bits(), b.rat_ps.to_bits(), "{} drifted", b.rat_ps);
         }
+    }
+
+    #[test]
+    fn sink_less_net_round_trips() {
+        // Regression: the writer emits `net x y :` for a sink-less net,
+        // which the parser used to reject — write → parse was partial.
+        let nets = vec![
+            Net { root: Point::new(3, -4), sinks: Vec::new() },
+            Net { root: Point::new(0, 0), sinks: vec![Point::new(1, 1)] },
+        ];
+        let text = nets_to_string(&nets);
+        assert_eq!(parse_nets(&text).unwrap(), nets);
     }
 
     #[test]
@@ -204,6 +257,10 @@ mod tests {
         let e = parse_nets(doc).unwrap_err();
         assert_eq!(e.line, 1);
         assert!(e.message.contains("pairs"));
+
+        let e = parse_nets("# ok\n\nnet 0 0 0 : 1 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("after root"), "{e}");
 
         let e = parse_chains("chain x : 1\n").unwrap_err();
         assert!(e.message.contains("RAT"));

@@ -1,0 +1,1229 @@
+//! The `cdst/1` chip document format.
+//!
+//! A chip document is everything a routing run needs, in one versioned,
+//! line-oriented text file: the grid (dimensions, layers, wire types,
+//! per-edge capacity overrides), the technology the delay model is
+//! calibrated from, the workload (nets and timing chains), optional
+//! per-net delay weights and budgets (the post-route instance archive),
+//! router configuration overrides, and optional solver-level `request`
+//! records for archiving raw cost-distance request streams. `cds-cli`
+//! reads and writes this format, and the pinned experiment chips live
+//! under `tests/fixtures/` as chip documents.
+//!
+//! # Grammar
+//!
+//! One record per line; blank lines and `#` comments are ignored
+//! anywhere. Floats use shortest-round-trip (`{:?}`) formatting, so
+//! every value survives write → parse bit-identically. Records must
+//! appear in section order (header, preamble, grid, layers, capacity
+//! overrides, nets, chains, weights/budgets, requests):
+//!
+//! ```text
+//! cdst/1
+//! chip <name>
+//! tech <num_layers>
+//! celldelay <ps>
+//! config <key> <value>                                  (0+)
+//! grid <nx> <ny> <nlayers> <via_cost> <via_delay> <via_capacity> <gcell_um>
+//! layer <H|V> : <cost> <delay> <capacity> [...]         (exactly nlayers)
+//! ecap <edge_id> <capacity>                             (0+, ids strictly increasing)
+//! net <root_x> <root_y> : [<x> <y> ...]                 (0+)
+//! chain <rat_ps> : <net>[/<cont_sink>] ...              (0+)
+//! weights <net> : <w> ...                               (0+, net ids strictly increasing)
+//! budgets <net> : <b> ...                               (0+, net ids strictly increasing)
+//! request <seed> <dbif> <eta> : <x> <y> <l> : <x> <y> <l> ... : <w> ...
+//! ```
+//!
+//! `ecap` records override the capacity of single edges of the graph
+//! the grid spec builds (macro depletion, harvested congestion maps);
+//! edge ids refer to the deterministic build order of
+//! [`GridSpec::build`]. `config` records are opaque `key value` pairs
+//! interpreted by `cds_router::RouterConfig::set_knob`. The delay model
+//! is rebuilt from `tech` via
+//! [`Technology::five_nm_like`](cds_delay::Technology::five_nm_like)
+//! calibrated at the grid's `gcell_um`, which reproduces the generator's
+//! model exactly.
+//!
+//! # Totality and round-trip contract
+//!
+//! [`chip_doc_to_string`] validates before emitting; every string it
+//! returns is accepted by [`parse_chip_doc`], and
+//! `parse_chip_doc(chip_doc_to_string(d)?) == d` with every float
+//! bit-identical (enforced by proptest in `tests/chipdoc.rs`). The one
+//! excluded value is NaN, which cannot round-trip bit-exactly through
+//! any decimal text; the writer rejects it with a typed error. The
+//! parser is streaming — it reads from any [`BufRead`] one line at a
+//! time and never materializes more than one record — and every parse
+//! error carries the 1-based line number it occurred on.
+//!
+//! # Examples
+//!
+//! ```
+//! use cds_instgen::io::doc::{chip_doc_to_string, parse_chip_doc, ChipDoc};
+//! use cds_instgen::ChipSpec;
+//!
+//! let chip = ChipSpec::small_test(1).generate();
+//! let doc = ChipDoc::from_chip(&chip).unwrap();
+//! let text = chip_doc_to_string(&doc).unwrap();
+//! let parsed = parse_chip_doc(&text).unwrap();
+//! assert_eq!(parsed, doc);
+//! let rebuilt = parsed.build_chip();
+//! assert_eq!(rebuilt.nets, chip.nets);
+//! ```
+
+use super::{parse_chain_record, parse_net_record, ParseWorkloadError};
+use crate::{Chain, Chip, Net};
+use cds_delay::Technology;
+use cds_geom::Point;
+use cds_graph::{Direction, EdgeId, GraphBuilder, GridGraph, GridSpec, LayerSpec, WireTypeSpec};
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+/// The version header every chip document starts with.
+pub const FORMAT_VERSION: &str = "cdst/1";
+
+/// One archived solver-level request: a raw cost-distance instance on
+/// the document's grid (root, sinks and their layers, delay weights,
+/// bifurcation penalty, seed). Used to archive request streams that are
+/// not chip workloads — e.g. the pinned 120-request determinism stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// RNG seed of the solve.
+    pub seed: u64,
+    /// Bifurcation penalty `d_bif` (ps); 0 disables penalties.
+    pub dbif: f64,
+    /// Shielding limit η in `[0, 1/2]`.
+    pub eta: f64,
+    /// Root `(x, y, layer)`.
+    pub root: (u32, u32, u8),
+    /// Sinks `(x, y, layer)`, at least one.
+    pub sinks: Vec<(u32, u32, u8)>,
+    /// Delay weight per sink (same arity as `sinks`).
+    pub weights: Vec<f64>,
+}
+
+/// An in-memory chip document: the parsed form of a `cdst/1` file and
+/// the value the writer serializes. See the module docs for the
+/// grammar; [`build_chip`](ChipDoc::build_chip) turns it into a
+/// routable [`Chip`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipDoc {
+    /// Chip name (one whitespace-free token).
+    pub name: String,
+    /// Metal layer count the delay model is calibrated for (≥ 2).
+    pub tech_layers: u8,
+    /// Fixed cell delay between chain stages (ps).
+    pub cell_delay_ps: f64,
+    /// Router configuration overrides, in document order (opaque
+    /// `key value` pairs for `RouterConfig::set_knob`).
+    pub config: Vec<(String, String)>,
+    /// The grid description.
+    pub grid: GridSpec,
+    /// Per-edge capacity overrides `(edge id, capacity)` on the graph
+    /// built from `grid`, strictly increasing by edge id.
+    pub ecap: Vec<(EdgeId, f64)>,
+    /// The nets.
+    pub nets: Vec<Net>,
+    /// The timing chains.
+    pub chains: Vec<Chain>,
+    /// Per-net delay weights `(net, weight per sink)`, strictly
+    /// increasing by net id (the harvest archive).
+    pub weights: Vec<(usize, Vec<f64>)>,
+    /// Per-net delay budgets `(net, budget per sink)`, strictly
+    /// increasing by net id.
+    pub budgets: Vec<(usize, Vec<f64>)>,
+    /// Archived solver-level requests.
+    pub requests: Vec<RequestRecord>,
+}
+
+/// Error from serializing a value the format cannot represent (NaN
+/// floats, multi-token names, pins outside the grid, a grid whose
+/// non-capacity edge attributes differ from its spec, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocWriteError {
+    /// What cannot be represented, and where.
+    pub message: String,
+}
+
+impl std::fmt::Display for DocWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot serialize chip document: {}", self.message)
+    }
+}
+
+impl std::error::Error for DocWriteError {}
+
+fn werr(message: impl Into<String>) -> DocWriteError {
+    DocWriteError { message: message.into() }
+}
+
+fn perr(line: usize, message: impl Into<String>) -> ParseWorkloadError {
+    ParseWorkloadError { line, message: message.into() }
+}
+
+/// Number of edges [`GridSpec::build`] creates, without building: per
+/// layer, one wire edge per wire type across every gcell boundary in
+/// the preferred direction, plus one via per gcell up to the next
+/// layer. Lets the streaming parser range-check `ecap` records.
+pub fn spec_num_edges(spec: &GridSpec) -> usize {
+    let (nx, ny) = (spec.nx as usize, spec.ny as usize);
+    let mut edges = 0usize;
+    for (l, layer) in spec.layers.iter().enumerate() {
+        let boundaries = match layer.dir {
+            Direction::Horizontal => (nx - 1) * ny,
+            Direction::Vertical => nx * (ny - 1),
+        };
+        edges += boundaries * layer.wire_types.len();
+        if l + 1 < spec.layers.len() {
+            edges += nx * ny;
+        }
+    }
+    edges
+}
+
+impl ChipDoc {
+    /// Captures a [`Chip`] as a document with empty workload extras
+    /// (no config overrides, weights, budgets, or requests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocWriteError`] when the chip is not representable:
+    /// its delay model is not `five_nm_like(tech).calibrate(gcell_um)`,
+    /// or its graph differs from the spec's build in anything other
+    /// than edge capacities.
+    pub fn from_chip(chip: &Chip) -> Result<Self, DocWriteError> {
+        let spec = chip.grid.spec().clone();
+        let tech_layers =
+            u8::try_from(chip.delay_model.num_layers()).map_err(|_| werr("too many layers"))?;
+        if tech_layers < 2 {
+            return Err(werr("delay model needs at least 2 layers"));
+        }
+        let rebuilt = Technology::five_nm_like(tech_layers).calibrate(spec.gcell_um);
+        if rebuilt != chip.delay_model {
+            return Err(werr(
+                "delay model is not reproducible from `tech` + gcell pitch; \
+                 cdst/1 stores the model by construction, not by value",
+            ));
+        }
+        // diff the actual graph against the spec's pristine build: only
+        // capacity may differ (macro depletion), and those diffs become
+        // ecap records
+        let pristine = spec.clone().build();
+        let (pg, cg) = (pristine.graph(), chip.grid.graph());
+        if pg.num_edges() != cg.num_edges() {
+            return Err(werr("graph edge count differs from the spec's build"));
+        }
+        let mut ecap = Vec::new();
+        for e in 0..pg.num_edges() as EdgeId {
+            let (p, c) = (pg.edge(e), cg.edge(e));
+            if pg.endpoints(e) != cg.endpoints(e) {
+                return Err(werr(format!("edge {e}: endpoints differ from the spec's build")));
+            }
+            let same_static = p.base_cost.to_bits() == c.base_cost.to_bits()
+                && p.delay.to_bits() == c.delay.to_bits()
+                && p.length.to_bits() == c.length.to_bits()
+                && p.kind == c.kind
+                && p.layer == c.layer
+                && p.wire_type == c.wire_type;
+            if !same_static {
+                return Err(werr(format!(
+                    "edge {e}: non-capacity attributes differ from the spec's build \
+                     (only capacity overrides are representable)"
+                )));
+            }
+            if p.capacity.to_bits() != c.capacity.to_bits() {
+                ecap.push((e, c.capacity));
+            }
+        }
+        let doc = ChipDoc {
+            name: chip.name.clone(),
+            tech_layers,
+            cell_delay_ps: chip.cell_delay_ps,
+            config: Vec::new(),
+            grid: spec,
+            ecap,
+            nets: chip.nets.clone(),
+            chains: chip.chains.clone(),
+            weights: Vec::new(),
+            budgets: Vec::new(),
+            requests: Vec::new(),
+        };
+        validate_doc(&doc).map_err(werr)?;
+        Ok(doc)
+    }
+
+    /// Builds the routable chip: pristine grid from the spec, `ecap`
+    /// overrides applied, delay model calibrated from `tech`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on documents that bypassed parse/write validation
+    /// (e.g. a hand-built `ChipDoc` with out-of-range `ecap` ids).
+    pub fn build_chip(&self) -> Chip {
+        let mut grid = self.grid.clone().build();
+        if !self.ecap.is_empty() {
+            let graph = grid.graph();
+            let mut b = GraphBuilder::new(graph.num_vertices());
+            let mut overrides = self.ecap.iter().peekable();
+            for e in 0..graph.num_edges() as EdgeId {
+                let ep = graph.endpoints(e);
+                let mut attrs = *graph.edge(e);
+                if let Some(&&(oe, cap)) = overrides.peek() {
+                    if oe == e {
+                        attrs.capacity = cap;
+                        overrides.next();
+                    }
+                }
+                b.add_edge(ep.u, ep.v, attrs);
+            }
+            assert!(overrides.next().is_none(), "ecap edge id out of range");
+            grid = GridGraph::from_parts(self.grid.clone(), b.build());
+        }
+        let delay_model = Technology::five_nm_like(self.tech_layers).calibrate(self.grid.gcell_um);
+        Chip {
+            name: self.name.clone(),
+            grid,
+            delay_model,
+            nets: self.nets.clone(),
+            chains: self.chains.clone(),
+            cell_delay_ps: self.cell_delay_ps,
+        }
+    }
+}
+
+/// Whether `v` is one whitespace-free printable token the line format
+/// can carry losslessly.
+fn is_token(v: &str) -> bool {
+    !v.is_empty() && !v.contains(char::is_whitespace) && !v.contains('#')
+}
+
+fn finite_or_err(v: f64, what: &str) -> Result<(), String> {
+    if v.is_nan() {
+        return Err(format!("{what} is NaN, which cannot round-trip through text"));
+    }
+    Ok(())
+}
+
+/// Full write-time validation: everything the parser would reject (or
+/// that would not round-trip bit-identically) is refused here, which is
+/// what makes the writer total.
+fn validate_doc(doc: &ChipDoc) -> Result<(), String> {
+    if !is_token(&doc.name) {
+        return Err(format!(
+            "chip name {:?} must be one non-empty whitespace-free token without '#'",
+            doc.name
+        ));
+    }
+    if doc.tech_layers < 2 {
+        return Err("tech needs at least 2 layers".into());
+    }
+    finite_or_err(doc.cell_delay_ps, "celldelay")?;
+    for (k, v) in &doc.config {
+        if !is_token(k) || !is_token(v) {
+            return Err(format!("config pair {k:?} {v:?} must be two whitespace-free tokens"));
+        }
+    }
+    let spec = &doc.grid;
+    if spec.nx == 0 || spec.ny == 0 {
+        return Err("grid must have at least one gcell".into());
+    }
+    if spec.layers.is_empty() {
+        return Err("grid must have at least one layer".into());
+    }
+    if spec.gcell_um.is_nan() || spec.gcell_um <= 0.0 {
+        return Err("gcell pitch must be positive".into());
+    }
+    for v in [spec.via_cost, spec.via_delay, spec.via_capacity] {
+        finite_or_err(v, "grid via parameter")?;
+    }
+    for (l, layer) in spec.layers.iter().enumerate() {
+        if layer.wire_types.is_empty() {
+            return Err(format!("layer {l} has no wire types"));
+        }
+        for wt in &layer.wire_types {
+            for v in [wt.cost_per_gcell, wt.delay_per_gcell, wt.capacity] {
+                finite_or_err(v, "wire type parameter")?;
+            }
+        }
+    }
+    let num_edges = spec_num_edges(spec);
+    let mut prev_edge = None;
+    for &(e, cap) in &doc.ecap {
+        if (e as usize) >= num_edges {
+            return Err(format!("ecap edge {e} out of range (grid has {num_edges} edges)"));
+        }
+        if prev_edge.is_some_and(|p| e <= p) {
+            return Err("ecap edge ids must be strictly increasing".into());
+        }
+        prev_edge = Some(e);
+        finite_or_err(cap, "ecap capacity")?;
+    }
+    let in_grid =
+        |p: Point| p.x >= 0 && p.y >= 0 && (p.x as u32) < spec.nx && (p.y as u32) < spec.ny;
+    for (i, net) in doc.nets.iter().enumerate() {
+        for &p in std::iter::once(&net.root).chain(&net.sinks) {
+            if !in_grid(p) {
+                return Err(format!("net {i} pin ({}, {}) outside the grid", p.x, p.y));
+            }
+        }
+    }
+    for (i, chain) in doc.chains.iter().enumerate() {
+        finite_or_err(chain.rat_ps, "chain RAT")?;
+        if chain.links.is_empty() {
+            return Err(format!("chain {i} is empty"));
+        }
+        if chain.links.last().expect("nonempty").cont_sink.is_some() {
+            return Err(format!("chain {i}: last link must not continue"));
+        }
+        for link in &chain.links {
+            if link.net >= doc.nets.len() {
+                return Err(format!("chain {i} references unknown net {}", link.net));
+            }
+            if let Some(s) = link.cont_sink {
+                if s >= doc.nets[link.net].sinks.len() {
+                    return Err(format!("chain {i}: net {} has no sink {s}", link.net));
+                }
+            }
+        }
+    }
+    for (label, list) in [("weights", &doc.weights), ("budgets", &doc.budgets)] {
+        let mut prev = None;
+        for (net, values) in list {
+            if *net >= doc.nets.len() {
+                return Err(format!("{label} for unknown net {net}"));
+            }
+            if prev.is_some_and(|p| *net <= p) {
+                return Err(format!("{label} net ids must be strictly increasing"));
+            }
+            prev = Some(*net);
+            if values.len() != doc.nets[*net].sinks.len() {
+                return Err(format!(
+                    "{label} for net {net}: {} values for {} sinks",
+                    values.len(),
+                    doc.nets[*net].sinks.len()
+                ));
+            }
+            for &v in values {
+                finite_or_err(v, label)?;
+            }
+        }
+    }
+    for (i, req) in doc.requests.iter().enumerate() {
+        if req.dbif.is_nan() || req.dbif < 0.0 {
+            return Err(format!("request {i}: dbif must be non-negative"));
+        }
+        if !(0.0..=0.5).contains(&req.eta) {
+            return Err(format!("request {i}: eta must lie in [0, 1/2]"));
+        }
+        if req.sinks.is_empty() {
+            return Err(format!("request {i} has no sinks"));
+        }
+        if req.weights.len() != req.sinks.len() {
+            return Err(format!("request {i}: weight count differs from sink count"));
+        }
+        for &w in &req.weights {
+            finite_or_err(w, "request weight")?;
+        }
+        let nl = spec.layers.len();
+        for &(x, y, l) in std::iter::once(&req.root).chain(&req.sinks) {
+            if x >= spec.nx || y >= spec.ny || (l as usize) >= nl {
+                return Err(format!("request {i}: pin ({x}, {y}, {l}) outside the grid"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a chip document. The output is canonical: parsing it
+/// recovers the input bit-identically, and re-serializing the parse
+/// reproduces the string byte-for-byte.
+///
+/// # Errors
+///
+/// Returns [`DocWriteError`] for documents the format cannot represent
+/// (see the totality rules in the module docs).
+pub fn chip_doc_to_string(doc: &ChipDoc) -> Result<String, DocWriteError> {
+    validate_doc(doc).map_err(werr)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{FORMAT_VERSION}");
+    let _ = writeln!(
+        out,
+        "# chip document: {} nets, {} chains, {} capacity overrides, {} requests",
+        doc.nets.len(),
+        doc.chains.len(),
+        doc.ecap.len(),
+        doc.requests.len()
+    );
+    let _ = writeln!(out, "chip {}", doc.name);
+    let _ = writeln!(out, "tech {}", doc.tech_layers);
+    let _ = writeln!(out, "celldelay {:?}", doc.cell_delay_ps);
+    for (k, v) in &doc.config {
+        let _ = writeln!(out, "config {k} {v}");
+    }
+    let spec = &doc.grid;
+    let _ = writeln!(
+        out,
+        "grid {} {} {} {:?} {:?} {:?} {:?}",
+        spec.nx,
+        spec.ny,
+        spec.layers.len(),
+        spec.via_cost,
+        spec.via_delay,
+        spec.via_capacity,
+        spec.gcell_um
+    );
+    for layer in &spec.layers {
+        let dir = match layer.dir {
+            Direction::Horizontal => 'H',
+            Direction::Vertical => 'V',
+        };
+        let _ = write!(out, "layer {dir} :");
+        for wt in &layer.wire_types {
+            let _ =
+                write!(out, " {:?} {:?} {:?}", wt.cost_per_gcell, wt.delay_per_gcell, wt.capacity);
+        }
+        out.push('\n');
+    }
+    for &(e, cap) in &doc.ecap {
+        let _ = writeln!(out, "ecap {e} {cap:?}");
+    }
+    out.push_str(&super::nets_to_string(&doc.nets));
+    out.push_str(&super::chains_to_string(&doc.chains));
+    for (label, list) in [("weights", &doc.weights), ("budgets", &doc.budgets)] {
+        for (net, values) in list {
+            let _ = write!(out, "{label} {net} :");
+            for v in values {
+                let _ = write!(out, " {v:?}");
+            }
+            out.push('\n');
+        }
+    }
+    for req in &doc.requests {
+        let _ = write!(
+            out,
+            "request {} {:?} {:?} : {} {} {} :",
+            req.seed, req.dbif, req.eta, req.root.0, req.root.1, req.root.2
+        );
+        for &(x, y, l) in &req.sinks {
+            let _ = write!(out, " {x} {y} {l}");
+        }
+        let _ = write!(out, " :");
+        for w in &req.weights {
+            let _ = write!(out, " {w:?}");
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Section ranks of the record kinds; records must appear in
+/// non-decreasing rank order.
+fn record_rank(kind: &str) -> Option<u8> {
+    Some(match kind {
+        "chip" | "tech" | "celldelay" | "config" => 1,
+        "grid" => 2,
+        "layer" => 3,
+        "ecap" => 4,
+        "net" => 5,
+        "chain" => 6,
+        "weights" | "budgets" => 7,
+        "request" => 8,
+        _ => return None,
+    })
+}
+
+/// Streaming parser state; consumes one trimmed record line at a time.
+struct DocParser {
+    rank: u8,
+    header_seen: bool,
+    name: Option<String>,
+    tech: Option<u8>,
+    cell_delay: Option<f64>,
+    config: Vec<(String, String)>,
+    /// `grid` line fields until the layer records complete the spec.
+    grid_head: Option<(u32, u32, usize, f64, f64, f64, f64)>,
+    layers: Vec<LayerSpec>,
+    spec: Option<GridSpec>,
+    num_edges: usize,
+    ecap: Vec<(EdgeId, f64)>,
+    nets: Vec<Net>,
+    chains: Vec<Chain>,
+    weights: Vec<(usize, Vec<f64>)>,
+    budgets: Vec<(usize, Vec<f64>)>,
+    requests: Vec<RequestRecord>,
+}
+
+/// Parses the next whitespace token of `it` as `T`.
+fn tok<T: std::str::FromStr>(
+    it: &mut std::str::SplitWhitespace<'_>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseWorkloadError> {
+    let raw = it.next().ok_or_else(|| perr(line, format!("missing {what}")))?;
+    raw.parse().map_err(|_| perr(line, format!("bad {what} {raw}")))
+}
+
+/// Asserts `it` is exhausted.
+fn no_more(mut it: std::str::SplitWhitespace<'_>, line: usize) -> Result<(), ParseWorkloadError> {
+    match it.next() {
+        Some(extra) => Err(perr(line, format!("unexpected trailing token {extra}"))),
+        None => Ok(()),
+    }
+}
+
+/// Parses one float token, rejecting NaN — the parser enforces the
+/// same exclusion as the writer, so everything it accepts can be
+/// re-serialized (and NaN never reaches routing arithmetic).
+fn ftok(
+    it: &mut std::str::SplitWhitespace<'_>,
+    line: usize,
+    what: &str,
+) -> Result<f64, ParseWorkloadError> {
+    let v: f64 = tok(it, line, what)?;
+    nan_check(v, line, what)?;
+    Ok(v)
+}
+
+fn nan_check(v: f64, line: usize, what: &str) -> Result<(), ParseWorkloadError> {
+    if v.is_nan() {
+        return Err(perr(line, format!("{what} is NaN, which cdst/1 does not represent")));
+    }
+    Ok(())
+}
+
+impl DocParser {
+    fn new() -> Self {
+        DocParser {
+            rank: 0,
+            header_seen: false,
+            name: None,
+            tech: None,
+            cell_delay: None,
+            config: Vec::new(),
+            grid_head: None,
+            layers: Vec::new(),
+            spec: None,
+            num_edges: 0,
+            ecap: Vec::new(),
+            nets: Vec::new(),
+            chains: Vec::new(),
+            weights: Vec::new(),
+            budgets: Vec::new(),
+            requests: Vec::new(),
+        }
+    }
+
+    fn layers_missing(&self) -> usize {
+        if self.spec.is_some() {
+            return 0;
+        }
+        self.grid_head.map_or(0, |(_, _, nl, ..)| nl - self.layers.len())
+    }
+
+    fn record(&mut self, line: usize, text: &str) -> Result<(), ParseWorkloadError> {
+        let kind = text.split_whitespace().next().expect("caller skips blank lines");
+        if !self.header_seen {
+            if text == FORMAT_VERSION {
+                self.header_seen = true;
+                self.rank = 1;
+                return Ok(());
+            }
+            if kind.starts_with("cdst/") {
+                return Err(perr(line, format!("unsupported version {kind} (want cdst/1)")));
+            }
+            return Err(perr(line, "missing cdst/1 header before the first record"));
+        }
+        let rank =
+            record_rank(kind).ok_or_else(|| perr(line, format!("unknown record: {kind}")))?;
+        if rank < self.rank {
+            return Err(perr(line, format!("{kind} record out of section order")));
+        }
+        if self.layers_missing() > 0 && kind != "layer" {
+            return Err(perr(
+                line,
+                format!("expected {} more layer record(s) before {kind}", self.layers_missing()),
+            ));
+        }
+        if rank >= 4 && self.spec.is_none() {
+            return Err(perr(line, format!("missing grid record before {kind}")));
+        }
+        self.rank = rank;
+        let rest = text[kind.len()..].trim_start();
+        match kind {
+            "chip" => self.chip(line, rest),
+            "tech" => self.tech(line, rest),
+            "celldelay" => self.celldelay(line, rest),
+            "config" => self.config(line, rest),
+            "grid" => self.grid(line, rest),
+            "layer" => self.layer(line, rest),
+            "ecap" => self.ecap(line, rest),
+            "net" => self.net(line, rest),
+            "chain" => self.chain(line, rest),
+            "weights" | "budgets" => self.weights_budgets(line, rest, kind),
+            "request" => self.request(line, rest),
+            _ => unreachable!("record_rank screened the kind"),
+        }
+    }
+
+    fn chip(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        if self.name.is_some() {
+            return Err(perr(line, "duplicate chip record"));
+        }
+        let mut it = rest.split_whitespace();
+        let name = it.next().ok_or_else(|| perr(line, "missing chip name"))?;
+        no_more(it, line)?;
+        self.name = Some(name.to_string());
+        Ok(())
+    }
+
+    fn tech(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        if self.tech.is_some() {
+            return Err(perr(line, "duplicate tech record"));
+        }
+        let mut it = rest.split_whitespace();
+        let layers: u8 = tok(&mut it, line, "tech layer count")?;
+        no_more(it, line)?;
+        if layers < 2 {
+            return Err(perr(line, "tech needs at least 2 layers"));
+        }
+        self.tech = Some(layers);
+        Ok(())
+    }
+
+    fn celldelay(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        if self.cell_delay.is_some() {
+            return Err(perr(line, "duplicate celldelay record"));
+        }
+        let mut it = rest.split_whitespace();
+        let ps: f64 = ftok(&mut it, line, "cell delay")?;
+        no_more(it, line)?;
+        self.cell_delay = Some(ps);
+        Ok(())
+    }
+
+    fn config(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        let mut it = rest.split_whitespace();
+        let key = it.next().ok_or_else(|| perr(line, "missing config key"))?;
+        let value = it.next().ok_or_else(|| perr(line, "missing config value"))?;
+        no_more(it, line)?;
+        self.config.push((key.to_string(), value.to_string()));
+        Ok(())
+    }
+
+    fn grid(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        if self.grid_head.is_some() {
+            return Err(perr(line, "duplicate grid record"));
+        }
+        let mut it = rest.split_whitespace();
+        let nx: u32 = tok(&mut it, line, "grid nx")?;
+        let ny: u32 = tok(&mut it, line, "grid ny")?;
+        let nl: usize = tok(&mut it, line, "grid layer count")?;
+        let via_cost: f64 = ftok(&mut it, line, "via cost")?;
+        let via_delay: f64 = ftok(&mut it, line, "via delay")?;
+        let via_capacity: f64 = ftok(&mut it, line, "via capacity")?;
+        let gcell_um: f64 = ftok(&mut it, line, "gcell pitch")?;
+        no_more(it, line)?;
+        if nx == 0 || ny == 0 {
+            return Err(perr(line, "grid must have at least one gcell"));
+        }
+        if nl == 0 {
+            return Err(perr(line, "grid must have at least one layer"));
+        }
+        if gcell_um.is_nan() || gcell_um <= 0.0 {
+            return Err(perr(line, "gcell pitch must be positive"));
+        }
+        self.grid_head = Some((nx, ny, nl, via_cost, via_delay, via_capacity, gcell_um));
+        Ok(())
+    }
+
+    fn layer(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        if self.grid_head.is_none() || self.layers_missing() == 0 {
+            return Err(perr(line, "unexpected layer record"));
+        }
+        let (head, tail) =
+            rest.split_once(':').ok_or_else(|| perr(line, "missing ':' separator"))?;
+        let dir = match head.trim() {
+            "H" => Direction::Horizontal,
+            "V" => Direction::Vertical,
+            other => return Err(perr(line, format!("bad layer direction {other} (want H or V)"))),
+        };
+        let values: Vec<f64> = tail
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| perr(line, format!("bad wire type value {v}"))))
+            .collect::<Result<_, _>>()?;
+        for &v in &values {
+            nan_check(v, line, "wire type value")?;
+        }
+        if values.is_empty() || !values.len().is_multiple_of(3) {
+            return Err(perr(
+                line,
+                "wire types must come as non-empty (cost delay capacity) triples",
+            ));
+        }
+        let wire_types = values
+            .chunks(3)
+            .map(|c| WireTypeSpec { cost_per_gcell: c[0], delay_per_gcell: c[1], capacity: c[2] })
+            .collect();
+        self.layers.push(LayerSpec { dir, wire_types });
+        if self.layers_missing() == 0 {
+            let (nx, ny, _, via_cost, via_delay, via_capacity, gcell_um) =
+                self.grid_head.expect("layer records require a grid");
+            let spec = GridSpec {
+                nx,
+                ny,
+                layers: std::mem::take(&mut self.layers),
+                via_cost,
+                via_delay,
+                via_capacity,
+                gcell_um,
+            };
+            self.num_edges = spec_num_edges(&spec);
+            self.spec = Some(spec);
+        }
+        Ok(())
+    }
+
+    fn ecap(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        let mut it = rest.split_whitespace();
+        let e: EdgeId = tok(&mut it, line, "edge id")?;
+        let cap: f64 = ftok(&mut it, line, "capacity")?;
+        no_more(it, line)?;
+        if (e as usize) >= self.num_edges {
+            return Err(perr(
+                line,
+                format!("ecap edge {e} out of range (grid has {} edges)", self.num_edges),
+            ));
+        }
+        if self.ecap.last().is_some_and(|&(p, _)| e <= p) {
+            return Err(perr(line, "ecap edge ids must be strictly increasing"));
+        }
+        self.ecap.push((e, cap));
+        Ok(())
+    }
+
+    fn net(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        let net = parse_net_record(rest, line)?;
+        let spec = self.spec.as_ref().expect("rank order puts grid before nets");
+        for &p in std::iter::once(&net.root).chain(&net.sinks) {
+            if p.x < 0 || p.y < 0 || (p.x as u32) >= spec.nx || (p.y as u32) >= spec.ny {
+                return Err(perr(line, format!("pin ({}, {}) outside the grid", p.x, p.y)));
+            }
+        }
+        self.nets.push(net);
+        Ok(())
+    }
+
+    fn chain(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        let chain = parse_chain_record(rest, line)?;
+        nan_check(chain.rat_ps, line, "chain RAT")?;
+        for link in &chain.links {
+            if link.net >= self.nets.len() {
+                return Err(perr(line, format!("chain references unknown net {}", link.net)));
+            }
+            if let Some(s) = link.cont_sink {
+                if s >= self.nets[link.net].sinks.len() {
+                    return Err(perr(line, format!("net {} has no sink {s}", link.net)));
+                }
+            }
+        }
+        self.chains.push(chain);
+        Ok(())
+    }
+
+    fn weights_budgets(
+        &mut self,
+        line: usize,
+        rest: &str,
+        kind: &str,
+    ) -> Result<(), ParseWorkloadError> {
+        let (head, tail) =
+            rest.split_once(':').ok_or_else(|| perr(line, "missing ':' separator"))?;
+        let net: usize =
+            head.trim().parse().map_err(|_| perr(line, format!("bad net id {}", head.trim())))?;
+        if net >= self.nets.len() {
+            return Err(perr(line, format!("{kind} for unknown net {net}")));
+        }
+        let values: Vec<f64> = tail
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| perr(line, format!("bad value {v}"))))
+            .collect::<Result<_, _>>()?;
+        for &v in &values {
+            nan_check(v, line, kind)?;
+        }
+        if values.len() != self.nets[net].sinks.len() {
+            return Err(perr(
+                line,
+                format!(
+                    "{kind} for net {net}: {} values for {} sinks",
+                    values.len(),
+                    self.nets[net].sinks.len()
+                ),
+            ));
+        }
+        let list = if kind == "weights" { &mut self.weights } else { &mut self.budgets };
+        if list.last().is_some_and(|&(p, _)| net <= p) {
+            return Err(perr(line, format!("{kind} net ids must be strictly increasing")));
+        }
+        list.push((net, values));
+        Ok(())
+    }
+
+    fn request(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        let mut sections = rest.split(':');
+        let head = sections.next().expect("split yields at least one part");
+        let root_part =
+            sections.next().ok_or_else(|| perr(line, "missing root section after ':'"))?;
+        let sinks_part =
+            sections.next().ok_or_else(|| perr(line, "missing sinks section after ':'"))?;
+        let weights_part =
+            sections.next().ok_or_else(|| perr(line, "missing weights section after ':'"))?;
+        if sections.next().is_some() {
+            return Err(perr(line, "too many ':' sections in request record"));
+        }
+        let mut it = head.split_whitespace();
+        let seed: u64 = tok(&mut it, line, "seed")?;
+        let dbif: f64 = tok(&mut it, line, "dbif")?;
+        let eta: f64 = tok(&mut it, line, "eta")?;
+        no_more(it, line)?;
+        if dbif.is_nan() || dbif < 0.0 {
+            return Err(perr(line, "dbif must be non-negative"));
+        }
+        if !(0.0..=0.5).contains(&eta) {
+            return Err(perr(line, "eta must lie in [0, 1/2]"));
+        }
+        let spec = self.spec.as_ref().expect("rank order puts grid before requests");
+        let nl = spec.layers.len();
+        let pin = |x: u32, y: u32, l: u8| -> Result<(u32, u32, u8), ParseWorkloadError> {
+            if x >= spec.nx || y >= spec.ny || (l as usize) >= nl {
+                return Err(perr(line, format!("pin ({x}, {y}, {l}) outside the grid")));
+            }
+            Ok((x, y, l))
+        };
+        let mut rt = root_part.split_whitespace();
+        let root = pin(
+            tok(&mut rt, line, "root x")?,
+            tok(&mut rt, line, "root y")?,
+            tok(&mut rt, line, "root layer")?,
+        )?;
+        no_more(rt, line)?;
+        let sink_vals: Vec<&str> = sinks_part.split_whitespace().collect();
+        if sink_vals.is_empty() || !sink_vals.len().is_multiple_of(3) {
+            return Err(perr(line, "sinks must come as non-empty (x y layer) triples"));
+        }
+        let mut sinks = Vec::with_capacity(sink_vals.len() / 3);
+        for c in sink_vals.chunks(3) {
+            let parse = |v: &str, what: &str| -> Result<u64, ParseWorkloadError> {
+                v.parse().map_err(|_| perr(line, format!("bad sink {what} {v}")))
+            };
+            let x = parse(c[0], "x")?;
+            let y = parse(c[1], "y")?;
+            let l = parse(c[2], "layer")?;
+            let (x, y, l) = (
+                u32::try_from(x).map_err(|_| perr(line, format!("bad sink x {x}")))?,
+                u32::try_from(y).map_err(|_| perr(line, format!("bad sink y {y}")))?,
+                u8::try_from(l).map_err(|_| perr(line, format!("bad sink layer {l}")))?,
+            );
+            sinks.push(pin(x, y, l)?);
+        }
+        let weights: Vec<f64> = weights_part
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| perr(line, format!("bad weight {v}"))))
+            .collect::<Result<_, _>>()?;
+        for &w in &weights {
+            nan_check(w, line, "request weight")?;
+        }
+        if weights.len() != sinks.len() {
+            return Err(perr(line, "weight count differs from sink count"));
+        }
+        self.requests.push(RequestRecord { seed, dbif, eta, root, sinks, weights });
+        Ok(())
+    }
+
+    fn finish(self, lines: usize) -> Result<ChipDoc, ParseWorkloadError> {
+        let eof = lines + 1;
+        if !self.header_seen {
+            return Err(perr(1, "missing cdst/1 header"));
+        }
+        let missing = self.layers_missing();
+        if missing > 0 {
+            return Err(perr(eof, format!("missing {missing} layer record(s)")));
+        }
+        let Some(grid) = self.spec else {
+            return Err(perr(eof, "missing grid record"));
+        };
+        let Some(name) = self.name else {
+            return Err(perr(eof, "missing chip record"));
+        };
+        let Some(tech_layers) = self.tech else {
+            return Err(perr(eof, "missing tech record"));
+        };
+        let Some(cell_delay_ps) = self.cell_delay else {
+            return Err(perr(eof, "missing celldelay record"));
+        };
+        Ok(ChipDoc {
+            name,
+            tech_layers,
+            cell_delay_ps,
+            config: self.config,
+            grid,
+            ecap: self.ecap,
+            nets: self.nets,
+            chains: self.chains,
+            weights: self.weights,
+            budgets: self.budgets,
+            requests: self.requests,
+        })
+    }
+}
+
+/// Streaming parse from any reader: lines are consumed one at a time
+/// (a line buffer is the only transient state), so arbitrarily large
+/// documents parse in O(largest record) memory on top of the output.
+///
+/// # Errors
+///
+/// The first malformed line, with its 1-based line number; reader
+/// errors are reported on the line they interrupted.
+pub fn read_chip_doc<R: BufRead>(mut reader: R) -> Result<ChipDoc, ParseWorkloadError> {
+    let mut parser = DocParser::new();
+    let mut buf = String::new();
+    let mut line = 0usize;
+    loop {
+        buf.clear();
+        line += 1;
+        let n = reader.read_line(&mut buf).map_err(|e| perr(line, format!("read error: {e}")))?;
+        if n == 0 {
+            return parser.finish(line - 1);
+        }
+        let text = buf.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        parser.record(line, text)?;
+    }
+}
+
+/// Parses a chip document from a string. See [`read_chip_doc`].
+///
+/// # Errors
+///
+/// The first malformed line, with its 1-based line number.
+pub fn parse_chip_doc(text: &str) -> Result<ChipDoc, ParseWorkloadError> {
+    read_chip_doc(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChipSpec;
+
+    fn small_doc() -> ChipDoc {
+        ChipDoc::from_chip(&ChipSpec::small_test(3).generate()).unwrap()
+    }
+
+    #[test]
+    fn spec_num_edges_matches_build() {
+        for spec in [
+            GridSpec::uniform(6, 5, 4),
+            GridSpec::uniform(1, 9, 2),
+            ChipSpec::small_test(7).generate().grid.spec().clone(),
+        ] {
+            let built = spec.clone().build();
+            assert_eq!(spec_num_edges(&spec), built.graph().num_edges());
+        }
+    }
+
+    #[test]
+    fn generated_chip_round_trips_bit_identically() {
+        let chip = ChipSpec { num_nets: 200, ..ChipSpec::small_test(11) }.generate();
+        let doc = ChipDoc::from_chip(&chip).unwrap();
+        assert!(!doc.ecap.is_empty(), "macro depletion should produce capacity overrides");
+        let text = chip_doc_to_string(&doc).unwrap();
+        let parsed = parse_chip_doc(&text).unwrap();
+        assert_eq!(parsed, doc);
+        // canonical writer: write ∘ parse is the identity on writer output
+        assert_eq!(chip_doc_to_string(&parsed).unwrap(), text);
+
+        let rebuilt = parsed.build_chip();
+        assert_eq!(rebuilt.name, chip.name);
+        assert_eq!(rebuilt.nets, chip.nets);
+        assert_eq!(rebuilt.chains, chip.chains);
+        assert_eq!(rebuilt.cell_delay_ps.to_bits(), chip.cell_delay_ps.to_bits());
+        assert_eq!(rebuilt.delay_model, chip.delay_model);
+        assert_eq!(rebuilt.grid.spec(), chip.grid.spec());
+        let (a, b) = (rebuilt.grid.graph(), chip.grid.graph());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edge_ids() {
+            assert_eq!(a.endpoints(e), b.endpoints(e));
+            assert_eq!(a.edge(e).capacity.to_bits(), b.edge(e).capacity.to_bits(), "edge {e}");
+            assert_eq!(a.edge(e).base_cost.to_bits(), b.edge(e).base_cost.to_bits());
+            assert_eq!(a.edge(e).delay.to_bits(), b.edge(e).delay.to_bits());
+        }
+    }
+
+    #[test]
+    fn extras_round_trip() {
+        let mut doc = small_doc();
+        doc.config = vec![
+            ("oracle".into(), "cd".into()),
+            ("iterations".into(), "3".into()),
+            ("price_tol".into(), "0.5".into()),
+        ];
+        let k = doc.nets[2].sinks.len();
+        doc.weights = vec![(2, vec![0.05; k]), (5, vec![1.25; doc.nets[5].sinks.len()])];
+        doc.budgets = vec![(2, vec![312.5; k])];
+        doc.requests = vec![RequestRecord {
+            seed: 99,
+            dbif: 3.5,
+            eta: 0.25,
+            root: (0, 0, 0),
+            sinks: vec![(3, 1, 0), (2, 2, 1)],
+            weights: vec![0.1, 2.0],
+        }];
+        let text = chip_doc_to_string(&doc).unwrap();
+        assert_eq!(parse_chip_doc(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn streaming_reader_matches_str_parse() {
+        let text = chip_doc_to_string(&small_doc()).unwrap();
+        let via_str = parse_chip_doc(&text).unwrap();
+        let via_reader = read_chip_doc(std::io::BufReader::with_capacity(7, text.as_bytes()));
+        assert_eq!(via_reader.unwrap(), via_str);
+    }
+
+    #[test]
+    fn writer_rejects_unrepresentable_documents() {
+        let mut doc = small_doc();
+        doc.name = "two words".into();
+        assert!(chip_doc_to_string(&doc).unwrap_err().message.contains("name"));
+
+        let mut doc = small_doc();
+        doc.chains[0].rat_ps = f64::NAN;
+        assert!(chip_doc_to_string(&doc).unwrap_err().message.contains("NaN"));
+
+        let mut doc = small_doc();
+        doc.nets[0].root = Point::new(-1, 0);
+        assert!(chip_doc_to_string(&doc).unwrap_err().message.contains("outside"));
+
+        let mut doc = small_doc();
+        doc.ecap = vec![(u32::MAX, 1.0)];
+        assert!(chip_doc_to_string(&doc).unwrap_err().message.contains("out of range"));
+
+        let mut doc = small_doc();
+        doc.weights = vec![(0, vec![])];
+        if !doc.nets[0].sinks.is_empty() {
+            assert!(chip_doc_to_string(&doc).unwrap_err().message.contains("sinks"));
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("chip x\n", 1, "missing cdst/1 header"),
+            ("cdst/2\n", 1, "unsupported version"),
+            ("cdst/1\ncdst/1\n", 2, "unknown record"),
+            ("cdst/1\n# c\nbogus 1\n", 3, "unknown record"),
+            ("cdst/1\nchip a\nchip b\n", 3, "duplicate chip"),
+            ("cdst/1\ntech 1\n", 2, "at least 2"),
+            ("cdst/1\ngrid 0 4 1 1.0 1.0 1.0 1.0\n", 2, "at least one gcell"),
+            ("cdst/1\ngrid 4 4 2 1.0 1.0 1.0 1.0\nnet 0 0 :\n", 3, "layer record"),
+            ("cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer X : 1.0 1.0 1.0\n", 3, "direction"),
+            ("cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0\n", 3, "triples"),
+            (
+                "cdst/1\ngrid 2 2 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\necap 99 1.0\n",
+                4,
+                "out of range",
+            ),
+            (
+                "cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\nnet 9 0 :\n",
+                4,
+                "outside the grid",
+            ),
+            (
+                "cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\nchain 5.0 : 0\n",
+                4,
+                "unknown net",
+            ),
+            (
+                "cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\n\
+                 net 0 0 : 1 1\nweights 0 : 0.5 0.5\n",
+                5,
+                "sinks",
+            ),
+            (
+                "cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\n\
+                 net 0 0 : 1 1\nchain 5.0 : 0\nnet 1 1 : 0 0\n",
+                6,
+                "out of section order",
+            ),
+            (
+                "cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\n\
+                 request 7 0.0 0.9 : 0 0 0 : 1 1 0 : 1.0\n",
+                4,
+                "eta",
+            ),
+            ("cdst/1\nchip a\ntech 2\ncelldelay 1.0\n", 5, "missing grid"),
+            ("cdst/1\nnet 0 0 : 1 1\n", 2, "missing grid record before net"),
+            // the parser enforces the writer's NaN exclusion, so every
+            // accepted document can be re-serialized
+            ("cdst/1\ncelldelay NaN\n", 2, "NaN"),
+            ("cdst/1\ngrid 4 4 1 NaN 1.0 1.0 1.0\n", 2, "NaN"),
+            ("cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 NaN 1.0\n", 3, "NaN"),
+            ("cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\necap 0 NaN\n", 4, "NaN"),
+            (
+                "cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\n\
+                 net 0 0 : 1 1\nchain NaN : 0\n",
+                5,
+                "NaN",
+            ),
+            (
+                "cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\n\
+                 net 0 0 : 1 1\nweights 0 : NaN\n",
+                5,
+                "NaN",
+            ),
+            (
+                "cdst/1\ngrid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\n\
+                 request 7 0.0 0.25 : 0 0 0 : 1 1 0 : NaN\n",
+                4,
+                "NaN",
+            ),
+            ("cdst/1\ngrid 4 4 2 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\n", 4, "layer record"),
+        ];
+        for (text, line, needle) in cases {
+            let e = parse_chip_doc(text).unwrap_err();
+            assert_eq!(e.line, *line, "{text:?}: {e}");
+            assert!(e.message.contains(needle), "{text:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn missing_preamble_records_are_reported_at_eof() {
+        let text = "cdst/1\ngrid 2 2 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\n";
+        let e = parse_chip_doc(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("missing chip"), "{e}");
+    }
+
+    #[test]
+    fn build_chip_applies_ecap_overrides() {
+        let mut doc = small_doc();
+        doc.ecap = vec![(0, 0.5), (7, 123.25)];
+        let chip = doc.build_chip();
+        assert_eq!(chip.grid.graph().edge(0).capacity, 0.5);
+        assert_eq!(chip.grid.graph().edge(7).capacity, 123.25);
+        // neighbours keep the spec capacity
+        let pristine = doc.grid.clone().build();
+        assert_eq!(chip.grid.graph().edge(1).capacity, pristine.graph().edge(1).capacity);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored_everywhere() {
+        let doc = small_doc();
+        let text = chip_doc_to_string(&doc).unwrap();
+        let noisy: String =
+            text.lines().flat_map(|l| [l, "", "# noise"]).collect::<Vec<_>>().join("\n");
+        assert_eq!(parse_chip_doc(&noisy).unwrap(), doc);
+    }
+}

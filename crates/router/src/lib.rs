@@ -40,7 +40,7 @@ mod schedule;
 
 pub use oracle::{
     route_net, CdOracle, L1Oracle, OracleRequest, OracleWorkspace, PdOracle, SlOracle,
-    SteinerMethod, SteinerOracle,
+    SteinerMethod, SteinerOracle, UnknownMethod,
 };
 
 use cds_geom::Point;
@@ -111,6 +111,49 @@ pub struct RouterConfig {
     /// incremental accounting matched), bounding float drift from
     /// subtract/add cycles. `0` disables periodic recounts.
     pub recount_every: usize,
+}
+
+impl RouterConfig {
+    /// Sets one knob from a textual `key value` pair — the interpreter
+    /// of a `cdst/1` document's `config` records and `cds-cli`'s
+    /// `--set` overrides. Keys are the field names of this struct
+    /// (`oracle` is accepted as an alias for `method`); booleans accept
+    /// `true/false/1/0/on/off`.
+    ///
+    /// # Errors
+    ///
+    /// An unknown key or an unparsable value, as a human-readable
+    /// message.
+    pub fn set_knob(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+            v.parse().map_err(|_| format!("bad value {v} for {key}"))
+        }
+        fn boolean(key: &str, v: &str) -> Result<bool, String> {
+            match v {
+                "true" | "1" | "on" => Ok(true),
+                "false" | "0" | "off" => Ok(false),
+                _ => Err(format!("bad boolean {v} for {key} (want true/false/1/0/on/off)")),
+            }
+        }
+        match key {
+            "method" | "oracle" => self.method = value.parse().map_err(|e| format!("{e}"))?,
+            "iterations" => self.iterations = num(key, value)?,
+            "threads" => self.threads = num(key, value)?,
+            "use_dbif" => self.use_dbif = boolean(key, value)?,
+            "eta" => self.eta = num(key, value)?,
+            "seed" => self.seed = num(key, value)?,
+            "window_margin" => self.window_margin = num(key, value)?,
+            "price_alpha" => self.price_alpha = num(key, value)?,
+            "weight_tau_ps" => self.weight_tau_ps = num(key, value)?,
+            "harvest" => self.harvest = boolean(key, value)?,
+            "materialize_windows" => self.materialize_windows = boolean(key, value)?,
+            "incremental" => self.incremental = boolean(key, value)?,
+            "price_tol" => self.price_tol = num(key, value)?,
+            "recount_every" => self.recount_every = num(key, value)?,
+            _ => return Err(format!("unknown router knob {key}")),
+        }
+        Ok(())
+    }
 }
 
 impl Default for RouterConfig {
@@ -252,6 +295,45 @@ pub struct RoutingOutcome {
     pub harvest: Vec<HarvestedInstance>,
     /// Rip-up work accounting.
     pub stats: RouterStats,
+}
+
+impl RoutingOutcome {
+    /// FNV-1a checksum over the bit-exact routing result: the quality
+    /// metrics (wall time excluded), every net's tree (edges, tracks,
+    /// sink delays, via/wirelength accounting), the usage vector, and
+    /// the final slacks. Deterministic runs — any thread count, either
+    /// window backend — produce the same checksum, which is what
+    /// `cds-cli verify` and the pinned fixture tests compare against.
+    pub fn checksum(&self) -> u64 {
+        fn eat(h: &mut u64, x: u64) {
+            *h ^= x;
+            *h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        eat(&mut h, self.metrics.ws.to_bits());
+        eat(&mut h, self.metrics.tns.to_bits());
+        eat(&mut h, self.metrics.ace4.to_bits());
+        eat(&mut h, self.metrics.wl_m.to_bits());
+        eat(&mut h, self.metrics.vias as u64);
+        for rn in &self.nets {
+            eat(&mut h, rn.wirelength_gcells.to_bits());
+            eat(&mut h, rn.vias as u64);
+            for &d in &rn.sink_delays {
+                eat(&mut h, d.to_bits());
+            }
+            for &(e, tracks) in &rn.used_edges {
+                eat(&mut h, u64::from(e) + 1);
+                eat(&mut h, tracks.to_bits());
+            }
+        }
+        for &u in &self.usage {
+            eat(&mut h, u.to_bits());
+        }
+        for &s in &self.timing.slack {
+            eat(&mut h, s.to_bits());
+        }
+        h
+    }
 }
 
 /// The timing-constrained global router.
@@ -718,11 +800,16 @@ impl<'a> Router<'a> {
     }
 
     /// Routes the given nets in parallel, returning results aligned with
-    /// `ids`. The scheduler's work distribution is determinism-safe:
-    /// per-net results depend only on per-net inputs (the workspace
-    /// contract of [`SteinerOracle`]), so how the id list is chunked
-    /// over threads cannot change any result — only which warm
-    /// workspace computes it.
+    /// `ids`. Work is distributed through a shared atomic counter: each
+    /// worker claims the next unrouted index as soon as it finishes one,
+    /// so a cluster of large nets landing together cannot idle the other
+    /// workers (the previous contiguous `div_ceil` chunking could leave
+    /// `threads − 1` workers parked behind one slow chunk). The dynamic
+    /// schedule is determinism-safe: per-net results depend only on
+    /// per-net inputs (the workspace contract of [`SteinerOracle`]), so
+    /// which worker routes a net — and in what order — cannot change any
+    /// result, only which warm workspace computes it (pinned by
+    /// `deterministic_across_thread_counts`).
     fn route_ids(
         &self,
         ids: &[usize],
@@ -736,28 +823,39 @@ impl<'a> Router<'a> {
             return Vec::new();
         }
         let threads = self.config.threads.max(1).min(ids.len()).min(workspaces.len().max(1));
-        let chunk = ids.len().div_ceil(threads);
         let oracle = self.oracle.as_ref();
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let mut results: Vec<Option<RoutedNet>> = vec![None; ids.len()];
         std::thread::scope(|scope| {
-            for ((ci, slot), ws) in results.chunks_mut(chunk).enumerate().zip(workspaces.iter_mut())
-            {
-                let lo = ci * chunk;
-                scope.spawn(move || {
-                    for (k, out) in slot.iter_mut().enumerate() {
-                        let net_id = ids[lo + k];
-                        let (rn, _) = self.route_one_with(
-                            net_id,
-                            oracle,
-                            prices,
-                            &weights[net_id],
-                            budgets[net_id].as_deref(),
-                            bif,
-                            ws,
-                        );
-                        *out = Some(rn);
-                    }
-                });
+            let handles: Vec<_> = workspaces
+                .iter_mut()
+                .take(threads)
+                .map(|ws| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut routed: Vec<(usize, RoutedNet)> = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&net_id) = ids.get(k) else { break };
+                            let (rn, _) = self.route_one_with(
+                                net_id,
+                                oracle,
+                                prices,
+                                &weights[net_id],
+                                budgets[net_id].as_deref(),
+                                bif,
+                                ws,
+                            );
+                            routed.push((k, rn));
+                        }
+                        routed
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (k, rn) in h.join().expect("router worker panicked") {
+                    results[k] = Some(rn);
+                }
             }
         });
         results.into_iter().map(|r| r.expect("all scheduled nets routed")).collect()
@@ -902,16 +1000,87 @@ mod tests {
 
     #[test]
     fn deterministic_across_thread_counts() {
+        // covers the atomic work-queue scheduler: whatever interleaving
+        // the counter produces at 1/2/4/8 workers, results (and their
+        // checksum) are bit-identical
         let chip = tiny_chip();
         let mk = |threads| {
             Router::new(&chip, RouterConfig { threads, iterations: 2, ..Default::default() }).run()
         };
         let a = mk(1);
-        let b = mk(4);
-        assert_eq!(a.metrics.ws, b.metrics.ws);
-        assert_eq!(a.metrics.tns, b.metrics.tns);
-        assert_eq!(a.metrics.vias, b.metrics.vias);
-        assert!((a.metrics.wl_m - b.metrics.wl_m).abs() < 1e-12);
+        for threads in [2, 4, 8] {
+            let b = mk(threads);
+            assert_eq!(a.metrics.ws.to_bits(), b.metrics.ws.to_bits(), "{threads} threads");
+            assert_eq!(a.metrics.tns.to_bits(), b.metrics.tns.to_bits(), "{threads} threads");
+            assert_eq!(a.metrics.vias, b.metrics.vias, "{threads} threads");
+            assert_eq!(a.metrics.wl_m.to_bits(), b.metrics.wl_m.to_bits(), "{threads} threads");
+            assert_eq!(a.usage, b.usage, "{threads} threads");
+            assert_eq!(a.checksum(), b.checksum(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn work_queue_routes_every_net_when_nets_outnumber_threads_unevenly() {
+        // 30 nets over 7 workers: the counter hands out 30 claims and 7
+        // exhausted claims; every slot must be filled exactly once
+        let chip = tiny_chip();
+        let out =
+            Router::new(&chip, RouterConfig { threads: 7, iterations: 1, ..Default::default() })
+                .run();
+        assert_eq!(out.nets.len(), chip.nets.len());
+        assert!(out.nets.iter().all(|rn| !rn.used_edges.is_empty() || rn.vias == 0));
+    }
+
+    #[test]
+    fn set_knob_round_trips_the_config_surface() {
+        let mut c = RouterConfig::default();
+        for (k, v) in [
+            ("oracle", "sl"),
+            ("iterations", "9"),
+            ("threads", "3"),
+            ("use_dbif", "on"),
+            ("eta", "0.125"),
+            ("seed", "42"),
+            ("window_margin", "2"),
+            ("price_alpha", "1.5"),
+            ("weight_tau_ps", "100.0"),
+            ("harvest", "true"),
+            ("materialize_windows", "1"),
+            ("incremental", "false"),
+            ("price_tol", "0.25"),
+            ("recount_every", "0"),
+        ] {
+            c.set_knob(k, v).unwrap_or_else(|e| panic!("{k}: {e}"));
+        }
+        assert_eq!(c.method, SteinerMethod::Sl);
+        assert_eq!(c.iterations, 9);
+        assert_eq!(c.threads, 3);
+        assert!(c.use_dbif && c.harvest && c.materialize_windows && !c.incremental);
+        assert_eq!(c.eta, 0.125);
+        assert_eq!(c.price_tol, 0.25);
+        assert!(c.set_knob("bogus", "1").unwrap_err().contains("unknown"));
+        assert!(c.set_knob("oracle", "astar").unwrap_err().contains("astar"));
+        assert!(c.set_knob("incremental", "maybe").unwrap_err().contains("boolean"));
+    }
+
+    #[test]
+    fn steiner_method_display_from_str_round_trip() {
+        for method in SteinerMethod::ALL {
+            let parsed: SteinerMethod = method.to_string().parse().unwrap();
+            assert_eq!(parsed, method);
+        }
+    }
+
+    #[test]
+    fn checksum_separates_different_outcomes() {
+        let chip = tiny_chip();
+        let run = |method| {
+            Router::new(&chip, RouterConfig { method, iterations: 1, ..Default::default() })
+                .run()
+                .checksum()
+        };
+        assert_eq!(run(SteinerMethod::Cd), run(SteinerMethod::Cd), "checksum not deterministic");
+        assert_ne!(run(SteinerMethod::Cd), run(SteinerMethod::L1), "checksum too coarse");
     }
 
     #[test]

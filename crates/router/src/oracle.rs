@@ -78,6 +78,35 @@ impl std::fmt::Display for SteinerMethod {
     }
 }
 
+/// Error from parsing an unknown [`SteinerMethod`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMethod(pub String);
+
+impl std::fmt::Display for UnknownMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown Steiner method {:?} (want cd, l1, sl, or pd)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownMethod {}
+
+impl std::str::FromStr for SteinerMethod {
+    type Err = UnknownMethod;
+
+    /// Parses the table labels case-insensitively (`cd`, `l1`, `sl`,
+    /// `pd`) — the inverse of `Display`, used by `cds-cli --oracle` and
+    /// `RouterConfig::set_knob`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cd" => Ok(SteinerMethod::Cd),
+            "l1" => Ok(SteinerMethod::L1),
+            "sl" => Ok(SteinerMethod::Sl),
+            "pd" => Ok(SteinerMethod::Pd),
+            _ => Err(UnknownMethod(s.to_string())),
+        }
+    }
+}
+
 /// One oracle request: a net inside its routing window.
 ///
 /// The routing region travels as a `&dyn` [`RoutingSurface`], so one
