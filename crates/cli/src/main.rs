@@ -29,7 +29,7 @@
 //! (`--oracle/--threads/--iterations/--incremental/--price-tol/...`).
 
 use cds_instgen::io::doc::{chip_doc_to_string, read_chip_doc, ChipDoc, RequestRecord};
-use cds_instgen::{Chip, ChipSpec};
+use cds_instgen::{Chip, ChipSpec, SinkProfile};
 use cds_router::{Router, RouterConfig, RoutingOutcome};
 use std::fmt::Write as _;
 use std::io::{BufReader, Write as _};
@@ -47,7 +47,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage: cds-cli <gen|route|verify|harvest|fixtures> [args]
-  gen      [--preset smoke|small|converging|congested] [--nets N] [--layers N]
+  gen      [--preset smoke|small|converging|congested|fanout_heavy] [--nets N] [--layers N]
            [--seed N] [--utilization F] [--name S] [-o FILE]
   route    [FILE|-] [--oracle cd|l1|sl|pd] [--threads N] [--iterations N]
            [--incremental BOOL] [--price-tol F] [--materialize] [--seed N]
@@ -143,8 +143,17 @@ fn preset_spec(name: &str) -> Result<ChipSpec, String> {
         "congested" => {
             ChipSpec { name: "congested".into(), num_nets: 150, ..ChipSpec::small_test(7) }
         }
+        // clock-tree-like: few drivers, 30-80-sink nets spread die-wide
+        "fanout_heavy" => ChipSpec {
+            name: "fanout_heavy".into(),
+            num_nets: 24,
+            profile: SinkProfile::FanoutHeavy,
+            ..ChipSpec::small_test(11)
+        },
         other => {
-            return Err(format!("unknown preset {other} (want smoke/small/converging/congested)"))
+            return Err(format!(
+                "unknown preset {other} (want smoke/small/converging/congested/fanout_heavy)"
+            ))
         }
     })
 }
@@ -288,11 +297,13 @@ fn outcome_json(chip: &Chip, config: &RouterConfig, out: &RoutingOutcome) -> Str
     );
     let st = &out.stats;
     let per: Vec<String> = st.rerouted_per_iter.iter().map(|r| r.to_string()).collect();
+    let walls: Vec<String> = st.iter_wall_s.iter().map(|&w| jf(w)).collect();
     let _ = writeln!(
         s,
         "  \"stats\": {{\"rerouted_per_iter\": [{}], \"oracle_calls\": {}, \
          \"dirty\": {{\"fresh\": {}, \"overflow\": {}, \"timing\": {}, \"price\": {}, \
-         \"weight\": {}, \"budget\": {}}}, \"usage_recounts\": {}, \"sta_nodes_retimed\": {}}},",
+         \"weight\": {}, \"budget\": {}}}, \"usage_recounts\": {}, \"sta_nodes_retimed\": {}, \
+         \"iter_wall_s\": [{}], \"peak_arena_bytes\": {}}},",
         per.join(", "),
         st.total_rerouted(),
         st.dirty_fresh,
@@ -302,7 +313,9 @@ fn outcome_json(chip: &Chip, config: &RouterConfig, out: &RoutingOutcome) -> Str
         st.dirty_weight,
         st.dirty_budget,
         st.usage_recounts,
-        st.sta_nodes_retimed
+        st.sta_nodes_retimed,
+        walls.join(", "),
+        st.peak_arena_bytes
     );
     let _ = write!(s, "  \"checksum\": \"{:#018x}\"\n}}", out.checksum());
     s
@@ -428,11 +441,16 @@ fn fixtures(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("wrote {}", path.display());
         Ok(())
     };
-    for preset in ["converging", "congested"] {
+    for preset in ["converging", "congested", "fanout_heavy"] {
         let doc =
             ChipDoc::from_chip(&preset_spec(preset)?.generate()).map_err(|e| e.to_string())?;
         write(&format!("{preset}.cdst"), &chip_doc_to_string(&doc).map_err(|e| e.to_string())?)?;
     }
+    // the fanout-heavy golden: CD oracle, 3 iterations (what the
+    // chipdoc fixture suite re-routes and compares)
+    let fanout = preset_spec("fanout_heavy")?.generate();
+    let out = Router::new(&fanout, RouterConfig { iterations: 3, ..RouterConfig::default() }).run();
+    write("fanout_heavy_cd.expect", &format!("{:#018x}\n", out.checksum()))?;
     for (gi, (nx, ny, nl)) in [(8u32, 8u32, 2u8), (12, 9, 3), (15, 15, 2)].into_iter().enumerate() {
         write(&format!("stream_{nx}x{ny}.cdst"), &stream_doc(gi, nx, ny, nl)?)?;
     }

@@ -55,6 +55,12 @@ fn gen_route_verify_pipeline() {
     ]));
     assert_eq!(json_field(&json, "nets"), "25");
     assert_eq!(json_field(&json, "oracle"), "CD");
+    // the stats block surfaces per-iteration wall clock and the peak
+    // forest-arena footprint
+    let walls = json_field(&json, "iter_wall_s");
+    assert!(!walls.is_empty(), "no iter_wall_s in: {json}");
+    let peak: u64 = json_field(&json, "peak_arena_bytes").parse().unwrap();
+    assert!(peak > 0, "peak_arena_bytes missing or zero in: {json}");
     let checksum = json_field(&json, "checksum").to_string();
     assert!(checksum.starts_with("0x") && checksum.len() == 18, "{checksum}");
 
@@ -200,6 +206,23 @@ fn chip_names_are_json_escaped() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let json = String::from_utf8(out.stdout).unwrap();
     assert!(json.contains("\"chip\": \"a\\\"b\\\\c\""), "unescaped name in: {json}");
+}
+
+#[test]
+fn fanout_heavy_preset_generates_and_routes() {
+    let doc = run_ok(bin().args(["gen", "--preset", "fanout_heavy"]));
+    assert!(doc.contains("chip fanout_heavy\n"));
+    // every net record carries ≥ 30 sinks: `net x y : s...` has one
+    // (x,y) pair per sink after the colon
+    let wide = doc
+        .lines()
+        .filter(|l| l.starts_with("net "))
+        .all(|l| l.split(':').nth(1).map_or(0, |s| s.split_whitespace().count()) >= 60);
+    assert!(wide, "fanout_heavy preset emitted a low-fanout net");
+    let out = pipe_stdin(bin().args(["route", "-", "--iterations", "1"]), &doc);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(json_field(&json, "nets"), "24");
 }
 
 #[test]

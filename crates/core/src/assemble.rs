@@ -18,9 +18,10 @@
 use crate::components::DenseAdjacency;
 use crate::table::{VertexSet, VertexTable};
 use cds_graph::{EdgeId, SteinerGraph, VertexId};
-use cds_topo::{EmbeddedTree, NodeId, NodeKind};
+use cds_topo::{EmbeddedTree, NodeId, NodeKind, RoutedForest, TreeSink};
 
 const NO_LINK: u32 = u32::MAX;
+const NO_EDGE: EdgeId = EdgeId::MAX;
 
 /// Reusable buffers for [`assemble_tree_in`]: the used-subgraph
 /// adjacency, DFS state, per-vertex sink lists, and children lists. All
@@ -44,6 +45,11 @@ pub struct AssembleScratch {
     cend: VertexTable<u32>,
     centries: Vec<(VertexId, EdgeId)>,
     pending: Vec<Attachment>,
+    /// emit work list: (tree node to attach under, graph vertex to
+    /// process, entering edge or [`NO_EDGE`] for the root item)
+    work: Vec<(NodeId, VertexId, EdgeId)>,
+    /// the arc path under construction for the current work item
+    path_buf: Vec<EdgeId>,
 }
 
 impl AssembleScratch {
@@ -60,6 +66,8 @@ impl AssembleScratch {
         self.cend.clear();
         self.centries.clear();
         self.pending.clear();
+        self.work.clear();
+        self.path_buf.clear();
     }
 
     fn children(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
@@ -103,6 +111,47 @@ pub fn assemble_tree_in<G: SteinerGraph + ?Sized>(
     sink_vertices: &[VertexId],
     edges: &[EdgeId],
 ) -> EmbeddedTree {
+    prepare(s, graph, root, sink_vertices, edges);
+    let mut out = EmbeddedTree::new(root);
+    emit(s, root, &mut out);
+    out
+}
+
+/// [`assemble_tree_in`] writing straight into a [`RoutedForest`] slot —
+/// the allocation-free arena path: the same prepare/emit pipeline, with
+/// the output landing in the forest's shared slabs instead of an owned
+/// tree. The resulting [`TreeView`](cds_topo::TreeView) is bit-identical
+/// (node ids, child order, edge order) to what [`assemble_tree_in`]
+/// returns for the same inputs.
+///
+/// # Panics
+///
+/// Same contract as [`assemble_tree`].
+pub fn assemble_tree_into<G: SteinerGraph + ?Sized>(
+    s: &mut AssembleScratch,
+    graph: &G,
+    root: VertexId,
+    sink_vertices: &[VertexId],
+    edges: &[EdgeId],
+    forest: &mut RoutedForest,
+    slot: usize,
+) {
+    prepare(s, graph, root, sink_vertices, edges);
+    let mut out = forest.build_tree(slot, root);
+    emit(s, root, &mut out);
+    out.finish();
+}
+
+/// The analysis half of assembly: deduplicated used-subgraph adjacency,
+/// per-vertex sink lists, the root DFS, and the children CSR — all into
+/// the scratch tables, ready for [`emit`].
+fn prepare<G: SteinerGraph + ?Sized>(
+    s: &mut AssembleScratch,
+    graph: &G,
+    root: VertexId,
+    sink_vertices: &[VertexId],
+    edges: &[EdgeId],
+) {
     s.clear();
     // Deduplicated adjacency of the used subgraph.
     s.used.extend_from_slice(edges);
@@ -171,32 +220,42 @@ pub fn assemble_tree_in<G: SteinerGraph + ?Sized>(
             s.centries[a as usize..b as usize].sort_unstable();
         }
     }
+}
 
-    // Emit the EmbeddedTree: walk down from the root, compressing
-    // pass-through chains, attaching sink leaves, and keeping every node
-    // at ≤ 2 children via same-vertex extension Steiner nodes.
-    let mut out = EmbeddedTree::new(root);
+/// The emit half of assembly, generic over the output form: walks down
+/// from the root, compressing pass-through chains, attaching sink
+/// leaves, and keeping every node at ≤ 2 children via same-vertex
+/// extension Steiner nodes. Writes to any [`TreeSink`] — the owned
+/// [`EmbeddedTree`] and the [`RoutedForest`] arena produce identical
+/// trees through this one code path.
+fn emit<T: TreeSink>(s: &mut AssembleScratch, root: VertexId, out: &mut T) {
     // Work list: (tree node to attach under, graph vertex to process,
-    // path of edges from the parent node's vertex to this vertex).
-    let mut work: Vec<(NodeId, VertexId, Vec<EdgeId>)> = vec![(out.root(), root, Vec::new())];
-    while let Some((parent_node, mut v, mut path)) = work.pop() {
+    // edge entering this vertex — the path itself accumulates in the
+    // shared `path_buf`, so no per-item allocation).
+    s.work.clear();
+    s.work.push((out.root_node(), root, NO_EDGE));
+    while let Some((parent_node, mut v, enter)) = s.work.pop() {
+        s.path_buf.clear();
+        if enter != NO_EDGE {
+            s.path_buf.push(enter);
+        }
         // compress: follow single-child, sink-free vertices
         loop {
             let kids = s.children(v);
-            if kids.len() == 1 && !s.sink_head.contains(v) && !path.is_empty() {
+            if kids.len() == 1 && !s.sink_head.contains(v) && !s.path_buf.is_empty() {
                 let (w, e) = kids[0];
-                path.push(e);
+                s.path_buf.push(e);
                 v = w;
             } else {
                 break;
             }
         }
-        let is_root_node = parent_node == out.root() && path.is_empty() && v == root;
+        let is_root_node = parent_node == out.root_node() && s.path_buf.is_empty() && v == root;
         // the node hosting this vertex
         let host = if is_root_node {
-            out.root()
+            out.root_node()
         } else {
-            out.add_node(NodeKind::Steiner, v, parent_node, path)
+            out.push_node(NodeKind::Steiner, v, parent_node, &s.path_buf)
         };
         // gather attachments: sink leaves first (lists traverse in
         // increasing sink index), then subtrees
@@ -217,36 +276,37 @@ pub fn assemble_tree_in<G: SteinerGraph + ?Sized>(
         // are attached lazily through the work list, so track reserved
         // slots explicitly.
         let mut cur = host;
-        let mut used = out.children(cur).len();
+        let mut used = out.child_count(cur);
         let total = s.pending.len();
-        for (i, att) in s.pending.drain(..).enumerate() {
+        for i in 0..total {
+            let att = s.pending[i];
             let remaining_after = total - i - 1;
             loop {
-                let cap: usize = if cur == out.root() { 1 } else { 2 };
+                let cap: usize = if cur == out.root_node() { 1 } else { 2 };
                 // keep one slot free for the continuation chain when
                 // more attachments follow
                 let need = if remaining_after > 0 { 2 } else { 1 };
                 if cap.saturating_sub(used) >= need {
                     break;
                 }
-                cur = out.add_node(NodeKind::Steiner, v, cur, Vec::new());
+                cur = out.push_node(NodeKind::Steiner, v, cur, &[]);
                 used = 0;
             }
             match att {
                 Attachment::Sink(sink) => {
-                    out.add_node(NodeKind::Sink(sink), v, cur, Vec::new());
+                    out.push_node(NodeKind::Sink(sink), v, cur, &[]);
                 }
                 Attachment::Subtree(w, e) => {
-                    work.push((cur, w, vec![e]));
+                    s.work.push((cur, w, e));
                 }
             }
             used += 1;
         }
+        s.pending.clear();
     }
-    out
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Attachment {
     Sink(usize),
     Subtree(VertexId, EdgeId),

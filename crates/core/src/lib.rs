@@ -55,7 +55,7 @@ pub mod session;
 pub mod solver;
 pub mod table;
 
-pub use assemble::{assemble_tree, assemble_tree_in, AssembleScratch};
+pub use assemble::{assemble_tree, assemble_tree_in, assemble_tree_into, AssembleScratch};
 pub use future::{FutureCost, GridFutureCost, LandmarkFutureCost, NoFutureCost};
 pub use session::{Request, SessionConfig, Solver, SolverBuilder};
 pub use solver::{

@@ -365,6 +365,28 @@ impl Solver {
         solve_in(ws, &inst, &opts)
     }
 
+    /// Solves one request with the tree assembled straight into a
+    /// [`RoutedForest`](cds_topo::RoutedForest) slot — the arena path:
+    /// no owned tree, no evaluation (evaluate through the slot's
+    /// [`TreeView`](cds_topo::TreeView); results are bit-identical to
+    /// [`solve_with`](Self::solve_with)). Returns the work counters.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`solve`](Self::solve); `record_trace` is
+    /// ignored on this path.
+    pub fn solve_into<G: SteinerGraph + ?Sized>(
+        config: &SessionConfig,
+        ws: &mut SolverWorkspace,
+        req: &Request<'_, G>,
+        forest: &mut cds_topo::RoutedForest,
+        slot: usize,
+    ) -> crate::SolveStats {
+        let inst = req.instance();
+        let opts = Self::options(config, req);
+        crate::solver::solve_forest_in(ws, &inst, &opts, forest, slot)
+    }
+
     /// Solves independent requests in parallel over a pool of
     /// workspaces, returning results in request order.
     ///

@@ -241,6 +241,63 @@ pub(crate) fn solve_in<G: SteinerGraph + ?Sized>(
     inst: &Instance<'_, G>,
     opts: &SolverOptions<'_>,
 ) -> SolveResult {
+    let (comp, stats, trace) = solve_core(ws, inst, opts);
+    let tree =
+        assemble_tree_in(&mut ws.assemble, inst.graph, inst.root, inst.sink_vertices, &comp.edges);
+    ws.free_component(comp);
+    debug_assert_eq!(
+        tree.validate(inst.graph, inst.sink_vertices.len()),
+        Ok(()),
+        "assembled tree must be valid"
+    );
+    let evaluation = tree.evaluate(inst.cost, inst.delay, inst.weights, &inst.bif);
+    SolveResult { tree, evaluation, stats, trace }
+}
+
+/// [`solve_in`] assembling straight into a [`RoutedForest`] slot — the
+/// arena path of the session API: the same merge loop and the same
+/// assembly pipeline, but the output tree lands in shared slabs instead
+/// of an owned [`EmbeddedTree`], and no evaluation is performed (the
+/// caller evaluates through the slot's
+/// [`TreeView`](cds_topo::TreeView), bit-identical by construction).
+///
+/// # Panics
+///
+/// Same contract as [`solve`].
+pub(crate) fn solve_forest_in<G: SteinerGraph + ?Sized>(
+    ws: &mut SolverWorkspace,
+    inst: &Instance<'_, G>,
+    opts: &SolverOptions<'_>,
+    forest: &mut cds_topo::RoutedForest,
+    slot: usize,
+) -> SolveStats {
+    let (comp, stats, _trace) = solve_core(ws, inst, opts);
+    crate::assemble::assemble_tree_into(
+        &mut ws.assemble,
+        inst.graph,
+        inst.root,
+        inst.sink_vertices,
+        &comp.edges,
+        forest,
+        slot,
+    );
+    ws.free_component(comp);
+    debug_assert_eq!(
+        forest.view(slot).validate(inst.graph, inst.sink_vertices.len()),
+        Ok(()),
+        "assembled tree must be valid"
+    );
+    stats
+}
+
+/// The shared front of both solve paths: validates the instance, runs
+/// the merge loop to completion, and hands back the root component's
+/// edge set (the tree-to-be) with the work counters and optional trace.
+fn solve_core<G: SteinerGraph + ?Sized>(
+    ws: &mut SolverWorkspace,
+    inst: &Instance<'_, G>,
+    opts: &SolverOptions<'_>,
+) -> (Component, SolveStats, Vec<MergeEvent>) {
     assert!(!inst.sink_vertices.is_empty(), "a net needs at least one sink");
     assert_eq!(inst.sink_vertices.len(), inst.weights.len(), "one weight per sink");
     assert!(inst.weights.iter().all(|&w| w >= 0.0), "negative delay weight");
@@ -259,21 +316,9 @@ pub(crate) fn solve_in<G: SteinerGraph + ?Sized>(
         .comp
         .take()
         .expect("root component lives at its representative");
-    let tree = assemble_tree_in(
-        &mut state.ws.assemble,
-        inst.graph,
-        inst.root,
-        inst.sink_vertices,
-        &comp.edges,
-    );
-    state.ws.free_component(comp);
-    debug_assert_eq!(
-        tree.validate(inst.graph, inst.sink_vertices.len()),
-        Ok(()),
-        "assembled tree must be valid"
-    );
-    let evaluation = tree.evaluate(inst.cost, inst.delay, inst.weights, &inst.bif);
-    SolveResult { tree, evaluation, stats: state.stats, trace: state.trace }
+    let stats = state.stats;
+    let trace = std::mem::take(&mut state.trace);
+    (comp, stats, trace)
 }
 
 struct Terminal {

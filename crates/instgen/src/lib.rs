@@ -83,6 +83,19 @@ pub fn typical_delay_per_gcell(model: &DelayModel) -> f64 {
     model.wire_delay_per_gcell(mid, 0)
 }
 
+/// Shape of the per-net sink-count/placement distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SinkProfile {
+    /// The Table I/II bucket shape: mostly 1-5 sinks, a thin tail up
+    /// to ~60, sinks clustered near their root.
+    #[default]
+    Mixed,
+    /// Clock-tree-like: few drivers, every net fans out to 30-80 sinks
+    /// spread across the die (sinks are mostly *not* clustered near the
+    /// root) — the high-fanout regime where tree topology dominates.
+    FanoutHeavy,
+}
+
 /// Parameters of a synthetic chip.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChipSpec {
@@ -104,6 +117,8 @@ pub struct ChipSpec {
     pub rat_tightness: f64,
     /// Maximum nets per timing chain.
     pub max_chain_len: usize,
+    /// Sink-count/placement distribution (see [`SinkProfile`]).
+    pub profile: SinkProfile,
 }
 
 impl ChipSpec {
@@ -118,6 +133,7 @@ impl ChipSpec {
             utilization: 0.33,
             rat_tightness: 1.25,
             max_chain_len: 3,
+            profile: SinkProfile::Mixed,
         }
     }
 
@@ -152,6 +168,7 @@ impl ChipSpec {
                 utilization: 0.33,
                 rat_tightness: 1.25,
                 max_chain_len: 4,
+                profile: SinkProfile::Mixed,
             })
             .collect()
     }
@@ -262,22 +279,28 @@ impl ChipSpec {
         Chip { name: self.name.clone(), grid, delay_model, nets, chains, cell_delay_ps: 18.0 }
     }
 
-    /// Pin-count distribution matching the Table I/II bucket shape:
-    /// mostly 1-5 sinks, a thin tail up to ~60.
-    fn sink_count(rng: &mut StdRng) -> usize {
-        let r: f64 = rng.gen();
-        if r < 0.40 {
-            1
-        } else if r < 0.60 {
-            2
-        } else if r < 0.84 {
-            rng.gen_range(3..=5)
-        } else if r < 0.94 {
-            rng.gen_range(6..=14)
-        } else if r < 0.985 {
-            rng.gen_range(15..=29)
-        } else {
-            rng.gen_range(30..=60)
+    /// Pin-count distribution per [`SinkProfile`]: the mixed Table I/II
+    /// bucket shape (mostly 1-5 sinks, a thin tail up to ~60), or the
+    /// uniformly high-fanout clock-tree regime.
+    fn sink_count(&self, rng: &mut StdRng) -> usize {
+        match self.profile {
+            SinkProfile::Mixed => {
+                let r: f64 = rng.gen();
+                if r < 0.40 {
+                    1
+                } else if r < 0.60 {
+                    2
+                } else if r < 0.84 {
+                    rng.gen_range(3..=5)
+                } else if r < 0.94 {
+                    rng.gen_range(6..=14)
+                } else if r < 0.985 {
+                    rng.gen_range(15..=29)
+                } else {
+                    rng.gen_range(30..=60)
+                }
+            }
+            SinkProfile::FanoutHeavy => rng.gen_range(30..=80),
         }
     }
 
@@ -313,13 +336,19 @@ impl ChipSpec {
             }
             Point::new(0, 0) // pathological macro coverage; keep going
         };
+        // mixed nets cluster sinks near the root; fanout-heavy nets
+        // spread them across the die (clock-tree-like distribution)
+        let near_p = match self.profile {
+            SinkProfile::Mixed => 0.75,
+            SinkProfile::FanoutHeavy => 0.2,
+        };
         (0..self.num_nets)
             .map(|_| {
                 let root = sample(rng, None);
-                let k = Self::sink_count(rng);
+                let k = self.sink_count(rng);
                 let sinks = (0..k)
                     .map(|_| {
-                        let near = (rng.gen::<f64>() < 0.75).then_some(root);
+                        let near = (rng.gen::<f64>() < near_p).then_some(root);
                         sample(rng, near)
                     })
                     .collect();
@@ -485,5 +514,38 @@ mod tests {
         assert!(buckets[0] > buckets[1]);
         assert!(buckets[1] > buckets[2]);
         assert!(buckets[3] > 0, "some >=30-sink nets must exist");
+    }
+
+    #[test]
+    fn fanout_heavy_profile_generates_wide_spread_nets() {
+        let spec = ChipSpec {
+            num_nets: 24,
+            profile: SinkProfile::FanoutHeavy,
+            ..ChipSpec::small_test(11)
+        };
+        let chip = spec.generate();
+        assert_eq!(chip.nets.len(), 24);
+        for net in &chip.nets {
+            let k = net.sinks.len();
+            assert!((30..=80).contains(&k), "fanout-heavy net has {k} sinks");
+        }
+        // sinks spread die-wide: the average net's bounding box covers
+        // most of the grid (mixed-profile nets cluster tightly)
+        let side = chip.grid.spec().nx.max(chip.grid.spec().ny) as f64;
+        let avg_span: f64 = chip
+            .nets
+            .iter()
+            .map(|n| {
+                let xs: Vec<i32> = n.sinks.iter().map(|p| p.x).collect();
+                let ys: Vec<i32> = n.sinks.iter().map(|p| p.y).collect();
+                ((xs.iter().max().unwrap() - xs.iter().min().unwrap())
+                    + (ys.iter().max().unwrap() - ys.iter().min().unwrap())) as f64
+            })
+            .sum::<f64>()
+            / chip.nets.len() as f64;
+        assert!(avg_span > side, "fanout nets too clustered: avg span {avg_span}, side {side}");
+        // and the mixed profile is untouched (same RNG path as before)
+        let mixed = ChipSpec::small_test(11).generate();
+        assert_eq!(mixed.nets, ChipSpec::small_test(11).generate().nets);
     }
 }

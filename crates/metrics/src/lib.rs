@@ -114,6 +114,20 @@ pub fn wirelength_meters(gcells: f64, gcell_um: f64) -> f64 {
     gcells * gcell_um * 1e-6
 }
 
+/// Total wirelength (gcells) and via count across a routed forest —
+/// one linear pass over the arena's per-tree summary directory, in net
+/// order, with nothing materialized. The router's Table IV/V
+/// `wirelength`/`vias` columns come from here.
+pub fn forest_totals(forest: &cds_topo::RoutedForest) -> (f64, usize) {
+    let mut wl_gcells = 0.0f64;
+    let mut vias = 0usize;
+    for slot in 0..forest.num_slots() {
+        wl_gcells += forest.wirelength_gcells(slot);
+        vias += forest.vias(slot);
+    }
+    (wl_gcells, vias)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

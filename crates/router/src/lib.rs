@@ -46,9 +46,11 @@ pub use oracle::{
 use cds_geom::Point;
 use cds_graph::{EdgeAttrs, EdgeId, EdgeIndex, EdgeKind, GridWindow, RoutingSurface, WindowView};
 use cds_instgen::Chip;
-use cds_metrics::{ace4, overflow_flags, wire_congestion, wirelength_meters, RunMetrics};
+use cds_metrics::{
+    ace4, forest_totals, overflow_flags, wire_congestion, wirelength_meters, RunMetrics,
+};
 use cds_sta::{IncrementalSta, TimingGraph, TimingReport};
-use cds_topo::BifurcationConfig;
+use cds_topo::{BifurcationConfig, RoutedForest, TreeView};
 use schedule::{DirtyCause, DirtyTracker};
 use std::time::Instant;
 
@@ -177,7 +179,11 @@ impl Default for RouterConfig {
     }
 }
 
-/// Result of routing one net (window-independent summary).
+/// Result of routing one net (window-independent owned summary) — the
+/// compatibility form returned by [`Router::route_one`]. Inside
+/// [`Router::run`] nothing is materialized per net: every tree and
+/// summary span lives in the [`RoutingOutcome::forest`] arena, read
+/// through [`NetView`]s.
 #[derive(Debug, Clone)]
 pub struct RoutedNet {
     /// Wirelength in gcells.
@@ -190,13 +196,30 @@ pub struct RoutedNet {
     pub used_edges: Vec<(EdgeId, f64)>,
 }
 
+/// Borrowed per-net summary over the outcome's forest: the same fields
+/// as [`RoutedNet`], zero-copy.
+#[derive(Debug, Clone, Copy)]
+pub struct NetView<'a> {
+    /// Wirelength in gcells.
+    pub wirelength_gcells: f64,
+    /// Vias used.
+    pub vias: usize,
+    /// Delay per sink (ps), including λ penalties.
+    pub sink_delays: &'a [f64],
+    /// Global edge ids used, with the tracks each use consumes.
+    pub used_edges: &'a [(EdgeId, f64)],
+    /// The routed tree itself (global edge ids on both window backends).
+    pub tree: TreeView<'a>,
+}
+
 /// Sums every net's used edges into `out` (cleared first) — the one
 /// definition of "usage" that the full sweep, the periodic recount,
-/// and the accounting tests all share.
-fn accumulate_usage(nets: &[RoutedNet], out: &mut [f64]) {
+/// and the accounting tests all share. Walks the forest's contiguous
+/// used-edge spans in net order.
+fn accumulate_usage(forest: &RoutedForest, out: &mut [f64]) {
     out.fill(0.0);
-    for rn in nets {
-        for &(e, tracks) in &rn.used_edges {
+    for slot in 0..forest.num_slots() {
+        for &(e, tracks) in forest.used_edges(slot) {
             out[e as usize] += tracks;
         }
     }
@@ -224,8 +247,15 @@ pub struct HarvestedInstance {
 
 /// Work accounting of one router run — how much rip-up the dirty-net
 /// scheduler actually performed (full-reroute runs report every net in
-/// every iteration).
-#[derive(Debug, Clone, Default, PartialEq)]
+/// every iteration), plus per-iteration wall clock and peak arena
+/// footprint.
+///
+/// Equality compares only the *deterministic* fields: wall-clock times
+/// ([`iter_wall_s`](Self::iter_wall_s)) and arena capacities
+/// ([`peak_arena_bytes`](Self::peak_arena_bytes), a function of
+/// allocator growth and worker count) are observability counters, not
+/// part of the reproducibility contract.
+#[derive(Debug, Clone, Default)]
 pub struct RouterStats {
     /// Nets rerouted in each iteration (`[0]` is always the full sweep).
     pub rerouted_per_iter: Vec<usize>,
@@ -247,6 +277,27 @@ pub struct RouterStats {
     /// Timing nodes re-propagated by the incremental STA engine
     /// (`0` in full-reroute mode, which re-analyzes the whole DAG).
     pub sta_nodes_retimed: u64,
+    /// Wall-clock seconds per rip-up iteration (excluded from `==`).
+    pub iter_wall_s: Vec<f64>,
+    /// Peak bytes reserved across all forest arenas — the chip-wide
+    /// routed forest plus every worker's scratch forest (excluded from
+    /// `==`).
+    pub peak_arena_bytes: u64,
+}
+
+impl PartialEq for RouterStats {
+    /// Deterministic fields only (see the type docs).
+    fn eq(&self, o: &Self) -> bool {
+        self.rerouted_per_iter == o.rerouted_per_iter
+            && self.dirty_fresh == o.dirty_fresh
+            && self.dirty_overflow == o.dirty_overflow
+            && self.dirty_timing == o.dirty_timing
+            && self.dirty_price == o.dirty_price
+            && self.dirty_weight == o.dirty_weight
+            && self.dirty_budget == o.dirty_budget
+            && self.usage_recounts == o.usage_recounts
+            && self.sta_nodes_retimed == o.sta_nodes_retimed
+    }
 }
 
 impl RouterStats {
@@ -285,8 +336,12 @@ pub struct RoutingOutcome {
     /// post-loop vector — identical for all compared methods, which is
     /// what the apples-to-apples comparison requires.
     pub prices: Vec<f64>,
-    /// Per-net summaries (net order).
-    pub nets: Vec<RoutedNet>,
+    /// Every net's routed tree and summary spans, in net order, in one
+    /// struct-of-arrays arena (see [`cds_topo::forest`]); read per-net
+    /// data through [`nets`](Self::nets) / [`net`](Self::net), or
+    /// materialize an owned [`RoutedNet`] with
+    /// [`routed_net`](Self::routed_net).
+    pub forest: RoutedForest,
     /// Harvested instances (nets with ≥ 3 sinks), when requested: each
     /// net's committed route with the weights/budgets it was last
     /// ripped up with — the final iteration's in full-reroute mode, or
@@ -298,12 +353,46 @@ pub struct RoutingOutcome {
 }
 
 impl RoutingOutcome {
+    /// Number of routed nets (forest slots).
+    pub fn num_nets(&self) -> usize {
+        self.forest.num_slots()
+    }
+
+    /// Borrowed summary of net `i` (zero-copy over the forest).
+    pub fn net(&self, i: usize) -> NetView<'_> {
+        NetView {
+            wirelength_gcells: self.forest.wirelength_gcells(i),
+            vias: self.forest.vias(i),
+            sink_delays: self.forest.sink_delays(i),
+            used_edges: self.forest.used_edges(i),
+            tree: self.forest.view(i),
+        }
+    }
+
+    /// Borrowed summaries of all nets, in net order.
+    pub fn nets(&self) -> impl Iterator<Item = NetView<'_>> {
+        (0..self.forest.num_slots()).map(|i| self.net(i))
+    }
+
+    /// Owned [`RoutedNet`] materialization of net `i` (compat bridge).
+    pub fn routed_net(&self, i: usize) -> RoutedNet {
+        RoutedNet {
+            wirelength_gcells: self.forest.wirelength_gcells(i),
+            vias: self.forest.vias(i),
+            sink_delays: self.forest.sink_delays(i).to_vec(),
+            used_edges: self.forest.used_edges(i).to_vec(),
+        }
+    }
+
     /// FNV-1a checksum over the bit-exact routing result: the quality
     /// metrics (wall time excluded), every net's tree (edges, tracks,
-    /// sink delays, via/wirelength accounting), the usage vector, and
-    /// the final slacks. Deterministic runs — any thread count, either
-    /// window backend — produce the same checksum, which is what
-    /// `cds-cli verify` and the pinned fixture tests compare against.
+    /// sink delays, via/wirelength accounting), the usage vector, the
+    /// final slacks, and — when instance harvesting ran — the harvested
+    /// weights/budgets archive, so `cds-cli verify` also catches
+    /// harvest drift. Runs without harvesting produce exactly the
+    /// historical (pre-harvest-folding) value, which is what the pinned
+    /// fixture goldens compare against. Deterministic runs — any thread
+    /// count, either window backend — produce the same checksum.
     pub fn checksum(&self) -> u64 {
         fn eat(h: &mut u64, x: u64) {
             *h ^= x;
@@ -315,13 +404,13 @@ impl RoutingOutcome {
         eat(&mut h, self.metrics.ace4.to_bits());
         eat(&mut h, self.metrics.wl_m.to_bits());
         eat(&mut h, self.metrics.vias as u64);
-        for rn in &self.nets {
-            eat(&mut h, rn.wirelength_gcells.to_bits());
-            eat(&mut h, rn.vias as u64);
-            for &d in &rn.sink_delays {
+        for i in 0..self.forest.num_slots() {
+            eat(&mut h, self.forest.wirelength_gcells(i).to_bits());
+            eat(&mut h, self.forest.vias(i) as u64);
+            for &d in self.forest.sink_delays(i) {
                 eat(&mut h, d.to_bits());
             }
-            for &(e, tracks) in &rn.used_edges {
+            for &(e, tracks) in self.forest.used_edges(i) {
                 eat(&mut h, u64::from(e) + 1);
                 eat(&mut h, tracks.to_bits());
             }
@@ -331,6 +420,20 @@ impl RoutingOutcome {
         }
         for &s in &self.timing.slack {
             eat(&mut h, s.to_bits());
+        }
+        if !self.harvest.is_empty() {
+            eat(&mut h, self.harvest.len() as u64);
+            for inst in &self.harvest {
+                eat(&mut h, inst.net as u64 + 1);
+                for &w in &inst.weights {
+                    eat(&mut h, w.to_bits());
+                }
+                // separator keeps (weights | budgets) framing unambiguous
+                eat(&mut h, u64::MAX);
+                for &b in &inst.budgets {
+                    eat(&mut h, b.to_bits());
+                }
+            }
         }
         h
     }
@@ -433,7 +536,10 @@ impl<'a> Router<'a> {
 
         let mut usage = vec![0.0f64; m];
         let mut usage_hist = vec![0.0f64; m];
-        let mut nets_out: Vec<RoutedNet> = Vec::new();
+        // every net's routed tree + summary spans, double-buffered;
+        // replaced spans become garbage and are compacted when they
+        // outgrow the live data
+        let mut forest = RoutedForest::with_slots(n);
         let mut stats = RouterStats::default();
         let mut tracker = incremental
             .then(|| DirtyTracker::new(chip, self.config.window_margin, self.config.price_tol));
@@ -445,12 +551,15 @@ impl<'a> Router<'a> {
             harvest_budgets = budgets.clone();
         }
 
-        // one warm oracle workspace per worker thread, reused across
-        // nets *and* rip-up iterations — the session-API payoff
-        let mut workspaces: Vec<OracleWorkspace> =
-            (0..self.config.threads.max(1)).map(|_| OracleWorkspace::new()).collect();
+        // one warm worker per thread — oracle workspace plus a scratch
+        // forest the worker routes into — reused across nets *and*
+        // rip-up iterations; results are merged into the chip-wide
+        // forest in deterministic net order by span copies
+        let mut workers: Vec<RouteWorker> =
+            (0..self.config.threads.max(1)).map(|_| RouteWorker::default()).collect();
 
         for iter in 0..self.config.iterations {
+            let iter_start = Instant::now();
             // 1. prices from damped usage (history smoothing avoids the
             //    herding oscillation of cost-seeking oracles on frozen
             //    prices)
@@ -491,30 +600,38 @@ impl<'a> Router<'a> {
             stats.rerouted_per_iter.push(dirty.len());
 
             // 2. route the scheduled nets in parallel on frozen prices
-            let routed = self.route_ids(&dirty, &prices, &weights, &budgets, bif, &mut workspaces);
+            //    (into per-worker scratch forests), then merge into the
+            //    chip-wide forest in deterministic net order
+            let placements =
+                self.route_ids_into(&dirty, &prices, &weights, &budgets, bif, &mut workers);
 
             // 3. usage accounting: full sweeps recompute from scratch
             //    (the reference rule); partial sweeps subtract each
-            //    ripped net's old edges and add its new ones
+            //    ripped net's old span and add its new one — both walk
+            //    contiguous span memory
             if dirty.len() == n {
-                nets_out = routed;
-                accumulate_usage(&nets_out, &mut usage);
+                forest.clear_trees();
+                for (k, &(wi, wslot)) in placements.iter().enumerate() {
+                    forest.copy_tree_from(&workers[wi].forest, wslot, dirty[k]);
+                }
+                accumulate_usage(&forest, &mut usage);
             } else {
-                for (&i, rn) in dirty.iter().zip(routed) {
-                    for &(e, tracks) in &nets_out[i].used_edges {
+                for (k, &(wi, wslot)) in placements.iter().enumerate() {
+                    let i = dirty[k];
+                    for &(e, tracks) in forest.used_edges(i) {
                         usage[e as usize] -= tracks;
                     }
-                    for &(e, tracks) in &rn.used_edges {
+                    forest.copy_tree_from(&workers[wi].forest, wslot, i);
+                    for &(e, tracks) in forest.used_edges(i) {
                         usage[e as usize] += tracks;
                     }
-                    nets_out[i] = rn;
                 }
                 // periodic exact recount bounds float drift from the
                 // subtract/add cycles and asserts the incremental
                 // accounting stayed consistent
                 if self.config.recount_every > 0 && (iter + 1) % self.config.recount_every == 0 {
                     let mut recount = vec![0.0f64; m];
-                    accumulate_usage(&nets_out, &mut recount);
+                    accumulate_usage(&forest, &mut recount);
                     for (e, (&r, &u)) in recount.iter().zip(&usage).enumerate() {
                         assert!(
                             (r - u).abs() <= 1e-6 * r.abs().max(u.abs()).max(1.0),
@@ -534,7 +651,7 @@ impl<'a> Router<'a> {
                     t.note_routed(i, &weights[i], budgets[i].as_deref());
                 }
                 let overflowed = overflow_flags(g, &usage);
-                t.set_overflow_touch(&nets_out, &overflowed);
+                t.set_overflow_touch(&forest, &overflowed);
             }
 
             // blend into the pricing history
@@ -548,19 +665,14 @@ impl<'a> Router<'a> {
             match &mut sta {
                 Some(s) => {
                     for &i in &dirty {
-                        for (arc, &d) in net_nodes.sink_arc[i].iter().zip(&nets_out[i].sink_delays)
-                        {
-                            s.set_arc_delay(*arc, d);
-                        }
+                        s.set_arc_delays(&net_nodes.sink_arc[i], forest.sink_delays(i));
                     }
                     s.refresh();
                     stats.sta_nodes_retimed = s.total_retimed();
                 }
                 None => {
-                    for (i, rn) in nets_out.iter().enumerate() {
-                        for (arc, &d) in net_nodes.sink_arc[i].iter().zip(&rn.sink_delays) {
-                            tg.set_arc_delay(*arc, d);
-                        }
+                    for i in 0..n {
+                        tg.set_arc_delays(&net_nodes.sink_arc[i], forest.sink_delays(i));
                     }
                     report = Some(tg.analyze());
                 }
@@ -603,12 +715,23 @@ impl<'a> Router<'a> {
                     // achievable)
                     let direct = net.root.l1(net.sinks[j]) as f64 * chip.grid.min_delay_per_gcell()
                         + 2.0 * chip.grid.spec().via_delay; // true lower bound
-                    let achieved = nets_out[i].sink_delays[j];
+                    let achieved = forest.sink_delays(i)[j];
                     let allowed = if slack.is_finite() { achieved + slack } else { f64::MAX / 4.0 };
                     b.push(allowed.max(direct));
                 }
                 budgets[i] = Some(b);
             }
+
+            // arena upkeep: compact once replaced spans outweigh live
+            // data (deterministic — a function of routed data only),
+            // then record this iteration's observability counters
+            if forest.garbage_ratio() > 0.5 {
+                forest.compact();
+            }
+            let arena =
+                forest.arena_bytes() + workers.iter().map(|w| w.forest.arena_bytes()).sum::<u64>();
+            stats.peak_arena_bytes = stats.peak_arena_bytes.max(arena);
+            stats.iter_wall_s.push(iter_start.elapsed().as_secs_f64());
         }
 
         // final usage/price consistency: the returned prices are
@@ -620,10 +743,9 @@ impl<'a> Router<'a> {
             None => report.expect("full mode analyzed the DAG before the loop"),
         };
 
-        // final metrics
+        // final metrics, straight off the forest's summary directory
         let cong = wire_congestion(g, &usage);
-        let wl_gcells: f64 = nets_out.iter().map(|n| n.wirelength_gcells).sum();
-        let vias: usize = nets_out.iter().map(|n| n.vias).sum();
+        let (wl_gcells, vias) = forest_totals(&forest);
         let metrics = RunMetrics {
             ws: report.ws,
             tns: report.tns,
@@ -659,7 +781,7 @@ impl<'a> Router<'a> {
         } else {
             Vec::new()
         };
-        RoutingOutcome { metrics, timing: report, usage, prices, nets: nets_out, harvest, stats }
+        RoutingOutcome { metrics, timing: report, usage, prices, forest, harvest, stats }
     }
 
     /// Routes one net with a built-in method and a throwaway workspace —
@@ -708,6 +830,39 @@ impl<'a> Router<'a> {
         bif: BifurcationConfig,
         ws: &mut OracleWorkspace,
     ) -> (RoutedNet, f64) {
+        let mut forest = RoutedForest::with_slots(1);
+        let total =
+            self.route_one_into(net_id, oracle, prices, weights, budgets, bif, ws, &mut forest, 0);
+        let rn = RoutedNet {
+            wirelength_gcells: forest.wirelength_gcells(0),
+            vias: forest.vias(0),
+            sink_delays: forest.sink_delays(0).to_vec(),
+            used_edges: forest.used_edges(0).to_vec(),
+        };
+        (rn, total)
+    }
+
+    /// Routes one net through an explicit oracle and workspace straight
+    /// into a [`RoutedForest`] slot — the arena path the main loop's
+    /// worker threads drive: the tree, its per-sink delays, its
+    /// used-edge list (global edge ids on both backends), and its
+    /// wirelength/via summary all land in the forest's shared slabs;
+    /// nothing per-net is materialized. Returns the net's objective
+    /// value. Bit-identical to [`route_one_with`](Self::route_one_with)
+    /// (which now wraps this).
+    #[allow(clippy::too_many_arguments)]
+    fn route_one_into(
+        &self,
+        net_id: usize,
+        oracle: &dyn SteinerOracle,
+        prices: &[f64],
+        weights: &[f64],
+        budgets: Option<&[f64]>,
+        bif: BifurcationConfig,
+        ws: &mut OracleWorkspace,
+        forest: &mut RoutedForest,
+        slot: usize,
+    ) -> f64 {
         let chip = self.chip;
         let net = &chip.nets[net_id];
         let seed = self.config.seed ^ (net_id as u64).wrapping_mul(0x9E3779B97F4A7C15);
@@ -716,8 +871,9 @@ impl<'a> Router<'a> {
         pins.push(net.root);
         pins.extend_from_slice(&net.sinks);
         let mut local_sinks = std::mem::take(&mut ws.local_sinks);
+        let g = chip.grid.graph();
 
-        let result = if self.config.materialize_windows {
+        let total = if self.config.materialize_windows {
             let index =
                 self.edge_index.as_ref().expect("materialize_windows prebuilds the edge index");
             let window = GridWindow::around(&chip.grid, index, &pins, self.config.window_margin);
@@ -738,22 +894,28 @@ impl<'a> Router<'a> {
                 bif,
                 seed,
             };
-            let tree = oracle.route(&req, ws);
-            let ev = tree.evaluate(&local_cost, &local_delay, weights, &bif);
-            let wg = window.grid.graph();
-            let used_edges: Vec<(EdgeId, f64)> = tree
-                .edges()
-                .map(|e| (window.to_global_edge[e as usize], Self::tracks(wg.edge(e))))
-                .collect();
-            let rn = RoutedNet {
-                wirelength_gcells: tree.wirelength(wg),
-                vias: tree.via_count(wg),
-                sink_delays: ev.sink_delays.clone(),
-                used_edges,
+            oracle.route_into(&req, ws, forest, slot);
+            // evaluate + summarize over window-local ids, then
+            // globalize the stored paths so the forest's trees are
+            // uniformly in global edge ids on both backends
+            let mut eval = std::mem::take(&mut ws.eval);
+            let (totals, wl, vias) = {
+                let tv = forest.view(slot);
+                let wg = window.grid.graph();
+                (
+                    tv.evaluate_into(&local_cost, &local_delay, weights, &bif, &mut eval),
+                    tv.wirelength(wg),
+                    tv.via_count(wg),
+                )
             };
+            forest.set_sink_delays(slot, &eval.sink_delays);
+            forest.remap_path_edges(slot, &window.to_global_edge);
+            forest.set_used_from_paths(slot, |e| (e, Self::tracks(g.edge(e))));
+            forest.set_summary(slot, wl, vias);
+            ws.eval = eval;
             ws.cost_buf = local_cost;
             ws.delay_buf = local_delay;
-            (rn, ev.total)
+            totals.total
         } else {
             let view = WindowView::around(&chip.grid, &pins, self.config.window_margin);
             local_sinks.clear();
@@ -769,24 +931,27 @@ impl<'a> Router<'a> {
                 bif,
                 seed,
             };
-            let tree = oracle.route(&req, ws);
-            let ev = tree.evaluate(prices, &self.delays, weights, &bif);
+            oracle.route_into(&req, ws, forest, slot);
             // view edge ids are global: usage accumulation and
             // length/via metrics read the global graph directly
-            let g = chip.grid.graph();
-            let used_edges: Vec<(EdgeId, f64)> =
-                tree.edges().map(|e| (e, Self::tracks(g.edge(e)))).collect();
-            let rn = RoutedNet {
-                wirelength_gcells: tree.wirelength(g),
-                vias: tree.via_count(g),
-                sink_delays: ev.sink_delays.clone(),
-                used_edges,
+            let mut eval = std::mem::take(&mut ws.eval);
+            let (totals, wl, vias) = {
+                let tv = forest.view(slot);
+                (
+                    tv.evaluate_into(prices, &self.delays, weights, &bif, &mut eval),
+                    tv.wirelength(g),
+                    tv.via_count(g),
+                )
             };
-            (rn, ev.total)
+            forest.set_sink_delays(slot, &eval.sink_delays);
+            forest.set_used_from_paths(slot, |e| (e, Self::tracks(g.edge(e))));
+            forest.set_summary(slot, wl, vias);
+            ws.eval = eval;
+            totals.total
         };
         ws.pins = pins;
         ws.local_sinks = local_sinks;
-        result
+        total
     }
 
     /// Routing capacity one use of `e` consumes (wide wire types take
@@ -799,8 +964,11 @@ impl<'a> Router<'a> {
         }
     }
 
-    /// Routes the given nets in parallel, returning results aligned with
-    /// `ids`. Work is distributed through a shared atomic counter: each
+    /// Routes the given nets in parallel into the workers' scratch
+    /// forests, returning `(worker, slot)` placements aligned with
+    /// `ids` (the caller merges them into the chip-wide forest in net
+    /// order — deterministic regardless of which worker routed what).
+    /// Work is distributed through a shared atomic counter: each
     /// worker claims the next unrouted index as soon as it finishes one,
     /// so a cluster of large nets landing together cannot idle the other
     /// workers (the previous contiguous `div_ceil` chunking could leave
@@ -810,55 +978,63 @@ impl<'a> Router<'a> {
     /// which worker routes a net — and in what order — cannot change any
     /// result, only which warm workspace computes it (pinned by
     /// `deterministic_across_thread_counts`).
-    fn route_ids(
+    fn route_ids_into(
         &self,
         ids: &[usize],
         prices: &[f64],
         weights: &[Vec<f64>],
         budgets: &[Option<Vec<f64>>],
         bif: BifurcationConfig,
-        workspaces: &mut [OracleWorkspace],
-    ) -> Vec<RoutedNet> {
+        workers: &mut [RouteWorker],
+    ) -> Vec<(usize, usize)> {
         if ids.is_empty() {
             return Vec::new();
         }
-        let threads = self.config.threads.max(1).min(ids.len()).min(workspaces.len().max(1));
+        let threads = self.config.threads.max(1).min(ids.len()).min(workers.len().max(1));
         let oracle = self.oracle.as_ref();
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let mut results: Vec<Option<RoutedNet>> = vec![None; ids.len()];
+        let mut placements: Vec<Option<(usize, usize)>> = vec![None; ids.len()];
         std::thread::scope(|scope| {
-            let handles: Vec<_> = workspaces
+            let handles: Vec<_> = workers
                 .iter_mut()
                 .take(threads)
-                .map(|ws| {
+                .enumerate()
+                .map(|(wi, w)| {
                     let next = &next;
                     scope.spawn(move || {
-                        let mut routed: Vec<(usize, RoutedNet)> = Vec::new();
+                        // slabs stay warm across iterations; only the
+                        // previous iteration's spans are dropped
+                        w.forest.clear();
+                        let mut routed: Vec<(usize, usize)> = Vec::new();
                         loop {
                             let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(&net_id) = ids.get(k) else { break };
-                            let (rn, _) = self.route_one_with(
+                            let slot = w.forest.alloc_slot();
+                            self.route_one_into(
                                 net_id,
                                 oracle,
                                 prices,
                                 &weights[net_id],
                                 budgets[net_id].as_deref(),
                                 bif,
-                                ws,
+                                &mut w.ws,
+                                &mut w.forest,
+                                slot,
                             );
-                            routed.push((k, rn));
+                            routed.push((k, slot));
                         }
-                        routed
+                        (wi, routed)
                     })
                 })
                 .collect();
             for h in handles {
-                for (k, rn) in h.join().expect("router worker panicked") {
-                    results[k] = Some(rn);
+                let (wi, routed) = h.join().expect("router worker panicked");
+                for (k, slot) in routed {
+                    placements[k] = Some((wi, slot));
                 }
             }
         });
-        results.into_iter().map(|r| r.expect("all scheduled nets routed")).collect()
+        placements.into_iter().map(|p| p.expect("all scheduled nets routed")).collect()
     }
 
     /// Multiplicative-weight congestion pricing: price never drops below
@@ -965,6 +1141,15 @@ impl<'a> Router<'a> {
     }
 }
 
+/// One router worker's persistent state: a warm oracle workspace plus
+/// the scratch forest it routes into each iteration (merged into the
+/// chip-wide forest by the main thread, in net order).
+#[derive(Debug, Default)]
+struct RouteWorker {
+    ws: OracleWorkspace,
+    forest: RoutedForest,
+}
+
 /// Timing-node bookkeeping per net.
 struct NetNodes {
     #[allow(dead_code)]
@@ -990,8 +1175,8 @@ mod tests {
             let out = Router::new(&chip, config).run();
             assert!(out.metrics.wl_m > 0.0, "{method}: no wirelength");
             assert!(out.metrics.ace4 >= 0.0);
-            assert_eq!(out.nets.len(), chip.nets.len());
-            for (i, rn) in out.nets.iter().enumerate() {
+            assert_eq!(out.num_nets(), chip.nets.len());
+            for (i, rn) in out.nets().enumerate() {
                 assert_eq!(rn.sink_delays.len(), chip.nets[i].sinks.len());
                 assert!(rn.sink_delays.iter().all(|d| d.is_finite() && *d >= 0.0));
             }
@@ -1027,8 +1212,8 @@ mod tests {
         let out =
             Router::new(&chip, RouterConfig { threads: 7, iterations: 1, ..Default::default() })
                 .run();
-        assert_eq!(out.nets.len(), chip.nets.len());
-        assert!(out.nets.iter().all(|rn| !rn.used_edges.is_empty() || rn.vias == 0));
+        assert_eq!(out.num_nets(), chip.nets.len());
+        assert!(out.nets().all(|rn| !rn.used_edges.is_empty() || rn.vias == 0));
     }
 
     #[test]
@@ -1088,12 +1273,51 @@ mod tests {
         let chip = tiny_chip();
         let out = Router::new(&chip, RouterConfig { iterations: 1, ..Default::default() }).run();
         let mut recount = vec![0.0; chip.grid.graph().num_edges()];
-        for rn in &out.nets {
-            for &(e, t) in &rn.used_edges {
+        for rn in out.nets() {
+            for &(e, t) in rn.used_edges {
                 recount[e as usize] += t;
             }
         }
         assert_eq!(recount, out.usage);
+    }
+
+    #[test]
+    fn checksum_folds_in_harvested_weights_and_budgets() {
+        // `cds-cli verify` must catch harvest drift: perturbing one
+        // harvested budget (or weight) changes the checksum. Runs
+        // without harvesting keep the historical checksum value, which
+        // the pinned fixture goldens depend on.
+        let chip = tiny_chip();
+        let run =
+            Router::new(&chip, RouterConfig { iterations: 2, harvest: true, ..Default::default() })
+                .run();
+        assert!(!run.harvest.is_empty(), "test chip harvested nothing");
+        let baseline = run.checksum();
+        let mut perturbed = run.clone();
+        perturbed.harvest[0].weights[0] += 1.0;
+        assert_ne!(baseline, perturbed.checksum(), "weight drift not detected");
+        let mut perturbed = run;
+        let with_budgets = perturbed
+            .harvest
+            .iter()
+            .position(|h| !h.budgets.is_empty())
+            .expect("a 2-iteration harvest carries budgets");
+        perturbed.harvest[with_budgets].budgets[0] += 1.0;
+        assert_ne!(baseline, perturbed.checksum(), "budget drift not detected");
+    }
+
+    #[test]
+    fn stats_surface_wall_clock_and_arena_counters() {
+        let chip = tiny_chip();
+        let out = Router::new(&chip, RouterConfig { iterations: 3, ..Default::default() }).run();
+        assert_eq!(out.stats.iter_wall_s.len(), 3, "one wall-clock entry per iteration");
+        assert!(out.stats.iter_wall_s.iter().all(|&s| s >= 0.0));
+        assert!(out.stats.peak_arena_bytes > 0, "forest arenas must report their footprint");
+        // the observability counters are excluded from equality
+        let mut other = out.stats.clone();
+        other.iter_wall_s.clear();
+        other.peak_arena_bytes = 0;
+        assert_eq!(out.stats, other);
     }
 
     #[test]

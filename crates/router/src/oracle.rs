@@ -28,7 +28,7 @@ use cds_embed::{embed_topology, EmbedEnv};
 use cds_geom::Point;
 use cds_graph::{RoutingSurface, VertexId};
 use cds_rsmt::rsmt_topology;
-use cds_topo::{BifurcationConfig, EmbeddedTree, Topology};
+use cds_topo::{BifurcationConfig, EmbeddedTree, EvalScratch, RoutedForest, Topology};
 
 /// Which built-in Steiner tree construction a router run uses (the
 /// paper's table row labels). This enum is a *name*, not a dispatcher:
@@ -187,6 +187,9 @@ pub struct OracleWorkspace {
     pub(crate) cost_buf: Vec<f64>,
     /// Recycled window delay slice (materialized backend only).
     pub(crate) delay_buf: Vec<f64>,
+    /// Recycled objective-evaluation scratch (DFS order, subtree
+    /// weights, per-node delays, per-sink delay output).
+    pub(crate) eval: EvalScratch,
 }
 
 impl OracleWorkspace {
@@ -228,6 +231,29 @@ pub trait SteinerOracle: Send + Sync {
     /// May panic on empty sinks or inconsistent slice lengths (the
     /// router guarantees both).
     fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree;
+
+    /// Routes one net straight into a [`RoutedForest`] slot — the
+    /// arena path the router's rip-up loop drives. The default
+    /// implementation routes an owned tree via [`route`](Self::route)
+    /// and copies it in (correct for any oracle); implementations that
+    /// can write slabs directly (the built-in [`CdOracle`] does,
+    /// through the solver session's `solve_into`) override this to skip
+    /// the owned materialization entirely. The stored tree must be
+    /// identical — node ids, child order, edge order — either way.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`route`](Self::route).
+    fn route_into(
+        &self,
+        req: &OracleRequest<'_>,
+        ws: &mut OracleWorkspace,
+        forest: &mut RoutedForest,
+        slot: usize,
+    ) {
+        let tree = self.route(req, ws);
+        forest.insert_embedded(slot, &tree);
+    }
 }
 
 /// References to oracles are oracles, so `&'static dyn SteinerOracle`
@@ -242,6 +268,15 @@ impl<T: SteinerOracle + ?Sized> SteinerOracle for &'static T {
     }
     fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree {
         (**self).route(req, ws)
+    }
+    fn route_into(
+        &self,
+        req: &OracleRequest<'_>,
+        ws: &mut OracleWorkspace,
+        forest: &mut RoutedForest,
+        slot: usize,
+    ) {
+        (**self).route_into(req, ws, forest, slot)
     }
 }
 
@@ -283,8 +318,45 @@ impl SteinerOracle for CdOracle {
     }
 
     fn route(&self, req: &OracleRequest<'_>, ws: &mut OracleWorkspace) -> EmbeddedTree {
-        // per-net scratch comes from (and returns to) the workspace, so
-        // a warm worker routes nets without allocating
+        self.with_solver_request(req, ws, |config, solver_ws, request| {
+            Solver::solve_with(config, solver_ws, request).tree
+        })
+    }
+
+    /// The arena path: the solver session assembles the tree straight
+    /// into the forest's slabs (`Solver::solve_into`) — on a warm
+    /// workspace this routes a net without touching the allocator.
+    fn route_into(
+        &self,
+        req: &OracleRequest<'_>,
+        ws: &mut OracleWorkspace,
+        forest: &mut RoutedForest,
+        slot: usize,
+    ) {
+        self.with_solver_request(req, ws, |config, solver_ws, request| {
+            Solver::solve_into(config, solver_ws, request, forest, slot);
+        })
+    }
+}
+
+impl CdOracle {
+    /// The shared front of both `route` paths: builds the solver
+    /// request from workspace-pooled buffers (vertex lists, future-cost
+    /// plane), hands it to `f` with the solver workspace, and returns
+    /// the buffers afterwards. One implementation keeps the owned and
+    /// arena paths bit-identical by construction — per-net scratch
+    /// comes from (and returns to) the workspace, so a warm worker
+    /// routes nets without allocating.
+    fn with_solver_request<R>(
+        &self,
+        req: &OracleRequest<'_>,
+        ws: &mut OracleWorkspace,
+        f: impl for<'r> FnOnce(
+            &SessionConfig,
+            &mut SolverWorkspace,
+            &Request<'r, dyn RoutingSurface + 'r>,
+        ) -> R,
+    ) -> R {
         let root = req.surface.vertex_at(req.root);
         let mut sinks = std::mem::take(&mut ws.sinks);
         sinks.clear();
@@ -299,11 +371,11 @@ impl SteinerOracle for CdOracle {
             .with_bif(req.bif)
             .with_future(&fc)
             .with_seed(req.seed);
-        let tree = Solver::solve_with(&self.config, &mut ws.solver, &request).tree;
+        let out = f(&self.config, &mut ws.solver, &request);
         ws.plane = fc.into_buffer();
         ws.sinks = sinks;
         ws.terminals = terminals;
-        tree
+        out
     }
 }
 

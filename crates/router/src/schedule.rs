@@ -46,10 +46,10 @@
 //! every edge of the net's window view has both endpoints inside the
 //! rectangle, so a zero drift certifies bit-identical window prices.
 
-use crate::RoutedNet;
 use cds_graph::{EdgeId, GridGraph};
 use cds_instgen::Chip;
 use cds_sta::TimingReport;
+use cds_topo::RoutedForest;
 
 /// Why a net was scheduled for rip-up (stats bookkeeping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,10 +187,13 @@ impl DirtyTracker {
         self.prev_prices.copy_from_slice(prices);
     }
 
-    /// Recomputes the per-net overflow flags from the current usage.
-    pub(crate) fn set_overflow_touch(&mut self, nets: &[RoutedNet], overflowed: &[bool]) {
-        for (i, rn) in nets.iter().enumerate() {
-            self.overflow_touch[i] = rn.used_edges.iter().any(|&(e, _)| overflowed[e as usize]);
+    /// Recomputes the per-net overflow flags from the current usage —
+    /// a linear walk over each net's contiguous used-edge span in the
+    /// forest, no per-net heap pointers chased.
+    pub(crate) fn set_overflow_touch(&mut self, forest: &RoutedForest, overflowed: &[bool]) {
+        for i in 0..forest.num_slots() {
+            self.overflow_touch[i] =
+                forest.used_edges(i).iter().any(|&(e, _)| overflowed[e as usize]);
         }
     }
 

@@ -165,6 +165,21 @@ impl IncrementalSta {
         }
     }
 
+    /// Bulk [`set_arc_delay`](Self::set_arc_delay): one arc per delay,
+    /// in order — how the router feeds a ripped net's contiguous
+    /// sink-delay span straight from the routed forest (bit-unchanged
+    /// delays are still not even marked dirty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn set_arc_delays(&mut self, arcs: &[ArcId], delays: &[f64]) {
+        assert_eq!(arcs.len(), delays.len(), "one delay per arc");
+        for (&arc, &d) in arcs.iter().zip(delays) {
+            self.set_arc_delay(arc, d);
+        }
+    }
+
     /// Number of pending dirty arcs.
     pub fn dirty_arcs(&self) -> usize {
         self.dirty.len()

@@ -88,6 +88,20 @@ impl TimingGraph {
         self.arcs[arc as usize].2 = delay;
     }
 
+    /// Bulk [`set_arc_delay`](Self::set_arc_delay): one arc per delay,
+    /// in order — how the router feeds a net's contiguous sink-delay
+    /// span straight from the routed forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn set_arc_delays(&mut self, arcs: &[ArcId], delays: &[f64]) {
+        assert_eq!(arcs.len(), delays.len(), "one delay per arc");
+        for (&arc, &d) in arcs.iter().zip(delays) {
+            self.set_arc_delay(arc, d);
+        }
+    }
+
     /// Declares a primary input with the given arrival time.
     pub fn set_input(&mut self, node: TimingNodeId, at: f64) {
         self.inputs.push((node, at));

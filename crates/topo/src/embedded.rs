@@ -12,7 +12,8 @@
 //!
 //! with λ chosen by Eq. (2) at every proper bifurcation.
 
-use crate::penalty::{lambda_split, BifurcationConfig};
+use crate::forest::{self, TreeRead, TreeSink};
+use crate::penalty::BifurcationConfig;
 use crate::topology::{NodeId, NodeKind};
 use cds_graph::{EdgeId, EdgeKind, SteinerGraph, VertexId};
 
@@ -212,40 +213,7 @@ impl EmbeddedTree {
         weights: &[f64],
         bif: &BifurcationConfig,
     ) -> Evaluation {
-        let connection_cost: f64 = self.edges().map(|e| c[e as usize]).sum();
-        let sub_w = self.subtree_weights(weights);
-        let mut delay = vec![0.0f64; self.num_nodes()];
-        let mut bifurcations = 0;
-        for &v in &self.dfs_order() {
-            let kids = self.children(v);
-            assert!(kids.len() <= 2, "tree is not bifurcation compatible");
-            let lambdas: [f64; 2] = if kids.len() == 2 {
-                bifurcations += 1;
-                let (lx, ly) =
-                    lambda_split(sub_w[kids[0] as usize], sub_w[kids[1] as usize], bif.eta);
-                [lx, ly]
-            } else {
-                [0.0, 0.0]
-            };
-            for (i, &child) in kids.iter().enumerate() {
-                let wire: f64 =
-                    self.paths[child as usize].edges.iter().map(|&e| d[e as usize]).sum();
-                delay[child as usize] = delay[v as usize] + wire + lambdas[i] * bif.dbif;
-            }
-        }
-        let mut sink_delays = vec![f64::NAN; weights.len()];
-        for (s, node) in self.sink_nodes() {
-            sink_delays[s] = delay[node as usize];
-        }
-        let delay_cost: f64 =
-            self.sink_nodes().iter().map(|&(s, node)| weights[s] * delay[node as usize]).sum();
-        Evaluation {
-            connection_cost,
-            delay_cost,
-            total: connection_cost + delay_cost,
-            sink_delays,
-            bifurcations,
-        }
+        forest::evaluate_owned(self, c, d, weights, bif)
     }
 
     /// Checks that every arc's path actually walks from the parent vertex
@@ -256,55 +224,59 @@ impl EmbeddedTree {
         g: &G,
         num_sinks: usize,
     ) -> Result<(), String> {
-        let mut sink_seen = vec![0usize; num_sinks];
-        for v in 0..self.num_nodes() as NodeId {
-            match (self.parent(v), v) {
-                (None, 0) => {}
-                (None, _) => return Err(format!("non-root node {v} has no parent")),
-                (Some(_), 0) => return Err("root has a parent".into()),
-                (Some(p), _) => {
-                    // walk the path
-                    let mut cur = self.vertices[p as usize];
-                    for &e in &self.paths[v as usize].edges {
-                        let ep = g.endpoints(e);
-                        if ep.u == cur {
-                            cur = ep.v;
-                        } else if ep.v == cur {
-                            cur = ep.u;
-                        } else {
-                            return Err(format!(
-                                "path of node {v}: edge {e} does not continue the walk"
-                            ));
-                        }
-                    }
-                    if cur != self.vertices[v as usize] {
-                        return Err(format!("path of node {v} ends at {cur}, not at its vertex"));
-                    }
-                }
-            }
-            match self.node_kind(v) {
-                NodeKind::Sink(s) => {
-                    if s >= num_sinks {
-                        return Err(format!("sink index {s} out of range"));
-                    }
-                    sink_seen[s] += 1;
-                    if !self.children(v).is_empty() {
-                        return Err(format!("sink node {v} is not a leaf"));
-                    }
-                }
-                _ => {
-                    if self.children(v).len() > 2 {
-                        return Err(format!("node {v} has {} children", self.children(v).len()));
-                    }
-                }
-            }
-        }
-        for (s, &count) in sink_seen.iter().enumerate() {
-            if count != 1 {
-                return Err(format!("sink {s} appears {count} times"));
-            }
-        }
-        Ok(())
+        forest::validate_tree(self, g, num_sinks)
+    }
+
+    /// Builds an owned tree from a forest [`TreeView`](forest::TreeView)
+    /// (node ids, child order, and edge order preserved).
+    pub fn from_view(view: &forest::TreeView<'_>) -> Self {
+        view.to_embedded()
+    }
+}
+
+impl TreeRead for EmbeddedTree {
+    fn num_nodes(&self) -> usize {
+        EmbeddedTree::num_nodes(self)
+    }
+
+    fn node_kind(&self, v: NodeId) -> NodeKind {
+        EmbeddedTree::node_kind(self, v)
+    }
+
+    fn vertex(&self, v: NodeId) -> VertexId {
+        EmbeddedTree::vertex(self, v)
+    }
+
+    fn parent(&self, v: NodeId) -> Option<NodeId> {
+        EmbeddedTree::parent(self, v)
+    }
+
+    fn children(&self, v: NodeId) -> &[NodeId] {
+        EmbeddedTree::children(self, v)
+    }
+
+    fn path_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.paths[v as usize].edges
+    }
+}
+
+impl TreeSink for EmbeddedTree {
+    fn root_node(&self) -> NodeId {
+        EmbeddedTree::root(self)
+    }
+
+    fn push_node(
+        &mut self,
+        kind: NodeKind,
+        vertex: VertexId,
+        parent: NodeId,
+        path: &[EdgeId],
+    ) -> NodeId {
+        self.add_node(kind, vertex, parent, path.to_vec())
+    }
+
+    fn child_count(&self, node: NodeId) -> usize {
+        EmbeddedTree::children(self, node).len()
     }
 }
 

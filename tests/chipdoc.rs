@@ -17,7 +17,7 @@ use cds_geom::Point;
 use cds_graph::GridGraph;
 use cds_graph::{Direction, GridSpec, LayerSpec, WireTypeSpec};
 use cds_instgen::io::doc::{chip_doc_to_string, parse_chip_doc, ChipDoc, RequestRecord};
-use cds_instgen::{Chain, ChainLink, ChipSpec, Net};
+use cds_instgen::{Chain, ChainLink, ChipSpec, Net, SinkProfile};
 use cds_router::{Router, RouterConfig, SteinerMethod};
 use cds_topo::BifurcationConfig;
 use proptest::prelude::*;
@@ -256,7 +256,17 @@ fn chip_fixtures_match_their_generators_byte_for_byte() {
         ..ChipSpec::small_test(5)
     };
     let congested = ChipSpec { name: "congested".into(), num_nets: 150, ..ChipSpec::small_test(7) };
-    for (name, spec) in [("converging.cdst", converging), ("congested.cdst", congested)] {
+    let fanout = ChipSpec {
+        name: "fanout_heavy".into(),
+        num_nets: 24,
+        profile: SinkProfile::FanoutHeavy,
+        ..ChipSpec::small_test(11)
+    };
+    for (name, spec) in [
+        ("converging.cdst", converging),
+        ("congested.cdst", congested),
+        ("fanout_heavy.cdst", fanout),
+    ] {
         let doc = ChipDoc::from_chip(&spec.generate()).unwrap();
         let text = chip_doc_to_string(&doc).unwrap();
         assert_eq!(
@@ -294,6 +304,21 @@ fn archived_converging_chip_reproduces_pinned_checksums_for_all_oracles() {
             );
         }
     }
+}
+
+#[test]
+fn archived_fanout_heavy_chip_reproduces_its_pinned_checksum() {
+    // The clock-tree-like scenario: 24 nets of 30-80 die-wide sinks.
+    // Routing the archived document must reproduce the committed golden
+    // (regenerate both with `cds-cli fixtures` when routing changes).
+    let expect = fixture("fanout_heavy_cd.expect");
+    let expect = u64::from_str_radix(expect.trim().trim_start_matches("0x"), 16).unwrap();
+    let doc = parse_chip_doc(&fixture("fanout_heavy.cdst")).unwrap();
+    let chip = doc.build_chip();
+    let out = Router::new(&chip, RouterConfig { iterations: 3, ..RouterConfig::default() }).run();
+    assert_eq!(out.checksum(), expect, "fanout_heavy golden is stale — rerun `cds-cli fixtures`");
+    // sanity: the scenario really is high-fanout
+    assert!(chip.nets.iter().all(|n| n.sinks.len() >= 30));
 }
 
 /// FNV-1a over one solve, exactly as `tests/determinism.rs` folds the

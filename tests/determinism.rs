@@ -328,7 +328,7 @@ fn router_view_and_materialized_windows_bit_identical() {
         assert_eq!(view.metrics.tns.to_bits(), mat.metrics.tns.to_bits(), "{method}: TNS differs");
         assert_eq!(view.metrics.vias, mat.metrics.vias, "{method}: vias differ");
         assert_eq!(view.usage, mat.usage, "{method}: usage differs");
-        for (i, (a, b)) in view.nets.iter().zip(&mat.nets).enumerate() {
+        for (i, (a, b)) in view.nets().zip(mat.nets()).enumerate() {
             assert_eq!(a.used_edges, b.used_edges, "{method}: net {i} edges differ");
             assert_eq!(a.sink_delays, b.sink_delays, "{method}: net {i} delays differ");
         }
@@ -361,8 +361,8 @@ proptest! {
         prop_assert_eq!(view.metrics.tns.to_bits(), mat.metrics.tns.to_bits());
         prop_assert_eq!(view.metrics.vias, mat.metrics.vias);
         prop_assert_eq!(&view.usage, &mat.usage);
-        for (a, b) in view.nets.iter().zip(&mat.nets) {
-            prop_assert_eq!(&a.used_edges, &b.used_edges);
+        for (a, b) in view.nets().zip(mat.nets()) {
+            prop_assert_eq!(a.used_edges, b.used_edges);
         }
     }
 }
@@ -395,4 +395,8 @@ fn core_types_are_send_and_sync_where_needed() {
     assert_send_sync::<cds_instgen::Chip>();
     assert_send::<cds_topo::EmbeddedTree>();
     assert_send::<cds_core::SolveResult>();
+    // the main thread reads worker forests while merging; views are
+    // shared across readers
+    assert_send_sync::<cds_topo::RoutedForest>();
+    assert_send_sync::<cds_topo::TreeView<'static>>();
 }

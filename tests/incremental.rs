@@ -26,8 +26,8 @@ fn outcome_bit_identical(a: &RoutingOutcome, b: &RoutingOutcome, ctx: &str) {
     assert_eq!(a.metrics.vias, b.metrics.vias, "{ctx}: vias differ");
     assert_eq!(a.usage, b.usage, "{ctx}: usage differs");
     assert_eq!(a.prices, b.prices, "{ctx}: prices differ");
-    assert_eq!(a.nets.len(), b.nets.len(), "{ctx}: net count differs");
-    for (i, (x, y)) in a.nets.iter().zip(&b.nets).enumerate() {
+    assert_eq!(a.num_nets(), b.num_nets(), "{ctx}: net count differs");
+    for (i, (x, y)) in a.nets().zip(b.nets()).enumerate() {
         assert_eq!(x.used_edges, y.used_edges, "{ctx}: net {i} edges differ");
         assert_eq!(x.sink_delays, y.sink_delays, "{ctx}: net {i} delays differ");
         assert_eq!(x.vias, y.vias, "{ctx}: net {i} vias differ");
@@ -150,8 +150,8 @@ fn incremental_usage_matches_exact_recount_after_many_ripups() {
     let out = run(0);
     assert_eq!(out.stats.usage_recounts, 0, "recount_every: 0 disables recounts");
     let mut recount = vec![0.0f64; out.usage.len()];
-    for rn in &out.nets {
-        for &(e, t) in &rn.used_edges {
+    for rn in out.nets() {
+        for &(e, t) in rn.used_edges {
             recount[e as usize] += t;
         }
     }
@@ -247,7 +247,7 @@ fn harvest_captures_the_weights_and_budgets_the_final_iteration_routed_with() {
         let w =
             if slack.is_finite() { (0.05 * (-slack / tau).exp()).clamp(1e-3, 2.0) } else { 0.05 };
         let direct = net.root.l1(net.sinks[j]) as f64 * min_delay + 2.0 * via_delay;
-        let achieved = one.nets[h.net].sink_delays[j];
+        let achieved = one.net(h.net).sink_delays[j];
         let allowed = if slack.is_finite() { achieved + slack } else { f64::MAX / 4.0 };
         (w, allowed.max(direct))
     };

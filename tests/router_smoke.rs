@@ -44,7 +44,7 @@ fn custom_oracle_plugs_into_router() {
     // (route() is only reachable via the trait object we installed)…
     assert_eq!(calls.load(Ordering::Relaxed), chip.nets.len() * iterations);
     assert_eq!(out.stats.total_rerouted(), chip.nets.len() * iterations);
-    assert_eq!(out.nets.len(), chip.nets.len());
+    assert_eq!(out.num_nets(), chip.nets.len());
     // …and produces exactly the stock CD results, since it delegates
     assert_eq!(out.metrics.tns.to_bits(), baseline.metrics.tns.to_bits());
     assert_eq!(out.usage, baseline.usage);
@@ -82,14 +82,13 @@ fn full_pipeline_smoke_every_method() {
             RouterConfig { method: m, iterations: 2, use_dbif: true, ..Default::default() },
         )
         .run();
-        assert_eq!(out.nets.len(), chip.nets.len(), "{m}");
+        assert_eq!(out.num_nets(), chip.nets.len(), "{m}");
         assert!(out.metrics.wl_m > 0.0);
         assert!(out.metrics.vias > 0);
         assert!(out.metrics.ws <= 0.0 || out.metrics.tns == 0.0);
         // usage is consistent with per-net edges
         let total_usage: f64 = out.usage.iter().sum();
-        let from_nets: f64 =
-            out.nets.iter().flat_map(|n| n.used_edges.iter().map(|&(_, t)| t)).sum();
+        let from_nets: f64 = out.nets().flat_map(|n| n.used_edges.iter().map(|&(_, t)| t)).sum();
         assert!((total_usage - from_nets).abs() < 1e-9);
     }
 }
@@ -119,7 +118,7 @@ fn dbif_increases_delays() {
     let without = run(false);
     let with = run(true);
     let sum = |o: &cds_router::RoutingOutcome| -> f64 {
-        o.nets.iter().flat_map(|n| n.sink_delays.iter()).sum()
+        o.nets().flat_map(|n| n.sink_delays.iter()).sum()
     };
     assert!(sum(&with) >= sum(&without) - 1e-6, "penalties cannot reduce total delay");
 }
