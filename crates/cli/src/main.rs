@@ -23,6 +23,12 @@
 //! * `fixtures` — regenerate the pinned documents under
 //!   `tests/fixtures/` (the 300-net converging chip, the hard-congested
 //!   chip, the 120-request solver stream, and the CI smoke checksum).
+//! * `submit` — send a document to a running `cds-serve` daemon, poll
+//!   until done, and print the result JSON (same bytes `route` prints).
+//! * `loadtest` — hammer a daemon with N concurrent clients replaying
+//!   document fixtures; reports p50/p99 latency, jobs/s, and the
+//!   cache-hit count, with optional `--expect`/`--min-cache-hits`
+//!   assertions for CI.
 //!
 //! Router configuration layers, later wins: `RouterConfig::default()`,
 //! then the document's `config` records, then CLI flags
@@ -30,10 +36,12 @@
 
 use cds_instgen::io::doc::{chip_doc_to_string, read_chip_doc, ChipDoc, RequestRecord};
 use cds_instgen::{Chip, ChipSpec, SinkProfile};
+use cds_router::report::{json_escape, outcome_json};
 use cds_router::{Router, RouterConfig, RoutingOutcome};
-use std::fmt::Write as _;
-use std::io::{BufReader, Write as _};
+use cds_serve::http::percent_encode;
+use std::io::{BufReader, Read as _, Write as _};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,7 +54,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cds-cli <gen|route|verify|harvest|fixtures> [args]
+const USAGE: &str = "usage: cds-cli <gen|route|verify|harvest|fixtures|submit|loadtest> [args]
   gen      [--preset smoke|small|converging|congested|fanout_heavy] [--nets N] [--layers N]
            [--seed N] [--utilization F] [--name S] [-o FILE]
   route    [FILE|-] [--oracle cd|l1|sl|pd] [--threads N] [--iterations N]
@@ -54,7 +62,10 @@ const USAGE: &str = "usage: cds-cli <gen|route|verify|harvest|fixtures> [args]
            [--set key=value]...
   verify   [FILE|-] --expect 0xHEX [route flags]
   harvest  [FILE|-] [route flags] [-o FILE]
-  fixtures DIR";
+  fixtures DIR
+  submit   [FILE|-] --addr HOST:PORT [route flags] [--poll-ms N]
+  loadtest FILE... --addr HOST:PORT [--clients N] [--requests N] [--poll-ms N]
+           [--expect 0xHEX] [--min-cache-hits N] [--shutdown] [route flags]";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (cmd, rest) = args.split_first().ok_or(USAGE)?;
@@ -64,6 +75,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "verify" => verify(rest),
         "harvest" => harvest(rest),
         "fixtures" => fixtures(rest),
+        "submit" => submit(rest),
+        "loadtest" => loadtest(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -75,11 +88,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 // ---------------------------------------------------------------- flags
 
 /// Minimal flag cursor: `--flag value` pairs, bare `--flag` switches,
-/// and at most one positional (the document path). Flags are kept in
-/// command-line order so configuration layering is truly "later wins".
+/// and positionals (document paths). Flags are kept in command-line
+/// order so configuration layering is truly "later wins".
 struct Flags {
     named: Vec<(String, Option<String>)>,
-    positional: Option<String>,
+    positionals: Vec<String>,
 }
 
 impl Flags {
@@ -88,7 +101,7 @@ impl Flags {
     /// must not silently swallow the following argument).
     fn parse(args: &[String], valued: &[&str], switches: &[&str]) -> Result<Self, String> {
         let mut named = Vec::new();
-        let mut positional = None;
+        let mut positionals = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
@@ -103,13 +116,20 @@ impl Flags {
             } else if a == "-o" {
                 let v = it.next().ok_or("-o needs a file name")?;
                 named.push(("o".to_string(), Some(v.clone())));
-            } else if positional.is_none() {
-                positional = Some(a.clone());
             } else {
-                return Err(format!("unexpected argument {a}"));
+                positionals.push(a.clone());
             }
         }
-        Ok(Flags { named, positional })
+        Ok(Flags { named, positionals })
+    }
+
+    /// The single document path for subcommands that take at most one.
+    fn positional(&self) -> Result<Option<&str>, String> {
+        match self.positionals.as_slice() {
+            [] => Ok(None),
+            [one] => Ok(Some(one)),
+            [_, extra, ..] => Err(format!("unexpected argument {extra}")),
+        }
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -232,102 +252,13 @@ fn route_doc(doc: &ChipDoc, flags: &Flags) -> Result<(Chip, RouterConfig, Routin
     Ok((chip, config, outcome))
 }
 
-/// JSON-safe float: shortest-round-trip for finite values, `null`
-/// otherwise (JSON has no inf/NaN literals).
-fn jf(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:?}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// JSON string escaping — chip names are free-form tokens and may
-/// contain `"` or `\`.
-fn js(v: &str) -> String {
-    let mut out = String::with_capacity(v.len());
-    for c in v.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn outcome_json(chip: &Chip, config: &RouterConfig, out: &RoutingOutcome) -> String {
-    let spec = chip.grid.spec();
-    let mut s = String::new();
-    let _ = write!(
-        s,
-        "{{\n  \"chip\": \"{}\",\n  \"nets\": {},\n  \"grid\": {{\"nx\": {}, \"ny\": {}, \
-         \"layers\": {}, \"edges\": {}}},\n",
-        js(&chip.name),
-        chip.nets.len(),
-        spec.nx,
-        spec.ny,
-        spec.layers.len(),
-        chip.grid.graph().num_edges()
-    );
-    let _ = writeln!(
-        s,
-        "  \"config\": {{\"oracle\": \"{}\", \"threads\": {}, \"iterations\": {}, \
-         \"incremental\": {}, \"price_tol\": {}}},",
-        config.method,
-        config.threads,
-        config.iterations,
-        config.incremental,
-        jf(config.price_tol)
-    );
-    let m = &out.metrics;
-    let _ = writeln!(
-        s,
-        "  \"metrics\": {{\"ws_ps\": {}, \"tns_ps\": {}, \"ace4_pct\": {}, \
-         \"wirelength_m\": {}, \"vias\": {}, \"walltime_s\": {}}},",
-        jf(m.ws),
-        jf(m.tns),
-        jf(m.ace4),
-        jf(m.wl_m),
-        m.vias,
-        jf(m.walltime_s)
-    );
-    let st = &out.stats;
-    let per: Vec<String> = st.rerouted_per_iter.iter().map(|r| r.to_string()).collect();
-    let walls: Vec<String> = st.iter_wall_s.iter().map(|&w| jf(w)).collect();
-    let _ = writeln!(
-        s,
-        "  \"stats\": {{\"rerouted_per_iter\": [{}], \"oracle_calls\": {}, \
-         \"dirty\": {{\"fresh\": {}, \"overflow\": {}, \"timing\": {}, \"price\": {}, \
-         \"weight\": {}, \"budget\": {}}}, \"usage_recounts\": {}, \"sta_nodes_retimed\": {}, \
-         \"iter_wall_s\": [{}], \"peak_arena_bytes\": {}}},",
-        per.join(", "),
-        st.total_rerouted(),
-        st.dirty_fresh,
-        st.dirty_overflow,
-        st.dirty_timing,
-        st.dirty_price,
-        st.dirty_weight,
-        st.dirty_budget,
-        st.usage_recounts,
-        st.sta_nodes_retimed,
-        walls.join(", "),
-        st.peak_arena_bytes
-    );
-    let _ = write!(s, "  \"checksum\": \"{:#018x}\"\n}}", out.checksum());
-    s
-}
-
 const ROUTE_FLAGS: &[&str] =
     &["oracle", "threads", "iterations", "incremental", "price-tol", "seed", "set", "expect"];
 const ROUTE_SWITCHES: &[&str] = &["materialize"];
 
 fn route(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
-    let doc = load_doc(flags.positional.as_deref())?;
+    let doc = load_doc(flags.positional()?)?;
     let (chip, config, out) = route_doc(&doc, &flags)?;
     println!("{}", outcome_json(&chip, &config, &out));
     Ok(ExitCode::SUCCESS)
@@ -343,14 +274,14 @@ fn parse_checksum(v: &str) -> Result<u64, String> {
 fn verify(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
     let expect = parse_checksum(flags.get("expect").ok_or("verify needs --expect 0x<hex>")?)?;
-    let doc = load_doc(flags.positional.as_deref())?;
+    let doc = load_doc(flags.positional()?)?;
     let (chip, config, out) = route_doc(&doc, &flags)?;
     let actual = out.checksum();
     let ok = actual == expect;
     println!(
         "{{\"chip\": \"{}\", \"oracle\": \"{}\", \"expected\": \"{:#018x}\", \
          \"actual\": \"{:#018x}\", \"match\": {}}}",
-        js(&chip.name),
+        json_escape(&chip.name),
         config.method,
         expect,
         actual,
@@ -368,7 +299,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
 
 fn harvest(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
-    let mut doc = load_doc(flags.positional.as_deref())?;
+    let mut doc = load_doc(flags.positional()?)?;
     let mut config = build_config(&doc, &flags)?;
     config.harvest = true;
     let chip = doc.build_chip();
@@ -433,7 +364,7 @@ fn stream_doc(gi: usize, nx: u32, ny: u32, nl: u8) -> Result<String, String> {
 
 fn fixtures(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, &[], &[])?;
-    let dir = std::path::PathBuf::from(flags.positional.as_deref().unwrap_or("tests/fixtures"));
+    let dir = std::path::PathBuf::from(flags.positional()?.unwrap_or("tests/fixtures"));
     std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
     let write = |name: &str, text: &str| -> Result<(), String> {
         let path = dir.join(name);
@@ -459,6 +390,146 @@ fn fixtures(args: &[String]) -> Result<ExitCode, String> {
     let out = Router::new(&chip, RouterConfig::default()).run();
     write("smoke_cd.expect", &format!("{:#018x}\n", out.checksum()))?;
     Ok(ExitCode::SUCCESS)
+}
+
+// ------------------------------------------------------- submit/loadtest
+
+/// Reads the raw document text (the server does its own parsing, so
+/// submissions travel as-is rather than through a local `ChipDoc`).
+fn load_doc_text(path: Option<&str>) -> Result<String, String> {
+    match path {
+        None | Some("-") => {
+            let mut text = String::new();
+            std::io::stdin()
+                .lock()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("<stdin>: {e}"))?;
+            Ok(text)
+        }
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}")),
+    }
+}
+
+/// Maps the route flags onto a `/jobs` query string, preserving
+/// command-line order — the server applies query overrides in order,
+/// so layering matches a local `cds-cli route` exactly.
+fn query_from_flags(flags: &Flags) -> Result<String, String> {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for (name, value) in &flags.named {
+        let v = value.as_deref().unwrap_or("");
+        match name.as_str() {
+            "oracle" | "threads" | "iterations" | "incremental" | "seed" => {
+                pairs.push((name.clone(), v.to_string()));
+            }
+            "price-tol" => pairs.push(("price_tol".into(), v.to_string())),
+            "materialize" => pairs.push(("materialize_windows".into(), "true".into())),
+            "set" => {
+                let (k, val) =
+                    v.split_once('=').ok_or_else(|| format!("--set wants key=value, got {v}"))?;
+                pairs.push((k.to_string(), val.to_string()));
+            }
+            // addr/clients/requests/... steer the client, not the router
+            _ => {}
+        }
+    }
+    if pairs.is_empty() {
+        return Ok(String::new());
+    }
+    let encoded: Vec<String> =
+        pairs.iter().map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v))).collect();
+    Ok(format!("?{}", encoded.join("&")))
+}
+
+fn poll_interval(flags: &Flags) -> Result<Duration, String> {
+    Ok(Duration::from_millis(flags.num::<u64>("poll-ms")?.unwrap_or(20)))
+}
+
+const SUBMIT_FLAGS: &[&str] = &[
+    "addr",
+    "poll-ms",
+    "oracle",
+    "threads",
+    "iterations",
+    "incremental",
+    "price-tol",
+    "seed",
+    "set",
+];
+
+fn submit(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, SUBMIT_FLAGS, ROUTE_SWITCHES)?;
+    let addr = flags.get("addr").ok_or("submit needs --addr HOST:PORT")?;
+    let doc = load_doc_text(flags.positional()?)?;
+    let query = query_from_flags(&flags)?;
+    let res = cds_serve::submit_and_wait(addr, &doc, &query, poll_interval(&flags)?)?;
+    println!("{}", res.result_json);
+    eprintln!(
+        "cds-cli: job {} {} cached={} latency={:.3}s",
+        res.job, res.state, res.cached, res.latency_s
+    );
+    Ok(if res.state == "done" { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+const LOADTEST_FLAGS: &[&str] = &[
+    "addr",
+    "poll-ms",
+    "clients",
+    "requests",
+    "expect",
+    "min-cache-hits",
+    "oracle",
+    "threads",
+    "iterations",
+    "incremental",
+    "price-tol",
+    "seed",
+    "set",
+];
+const LOADTEST_SWITCHES: &[&str] = &["materialize", "shutdown"];
+
+fn loadtest(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(args, LOADTEST_FLAGS, LOADTEST_SWITCHES)?;
+    let addr = flags.get("addr").ok_or("loadtest needs --addr HOST:PORT")?;
+    if flags.positionals.is_empty() {
+        return Err("loadtest needs at least one document file".into());
+    }
+    let mut docs = Vec::with_capacity(flags.positionals.len());
+    for p in &flags.positionals {
+        docs.push(load_doc_text(Some(p))?);
+    }
+    let clients = flags.num::<usize>("clients")?.unwrap_or(4);
+    let requests = flags.num::<usize>("requests")?.unwrap_or(4);
+    let query = query_from_flags(&flags)?;
+    let report =
+        cds_serve::loadtest(addr, &docs, clients, requests, &query, poll_interval(&flags)?);
+    println!("{}", cds_serve::loadtest_json(&report));
+    let mut failed = Vec::new();
+    if report.failures > 0 {
+        failed.push(format!("{} submissions failed", report.failures));
+    }
+    if let Some(expect) = flags.get("expect") {
+        let want = format!("{:#018x}", parse_checksum(expect)?);
+        if report.checksums != vec![want.clone()] {
+            failed.push(format!("checksums {:?} != [{want}]", report.checksums));
+        }
+    }
+    if let Some(min) = flags.num::<usize>("min-cache-hits")? {
+        if report.cache_hits < min {
+            failed.push(format!("cache hits {} < required {min}", report.cache_hits));
+        }
+    }
+    if flags.get("shutdown").is_some() {
+        let resp = cds_serve::client::request(addr, "POST", "/shutdown", b"")?;
+        if resp.status != 200 {
+            failed.push(format!("shutdown: HTTP {}", resp.status));
+        }
+    }
+    if failed.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("cds-cli: loadtest failed: {}", failed.join("; "));
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 // ----------------------------------------------------------------- misc

@@ -226,6 +226,110 @@ fn fanout_heavy_preset_generates_and_routes() {
 }
 
 #[test]
+fn route_json_reports_run_level_totals() {
+    let doc = run_ok(bin().args(["gen", "--preset", "small", "--nets", "20"]));
+    let out = pipe_stdin(bin().args(["route", "-", "--iterations", "2"]), &doc);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"totals\": {"), "no totals block in: {json}");
+    let wall: f64 = json_field(&json, "wall_s").parse().unwrap();
+    let route_wall: f64 = json_field(&json, "route_wall_s").parse().unwrap();
+    assert!(wall > 0.0 && route_wall > 0.0, "zero totals in: {json}");
+    assert!(route_wall <= wall, "the routing loop cannot exceed the whole run");
+    assert_eq!(json_field(&json, "iterations_completed"), "2");
+    assert_eq!(json_field(&json, "cancelled"), "false");
+}
+
+// ------------------------------------------------------ service clients
+//
+// These spin up an in-process `cds-serve` daemon (the crate is a
+// dependency of this package) and drive it with the spawned binary —
+// real HTTP over loopback, real process boundaries.
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Zeroes the wall-clock/arena fields — the only JSON fields that may
+/// differ between a local route and the same route through the daemon.
+fn normalize(json: &str) -> String {
+    let mut s = json.to_string();
+    for key in ["walltime_s", "wall_s", "route_wall_s", "peak_arena_bytes"] {
+        s = blank_value(&s, key, &[',', '}']);
+    }
+    blank_value(&s, "iter_wall_s", &[']'])
+}
+
+fn blank_value(json: &str, key: &str, stops: &[char]) -> String {
+    let needle = format!("\"{key}\": ");
+    let mut out = String::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        let val_start = at + needle.len();
+        out.push_str(&rest[..val_start]);
+        let tail = &rest[val_start..];
+        let end = tail.find(|c| stops.contains(&c)).unwrap_or(tail.len());
+        out.push('0');
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn submit_returns_the_same_json_as_a_local_route() {
+    let handle = cds_serve::Server::start(cds_serve::ServeConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let fixture = fixture_path("fanout_heavy.cdst");
+    let local = run_ok(bin().args(["route", &fixture, "--iterations", "3"]));
+    let via_http = run_ok(bin().args(["submit", &fixture, "--addr", &addr, "--iterations", "3"]));
+    assert_eq!(
+        normalize(&via_http),
+        normalize(&local),
+        "the daemon's result JSON drifted from cds-cli route"
+    );
+    // and both match the golden this fixture was pinned at
+    let pin = std::fs::read_to_string(fixture_path("fanout_heavy_cd.expect")).unwrap();
+    assert_eq!(json_field(&via_http, "checksum"), pin.trim());
+    handle.shutdown();
+}
+
+#[test]
+fn loadtest_replays_a_fixture_and_reports_cache_hits() {
+    let handle = cds_serve::Server::start(cds_serve::ServeConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let doc = tmp("loadtest_smoke.cdst");
+    run_ok(bin().args(["gen", "--preset", "smoke", "-o", doc.to_str().unwrap()]));
+    let pin = std::fs::read_to_string(fixture_path("smoke_cd.expect")).unwrap();
+    // 2 clients × 2 requests of one document: at most two can race the
+    // first (cold) route, so at least two must be served by the cache
+    let json = run_ok(
+        bin()
+            .args(["loadtest", doc.to_str().unwrap(), "--addr", &addr])
+            .args(["--clients", "2", "--requests", "2"])
+            .args(["--expect", pin.trim(), "--min-cache-hits", "2", "--shutdown"]),
+    );
+    assert_eq!(json_field(&json, "jobs"), "4");
+    assert_eq!(json_field(&json, "failures"), "0");
+    let hits: usize = json_field(&json, "cache_hits").parse().unwrap();
+    assert!(hits >= 2, "expected ≥2 cache hits, got {hits}: {json}");
+    // --shutdown posted the drain; the daemon must come down cleanly
+    let report = handle.wait();
+    assert!(report.done >= 1 && report.failed == 0, "{report:?}");
+
+    // a wrong golden must flip the exit code — this is the CI gate
+    let handle = cds_serve::Server::start(cds_serve::ServeConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    let out = bin()
+        .args(["loadtest", doc.to_str().unwrap(), "--addr", &addr])
+        .args(["--clients", "1", "--requests", "1", "--expect", "0x1", "--shutdown"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "loadtest accepted a wrong checksum");
+    handle.wait();
+}
+
+#[test]
 fn gen_is_deterministic_and_respects_overrides() {
     let a = run_ok(bin().args(["gen", "--preset", "congested", "--name", "x"]));
     let b = run_ok(bin().args(["gen", "--preset", "congested", "--name", "x"]));

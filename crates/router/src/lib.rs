@@ -36,6 +36,7 @@
 //! ```
 
 pub mod oracle;
+pub mod report;
 mod schedule;
 
 pub use oracle::{
@@ -52,7 +53,84 @@ use cds_metrics::{
 use cds_sta::{IncrementalSta, TimingGraph, TimingReport};
 use cds_topo::{BifurcationConfig, RoutedForest, TreeView};
 use schedule::{DirtyCause, DirtyTracker};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
+
+/// Cooperative run control shared between a [`Router::run_with`] call
+/// and whoever may want to stop it (another thread, a server's
+/// `DELETE /jobs/:id` handler, a signal hook).
+///
+/// Cancellation is checked once per rip-up iteration, *before*
+/// iterations `1..`: the first iteration always completes, so a
+/// cancelled run still returns a [`RoutingOutcome`] in which every net
+/// has a route, final metrics/STA are consistent with the routed state,
+/// and [`RouterStats::cancelled`] is set with the per-iteration
+/// counters covering exactly the iterations that ran.
+#[derive(Debug, Default)]
+pub struct RunControl {
+    cancelled: AtomicBool,
+}
+
+impl RunControl {
+    /// A fresh, uncancelled control.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; the run stops before its next rip-up
+    /// iteration. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// Persistent warm routing state: one [`OracleWorkspace`] plus one
+/// scratch [`RoutedForest`] per worker thread, reusable across
+/// [`Router::run_with`] calls — and across *chips*: the slabs are
+/// cleared, never shrunk, so a long-running server keeps routing jobs
+/// without returning arenas to the allocator. Reuse cannot change
+/// results: per-net outputs depend only on per-net inputs (the
+/// workspace contract of [`SteinerOracle`]), which is the same argument
+/// that makes the dynamic work queue deterministic.
+#[derive(Debug, Default)]
+pub struct WorkerPool {
+    workers: Vec<RouteWorker>,
+}
+
+impl WorkerPool {
+    /// An empty pool; workers are created on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of warm workers currently held.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool has no warm workers yet.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Total bytes reserved across all scratch forests (observability).
+    pub fn arena_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.forest.arena_bytes()).sum()
+    }
+
+    /// Grows the pool to at least `n` workers (never shrinks — a pool
+    /// shared across jobs keeps the largest worker set it ever needed).
+    fn ensure(&mut self, n: usize) {
+        if self.workers.len() < n {
+            self.workers.resize_with(n, RouteWorker::default);
+        }
+    }
+}
 
 /// Router tuning knobs.
 #[derive(Debug, Clone)]
@@ -283,6 +361,10 @@ pub struct RouterStats {
     /// routed forest plus every worker's scratch forest (excluded from
     /// `==`).
     pub peak_arena_bytes: u64,
+    /// Whether the run was stopped early by [`RunControl::cancel`];
+    /// the per-iteration counters then cover exactly the iterations
+    /// that completed before the cancellation point.
+    pub cancelled: bool,
 }
 
 impl PartialEq for RouterStats {
@@ -297,6 +379,7 @@ impl PartialEq for RouterStats {
             && self.dirty_budget == o.dirty_budget
             && self.usage_recounts == o.usage_recounts
             && self.sta_nodes_retimed == o.sta_nodes_retimed
+            && self.cancelled == o.cancelled
     }
 }
 
@@ -304,6 +387,18 @@ impl RouterStats {
     /// Total oracle calls across all iterations.
     pub fn total_rerouted(&self) -> usize {
         self.rerouted_per_iter.iter().sum()
+    }
+
+    /// Rip-up iterations that actually ran (equals the configured
+    /// iteration count unless the run was cancelled).
+    pub fn iterations_completed(&self) -> usize {
+        self.rerouted_per_iter.len()
+    }
+
+    /// Sum of the per-iteration wall clocks (the routing loop's share
+    /// of the total wall time).
+    pub fn route_wall_s(&self) -> f64 {
+        self.iter_wall_s.iter().sum()
     }
 
     pub(crate) fn note(&mut self, cause: DirtyCause) {
@@ -508,6 +603,28 @@ impl<'a> Router<'a> {
     /// depends only on that net's inputs, and results are identical
     /// across thread counts and window backends.
     pub fn run(&self) -> RoutingOutcome {
+        self.run_with(&mut WorkerPool::new(), &RunControl::new(), &mut |_, _| {})
+    }
+
+    /// [`run`](Self::run) with externally-owned warm state and
+    /// cooperative control — the form a long-running service drives:
+    ///
+    /// * `pool` supplies the per-thread oracle workspaces and scratch
+    ///   forests, kept warm across calls (and across different chips);
+    ///   [`run`](Self::run) is exactly this with a throwaway pool.
+    ///   Reuse is bit-identical to a fresh pool.
+    /// * `ctrl` is polled between rip-up iterations; see [`RunControl`]
+    ///   for the partial-result contract of a cancelled run.
+    /// * `progress` is called after every completed iteration with the
+    ///   iteration index and the stats accumulated so far (its
+    ///   `rerouted_per_iter`/`iter_wall_s` tails are that iteration's
+    ///   entries) — a server's status endpoint reads its snapshots.
+    pub fn run_with(
+        &self,
+        pool: &mut WorkerPool,
+        ctrl: &RunControl,
+        progress: &mut dyn FnMut(usize, &RouterStats),
+    ) -> RoutingOutcome {
         let start = Instant::now();
         let chip = self.chip;
         let g = chip.grid.graph();
@@ -552,13 +669,20 @@ impl<'a> Router<'a> {
         }
 
         // one warm worker per thread — oracle workspace plus a scratch
-        // forest the worker routes into — reused across nets *and*
-        // rip-up iterations; results are merged into the chip-wide
-        // forest in deterministic net order by span copies
-        let mut workers: Vec<RouteWorker> =
-            (0..self.config.threads.max(1)).map(|_| RouteWorker::default()).collect();
+        // forest the worker routes into — reused across nets, rip-up
+        // iterations, and (through the caller's pool) whole jobs;
+        // results are merged into the chip-wide forest in deterministic
+        // net order by span copies
+        pool.ensure(self.config.threads.max(1));
+        let workers = &mut pool.workers;
 
         for iter in 0..self.config.iterations {
+            // cooperative cancellation point: iteration 0 always runs,
+            // so even a cancelled outcome has every net routed
+            if iter > 0 && ctrl.is_cancelled() {
+                stats.cancelled = true;
+                break;
+            }
             let iter_start = Instant::now();
             // 1. prices from damped usage (history smoothing avoids the
             //    herding oscillation of cost-seeking oracles on frozen
@@ -602,8 +726,7 @@ impl<'a> Router<'a> {
             // 2. route the scheduled nets in parallel on frozen prices
             //    (into per-worker scratch forests), then merge into the
             //    chip-wide forest in deterministic net order
-            let placements =
-                self.route_ids_into(&dirty, &prices, &weights, &budgets, bif, &mut workers);
+            let placements = self.route_ids_into(&dirty, &prices, &weights, &budgets, bif, workers);
 
             // 3. usage accounting: full sweeps recompute from scratch
             //    (the reference rule); partial sweeps subtract each
@@ -732,12 +855,14 @@ impl<'a> Router<'a> {
                 forest.arena_bytes() + workers.iter().map(|w| w.forest.arena_bytes()).sum::<u64>();
             stats.peak_arena_bytes = stats.peak_arena_bytes.max(arena);
             stats.iter_wall_s.push(iter_start.elapsed().as_secs_f64());
+            progress(iter, &stats);
         }
 
         // final usage/price consistency: the returned prices are
         // recomputed from the final usage history, so they correspond to
         // the returned usage rather than to the previous iteration's
-        let prices = self.compute_prices(&base, &usage_hist, self.config.iterations);
+        // (cancelled runs price at the iteration they actually reached)
+        let prices = self.compute_prices(&base, &usage_hist, stats.iterations_completed());
         let report = match &sta {
             Some(s) => s.report().clone(),
             None => report.expect("full mode analyzed the DAG before the loop"),
@@ -1318,6 +1443,86 @@ mod tests {
         other.iter_wall_s.clear();
         other.peak_arena_bytes = 0;
         assert_eq!(out.stats, other);
+    }
+
+    #[test]
+    fn cancellation_between_iterations_returns_partial_stats() {
+        let chip = tiny_chip();
+        let router = Router::new(&chip, RouterConfig { iterations: 5, ..Default::default() });
+        let ctrl = RunControl::new();
+        let mut pool = WorkerPool::new();
+        let mut seen = Vec::new();
+        let out = router.run_with(&mut pool, &ctrl, &mut |iter, stats| {
+            seen.push((iter, stats.iterations_completed()));
+            if iter == 1 {
+                ctrl.cancel();
+            }
+        });
+        // cancelled after iteration 1: exactly 2 iterations ran, the
+        // progress hook saw each one with the stats accumulated so far
+        assert!(out.stats.cancelled);
+        assert_eq!(out.stats.iterations_completed(), 2);
+        assert_eq!(out.stats.iter_wall_s.len(), 2);
+        assert_eq!(seen, vec![(0, 1), (1, 2)]);
+        // the partial outcome is still a complete routing state
+        assert_eq!(out.num_nets(), chip.nets.len());
+        assert!(out.metrics.wl_m > 0.0);
+        let mut recount = vec![0.0; chip.grid.graph().num_edges()];
+        for rn in out.nets() {
+            for &(e, t) in rn.used_edges {
+                recount[e as usize] += t;
+            }
+        }
+        assert_eq!(recount, out.usage, "cancelled outcome's usage inconsistent with its routes");
+
+        // cancelling before the run still completes iteration 0
+        let pre = RunControl::new();
+        pre.cancel();
+        let out = router.run_with(&mut pool, &pre, &mut |_, _| {});
+        assert!(out.stats.cancelled);
+        assert_eq!(out.stats.iterations_completed(), 1);
+        assert_eq!(out.num_nets(), chip.nets.len());
+    }
+
+    #[test]
+    fn uncancelled_run_with_matches_run_bit_for_bit() {
+        let chip = tiny_chip();
+        let config = RouterConfig { iterations: 3, ..Default::default() };
+        let plain = Router::new(&chip, config.clone()).run();
+        assert!(!plain.stats.cancelled);
+        let mut pool = WorkerPool::new();
+        let controlled =
+            Router::new(&chip, config).run_with(&mut pool, &RunControl::new(), &mut |_, _| {});
+        assert_eq!(plain.checksum(), controlled.checksum());
+        assert_eq!(plain.stats, controlled.stats);
+    }
+
+    #[test]
+    fn warm_pool_reuse_across_jobs_and_chips_is_bit_identical() {
+        // the server contract: one worker's pool routes different chips
+        // back to back, and every result matches a cold fresh-pool run
+        let chip_a = tiny_chip();
+        let chip_b = ChipSpec { num_nets: 20, ..ChipSpec::small_test(9) }.generate();
+        let cfg = RouterConfig { iterations: 2, threads: 2, ..Default::default() };
+        let cold_a = Router::new(&chip_a, cfg.clone()).run().checksum();
+        let cold_b = Router::new(&chip_b, cfg.clone()).run().checksum();
+        let mut pool = WorkerPool::new();
+        for round in 0..3 {
+            let a = Router::new(&chip_a, cfg.clone()).run_with(
+                &mut pool,
+                &RunControl::new(),
+                &mut |_, _| {},
+            );
+            assert_eq!(a.checksum(), cold_a, "warm round {round} diverged on chip A");
+            let b = Router::new(&chip_b, cfg.clone()).run_with(
+                &mut pool,
+                &RunControl::new(),
+                &mut |_, _| {},
+            );
+            assert_eq!(b.checksum(), cold_b, "warm round {round} diverged on chip B");
+        }
+        assert_eq!(pool.len(), 2, "pool kept its warm workers");
+        assert!(pool.arena_bytes() > 0, "warm scratch forests must retain their slabs");
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Routing-as-a-service for the cdst workspace.
+//!
+//! This crate turns the batch router into a long-running daemon:
+//! submit a `cdst/1` chip document over HTTP, poll per-iteration
+//! progress, fetch a result JSON that is byte-for-byte what
+//! `cds-cli route` prints (wall-clock fields aside), cancel
+//! cooperatively, and resubmit identical work for a free cache hit.
+//! The whole stack is `std`-only — the HTTP layer is a bounded
+//! hand-rolled HTTP/1.1 parser over [`std::net::TcpListener`], not a
+//! framework.
+//!
+//! - [`http`] — bounded request/response parsing and writing.
+//! - [`server`] — the daemon: job table, FIFO queue, warm-workspace
+//!   workers, result cache, graceful drain.
+//! - [`client`] — blocking client and the concurrent load-test
+//!   harness.
+//!
+//! # Quickstart (in-process)
+//!
+//! ```
+//! use cds_serve::{Server, ServeConfig, client};
+//! use cds_instgen::{io::doc::ChipDoc, ChipSpec};
+//! use std::time::Duration;
+//!
+//! let handle = Server::start(ServeConfig::default()).unwrap();
+//! let addr = handle.addr().to_string();
+//! let doc = ChipDoc::from_chip(&ChipSpec::small_test(7).generate()).unwrap();
+//! let text = cds_instgen::io::doc::chip_doc_to_string(&doc).unwrap();
+//! let first = client::submit_and_wait(&addr, &text, "", Duration::from_millis(5)).unwrap();
+//! let again = client::submit_and_wait(&addr, &text, "", Duration::from_millis(5)).unwrap();
+//! assert!(!first.cached && again.cached);
+//! assert_eq!(first.result_json, again.result_json);
+//! let report = handle.shutdown();
+//! assert_eq!(report.done, 2);
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::{loadtest, loadtest_json, submit_and_wait, JobResult, LoadtestReport};
+pub use server::{DrainReport, JobState, ServeConfig, Server, ServerHandle};

@@ -1,0 +1,97 @@
+//! `cds-serve` — the routing daemon binary.
+//!
+//! ```text
+//! cds-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--max-body-mb N]
+//! ```
+//!
+//! Binds, prints one `listening ...` line to stdout (the CI smoke step
+//! and scripts key off it), then serves until a client posts
+//! `/shutdown`, at which point it drains every accepted job and exits
+//! with a one-line tally.
+
+use cds_serve::{ServeConfig, Server};
+
+const USAGE: &str =
+    "usage: cds-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--max-body-mb N]
+  --addr HOST:PORT   bind address (default 127.0.0.1:7171; port 0 picks a free port)
+  --workers N        routing worker threads (default 2)
+  --queue-cap N      bounded job-queue capacity; full queue rejects with 503 (default 64)
+  --max-body-mb N    largest accepted request body in MiB (default 16)";
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig { addr: "127.0.0.1:7171".into(), ..ServeConfig::default() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                config.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-cap" => {
+                config.queue_cap =
+                    value("--queue-cap")?.parse().map_err(|e| format!("--queue-cap: {e}"))?;
+            }
+            "--max-body-mb" => {
+                let mb: usize =
+                    value("--max-body-mb")?.parse().map_err(|e| format!("--max-body-mb: {e}"))?;
+                config.max_body = mb << 20;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg == USAGE { 0 } else { 2 });
+        }
+    };
+    let workers = config.workers;
+    let queue_cap = config.queue_cap;
+    let handle = match Server::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cds-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening addr={} workers={workers} queue_cap={queue_cap}", handle.addr());
+    let report = handle.wait();
+    println!(
+        "drained done={} cancelled={} failed={} cache_hits={} cache_misses={}",
+        report.done, report.cancelled, report.failed, report.cache_hits, report.cache_misses
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    #[test]
+    fn parse_args_defaults_and_overrides() {
+        let c = parse_args(&[]).unwrap();
+        assert_eq!(c.addr, "127.0.0.1:7171");
+        assert_eq!(c.workers, 2);
+        let args: Vec<String> =
+            ["--addr", "127.0.0.1:0", "--workers", "4", "--queue-cap", "8", "--max-body-mb", "1"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect();
+        let c = parse_args(&args).unwrap();
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.queue_cap, 8);
+        assert_eq!(c.max_body, 1 << 20);
+        assert!(parse_args(&["--bogus".into()]).is_err());
+        assert!(parse_args(&["--workers".into()]).is_err());
+    }
+}

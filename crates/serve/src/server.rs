@@ -1,0 +1,692 @@
+//! The routing daemon: job table, bounded FIFO queue, warm-workspace
+//! worker pool, checksum-keyed result cache, and graceful drain.
+//!
+//! # Life of a job
+//!
+//! `POST /jobs` parses the `cdst/1` body, resolves the router
+//! configuration (defaults ← the document's `config` records ← query
+//! string overrides, the same layering as `cds-cli route`), and
+//! canonicalizes the document through the round-trip-total writer. The
+//! FNV-1a key over (canonical bytes, resolved config) indexes the
+//! result cache: a hit creates an already-`done` job served from the
+//! archived response — byte-identical to the fresh run's, at zero
+//! routing cost. A miss enqueues the job on a bounded FIFO queue
+//! (`503` when full — backpressure, not buffering). Each worker thread
+//! owns one warm [`WorkerPool`] whose oracle workspaces and scratch
+//! forests persist across jobs *and chips*; warm reuse is bit-identical
+//! to a cold router by the per-net-input determinism contract
+//! (`cds_router::WorkerPool` docs), which is what lets a cache entry
+//! stand for every future identical submission.
+//!
+//! `GET /jobs/:id` reports state plus the per-iteration progress the
+//! router's hook has recorded so far; `GET /jobs/:id/result` returns
+//! the result JSON, rendered by the same `cds_router::report` function
+//! `cds-cli route` prints. `DELETE /jobs/:id` cancels cooperatively:
+//! queued jobs are skipped by the drain, running jobs stop before their
+//! next rip-up iteration and archive their partial (but internally
+//! consistent) outcome — partial results are never cached.
+//!
+//! `POST /shutdown` (or [`ServerHandle::shutdown`]) drains: the
+//! acceptor stops taking connections, workers finish the queue,
+//! in-flight jobs complete, and every thread joins — no signal
+//! handling, no aborted routes.
+
+use crate::http::{self, Request};
+use cds_instgen::io::doc::{chip_doc_to_string, parse_chip_doc, ChipDoc};
+use cds_router::report::{json_escape, json_f64, outcome_json};
+use cds_router::{Router, RouterConfig, RunControl, WorkerPool};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Daemon tuning; every bound is explicit.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port — the test form).
+    pub addr: String,
+    /// Routing worker threads, each with its own warm workspace pool.
+    /// `0` is accepted (jobs queue but never run) and exists for queue
+    /// and cancellation tests.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects with 503.
+    pub queue_cap: usize,
+    /// Largest accepted request body in bytes (chip documents are a
+    /// few hundred KB at bench scale).
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { addr: "127.0.0.1:0".into(), workers: 2, queue_cap: 64, max_body: 16 << 20 }
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting in the FIFO queue.
+    Queued,
+    /// A worker is routing it.
+    Running,
+    /// Finished; result available (possibly straight from the cache).
+    Done,
+    /// Cancelled — before it ran (no result) or cooperatively mid-run
+    /// (partial result available).
+    Cancelled,
+    /// The worker could not complete it (panic or internal error).
+    Failed,
+}
+
+impl JobState {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// One archived result: the exact response body plus its checksum.
+#[derive(Debug, Clone)]
+struct ResultEntry {
+    json: String,
+    checksum: u64,
+}
+
+/// Per-iteration progress snapshot recorded by the router's hook.
+#[derive(Debug, Clone)]
+struct IterProgress {
+    iter: usize,
+    rerouted: usize,
+    wall_s: f64,
+}
+
+/// One job record. `doc`/`config` are taken by the worker when the job
+/// starts; everything else is status-endpoint state.
+struct Job {
+    state: JobState,
+    cached: bool,
+    cancel_requested: bool,
+    key: u64,
+    ctrl: Arc<RunControl>,
+    doc: Option<Box<ChipDoc>>,
+    config: RouterConfig,
+    total_iterations: usize,
+    progress: Vec<IterProgress>,
+    result: Option<ResultEntry>,
+    error: Option<String>,
+}
+
+/// Shared daemon state.
+struct State {
+    config: ServeConfig,
+    jobs: Mutex<Vec<Job>>,
+    queue: Mutex<VecDeque<usize>>,
+    queue_cv: Condvar,
+    cache: Mutex<HashMap<u64, ResultEntry>>,
+    draining: AtomicBool,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    active_conns: AtomicUsize,
+}
+
+/// Locks that survive a poisoned mutex: a panicking worker must not
+/// take the whole daemon's status endpoints down with it.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// FNV-1a over length-framed parts (framing keeps `("ab","c")` and
+/// `("a","bc")` distinct).
+fn fnv1a_parts(parts: &[&[u8]]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut eat = |x: u8| {
+        h ^= u64::from(x);
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for part in parts {
+        for &b in part.len().to_le_bytes().iter() {
+            eat(b);
+        }
+        for &b in *part {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// The resolved-configuration component of the cache key. The derived
+/// `Debug` rendering covers every `RouterConfig` field by construction,
+/// so a future knob cannot silently alias two different configurations
+/// onto one cache entry.
+fn config_fingerprint(c: &RouterConfig) -> String {
+    format!("{c:?}")
+}
+
+/// Everything the server knows after draining, for tests and the
+/// binary's exit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs that finished with a result.
+    pub done: usize,
+    /// Jobs cancelled (before or during their run).
+    pub cancelled: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+    /// Cache hits / misses over the server's lifetime.
+    pub cache_hits: u64,
+    /// See `cache_hits`.
+    pub cache_misses: u64,
+}
+
+/// A running daemon: bound address plus the threads to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<State>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves `:0` port requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon drains — which happens when some client
+    /// sends `POST /shutdown`. Returns the drain tally.
+    pub fn wait(self) -> DrainReport {
+        let state = Arc::clone(&self.state);
+        for t in self.threads {
+            let _ = t.join();
+        }
+        Self::tally(&state)
+    }
+
+    /// Initiates a graceful drain (idempotent with an HTTP shutdown)
+    /// and blocks until every queued and in-flight job completed and
+    /// all threads joined.
+    pub fn shutdown(self) -> DrainReport {
+        self.state.draining.store(true, Ordering::Release);
+        self.state.queue_cv.notify_all();
+        self.wait()
+    }
+
+    fn tally(state: &State) -> DrainReport {
+        let jobs = lock(&state.jobs);
+        let count = |s: JobState| jobs.iter().filter(|j| j.state == s).count();
+        DrainReport {
+            done: count(JobState::Done),
+            cancelled: count(JobState::Cancelled),
+            failed: count(JobState::Failed),
+            cache_hits: state.cache_hits.load(Ordering::Relaxed),
+            cache_misses: state.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The daemon. [`Server::start`] binds, spawns the acceptor and the
+/// worker pool, and returns a [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the address cannot be bound.
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+        listener.set_nonblocking(true).map_err(|e| format!("set_nonblocking: {e}"))?;
+        let state = Arc::new(State {
+            config: config.clone(),
+            jobs: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            cache: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+        });
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for _ in 0..config.workers {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || worker_loop(&state)));
+        }
+        {
+            let state = Arc::clone(&state);
+            threads.push(std::thread::spawn(move || acceptor_loop(&listener, &state)));
+        }
+        Ok(ServerHandle { addr, state, threads })
+    }
+}
+
+/// Accepts connections until draining, then waits for in-flight
+/// connection handlers to finish. Nonblocking accept with a short nap
+/// keeps shutdown latency bounded without signal machinery.
+fn acceptor_loop(listener: &TcpListener, state: &Arc<State>) {
+    while !state.draining.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                state.active_conns.fetch_add(1, Ordering::AcqRel);
+                let state = Arc::clone(state);
+                std::thread::spawn(move || {
+                    handle_conn(&state, stream);
+                    state.active_conns.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // drain: let in-flight request handlers write their responses
+    while state.active_conns.load(Ordering::Acquire) > 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // wake any worker still parked on the queue condvar
+    state.queue_cv.notify_all();
+}
+
+/// One worker: owns a warm [`WorkerPool`] for its whole life, drains
+/// the queue, and exits only when the queue is empty *and* the daemon
+/// is draining — so accepted jobs always complete.
+fn worker_loop(state: &Arc<State>) {
+    let mut pool = WorkerPool::new();
+    loop {
+        let id = {
+            let mut q = lock(&state.queue);
+            loop {
+                if let Some(id) = q.pop_front() {
+                    break id;
+                }
+                if state.draining.load(Ordering::Acquire) {
+                    return;
+                }
+                q = state
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .0;
+            }
+        };
+        run_job(state, id, &mut pool);
+    }
+}
+
+/// Routes one dequeued job to completion (or skips it if it was
+/// cancelled while queued). Panics inside the router are contained:
+/// the job fails, the worker and its warm pool survive.
+fn run_job(state: &Arc<State>, id: usize, pool: &mut WorkerPool) {
+    let (doc, config, ctrl, key) = {
+        let mut jobs = lock(&state.jobs);
+        let job = &mut jobs[id];
+        if job.state != JobState::Queued {
+            // cancelled while waiting — nothing to route
+            return;
+        }
+        job.state = JobState::Running;
+        let doc = job.doc.take().expect("queued job carries its document");
+        (doc, job.config.clone(), Arc::clone(&job.ctrl), job.key)
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let chip = doc.build_chip();
+        let router = Router::new(&chip, config.clone());
+        let state_for_progress = Arc::clone(state);
+        let outcome = router.run_with(pool, &ctrl, &mut |iter, stats| {
+            let mut jobs = lock(&state_for_progress.jobs);
+            jobs[id].progress.push(IterProgress {
+                iter,
+                rerouted: stats.rerouted_per_iter.last().copied().unwrap_or(0),
+                wall_s: stats.iter_wall_s.last().copied().unwrap_or(0.0),
+            });
+        });
+        let json = outcome_json(&chip, &config, &outcome);
+        (json, outcome.checksum(), outcome.stats.cancelled)
+    }));
+    match outcome {
+        Ok((json, checksum, cancelled)) => {
+            let entry = ResultEntry { json, checksum };
+            if !cancelled {
+                // only complete runs are cacheable: a partial result is
+                // not what a fresh route of the same submission returns
+                lock(&state.cache).insert(key, entry.clone());
+            }
+            let mut jobs = lock(&state.jobs);
+            let job = &mut jobs[id];
+            job.state = if cancelled { JobState::Cancelled } else { JobState::Done };
+            job.result = Some(entry);
+        }
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".into());
+            let mut jobs = lock(&state.jobs);
+            let job = &mut jobs[id];
+            job.state = JobState::Failed;
+            job.error = Some(msg);
+        }
+    }
+}
+
+/// Reads one request off the connection, dispatches it, writes the
+/// response. One request per connection (`Connection: close`).
+fn handle_conn(state: &Arc<State>, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut out = stream;
+    match http::parse_request(&mut reader, state.config.max_body) {
+        Ok(req) => {
+            let resp = dispatch(state, &req);
+            let _ = http::write_response(
+                &mut out,
+                resp.status,
+                "application/json",
+                resp.body.as_bytes(),
+                &resp.headers(),
+            );
+        }
+        Err(e) => {
+            let body = error_body(&e.to_string());
+            let _ = http::write_response(
+                &mut out,
+                e.status(),
+                "application/json",
+                body.as_bytes(),
+                &[],
+            );
+        }
+    }
+}
+
+/// Internal response value: status, JSON body, optional extra headers.
+struct Reply {
+    status: u16,
+    body: String,
+    cached: Option<bool>,
+    job_state: Option<&'static str>,
+}
+
+impl Reply {
+    fn new(status: u16, body: String) -> Self {
+        Reply { status, body, cached: None, job_state: None }
+    }
+
+    fn headers(&self) -> Vec<(&'static str, &'static str)> {
+        let mut h = Vec::new();
+        if let Some(c) = self.cached {
+            h.push(("X-Cds-Cached", if c { "true" } else { "false" }));
+        }
+        if let Some(s) = self.job_state {
+            h.push(("X-Cds-Job-State", s));
+        }
+        h
+    }
+}
+
+fn error_body(msg: &str) -> String {
+    format!("{{\"error\": \"{}\"}}", json_escape(msg))
+}
+
+/// Routes a parsed request to its handler.
+fn dispatch(state: &Arc<State>, req: &Request) -> Reply {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("POST", ["jobs"]) => submit(state, req),
+        ("GET", ["jobs", id]) => with_job_id(id, |id| status(state, id)),
+        ("GET", ["jobs", id, "result"]) => with_job_id(id, |id| result(state, id)),
+        ("DELETE", ["jobs", id]) => with_job_id(id, |id| cancel(state, id)),
+        ("POST", ["shutdown"]) => shutdown(state),
+        ("GET", ["healthz"]) => healthz(state),
+        (_, ["jobs"]) | (_, ["jobs", ..]) | (_, ["shutdown"]) | (_, ["healthz"]) => {
+            Reply::new(405, error_body("method not allowed"))
+        }
+        _ => Reply::new(404, error_body(&format!("no such endpoint {}", req.path))),
+    }
+}
+
+fn with_job_id(raw: &str, f: impl FnOnce(usize) -> Reply) -> Reply {
+    match raw.parse::<usize>() {
+        Ok(id) => f(id),
+        Err(_) => Reply::new(404, error_body(&format!("bad job id {raw}"))),
+    }
+}
+
+/// `POST /jobs`: parse → resolve config → canonicalize → cache lookup
+/// → enqueue (or reject with backpressure).
+fn submit(state: &Arc<State>, req: &Request) -> Reply {
+    if state.draining.load(Ordering::Acquire) {
+        return Reply::new(503, error_body("shutting down"));
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Reply::new(400, error_body("document body is not UTF-8")),
+    };
+    // the parse error's Display carries the 1-based line number; the
+    // structured `line` field repeats it for programmatic clients
+    let doc = match parse_chip_doc(text) {
+        Ok(d) => d,
+        Err(e) => {
+            return Reply::new(
+                400,
+                format!("{{\"error\": \"{}\", \"line\": {}}}", json_escape(&e.to_string()), e.line),
+            )
+        }
+    };
+    let mut config = RouterConfig::default();
+    for (k, v) in &doc.config {
+        if let Err(e) = config.set_knob(k, v) {
+            return Reply::new(400, error_body(&format!("document config record: {e}")));
+        }
+    }
+    for (k, v) in &req.query {
+        if let Err(e) = config.set_knob(k, v) {
+            return Reply::new(400, error_body(&format!("query override {k}: {e}")));
+        }
+    }
+    // canonical bytes: the round-trip-total writer normalizes away
+    // comments/blank lines, so every spelling of the same document
+    // shares one cache key
+    let canonical = match chip_doc_to_string(&doc) {
+        Ok(c) => c,
+        Err(e) => return Reply::new(400, error_body(&e.to_string())),
+    };
+    let fingerprint = config_fingerprint(&config);
+    let key = fnv1a_parts(&[canonical.as_bytes(), fingerprint.as_bytes()]);
+
+    let cached = lock(&state.cache).get(&key).cloned();
+    let total_iterations = config.iterations;
+    let mut jobs = lock(&state.jobs);
+    let id = jobs.len();
+    if let Some(entry) = cached {
+        state.cache_hits.fetch_add(1, Ordering::Relaxed);
+        jobs.push(Job {
+            state: JobState::Done,
+            cached: true,
+            cancel_requested: false,
+            key,
+            ctrl: Arc::new(RunControl::new()),
+            doc: None,
+            config,
+            total_iterations,
+            progress: Vec::new(),
+            result: Some(entry),
+            error: None,
+        });
+        let mut r =
+            Reply::new(200, format!("{{\"job\": {id}, \"state\": \"done\", \"cached\": true}}"));
+        r.cached = Some(true);
+        return r;
+    }
+    state.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let mut queue = lock(&state.queue);
+    if queue.len() >= state.config.queue_cap {
+        return Reply::new(
+            503,
+            format!(
+                "{{\"error\": \"queue full\", \"queued\": {}, \"capacity\": {}}}",
+                queue.len(),
+                state.config.queue_cap
+            ),
+        );
+    }
+    jobs.push(Job {
+        state: JobState::Queued,
+        cached: false,
+        cancel_requested: false,
+        key,
+        ctrl: Arc::new(RunControl::new()),
+        doc: Some(Box::new(doc)),
+        config,
+        total_iterations,
+        progress: Vec::new(),
+        result: None,
+        error: None,
+    });
+    queue.push_back(id);
+    state.queue_cv.notify_one();
+    let mut r =
+        Reply::new(201, format!("{{\"job\": {id}, \"state\": \"queued\", \"cached\": false}}"));
+    r.cached = Some(false);
+    r
+}
+
+/// `GET /jobs/:id`: state plus per-iteration progress so far.
+fn status(state: &Arc<State>, id: usize) -> Reply {
+    let jobs = lock(&state.jobs);
+    let Some(job) = jobs.get(id) else {
+        return Reply::new(404, error_body(&format!("unknown job {id}")));
+    };
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "{{\"job\": {id}, \"state\": \"{}\", \"cached\": {}, \"cancel_requested\": {}, \
+         \"iterations_done\": {}, \"total_iterations\": {}, \"progress\": [",
+        job.state.as_str(),
+        job.cached,
+        job.cancel_requested,
+        job.progress.len(),
+        job.total_iterations
+    );
+    for (i, p) in job.progress.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let _ = write!(
+            body,
+            "{{\"iter\": {}, \"rerouted\": {}, \"wall_s\": {}}}",
+            p.iter,
+            p.rerouted,
+            json_f64(p.wall_s)
+        );
+    }
+    body.push(']');
+    if let Some(res) = &job.result {
+        let _ = write!(body, ", \"checksum\": \"{:#018x}\"", res.checksum);
+    }
+    if let Some(err) = &job.error {
+        let _ = write!(body, ", \"error\": \"{}\"", json_escape(err));
+    }
+    body.push('}');
+    let mut r = Reply::new(200, body);
+    r.job_state = Some(job.state.as_str());
+    r.cached = Some(job.cached);
+    r
+}
+
+/// `GET /jobs/:id/result`: the archived result JSON, exactly what
+/// `cds-cli route` would print (and byte-identical to it for every
+/// deterministic field).
+fn result(state: &Arc<State>, id: usize) -> Reply {
+    let jobs = lock(&state.jobs);
+    let Some(job) = jobs.get(id) else {
+        return Reply::new(404, error_body(&format!("unknown job {id}")));
+    };
+    match (&job.result, job.state) {
+        (Some(res), _) => {
+            let mut r = Reply::new(200, res.json.clone());
+            r.cached = Some(job.cached);
+            r.job_state = Some(job.state.as_str());
+            r
+        }
+        (None, JobState::Failed) => {
+            Reply::new(500, error_body(job.error.as_deref().unwrap_or("job failed")))
+        }
+        (None, JobState::Cancelled) => {
+            Reply::new(409, error_body("job was cancelled before it ran"))
+        }
+        (None, _) => Reply::new(
+            409,
+            format!("{{\"error\": \"job not finished\", \"state\": \"{}\"}}", job.state.as_str()),
+        ),
+    }
+}
+
+/// `DELETE /jobs/:id`: cooperative cancel; idempotent on repeats and
+/// on finished jobs.
+fn cancel(state: &Arc<State>, id: usize) -> Reply {
+    let mut jobs = lock(&state.jobs);
+    let Some(job) = jobs.get_mut(id) else {
+        return Reply::new(404, error_body(&format!("unknown job {id}")));
+    };
+    job.cancel_requested = true;
+    match job.state {
+        JobState::Queued => {
+            // the worker's dequeue skips non-queued jobs
+            job.state = JobState::Cancelled;
+        }
+        JobState::Running => job.ctrl.cancel(),
+        // done/cancelled/failed: nothing to stop — idempotent
+        _ => {}
+    }
+    let body = format!(
+        "{{\"job\": {id}, \"state\": \"{}\", \"cancel_requested\": true}}",
+        job.state.as_str()
+    );
+    let mut r = Reply::new(200, body);
+    r.job_state = Some(job.state.as_str());
+    r
+}
+
+/// `POST /shutdown`: graceful drain (see module docs).
+fn shutdown(state: &Arc<State>) -> Reply {
+    state.draining.store(true, Ordering::Release);
+    state.queue_cv.notify_all();
+    Reply::new(200, "{\"draining\": true}".into())
+}
+
+/// `GET /healthz`: liveness plus queue/cache counters.
+fn healthz(state: &Arc<State>) -> Reply {
+    let queued = lock(&state.queue).len();
+    let jobs = lock(&state.jobs).len();
+    let cache_entries = lock(&state.cache).len();
+    Reply::new(
+        200,
+        format!(
+            "{{\"ok\": true, \"draining\": {}, \"workers\": {}, \"jobs\": {jobs}, \
+             \"queued\": {queued}, \"queue_capacity\": {}, \"cache_entries\": {cache_entries}, \
+             \"cache_hits\": {}, \"cache_misses\": {}}}",
+            state.draining.load(Ordering::Acquire),
+            state.config.workers,
+            state.config.queue_cap,
+            state.cache_hits.load(Ordering::Relaxed),
+            state.cache_misses.load(Ordering::Relaxed)
+        ),
+    )
+}
