@@ -59,7 +59,7 @@ fn build_chip() -> Chip {
     ChipSpec { num_nets: 120, ..ChipSpec::small_test(7) }.generate()
 }
 
-fn run(chip: &Chip, materialize_windows: bool) -> (f64, f64, usize) {
+fn run(chip: &Chip, materialize_windows: bool) -> (f64, f64, usize, u64, u64) {
     let out = Router::new(
         chip,
         RouterConfig {
@@ -70,7 +70,16 @@ fn run(chip: &Chip, materialize_windows: bool) -> (f64, f64, usize) {
         },
     )
     .run();
-    (out.metrics.tns, out.metrics.wl_m, out.metrics.vias)
+    // kernel counters participate in the bit-identity assert: both
+    // backends must do the same search work, not just find the same
+    // trees
+    (
+        out.metrics.tns,
+        out.metrics.wl_m,
+        out.metrics.vias,
+        out.stats.kernel_settled,
+        out.stats.kernel_pushed,
+    )
 }
 
 fn alloc_report(chip: &Chip) {
@@ -112,9 +121,15 @@ fn alloc_report(chip: &Chip) {
     }
     let (mat, view) = (&rows[0], &rows[1]);
     println!(
-        "allocation ratio materialized/view: {:.1}x; speedup view vs materialized: {:.2}x\n",
+        "allocation ratio materialized/view: {:.1}x; speedup view vs materialized: {:.2}x",
         mat.2 as f64 / view.2.max(1) as f64,
         mat.1.as_secs_f64() / view.1.as_secs_f64()
+    );
+    println!(
+        "kernel ops (identical on both backends): {} settled, {} pushed ({:.1} settled/net)\n",
+        warm_view.3,
+        warm_view.4,
+        warm_view.3 as f64 / nets_routed as f64
     );
 }
 

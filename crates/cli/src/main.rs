@@ -33,6 +33,10 @@
 //! Router configuration layers, later wins: `RouterConfig::default()`,
 //! then the document's `config` records, then CLI flags
 //! (`--oracle/--threads/--iterations/--incremental/--price-tol/...`).
+//! Knobs without a dedicated flag go through `--set key=value` — e.g.
+//! `--set queue=heap` picks the binary-heap label queue over the
+//! default monotone bucket queue (bit-identical results, different
+//! speed), and `--set batch=on` enables batched multi-sink search.
 
 use cds_instgen::io::doc::{chip_doc_to_string, read_chip_doc, ChipDoc, RequestRecord};
 use cds_instgen::{Chip, ChipSpec, SinkProfile};
@@ -59,7 +63,7 @@ const USAGE: &str = "usage: cds-cli <gen|route|verify|harvest|fixtures|submit|lo
            [--seed N] [--utilization F] [--name S] [-o FILE]
   route    [FILE|-] [--oracle cd|l1|sl|pd] [--threads N] [--iterations N]
            [--incremental BOOL] [--price-tol F] [--materialize] [--seed N]
-           [--set key=value]...
+           [--set key=value]...       (e.g. --set queue=heap|bucket, --set batch=on)
   verify   [FILE|-] --expect 0xHEX [route flags]
   harvest  [FILE|-] [route flags] [-o FILE]
   fixtures DIR

@@ -41,6 +41,14 @@ pub trait FutureCost: Sync {
     /// being admissible). Implementations may ignore this only if their
     /// bounds are already valid for arbitrary target growth.
     fn note_new_targets(&self, _vertices: &[VertexId]) {}
+    /// Downcast hook for the solver's hot loop: returning `Some` lets
+    /// the expansion loop call [`GridFutureCost::bound_nearest`]
+    /// statically (one plane load + fma, inlined) instead of through
+    /// the vtable on every neighbor relaxation. The default `None`
+    /// keeps the dynamic path for every other implementation.
+    fn as_grid(&self) -> Option<&GridFutureCost> {
+        None
+    }
 }
 
 /// The zero heuristic: plain Dijkstra (§II base algorithm).
@@ -112,9 +120,43 @@ impl GridFutureCost {
             min_cost: surface.min_cost_per_gcell(),
             min_delay: surface.min_delay_per_gcell(),
         };
-        // on an all-MAX transform, the decrease-only propagation of
-        // `note_new_targets` is exactly the multi-source BFS
-        fc.note_new_targets(terminals);
+        // Initial construction is a two-pass chamfer scan: on an
+        // unobstructed rectangular plane it yields exactly the L1
+        // distance to the nearest seed — the same values the BFS of
+        // `note_new_targets` produces — but with two sequential sweeps
+        // instead of a work queue. The transform is built once per
+        // routed net, so its constant factor is hot-path cost.
+        for &v in terminals {
+            fc.plane_dist[fc.cell(v)].store(0, Ordering::Relaxed);
+        }
+        let dist = &fc.plane_dist;
+        let at = |i: usize| dist[i].load(Ordering::Relaxed);
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = y * nx + x;
+                let mut d = at(i);
+                if x > 0 {
+                    d = d.min(at(i - 1).saturating_add(1));
+                }
+                if y > 0 {
+                    d = d.min(at(i - nx).saturating_add(1));
+                }
+                dist[i].store(d, Ordering::Relaxed);
+            }
+        }
+        for y in (0..ny).rev() {
+            for x in (0..nx).rev() {
+                let i = y * nx + x;
+                let mut d = at(i);
+                if x + 1 < nx {
+                    d = d.min(at(i + 1).saturating_add(1));
+                }
+                if y + 1 < ny {
+                    d = d.min(at(i + nx).saturating_add(1));
+                }
+                dist[i].store(d, Ordering::Relaxed);
+            }
+        }
         fc
     }
 
@@ -123,17 +165,18 @@ impl GridFutureCost {
         self.plane_dist
     }
 
-    /// Planar cell index of a vertex (ids are `(l·ny + y)·nx + x` on
-    /// every surface backend).
+    /// Planar cell index of a vertex. Ids are `(l·ny + y)·nx + x` =
+    /// `l·(nx·ny) + (y·nx + x)` on every surface backend, so one
+    /// modulo by the plane size replaces the three-division
+    /// unpack-and-repack — this runs once per queue push.
     #[inline]
     fn cell(&self, v: VertexId) -> usize {
-        let x = v as usize % self.nx;
-        let y = (v as usize / self.nx) % self.ny;
-        y * self.nx + x
+        v as usize % (self.nx * self.ny)
     }
 }
 
 impl FutureCost for GridFutureCost {
+    #[inline]
     fn bound_nearest(&self, x: VertexId, w: f64) -> f64 {
         let d = self.plane_dist[self.cell(x)].load(Ordering::Relaxed);
         d as f64 * (self.min_cost + w * self.min_delay)
@@ -144,6 +187,9 @@ impl FutureCost for GridFutureCost {
         let (x1, y1) = ((cy % self.nx) as i64, (cy / self.nx) as i64);
         let l1 = ((x0 - x1).abs() + (y0 - y1).abs()) as f64;
         l1 * (self.min_cost + w * self.min_delay)
+    }
+    fn as_grid(&self) -> Option<&GridFutureCost> {
+        Some(self)
     }
     fn note_new_targets(&self, vertices: &[VertexId]) {
         let nx = self.nx;

@@ -8,8 +8,44 @@
 //! [`SolverWorkspace`](crate::SolverWorkspace) — is reused across
 //! searches and solves without reallocating.
 
-use crate::table::{VertexSet, VertexTable};
+use crate::table::VertexTable;
 use cds_graph::{EdgeId, SteinerGraph, VertexId};
+
+/// Sentinel parent vertex marking a seed label (no predecessor).
+/// `u32::MAX` is never a reachable window-local vertex id: label slabs
+/// are dense arrays indexed by vertex, so a real id that large could
+/// not be allocated.
+pub const NO_PARENT: VertexId = VertexId::MAX;
+
+/// One vertex's complete label: distance, predecessor, and settled
+/// flag in a single slab record. The relaxation loop is the solver's
+/// hottest code and probes all three per neighbor; separate `dist` /
+/// `parent` / `settled` tables cost it up to five scattered cache
+/// lines per vertex (each table's stamp and value arrays), a combined
+/// record costs two (one stamp, one record).
+#[derive(Debug, Clone, Copy)]
+pub struct Label {
+    /// Best known `g` value (true `l_u` distance, without heuristic).
+    pub dist: f64,
+    /// Predecessor (vertex, edge); vertex is [`NO_PARENT`] for seeds.
+    pub parent: (VertexId, EdgeId),
+    /// Permanently labelled.
+    pub settled: bool,
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        // the resize fill of a growing slab — unreachable until stamped
+        Label { dist: f64::INFINITY, parent: (NO_PARENT, 0), settled: false }
+    }
+}
+
+impl Label {
+    /// A fresh (unsettled) seed label at distance `dist`.
+    pub fn seed(dist: f64) -> Self {
+        Label { dist, parent: (NO_PARENT, 0), settled: false }
+    }
+}
 
 /// Dijkstra state of one active terminal.
 #[derive(Debug, Clone, Default)]
@@ -20,13 +56,8 @@ pub struct Search {
     pub weight: f64,
     /// The terminal's position `π(u)`.
     pub origin: VertexId,
-    /// Best known `g` value (true `l_u` distance, without heuristic).
-    pub dist: VertexTable<f64>,
-    /// Predecessor (vertex, edge) of each labelled vertex; absent for
-    /// seeds.
-    pub parent: VertexTable<(VertexId, EdgeId)>,
-    /// Permanently labelled vertices.
-    pub settled: VertexSet,
+    /// Per-vertex labels: distance, predecessor, settled flag.
+    pub labels: VertexTable<Label>,
     /// Raw tree delay (`Σ d`, unweighted) from `origin` to each seed —
     /// needed by the Steiner re-embedding (§III-D). Seeds are the
     /// component's vertices under §III-A discounting, else just the
@@ -45,14 +76,12 @@ impl Search {
     /// workspace-reuse fast path: a rip-up & re-route loop starts one
     /// search per terminal per net, and the label tables are the
     /// solver's hottest state. With epoch-stamped tables the clear is
-    /// four epoch bumps, `O(1)`.
+    /// two epoch bumps, `O(1)`.
     pub fn reset(&mut self, terminal: usize, weight: f64, origin: VertexId) {
         self.terminal = terminal;
         self.weight = weight;
         self.origin = origin;
-        self.dist.clear();
-        self.parent.clear();
-        self.settled.clear();
+        self.labels.clear();
         self.seed_raw_delay.clear();
     }
 
@@ -76,10 +105,13 @@ impl Search {
     ///
     /// Panics if `to` was never labelled.
     pub fn extract_path_into(&self, to: VertexId, out: &mut Vec<EdgeId>) -> VertexId {
-        assert!(self.dist.contains(to), "extracting an unlabelled vertex");
+        assert!(self.labels.contains(to), "extracting an unlabelled vertex");
         out.clear();
         let mut cur = to;
-        while let Some((from, edge)) = self.parent.get(cur) {
+        while let Some(Label { parent: (from, edge), .. }) = self.labels.get(cur) {
+            if from == NO_PARENT {
+                break;
+            }
             out.push(edge);
             cur = from;
         }
@@ -126,11 +158,9 @@ mod tests {
     #[test]
     fn path_extraction_orders_from_seed() {
         let mut s = Search::new(0, 1.0, 7);
-        s.dist.insert(7, 0.0);
-        s.dist.insert(8, 1.0);
-        s.dist.insert(9, 2.0);
-        s.parent.insert(8, (7, 100));
-        s.parent.insert(9, (8, 101));
+        s.labels.insert(7, Label::seed(0.0));
+        s.labels.insert(8, Label { dist: 1.0, parent: (7, 100), settled: false });
+        s.labels.insert(9, Label { dist: 2.0, parent: (8, 101), settled: false });
         let (edges, seed) = s.extract_path(9);
         assert_eq!(edges, vec![100, 101]);
         assert_eq!(seed, 7);
@@ -142,13 +172,11 @@ mod tests {
     #[test]
     fn reset_clears_labels_in_place() {
         let mut s = Search::new(0, 1.0, 7);
-        s.dist.insert(7, 0.0);
-        s.settled.insert(7);
+        s.labels.insert(7, Label { settled: true, ..Label::seed(0.0) });
         s.seed_raw_delay.insert(7, 0.5);
         s.reset(3, 2.0, 9);
         assert_eq!(s.terminal, 3);
-        assert!(!s.dist.contains(7));
-        assert!(!s.settled.contains(7));
+        assert!(!s.labels.contains(7));
         assert_eq!(s.seed_raw_delay.get(7), None);
     }
 }

@@ -39,6 +39,7 @@
 use crate::future::FutureCost;
 use crate::solver::{solve_in, Instance, SolveResult, SolverOptions, SolverWorkspace};
 use cds_graph::{Graph, SteinerGraph, VertexId};
+use cds_heap::QueueKind;
 use cds_topo::BifurcationConfig;
 
 /// Session-level solver configuration: the §III enhancement toggles and
@@ -55,6 +56,14 @@ pub struct SessionConfig {
     /// Default seed for the randomized Steiner placement; a
     /// [`Request::seed`] overrides it per net.
     pub seed: u64,
+    /// Which label queue drives the searches (a pure performance knob:
+    /// both kinds serve the identical total pop order).
+    pub queue: QueueKind,
+    /// Batched multi-sink search (see [`SolverOptions::batch`]): keeps
+    /// member searches alive across sink–sink merges instead of
+    /// restarting one labelling from each new Steiner terminal. Changes
+    /// which trees are found — off by default.
+    pub batch: bool,
 }
 
 impl Default for SessionConfig {
@@ -76,6 +85,11 @@ impl SessionConfig {
         better_steiner: true,
         encourage_root: true,
         seed: Self::DEFAULT_SEED,
+        // keep in sync with `QueueKind::default()` (const ctx can't
+        // call it): the bucket queue pops the same total order as the
+        // two-level heap, so the fast kind is the default
+        queue: QueueKind::Bucket,
+        batch: false,
     };
 
     /// The plain Section-II algorithm (all enhancements off).
@@ -84,6 +98,8 @@ impl SessionConfig {
         better_steiner: false,
         encourage_root: false,
         seed: Self::DEFAULT_SEED,
+        queue: QueueKind::Bucket,
+        batch: false,
     };
 
     /// The plain Section-II algorithm (all enhancements off).
@@ -144,6 +160,18 @@ impl SolverBuilder {
         self
     }
 
+    /// Selects the label queue (a pure performance knob).
+    pub fn queue(mut self, kind: QueueKind) -> Self {
+        self.config.queue = kind;
+        self
+    }
+
+    /// Toggles batched multi-sink search.
+    pub fn batch(mut self, on: bool) -> Self {
+        self.config.batch = on;
+        self
+    }
+
     /// Finishes the session. The workspace starts empty and grows to the
     /// session's largest instance, then stays warm.
     pub fn build(self) -> Solver {
@@ -186,6 +214,11 @@ pub struct Request<'a, G: ?Sized = Graph> {
     pub seed: Option<u64>,
     /// Record the per-merge trace.
     pub record_trace: bool,
+    /// Key granularity hint for the bucket queue (minimum positive edge
+    /// cost of the surface). Windowed callers should set it: the
+    /// fallback scans the request's cost slice, which spans the whole
+    /// chip for a [`WindowView`](cds_graph::WindowView).
+    pub quantum: Option<f64>,
 }
 
 impl<G: ?Sized> Clone for Request<'_, G> {
@@ -233,6 +266,7 @@ impl<'a, G: ?Sized> Request<'a, G> {
             future: None,
             seed: None,
             record_trace: false,
+            quantum: None,
         }
     }
 
@@ -249,6 +283,7 @@ impl<'a, G: ?Sized> Request<'a, G> {
             future: None,
             seed: None,
             record_trace: false,
+            quantum: None,
         }
     }
 
@@ -267,6 +302,13 @@ impl<'a, G: ?Sized> Request<'a, G> {
     /// Overrides the session seed for this request.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the bucket-queue key quantum hint (minimum positive edge
+    /// cost of the surface).
+    pub fn with_quantum(mut self, quantum: f64) -> Self {
+        self.quantum = Some(quantum);
         self
     }
 
@@ -337,6 +379,7 @@ impl Solver {
             future: req.future,
             seed: req.seed.unwrap_or(config.seed),
             record_trace: req.record_trace,
+            quantum: req.quantum,
             ..SolverOptions::from_session(*config)
         }
     }

@@ -28,11 +28,11 @@
 
 use crate::assemble::{assemble_tree_in, AssembleScratch};
 use crate::components::{CompScratch, Component, Dsu, TerminalId};
-use crate::future::{FutureCost, NoFutureCost};
-use crate::search::Search;
+use crate::future::{FutureCost, GridFutureCost, NoFutureCost};
+use crate::search::{Label, Search};
 use crate::table::VertexTable;
 use cds_graph::{EdgeId, Graph, SteinerGraph, VertexId};
-use cds_heap::{OrderedF64, TwoLevelHeap};
+use cds_heap::{BucketQueue, LabelQueue, OrderedF64, QueueKind, TwoLevelHeap};
 use cds_topo::penalty::beta;
 use cds_topo::{BifurcationConfig, EmbeddedTree, Evaluation};
 use rand::rngs::StdRng;
@@ -106,6 +106,23 @@ pub struct SolverOptions<'a> {
     pub seed: u64,
     /// Record a per-merge trace (for the Fig. 3 reproduction).
     pub record_trace: bool,
+    /// Which label queue drives the simultaneous searches. Both kinds
+    /// serve the identical total pop order `(key, search, vertex)`, so
+    /// this is purely a performance knob — results are bit-identical.
+    pub queue: QueueKind,
+    /// Key granularity hint for [`QueueKind::Bucket`] (the minimum
+    /// positive edge cost of the surface). Any positive finite value is
+    /// correct; `None` scans the instance's cost slice, which windowed
+    /// callers should avoid by passing the surface-wide minimum.
+    pub quantum: Option<f64>,
+    /// Batched multi-sink search: sink–sink merges keep the member
+    /// searches alive serving the merged component instead of retiring
+    /// both and restarting one labelling from the new Steiner terminal.
+    /// One labelling per original terminal then serves the whole solve;
+    /// root connections retire all member searches at once. Changes
+    /// which trees are found (fewer relabellings, same approximation
+    /// regime) — off by default to keep results pinned.
+    pub batch: bool,
 }
 
 impl std::fmt::Debug for SolverOptions<'_> {
@@ -117,6 +134,9 @@ impl std::fmt::Debug for SolverOptions<'_> {
             .field("encourage_root", &self.encourage_root)
             .field("seed", &self.seed)
             .field("record_trace", &self.record_trace)
+            .field("queue", &self.queue)
+            .field("quantum", &self.quantum)
+            .field("batch", &self.batch)
             .finish()
     }
 }
@@ -139,6 +159,9 @@ impl<'a> SolverOptions<'a> {
             encourage_root: config.encourage_root,
             seed: config.seed,
             record_trace: false,
+            queue: config.queue,
+            quantum: None,
+            batch: config.batch,
         }
     }
 
@@ -185,15 +208,44 @@ pub enum MergeEvent {
     },
 }
 
-/// Counters for the complexity experiments (Theorem 1 bench).
+/// Counters for the complexity experiments (Theorem 1 bench) and the
+/// kernel observability surface (`cds-cli route` JSON, the benches).
+///
+/// All counters are deterministic for a given instance + options: they
+/// count algorithmic events, not wall-clock or queue internals — with
+/// one exception, `bucket_scans`, which is still deterministic but only
+/// nonzero under [`QueueKind::Bucket`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Vertices permanently labelled over all searches.
     pub settled: usize,
-    /// Heap pushes (label creations/improvements).
+    /// Queue pushes (label creations/improvements).
     pub pushed: usize,
+    /// Queue pops, including stale entries discarded by the settled
+    /// check (`popped - settled` is the lazy-deletion overhead).
+    pub popped: usize,
+    /// Label improvements of an already-finite tentative distance (the
+    /// decrease-key share of `pushed`).
+    pub decreased: usize,
     /// Merges performed (= `|S|`).
     pub merges: usize,
+    /// Bucket-array slots scanned by the Dial queue (0 under the
+    /// comparison heap) — the `C/Δ` term of Dial's complexity.
+    pub bucket_scans: u64,
+}
+
+impl SolveStats {
+    /// Folds another solve's counters into this one. Every field is an
+    /// order-independent integer sum, so accumulating across nets (or
+    /// across worker threads) is deterministic regardless of order.
+    pub fn absorb(&mut self, o: SolveStats) {
+        self.settled += o.settled;
+        self.pushed += o.pushed;
+        self.popped += o.popped;
+        self.decreased += o.decreased;
+        self.merges += o.merges;
+        self.bucket_scans += o.bucket_scans;
+    }
 }
 
 /// Everything `solve` returns.
@@ -290,9 +342,10 @@ pub(crate) fn solve_forest_in<G: SteinerGraph + ?Sized>(
     stats
 }
 
-/// The shared front of both solve paths: validates the instance, runs
-/// the merge loop to completion, and hands back the root component's
-/// edge set (the tree-to-be) with the work counters and optional trace.
+/// The shared front of both solve paths: validates the instance, picks
+/// the label queue, runs the merge loop to completion, and hands back
+/// the root component's edge set (the tree-to-be) with the work
+/// counters and optional trace.
 fn solve_core<G: SteinerGraph + ?Sized>(
     ws: &mut SolverWorkspace,
     inst: &Instance<'_, G>,
@@ -305,7 +358,61 @@ fn solve_core<G: SteinerGraph + ?Sized>(
     assert!(inst.delay.len() >= inst.graph.edge_bound(), "delay slice must cover all edge ids");
     ws.reset();
     ws.solves += 1;
-    let mut state = State::new(inst, opts, ws);
+    // The queue is moved out of the workspace for the duration of the
+    // merge loop: the solver then holds it as a *separate* borrow from
+    // the workspace, which lets the expansion hot loop keep one search
+    // borrowed across all its neighbor relaxations while pushing labels.
+    match opts.queue {
+        QueueKind::Heap => {
+            let mut queue = std::mem::take(&mut ws.heap);
+            queue.begin_solve(1.0);
+            let out = run_merge_loop(ws, inst, opts, &mut queue);
+            ws.heap = queue;
+            out
+        }
+        QueueKind::Bucket => {
+            let quantum = opts
+                .quantum
+                .filter(|q| q.is_finite() && *q > 0.0)
+                .unwrap_or_else(|| min_positive_cost(inst));
+            let mut queue = std::mem::take(&mut ws.bucket);
+            queue.begin_solve(quantum);
+            let mut out = run_merge_loop(ws, inst, opts, &mut queue);
+            out.1.bucket_scans = queue.scans();
+            ws.bucket = queue;
+            out
+        }
+    }
+}
+
+/// The bucket-queue quantum fallback: the minimum positive congestion
+/// cost of the instance. Any positive finite value keeps the queue
+/// exact, so delays are ignored (`w·d` only adds to edge lengths).
+/// Windowed surfaces should pass [`SolverOptions::quantum`] instead —
+/// their cost slices span the whole chip.
+fn min_positive_cost<G: SteinerGraph + ?Sized>(inst: &Instance<'_, G>) -> f64 {
+    let mut q = f64::INFINITY;
+    for &c in &inst.cost[..inst.graph.edge_bound()] {
+        if c > 0.0 && c < q {
+            q = c;
+        }
+    }
+    if q.is_finite() {
+        q
+    } else {
+        1.0
+    }
+}
+
+/// Runs the merge loop against an explicit queue (the solver state's
+/// second mutable borrow next to the workspace).
+fn run_merge_loop<G: SteinerGraph + ?Sized, Q: LabelQueue>(
+    ws: &mut SolverWorkspace,
+    inst: &Instance<'_, G>,
+    opts: &SolverOptions<'_>,
+    queue: &mut Q,
+) -> (Component, SolveStats, Vec<MergeEvent>) {
+    let mut state = State::new(inst, opts, ws, queue);
     while state.active_count > 0 {
         let cand = state.run_until_candidate();
         state.commit(cand);
@@ -361,6 +468,9 @@ pub struct SolverWorkspace {
     terminals: Vec<Terminal>,
     dsu: Dsu,
     heap: TwoLevelHeap,
+    /// The Dial-queue twin of `heap`; only one of the two is active per
+    /// solve (the [`SolverOptions::queue`] knob), both stay warm.
+    bucket: BucketQueue,
     searches: Vec<Option<Search>>,
     /// vertex → head of its slot list in `slot_links` (stale slots
     /// resolved through the DSU at query time)
@@ -440,6 +550,7 @@ impl SolverWorkspace {
         self.searches.clear();
         self.dsu.clear();
         self.heap.clear();
+        self.bucket.clear();
         self.slot_head.clear();
         self.slot_links.clear();
         self.candidates.clear();
@@ -505,10 +616,11 @@ impl SolverWorkspace {
     }
 }
 
-struct State<'w, 'a, 'b, G: ?Sized> {
+struct State<'w, 'a, 'b, G: ?Sized, Q> {
     inst: &'a Instance<'a, G>,
     opts: &'a SolverOptions<'b>,
     ws: &'w mut SolverWorkspace,
+    queue: &'w mut Q,
     root_slot: TerminalId,
     active_count: usize,
     total_active_weight: f64,
@@ -516,18 +628,30 @@ struct State<'w, 'a, 'b, G: ?Sized> {
     stats: SolveStats,
     trace: Vec<MergeEvent>,
     no_future: NoFutureCost,
+    /// Memoized result of [`peek_valid_candidate`](Self::peek_valid_candidate).
+    /// A validated best candidate stays valid until something that
+    /// feeds its value changes: a candidate push, a take, or a commit
+    /// (merges move DSU representatives and component weights, which
+    /// `b_value` reads). Those three places reset this to `None`. The
+    /// cache turns the per-expansion revalidation — a heap peek plus
+    /// two DSU finds plus a `b_value` recompute — into a field read,
+    /// which matters because `run_until_candidate` consults the best
+    /// candidate once per settled label.
+    cand_cache: Option<Option<(f64, usize)>>,
 }
 
-impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
+impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q> {
     fn new(
         inst: &'a Instance<'a, G>,
         opts: &'a SolverOptions<'b>,
         ws: &'w mut SolverWorkspace,
+        queue: &'w mut Q,
     ) -> Self {
         let mut state = State {
             inst,
             opts,
             ws,
+            queue,
             root_slot: 0,
             active_count: 0,
             total_active_weight: 0.0,
@@ -535,6 +659,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
             stats: SolveStats::default(),
             trace: Vec::new(),
             no_future: NoFutureCost,
+            cand_cache: None,
         };
         // sink terminals
         for (i, (&v, &w)) in inst.sink_vertices.iter().zip(inst.weights).enumerate() {
@@ -583,7 +708,13 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
     /// suffer is fully determined), taking the larger of the two — this
     /// is what keeps taps off critical trunks (Fig. 1).
     fn b_value(&mut self, u: TerminalId, target_rep: TerminalId, via: VertexId) -> f64 {
-        let w_u = self.ws.terminals[u].weight;
+        // price the searching terminal's *component* weight — in the
+        // default mode a searching terminal is always its own DSU
+        // representative, so this is `w(u)` verbatim; under `batch`,
+        // member searches outlive merges and the component weight lives
+        // at the representative.
+        let u_rep = self.ws.dsu.find(u);
+        let w_u = self.ws.terminals[u_rep].weight;
         if target_rep == self.ws.dsu.find(self.root_slot) {
             let rest = (self.total_active_weight - w_u).max(0.0);
             let down = self.ws.root_downstream.get_or(via, 0.0);
@@ -606,7 +737,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
             (t.weight, t.vertex)
         };
         let mut search = self.ws.alloc_search(slot, t_weight, t_vertex);
-        let sid = self.ws.heap.add_search();
+        let sid = self.queue.add_search();
         // Seeds (§III-A): every component vertex is a possible exit; its
         // price is the weighted tree delay the component's sinks incur if
         // the connection enters there — Σ_q w(q)·d_tree(y, q). For a
@@ -644,9 +775,9 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
         }
         seeds.sort_unstable_by_key(|&(v, _)| v); // determinism
         for &(v, offset) in &seeds {
-            search.dist.insert(v, offset);
+            search.labels.insert(v, Label::seed(offset));
             let h = self.future().bound_nearest(v, w);
-            self.ws.heap.push(sid, v, offset + h);
+            self.queue.push(sid, v, offset + h);
             self.stats.pushed += 1;
         }
         self.ws.seed_scratch = seeds;
@@ -667,7 +798,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
     fn run_until_candidate(&mut self) -> Candidate {
         loop {
             let best = self.peek_valid_candidate();
-            let heap_min = self.ws.heap.peek_key();
+            let heap_min = self.queue.peek_key();
             match (best, heap_min) {
                 (Some((cv, id)), Some(hm)) if cv <= hm + 1e-12 => {
                     return self.take_candidate(id);
@@ -683,6 +814,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
         // remove it from the heap top (it is guaranteed to be on top)
         let Reverse((_, top)) = self.ws.candidates.pop().expect("candidate present");
         debug_assert_eq!(top, id);
+        self.cand_cache = None;
         self.ws.cand_store[id]
     }
 
@@ -690,6 +822,16 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
     /// current component structure and weights, dropping dead entries.
     /// Returns the best (value, id) without removing it.
     fn peek_valid_candidate(&mut self) -> Option<(f64, usize)> {
+        if let Some(cached) = self.cand_cache {
+            return cached;
+        }
+        let res = self.revalidate_candidates();
+        self.cand_cache = Some(res);
+        res
+    }
+
+    /// The uncached body of [`peek_valid_candidate`](Self::peek_valid_candidate).
+    fn revalidate_candidates(&mut self) -> Option<(f64, usize)> {
         loop {
             let &Reverse((val, id)) = self.ws.candidates.peek()?;
             let cand = self.ws.cand_store[id];
@@ -723,17 +865,21 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
         let id = self.ws.cand_store.len();
         self.ws.cand_store.push(Candidate { u, target: target_rep, via, g });
         self.ws.candidates.push(Reverse((OrderedF64::new(val), id)));
+        self.cand_cache = None;
     }
 
-    /// Pops one label from the two-level heap, settles it, records
-    /// arrivals, relaxes neighbours.
+    /// Pops one label from the queue, settles it, records arrivals,
+    /// relaxes neighbours.
     fn expand_once(&mut self) {
-        let Some((sid, x, _key)) = self.ws.heap.pop() else { return };
+        let Some((sid, x, _key)) = self.queue.pop() else { return };
+        self.stats.popped += 1;
         let search = self.ws.searches[sid as usize].as_mut().expect("live search");
-        if !search.settled.insert(x) {
+        let lbl = search.labels.get_mut(x).expect("popped vertices are labelled");
+        if lbl.settled {
             return;
         }
-        let g = search.dist.get(x).expect("settled vertices are labelled");
+        lbl.settled = true;
+        let g = lbl.dist;
         let u = search.terminal;
         let w = search.weight;
         self.stats.settled += 1;
@@ -766,21 +912,64 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
         let graph = self.inst.graph;
         let mut nbrs = std::mem::take(&mut self.ws.nbrs);
         graph.neighbors_into(x, &mut nbrs);
+        // Resolve the future cost once per settled vertex: `None`
+        // short-circuits the call entirely, the grid lower bound is
+        // dispatched statically (and inlined), and only exotic futures
+        // pay the virtual call per neighbor.
+        enum Fut<'f> {
+            None,
+            Grid(&'f GridFutureCost),
+            Dyn(&'f dyn FutureCost),
+        }
+        let fut = match self.opts.future {
+            None => Fut::None,
+            Some(f) => match f.as_grid() {
+                Some(grid) => Fut::Grid(grid),
+                None => Fut::Dyn(f),
+            },
+        };
+        let cost = self.inst.cost;
+        let delay = self.inst.delay;
+        #[cfg(target_arch = "x86_64")]
+        // The CSR arc span is contiguous but the per-edge cost/delay
+        // reads it induces are scattered; issue the loads for the whole
+        // span before the relaxation loop touches any of them.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            for &(_, e) in &nbrs {
+                _mm_prefetch(cost.as_ptr().add(e as usize) as *const i8, _MM_HINT_T0);
+                _mm_prefetch(delay.as_ptr().add(e as usize) as *const i8, _MM_HINT_T0);
+            }
+        }
+        // The queue lives outside the workspace, so the search borrow
+        // can be hoisted out of the loop (disjoint fields) — the old
+        // code re-indexed `ws.searches` once per neighbor to appease
+        // the borrow checker around `ws.heap`.
+        let stats = &mut self.stats;
+        let queue = &mut *self.queue;
+        let sm = self.ws.searches[sid as usize].as_mut().expect("live search");
         for &(y, e) in &nbrs {
-            let search = self.ws.searches[sid as usize].as_ref().expect("live search");
-            if search.settled.contains(y) {
+            // one combined-label probe answers both "already settled?"
+            // and "current distance?"
+            let prior = sm.labels.get(y);
+            if prior.is_some_and(|l| l.settled) {
                 continue;
             }
-            let len = self.inst.cost[e as usize] + w * self.inst.delay[e as usize];
+            let len = cost[e as usize] + w * delay[e as usize];
             let cand_g = g + len;
-            let cur = search.dist.get_or(y, f64::INFINITY);
+            let cur = prior.map_or(f64::INFINITY, |l| l.dist);
             if cand_g < cur {
-                let h = self.future().bound_nearest(y, w);
-                let sm = self.ws.searches[sid as usize].as_mut().expect("live search");
-                sm.dist.insert(y, cand_g);
-                sm.parent.insert(y, (x, e));
-                self.ws.heap.push(sid, y, cand_g + h);
-                self.stats.pushed += 1;
+                if cur.is_finite() {
+                    stats.decreased += 1;
+                }
+                let h = match fut {
+                    Fut::None => 0.0,
+                    Fut::Grid(grid) => grid.bound_nearest(y, w),
+                    Fut::Dyn(f) => f.bound_nearest(y, w),
+                };
+                sm.labels.insert(y, Label { dist: cand_g, parent: (x, e), settled: false });
+                queue.push(sid, y, cand_g + h);
+                stats.pushed += 1;
             }
         }
         self.ws.nbrs = nbrs;
@@ -789,6 +978,9 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
     /// Commits a merge: joins components, places the Steiner terminal,
     /// retires/starts searches, rescans settled labels on new vertices.
     fn commit(&mut self, cand: Candidate) {
+        // merging moves DSU representatives and component weights, both
+        // of which feed `b_value`, so the memoized best candidate dies
+        self.cand_cache = None;
         let u = cand.u;
         let sid = self.ws.terminals[u].sid.expect("searching terminal");
         let search = self.ws.searches[sid as usize].as_ref().expect("live search");
@@ -804,23 +996,42 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
         let iteration = self.stats.merges;
         self.stats.merges += 1;
 
-        // retire u's search (its label slabs go back to the pool)
-        self.ws.heap.remove_search(sid);
-        self.ws.free_search(sid);
-        self.ws.terminals[u].sid = None;
-
         let u_rep = self.ws.dsu.find(u);
+        let is_root = target_rep == self.ws.dsu.find(self.root_slot);
+        if !self.opts.batch {
+            // retire u's search (its label slabs go back to the pool)
+            self.queue.remove_search(sid);
+            self.ws.free_search(sid);
+            self.ws.terminals[u].sid = None;
+        }
+
         let mut comp_u = self.ws.terminals[u_rep].comp.take().expect("u's component");
         let mut comp_t = self.ws.terminals[target_rep].comp.take().expect("target component");
 
-        if target_rep == self.ws.dsu.find(self.root_slot) {
-            // root connection: the root component absorbs u
+        if is_root {
+            // root connection: the root component absorbs u's component
             let mut comp = comp_t;
             comp.absorb(&mut comp_u, &path, self.inst.graph);
             self.ws.free_component(comp_u);
-            self.ws.terminals[u].alive = false;
+            let retired_weight = self.ws.terminals[u_rep].weight;
+            if self.opts.batch {
+                // batched search: the whole component connects at once —
+                // every member search still labelling for it retires now
+                for slot in 0..self.ws.terminals.len() {
+                    if self.ws.dsu.find(slot) != u_rep {
+                        continue;
+                    }
+                    self.ws.terminals[slot].alive = false;
+                    if let Some(msid) = self.ws.terminals[slot].sid.take() {
+                        self.queue.remove_search(msid);
+                        self.ws.free_search(msid);
+                    }
+                }
+            } else {
+                self.ws.terminals[u].alive = false;
+            }
             self.active_count -= 1;
-            self.total_active_weight -= self.ws.terminals[u].weight;
+            self.total_active_weight -= retired_weight;
             // union keeps the root slot as representative
             self.ws.dsu.union_into(u_rep, target_rep, self.root_slot);
             {
@@ -843,20 +1054,31 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
         } else {
             // sink–sink merge: create the Steiner terminal s
             let v_slot = target_rep;
-            let w_u = self.ws.terminals[u].weight;
+            let w_u = self.ws.terminals[u_rep].weight;
             let w_v = self.ws.terminals[v_slot].weight;
-            let pos =
-                self.choose_steiner_position(u, v_slot, &path, &path_vertices, seed_raw_u, &comp_t);
+            let pos = self.choose_steiner_position(
+                u_rep,
+                v_slot,
+                &path,
+                &path_vertices,
+                seed_raw_u,
+                &comp_t,
+            );
             let s = self.ws.dsu.push();
             let mut comp = comp_u;
             comp.absorb(&mut comp_t, &path, self.inst.graph);
             self.ws.free_component(comp_t);
-            self.ws.terminals[u].alive = false;
-            self.ws.terminals[v_slot].alive = false;
-            if let Some(vsid) = self.ws.terminals[v_slot].sid.take() {
-                self.ws.heap.remove_search(vsid);
-                self.ws.free_search(vsid);
+            if !self.opts.batch {
+                self.ws.terminals[u].alive = false;
+                self.ws.terminals[v_slot].alive = false;
+                if let Some(vsid) = self.ws.terminals[v_slot].sid.take() {
+                    self.queue.remove_search(vsid);
+                    self.ws.free_search(vsid);
+                }
             }
+            // Under `batch`, both sides' member searches stay alive and
+            // keep labelling for the merged component — the Steiner
+            // terminal carries the combined weight but starts no search.
             self.ws.terminals.push(Terminal {
                 vertex: pos,
                 weight: w_u + w_v,
@@ -866,7 +1088,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
             });
             debug_assert_eq!(s, self.ws.terminals.len() - 1);
             self.ws.dsu.union_into(u_rep, v_slot, s);
-            self.active_count -= 1; // two die, one is born
+            self.active_count -= 1; // two components die, one is born
             self.ws.push_slot(pos, s);
             if self.opts.record_trace {
                 self.trace.push(MergeEvent::SinkSink {
@@ -879,7 +1101,9 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
                 });
             }
             self.register_new_vertices(&path_vertices, s);
-            self.start_search(s);
+            if !self.opts.batch {
+                self.start_search(s);
+            }
         }
         self.ws.path_scratch = path;
         self.ws.pathv_scratch = path_vertices;
@@ -983,8 +1207,8 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized> State<'w, 'a, 'b, G> {
             {
                 let search = self.ws.searches[sid as usize].as_ref().expect("checked above");
                 for &v in path_vertices {
-                    if search.settled.contains(v) {
-                        hits.push((v, search.dist.get(v).expect("settled vertices are labelled")));
+                    if let Some(Label { dist, settled: true, .. }) = search.labels.get(v) {
+                        hits.push((v, dist));
                     }
                 }
             }

@@ -94,6 +94,17 @@ impl<T: Copy + Default> VertexTable<T> {
         self.get(v).unwrap_or(default)
     }
 
+    /// Mutable access to the value at `v`, if present this epoch —
+    /// lets a caller update a field of a record in place with one
+    /// probe instead of a `get`/`insert` pair.
+    #[inline]
+    pub fn get_mut(&mut self, v: VertexId) -> Option<&mut T> {
+        match self.stamp.get(v as usize) {
+            Some(&s) if s == self.epoch => Some(&mut self.val[v as usize]),
+            _ => None,
+        }
+    }
+
     /// Whether `v` has a value this epoch.
     #[inline]
     pub fn contains(&self, v: VertexId) -> bool {

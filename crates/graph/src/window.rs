@@ -294,13 +294,55 @@ impl SteinerGraph for WindowView<'_> {
     /// Window-restricted neighbors, in ascending global edge id order —
     /// order-isomorphic to the CSR adjacency of the materialized window
     /// grid, which keeps the two backends bit-identical.
+    ///
+    /// This is the solver's per-settle inner call, so it avoids the
+    /// generic `to_local_vertex` per neighbor: a grid edge steps
+    /// exactly one of x/y/layer, which the global-id delta classifies
+    /// with comparisons alone — no per-neighbor divisions.
     fn neighbors_into(&self, v: VertexId, out: &mut Vec<(VertexId, EdgeId)>) {
         out.clear();
-        let g = self.to_global_vertex(v);
+        let (lnx, lny) = (self.nx, self.ny);
+        let lplane = lnx * lny;
+        let x = v % lnx;
+        let y = (v / lnx) % lny;
+        let layer = v / lplane;
+        let spec = self.grid.spec();
+        let gnx = spec.nx;
+        let gplane = gnx * spec.ny;
+        let g = (layer * spec.ny + (y + self.y0)) * gnx + (x + self.x0);
         for &(w, e) in self.grid.graph().neighbors(g) {
-            if let Some(lw) = self.to_local_vertex(w) {
-                out.push((lw, e));
-            }
+            let lw = if w == g + 1 {
+                if x + 1 < lnx {
+                    v + 1
+                } else {
+                    continue;
+                }
+            } else if w == g.wrapping_sub(1) {
+                if x > 0 {
+                    v - 1
+                } else {
+                    continue;
+                }
+            } else if w == g + gnx {
+                if y + 1 < lny {
+                    v + lnx
+                } else {
+                    continue;
+                }
+            } else if w == g.wrapping_sub(gnx) {
+                if y > 0 {
+                    v - lnx
+                } else {
+                    continue;
+                }
+            } else if w == g + gplane {
+                // vias keep their (x, y), so they always stay inside
+                v + lplane
+            } else {
+                debug_assert_eq!(w, g - gplane, "unclassified grid edge delta");
+                v - lplane
+            };
+            out.push((lw, e));
         }
     }
 }

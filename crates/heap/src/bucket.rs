@@ -1,0 +1,553 @@
+//! Monotone bucket (Dial) queue over quantized `f64` keys.
+//!
+//! Grid edge costs are bounded and near-uniform, so the label keys of a
+//! windowed search cluster into a narrow band: a comparison heap pays
+//! `O(log n)` per operation to maintain an order that an array of
+//! buckets indexes directly. [`BucketQueue`] quantizes each key by a
+//! per-solve quantum (derived from the minimum positive edge cost) and
+//! files the label into `key / quantum`'s bucket; extraction walks a
+//! cursor over the bucket array instead of sifting a heap.
+//!
+//! Two departures from a textbook Dial queue keep it *exact* rather
+//! than approximate, because this solver cannot tolerate approximate
+//! extraction order:
+//!
+//! * **Within a bucket, entries are a tiny binary heap** ordered by the
+//!   total `(key, search, vertex)` order — the same order
+//!   [`TwoLevelHeap`] serves. A plain FIFO bucket would pop equal-quantum
+//!   labels in arrival order, which is both nondeterministic across
+//!   queue implementations and *wrong* under A*: with a consistent
+//!   lower bound, a relaxation may produce a key in the currently
+//!   draining bucket but smaller than its remaining entries, and the
+//!   merge solver never revisits settled vertices.
+//! * **Keys are not assumed monotone.** Component merges seed fresh
+//!   searches at low keys and `note_new_targets` lowers A* bounds
+//!   mid-run, so the scan cursor rewinds whenever a push lands below
+//!   it. Out-of-range keys (beyond the fixed bucket span, or pushed by
+//!   callers with no meaningful quantum) go to an overflow heap that is
+//!   consulted whenever the bucket array drains.
+//!
+//! Deleted and improved labels are removed *lazily*: a bucket entry is
+//! live iff its search is alive and its key bit-equals the label slab's
+//! current best for that (search, vertex); stale entries are pruned
+//! when the cursor meets them. This is why [`BucketQueue::peek_key`]
+//! takes `&mut self`, mirroring [`TwoLevelHeap::peek_key`].
+//!
+//! [`TwoLevelHeap`]: crate::TwoLevelHeap
+//! [`TwoLevelHeap::peek_key`]: crate::TwoLevelHeap::peek_key
+
+use crate::ordered::OrderedF64;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Number of direct-mapped buckets; keys at or beyond
+/// `NUM_BUCKETS × quantum` live in the overflow heap.
+const NUM_BUCKETS: usize = 4096;
+
+/// A queued label: `(key, search, vertex)` under `Reverse` so each
+/// per-bucket heap (and the overflow heap) is a min-heap in the shared
+/// total order.
+type Entry = Reverse<(OrderedF64, u32, u32)>;
+
+/// Per-search label slab: best key per vertex, epoch-stamped so
+/// clearing a retired search is an `O(1)` epoch bump and the backing
+/// arrays stay warm across pooled reuse (same trick as the
+/// `StampedPos` map backing [`TwoLevelHeap`](crate::TwoLevelHeap)).
+#[derive(Debug, Clone)]
+struct KeySlab {
+    stamp: Vec<u32>,
+    key: Vec<f64>,
+    epoch: u32,
+    /// Labels currently queued (created and not yet popped).
+    live: usize,
+}
+
+impl Default for KeySlab {
+    fn default() -> Self {
+        // epochs start at 1: stamp 0 (the resize fill and the `remove`
+        // sentinel) must never read as live
+        KeySlab { stamp: Vec::new(), key: Vec::new(), epoch: 1, live: 0 }
+    }
+}
+
+impl KeySlab {
+    fn get(&self, v: u32) -> Option<f64> {
+        match self.stamp.get(v as usize) {
+            Some(&s) if s == self.epoch => Some(self.key[v as usize]),
+            _ => None,
+        }
+    }
+
+    fn set(&mut self, v: u32, k: f64) {
+        let i = v as usize;
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+            self.key.resize(i + 1, 0.0);
+        }
+        self.stamp[i] = self.epoch;
+        self.key[i] = k;
+    }
+
+    fn remove(&mut self, v: u32) {
+        // 0 is never a live epoch (epochs start at 1)
+        self.stamp[v as usize] = 0;
+    }
+
+    fn clear(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.live = 0;
+    }
+}
+
+/// Where [`BucketQueue::settle_min`] found the global minimum.
+#[derive(Clone, Copy)]
+enum Loc {
+    Main(usize),
+    Overflow,
+}
+
+/// Monotone bucket queue over (search, vertex, key) triples — the Dial
+/// alternative to [`TwoLevelHeap`](crate::TwoLevelHeap), sharing its
+/// exact surface *and its exact pop order* `(key, search, vertex)`, so
+/// the solver can switch queues without changing a single routed bit.
+///
+/// ```
+/// use cds_heap::BucketQueue;
+/// let mut q = BucketQueue::new();
+/// q.begin_solve(1.0); // quantum: min positive edge cost
+/// let a = q.add_search();
+/// let b = q.add_search();
+/// q.push(a, 10, 2.0);
+/// q.push(b, 20, 1.0);
+/// q.push(a, 11, 3.0);
+/// assert_eq!(q.pop(), Some((b, 20, 1.0)));
+/// assert_eq!(q.pop(), Some((a, 10, 2.0)));
+/// assert_eq!(q.pop(), Some((a, 11, 3.0)));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct BucketQueue {
+    /// `1 / quantum`; multiplying is cheaper than dividing per push.
+    quantum_inv: f64,
+    /// Direct-mapped buckets, each a tiny min-heap in the total order.
+    /// Cleared lazily via `bucket_gen` so a solve touches only the
+    /// buckets it uses.
+    buckets: Vec<BinaryHeap<Entry>>,
+    bucket_gen: Vec<u32>,
+    epoch: u32,
+    /// Keys at or beyond the bucket span. Strictly greater than every
+    /// in-range key (disjoint quantized ranges), so it is consulted
+    /// only when the bucket array holds no live entry.
+    overflow: BinaryHeap<Entry>,
+    /// No live entry sits in `buckets[..scan_from]`; pushes below the
+    /// cursor rewind it (keys are not assumed monotone).
+    scan_from: usize,
+    slabs: Vec<Option<KeySlab>>,
+    pool: Vec<KeySlab>,
+    len: usize,
+    scans: u64,
+}
+
+impl Default for BucketQueue {
+    fn default() -> Self {
+        BucketQueue {
+            quantum_inv: 1.0,
+            buckets: (0..NUM_BUCKETS).map(|_| BinaryHeap::new()).collect(),
+            bucket_gen: vec![0; NUM_BUCKETS],
+            epoch: 1,
+            overflow: BinaryHeap::new(),
+            scan_from: NUM_BUCKETS,
+            slabs: Vec::new(),
+            pool: Vec::new(),
+            len: 0,
+            scans: 0,
+        }
+    }
+}
+
+impl BucketQueue {
+    /// Creates an empty queue with a quantum of 1.0; call
+    /// [`begin_solve`](Self::begin_solve) to set the per-solve quantum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets for a new solve with the given key quantum (derived from
+    /// the minimum positive edge cost of the instance). Any positive
+    /// finite quantum is *correct* — extraction order never depends on
+    /// it — a misestimate only shifts work between the bucket cursor
+    /// (quantum too small: many empty buckets) and the per-bucket heaps
+    /// (too large: fat buckets). Non-positive or non-finite hints fall
+    /// back to 1.0. All allocations are kept.
+    pub fn begin_solve(&mut self, quantum: f64) {
+        self.clear();
+        self.quantum_inv = if quantum.is_finite() && quantum > 0.0 { quantum.recip() } else { 1.0 };
+    }
+
+    /// Registers a new search and returns its id.
+    pub fn add_search(&mut self) -> u32 {
+        let id = self.slabs.len() as u32;
+        let slab = self.pool.pop().unwrap_or_default();
+        debug_assert_eq!(slab.live, 0, "pooled slabs are cleared on retire");
+        self.slabs.push(Some(slab));
+        id
+    }
+
+    /// Drops a search and all its queued labels; its bucket entries are
+    /// pruned lazily when the scan cursor meets them. The slab's
+    /// storage is retained for the next [`add_search`](Self::add_search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `search` was never added.
+    pub fn remove_search(&mut self, search: u32) {
+        let slot = &mut self.slabs[search as usize];
+        if let Some(mut slab) = slot.take() {
+            self.len -= slab.live;
+            slab.clear();
+            self.pool.push(slab);
+        }
+    }
+
+    /// Removes every search and label while keeping all allocations.
+    /// After `clear`, search ids restart from zero. Used buckets are
+    /// invalidated by one epoch bump, not walked.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slabs {
+            if let Some(mut slab) = slot.take() {
+                slab.clear();
+                self.pool.push(slab);
+            }
+        }
+        self.slabs.clear();
+        if self.epoch == u32::MAX {
+            for b in &mut self.buckets {
+                b.clear();
+            }
+            self.bucket_gen.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.overflow.clear();
+        self.scan_from = NUM_BUCKETS;
+        self.len = 0;
+        self.scans = 0;
+    }
+
+    /// Whether `search` is still alive.
+    pub fn is_alive(&self, search: u32) -> bool {
+        self.slabs.get(search as usize).is_some_and(|s| s.is_some())
+    }
+
+    /// Total number of queued labels over all live searches.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no labels are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Buckets the cursor advanced over since
+    /// [`begin_solve`](Self::begin_solve) — the price Dial pays instead
+    /// of heap sifts.
+    pub fn scans(&self) -> u64 {
+        self.scans
+    }
+
+    /// Bucket index for `key`: `NUM_BUCKETS` means the overflow heap.
+    /// Negative keys clamp to bucket 0 (the cast saturates), which is
+    /// harmless: bucket 0 is scanned first, and order *within* a bucket
+    /// is exact regardless of quantization.
+    #[inline]
+    fn bucket_of(&self, key: f64) -> usize {
+        ((key * self.quantum_inv) as usize).min(NUM_BUCKETS)
+    }
+
+    /// The bucket at `b`, lazily cleared if it still holds entries from
+    /// a pre-`clear` era.
+    #[inline]
+    fn bucket(&mut self, b: usize) -> &mut BinaryHeap<Entry> {
+        if self.bucket_gen[b] != self.epoch {
+            self.bucket_gen[b] = self.epoch;
+            self.buckets[b].clear();
+        }
+        &mut self.buckets[b]
+    }
+
+    /// Whether a queued entry is live: its search alive and its key
+    /// bit-equal to the slab's best (improvements are strict decreases,
+    /// so an equal key can only be the entry that recorded it).
+    #[inline]
+    fn is_live(&self, search: u32, vertex: u32, key: f64) -> bool {
+        self.slabs[search as usize].as_ref().is_some_and(|s| s.get(vertex) == Some(key))
+    }
+
+    /// Queues (or improves) the label of `vertex` in `search`.
+    /// Returns `true` if the label changed. Quietly ignores dead
+    /// searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is NaN.
+    pub fn push(&mut self, search: u32, vertex: u32, key: f64) -> bool {
+        assert!(!key.is_nan(), "NaN key");
+        let Some(slab) = self.slabs[search as usize].as_mut() else {
+            return false;
+        };
+        match slab.get(vertex) {
+            Some(cur) if key >= cur => false,
+            prior => {
+                if prior.is_none() {
+                    slab.live += 1;
+                    self.len += 1;
+                }
+                slab.set(vertex, key);
+                let b = self.bucket_of(key);
+                let entry = Reverse((OrderedF64::new(key), search, vertex));
+                if b == NUM_BUCKETS {
+                    self.overflow.push(entry);
+                } else {
+                    self.bucket(b).push(entry);
+                    if b < self.scan_from {
+                        self.scan_from = b;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Minimum key over all searches, if any. `&mut self` for the same
+    /// reason as [`TwoLevelHeap::peek_key`](crate::TwoLevelHeap::peek_key):
+    /// deletions are lazy, and answering the question prunes dead
+    /// entries and advances the scan cursor.
+    pub fn peek_key(&mut self) -> Option<f64> {
+        self.settle_min().map(|loc| {
+            let Reverse((k, _, _)) = *match loc {
+                Loc::Main(b) => self.buckets[b].peek().expect("settled bucket has a live top"),
+                Loc::Overflow => self.overflow.peek().expect("settled overflow has a live top"),
+            };
+            k.get()
+        })
+    }
+
+    /// Extracts the globally smallest (search, vertex, key) under the
+    /// total `(key, search, vertex)` order.
+    pub fn pop(&mut self) -> Option<(u32, u32, f64)> {
+        let loc = self.settle_min()?;
+        let Reverse((k, search, vertex)) = match loc {
+            Loc::Main(b) => self.buckets[b].pop(),
+            Loc::Overflow => self.overflow.pop(),
+        }
+        .expect("settled location has a live top");
+        let slab = self.slabs[search as usize].as_mut().expect("live entry has a live search");
+        slab.remove(vertex);
+        slab.live -= 1;
+        self.len -= 1;
+        Some((search, vertex, k.get()))
+    }
+
+    /// Locates the global minimum live entry, pruning stale entries and
+    /// advancing the cursor past drained buckets on the way. Quantized
+    /// bucket ranges are disjoint and ordered, so the first bucket with
+    /// a live top holds the minimum key, its per-bucket heap breaks the
+    /// in-bucket tie exactly, and the overflow heap (all keys beyond
+    /// the span) is correct to consult only when the array is empty.
+    fn settle_min(&mut self) -> Option<Loc> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.scan_from < NUM_BUCKETS {
+            let b = self.scan_from;
+            while let Some(&Reverse((k, s, v))) = self.bucket(b).peek() {
+                if self.is_live(s, v, k.get()) {
+                    return Some(Loc::Main(b));
+                }
+                self.bucket(b).pop();
+            }
+            self.scan_from += 1;
+            self.scans += 1;
+        }
+        loop {
+            let &Reverse((k, s, v)) = self.overflow.peek()?;
+            if self.is_live(s, v, k.get()) {
+                return Some(Loc::Overflow);
+            }
+            self.overflow.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwoLevelHeap;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_search_behaves_like_heap() {
+        let mut q = BucketQueue::new();
+        q.begin_solve(1.0);
+        let s = q.add_search();
+        for (v, k) in [(5u32, 5.0), (1, 1.0), (3, 3.0)] {
+            q.push(s, v, k);
+        }
+        assert_eq!(q.peek_key(), Some(1.0));
+        assert_eq!(q.pop(), Some((s, 1, 1.0)));
+        assert_eq!(q.pop(), Some((s, 3, 3.0)));
+        assert_eq!(q.pop(), Some((s, 5, 5.0)));
+        assert_eq!(q.pop(), None);
+        assert!(q.scans() > 0, "the cursor did the ordering work");
+    }
+
+    #[test]
+    fn decrease_key_refiles_and_prunes_the_stale_entry() {
+        let mut q = BucketQueue::new();
+        q.begin_solve(1.0);
+        let a = q.add_search();
+        let b = q.add_search();
+        q.push(a, 0, 10.0);
+        q.push(b, 0, 9.0);
+        assert!(q.push(a, 0, 1.0), "decrease-key refiles into a lower bucket");
+        assert!(!q.push(a, 0, 5.0), "increases are ignored");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((a, 0, 1.0)));
+        assert_eq!(q.pop(), Some((b, 0, 9.0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn removed_search_is_skipped() {
+        let mut q = BucketQueue::new();
+        q.begin_solve(1.0);
+        let a = q.add_search();
+        let b = q.add_search();
+        q.push(a, 1, 1.0);
+        q.push(b, 2, 2.0);
+        q.remove_search(a);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((b, 2, 2.0)));
+        assert_eq!(q.pop(), None);
+        assert!(!q.is_alive(a));
+        assert!(!q.push(a, 9, 0.1), "push to dead search ignored");
+    }
+
+    #[test]
+    fn overflow_keys_and_rewinds_stay_exact() {
+        // keys beyond NUM_BUCKETS × quantum land in overflow; a later
+        // low push must rewind the cursor and still win
+        let mut q = BucketQueue::new();
+        q.begin_solve(1.0);
+        let s = q.add_search();
+        q.push(s, 1, 1e9);
+        q.push(s, 2, (NUM_BUCKETS as f64) + 0.5);
+        assert_eq!(q.peek_key(), Some((NUM_BUCKETS as f64) + 0.5));
+        q.push(s, 3, 2.25); // rewind below the (drained) array cursor
+        assert_eq!(q.pop(), Some((s, 3, 2.25)));
+        assert_eq!(q.pop(), Some((s, 2, (NUM_BUCKETS as f64) + 0.5)));
+        assert_eq!(q.pop(), Some((s, 1, 1e9)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clear_keeps_reusable_state() {
+        let mut q = BucketQueue::new();
+        q.begin_solve(0.25);
+        let a = q.add_search();
+        let b = q.add_search();
+        q.push(a, 1, 1.0);
+        q.push(b, 2, 2.0);
+        q.pop();
+        q.begin_solve(2.0);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_key(), None);
+        let s = q.add_search();
+        assert_eq!(s, 0, "ids restart from zero");
+        q.push(s, 7, 0.5);
+        assert_eq!(q.pop(), Some((s, 7, 0.5)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_keys_drain_by_search_then_vertex() {
+        // same flood as the TwoLevelHeap test — one contract, two queues
+        let mut q = BucketQueue::new();
+        q.begin_solve(1.0);
+        let a = q.add_search();
+        let b = q.add_search();
+        q.push(b, 9, 1.0);
+        q.push(b, 2, 1.0);
+        q.push(a, 7, 1.0);
+        q.push(a, 3, 1.0);
+        q.push(b, 50, 0.5);
+        assert_eq!(q.pop(), Some((b, 50, 0.5)));
+        assert_eq!(q.pop(), Some((a, 3, 1.0)));
+        assert_eq!(q.pop(), Some((a, 7, 1.0)));
+        assert_eq!(q.pop(), Some((b, 2, 1.0)));
+        assert_eq!(q.pop(), Some((b, 9, 1.0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    proptest! {
+        /// The cross-queue determinism contract, pinned: under random
+        /// interleavings of pushes (including same-key floods from the
+        /// tiny key pool and far-out overflow keys), peeks, pops, and
+        /// search removals, `BucketQueue` and `TwoLevelHeap` agree on
+        /// every observable — each pop's exact (search, vertex, key)
+        /// triple, every peeked key, every push's return value, and the
+        /// running length.
+        #[test]
+        fn pop_sequence_matches_two_level_heap(
+            n_searches in 1usize..6,
+            quantum in (0u8..3).prop_map(|q| [1.0f64, 0.125, 37.0][q as usize]),
+            ops in proptest::collection::vec(
+                (0u32..6, 0u32..40, (0u8..10).prop_map(|k| if k < 8 {
+                    // mostly a tiny pool: same-key floods are the point
+                    k as f64 * 0.5
+                } else {
+                    // overflow-bucket territory for every quantum above
+                    (k - 7) as f64 * 200_000.0
+                }), 0u8..10),
+                1..300,
+            ),
+        ) {
+            let mut heap = TwoLevelHeap::new();
+            let mut dial = BucketQueue::new();
+            dial.begin_solve(quantum);
+            let mut sids: Vec<u32> = Vec::new();
+            for _ in 0..n_searches {
+                let s = heap.add_search();
+                prop_assert_eq!(s, dial.add_search());
+                sids.push(s);
+            }
+            for (s, v, k, action) in ops {
+                let sid = sids[(s as usize) % n_searches];
+                if action < 6 {
+                    prop_assert_eq!(heap.push(sid, v, k), dial.push(sid, v, k));
+                } else if action < 8 {
+                    prop_assert_eq!(heap.peek_key(), dial.peek_key());
+                    prop_assert_eq!(heap.pop(), dial.pop());
+                } else if heap.is_alive(sid) {
+                    heap.remove_search(sid);
+                    dial.remove_search(sid);
+                }
+                prop_assert_eq!(heap.len(), dial.len());
+            }
+            loop {
+                let (a, b) = (heap.pop(), dial.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

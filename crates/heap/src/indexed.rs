@@ -135,8 +135,16 @@ impl PositionMap for SparsePos {
 
 /// The shared heap implementation. Use via [`IndexedBinaryHeap`] or
 /// [`SparseIndexedHeap`].
+///
+/// `TIE` selects the comparison: `false` orders by key alone (ties
+/// resolve by heap structure — cheapest, and all single-source Dijkstra
+/// callers are insensitive to it), `true` orders lexicographically by
+/// `(key, id)` so equal-key pops drain in ascending id order. The
+/// tie-ordered variant backs [`TwoLevelHeap`](crate::TwoLevelHeap),
+/// whose pop sequence is part of the solver's determinism contract and
+/// must be reproducible by [`BucketQueue`](crate::BucketQueue).
 #[derive(Debug, Clone, Default)]
-pub struct RawIndexedHeap<M: PositionMap> {
+pub struct RawIndexedHeap<M: PositionMap, const TIE: bool = false> {
     heap: Vec<(f64, u32)>,
     pos: M,
 }
@@ -170,6 +178,23 @@ pub type IndexedBinaryHeap = RawIndexedHeap<DensePos>;
 /// ```
 pub type StampedIndexedHeap = RawIndexedHeap<StampedPos>;
 
+/// [`StampedIndexedHeap`] with the total `(key, id)` order: equal-key
+/// pops drain in ascending id order instead of heap-structural order.
+/// Backs the per-search sub-heaps of
+/// [`TwoLevelHeap`](crate::TwoLevelHeap), where the pop sequence is
+/// pinned by the cross-queue determinism contract (see
+/// [`BucketQueue`](crate::BucketQueue)).
+///
+/// ```
+/// use cds_heap::TieStampedIndexedHeap;
+/// let mut h = TieStampedIndexedHeap::new(0);
+/// h.push(9, 2.0);
+/// h.push(4, 2.0);
+/// assert_eq!(h.pop(), Some((4, 2.0))); // equal keys: smaller id first
+/// assert_eq!(h.pop(), Some((9, 2.0)));
+/// ```
+pub type TieStampedIndexedHeap = RawIndexedHeap<StampedPos, true>;
+
 /// Sparse-id binary min-heap with decrease-key, for unbounded id spaces.
 ///
 /// ```
@@ -180,11 +205,24 @@ pub type StampedIndexedHeap = RawIndexedHeap<StampedPos>;
 /// ```
 pub type SparseIndexedHeap = RawIndexedHeap<SparsePos>;
 
-impl<M: PositionMap> RawIndexedHeap<M> {
+impl<M: PositionMap, const TIE: bool> RawIndexedHeap<M, TIE> {
     /// Creates an empty heap. For the dense variant `capacity` must bound
     /// all ids ever pushed; for the sparse variant it is a size hint.
     pub fn new(capacity: usize) -> Self {
         RawIndexedHeap { heap: Vec::new(), pos: M::with_capacity(capacity) }
+    }
+
+    /// Whether entry `a` sorts strictly before entry `b`: by key, with
+    /// the id tie-break iff `TIE`.
+    #[inline]
+    fn before(&self, a: usize, b: usize) -> bool {
+        let (ka, ia) = self.heap[a];
+        let (kb, ib) = self.heap[b];
+        if TIE {
+            (ka, ia) < (kb, ib)
+        } else {
+            ka < kb
+        }
     }
 
     /// Number of elements currently queued.
@@ -266,7 +304,7 @@ impl<M: PositionMap> RawIndexedHeap<M> {
     fn sift_up(&mut self, mut i: usize) {
         while i > 0 {
             let parent = (i - 1) / 2;
-            if self.heap[i].0 < self.heap[parent].0 {
+            if self.before(i, parent) {
                 self.swap(i, parent);
                 i = parent;
             } else {
@@ -279,10 +317,10 @@ impl<M: PositionMap> RawIndexedHeap<M> {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut smallest = i;
-            if l < self.heap.len() && self.heap[l].0 < self.heap[smallest].0 {
+            if l < self.heap.len() && self.before(l, smallest) {
                 smallest = l;
             }
-            if r < self.heap.len() && self.heap[r].0 < self.heap[smallest].0 {
+            if r < self.heap.len() && self.before(r, smallest) {
                 smallest = r;
             }
             if smallest == i {
@@ -391,6 +429,33 @@ mod tests {
         fn matches_reference(ops in proptest::collection::vec((0u32..64, 0.0f64..100.0), 1..200)) {
             reference_run(IndexedBinaryHeap::new(64), ops.clone());
             reference_run(SparseIndexedHeap::new(0), ops);
+        }
+
+        /// The tie-ordered variant pops in exact `(key, id)` order, not
+        /// merely non-decreasing keys — keys are drawn from a tiny pool
+        /// so equal-key runs are the common case.
+        #[test]
+        fn tie_ordered_pops_in_key_then_id_order(
+            ops in proptest::collection::vec((0u32..32, 0u8..4), 1..200),
+        ) {
+            let mut h = TieStampedIndexedHeap::new(0);
+            let mut reference: std::collections::HashMap<u32, f64> = Default::default();
+            for &(id, k) in &ops {
+                let key = k as f64;
+                h.push(id, key);
+                let cur = reference.get(&id).copied();
+                if cur.is_none_or(|c| key < c) {
+                    reference.insert(id, key);
+                }
+                h.check_invariants();
+            }
+            let mut want: Vec<(f64, u32)> = reference.into_iter().map(|(id, k)| (k, id)).collect();
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut got = Vec::new();
+            while let Some((id, k)) = h.pop() {
+                got.push((k, id));
+            }
+            prop_assert_eq!(got, want, "pop order must be exactly (key, id)");
         }
     }
 }

@@ -12,8 +12,17 @@
 //! * [`TwoLevelHeap`] — the paper's structure (§III-B), including the
 //!   "operate with a single sink heap until the minimum label in the
 //!   top-level heap is exceeded" fast path,
+//! * [`BucketQueue`] — a monotone bucket (Dial) queue over quantized
+//!   keys: grid edge costs are bounded and near-uniform, so an indexed
+//!   bucket array replaces `O(log n)` heap sifts on the solver's hot
+//!   path,
 //! * [`LazyHeap`] — a conventional lazy-deletion heap used as the ablation
 //!   baseline in the `heap` Criterion bench.
+//!
+//! [`TwoLevelHeap`] and [`BucketQueue`] share the [`LabelQueue`] surface
+//! *and the total pop order* `(key, search, vertex)` — the determinism
+//! contract that lets the solver switch queues (the
+//! [`QueueKind`] knob) without changing a single routed bit.
 //!
 //! # Examples
 //!
@@ -29,12 +38,148 @@
 //! assert_eq!(h.pop(), None);
 //! ```
 
+pub mod bucket;
 pub mod indexed;
 pub mod lazy;
 pub mod ordered;
 pub mod two_level;
 
-pub use indexed::{IndexedBinaryHeap, SparseIndexedHeap, StampedIndexedHeap};
+pub use bucket::BucketQueue;
+pub use indexed::{
+    IndexedBinaryHeap, SparseIndexedHeap, StampedIndexedHeap, TieStampedIndexedHeap,
+};
 pub use lazy::LazyHeap;
 pub use ordered::OrderedF64;
 pub use two_level::TwoLevelHeap;
+
+/// Which label queue drives the solver's simultaneous searches.
+///
+/// Both serve the identical total pop order, so the choice is purely a
+/// performance knob (`queue=heap|bucket` on the router surface):
+/// results are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// The paper's §III-B two-level comparison heap ([`TwoLevelHeap`]).
+    Heap,
+    /// The monotone bucket queue ([`BucketQueue`]) — the fast default.
+    #[default]
+    Bucket,
+}
+
+impl std::fmt::Display for QueueKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QueueKind::Heap => "heap",
+            QueueKind::Bucket => "bucket",
+        })
+    }
+}
+
+impl std::str::FromStr for QueueKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" => Ok(QueueKind::Heap),
+            "bucket" => Ok(QueueKind::Bucket),
+            other => Err(format!("unknown queue kind {other:?} (expected heap|bucket)")),
+        }
+    }
+}
+
+/// The queue surface the solver's merge loop drives: simultaneous
+/// searches with dense ids, decrease-only label pushes, and extraction
+/// in the shared total order `(key, search, vertex)`.
+///
+/// `peek_key` takes `&mut self` deliberately: both implementations
+/// delete lazily, and answering "what is the global minimum" prunes
+/// dead entries — see
+/// [`TwoLevelHeap::peek_key`](TwoLevelHeap::peek_key) for the full
+/// argument.
+pub trait LabelQueue {
+    /// Resets for a new solve, keeping allocations. `quantum` is the
+    /// key granularity hint (minimum positive edge cost); comparison
+    /// queues ignore it, and any positive value is correct for the
+    /// bucket queue.
+    fn begin_solve(&mut self, quantum: f64);
+    /// Registers a new search and returns its dense id.
+    fn add_search(&mut self) -> u32;
+    /// Drops a search and all its queued labels.
+    fn remove_search(&mut self, search: u32);
+    /// Whether `search` is still alive.
+    fn is_alive(&self, search: u32) -> bool;
+    /// Total queued labels over all live searches.
+    fn len(&self) -> usize;
+    /// Whether no labels are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Queues (or improves) the label of `vertex` in `search`; `true`
+    /// if the label changed.
+    fn push(&mut self, search: u32, vertex: u32, key: f64) -> bool;
+    /// Minimum key over all searches, if any.
+    fn peek_key(&mut self) -> Option<f64>;
+    /// Extracts the globally smallest (search, vertex, key).
+    fn pop(&mut self) -> Option<(u32, u32, f64)>;
+    /// Buckets scanned since `begin_solve` (0 for comparison queues).
+    fn bucket_scans(&self) -> u64;
+}
+
+impl LabelQueue for TwoLevelHeap {
+    fn begin_solve(&mut self, _quantum: f64) {
+        self.clear();
+    }
+    fn add_search(&mut self) -> u32 {
+        TwoLevelHeap::add_search(self)
+    }
+    fn remove_search(&mut self, search: u32) {
+        TwoLevelHeap::remove_search(self, search);
+    }
+    fn is_alive(&self, search: u32) -> bool {
+        TwoLevelHeap::is_alive(self, search)
+    }
+    fn len(&self) -> usize {
+        TwoLevelHeap::len(self)
+    }
+    fn push(&mut self, search: u32, vertex: u32, key: f64) -> bool {
+        TwoLevelHeap::push(self, search, vertex, key)
+    }
+    fn peek_key(&mut self) -> Option<f64> {
+        TwoLevelHeap::peek_key(self)
+    }
+    fn pop(&mut self) -> Option<(u32, u32, f64)> {
+        TwoLevelHeap::pop(self)
+    }
+    fn bucket_scans(&self) -> u64 {
+        0
+    }
+}
+
+impl LabelQueue for BucketQueue {
+    fn begin_solve(&mut self, quantum: f64) {
+        BucketQueue::begin_solve(self, quantum);
+    }
+    fn add_search(&mut self) -> u32 {
+        BucketQueue::add_search(self)
+    }
+    fn remove_search(&mut self, search: u32) {
+        BucketQueue::remove_search(self, search);
+    }
+    fn is_alive(&self, search: u32) -> bool {
+        BucketQueue::is_alive(self, search)
+    }
+    fn len(&self) -> usize {
+        BucketQueue::len(self)
+    }
+    fn push(&mut self, search: u32, vertex: u32, key: f64) -> bool {
+        BucketQueue::push(self, search, vertex, key)
+    }
+    fn peek_key(&mut self) -> Option<f64> {
+        BucketQueue::peek_key(self)
+    }
+    fn pop(&mut self) -> Option<(u32, u32, f64)> {
+        BucketQueue::pop(self)
+    }
+    fn bucket_scans(&self) -> u64 {
+        self.scans()
+    }
+}

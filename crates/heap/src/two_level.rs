@@ -7,7 +7,7 @@
 //! single sink heap for as long as its minimum does not exceed the best
 //! other sink, avoiding top-level traffic on every push/pop.
 
-use crate::indexed::StampedIndexedHeap;
+use crate::indexed::TieStampedIndexedHeap;
 use crate::ordered::OrderedF64;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -20,6 +20,14 @@ use std::collections::BinaryHeap;
 /// heap is maintained lazily: entries may be stale and are validated
 /// against the actual sub-heap minimum on extraction, which is exactly
 /// what lets the structure stay within one sub-heap cheaply.
+///
+/// Pops are served in the **total order `(key, search, vertex)`** — the
+/// sub-heaps break equal-key ties by ascending vertex id, and the top
+/// level breaks equal sub-minima by ascending search id. This is the
+/// determinism contract every label queue in the workspace shares:
+/// [`BucketQueue`](crate::BucketQueue) reproduces the exact same pop
+/// sequence, which is what lets the solver switch queues without
+/// changing a single routed bit.
 ///
 /// ```
 /// use cds_heap::TwoLevelHeap;
@@ -36,7 +44,7 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug, Default)]
 pub struct TwoLevelHeap {
-    subs: Vec<Option<StampedIndexedHeap>>,
+    subs: Vec<Option<TieStampedIndexedHeap>>,
     /// Lazy top-level heap of (sub-min key, search id); may hold stale
     /// entries whose key is *lower* than the search's actual minimum
     /// (pops raise sub-minima) — never higher, because pushes that lower a
@@ -49,7 +57,7 @@ pub struct TwoLevelHeap {
     /// removes thousands of searches, and recycling the sub-heaps keeps
     /// their backing arrays (and hash tables) warm across searches *and*
     /// across [`clear`](Self::clear)ed runs.
-    pool: Vec<StampedIndexedHeap>,
+    pool: Vec<TieStampedIndexedHeap>,
 }
 
 impl TwoLevelHeap {
@@ -61,7 +69,7 @@ impl TwoLevelHeap {
     /// Registers a new search and returns its id.
     pub fn add_search(&mut self) -> u32 {
         let id = self.subs.len() as u32;
-        let sub = self.pool.pop().unwrap_or_else(|| StampedIndexedHeap::new(0));
+        let sub = self.pool.pop().unwrap_or_else(|| TieStampedIndexedHeap::new(0));
         debug_assert!(sub.is_empty(), "pooled sub-heaps are cleared on retire");
         self.subs.push(Some(sub));
         id
@@ -136,6 +144,19 @@ impl TwoLevelHeap {
     }
 
     /// Minimum key over all searches, if any.
+    ///
+    /// Takes `&mut self` by design, not by accident: the top level is
+    /// maintained *lazily*, so at peek time it may hold entries for
+    /// drained or removed searches and stale-low keys that pops have
+    /// since raised. Answering "what is the global minimum" requires
+    /// popping those dead entries and re-inserting corrected ones
+    /// (the internal `refresh_top`) — a structural mutation. A
+    /// `&self` peek would need interior mutability or an `O(searches)`
+    /// scan per call; both cost more than the borrow is worth, since the
+    /// solver always holds the queue exclusively anyway.
+    /// [`BucketQueue`](crate::BucketQueue) mirrors the same signature
+    /// for the same reason (its lazy deletions are pruned at peek time),
+    /// so the two queues share one trait-shaped surface.
     pub fn peek_key(&mut self) -> Option<f64> {
         self.refresh_top();
         // After refresh, compare the hot search against the top entry.
@@ -149,14 +170,19 @@ impl TwoLevelHeap {
         }
     }
 
-    /// Extracts the globally smallest (search, vertex, key).
+    /// Extracts the globally smallest (search, vertex, key) under the
+    /// total `(key, search, vertex)` order.
     pub fn pop(&mut self) -> Option<(u32, u32, f64)> {
-        // Fast path (§III-B): if the current search's minimum does not
-        // exceed the best top-level key, serve it without top maintenance.
+        // Fast path (§III-B): if the current search is the `(key, sid)`
+        // minimum, serve it without top maintenance. After the refresh
+        // in `valid_top_peek`, the top head is accurate, so the
+        // lexicographic comparison decides ties by search id exactly as
+        // the total order demands (the head entry may be `cur` itself,
+        // in which case equality holds and `cur` wins).
         if let Some(cur) = self.current {
             if let Some(cmin) = self.current_min() {
                 let beats_top = match self.valid_top_peek() {
-                    Some((tkey, tsid)) => cmin <= tkey || tsid == cur,
+                    Some((tkey, tsid)) => (cmin, cur) <= (tkey, tsid),
                     None => true,
                 };
                 if beats_top {
@@ -284,6 +310,28 @@ mod tests {
         assert_eq!(h.pop(), Some((a, 4, 0.5)));
         assert_eq!(h.pop(), Some((a, 1, 5.0)));
         assert_eq!(h.pop(), Some((b, 3, 6.0)));
+    }
+
+    #[test]
+    fn equal_keys_drain_by_search_then_vertex() {
+        // The cross-queue determinism contract: ties resolve by search
+        // id first, vertex id second — regardless of push order or
+        // which search is "current".
+        let mut h = TwoLevelHeap::new();
+        let a = h.add_search();
+        let b = h.add_search();
+        h.push(b, 9, 1.0);
+        h.push(b, 2, 1.0);
+        h.push(a, 7, 1.0);
+        h.push(a, 3, 1.0);
+        // make b "current" at a higher key, then flood equal keys
+        h.push(b, 50, 0.5);
+        assert_eq!(h.pop(), Some((b, 50, 0.5)));
+        assert_eq!(h.pop(), Some((a, 3, 1.0)));
+        assert_eq!(h.pop(), Some((a, 7, 1.0)));
+        assert_eq!(h.pop(), Some((b, 2, 1.0)));
+        assert_eq!(h.pop(), Some((b, 9, 1.0)));
+        assert_eq!(h.pop(), None);
     }
 
     proptest! {

@@ -39,11 +39,15 @@ pub mod oracle;
 pub mod report;
 mod schedule;
 
+/// Re-exported so `RouterConfig { queue, .. }` is usable without a
+/// direct `cds-core` dependency.
+pub use cds_core::QueueKind;
 pub use oracle::{
     route_net, CdOracle, L1Oracle, OracleRequest, OracleWorkspace, PdOracle, SlOracle,
     SteinerMethod, SteinerOracle, UnknownMethod,
 };
 
+use cds_core::{SessionConfig, SolveStats};
 use cds_geom::Point;
 use cds_graph::{EdgeAttrs, EdgeId, EdgeIndex, EdgeKind, GridWindow, RoutingSurface, WindowView};
 use cds_instgen::Chip;
@@ -191,6 +195,18 @@ pub struct RouterConfig {
     /// incremental accounting matched), bounding float drift from
     /// subtract/add cycles. `0` disables periodic recounts.
     pub recount_every: usize,
+    /// Which label queue drives the CD solver's searches
+    /// (`queue=heap|bucket`). Both kinds pop the identical total order
+    /// `(key, search, vertex)`, so this is purely a performance knob:
+    /// results are bit-identical (pinned by `tests/chipdoc.rs`). Only
+    /// the CD oracle has a search kernel; the knob is inert for the
+    /// plane-topology baselines.
+    pub queue: QueueKind,
+    /// Batched multi-sink search for the CD oracle: member searches
+    /// survive sink–sink merges instead of restarting one labelling
+    /// from each new Steiner terminal. Changes which trees are found —
+    /// off by default so the pinned goldens stay put.
+    pub batch: bool,
 }
 
 impl RouterConfig {
@@ -230,6 +246,8 @@ impl RouterConfig {
             "incremental" => self.incremental = boolean(key, value)?,
             "price_tol" => self.price_tol = num(key, value)?,
             "recount_every" => self.recount_every = num(key, value)?,
+            "queue" => self.queue = value.parse()?,
+            "batch" => self.batch = boolean(key, value)?,
             _ => return Err(format!("unknown router knob {key}")),
         }
         Ok(())
@@ -253,6 +271,8 @@ impl Default for RouterConfig {
             incremental: true,
             price_tol: 2.0,
             recount_every: 4,
+            queue: QueueKind::default(),
+            batch: false,
         }
     }
 }
@@ -355,6 +375,22 @@ pub struct RouterStats {
     /// Timing nodes re-propagated by the incremental STA engine
     /// (`0` in full-reroute mode, which re-analyzes the whole DAG).
     pub sta_nodes_retimed: u64,
+    /// Search-kernel labels settled (popped and expanded) across every
+    /// oracle call of the run. Like the rest of the kernel counters
+    /// below this is an order-independent integer sum, so it is
+    /// deterministic across worker counts and part of `==`. The
+    /// plane-topology baselines have no search kernel and leave all
+    /// five counters at zero.
+    pub kernel_settled: u64,
+    /// Search-kernel labels pushed into the queue.
+    pub kernel_pushed: u64,
+    /// Search-kernel labels popped (settled plus stale lazy deletions).
+    pub kernel_popped: u64,
+    /// Pushes that improved an already-finite label (decrease-keys).
+    pub kernel_decreased: u64,
+    /// Empty buckets scanned by the bucket queue's cursor (`0` under
+    /// `queue=heap`).
+    pub kernel_bucket_scans: u64,
     /// Wall-clock seconds per rip-up iteration (excluded from `==`).
     pub iter_wall_s: Vec<f64>,
     /// Peak bytes reserved across all forest arenas — the chip-wide
@@ -379,6 +415,11 @@ impl PartialEq for RouterStats {
             && self.dirty_budget == o.dirty_budget
             && self.usage_recounts == o.usage_recounts
             && self.sta_nodes_retimed == o.sta_nodes_retimed
+            && self.kernel_settled == o.kernel_settled
+            && self.kernel_pushed == o.kernel_pushed
+            && self.kernel_popped == o.kernel_popped
+            && self.kernel_decreased == o.kernel_decreased
+            && self.kernel_bucket_scans == o.kernel_bucket_scans
             && self.cancelled == o.cancelled
     }
 }
@@ -399,6 +440,14 @@ impl RouterStats {
     /// of the total wall time).
     pub fn route_wall_s(&self) -> f64 {
         self.iter_wall_s.iter().sum()
+    }
+
+    pub(crate) fn add_kernel(&mut self, s: SolveStats) {
+        self.kernel_settled += s.settled as u64;
+        self.kernel_pushed += s.pushed as u64;
+        self.kernel_popped += s.popped as u64;
+        self.kernel_decreased += s.decreased as u64;
+        self.kernel_bucket_scans += s.bucket_scans;
     }
 
     pub(crate) fn note(&mut self, cause: DirtyCause) {
@@ -558,7 +607,21 @@ impl<'a> Router<'a> {
     /// Prepares a router for `chip` with the built-in oracle named by
     /// `config.method`.
     pub fn new(chip: &'a Chip, config: RouterConfig) -> Self {
-        let oracle: Box<dyn SteinerOracle> = Box::new(config.method.oracle());
+        let defaults = RouterConfig::default();
+        let oracle: Box<dyn SteinerOracle> = if config.method == SteinerMethod::Cd
+            && (config.queue != defaults.queue || config.batch != defaults.batch)
+        {
+            // The static singleton behind `method.oracle()` is baked
+            // with the default session config; kernel knobs need a
+            // per-router oracle.
+            Box::new(CdOracle::with_config(SessionConfig {
+                queue: config.queue,
+                batch: config.batch,
+                ..SessionConfig::DEFAULT
+            }))
+        } else {
+            Box::new(config.method.oracle())
+        };
         Self::with_oracle(chip, config, oracle)
     }
 
@@ -726,7 +789,9 @@ impl<'a> Router<'a> {
             // 2. route the scheduled nets in parallel on frozen prices
             //    (into per-worker scratch forests), then merge into the
             //    chip-wide forest in deterministic net order
-            let placements = self.route_ids_into(&dirty, &prices, &weights, &budgets, bif, workers);
+            let (placements, kernel) =
+                self.route_ids_into(&dirty, &prices, &weights, &budgets, bif, workers);
+            stats.add_kernel(kernel);
 
             // 3. usage accounting: full sweeps recompute from scratch
             //    (the reference rule); partial sweeps subtract each
@@ -956,7 +1021,7 @@ impl<'a> Router<'a> {
         ws: &mut OracleWorkspace,
     ) -> (RoutedNet, f64) {
         let mut forest = RoutedForest::with_slots(1);
-        let total =
+        let (total, _) =
             self.route_one_into(net_id, oracle, prices, weights, budgets, bif, ws, &mut forest, 0);
         let rn = RoutedNet {
             wirelength_gcells: forest.wirelength_gcells(0),
@@ -973,8 +1038,9 @@ impl<'a> Router<'a> {
     /// used-edge list (global edge ids on both backends), and its
     /// wirelength/via summary all land in the forest's shared slabs;
     /// nothing per-net is materialized. Returns the net's objective
-    /// value. Bit-identical to [`route_one_with`](Self::route_one_with)
-    /// (which now wraps this).
+    /// value and the oracle's search-kernel counters (zero for the
+    /// plane baselines). Bit-identical to
+    /// [`route_one_with`](Self::route_one_with) (which now wraps this).
     #[allow(clippy::too_many_arguments)]
     fn route_one_into(
         &self,
@@ -987,7 +1053,7 @@ impl<'a> Router<'a> {
         ws: &mut OracleWorkspace,
         forest: &mut RoutedForest,
         slot: usize,
-    ) -> f64 {
+    ) -> (f64, SolveStats) {
         let chip = self.chip;
         let net = &chip.nets[net_id];
         let seed = self.config.seed ^ (net_id as u64).wrapping_mul(0x9E3779B97F4A7C15);
@@ -998,7 +1064,7 @@ impl<'a> Router<'a> {
         let mut local_sinks = std::mem::take(&mut ws.local_sinks);
         let g = chip.grid.graph();
 
-        let total = if self.config.materialize_windows {
+        let (total, kstats) = if self.config.materialize_windows {
             let index =
                 self.edge_index.as_ref().expect("materialize_windows prebuilds the edge index");
             let window = GridWindow::around(&chip.grid, index, &pins, self.config.window_margin);
@@ -1019,7 +1085,7 @@ impl<'a> Router<'a> {
                 bif,
                 seed,
             };
-            oracle.route_into(&req, ws, forest, slot);
+            let kstats = oracle.route_into(&req, ws, forest, slot);
             // evaluate + summarize over window-local ids, then
             // globalize the stored paths so the forest's trees are
             // uniformly in global edge ids on both backends
@@ -1040,7 +1106,7 @@ impl<'a> Router<'a> {
             ws.eval = eval;
             ws.cost_buf = local_cost;
             ws.delay_buf = local_delay;
-            totals.total
+            (totals.total, kstats)
         } else {
             let view = WindowView::around(&chip.grid, &pins, self.config.window_margin);
             local_sinks.clear();
@@ -1056,7 +1122,7 @@ impl<'a> Router<'a> {
                 bif,
                 seed,
             };
-            oracle.route_into(&req, ws, forest, slot);
+            let kstats = oracle.route_into(&req, ws, forest, slot);
             // view edge ids are global: usage accumulation and
             // length/via metrics read the global graph directly
             let mut eval = std::mem::take(&mut ws.eval);
@@ -1072,11 +1138,11 @@ impl<'a> Router<'a> {
             forest.set_used_from_paths(slot, |e| (e, Self::tracks(g.edge(e))));
             forest.set_summary(slot, wl, vias);
             ws.eval = eval;
-            totals.total
+            (totals.total, kstats)
         };
         ws.pins = pins;
         ws.local_sinks = local_sinks;
-        total
+        (total, kstats)
     }
 
     /// Routing capacity one use of `e` consumes (wide wire types take
@@ -1092,7 +1158,9 @@ impl<'a> Router<'a> {
     /// Routes the given nets in parallel into the workers' scratch
     /// forests, returning `(worker, slot)` placements aligned with
     /// `ids` (the caller merges them into the chip-wide forest in net
-    /// order — deterministic regardless of which worker routed what).
+    /// order — deterministic regardless of which worker routed what)
+    /// plus the summed search-kernel counters of every routed net
+    /// (order-independent integer sums, so equally deterministic).
     /// Work is distributed through a shared atomic counter: each
     /// worker claims the next unrouted index as soon as it finishes one,
     /// so a cluster of large nets landing together cannot idle the other
@@ -1111,14 +1179,15 @@ impl<'a> Router<'a> {
         budgets: &[Option<Vec<f64>>],
         bif: BifurcationConfig,
         workers: &mut [RouteWorker],
-    ) -> Vec<(usize, usize)> {
+    ) -> (Vec<(usize, usize)>, SolveStats) {
         if ids.is_empty() {
-            return Vec::new();
+            return (Vec::new(), SolveStats::default());
         }
         let threads = self.config.threads.max(1).min(ids.len()).min(workers.len().max(1));
         let oracle = self.oracle.as_ref();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let mut placements: Vec<Option<(usize, usize)>> = vec![None; ids.len()];
+        let mut kernel = SolveStats::default();
         std::thread::scope(|scope| {
             let handles: Vec<_> = workers
                 .iter_mut()
@@ -1131,11 +1200,12 @@ impl<'a> Router<'a> {
                         // previous iteration's spans are dropped
                         w.forest.clear();
                         let mut routed: Vec<(usize, usize)> = Vec::new();
+                        let mut ksum = SolveStats::default();
                         loop {
                             let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             let Some(&net_id) = ids.get(k) else { break };
                             let slot = w.forest.alloc_slot();
-                            self.route_one_into(
+                            let (_, ks) = self.route_one_into(
                                 net_id,
                                 oracle,
                                 prices,
@@ -1146,20 +1216,24 @@ impl<'a> Router<'a> {
                                 &mut w.forest,
                                 slot,
                             );
+                            ksum.absorb(ks);
                             routed.push((k, slot));
                         }
-                        (wi, routed)
+                        (wi, routed, ksum)
                     })
                 })
                 .collect();
             for h in handles {
-                let (wi, routed) = h.join().expect("router worker panicked");
+                let (wi, routed, ksum) = h.join().expect("router worker panicked");
+                kernel.absorb(ksum);
                 for (k, slot) in routed {
                     placements[k] = Some((wi, slot));
                 }
             }
         });
-        placements.into_iter().map(|p| p.expect("all scheduled nets routed")).collect()
+        let placements =
+            placements.into_iter().map(|p| p.expect("all scheduled nets routed")).collect();
+        (placements, kernel)
     }
 
     /// Multiplicative-weight congestion pricing: price never drops below
@@ -1359,6 +1433,8 @@ mod tests {
             ("incremental", "false"),
             ("price_tol", "0.25"),
             ("recount_every", "0"),
+            ("queue", "heap"),
+            ("batch", "on"),
         ] {
             c.set_knob(k, v).unwrap_or_else(|e| panic!("{k}: {e}"));
         }
@@ -1368,9 +1444,40 @@ mod tests {
         assert!(c.use_dbif && c.harvest && c.materialize_windows && !c.incremental);
         assert_eq!(c.eta, 0.125);
         assert_eq!(c.price_tol, 0.25);
+        assert_eq!(c.queue, QueueKind::Heap);
+        assert!(c.batch);
+        c.set_knob("queue", "bucket").unwrap();
+        assert_eq!(c.queue, QueueKind::Bucket);
         assert!(c.set_knob("bogus", "1").unwrap_err().contains("unknown"));
         assert!(c.set_knob("oracle", "astar").unwrap_err().contains("astar"));
         assert!(c.set_knob("incremental", "maybe").unwrap_err().contains("boolean"));
+        assert!(c.set_knob("queue", "fifo").unwrap_err().contains("fifo"));
+    }
+
+    #[test]
+    fn bucket_and_heap_queues_route_bit_identically() {
+        let chip = tiny_chip();
+        let run = |queue| {
+            let config = RouterConfig {
+                method: SteinerMethod::Cd,
+                iterations: 2,
+                queue,
+                ..Default::default()
+            };
+            Router::new(&chip, config).run()
+        };
+        let heap = run(QueueKind::Heap);
+        let bucket = run(QueueKind::Bucket);
+        // Same total pop order (key, search, vertex) on both queues ⇒
+        // identical routes and identical kernel work; only the
+        // bucket-scan counter may differ.
+        assert_eq!(heap.checksum(), bucket.checksum());
+        assert!(heap.stats.kernel_settled > 0, "CD oracle reports kernel work");
+        assert_eq!(heap.stats.kernel_settled, bucket.stats.kernel_settled);
+        assert_eq!(heap.stats.kernel_pushed, bucket.stats.kernel_pushed);
+        assert_eq!(heap.stats.kernel_popped, bucket.stats.kernel_popped);
+        assert_eq!(heap.stats.kernel_decreased, bucket.stats.kernel_decreased);
+        assert_eq!(heap.stats.kernel_bucket_scans, 0, "heap backend never scans buckets");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! [`SolverWorkspace`]: cds_core::SolverWorkspace
 
 use cds_baselines::{prim_dijkstra, shallow_light, PlaneCostModel, SlParams};
-use cds_core::{GridFutureCost, Request, SessionConfig, Solver, SolverWorkspace};
+use cds_core::{GridFutureCost, Request, SessionConfig, SolveStats, Solver, SolverWorkspace};
 use cds_embed::{embed_topology, EmbedEnv};
 use cds_geom::Point;
 use cds_graph::{RoutingSurface, VertexId};
@@ -241,6 +241,11 @@ pub trait SteinerOracle: Send + Sync {
     /// the owned materialization entirely. The stored tree must be
     /// identical — node ids, child order, edge order — either way.
     ///
+    /// Returns the search-kernel work counters of the call. Oracles
+    /// without a label-propagation kernel (the plane-topology
+    /// baselines) return the zero default; the router folds whatever
+    /// comes back into its run-wide [`RouterStats`](crate::RouterStats).
+    ///
     /// # Panics
     ///
     /// Same contract as [`route`](Self::route).
@@ -250,9 +255,10 @@ pub trait SteinerOracle: Send + Sync {
         ws: &mut OracleWorkspace,
         forest: &mut RoutedForest,
         slot: usize,
-    ) {
+    ) -> SolveStats {
         let tree = self.route(req, ws);
         forest.insert_embedded(slot, &tree);
+        SolveStats::default()
     }
 }
 
@@ -275,7 +281,7 @@ impl<T: SteinerOracle + ?Sized> SteinerOracle for &'static T {
         ws: &mut OracleWorkspace,
         forest: &mut RoutedForest,
         slot: usize,
-    ) {
+    ) -> SolveStats {
         (**self).route_into(req, ws, forest, slot)
     }
 }
@@ -332,9 +338,9 @@ impl SteinerOracle for CdOracle {
         ws: &mut OracleWorkspace,
         forest: &mut RoutedForest,
         slot: usize,
-    ) {
+    ) -> SolveStats {
         self.with_solver_request(req, ws, |config, solver_ws, request| {
-            Solver::solve_into(config, solver_ws, request, forest, slot);
+            Solver::solve_into(config, solver_ws, request, forest, slot)
         })
     }
 }
@@ -367,10 +373,15 @@ impl CdOracle {
         terminals.push(root);
         let fc =
             GridFutureCost::with_buffer(req.surface, &terminals, std::mem::take(&mut ws.plane));
+        // The quantum hint keeps the bucket queue from scanning the
+        // chip-wide cost arrays behind a WindowView: any positive value
+        // is exact, and the surface's per-gcell floor is a lower bound
+        // on every window edge price.
         let request = Request::new(req.surface, req.cost, req.delay, root, &sinks, req.weights)
             .with_bif(req.bif)
             .with_future(&fc)
-            .with_seed(req.seed);
+            .with_seed(req.seed)
+            .with_quantum(req.surface.min_cost_per_gcell());
         let out = f(&self.config, &mut ws.solver, &request);
         ws.plane = fc.into_buffer();
         ws.sinks = sinks;

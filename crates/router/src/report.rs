@@ -77,12 +77,14 @@ pub fn outcome_json(chip: &Chip, config: &RouterConfig, out: &RoutingOutcome) ->
     let _ = writeln!(
         s,
         "  \"config\": {{\"oracle\": \"{}\", \"threads\": {}, \"iterations\": {}, \
-         \"incremental\": {}, \"price_tol\": {}}},",
+         \"incremental\": {}, \"price_tol\": {}, \"queue\": \"{}\", \"batch\": {}}},",
         config.method,
         config.threads,
         config.iterations,
         config.incremental,
-        json_f64(config.price_tol)
+        json_f64(config.price_tol),
+        config.queue,
+        config.batch
     );
     let m = &out.metrics;
     let _ = writeln!(
@@ -105,6 +107,8 @@ pub fn outcome_json(chip: &Chip, config: &RouterConfig, out: &RoutingOutcome) ->
         "  \"stats\": {{\"rerouted_per_iter\": [{}], \"oracle_calls\": {}, \
          \"dirty\": {{\"fresh\": {}, \"overflow\": {}, \"timing\": {}, \"price\": {}, \
          \"weight\": {}, \"budget\": {}}}, \"usage_recounts\": {}, \"sta_nodes_retimed\": {}, \
+         \"kernel\": {{\"settled\": {}, \"pushed\": {}, \"popped\": {}, \"decreased\": {}, \
+         \"bucket_scans\": {}}}, \
          \"iter_wall_s\": [{}], \"peak_arena_bytes\": {}, \"cancelled\": {}}},",
         per.join(", "),
         st.total_rerouted(),
@@ -116,6 +120,11 @@ pub fn outcome_json(chip: &Chip, config: &RouterConfig, out: &RoutingOutcome) ->
         st.dirty_budget,
         st.usage_recounts,
         st.sta_nodes_retimed,
+        st.kernel_settled,
+        st.kernel_pushed,
+        st.kernel_popped,
+        st.kernel_decreased,
+        st.kernel_bucket_scans,
         walls.join(", "),
         st.peak_arena_bytes,
         st.cancelled
@@ -144,10 +153,18 @@ mod tests {
             "\"oracle_calls\":",
             "\"iterations_completed\": 2",
             "\"cancelled\": false",
+            "\"queue\":",
+            "\"batch\": false",
+            "\"kernel\":",
+            "\"settled\":",
+            "\"bucket_scans\":",
         ] {
             assert!(json.contains(key), "missing {key} in: {json}");
         }
         assert!(json.contains(&format!("{:#018x}", out.checksum())));
+        // The default config routes with the CD oracle, whose kernel
+        // counters must be non-zero in the report.
+        assert!(!json.contains("\"kernel\": {\"settled\": 0,"), "kernel counters stayed zero");
     }
 
     #[test]

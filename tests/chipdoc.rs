@@ -12,7 +12,7 @@
 //!    threads, and replaying the archived 120-request solver stream
 //!    reproduces the sparse-era golden of `tests/determinism.rs`.
 
-use cds_core::{Request, SolveResult, Solver};
+use cds_core::{QueueKind, Request, SolveResult, Solver};
 use cds_geom::Point;
 use cds_graph::GridGraph;
 use cds_graph::{Direction, GridSpec, LayerSpec, WireTypeSpec};
@@ -285,7 +285,7 @@ fn archived_converging_chip_reproduces_pinned_checksums_for_all_oracles() {
     let doc = parse_chip_doc(&fixture("converging.cdst")).unwrap();
     let chip = doc.build_chip();
     let pinned = [
-        (SteinerMethod::Cd, 0xf875a4bca83a3739u64),
+        (SteinerMethod::Cd, 0x074e0d79eecbd350u64),
         (SteinerMethod::L1, 0xd3aad0c317ee3cef),
         (SteinerMethod::Sl, 0xd4ffe28f84c96614),
         (SteinerMethod::Pd, 0x7034b5cb1e74e621),
@@ -302,6 +302,75 @@ fn archived_converging_chip_reproduces_pinned_checksums_for_all_oracles() {
                 got, want,
                 "{method} at {threads} threads drifted: {got:#018x} (pinned {want:#018x})"
             );
+        }
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "48 fixture routes — minutes in debug; CI runs it via `cargo test --release`"
+)]
+fn bucket_queue_reproduces_pinned_checksums_on_all_fixture_chips() {
+    // The bucket-queue acceptance sweep: every archived fixture chip ×
+    // every oracle × 1/4 threads × both label-queue backends must land
+    // on one pinned checksum. The queue knob is a pure performance
+    // choice — `queue=heap` and `queue=bucket` pop the identical total
+    // order `(key, search, vertex)`, so a single constant pins all four
+    // (queue, threads) combinations byte-for-byte.
+    let pinned: [(&str, [(SteinerMethod, u64); 4]); 3] = [
+        (
+            "converging.cdst",
+            [
+                (SteinerMethod::Cd, 0xbee5b3dda2d5696f),
+                (SteinerMethod::L1, 0x00a64569b20c3474),
+                (SteinerMethod::Sl, 0x32eb9ebee3c0112c),
+                (SteinerMethod::Pd, 0xc66b58bba1c005e8),
+            ],
+        ),
+        (
+            "congested.cdst",
+            [
+                (SteinerMethod::Cd, 0x4e94d0c91b1e48fb),
+                (SteinerMethod::L1, 0x7e9560af4bc5ca7c),
+                (SteinerMethod::Sl, 0x0fd59c0eb3f8b5fd),
+                (SteinerMethod::Pd, 0x6fa71d6a7f166f37),
+            ],
+        ),
+        (
+            "fanout_heavy.cdst",
+            [
+                (SteinerMethod::Cd, 0xee0de5fc1782b646),
+                (SteinerMethod::L1, 0x7f5d4a379838b200),
+                (SteinerMethod::Sl, 0x9dcb55e222f2f551),
+                (SteinerMethod::Pd, 0xc5dda1bb1b41cc46),
+            ],
+        ),
+    ];
+    for (name, pins) in pinned {
+        let chip = parse_chip_doc(&fixture(name)).unwrap().build_chip();
+        for (method, want) in pins {
+            for queue in [QueueKind::Heap, QueueKind::Bucket] {
+                for threads in [1usize, 4] {
+                    let out = Router::new(
+                        &chip,
+                        RouterConfig {
+                            method,
+                            threads,
+                            iterations: 2,
+                            queue,
+                            ..Default::default()
+                        },
+                    )
+                    .run();
+                    let got = out.checksum();
+                    assert_eq!(
+                        got, want,
+                        "{name} {method} queue={queue} threads={threads} drifted: \
+                         {got:#018x} (pinned {want:#018x})"
+                    );
+                }
+            }
         }
     }
 }
@@ -370,8 +439,8 @@ fn archived_stream_fixtures_reproduce_the_sparse_era_golden() {
         h = fold_result(h, &session.solve(&req));
     }
     assert_eq!(
-        h, 0x710d3ba245e00f99,
-        "archived stream drifted from the sparse-era golden of tests/determinism.rs"
+        h, 0x9e49cf690e3ee57b,
+        "archived stream drifted from the pinned golden of tests/determinism.rs"
     );
 }
 
