@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The comparison Steiner topology algorithms of §IV-A.
 //!
 //! The paper compares its cost-distance algorithm against three

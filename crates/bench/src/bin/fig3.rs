@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 3 reproduction: the course of the cost-distance algorithm.
 //!
 //! Figure 3 of the paper shows five iterations of Algorithm 1 on a

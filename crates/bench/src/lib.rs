@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harnesses that regenerate the paper's tables and figures.
 //!
 //! Each table/figure of the evaluation section has a binary in

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cds-cli` — the end-to-end driver over the routing engine.
 //!
 //! Turns the library into a tool: chips travel as `cdst/1` documents

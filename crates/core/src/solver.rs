@@ -934,6 +934,14 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
         // The CSR arc span is contiguous but the per-edge cost/delay
         // reads it induces are scattered; issue the loads for the whole
         // span before the relaxation loop touches any of them.
+        //
+        // SAFETY: `_mm_prefetch` is a pure cache hint with no memory
+        // access semantics — it cannot fault, read, or write even if
+        // the pointer were dangling. The pointers here are in-bounds
+        // anyway: every edge id in `nbrs` comes from the instance
+        // graph, and `cost`/`delay` are per-edge slices of that graph
+        // (`Instance` construction asserts their lengths), so
+        // `as_ptr().add(e)` stays within the allocations.
         unsafe {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
             for &(_, e) in &nbrs {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Linear delay model and repeater-chain calibration.
 //!
 //! Before buffering, routers estimate signal delay with a *linear* model:

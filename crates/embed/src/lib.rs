@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Optimal embedding of a Steiner topology into the routing graph.
 //!
 //! The baselines of §IV-A compute a topology in the plane and then embed

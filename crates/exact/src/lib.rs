@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Exact reference algorithms for testing and calibration.
 //!
 //! Heuristics need ground truth. This crate provides two exact solvers

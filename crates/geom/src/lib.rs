@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Planar geometry primitives for global routing.
 //!
 //! Global routing operates on a grid of *gcells*; pins and Steiner points

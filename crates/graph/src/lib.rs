@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The 3D global routing graph.
 //!
 //! The paper's instances are 3D global routing graphs: a grid of gcells per

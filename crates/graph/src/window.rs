@@ -23,7 +23,6 @@ use crate::graph::{EdgeAttrs, EdgeId, EdgeKind, Endpoints, VertexId};
 use crate::grid::{GridGraph, GridSpec, VertexCoord};
 use crate::steiner::{RoutingSurface, SteinerGraph};
 use cds_geom::Point;
-use std::collections::HashMap;
 
 /// The inclusive window bounds `(x0, y0, x1, y1)` around a set of
 /// planar points (global grid coordinates) with the given margin,
@@ -55,32 +54,93 @@ pub fn window_bounds(points: &[Point], margin: u32, nx: u32, ny: u32) -> (u32, u
     )
 }
 
-/// Key identifying a global edge by its endpoints and flavour, used to
-/// translate window edges to global ids.
-fn edge_key(u: VertexId, v: VertexId, kind: EdgeKind, wire_type: u8) -> (u32, u32, bool, u8) {
-    let (a, b) = if u < v { (u, v) } else { (v, u) };
-    (a, b, kind == EdgeKind::Via, wire_type)
-}
+/// Sentinel for "no edge in this slot".
+const NO_EDGE: EdgeId = EdgeId::MAX;
 
 /// Precomputed lookup from (endpoints, flavour) to global edge id.
 /// Build once per chip; shared by all windows.
+///
+/// Dense by construction instead of hashed: every grid layer routes a
+/// single preferred direction, so a global edge is uniquely addressed
+/// by its **lower endpoint** plus a small slot — the wire type for wire
+/// edges, or one extra slot for the via up. The lookup is a flat
+/// `Vec<EdgeId>` indexed by `vertex · stride + slot`: no hashing, no
+/// iteration-order hazard (the old `HashMap` keyed on endpoint pairs
+/// was only ever probed, but a dense array makes order-independence
+/// true by construction and is what `cds-lint`'s
+/// `no-hash-on-solve-path` rule expects of this crate).
 #[derive(Debug, Clone)]
 pub struct EdgeIndex {
-    map: HashMap<(u32, u32, bool, u8), EdgeId>,
+    /// `slots[v · stride + slot]`, [`NO_EDGE`] where absent.
+    slots: Vec<EdgeId>,
+    /// Slots per vertex: max wire types over all layers, plus the via.
+    stride: usize,
 }
 
 impl EdgeIndex {
     /// Indexes all edges of `grid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two edges share a (lower endpoint, slot) address —
+    /// impossible for grids built by [`GridSpec::build`], which emits
+    /// one edge per (vertex, wire type) in the layer direction and one
+    /// via up.
     pub fn new(grid: &GridGraph) -> Self {
         let g = grid.graph();
-        let mut map = HashMap::with_capacity(g.num_edges());
+        let wire_types = grid.spec().layers.iter().map(|l| l.wire_types.len()).max().unwrap_or(0);
+        let stride = wire_types + 1; // + the via slot
+        let mut slots = vec![NO_EDGE; g.num_vertices() * stride];
         for e in g.edge_ids() {
             let ep = g.endpoints(e);
             let a = g.edge(e);
-            map.insert(edge_key(ep.u, ep.v, a.kind, a.wire_type), e);
+            let idx = slot_index(ep.u, ep.v, a.kind, a.wire_type, stride, wire_types);
+            assert_eq!(slots[idx], NO_EDGE, "edge slot collision at edge {e}");
+            slots[idx] = e;
         }
-        EdgeIndex { map }
+        EdgeIndex { slots, stride }
     }
+
+    /// The global edge with the given endpoints and flavour, if one
+    /// exists. Endpoint order does not matter.
+    pub fn lookup(
+        &self,
+        grid: &GridGraph,
+        u: VertexId,
+        v: VertexId,
+        kind: EdgeKind,
+        wire_type: u8,
+    ) -> Option<EdgeId> {
+        let wire_types = self.stride - 1;
+        if kind != EdgeKind::Via && usize::from(wire_type) >= wire_types {
+            return None;
+        }
+        let idx = slot_index(u, v, kind, wire_type, self.stride, wire_types);
+        let e = *self.slots.get(idx)?;
+        if e == NO_EDGE {
+            return None;
+        }
+        // the slot address ignores the upper endpoint; confirm the
+        // candidate actually connects the queried pair
+        let ep = grid.graph().endpoints(e);
+        ((ep.u == u && ep.v == v) || (ep.u == v && ep.v == u)).then_some(e)
+    }
+}
+
+/// Flat slot address of the edge `(u, v)` with the given flavour: the
+/// lower endpoint picks the vertex row, the flavour picks the slot
+/// (wire type, or the last slot for vias).
+fn slot_index(
+    u: VertexId,
+    v: VertexId,
+    kind: EdgeKind,
+    wire_type: u8,
+    stride: usize,
+    wire_types: usize,
+) -> usize {
+    let lo = u.min(v) as usize;
+    let slot = if kind == EdgeKind::Via { wire_types } else { usize::from(wire_type) };
+    lo * stride + slot
 }
 
 /// A rectangular window of a [`GridGraph`]: a self-contained sub-grid
@@ -129,9 +189,8 @@ impl GridWindow {
             let cv = sub.coord(ep.v);
             let gu = grid.vertex(cu.x + x0, cu.y + y0, cu.layer);
             let gv = grid.vertex(cv.x + x0, cv.y + y0, cv.layer);
-            let global = *index
-                .map
-                .get(&edge_key(gu, gv, a.kind, a.wire_type))
+            let global = index
+                .lookup(grid, gu, gv, a.kind, a.wire_type)
                 .expect("window edge exists globally");
             to_global_edge.push(global);
         }
@@ -403,6 +462,34 @@ mod tests {
                 "edge {e} endpoints mismatch"
             );
         }
+    }
+
+    #[test]
+    fn edge_index_round_trips_every_edge() {
+        // every global edge — parallel wire types included — resolves
+        // through the dense lookup, in either endpoint order
+        let mut spec = GridSpec::uniform(5, 4, 3);
+        spec.layers[1].wire_types.push(crate::grid::WireTypeSpec {
+            cost_per_gcell: 2.0,
+            delay_per_gcell: 0.25,
+            capacity: 3.0,
+        });
+        let grid = spec.build();
+        let index = EdgeIndex::new(&grid);
+        let g = grid.graph();
+        for e in g.edge_ids() {
+            let ep = g.endpoints(e);
+            let a = g.edge(e);
+            assert_eq!(index.lookup(&grid, ep.u, ep.v, a.kind, a.wire_type), Some(e));
+            assert_eq!(index.lookup(&grid, ep.v, ep.u, a.kind, a.wire_type), Some(e));
+        }
+        // misses: non-adjacent pair, absent wire type, wrong kind
+        let (u, v) = (grid.vertex(0, 0, 0), grid.vertex(3, 3, 0));
+        assert_eq!(index.lookup(&grid, u, v, EdgeKind::Wire, 0), None);
+        let e0 = g.edge_ids().next().expect("edges exist");
+        let ep = g.endpoints(e0);
+        assert_eq!(index.lookup(&grid, ep.u, ep.v, EdgeKind::Wire, 9), None);
+        assert_eq!(index.lookup(&grid, ep.u, ep.v, EdgeKind::Via, 0), None);
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Priority queues for label-propagation path searches.
 //!
 //! The paper (§III-B) observes that global routing graphs have `m ∈ O(n)`,

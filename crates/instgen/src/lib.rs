@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic chip and instance generation.
 //!
 //! The paper evaluates on eight industrial 5nm microprocessor/ASIC units

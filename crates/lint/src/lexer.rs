@@ -1,0 +1,478 @@
+//! A hand-rolled Rust lexer, built for static analysis rather than
+//! compilation.
+//!
+//! The environment is offline (no `syn`, no `proc-macro2`), so the lint
+//! pass carries its own tokenizer. It handles the parts of Rust's
+//! lexical grammar that make naive `grep`-style scanning wrong:
+//!
+//! * nested block comments (`/* a /* b */ c */`),
+//! * raw strings with arbitrary hash fences (`r##"has "# inside"##`),
+//! * byte / C strings and their raw forms (`b"…"`, `br#"…"#`, `c"…"`),
+//! * char literals vs lifetimes (`'a'` vs `'a`),
+//! * raw identifiers (`r#type`),
+//! * numeric literals with exponents and suffixes (`1.0e-5f64`).
+//!
+//! Two properties are load-bearing and proptest-enforced (see
+//! `tests/lexer.rs`):
+//!
+//! 1. **Totality** — `lex` never panics, on any input.
+//! 2. **Tiling** — token spans are contiguous, start at 0, end at
+//!    `src.len()`, and every span boundary is a UTF-8 char boundary, so
+//!    every token can be sliced back out of the source.
+//!
+//! The lexer does not validate: invalid Rust still tokenizes (an
+//! unterminated string or comment simply runs to end of input). Lint
+//! rules only need identifiers, punctuation, and trivia classification
+//! to be right on *valid* Rust, which this grammar subset guarantees.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A maximal run of whitespace.
+    Whitespace,
+    /// `// …` to end of line (doc comments `///` and `//!` included).
+    LineComment,
+    /// `/* … */` with nesting; unterminated runs to end of input.
+    BlockComment,
+    /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident,
+    /// Raw identifier `r#ident`.
+    RawIdent,
+    /// Lifetime `'ident` (no closing quote).
+    Lifetime,
+    /// Char literal `'x'`, escapes included.
+    CharLit,
+    /// Byte literal `b'x'`.
+    ByteLit,
+    /// String literal `"…"`.
+    StrLit,
+    /// Raw string `r"…"` / `r#"…"#`.
+    RawStrLit,
+    /// Byte string `b"…"`.
+    ByteStrLit,
+    /// Raw byte string `br#"…"#`.
+    RawByteStrLit,
+    /// C string `c"…"`.
+    CStrLit,
+    /// Raw C string `cr#"…"#`.
+    RawCStrLit,
+    /// Numeric literal, suffix included (`0xFF`, `1.0e-5f64`).
+    Number,
+    /// One ASCII punctuation character.
+    Punct,
+    /// Any other single character (robustness catch-all).
+    Unknown,
+}
+
+/// One token: a classified byte span of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive).
+    pub start: usize,
+    /// Byte offset past the last byte (exclusive).
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text, sliced out of the source it was lexed from.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whitespace or comment — insignificant to every lint rule except
+    /// the `SAFETY:`-comment scan.
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+/// 1-based `(line, column)` of a byte offset; the column counts chars.
+#[must_use]
+pub fn line_col(src: &str, offset: usize) -> (u32, u32) {
+    let offset = offset.min(src.len());
+    let before = &src[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+    let line_start = before.rfind('\n').map_or(0, |p| p + 1);
+    let col = src[line_start..offset].chars().count() as u32 + 1;
+    (line, col)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || (!c.is_ascii() && !c.is_whitespace())
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || (!c.is_ascii() && !c.is_whitespace())
+}
+
+/// The char starting at byte `pos`, if in bounds. `pos` is always a
+/// char boundary by construction of the scan loops.
+fn char_at(src: &str, pos: usize) -> Option<char> {
+    src.get(pos..).and_then(|s| s.chars().next())
+}
+
+fn byte_at(src: &str, pos: usize) -> Option<u8> {
+    src.as_bytes().get(pos).copied()
+}
+
+/// End of the identifier run starting at `pos` (which must start one).
+fn scan_ident(src: &str, pos: usize) -> usize {
+    let mut i = pos;
+    while let Some(c) = char_at(src, i) {
+        if is_ident_continue(c) {
+            i += c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// End of a `"…"`-style literal whose opening delimiter ends at `pos`.
+/// Backslash escapes one byte; ASCII delimiters and `\` are never UTF-8
+/// continuation bytes, so byte-wise scanning preserves char boundaries.
+/// `stop_at_newline` bounds char literals so a stray apostrophe cannot
+/// swallow the rest of the file.
+fn scan_quoted(src: &str, pos: usize, quote: u8, stop_at_newline: bool) -> usize {
+    let mut i = pos;
+    loop {
+        match byte_at(src, i) {
+            None => return src.len(),
+            Some(b'\\') => {
+                i += 1;
+                if let Some(c) = char_at(src, i) {
+                    i += c.len_utf8();
+                } else if byte_at(src, i).is_some() {
+                    // mid-char position after escaping into a multibyte
+                    // char: step one byte; the loop realigns at the
+                    // next ASCII delimiter
+                    i += 1;
+                }
+            }
+            Some(b) if b == quote => return i + 1,
+            Some(b'\n') if stop_at_newline => return i,
+            Some(_) => i += 1,
+        }
+    }
+}
+
+/// End of a raw literal `…"body"##` whose opening `"` is at `pos` and
+/// whose fence is `hashes` `#` characters.
+fn scan_raw(src: &str, pos: usize, hashes: usize) -> usize {
+    let bytes = src.as_bytes();
+    let mut i = pos + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes.get(i + 1..i + 1 + hashes).is_some_and(|h| h.iter().all(|&b| b == b'#'))
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    src.len()
+}
+
+/// End of a block comment whose `/*` starts at `pos`, honoring nesting.
+fn scan_block_comment(src: &str, pos: usize) -> usize {
+    let bytes = src.as_bytes();
+    let mut i = pos + 2;
+    let mut depth = 1usize;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    src.len()
+}
+
+/// End of the numeric literal starting at `pos` (an ASCII digit).
+/// Consumes digit/letter/underscore runs, one fractional part when a
+/// digit follows the dot (so `0..n` ranges and `2.max(x)` method calls
+/// are not swallowed), and signed exponents (`1.0e-5`).
+fn scan_number(src: &str, pos: usize) -> usize {
+    let mut i = pos;
+    let mut fraction_done = false;
+    loop {
+        match byte_at(src, i) {
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' => {
+                if (b == b'e' || b == b'E')
+                    && matches!(byte_at(src, i + 1), Some(b'+') | Some(b'-'))
+                    && byte_at(src, i + 2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    i += 2; // exponent sign
+                } else {
+                    i += 1;
+                }
+            }
+            Some(b'.')
+                if !fraction_done && byte_at(src, i + 1).is_some_and(|d| d.is_ascii_digit()) =>
+            {
+                fraction_done = true;
+                i += 1;
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Raw-literal lookahead: from `pos` (just past `r`, `br`, or `cr`),
+/// counts the `#` fence; returns `(hashes, quote_pos)` when a `"`
+/// follows the fence.
+fn raw_fence(src: &str, pos: usize) -> Option<(usize, usize)> {
+    let mut i = pos;
+    while byte_at(src, i) == Some(b'#') {
+        i += 1;
+    }
+    (byte_at(src, i) == Some(b'"')).then_some((i - pos, i))
+}
+
+/// Tokenizes `src` completely. Never panics; the returned spans tile
+/// `[0, src.len())` in order.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while let Some(c) = char_at(src, pos) {
+        let (kind, end) = next_token(src, pos, c);
+        debug_assert!(end > pos, "lexer must make progress");
+        tokens.push(Token { kind, start: pos, end });
+        pos = end;
+    }
+    tokens
+}
+
+/// Classifies and measures the single token starting at `pos`.
+fn next_token(src: &str, pos: usize, c: char) -> (TokenKind, usize) {
+    if c.is_whitespace() {
+        let mut i = pos;
+        while let Some(w) = char_at(src, i) {
+            if w.is_whitespace() {
+                i += w.len_utf8();
+            } else {
+                break;
+            }
+        }
+        return (TokenKind::Whitespace, i);
+    }
+    match c {
+        '/' if byte_at(src, pos + 1) == Some(b'/') => {
+            let end = src[pos..].find('\n').map_or(src.len(), |n| pos + n);
+            (TokenKind::LineComment, end)
+        }
+        '/' if byte_at(src, pos + 1) == Some(b'*') => {
+            (TokenKind::BlockComment, scan_block_comment(src, pos))
+        }
+        'r' => match raw_fence(src, pos + 1) {
+            Some((h, q)) => (TokenKind::RawStrLit, scan_raw(src, q, h)),
+            None => {
+                if byte_at(src, pos + 1) == Some(b'#')
+                    && char_at(src, pos + 2).is_some_and(is_ident_start)
+                {
+                    (TokenKind::RawIdent, scan_ident(src, pos + 2))
+                } else {
+                    (TokenKind::Ident, scan_ident(src, pos))
+                }
+            }
+        },
+        'b' => match byte_at(src, pos + 1) {
+            Some(b'\'') => (TokenKind::ByteLit, scan_quoted(src, pos + 2, b'\'', true)),
+            Some(b'"') => (TokenKind::ByteStrLit, scan_quoted(src, pos + 2, b'"', false)),
+            Some(b'r') => match raw_fence(src, pos + 2) {
+                Some((h, q)) => (TokenKind::RawByteStrLit, scan_raw(src, q, h)),
+                None => (TokenKind::Ident, scan_ident(src, pos)),
+            },
+            _ => (TokenKind::Ident, scan_ident(src, pos)),
+        },
+        'c' => match byte_at(src, pos + 1) {
+            Some(b'"') => (TokenKind::CStrLit, scan_quoted(src, pos + 2, b'"', false)),
+            Some(b'r') => match raw_fence(src, pos + 2) {
+                Some((h, q)) => (TokenKind::RawCStrLit, scan_raw(src, q, h)),
+                None => (TokenKind::Ident, scan_ident(src, pos)),
+            },
+            _ => (TokenKind::Ident, scan_ident(src, pos)),
+        },
+        '\'' => {
+            // lifetime iff an identifier follows and no quote closes it
+            if let Some(n) = char_at(src, pos + 1) {
+                if is_ident_start(n) && n != '\'' {
+                    let id_end = scan_ident(src, pos + 1);
+                    if byte_at(src, id_end) == Some(b'\'') {
+                        return (TokenKind::CharLit, id_end + 1);
+                    }
+                    return (TokenKind::Lifetime, id_end);
+                }
+            }
+            (TokenKind::CharLit, scan_quoted(src, pos + 1, b'\'', true))
+        }
+        '"' => (TokenKind::StrLit, scan_quoted(src, pos + 1, b'"', false)),
+        _ if c.is_ascii_digit() => (TokenKind::Number, scan_number(src, pos)),
+        _ if is_ident_start(c) => (TokenKind::Ident, scan_ident(src, pos)),
+        _ if c.is_ascii() => (TokenKind::Punct, pos + 1),
+        _ => (TokenKind::Unknown, pos + c.len_utf8()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    fn significant(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().filter(|t| !t.is_trivia()).map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            significant("let x = 42;"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Number, "42"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(kinds(src)[2], (TokenKind::BlockComment, "/* x /* y */ z */"));
+        assert_eq!(significant(src).len(), 2);
+    }
+
+    #[test]
+    fn raw_string_with_hash_fence() {
+        let src = r####"r##"has "# inside"## tail"####;
+        let toks = significant(src);
+        assert_eq!(toks[0], (TokenKind::RawStrLit, r####"r##"has "# inside"##"####));
+        assert_eq!(toks[1], (TokenKind::Ident, "tail"));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        assert_eq!(
+            significant("&'a str 'b' '_ '_' '\\'' '\\n'"),
+            vec![
+                (TokenKind::Punct, "&"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Ident, "str"),
+                (TokenKind::CharLit, "'b'"),
+                (TokenKind::Lifetime, "'_"),
+                (TokenKind::CharLit, "'_'"),
+                (TokenKind::CharLit, "'\\''"),
+                (TokenKind::CharLit, "'\\n'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_and_c_literals() {
+        assert_eq!(
+            significant(r##"b'x' b"bs" br#"raw"# c"cs" cr"craw" break crate"##),
+            vec![
+                (TokenKind::ByteLit, "b'x'"),
+                (TokenKind::ByteStrLit, "b\"bs\""),
+                (TokenKind::RawByteStrLit, "br#\"raw\"#"),
+                (TokenKind::CStrLit, "c\"cs\""),
+                (TokenKind::RawCStrLit, "cr\"craw\""),
+                (TokenKind::Ident, "break"),
+                (TokenKind::Ident, "crate"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(
+            significant("r#type r#fn x"),
+            vec![
+                (TokenKind::RawIdent, "r#type"),
+                (TokenKind::RawIdent, "r#fn"),
+                (TokenKind::Ident, "x"),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents_ranges_and_methods() {
+        assert_eq!(
+            significant("1.0e-5f64 0xFF 0..10 2.max(3)"),
+            vec![
+                (TokenKind::Number, "1.0e-5f64"),
+                (TokenKind::Number, "0xFF"),
+                (TokenKind::Number, "0"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Number, "10"),
+                (TokenKind::Number, "2"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "max"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Number, "3"),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn forbidden_names_inside_strings_and_comments_are_invisible() {
+        let src = r#"let s = "HashMap::new()"; // HashMap here too
+            /* and unsafe { HashSet } */ let t = 1;"#;
+        let idents: Vec<&str> =
+            lex(src).iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text(src)).collect();
+        assert_eq!(idents, vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof_without_panicking() {
+        for src in ["\"abc", "/* abc", "r#\"abc", "br##\"abc", "b\"abc", "'\\"] {
+            let toks = lex(src);
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "input {src:?}");
+        }
+    }
+
+    #[test]
+    fn spans_tile_ascii_and_unicode() {
+        for src in ["", "fn main() {}", "é → 'λ' \"α\" /*β*/ r#\"γ\"#", "∀x∃y"] {
+            let toks = lex(src);
+            let mut pos = 0;
+            for t in &toks {
+                assert_eq!(t.start, pos);
+                assert!(t.end > t.start);
+                let _ = t.text(src); // must not panic: char boundaries
+                pos = t.end;
+            }
+            assert_eq!(pos, src.len());
+        }
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 5), (2, 3));
+        assert_eq!(line_col(src, 7), (3, 1));
+    }
+}

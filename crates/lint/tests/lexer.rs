@@ -1,0 +1,175 @@
+//! Adversarial corpus + property tests for the hand-rolled lexer.
+//!
+//! The lint pass is only as trustworthy as its tokenizer, so this suite
+//! attacks exactly the constructs that break grep-grade scanners —
+//! nested block comments, raw strings with hash fences, lifetimes vs
+//! char literals, `cfg(test)` nesting — and then property-tests the two
+//! load-bearing invariants on fragment soup and raw byte noise:
+//!
+//! 1. `lex` never panics, on any input;
+//! 2. token spans tile the input exactly (contiguous, in order,
+//!    starting at 0, ending at `len`, every boundary a char boundary).
+
+use cds_lint::lexer::{lex, Token, TokenKind};
+use cds_lint::{lint_file, test_regions};
+use proptest::prelude::*;
+
+/// Asserts the tiling invariant and returns the tokens.
+fn assert_tiles(src: &str) -> Vec<Token> {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    for t in &toks {
+        assert_eq!(t.start, pos, "gap or overlap at byte {pos} of {src:?}");
+        assert!(t.end > t.start, "empty token at {pos} of {src:?}");
+        assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        let _ = t.text(src); // must slice cleanly
+        pos = t.end;
+    }
+    assert_eq!(pos, src.len(), "tokens must cover all of {src:?}");
+    toks
+}
+
+fn idents(src: &str) -> Vec<&str> {
+    lex(src).iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text(src)).collect()
+}
+
+#[test]
+fn nested_block_comments_hide_their_contents() {
+    let src = "before /* a /* HashMap */ unsafe /* b /* c */ */ */ after";
+    assert_tiles(src);
+    assert_eq!(idents(src), vec!["before", "after"]);
+}
+
+#[test]
+fn unbalanced_comment_openers_swallow_the_rest() {
+    let src = "x /* never closed /* deeper\nHashMap unsafe";
+    assert_tiles(src);
+    assert_eq!(idents(src), vec!["x"]);
+}
+
+#[test]
+fn raw_strings_with_fences_hide_quotes_and_comment_markers() {
+    let cases = [
+        (r####"r##"has "# inside, and // and /*"## x"####, vec!["x"]),
+        (r####"r#""# y"####, vec!["y"]),
+        ("r\"plain raw\" z", vec!["z"]),
+        (r####"br##"bytes "# too"## w"####, vec!["w"]),
+    ];
+    for (src, want) in cases {
+        assert_tiles(src);
+        assert_eq!(idents(src), want, "input {src:?}");
+    }
+}
+
+#[test]
+fn a_hash_fence_longer_than_the_opener_does_not_close_early() {
+    // the body contains `"###` but the opener used two hashes — the
+    // first `"##` inside `"###` closes it; what matters is tiling and
+    // that the tail after the true close is still tokenized
+    let src = "r##\"body \"# more\"## tail";
+    assert_tiles(src);
+    assert_eq!(idents(src), vec!["tail"]);
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguate() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; let s = 'q'; }";
+    assert_tiles(src);
+    let lifetimes: Vec<&str> =
+        lex(src).iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| t.text(src)).collect();
+    assert_eq!(lifetimes, vec!["'a", "'a"]);
+    let chars: Vec<&str> =
+        lex(src).iter().filter(|t| t.kind == TokenKind::CharLit).map(|t| t.text(src)).collect();
+    assert_eq!(chars, vec!["'x'", "'\\''", "'q'"]);
+}
+
+#[test]
+fn a_stray_apostrophe_stops_at_the_line_end() {
+    // robustness: an unterminated char literal must not swallow the
+    // next line (where a real violation could hide)
+    let src = "let x = '\nuse std::collections::HashMap;";
+    assert_tiles(src);
+    assert!(idents(src).contains(&"HashMap"));
+}
+
+#[test]
+fn cfg_test_nesting_and_following_code() {
+    let src = "\
+mod live { pub fn f() {} }
+#[cfg(test)]
+mod tests {
+    use super::*;
+    mod nested { /* } sneaky brace in comment */ fn g() { let s = \"}\"; } }
+    #[test]
+    fn t() {}
+}
+fn after_region() {}
+#[cfg(all(test, feature = \"x\"))]
+fn gated_too() {}
+fn also_live() {}
+";
+    let toks = assert_tiles(src);
+    let regions = test_regions(src, &toks);
+    assert_eq!(regions.len(), 2);
+    let in_test = |name: &str| {
+        let at = src.find(name).expect("present");
+        regions.iter().any(|&(s, e)| at >= s && at < e)
+    };
+    assert!(!in_test("live"));
+    assert!(in_test("nested"));
+    assert!(in_test("sneaky"));
+    assert!(!in_test("after_region"));
+    assert!(in_test("gated_too"));
+    assert!(!in_test("also_live"));
+}
+
+#[test]
+fn cfg_test_on_a_braceless_item_ends_at_the_semicolon() {
+    let src = "#[cfg(test)]\nuse std::collections::HashMap;\nuse std::collections::HashSet;\n";
+    let f = lint_file("crates/core/src/x.rs", src);
+    // the gated import is exempt; the live one right after is not
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].token, "HashSet");
+}
+
+#[test]
+fn shebang_and_leading_inner_attrs_tokenize() {
+    for src in ["#!/usr/bin/env rust\nfn main() {}", "#![allow(dead_code)]\nfn f() {}"] {
+        assert_tiles(src);
+    }
+}
+
+/// Fragments chosen to collide: fence openers/closers, escapes, half
+/// comments, attribute pieces, and the identifiers the rules look for.
+const FRAGMENTS: &[&str] = &[
+    "r#\"", "\"#", "r##\"", "\"##", "\"", "\\\"", "\\", "'", "'a", "'a'", "'\\''", "b'", "b\"",
+    "br#\"", "c\"", "cr#\"", "//", "/*", "*/", "/**/", "\n", " ", "\t", "#", "!", "[", "]", "{",
+    "}", "(", ")", ";", ":", "::", "cfg", "test", "mod", "fn", "unsafe", "HashMap", "Instant",
+    "now", "0.5e-3", "1..=9", "0xFF", "r#type", "é∀", "SAFETY:", "unwrap", "panic",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Fragment soup: concatenations of mutually hostile lexical
+    /// fragments never panic the lexer and always tile, and every
+    /// downstream consumer (test_regions, lint_file) survives them.
+    #[test]
+    fn fragment_soup_lexes_totally(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..80)) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let toks = assert_tiles(&src);
+        let _ = test_regions(&src, &toks);
+        let _ = lint_file("crates/core/src/fuzz.rs", &src);
+    }
+
+    /// Raw byte noise (lossily decoded): same totality guarantees on
+    /// arbitrary non-fragment input, multibyte chars included.
+    #[test]
+    fn byte_noise_lexes_totally(bytes in proptest::collection::vec(0u32..256, 0..200)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let src = String::from_utf8_lossy(&raw).into_owned();
+        let toks = assert_tiles(&src);
+        let _ = test_regions(&src, &toks);
+        let _ = lint_file("crates/serve/src/fuzz.rs", &src);
+    }
+}

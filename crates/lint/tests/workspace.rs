@@ -1,0 +1,175 @@
+//! Acceptance tests against the real workspace: the tree is lint-clean
+//! with the checked-in `lint.toml`, every allowlist entry is
+//! load-bearing (deleting any one of them fails the run), and a
+//! reintroduced representative violation is caught. These are the
+//! guarantees CI relies on when it runs `cds-lint --workspace`.
+
+use cds_lint::{parse_allowlist, run_lint, AllowEntry, LintReport};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("repo root exists")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir).expect("readable dir").map(|e| e.expect("dir entry").path()).collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Loads every `crates/*/src/**/*.rs` as (repo-relative path, contents),
+/// mirroring what the `cds-lint --workspace` binary feeds `run_lint`.
+fn workspace_files() -> Vec<(String, String)> {
+    let root = repo_root();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(root.join("crates"))
+        .expect("crates/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut files = Vec::new();
+    for dir in crate_dirs {
+        let mut paths = Vec::new();
+        collect_rs(&dir.join("src"), &mut paths);
+        for p in paths {
+            let rel =
+                p.strip_prefix(&root).expect("under root").to_string_lossy().replace('\\', "/");
+            files.push((rel, fs::read_to_string(&p).expect("readable source file")));
+        }
+    }
+    assert!(files.len() > 40, "workspace walk found only {} files", files.len());
+    files
+}
+
+fn checked_in_allowlist() -> Vec<AllowEntry> {
+    let text = fs::read_to_string(repo_root().join("lint.toml")).expect("lint.toml exists");
+    parse_allowlist(&text).expect("checked-in lint.toml parses")
+}
+
+fn describe(report: &LintReport) -> String {
+    report
+        .findings
+        .iter()
+        .map(|f| format!("{}:{}:{} {} [{}]", f.path, f.line, f.col, f.token, f.rule))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn the_workspace_is_lint_clean_under_the_checked_in_allowlist() {
+    let report = run_lint(&workspace_files(), &checked_in_allowlist());
+    assert!(report.clean(), "unexpected findings:\n{}", describe(&report));
+    assert!(report.stale.is_empty(), "stale allowlist entries: {:?}", report.stale);
+    assert!(!report.suppressed.is_empty(), "the allowlist should be doing real work");
+}
+
+#[test]
+fn every_allowlist_entry_is_load_bearing() {
+    let files = workspace_files();
+    let allow = checked_in_allowlist();
+    for drop in 0..allow.len() {
+        let pruned: Vec<AllowEntry> =
+            allow.iter().enumerate().filter(|&(i, _)| i != drop).map(|(_, e)| e.clone()).collect();
+        let report = run_lint(&files, &pruned);
+        assert!(
+            !report.findings.is_empty() && !report.clean(),
+            "deleting lint.toml entry #{drop} ({} / {} / {:?}) suppressed nothing — it is stale",
+            allow[drop].rule,
+            allow[drop].path,
+            allow[drop].pattern,
+        );
+    }
+}
+
+#[test]
+fn a_reintroduced_hashmap_in_core_fails_the_run() {
+    let mut files = workspace_files();
+    files.push((
+        "crates/core/src/reintroduced.rs".to_string(),
+        "use std::collections::HashMap;\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n"
+            .to_string(),
+    ));
+    let report = run_lint(&files, &checked_in_allowlist());
+    assert!(!report.clean());
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "no-hash-on-solve-path"
+                && f.path == "crates/core/src/reintroduced.rs"),
+        "expected a no-hash-on-solve-path finding, got:\n{}",
+        describe(&report)
+    );
+}
+
+#[test]
+fn a_reintroduced_unwrap_in_serve_fails_the_run() {
+    let mut files = workspace_files();
+    files.push((
+        "crates/serve/src/reintroduced.rs".to_string(),
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n".to_string(),
+    ));
+    let report = run_lint(&files, &checked_in_allowlist());
+    assert!(report.findings.iter().any(|f| f.rule == "no-panic-in-serve"));
+}
+
+#[test]
+fn an_unmatched_allowlist_entry_is_reported_stale() {
+    let mut allow = checked_in_allowlist();
+    allow.push(AllowEntry {
+        rule: "no-hash-on-solve-path".to_string(),
+        path: "crates/core/src/nonexistent.rs".to_string(),
+        pattern: String::new(),
+        reason: "bogus entry that can never match".to_string(),
+        line: 999,
+    });
+    let report = run_lint(&workspace_files(), &allow);
+    assert_eq!(report.stale, vec![allow.len() - 1], "exactly the bogus entry is stale");
+    assert!(!report.clean(), "a stale entry must fail the run");
+}
+
+#[test]
+fn the_binary_exits_zero_on_the_real_workspace_and_one_on_a_stale_allowlist() {
+    let root = repo_root();
+    let ok = Command::new(env!("CARGO_BIN_EXE_cds-lint"))
+        .args(["--root", root.to_str().expect("utf-8 root"), "--workspace"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        ok.status.success(),
+        "expected exit 0, got {:?}\n{}",
+        ok.status.code(),
+        String::from_utf8_lossy(&ok.stdout)
+    );
+
+    let stale = root.join("target").join(format!("stale-allow-{}.toml", std::process::id()));
+    fs::write(
+        &stale,
+        "[[allow]]\nrule = \"no-rng-outside-instgen\"\npath = \"crates/nowhere\"\n\
+         pattern = \"\"\nreason = \"x\"\n",
+    )
+    .expect("temp allowlist written");
+    let bad = Command::new(env!("CARGO_BIN_EXE_cds-lint"))
+        .args([
+            "--root",
+            root.to_str().expect("utf-8 root"),
+            "--workspace",
+            "--allowlist",
+            stale.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    let _ = fs::remove_file(&stale);
+    assert_eq!(bad.status.code(), Some(1), "a stale allowlist entry must exit 1");
+    let out = String::from_utf8_lossy(&bad.stdout);
+    assert!(out.contains("stale-allowlist-is-an-error"), "diagnostic names the rule:\n{out}");
+}

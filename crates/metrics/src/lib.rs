@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Routability and routing-quality metrics.
 //!
 //! Implements the congestion metrics the paper reports in Tables IV/V:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Timing-constrained global routing with a Steiner tree oracle.
 //!
 //! A laptop-scale reproduction of the routing framework the paper

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Rectilinear Steiner tree construction (the "L1" baseline of §IV-A).
 //!
 //! The first comparison routine of the paper "just computes a short L1

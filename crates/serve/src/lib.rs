@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Routing-as-a-service for the cdst workspace.
 //!
 //! This crate turns the batch router into a long-running daemon:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cds-serve` — the routing daemon binary.
 //!
 //! ```text

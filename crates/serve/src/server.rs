@@ -337,7 +337,14 @@ fn run_job(state: &Arc<State>, id: usize, pool: &mut WorkerPool) {
             return;
         }
         job.state = JobState::Running;
-        let doc = job.doc.take().expect("queued job carries its document");
+        // a queued job always carries its document; if that invariant
+        // ever breaks, fail the one job with a mapped 500 instead of
+        // panicking the worker (`cds-lint` rule no-panic-in-serve)
+        let Some(doc) = job.doc.take() else {
+            job.state = JobState::Failed;
+            job.error = Some("internal: queued job lost its document".into());
+            return;
+        };
         (doc, job.config.clone(), Arc::clone(&job.ctrl), job.key)
     };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -689,4 +696,63 @@ fn healthz(state: &Arc<State>) -> Reply {
             state.cache_misses.load(Ordering::Relaxed)
         ),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state() -> Arc<State> {
+        Arc::new(State {
+            config: ServeConfig::default(),
+            jobs: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            cache: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            active_conns: AtomicUsize::new(0),
+        })
+    }
+
+    fn docless_queued_job() -> Job {
+        Job {
+            state: JobState::Queued,
+            cached: false,
+            cancel_requested: false,
+            key: 0,
+            ctrl: Arc::new(RunControl::new()),
+            doc: None, // the broken-invariant input run_job must survive
+            config: RouterConfig::default(),
+            total_iterations: 1,
+            progress: Vec::new(),
+            result: None,
+            error: None,
+        }
+    }
+
+    /// Regression for the `run_job` doc-take site: before the lint
+    /// hardening this was `.expect(…)` and a docless queued job killed
+    /// the worker thread; now it fails the one job with a mapped error.
+    #[test]
+    fn docless_queued_job_fails_without_panicking_the_worker() {
+        let state = test_state();
+        lock(&state.jobs).push(docless_queued_job());
+        let mut pool = WorkerPool::new();
+        run_job(&state, 0, &mut pool); // must not panic
+        {
+            let jobs = lock(&state.jobs);
+            assert_eq!(jobs[0].state, JobState::Failed);
+            assert_eq!(jobs[0].error.as_deref(), Some("internal: queued job lost its document"));
+        }
+        // the failure surfaces as a mapped 500, not a dead connection
+        let reply = result(&state, 0);
+        assert_eq!(reply.status, 500);
+        assert!(reply.body.contains("queued job lost its document"));
+        // and the status endpoint still reports the job
+        let reply = status(&state, 0);
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"state\": \"failed\""));
+    }
 }

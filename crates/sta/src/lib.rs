@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Static timing analysis (lite) for the timing-constrained router.
 //!
 //! The router's Lagrangean loop needs slacks: worst slack (WS) and total

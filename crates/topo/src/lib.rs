@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Steiner tree topologies and the cost-distance objective.
 //!
 //! Two tree representations are shared across the workspace:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cdst` — cost-distance Steiner trees for timing-constrained global
 //! routing.
 //!
