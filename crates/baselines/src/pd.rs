@@ -99,6 +99,7 @@ pub fn prim_dijkstra(
                 }
             }
         }
+        // INVARIANT: the scan above visits every placed node and the root is always placed, so at least one candidate was recorded.
         let (_, s, at) = best.expect("an unplaced sink always has candidates");
         placed[s] = true;
         match at {

@@ -83,9 +83,11 @@ pub fn shallow_light(
             .max_by(|&(s1, n1), &(s2, n2)| {
                 let r1 = delays[n1 as usize] / budget(s1).max(1e-12);
                 let r2 = delays[n2 as usize] / budget(s2).max(1e-12);
+                // INVARIANT: delays are finite (finite coordinates, positive unit costs) and budget() is clamped to >= 1e-12, so both ratios compare.
                 r1.partial_cmp(&r2).expect("finite delays")
             });
         let Some((_, node)) = violator else { break };
+        // INVARIANT: the violator scan yields sink nodes only, and a sink is never the topology root.
         let parent = topo.parent(node).expect("sinks are not the root");
         deleted.push((parent, node));
         reconnected.insert(node);

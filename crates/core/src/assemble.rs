@@ -209,6 +209,7 @@ fn prepare<G: SteinerGraph + ?Sized>(
     for i in 0..s.order.len() {
         let v = s.order[i];
         if let Some((p, e)) = s.parent.get(v) {
+            // INVARIANT: the counting pass above inserted a cend entry for every parent recorded in s.parent.
             let c = s.cend.get(p).expect("counted") as usize;
             s.centries[c] = (v, e);
             s.cend.insert(p, c as u32 + 1);

@@ -102,12 +102,14 @@ impl DenseAdjacency {
         for &v in &self.touched {
             self.start.insert(v, cur);
             self.end.insert(v, cur);
+            // INVARIANT: the degree pass recorded a degree for every vertex it pushed into touched.
             cur += self.deg.get(v).expect("touched vertices have degrees");
         }
         self.entries.resize(cur as usize, (0, 0));
         for &e in edges {
             let ep = g.endpoints(e);
             for (a, b) in [(ep.u, ep.v), (ep.v, ep.u)] {
+                // INVARIANT: the degree pass touched both endpoints of every edge, so end has an entry for each.
                 let c = self.end.get(a).expect("counted") as usize;
                 self.entries[c] = (b, e);
                 self.end.insert(a, c as u32 + 1);

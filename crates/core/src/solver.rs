@@ -422,6 +422,7 @@ fn run_merge_loop<G: SteinerGraph + ?Sized, Q: LabelQueue>(
     let comp = state.ws.terminals[root_rep]
         .comp
         .take()
+        // INVARIANT: solve seeds a component at each root representative, and merges always re-deposit the survivor at the DSU representative.
         .expect("root component lives at its representative");
     let stats = state.stats;
     let trace = std::mem::take(&mut state.trace);
@@ -751,6 +752,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
         seeds.clear();
         {
             let mut cs = std::mem::take(&mut self.ws.comp_scratch);
+            // INVARIANT: rep is a DSU representative with an active search, and components live at representatives until extracted by a merge.
             let comp = self.ws.terminals[rep].comp.as_ref().expect("live component");
             if self.opts.discount_components && !comp.edges.is_empty() {
                 // raw tree delays from the terminal position, for §III-D
@@ -805,6 +807,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
                 }
                 (Some(_), Some(_)) | (None, Some(_)) => self.expand_once(),
                 (Some((_, id)), None) => return self.take_candidate(id),
+                // INVARIANT: validated instances are connected, so some search can always expand; firing means the caller violated the documented precondition.
                 (None, None) => panic!("instance is disconnected: searches exhausted"),
             }
         }
@@ -812,6 +815,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
 
     fn take_candidate(&mut self, id: usize) -> Candidate {
         // remove it from the heap top (it is guaranteed to be on top)
+        // INVARIANT: take_candidate is only called with the id just observed at the non-empty heap top.
         let Reverse((_, top)) = self.ws.candidates.pop().expect("candidate present");
         debug_assert_eq!(top, id);
         self.cand_cache = None;
@@ -873,7 +877,9 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
     fn expand_once(&mut self) {
         let Some((sid, x, _key)) = self.queue.pop() else { return };
         self.stats.popped += 1;
+        // INVARIANT: remove_search(sid) drains a search's queue entries before free_search retires it, so a popped sid always names a live search.
         let search = self.ws.searches[sid as usize].as_mut().expect("live search");
+        // INVARIANT: relax creates a vertex's label before pushing it, so every popped vertex is labelled.
         let lbl = search.labels.get_mut(x).expect("popped vertices are labelled");
         if lbl.settled {
             return;
@@ -955,6 +961,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
         // the borrow checker around `ws.heap`.
         let stats = &mut self.stats;
         let queue = &mut *self.queue;
+        // INVARIANT: same argument as expand_once: remove_search precedes free_search, so sid is live here.
         let sm = self.ws.searches[sid as usize].as_mut().expect("live search");
         for &(y, e) in &nbrs {
             // one combined-label probe answers both "already settled?"
@@ -990,7 +997,9 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
         // of which feed `b_value`, so the memoized best candidate dies
         self.cand_cache = None;
         let u = cand.u;
+        // INVARIANT: candidates are recorded for terminals with an active search, and stale candidates are rejected by the alive/sid check before this point.
         let sid = self.ws.terminals[u].sid.expect("searching terminal");
+        // INVARIANT: sid was just read from a searching terminal, and searches stay live until a merge retires them below.
         let search = self.ws.searches[sid as usize].as_ref().expect("live search");
         let mut path = std::mem::take(&mut self.ws.path_scratch);
         let mut path_vertices = std::mem::take(&mut self.ws.pathv_scratch);
@@ -1013,7 +1022,9 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
             self.ws.terminals[u].sid = None;
         }
 
+        // INVARIANT: u_rep and target_rep are DSU representatives of distinct live components (the candidate filter rejected same-component pairs), and components live at their representatives.
         let mut comp_u = self.ws.terminals[u_rep].comp.take().expect("u's component");
+        // INVARIANT: same argument as comp_u: the target's component lives at its representative.
         let mut comp_t = self.ws.terminals[target_rep].comp.take().expect("target component");
 
         if is_root {
@@ -1145,6 +1156,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
         // estimated by future costs.
         let usearch_raw = seed_raw_u;
         // raw delay from π(v) to the join vertex inside v's component
+        // INVARIANT: reconstructed paths contain at least the meeting vertex, so last() is always present.
         let join = *path_vertices.last().expect("path has vertices");
         let v_raw = {
             let mut cs = std::mem::take(&mut self.ws.comp_scratch);
@@ -1213,6 +1225,7 @@ impl<'w, 'a, 'b, G: SteinerGraph + ?Sized, Q: LabelQueue> State<'w, 'a, 'b, G, Q
             let mut hits = std::mem::take(&mut self.ws.hit_scratch);
             hits.clear();
             {
+                // INVARIANT: sid was checked live at the top of this block and nothing frees searches in between.
                 let search = self.ws.searches[sid as usize].as_ref().expect("checked above");
                 for &v in path_vertices {
                     if let Some(Label { dist, settled: true, .. }) = search.labels.get(v) {

@@ -116,7 +116,12 @@ impl<T: Copy + Default> VertexTable<T> {
     pub fn insert(&mut self, v: VertexId, value: T) {
         let i = v as usize;
         if i >= self.stamp.len() {
-            self.ensure(i + 1);
+            // cold-table growth; a warmed table (ensure() pre-sized to
+            // the graph) never takes this branch in steady state. The
+            // fill is `value` rather than `T::default()` — unreached
+            // slots are epoch-masked, so the fill is never observable
+            self.stamp.resize(i + 1, 0);
+            self.val.resize(i + 1, value);
         }
         self.stamp[i] = self.epoch;
         self.val[i] = value;

@@ -137,6 +137,7 @@ pub fn embed_topology<G: SteinerGraph + ?Sized>(
             }
             NodeKind::Root | NodeKind::Steiner => {
                 for &c in topo.children(v) {
+                    // INVARIANT: the traversal is children-before-parents, so every child label was computed in an earlier iteration.
                     let m = labels[c as usize].as_ref().expect("children processed before parents");
                     for x in 0..n {
                         if m[x].is_infinite() {
@@ -182,8 +183,11 @@ pub fn embed_topology<G: SteinerGraph + ?Sized>(
         if v == topo.root() {
             continue;
         }
+        // INVARIANT: the root was skipped just above, so v has a parent.
         let p = topo.parent(v).expect("non-root");
+        // INVARIANT: order is root-first topological, so v's parent was placed in an earlier iteration.
         let (out_parent, parent_vertex) = map[p as usize].expect("parents placed first");
+        // INVARIANT: the labelling pass stored a pull tree for every non-root node before this loop.
         let sp = pull_trees[v as usize].as_ref().expect("pull tree stored");
         // Walk from the parent's chosen vertex back towards the Dijkstra
         // seed. Parent pointers lead away from the seed, so following

@@ -66,7 +66,9 @@ where
         while sub > 0 {
             if sub & low != 0 {
                 let other = mask ^ sub;
+                // INVARIANT: sub and mask^sub are nonzero proper submasks of mask, and dp fills in ascending mask order, so both are already computed.
                 let a = dp[sub as usize].as_ref().expect("smaller mask done");
+                // INVARIANT: other = mask ^ sub is also a smaller mask, computed earlier.
                 let b = dp[other as usize].as_ref().expect("smaller mask done");
                 for v in 0..n {
                     let cand = a.dist[v] + b.dist[v];
@@ -92,6 +94,7 @@ where
 
     // Final answer: tree spanning all terminals = dp[full][t0].
     let t0 = terminals[0];
+    // INVARIANT: the forward loop computed dp for every mask from 1 to full inclusive.
     let cost = dp[full as usize].as_ref().expect("full mask computed").dist[t0 as usize];
     assert!(cost.is_finite(), "terminals are disconnected");
 
@@ -99,6 +102,7 @@ where
     let mut edges = Vec::new();
     let mut stack = vec![(full, t0)];
     while let Some((mask, v)) = stack.pop() {
+        // INVARIANT: backtracking only pushes masks the forward pass computed (full and its recorded splits).
         let sp = dp[mask as usize].as_ref().expect("mask computed");
         // walk to the seed of this relaxation
         let mut cur = v;

@@ -191,6 +191,7 @@ impl GridWindow {
             let gv = grid.vertex(cv.x + x0, cv.y + y0, cv.layer);
             let global = index
                 .lookup(grid, gu, gv, a.kind, a.wire_type)
+                // INVARIANT: window vertices are grid cells inside the clip rect, so every window edge is a copy of a global edge the index contains.
                 .expect("window edge exists globally");
             to_global_edge.push(global);
         }
@@ -341,7 +342,9 @@ impl SteinerGraph for WindowView<'_> {
     fn endpoints(&self, e: EdgeId) -> Endpoints {
         let ep = self.grid.graph().endpoints(e);
         Endpoints {
+            // INVARIANT: e came from a window adjacency list, which only holds edges with both endpoints inside the window.
             u: self.to_local_vertex(ep.u).expect("edge endpoint inside the window"),
+            // INVARIANT: same as u: window adjacency never stores a half-outside edge.
             v: self.to_local_vertex(ep.v).expect("edge endpoint inside the window"),
         }
     }

@@ -332,7 +332,9 @@ impl BucketQueue {
     pub fn peek_key(&mut self) -> Option<f64> {
         self.settle_min().map(|loc| {
             let Reverse((k, _, _)) = *match loc {
+                // INVARIANT: settle_min returns a location only after discarding dead tops and observing a live entry there.
                 Loc::Main(b) => self.buckets[b].peek().expect("settled bucket has a live top"),
+                // INVARIANT: settle_min discards dead overflow tops before returning Loc::Overflow.
                 Loc::Overflow => self.overflow.peek().expect("settled overflow has a live top"),
             };
             k.get()
@@ -347,7 +349,9 @@ impl BucketQueue {
             Loc::Main(b) => self.buckets[b].pop(),
             Loc::Overflow => self.overflow.pop(),
         }
+        // INVARIANT: settle_min just observed a live top at loc, and nothing popped between.
         .expect("settled location has a live top");
+        // INVARIANT: a search's slab outlives its queue entries: remove_search clears entries before the slab is freed.
         let slab = self.slabs[search as usize].as_mut().expect("live entry has a live search");
         slab.remove(vertex);
         slab.live -= 1;

@@ -45,7 +45,8 @@ impl PartialOrd for OrderedF64 {
 
 impl Ord for OrderedF64 {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Safe: NaN is excluded at construction.
+        // INVARIANT: NaN is excluded at construction, so partial_cmp is
+        // total over every pair of stored values.
         self.0.partial_cmp(&other.0).expect("NaN in OrderedF64")
     }
 }

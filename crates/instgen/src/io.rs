@@ -142,6 +142,7 @@ pub(crate) fn parse_chain_record(rest: &str, line: usize) -> Result<Chain, Parse
     if links.is_empty() {
         return Err(err(line, "empty chain"));
     }
+    // INVARIANT: the empty-chain case returned an error just above, so links is nonempty.
     if links.last().expect("nonempty").cont_sink.is_some() {
         return Err(err(line, "last link must not continue"));
     }

@@ -372,6 +372,7 @@ fn validate_doc(doc: &ChipDoc) -> Result<(), String> {
         if chain.links.is_empty() {
             return Err(format!("chain {i} is empty"));
         }
+        // INVARIANT: the empty-links case returned an error just above.
         if chain.links.last().expect("nonempty").cont_sink.is_some() {
             return Err(format!("chain {i}: last link must not continue"));
         }
@@ -621,6 +622,7 @@ impl DocParser {
     }
 
     fn record(&mut self, line: usize, text: &str) -> Result<(), ParseWorkloadError> {
+        // INVARIANT: the parse loop skips blank lines before calling record, so a first token exists.
         let kind = text.split_whitespace().next().expect("caller skips blank lines");
         if !self.header_seen {
             if text == FORMAT_VERSION {
@@ -661,6 +663,7 @@ impl DocParser {
             "chain" => self.chain(line, rest),
             "weights" | "budgets" => self.weights_budgets(line, rest, kind),
             "request" => self.request(line, rest),
+            // INVARIANT: record_rank returned a rank for this kind, and the match above lists every ranked kind.
             _ => unreachable!("record_rank screened the kind"),
         }
     }
@@ -767,6 +770,7 @@ impl DocParser {
         self.layers.push(LayerSpec { dir, wire_types });
         if self.layers_missing() == 0 {
             let (nx, ny, _, via_cost, via_delay, via_capacity, gcell_um) =
+                // INVARIANT: record_rank rejects a layer record before the grid record, so grid_head is set here.
                 self.grid_head.expect("layer records require a grid");
             let spec = GridSpec {
                 nx,
@@ -803,6 +807,7 @@ impl DocParser {
 
     fn net(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
         let net = parse_net_record(rest, line)?;
+        // INVARIANT: record_rank orders grid before nets, and the grid record built spec.
         let spec = self.spec.as_ref().expect("rank order puts grid before nets");
         for &p in std::iter::once(&net.root).chain(&net.sinks) {
             if p.x < 0 || p.y < 0 || (p.x as u32) >= spec.nx || (p.y as u32) >= spec.ny {
@@ -870,6 +875,7 @@ impl DocParser {
 
     fn request(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
         let mut sections = rest.split(':');
+        // INVARIANT: split always yields at least one (possibly empty) part.
         let head = sections.next().expect("split yields at least one part");
         let root_part =
             sections.next().ok_or_else(|| perr(line, "missing root section after ':'"))?;
@@ -891,6 +897,7 @@ impl DocParser {
         if !(0.0..=0.5).contains(&eta) {
             return Err(perr(line, "eta must lie in [0, 1/2]"));
         }
+        // INVARIANT: record_rank orders grid before requests, and the grid record built spec.
         let spec = self.spec.as_ref().expect("rank order puts grid before requests");
         let nl = spec.layers.len();
         let pin = |x: u32, y: u32, l: u8| -> Result<(u32, u32, u8), ParseWorkloadError> {

@@ -1,0 +1,369 @@
+//! A conservative, name-resolution-free call graph over the whole
+//! workspace.
+//!
+//! # Soundness argument
+//!
+//! The graph is built purely from names: a call site `foo(..)` or
+//! `.foo(..)` gets an edge to **every** non-test definition named
+//! `foo` in the workspace. A qualified call `Q::foo(..)` is resolved
+//! more precisely — edges only to definitions whose enclosing
+//! `impl`/`trait` names include `Q` — but *falls back to every
+//! same-named definition* when no owner matches (aliases, generic
+//! parameters, fully-qualified std paths). `Self::foo` resolves `Self`
+//! to the caller's enclosing impl before the same procedure.
+//!
+//! The result strictly over-approximates the true call graph on
+//! workspace-internal calls: wherever real dispatch could land (any
+//! receiver type, any trait impl, any shadowed same-name fn), a
+//! name-matched edge exists. Over-approximation is exactly the right
+//! direction for the reachability rules, which prove **negative**
+//! properties ("the hot set cannot reach an allocation", "every
+//! reachable panic site carries an argued invariant"): extra edges can
+//! only produce false findings — which the run surfaces and a human
+//! adjudicates — never false proofs.
+//!
+//! What the graph cannot see, accepted and documented in DESIGN.md:
+//! calls *into* `std`/external code (their internals are out of scope
+//! by construction; the site-level token rules cover the allocating
+//! and panicking entry points we care about), function pointers and
+//! closures called through variables (the closure's *body* is scanned
+//! as part of its defining fn, which is where its sites are
+//! attributed), and macro-generated calls outside the recognized macro
+//! set (scanned token-wise).
+
+use crate::parser::FileModel;
+use std::collections::BTreeMap;
+
+/// Qualifiers that name `std`/`core` items, not workspace types. A
+/// qualified call through one of these with **no** matching workspace
+/// owner targets the standard library, so it gets no fallback edges —
+/// without this, every `Vec::new()` would edge to every workspace fn
+/// named `new`, collapsing the graph into one blob. A workspace type
+/// that *shares* one of these names still gets its owner-matched edges
+/// (the prune only applies when no owner matches). Blind spot, accepted
+/// and documented: `type Vec = Workspace;`-style shadowing would evade
+/// the graph — the site-level token rules still see the sites
+/// themselves, and the convention ban on std-name aliases covers the
+/// rest.
+const STD_QUALIFIERS: &[&str] = &[
+    "Vec",
+    "VecDeque",
+    "Box",
+    "String",
+    "str",
+    "BinaryHeap",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "Rc",
+    "Arc",
+    "Option",
+    "Result",
+    "Ordering",
+    "Reverse",
+    "Instant",
+    "Duration",
+    "SystemTime",
+    "PhantomData",
+    "Cell",
+    "RefCell",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "Cow",
+    "Path",
+    "PathBuf",
+    "OsStr",
+    "OsString",
+    "Default",
+    "Clone",
+    "Iterator",
+    "From",
+    "Into",
+    "TryFrom",
+    "FromStr",
+    "PoisonError",
+    "ExitCode",
+    "TcpListener",
+    "TcpStream",
+    "std",
+    "core",
+    "alloc",
+    "mem",
+    "ptr",
+    "cmp",
+    "fmt",
+    "iter",
+    "slice",
+    "array",
+    "char",
+    "f32",
+    "f64",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "bool",
+    "thread",
+    "process",
+    "env",
+    "fs",
+    "io",
+    "time",
+    "collections",
+    "ops",
+    "convert",
+    "num",
+];
+
+/// One definition in the graph: `(file index, fn index)` into the
+/// parsed models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefRef {
+    /// Index into the slice of [`FileModel`]s the graph was built from.
+    pub file: usize,
+    /// Index into that file's [`FileModel::fns`].
+    pub fn_idx: usize,
+}
+
+/// The workspace call graph. Test definitions are excluded entirely:
+/// they are neither sources nor targets.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Every non-test definition, in (file, source) order.
+    pub defs: Vec<DefRef>,
+    /// def id → callee def ids, deduplicated and sorted.
+    edges: Vec<Vec<usize>>,
+    /// fn name → def ids bearing it.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// (file, fn_idx) → def id.
+    def_id: BTreeMap<(usize, usize), usize>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every parsed file.
+    #[must_use]
+    pub fn build(models: &[FileModel]) -> CallGraph {
+        let mut defs = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut def_id = BTreeMap::new();
+        for (fi, m) in models.iter().enumerate() {
+            for (di, f) in m.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let id = defs.len();
+                defs.push(DefRef { file: fi, fn_idx: di });
+                by_name.entry(f.name.clone()).or_default().push(id);
+                def_id.insert((fi, di), id);
+            }
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); defs.len()];
+        for (fi, m) in models.iter().enumerate() {
+            for call in &m.calls {
+                let Some(&caller) = def_id.get(&(fi, call.caller)) else {
+                    continue; // test fn: its calls stay out of the graph
+                };
+                let Some(candidates) = by_name.get(&call.name) else {
+                    continue; // std/external callee: no workspace def
+                };
+                let targets: Vec<usize> = match call.qualifier.as_deref() {
+                    Some(q) => {
+                        let owned: Vec<usize> = candidates
+                            .iter()
+                            .copied()
+                            .filter(|&id| {
+                                let d = defs[id];
+                                models[d.file].fns[d.fn_idx].owners.iter().any(|o| o == q)
+                            })
+                            .collect();
+                        // no owner carries this qualifier: a std
+                        // qualifier targets the standard library (no
+                        // edges); anything else (alias, generic param)
+                        // falls back to every same-named def —
+                        // imprecise but sound
+                        if !owned.is_empty() {
+                            owned
+                        } else if STD_QUALIFIERS.contains(&q) {
+                            Vec::new()
+                        } else {
+                            candidates.clone()
+                        }
+                    }
+                    None => candidates.clone(),
+                };
+                edges[caller].extend(targets);
+            }
+        }
+        for e in &mut edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+        CallGraph { defs, edges, by_name, def_id }
+    }
+
+    /// The def id of `(file, fn_idx)`, if it is in the graph (non-test).
+    #[must_use]
+    pub fn id_of(&self, file: usize, fn_idx: usize) -> Option<usize> {
+        self.def_id.get(&(file, fn_idx)).copied()
+    }
+
+    /// Def ids matching `pattern`: either a bare fn name (`push`) or an
+    /// owner-qualified `Owner::name` (`BucketQueue::push`).
+    #[must_use]
+    pub fn find(&self, models: &[FileModel], pattern: &str) -> Vec<usize> {
+        let (owner, name) = match pattern.rsplit_once("::") {
+            Some((o, n)) => (Some(o), n),
+            None => (None, pattern),
+        };
+        let Some(candidates) = self.by_name.get(name) else {
+            return Vec::new();
+        };
+        candidates
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let d = self.defs[id];
+                match owner {
+                    Some(o) => models[d.file].fns[d.fn_idx].owners.iter().any(|x| x == o),
+                    None => true,
+                }
+            })
+            .collect()
+    }
+
+    /// BFS over call edges from `entries`. Returns, per def id,
+    /// `Some(parent)` when reachable (entries are their own parent) and
+    /// `None` otherwise — the parent pointers reconstruct a shortest
+    /// witness chain for diagnostics.
+    #[must_use]
+    pub fn reachable(&self, entries: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.defs.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &e in entries {
+            if e < self.defs.len() && parent[e].is_none() {
+                parent[e] = Some(e);
+                queue.push_back(e);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The witness chain entry → … → `target` as qualified fn names,
+    /// given the parent map from [`CallGraph::reachable`].
+    #[must_use]
+    pub fn chain(
+        &self,
+        models: &[FileModel],
+        parent: &[Option<usize>],
+        target: usize,
+    ) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = target;
+        // the chain is at most defs.len() long; the bound also guards
+        // against a malformed parent map
+        for _ in 0..=self.defs.len() {
+            let d = self.defs[cur];
+            chain.push(models[d.file].fns[d.fn_idx].qualified());
+            match parent.get(cur).copied().flatten() {
+                Some(p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph(srcs: &[&str]) -> (Vec<FileModel>, CallGraph) {
+        let models: Vec<FileModel> = srcs.iter().map(|s| parse_file(s)).collect();
+        let g = CallGraph::build(&models);
+        (models, g)
+    }
+
+    #[test]
+    fn bare_calls_edge_to_every_same_named_def() {
+        // two shadowed `helper` defs in different impls: an unqualified
+        // call must reach both (the over-approximation property)
+        let (models, g) = graph(&[
+            "impl A { fn helper(&self) { boom(); } }",
+            "impl B { fn helper(&self) {} }",
+            "fn entry() { helper(); } fn boom() { panic!(\"x\") }",
+        ]);
+        let entry = g.find(&models, "entry");
+        assert_eq!(entry.len(), 1);
+        let parent = g.reachable(&entry);
+        let a = g.find(&models, "A::helper")[0];
+        let b = g.find(&models, "B::helper")[0];
+        let boom = g.find(&models, "boom")[0];
+        assert!(parent[a].is_some(), "A::helper must be reachable");
+        assert!(parent[b].is_some(), "B::helper must be reachable");
+        assert!(parent[boom].is_some(), "panic through A::helper must be reachable");
+        assert_eq!(g.chain(&models, &parent, boom), vec!["entry", "A::helper", "boom"]);
+    }
+
+    #[test]
+    fn qualified_calls_prune_to_owner_matches() {
+        let (models, g) = graph(&[
+            "impl A { fn make() { spicy(); } } impl B { fn make() {} }",
+            "fn entry() { B::make(); } fn spicy() {}",
+        ]);
+        let parent = g.reachable(&g.find(&models, "entry"));
+        let spicy = g.find(&models, "spicy")[0];
+        assert!(parent[spicy].is_none(), "B::make does not call spicy; A::make is pruned");
+    }
+
+    #[test]
+    fn unknown_qualifier_falls_back_to_all_defs() {
+        let (models, g) = graph(&[
+            "impl A { fn make() { spicy(); } }",
+            "fn entry() { alias::make(); } fn spicy() {}",
+        ]);
+        let parent = g.reachable(&g.find(&models, "entry"));
+        let spicy = g.find(&models, "spicy")[0];
+        assert!(parent[spicy].is_some(), "unresolvable qualifier must not prune edges");
+    }
+
+    #[test]
+    fn method_calls_edge_to_every_impl() {
+        let (models, g) = graph(&[
+            "impl A { fn route(&self) { a_only(); } } impl B { fn route(&self) { b_only(); } }",
+            "fn entry(x: &dyn T) { x.route(); } fn a_only() {} fn b_only() {}",
+        ]);
+        let parent = g.reachable(&g.find(&models, "entry"));
+        assert!(parent[g.find(&models, "a_only")[0]].is_some());
+        assert!(parent[g.find(&models, "b_only")[0]].is_some());
+    }
+
+    #[test]
+    fn test_defs_are_not_targets() {
+        let (models, g) = graph(&[
+            "fn entry() { helper(); }\n#[cfg(test)]\nmod t { fn helper() { panic!(\"t\") } }",
+        ]);
+        assert!(g.find(&models, "helper").is_empty());
+        let parent = g.reachable(&g.find(&models, "entry"));
+        assert_eq!(parent.iter().filter(|p| p.is_some()).count(), 1);
+    }
+}

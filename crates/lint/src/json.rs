@@ -1,0 +1,130 @@
+//! `--json` output: machine-readable diagnostics for editor and CI
+//! integration. Hand-rolled emitter (the crate is dependency-free);
+//! the shape is covered by a golden snapshot test in `tests/json.rs`.
+
+use crate::{rule, Finding, LintConfig, LintReport};
+
+/// Serializes one lint run as a JSON object:
+///
+/// ```json
+/// {
+///   "files": 63,
+///   "clean": false,
+///   "findings": [
+///     { "rule": "solve-path-panic-reachability",
+///       "path": "crates/core/src/solver.rs",
+///       "line": 877, "col": 14, "token": "expect",
+///       "rationale": "this panic site is transitively reachable …",
+///       "chain": ["Solver::solve_into", "State::expand_once"] }
+///   ],
+///   "suppressed": [ { …finding…, "allow_line": 12 } ],
+///   "stale_allow_lines": [34],
+///   "stale_hot_lines": []
+/// }
+/// ```
+///
+/// Key order is fixed and arrays keep the report's deterministic
+/// ordering, so the output is directly diffable and snapshot-testable.
+#[must_use]
+pub fn report_json(report: &LintReport, config: &LintConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files\": {},\n", report.files));
+    out.push_str(&format!("  \"clean\": {},\n", report.clean()));
+
+    out.push_str("  \"findings\": [");
+    push_findings(&mut out, report.findings.iter().map(|f| (f, None)));
+    out.push_str("],\n");
+
+    out.push_str("  \"suppressed\": [");
+    push_findings(
+        &mut out,
+        report
+            .suppressed
+            .iter()
+            .map(|(f, i)| (f, Some(config.allow.get(*i).map_or(0, |e| e.line)))),
+    );
+    out.push_str("],\n");
+
+    let stale_allow: Vec<String> = report
+        .stale
+        .iter()
+        .map(|&i| config.allow.get(i).map_or(0, |e| e.line).to_string())
+        .collect();
+    out.push_str(&format!("  \"stale_allow_lines\": [{}],\n", stale_allow.join(", ")));
+    let stale_hot: Vec<String> = report
+        .stale_hot
+        .iter()
+        .map(|&i| config.hot.get(i).map_or(0, |e| e.line).to_string())
+        .collect();
+    out.push_str(&format!("  \"stale_hot_lines\": [{}]\n", stale_hot.join(", ")));
+    out.push('}');
+    out
+}
+
+/// Appends a comma-separated run of finding objects (no surrounding
+/// brackets). `allow_line` is present only for suppressed findings.
+fn push_findings<'a>(out: &mut String, items: impl Iterator<Item = (&'a Finding, Option<u32>)>) {
+    let mut first = true;
+    for (f, allow_line) in items {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str("    { ");
+        out.push_str(&format!("\"rule\": {}, ", quote(f.rule)));
+        out.push_str(&format!("\"path\": {}, ", quote(&f.path)));
+        out.push_str(&format!("\"line\": {}, \"col\": {}, ", f.line, f.col));
+        out.push_str(&format!("\"token\": {}, ", quote(&f.token)));
+        let rationale = rule(f.rule).map_or("", |r| r.rationale);
+        out.push_str(&format!("\"rationale\": {}, ", quote(rationale)));
+        let chain: Vec<String> = f.chain.iter().map(|c| quote(c)).collect();
+        out.push_str(&format!("\"chain\": [{}]", chain.join(", ")));
+        if let Some(line) = allow_line {
+            out.push_str(&format!(", \"allow_line\": {line}"));
+        }
+        out.push_str(" }");
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// A JSON string literal for `s` (quotes, backslashes, and control
+/// characters escaped).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_config;
+
+    #[test]
+    fn escapes_and_shape() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let files = vec![(
+            "crates/core/src/a.rs".to_string(),
+            "use std::collections::HashMap;\n".to_string(),
+        )];
+        let config = LintConfig::default();
+        let report = run_config(&files, &config);
+        let json = report_json(&report, &config);
+        assert!(json.contains("\"rule\": \"no-hash-on-solve-path\""));
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"chain\": []"));
+    }
+}

@@ -30,10 +30,19 @@
 pub enum TokenKind {
     /// A maximal run of whitespace.
     Whitespace,
-    /// `// …` to end of line (doc comments `///` and `//!` included).
+    /// `// …` to end of line. Doc comments are [`TokenKind::DocComment`];
+    /// `//// …` (four or more slashes) is a plain comment again, per
+    /// the reference.
     LineComment,
     /// `/* … */` with nesting; unterminated runs to end of input.
     BlockComment,
+    /// Documentation: `/// …`, `//! …`, `/** … */`, `/*! … */`. Kept
+    /// distinct from plain comments so marker scans (`// SAFETY:`,
+    /// `// INVARIANT:`) cannot be satisfied by prose in rustdoc.
+    DocComment,
+    /// `#!…` on the very first line of a file (not `#![…]`, which is an
+    /// inner attribute). Trivia, like the comment it effectively is.
+    Shebang,
     /// Identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
     Ident,
     /// Raw identifier `r#ident`.
@@ -83,12 +92,17 @@ impl Token {
     }
 
     /// Whitespace or comment — insignificant to every lint rule except
-    /// the `SAFETY:`-comment scan.
+    /// the `SAFETY:`/`INVARIANT:` comment scans (which additionally
+    /// require a *plain* comment, not a [`TokenKind::DocComment`]).
     #[must_use]
     pub fn is_trivia(&self) -> bool {
         matches!(
             self.kind,
-            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            TokenKind::Whitespace
+                | TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::DocComment
+                | TokenKind::Shebang
         )
     }
 }
@@ -271,12 +285,28 @@ fn next_token(src: &str, pos: usize, c: char) -> (TokenKind, usize) {
         return (TokenKind::Whitespace, i);
     }
     match c {
+        '#' if pos == 0 && byte_at(src, 1) == Some(b'!') && byte_at(src, 2) != Some(b'[') => {
+            // `#!/usr/bin/env …` on line 1 is a shebang; `#![…]` is an
+            // inner attribute and stays Punct-by-Punct
+            let end = src.find('\n').unwrap_or(src.len());
+            (TokenKind::Shebang, end)
+        }
         '/' if byte_at(src, pos + 1) == Some(b'/') => {
             let end = src[pos..].find('\n').map_or(src.len(), |n| pos + n);
-            (TokenKind::LineComment, end)
+            let text = &src.as_bytes()[pos..end];
+            // `///x` (but not `////`) and `//!` are doc comments
+            let doc = (text.get(2) == Some(&b'/') && text.get(3) != Some(&b'/'))
+                || text.get(2) == Some(&b'!');
+            (if doc { TokenKind::DocComment } else { TokenKind::LineComment }, end)
         }
         '/' if byte_at(src, pos + 1) == Some(b'*') => {
-            (TokenKind::BlockComment, scan_block_comment(src, pos))
+            let end = scan_block_comment(src, pos);
+            let text = &src.as_bytes()[pos..end];
+            // `/**x…*/` (but not `/**/` or `/***`) and `/*!…*/` are doc
+            let doc = (text.get(2) == Some(&b'*')
+                && text.get(3).is_some_and(|&b| b != b'*' && b != b'/'))
+                || text.get(2) == Some(&b'!');
+            (if doc { TokenKind::DocComment } else { TokenKind::BlockComment }, end)
         }
         'r' => match raw_fence(src, pos + 1) {
             Some((h, q)) => (TokenKind::RawStrLit, scan_raw(src, q, h)),

@@ -19,6 +19,9 @@
 //! | `no-rng-outside-instgen` | every crate but `instgen` | `rand` / `Rng` / `StdRng` / `SeedableRng` outside tests |
 //! | `unsafe-needs-safety-comment` | every crate | an `unsafe` token not preceded by a `// SAFETY:` comment |
 //! | `no-panic-in-serve` | `serve` | `unwrap()` / `expect(` / `panic!` / `todo!` outside tests — a request-path panic must be a mapped error response |
+//! | `solve-path-panic-reachability` | whole workspace | a panic site transitively reachable (conservative call graph, [`callgraph`]) from `Solver::solve_into` / `Router::run_with` / any `route_into` without an argued `// INVARIANT:` comment |
+//! | `steady-state-no-alloc` | whole workspace | an allocating constructor transitively reachable from a `[[hot]]` function listed in `lint.toml` |
+//! | `no-lock-across-blocking-io` | `serve` | a Mutex/Condvar guard live across a blocking `read`/`write`/`accept` in the same block |
 //!
 //! # Allowlist
 //!
@@ -44,9 +47,14 @@
 //! The `cds-lint` binary exits 1 on any unsuppressed finding, stale
 //! allowlist entry, or malformed allowlist; 0 on a clean workspace.
 
+pub mod callgraph;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 
+use callgraph::CallGraph;
 use lexer::{lex, line_col, Token, TokenKind};
+use parser::FileModel;
 
 /// A named rule: identifier, scope note, and the rationale printed
 /// under each finding.
@@ -88,6 +96,25 @@ pub const RULES: &[RuleDef] = &[
         rationale: "a panic on the serve request path kills the job instead of mapping to a \
                     4xx/500 response; return an error and let the handler map it",
     },
+    RuleDef {
+        name: "solve-path-panic-reachability",
+        rationale: "this panic site is transitively reachable (conservative name-matched call \
+                    graph) from a solve entry point (Solver::solve_into, Router::run_with, or a \
+                    SteinerOracle::route_into impl); add a `// INVARIANT:` comment arguing why \
+                    it cannot fire, or refactor the panic away",
+    },
+    RuleDef {
+        name: "steady-state-no-alloc",
+        rationale: "a `[[hot]]` function in lint.toml (queue ops, relax/settle kernel, rip-up \
+                    inner loop) transitively reaches an allocating constructor; steady-state \
+                    routing must run allocation-free on a warm workspace",
+    },
+    RuleDef {
+        name: "no-lock-across-blocking-io",
+        rationale: "a Mutex/Condvar guard is live across a blocking read/write/accept call in \
+                    crates/serve: a stalled peer would hold the lock and wedge every other \
+                    connection and worker; drop or scope the guard before touching the socket",
+    },
 ];
 
 /// Crates whose sources the hash rule covers: the deterministic solve
@@ -113,6 +140,10 @@ pub struct Finding {
     pub col: u32,
     /// The offending token text (e.g. `HashMap`, `Instant::now`).
     pub token: String,
+    /// For call-graph rules: the witness chain of qualified fn names
+    /// from an entry point to the function containing the site. Empty
+    /// for token-level rules.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -150,6 +181,27 @@ impl AllowEntry {
     }
 }
 
+/// One parsed `[[hot]]` entry from `lint.toml`: a function that must be
+/// statically allocation-free together with everything it can reach.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotEntry {
+    /// `Owner::name` (or bare `name`) of the hot function.
+    pub function: String,
+    /// Mandatory, non-empty statement of why this function is hot.
+    pub reason: String,
+    /// 1-based line of the `[[hot]]` header, for diagnostics.
+    pub line: u32,
+}
+
+/// Everything `lint.toml` configures: suppressions and the hot set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// `[[allow]]` suppressions.
+    pub allow: Vec<AllowEntry>,
+    /// `[[hot]]` functions for `steady-state-no-alloc`.
+    pub hot: Vec<HotEntry>,
+}
+
 /// Everything one lint run produced.
 #[derive(Debug, Clone, Default)]
 pub struct LintReport {
@@ -160,6 +212,9 @@ pub struct LintReport {
     /// Indices of allowlist entries that matched nothing — each one
     /// fails the run (`stale-allowlist-is-an-error`).
     pub stale: Vec<usize>,
+    /// Indices of `[[hot]]` entries naming no known function — stale
+    /// config is an error for the same reason stale suppressions are.
+    pub stale_hot: Vec<usize>,
     /// Number of files scanned.
     pub files: usize,
 }
@@ -168,36 +223,65 @@ impl LintReport {
     /// True when the run found nothing to complain about.
     #[must_use]
     pub fn clean(&self) -> bool {
-        self.findings.is_empty() && self.stale.is_empty()
+        self.findings.is_empty() && self.stale.is_empty() && self.stale_hot.is_empty()
     }
 }
 
-/// Parses the `lint.toml` subset: `[[allow]]` tables with string-valued
-/// `rule` / `path` / `pattern` / `reason` keys, `#` comments.
+/// Parses the `[[allow]]` tables of `lint.toml` (compatibility wrapper
+/// over [`parse_config`]; `[[hot]]` entries are parsed and dropped).
+///
+/// # Errors
+///
+/// Same as [`parse_config`].
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    parse_config(text).map(|c| c.allow)
+}
+
+/// Parses the `lint.toml` subset: `[[allow]]` and `[[hot]]` tables with
+/// double-quoted string values, `#` comments.
 ///
 /// # Errors
 ///
 /// A message naming the 1-based line for: unknown keys or rules,
 /// missing fields, an empty `reason`, or syntax outside the subset.
-pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+pub fn parse_config(text: &str) -> Result<LintConfig, String> {
+    #[derive(Default)]
     struct Partial {
+        is_hot: bool,
         rule: Option<String>,
         path: Option<String>,
         pattern: Option<String>,
+        function: Option<String>,
         reason: Option<String>,
         line: u32,
     }
-    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut config = LintConfig::default();
     let mut cur: Option<Partial> = None;
-    let finish = |p: Partial| -> Result<AllowEntry, String> {
+    let finish = |p: Partial, config: &mut LintConfig| -> Result<(), String> {
+        let table = if p.is_hot { "[[hot]]" } else { "[[allow]]" };
         let get = |v: Option<String>, k: &str| {
-            v.ok_or_else(|| format!("lint.toml:{}: [[allow]] entry is missing `{k}`", p.line))
+            v.ok_or_else(|| format!("lint.toml:{}: {table} entry is missing `{k}`", p.line))
         };
+        let reason = get(p.reason.clone(), "reason")?;
+        if reason.trim().is_empty() {
+            return Err(format!(
+                "lint.toml:{}: empty `reason` — every entry must say why it is sound",
+                p.line
+            ));
+        }
+        if p.is_hot {
+            config.hot.push(HotEntry {
+                function: get(p.function.clone(), "function")?,
+                reason,
+                line: p.line,
+            });
+            return Ok(());
+        }
         let entry = AllowEntry {
             rule: get(p.rule.clone(), "rule")?,
             path: get(p.path.clone(), "path")?,
             pattern: get(p.pattern.clone(), "pattern")?,
-            reason: get(p.reason.clone(), "reason")?,
+            reason,
             line: p.line,
         };
         if rule(&entry.rule).is_none() {
@@ -208,13 +292,8 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
                 RULES.iter().map(|r| r.name).collect::<Vec<_>>().join(", ")
             ));
         }
-        if entry.reason.trim().is_empty() {
-            return Err(format!(
-                "lint.toml:{}: empty `reason` — every suppression must say why it is sound",
-                p.line
-            ));
-        }
-        Ok(entry)
+        config.allow.push(entry);
+        Ok(())
     };
     for (i, raw) in text.lines().enumerate() {
         let lineno = i as u32 + 1;
@@ -222,31 +301,34 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if line == "[[allow]]" {
+        if line == "[[allow]]" || line == "[[hot]]" {
             if let Some(p) = cur.take() {
-                entries.push(finish(p)?);
+                finish(p, &mut config)?;
             }
-            cur =
-                Some(Partial { rule: None, path: None, pattern: None, reason: None, line: lineno });
+            cur = Some(Partial { is_hot: line == "[[hot]]", line: lineno, ..Partial::default() });
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
-            return Err(format!("lint.toml:{lineno}: expected `key = \"value\"` or [[allow]]"));
+            return Err(format!(
+                "lint.toml:{lineno}: expected `key = \"value\"`, [[allow]], or [[hot]]"
+            ));
         };
         let value = parse_toml_string(value.trim())
             .ok_or_else(|| format!("lint.toml:{lineno}: value must be a double-quoted string"))?;
         let Some(p) = cur.as_mut() else {
-            return Err(format!("lint.toml:{lineno}: key outside an [[allow]] table"));
+            return Err(format!("lint.toml:{lineno}: key outside an [[allow]]/[[hot]] table"));
         };
-        let slot = match key.trim() {
-            "rule" => &mut p.rule,
-            "path" => &mut p.path,
-            "pattern" => &mut p.pattern,
-            "reason" => &mut p.reason,
-            other => {
+        let slot = match (key.trim(), p.is_hot) {
+            ("rule", false) => &mut p.rule,
+            ("path", false) => &mut p.path,
+            ("pattern", false) => &mut p.pattern,
+            ("function", true) => &mut p.function,
+            ("reason", _) => &mut p.reason,
+            (other, is_hot) => {
+                let expected = if is_hot { "function/reason" } else { "rule/path/pattern/reason" };
                 return Err(format!(
-                    "lint.toml:{lineno}: unknown key `{other}` (expected rule/path/pattern/reason)"
-                ))
+                    "lint.toml:{lineno}: unknown key `{other}` (expected {expected})"
+                ));
             }
         };
         if slot.replace(value).is_some() {
@@ -254,9 +336,9 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
         }
     }
     if let Some(p) = cur.take() {
-        entries.push(finish(p)?);
+        finish(p, &mut config)?;
     }
-    Ok(entries)
+    Ok(config)
 }
 
 /// A double-quoted TOML basic string with `\"` and `\\` escapes.
@@ -407,7 +489,14 @@ pub fn lint_file(path: &str, src: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     let mut push = |rule: &'static str, t: &Token, token_text: String| {
         let (line, col) = line_col(src, t.start);
-        out.push(Finding { rule, path: path.to_string(), line, col, token: token_text });
+        out.push(Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            token: token_text,
+            chain: Vec::new(),
+        });
     };
     let ident = |i: usize| -> Option<&str> {
         sig.get(i).and_then(|t| (t.kind == TokenKind::Ident).then(|| t.text(src)))
@@ -482,22 +571,116 @@ fn has_safety_comment(src: &str, tokens: &[Token], start: usize) -> bool {
     })
 }
 
-/// Runs every rule over `(path, source)` pairs and applies the
-/// allowlist. Stale entries (matching nothing) land in
-/// [`LintReport::stale`].
+/// [`run_config`] with an empty hot set — the pre-`[[hot]]` entry
+/// point, kept for callers that only carry suppressions.
 #[must_use]
 pub fn run_lint(files: &[(String, String)], allow: &[AllowEntry]) -> LintReport {
-    let mut report = LintReport { files: files.len(), ..LintReport::default() };
-    let mut used = vec![false; allow.len()];
+    run_config(files, &LintConfig { allow: allow.to_vec(), hot: Vec::new() })
+}
+
+/// Entry-point patterns for `solve-path-panic-reachability`: the solve
+/// kernel, the experiment driver, and every `route_into` definition
+/// (the trait default plus each oracle impl — matched by bare name so a
+/// new impl is covered the day it is written).
+const PANIC_ENTRY_PATTERNS: &[&str] = &["Solver::solve_into", "Router::run_with", "route_into"];
+
+/// Runs the token rules and the whole-workspace reachability rules over
+/// `(path, source)` pairs, then applies the allowlist. Stale `[[allow]]`
+/// entries land in [`LintReport::stale`], stale `[[hot]]` entries in
+/// [`LintReport::stale_hot`]; both fail the run.
+#[must_use]
+pub fn run_config(files: &[(String, String)], config: &LintConfig) -> LintReport {
+    let mut raw: Vec<Finding> = Vec::new();
     for (path, src) in files {
-        for f in lint_file(path, src) {
-            match allow.iter().position(|e| e.matches(&f)) {
-                Some(i) => {
-                    used[i] = true;
-                    report.suppressed.push((f, i));
-                }
-                None => report.findings.push(f),
+        raw.extend(lint_file(path, src));
+    }
+
+    // whole-workspace pass: parse every file once, build the graph
+    let models: Vec<FileModel> = files.iter().map(|(_, src)| parser::parse_file(src)).collect();
+    let graph = CallGraph::build(&models);
+    let finding = |fi: usize, rule: &'static str, pos: usize, token: &str, chain: Vec<String>| {
+        let (line, col) = line_col(&files[fi].1, pos);
+        Finding { rule, path: files[fi].0.clone(), line, col, token: token.to_string(), chain }
+    };
+
+    // solve-path-panic-reachability
+    let entries: Vec<usize> =
+        PANIC_ENTRY_PATTERNS.iter().flat_map(|p| graph.find(&models, p)).collect();
+    let parent = graph.reachable(&entries);
+    for (fi, m) in models.iter().enumerate() {
+        for site in &m.panics {
+            if site.has_invariant {
+                continue;
             }
+            let Some(id) = graph.id_of(fi, site.caller) else { continue };
+            if parent[id].is_some() {
+                let chain = graph.chain(&models, &parent, id);
+                raw.push(finding(
+                    fi,
+                    "solve-path-panic-reachability",
+                    site.pos,
+                    &site.token,
+                    chain,
+                ));
+            }
+        }
+    }
+
+    // steady-state-no-alloc
+    let mut stale_hot = Vec::new();
+    let mut hot_ids = Vec::new();
+    for (idx, h) in config.hot.iter().enumerate() {
+        let ids = graph.find(&models, &h.function);
+        if ids.is_empty() {
+            stale_hot.push(idx);
+        } else {
+            hot_ids.extend(ids);
+        }
+    }
+    let parent = graph.reachable(&hot_ids);
+    for (fi, m) in models.iter().enumerate() {
+        for site in &m.allocs {
+            let Some(id) = graph.id_of(fi, site.caller) else { continue };
+            if parent[id].is_some() {
+                let chain = graph.chain(&models, &parent, id);
+                raw.push(finding(fi, "steady-state-no-alloc", site.pos, &site.token, chain));
+            }
+        }
+    }
+
+    // no-lock-across-blocking-io: serve crate only
+    for (fi, m) in models.iter().enumerate() {
+        let krate = crate_of(&files[fi].0);
+        if krate.strip_prefix("cds-").unwrap_or(krate) != "serve" {
+            continue;
+        }
+        for site in &m.lock_io {
+            let holder =
+                format!("{} (guard `{}` live)", m.fns[site.caller].qualified(), site.guard);
+            raw.push(finding(
+                fi,
+                "no-lock-across-blocking-io",
+                site.pos,
+                &site.token,
+                vec![holder],
+            ));
+        }
+    }
+
+    // deterministic output order regardless of which pass found what
+    raw.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+
+    let mut report = LintReport { files: files.len(), stale_hot, ..LintReport::default() };
+    let mut used = vec![false; config.allow.len()];
+    for f in raw {
+        match config.allow.iter().position(|e| e.matches(&f)) {
+            Some(i) => {
+                used[i] = true;
+                report.suppressed.push((f, i));
+            }
+            None => report.findings.push(f),
         }
     }
     report.stale = used.iter().enumerate().filter(|(_, &u)| !u).map(|(i, _)| i).collect();

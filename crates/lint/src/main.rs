@@ -12,7 +12,8 @@
 //! Diagnostics print `file:line:col`, the offending token, the rule,
 //! and the allowlist recipe.
 
-use cds_lint::{parse_allowlist, rule, run_lint, AllowEntry, LintReport};
+use cds_lint::json::report_json;
+use cds_lint::{parse_config, rule, run_config, LintConfig, LintReport, RULES};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -69,15 +70,18 @@ struct Args {
     allowlist: Option<PathBuf>,
     files: Vec<PathBuf>,
     list_rules: bool,
+    json: bool,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args { root: None, allowlist: None, files: Vec::new(), list_rules: false };
+    let mut args =
+        Args { root: None, allowlist: None, files: Vec::new(), list_rules: false, json: false };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => {} // the default; accepted for CI clarity
             "--list-rules" => args.list_rules = true,
+            "--json" => args.json = true,
             "--root" => {
                 let v = it.next().ok_or("--root needs a directory")?;
                 args.root = Some(PathBuf::from(v));
@@ -88,7 +92,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: cds-lint [--workspace] [--root DIR] [--allowlist FILE] \
-                            [--list-rules] [FILES…]"
+                            [--list-rules] [--json] [FILES…]"
                     .into())
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
@@ -104,28 +108,47 @@ fn relative(root: &Path, path: &Path) -> String {
     rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
 }
 
-fn print_report(report: &LintReport, allow: &[AllowEntry]) {
+fn print_report(report: &LintReport, config: &LintConfig) {
     for f in &report.findings {
         println!("{}:{}:{}: {}: forbidden `{}`", f.path, f.line, f.col, f.rule, f.token);
         if let Some(r) = rule(f.rule) {
             println!("  {}", r.rationale);
         }
+        if !f.chain.is_empty() {
+            println!("  reached via {}", f.chain.join(" -> "));
+        }
         println!("  suppress with {}", f.allow_recipe());
     }
     for &i in &report.stale {
-        let e = &allow[i];
+        let e = &config.allow[i];
         println!(
             "lint.toml:{}: stale-allowlist-is-an-error: entry (rule `{}`, path `{}`, pattern \
              `{}`) suppresses nothing — delete it or fix its path/pattern",
             e.line, e.rule, e.path, e.pattern
         );
     }
+    for &i in &report.stale_hot {
+        let e = &config.hot[i];
+        println!(
+            "lint.toml:{}: stale [[hot]] entry: `{}` names no known function — delete it or fix \
+             the name",
+            e.line, e.function
+        );
+    }
+    // per-rule counts, every rule every run, so CI logs diff cleanly
+    for r in RULES {
+        let found = report.findings.iter().filter(|f| f.rule == r.name).count();
+        let supp = report.suppressed.iter().filter(|(f, _)| f.rule == r.name).count();
+        println!("cds-lint: rule {:<32} {found} findings, {supp} suppressed", r.name);
+    }
     println!(
-        "cds-lint: {} files, {} findings, {} suppressed, {} stale allowlist entries",
+        "cds-lint: {} files, {} findings, {} suppressed, {} stale allowlist entries, {} stale \
+         hot entries",
         report.files,
         report.findings.len(),
         report.suppressed.len(),
-        report.stale.len()
+        report.stale.len(),
+        report.stale_hot.len()
     );
 }
 
@@ -155,12 +178,16 @@ fn run(argv: &[String]) -> Result<bool, String> {
         files.push((relative(&root, &p), text));
     }
     let allow_path = args.allowlist.unwrap_or_else(|| root.join("lint.toml"));
-    let allow = match std::fs::read_to_string(&allow_path) {
-        Ok(text) => parse_allowlist(&text)?,
-        Err(_) => Vec::new(), // no allowlist: nothing suppressed
+    let config = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => parse_config(&text)?,
+        Err(_) => LintConfig::default(), // no config: nothing suppressed, no hot set
     };
-    let report = run_lint(&files, &allow);
-    print_report(&report, &allow);
+    let report = run_config(&files, &config);
+    if args.json {
+        println!("{}", report_json(&report, &config));
+    } else {
+        print_report(&report, &config);
+    }
     Ok(report.clean())
 }
 

@@ -139,6 +139,61 @@ fn shebang_and_leading_inner_attrs_tokenize() {
     }
 }
 
+fn kinds_of(src: &str, kind: TokenKind) -> Vec<String> {
+    lex(src).iter().filter(|t| t.kind == kind).map(|t| t.text(src).to_string()).collect()
+}
+
+#[test]
+fn a_shebang_is_one_trivia_token_only_at_file_start() {
+    let src = "#!/usr/bin/env rust\nfn main() {}";
+    let toks = assert_tiles(src);
+    assert_eq!(toks[0].kind, TokenKind::Shebang);
+    assert_eq!(toks[0].text(src), "#!/usr/bin/env rust");
+    assert!(toks[0].is_trivia(), "a shebang is trivia, like the comment it is");
+    // `#![…]` at position 0 is an inner attribute, not a shebang
+    assert!(lex("#![allow(x)]\n").iter().all(|t| t.kind != TokenKind::Shebang));
+    // `#!` past position 0 is punctuation soup, not a shebang
+    assert!(lex("fn f() {}\n#!/bin/sh\n").iter().all(|t| t.kind != TokenKind::Shebang));
+}
+
+#[test]
+fn doc_comments_are_classified_distinctly_from_plain_comments() {
+    let src = "/// outer doc\n//! inner doc\n// plain\n//// four slashes is plain\n/** block doc */\n/*! inner block doc */\n/* plain block */\n/**/\n/*** not doc ***/\nfn f() {}";
+    assert_tiles(src);
+    assert_eq!(
+        kinds_of(src, TokenKind::DocComment),
+        vec!["/// outer doc", "//! inner doc", "/** block doc */", "/*! inner block doc */"]
+    );
+    assert_eq!(
+        kinds_of(src, TokenKind::LineComment),
+        vec!["// plain", "//// four slashes is plain"]
+    );
+    // `/**/` and `/***…` are degenerate forms the reference keeps plain
+    assert_eq!(
+        kinds_of(src, TokenKind::BlockComment),
+        vec!["/* plain block */", "/**/", "/*** not doc ***/"]
+    );
+}
+
+#[test]
+fn doc_comments_cannot_spoof_safety_markers() {
+    // the unsafe-needs-comment rule accepts `// SAFETY:` but must not be
+    // satisfied by rustdoc prose that merely mentions the word
+    let spoofed = "pub fn f(p: *const u32) -> u32 {\n    /// SAFETY: this doc comment is prose, not an argument\n    unsafe { *p }\n}\n";
+    let findings = lint_file("crates/core/src/x.rs", spoofed);
+    assert!(
+        findings.iter().any(|f| f.rule == "unsafe-needs-safety-comment"),
+        "a doc comment must not satisfy the SAFETY marker"
+    );
+    let argued = "pub fn f(p: *const u32) -> u32 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+    assert!(
+        !lint_file("crates/core/src/x.rs", argued)
+            .iter()
+            .any(|f| f.rule == "unsafe-needs-safety-comment"),
+        "a plain comment still satisfies the marker"
+    );
+}
+
 /// Fragments chosen to collide: fence openers/closers, escapes, half
 /// comments, attribute pieces, and the identifiers the rules look for.
 const FRAGMENTS: &[&str] = &[

@@ -1,0 +1,253 @@
+//! Property and golden tests for the item parser and call graph.
+//!
+//! The reachability rules trust two things the unit tests cannot fully
+//! establish: that [`parse_file`] is *total* (never panics, whatever
+//! bytes it is fed — the lint runs over every file in the tree,
+//! including ones mid-edit), and that the model it extracts has sane
+//! geometry (fn spans nest or are disjoint, bodies sit inside their
+//! spans, sites sit inside their callers). The golden test pins the
+//! call graph's shadowed-name semantics at the workspace fixture level:
+//! same-named fns in different impls all receive edges from an
+//! unqualified call, qualified calls prune to the owning impl, and std
+//! qualifiers with no workspace owner produce no edges.
+
+use cds_lint::callgraph::CallGraph;
+use cds_lint::parser::{parse_file, FileModel};
+use cds_lint::{parse_config, run_config};
+use proptest::prelude::*;
+
+/// Asserts the model's span geometry and returns it.
+fn assert_model_geometry(src: &str) -> FileModel {
+    let m = parse_file(src);
+    for f in &m.fns {
+        let (s, e) = f.span;
+        assert!(s <= e && e <= src.len(), "fn span out of bounds in {src:?}");
+        assert!(src.is_char_boundary(s) && src.is_char_boundary(e));
+        if let Some((bs, be)) = f.body {
+            assert!(s <= bs && bs <= be && be <= e, "body escapes its fn span in {src:?}");
+        }
+    }
+    // spans of distinct fns are disjoint or properly nested (nested
+    // items: a fn defined inside another fn's body)
+    for (i, a) in m.fns.iter().enumerate() {
+        for b in m.fns.iter().skip(i + 1) {
+            let (as_, ae) = a.span;
+            let (bs, be) = b.span;
+            let disjoint = ae <= bs || be <= as_;
+            let nested = (as_ <= bs && be <= ae) || (bs <= as_ && ae <= be);
+            assert!(disjoint || nested, "fn spans cross: {:?} vs {:?} in {src:?}", a.span, b.span);
+        }
+    }
+    // every recorded site names a caller that exists and sits inside it
+    for (caller, pos) in m
+        .calls
+        .iter()
+        .map(|c| (c.caller, None))
+        .chain(m.panics.iter().map(|s| (s.caller, Some(s.pos))))
+        .chain(m.allocs.iter().map(|s| (s.caller, Some(s.pos))))
+        .chain(m.lock_io.iter().map(|s| (s.caller, Some(s.pos))))
+    {
+        let f = &m.fns[caller];
+        if let Some(p) = pos {
+            let (s, e) = f.span;
+            assert!(s <= p && p < e, "site at {p} outside its caller {:?} in {src:?}", f.span);
+        }
+    }
+    m
+}
+
+#[test]
+fn nested_fns_and_impls_produce_nested_spans() {
+    let src = "impl A { fn outer(&self) { fn inner() { x.unwrap(); } inner(); } }\nfn free() {}";
+    let m = assert_model_geometry(src);
+    let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(names, vec!["outer", "inner", "free"]);
+    assert_eq!(m.fns[0].owners, vec!["A".to_string()]);
+    let (os, oe) = m.fns[0].span;
+    let (is_, ie) = m.fns[1].span;
+    assert!(os < is_ && ie <= oe, "inner fn must nest inside outer");
+}
+
+#[test]
+fn doc_comments_cannot_spoof_invariant_markers() {
+    // rustdoc prose mentioning INVARIANT must not silence the panic rule
+    let spoofed = "impl Solver { pub fn solve_into(&self) {\n    /// INVARIANT: prose, not an argument\n    self.x.unwrap();\n} }\n";
+    let m = parse_file(spoofed);
+    assert_eq!(m.panics.len(), 1);
+    assert!(!m.panics[0].has_invariant, "a doc comment must not satisfy the INVARIANT marker");
+    let argued = spoofed.replace("///", "//");
+    let m = parse_file(&argued);
+    assert!(m.panics[0].has_invariant, "the same text as a plain comment does satisfy it");
+}
+
+#[test]
+fn trailing_invariant_comments_do_not_leak_to_the_next_line() {
+    let src = "fn f(a: Option<u32>, b: Option<u32>) {\n    let x = a.unwrap(); // INVARIANT: a is Some by construction\n    let y = b.unwrap();\n}\n";
+    let m = parse_file(src);
+    assert_eq!(m.panics.len(), 2);
+    assert!(m.panics[0].has_invariant, "trailing comment covers its own line");
+    assert!(!m.panics[1].has_invariant, "and must not cover the line after");
+}
+
+/// Golden call-graph fixture: three files with shadowed same-name fns.
+/// Pins the exact edge semantics the reachability rules rely on.
+#[test]
+fn callgraph_golden_shadowed_names() {
+    let files = [
+        // two `push` defs in different impls, one allocating
+        "pub struct Hot;\nimpl Hot { pub fn push(&mut self) { self.grow(); } fn grow(&mut self) {} }",
+        "pub struct Cold;\nimpl Cold { pub fn push(&mut self) { let v: Vec<u32> = Vec::new(); drop(v); } }",
+        // entry calls `.push()` (method: edges to both), `Hot::push`
+        // (qualified: edges to Hot only), and `Vec::new()` (std
+        // qualifier, no workspace owner: no edges at all)
+        "pub fn entry_method(q: &mut dyn Q) { q.push(); }\npub fn entry_qualified(h: &mut Hot) { Hot::push(h); }\npub fn entry_std() { let _: Vec<u32> = Vec::new(); }",
+    ];
+    let models: Vec<FileModel> = files.iter().map(|s| parse_file(s)).collect();
+    let g = CallGraph::build(&models);
+
+    let one = |pat: &str| -> usize {
+        let ids = g.find(&models, pat);
+        assert_eq!(ids.len(), 1, "pattern {pat} must match exactly one def");
+        ids[0]
+    };
+    let hot_push = one("Hot::push");
+    let cold_push = one("Cold::push");
+    let grow = one("Hot::grow");
+    assert_eq!(g.find(&models, "push").len(), 2, "bare pattern matches both shadowed defs");
+
+    // method call: edges to every same-named def, transitively onward
+    let parent = g.reachable(&[one("entry_method")]);
+    assert!(parent[hot_push].is_some() && parent[cold_push].is_some());
+    assert!(parent[grow].is_some(), "transitive edge through Hot::push");
+    assert_eq!(
+        g.chain(&models, &parent, grow),
+        vec!["entry_method", "Hot::push", "Hot::grow"],
+        "witness chain reconstructs the shortest path"
+    );
+
+    // qualified call: pruned to the owning impl
+    let parent = g.reachable(&[one("entry_qualified")]);
+    assert!(parent[hot_push].is_some() && parent[cold_push].is_none());
+
+    // std qualifier with no workspace owner: no edges (Vec::new would
+    // otherwise drag in every workspace `new`)
+    let parent = g.reachable(&[one("entry_std")]);
+    let reached = parent.iter().filter(|p| p.is_some()).count();
+    assert_eq!(reached, 1, "entry_std reaches only itself");
+    // ...but the allocation *site* is still recorded in the caller
+    assert!(models[2].allocs.iter().any(|s| s.token == "Vec::new"));
+}
+
+/// End-to-end over a miniature workspace: the three graph rules fire on
+/// a fixture and name the right sites.
+#[test]
+fn run_config_fires_all_three_graph_rules_on_a_fixture() {
+    let config = parse_config("[[hot]]\nfunction = \"Hot::push\"\nreason = \"fixture hot fn\"\n")
+        .expect("fixture config parses");
+    let files = vec![
+        (
+            "crates/core/src/a.rs".to_string(),
+            "impl Solver { pub fn solve_into(&self) { helper(); } }\nfn helper() { oops().unwrap(); }\nfn oops() -> Option<u32> { None }\n".to_string(),
+        ),
+        (
+            "crates/heap/src/b.rs".to_string(),
+            "pub struct Hot;\nimpl Hot { pub fn push(&mut self) { let _ = vec![1u32]; } }\n".to_string(),
+        ),
+        (
+            "crates/serve/src/c.rs".to_string(),
+            "use std::io::Write;\npub fn f(m: &std::sync::Mutex<u32>, s: &mut std::net::TcpStream) {\n    let g = m.lock().unwrap_or_else(|e| e.into_inner());\n    let _ = s.write_all(b\"x\");\n    drop(g);\n}\n".to_string(),
+        ),
+    ];
+    let report = run_config(&files, &config);
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"solve-path-panic-reachability"), "got {rules:?}");
+    assert!(rules.contains(&"steady-state-no-alloc"), "got {rules:?}");
+    assert!(rules.contains(&"no-lock-across-blocking-io"), "got {rules:?}");
+    let panic = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "solve-path-panic-reachability")
+        .expect("checked above");
+    assert_eq!(panic.chain, vec!["Solver::solve_into", "helper"], "witness chain is reported");
+}
+
+/// Fragments that collide with item syntax: fn/impl/trait headers,
+/// generics with nested angle brackets, where clauses, attributes, and
+/// the site tokens the rules scan for.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "impl",
+    "trait",
+    "for",
+    "where",
+    "mod",
+    "pub",
+    "unsafe",
+    "extern",
+    "\"C\"",
+    "<",
+    ">",
+    "<T>",
+    "<'a, T: Ord>",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ",",
+    "->",
+    "::",
+    ".",
+    "#[test]",
+    "#[cfg(test)]",
+    "#[inline]",
+    "Self",
+    "self",
+    "dyn",
+    "Vec::new",
+    "unwrap",
+    "expect",
+    "panic!",
+    "vec!",
+    "lock",
+    "write_all",
+    "let",
+    "=",
+    "x",
+    "Q",
+    "// INVARIANT: x",
+    "/// INVARIANT: x",
+    "\n",
+    " ",
+    "r#\"",
+    "\"#",
+    "'a",
+    "'x'",
+    "0.5",
+    "…",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Item-syntax soup: the parser is total and its model geometry
+    /// holds on concatenations of mutually hostile item fragments.
+    #[test]
+    fn fragment_soup_parses_totally(picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..80)) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let m = assert_model_geometry(&src);
+        // the graph and the full pipeline must also survive the soup
+        let models = vec![m];
+        let _ = CallGraph::build(&models);
+        let files = vec![("crates/core/src/fuzz.rs".to_string(), src)];
+        let _ = run_config(&files, &cds_lint::LintConfig::default());
+    }
+
+    /// Raw byte noise (lossily decoded): same totality guarantees.
+    #[test]
+    fn byte_noise_parses_totally(bytes in proptest::collection::vec(0u32..256, 0..200)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let src = String::from_utf8_lossy(&raw).into_owned();
+        let _ = assert_model_geometry(&src);
+    }
+}

@@ -32,6 +32,7 @@ pub fn ace(congestion: &[f64], x_percent: f64) -> f64 {
     assert!(!congestion.is_empty(), "ACE of no edges");
     assert!(x_percent > 0.0 && x_percent <= 100.0, "x must be in (0, 100]");
     let mut sorted: Vec<f64> = congestion.to_vec();
+    // INVARIANT: congestion values are usage/capacity ratios with positive capacities - finite, so every pair compares.
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite congestion"));
     let k = ((sorted.len() as f64) * x_percent / 100.0).ceil().max(1.0) as usize;
     let k = k.min(sorted.len());

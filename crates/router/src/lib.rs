@@ -871,6 +871,7 @@ impl<'a> Router<'a> {
             let rep: &TimingReport = match (&sta, &report) {
                 (Some(s), _) => s.report(),
                 (None, Some(r)) => r,
+                // INVARIANT: full mode computed report before the loop and incremental mode owns an sta, so one arm above always matches.
                 (None, None) => unreachable!("full mode analyzed above"),
             };
             if let Some(t) = &mut tracker {
@@ -931,6 +932,7 @@ impl<'a> Router<'a> {
         let prices = self.compute_prices(&base, &usage_hist, stats.iterations_completed());
         let report = match &sta {
             Some(s) => s.report().clone(),
+            // INVARIANT: sta is None exactly in full mode, which analyzed the DAG into report before the loop.
             None => report.expect("full mode analyzed the DAG before the loop"),
         };
 
@@ -1067,6 +1069,7 @@ impl<'a> Router<'a> {
 
         let (total, kstats) = if self.config.materialize_windows {
             let index =
+                // INVARIANT: the constructor builds edge_index whenever materialize_windows is set, and the flag never changes afterwards.
                 self.edge_index.as_ref().expect("materialize_windows prebuilds the edge index");
             let window = GridWindow::around(&chip.grid, index, &pins, self.config.window_margin);
             let mut local_cost = std::mem::take(&mut ws.cost_buf);
@@ -1225,6 +1228,7 @@ impl<'a> Router<'a> {
                 })
                 .collect();
             for h in handles {
+                // INVARIANT: join fails only when the worker panicked; re-panicking propagates that failure instead of silently dropping its nets.
                 let (wi, routed, ksum) = h.join().expect("router worker panicked");
                 kernel.absorb(ksum);
                 for (k, slot) in routed {
@@ -1233,6 +1237,7 @@ impl<'a> Router<'a> {
             }
         });
         let placements =
+            // INVARIANT: each worker writes a placement for every net index it was scheduled before exiting, and all workers were joined above.
             placements.into_iter().map(|p| p.expect("all scheduled nets routed")).collect();
         (placements, kernel)
     }
@@ -1289,6 +1294,7 @@ impl<'a> Router<'a> {
         }
         // chains: cell arcs, inputs, RATs
         for chain in &chip.chains {
+            // INVARIANT: workload validation rejects empty chains at parse time.
             let first = chain.links.first().expect("chains are nonempty");
             tg.set_input(root_node[first.net], 0.0);
             // prefix of estimated stage delays, for distributing the RAT
@@ -1304,6 +1310,7 @@ impl<'a> Router<'a> {
                 let stage_sink = match link.cont_sink {
                     Some(s) => net.sinks[s],
                     None => {
+                        // INVARIANT: workload validation rejects nets without sinks at parse time.
                         *net.sinks.iter().max_by_key(|&&s| s.l1(net.root)).expect("nets have sinks")
                     }
                 };
@@ -1331,6 +1338,7 @@ impl<'a> Router<'a> {
                 let stage_sink = match link.cont_sink {
                     Some(s) => net.sinks[s],
                     None => {
+                        // INVARIANT: workload validation rejects nets without sinks at parse time.
                         *net.sinks.iter().max_by_key(|&&s| s.l1(net.root)).expect("nets have sinks")
                     }
                 };

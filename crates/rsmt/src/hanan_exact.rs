@@ -40,7 +40,9 @@ pub fn exact_rsmt(points: &[Point]) -> RsmtResult {
     }
     let g = b.build();
     let locate = |p: Point| {
+        // INVARIANT: xs holds every terminal x coordinate by Hanan-grid construction.
         let xi = xs.binary_search(&p.x).expect("terminal x on grid");
+        // INVARIANT: ys holds every terminal y coordinate by Hanan-grid construction.
         let yi = ys.binary_search(&p.y).expect("terminal y on grid");
         idx(xi, yi)
     };

@@ -86,6 +86,7 @@ fn result_to_topology(r: &RsmtResult, num_sinks: usize) -> Topology {
     let mut visited = vec![false; n];
     visited[0] = true;
     while let Some(u) = queue.pop_front() {
+        // INVARIANT: a node is mapped when enqueued (the root before the loop, others at discovery).
         let parent_node = node_of[u].expect("visited nodes are mapped");
         for &v in &adj[u].clone() {
             if visited[v] {

@@ -477,6 +477,7 @@ impl RoutedForest {
     }
 
     fn meta(&self, slot: usize) -> &TreeMeta {
+        // INVARIANT: documented contract - callers pass slots returned by a live insert/start_tree; the message names the offending slot for the caller bug.
         self.trees[slot].as_ref().unwrap_or_else(|| panic!("slot {slot} holds no tree"))
     }
 
@@ -566,6 +567,7 @@ impl RoutedForest {
         parent: NodeId,
         path: &[EdgeId],
     ) -> NodeId {
+        // INVARIANT: documented contract - push_node is only legal between start_tree and finish_tree, while a build is open.
         let open = self.open.expect("no open tree build");
         let local = (self.slabs.kinds.len() as u32) - open.node_start;
         self.slabs.kinds.push(kind);
@@ -620,6 +622,7 @@ impl RoutedForest {
     /// Seals the open build: materializes the children CSR (attachment
     /// order) and publishes the slot's metadata.
     pub fn finish_tree(&mut self) {
+        // INVARIANT: documented contract - finish_tree is only legal while a build is open.
         let open = self.open.take().expect("no open tree build");
         let node_count = self.slabs.kinds.len() as u32 - open.node_start;
         let child_first = self.slabs.children.len() as u32;
@@ -664,6 +667,7 @@ impl RoutedForest {
             self.push_node_raw(
                 tree.node_kind(v),
                 tree.vertex(v),
+                // INVARIANT: v starts at 1 and node 0 is the root, so every visited node has a parent by Topology construction.
                 tree.parent(v).expect("non-root nodes have parents"),
                 &tree.path(v).edges,
             );
@@ -677,6 +681,7 @@ impl RoutedForest {
     pub fn set_sink_delays(&mut self, slot: usize, delays: &[f64]) {
         let start = self.slabs.sink_delays.len() as u32;
         self.slabs.sink_delays.extend_from_slice(delays);
+        // INVARIANT: documented contract - slot names a live tree.
         let m = self.trees[slot].as_mut().expect("slot holds no tree");
         self.dead += m.delay_len as usize;
         m.delay_start = start;
@@ -698,6 +703,7 @@ impl RoutedForest {
         for &e in &path_edges[m.path_first as usize..(m.path_first + m.path_total) as usize] {
             used_edges.push(map(e));
         }
+        // INVARIANT: documented contract - slot names a live tree.
         let m = self.trees[slot].as_mut().expect("slot holds no tree");
         self.dead += m.used_len as usize;
         m.used_start = start;
@@ -718,6 +724,7 @@ impl RoutedForest {
 
     /// Records `slot`'s wirelength/via summary scalars.
     pub fn set_summary(&mut self, slot: usize, wirelength_gcells: f64, vias: usize) {
+        // INVARIANT: documented contract - slot names a live tree.
         let m = self.trees[slot].as_mut().expect("slot holds no tree");
         m.wirelength_gcells = wirelength_gcells;
         m.vias = vias as u32;

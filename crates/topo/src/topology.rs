@@ -134,6 +134,7 @@ impl Topology {
     /// Panics if `v` is the root or `new_parent` lies inside `v`'s
     /// subtree (which would create a cycle).
     pub fn reparent(&mut self, v: NodeId, new_parent: NodeId) {
+        // INVARIANT: documented panic contract - reparenting the root is a caller bug.
         let old = self.parent[v as usize].expect("cannot reparent the root");
         assert!(!self.in_subtree(new_parent, v), "reparent would create a cycle");
         self.children[old as usize].retain(|&c| c != v);
@@ -148,6 +149,7 @@ impl Topology {
     ///
     /// Panics if `v` is the root.
     pub fn split_arc(&mut self, v: NodeId, pos: Point) -> NodeId {
+        // INVARIANT: documented panic contract - splitting the root's (absent) incoming arc is a caller bug.
         let p = self.parent[v as usize].expect("root has no incoming arc");
         let s = self.add_steiner(pos, p);
         self.reparent(v, s);
@@ -239,6 +241,7 @@ impl Topology {
         for &v in &self.dfs_order() {
             let kids = self.children(v);
             if kids.len() > 2 && bif.dbif > 0.0 {
+                // INVARIANT: documented precondition - callers binarize before evaluating with dbif > 0.
                 panic!("bifurcation penalties need a binarized topology");
             }
             let lambdas: Vec<f64> = if kids.len() == 2 {
@@ -315,6 +318,7 @@ impl Topology {
                 }
                 continue;
             }
+            // INVARIANT: the root was handled and skipped earlier in the loop, so v has a parent.
             let parent_attach = attach[self.parent(v).expect("non-root") as usize];
             // find a free slot (≤ 2 children) at the parent's attachment,
             // extending with same-position Steiner nodes as needed
@@ -336,6 +340,7 @@ impl Topology {
                     let s = out.add_steiner(self.position(v), slot);
                     attach[v as usize] = s;
                 }
+                // INVARIANT: the single root was handled before the match, and no other node carries Root kind.
                 NodeKind::Root => unreachable!("only one root"),
             }
         }
@@ -363,6 +368,7 @@ impl Topology {
             // push one existing child chainwise: add an extension Steiner
             // node at the same position adopting the last child slot
             let pos = self.position(cur);
+            // INVARIANT: cur was selected for exceeding the child cap (cap >= 1), so it has at least one child.
             let last = *self.children(cur).last().expect("cap > 0");
             let ext = self.add_steiner(pos, cur);
             self.reparent(last, ext);
