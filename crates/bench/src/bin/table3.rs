@@ -4,13 +4,27 @@
 //! with identical layer counts and scaled net counts (see DESIGN.md);
 //! this binary prints the parameters actually used plus the paper's
 //! originals for reference.
+//!
+//! With `CDST_EMIT=DIR` each suite chip is additionally written to
+//! `DIR/<name>.cdst`, so paper-scale documents can be fed to
+//! `cds-cli route` / the streaming reader without a separate driver:
+//!
+//! ```text
+//! CDST_DIVISOR=100 CDST_EMIT=/tmp/suite cargo run --release -p cds-bench --bin table3
+//! cds-cli route /tmp/suite/c8.cdst --set shards=4 --threads 4
+//! ```
 
 use cds_bench::{env_u64, env_usize};
+use cds_instgen::io::doc::{chip_doc_to_string, ChipDoc};
 use cds_instgen::ChipSpec;
 
 fn main() {
     let divisor = env_usize("CDST_DIVISOR", 800);
     let seed = env_u64("CDST_SEED", 1);
+    let emit = std::env::var("CDST_EMIT").ok();
+    if let Some(dir) = &emit {
+        std::fs::create_dir_all(dir).expect("create CDST_EMIT directory");
+    }
     println!("Table III — instance parameters (synthetic suite, divisor {divisor})");
     println!(
         "{:>4} {:>10} {:>10} {:>8} {:>12} {:>10}",
@@ -29,5 +43,12 @@ fn main() {
             format!("{}x{}", g.nx, g.ny),
             chip.delay_model.dbif_ps(),
         );
+        if let Some(dir) = &emit {
+            let doc = ChipDoc::from_chip(&chip).expect("document the chip");
+            let text = chip_doc_to_string(&doc).expect("serialize the chip");
+            let path = format!("{dir}/{}.cdst", chip.name);
+            std::fs::write(&path, text).expect("write the chip document");
+            println!("     wrote {path}");
+        }
     }
 }

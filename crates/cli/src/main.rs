@@ -15,8 +15,14 @@
 //!
 //! * `gen` — synthesize a chip (`--preset`, `--nets`, `--layers`,
 //!   `--seed`, `--utilization`, `--name`) and print its document.
-//! * `route` — parse a document (file or stdin), route it, print run
-//!   metrics, `RouterStats`, and the outcome checksum as JSON.
+//! * `route` — stream-parse a document (file or stdin; records feed
+//!   straight into the chip being built, peak memory one line buffer
+//!   over the chip itself), route it, print run metrics,
+//!   `RouterStats`, and the outcome checksum as JSON. With
+//!   `--set checkpoint_every=K --checkpoint FILE` it writes a
+//!   resumable `cdst/2` checkpoint document every K iterations;
+//!   `--resume` continues from a checkpoint document's `state` section
+//!   and reproduces the uninterrupted run's checksum bit-for-bit.
 //! * `verify` — route and compare the checksum against `--expect`;
 //!   exit 1 on mismatch (the CI golden gate).
 //! * `harvest` — route with instance harvesting and print the document
@@ -39,10 +45,13 @@
 //! default monotone bucket queue (bit-identical results, different
 //! speed), and `--set batch=on` enables batched multi-sink search.
 
-use cds_instgen::io::doc::{chip_doc_to_string, read_chip_doc, ChipDoc, RequestRecord};
-use cds_instgen::{Chip, ChipSpec, SinkProfile};
+use cds_instgen::io::doc::{
+    chip_doc_to_string, read_chip_doc, read_chip_streaming, ChipDoc, RequestRecord, StateSection,
+    StreamedChip,
+};
+use cds_instgen::{ChipSpec, SinkProfile};
 use cds_router::report::{json_escape, outcome_json};
-use cds_router::{Router, RouterConfig, RoutingOutcome};
+use cds_router::{Router, RouterConfig, RoutingOutcome, RunControl, WorkerPool};
 use cds_serve::http::percent_encode;
 use std::io::{BufReader, Read as _, Write as _};
 use std::process::ExitCode;
@@ -64,7 +73,8 @@ const USAGE: &str = "usage: cds-cli <gen|route|verify|harvest|fixtures|submit|lo
            [--seed N] [--utilization F] [--name S] [-o FILE]
   route    [FILE|-] [--oracle cd|l1|sl|pd] [--threads N] [--iterations N]
            [--incremental BOOL] [--price-tol F] [--materialize] [--seed N]
-           [--set key=value]...       (e.g. --set queue=heap|bucket, --set batch=on)
+           [--checkpoint FILE] [--resume]
+           [--set key=value]...       (e.g. --set queue=heap|bucket, --set shards=4)
   verify   [FILE|-] --expect 0xHEX [route flags]
   harvest  [FILE|-] [route flags] [-o FILE]
   fixtures DIR
@@ -222,12 +232,28 @@ fn load_doc(path: Option<&str>) -> Result<ChipDoc, String> {
     }
 }
 
+/// Streaming load for `route`/`verify`: records feed straight into the
+/// chip being built (graph constructed mid-parse, `ecap` applied in
+/// place), so peak memory is the finished chip plus one line buffer —
+/// no intermediate [`ChipDoc`]. Accepts files and stdin alike.
+fn load_streamed(path: Option<&str>) -> Result<StreamedChip, String> {
+    match path {
+        None | Some("-") => {
+            read_chip_streaming(std::io::stdin().lock()).map_err(|e| format!("<stdin>: {e}"))
+        }
+        Some(p) => {
+            let f = std::fs::File::open(p).map_err(|e| format!("{p}: {e}"))?;
+            read_chip_streaming(BufReader::new(f)).map_err(|e| format!("{p}: {e}"))
+        }
+    }
+}
+
 /// Default config ← document `config` records ← CLI flags, the flags
 /// strictly in command-line order (so `--set iterations=3
 /// --iterations 9` ends at 9, and vice versa).
-fn build_config(doc: &ChipDoc, flags: &Flags) -> Result<RouterConfig, String> {
+fn build_config(records: &[(String, String)], flags: &Flags) -> Result<RouterConfig, String> {
     let mut config = RouterConfig::default();
-    for (k, v) in &doc.config {
+    for (k, v) in records {
         config.set_knob(k, v).map_err(|e| format!("document config record: {e}"))?;
     }
     for (name, value) in &flags.named {
@@ -250,22 +276,108 @@ fn build_config(doc: &ChipDoc, flags: &Flags) -> Result<RouterConfig, String> {
     Ok(config)
 }
 
-fn route_doc(doc: &ChipDoc, flags: &Flags) -> Result<(Chip, RouterConfig, RoutingOutcome), String> {
-    let config = build_config(doc, flags)?;
-    let chip = doc.build_chip();
-    let outcome = Router::new(&chip, config.clone()).run();
-    Ok((chip, config, outcome))
+/// Serializes a resolved [`RouterConfig`] back into `config` records —
+/// every knob [`RouterConfig::set_knob`] accepts, so a checkpoint
+/// document resumed without any flags routes under exactly the config
+/// the interrupted run used.
+fn config_records(c: &RouterConfig) -> Vec<(String, String)> {
+    let b = |v: bool| if v { "true" } else { "false" }.to_string();
+    vec![
+        ("oracle".into(), c.method.to_string()),
+        ("iterations".into(), c.iterations.to_string()),
+        ("threads".into(), c.threads.to_string()),
+        ("use_dbif".into(), b(c.use_dbif)),
+        ("eta".into(), format!("{:?}", c.eta)),
+        ("seed".into(), c.seed.to_string()),
+        ("window_margin".into(), c.window_margin.to_string()),
+        ("price_alpha".into(), format!("{:?}", c.price_alpha)),
+        ("weight_tau_ps".into(), format!("{:?}", c.weight_tau_ps)),
+        ("harvest".into(), b(c.harvest)),
+        ("materialize_windows".into(), b(c.materialize_windows)),
+        ("incremental".into(), b(c.incremental)),
+        ("price_tol".into(), format!("{:?}", c.price_tol)),
+        ("recount_every".into(), c.recount_every.to_string()),
+        ("queue".into(), c.queue.to_string()),
+        ("batch".into(), b(c.batch)),
+        ("shards".into(), c.shards.to_string()),
+        ("checkpoint_every".into(), c.checkpoint_every.to_string()),
+    ]
 }
 
-const ROUTE_FLAGS: &[&str] =
-    &["oracle", "threads", "iterations", "incremental", "price-tol", "seed", "set", "expect"];
-const ROUTE_SWITCHES: &[&str] = &["materialize"];
+/// Routes a streamed document, honoring `--resume` (continue from the
+/// document's `state` section) and `--checkpoint FILE` (write each
+/// periodic checkpoint as a complete, immediately resumable `cdst/2`
+/// document — later checkpoints overwrite earlier ones, so the file
+/// always holds the most recent resume point).
+fn route_streamed(
+    sc: &StreamedChip,
+    flags: &Flags,
+) -> Result<(RouterConfig, RoutingOutcome), String> {
+    let config = build_config(&sc.config, flags)?;
+    let resume: Option<&StateSection> = if flags.get("resume").is_some() {
+        Some(sc.state.as_ref().ok_or("--resume needs a cdst/2 document with a state section")?)
+    } else {
+        None
+    };
+    let checkpoint_to = flags.get("checkpoint");
+    if checkpoint_to.is_some() && config.checkpoint_every == 0 {
+        return Err("--checkpoint needs --set checkpoint_every=K (K > 0)".into());
+    }
+    let mut write_err: Option<String> = None;
+    let outcome = {
+        let mut on_checkpoint = |_iter: usize, state: StateSection| {
+            let Some(path) = checkpoint_to else { return };
+            if write_err.is_some() {
+                return;
+            }
+            let res = ChipDoc::from_chip(&sc.chip)
+                .map_err(|e| e.to_string())
+                .and_then(|mut doc| {
+                    doc.config = config_records(&config);
+                    doc.state = Some(state);
+                    chip_doc_to_string(&doc).map_err(|e| e.to_string())
+                })
+                .and_then(|text| std::fs::write(path, text).map_err(|e| format!("{path}: {e}")));
+            if let Err(e) = res {
+                write_err = Some(e);
+            }
+        };
+        Router::new(&sc.chip, config.clone()).run_checkpointed(
+            &mut WorkerPool::new(),
+            &RunControl::new(),
+            &mut |_, _| {},
+            resume,
+            &mut on_checkpoint,
+        )
+    };
+    if let Some(e) = write_err {
+        return Err(format!("checkpoint write failed: {e}"));
+    }
+    Ok((config, outcome))
+}
+
+const ROUTE_FLAGS: &[&str] = &[
+    "oracle",
+    "threads",
+    "iterations",
+    "incremental",
+    "price-tol",
+    "seed",
+    "set",
+    "expect",
+    "checkpoint",
+];
+const ROUTE_SWITCHES: &[&str] = &["materialize", "resume"];
 
 fn route(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
-    let doc = load_doc(flags.positional()?)?;
-    let (chip, config, out) = route_doc(&doc, &flags)?;
-    println!("{}", outcome_json(&chip, &config, &out));
+    let sc = load_streamed(flags.positional()?)?;
+    let (config, out) = route_streamed(&sc, &flags)?;
+    println!("{}", outcome_json(&sc.chip, &config, &out));
+    eprintln!(
+        "cds-cli: streamed {} records, {} ecap overrides applied in place, peak line {} bytes",
+        sc.stats.records, sc.stats.ecap_applied, sc.stats.peak_line_bytes
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -279,14 +391,14 @@ fn parse_checksum(v: &str) -> Result<u64, String> {
 fn verify(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
     let expect = parse_checksum(flags.get("expect").ok_or("verify needs --expect 0x<hex>")?)?;
-    let doc = load_doc(flags.positional()?)?;
-    let (chip, config, out) = route_doc(&doc, &flags)?;
+    let sc = load_streamed(flags.positional()?)?;
+    let (config, out) = route_streamed(&sc, &flags)?;
     let actual = out.checksum();
     let ok = actual == expect;
     println!(
         "{{\"chip\": \"{}\", \"oracle\": \"{}\", \"expected\": \"{:#018x}\", \
          \"actual\": \"{:#018x}\", \"match\": {}}}",
-        json_escape(&chip.name),
+        json_escape(&sc.chip.name),
         config.method,
         expect,
         actual,
@@ -305,7 +417,7 @@ fn verify(args: &[String]) -> Result<ExitCode, String> {
 fn harvest(args: &[String]) -> Result<ExitCode, String> {
     let flags = Flags::parse(args, ROUTE_FLAGS, ROUTE_SWITCHES)?;
     let mut doc = load_doc(flags.positional()?)?;
-    let mut config = build_config(&doc, &flags)?;
+    let mut config = build_config(&doc.config, &flags)?;
     config.harvest = true;
     let chip = doc.build_chip();
     let out = Router::new(&chip, config).run();
@@ -363,6 +475,7 @@ fn stream_doc(gi: usize, nx: u32, ny: u32, nl: u8) -> Result<String, String> {
         weights: Vec::new(),
         budgets: Vec::new(),
         requests: stream_requests(gi, nx, ny, nl),
+        state: None,
     };
     chip_doc_to_string(&doc).map_err(|e| e.to_string())
 }

@@ -154,6 +154,18 @@ impl Graph {
         out.clear();
         out.extend(self.attrs.iter().map(|a| a.delay));
     }
+
+    /// Overwrites the routing capacity of `e` in place. Only the
+    /// attribute changes — the CSR structure is untouched — so the
+    /// streaming document reader can apply `ecap` overrides to an
+    /// already-built graph instead of rebuilding it from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn set_edge_capacity(&mut self, e: EdgeId, capacity: f64) {
+        self.attrs[e as usize].capacity = capacity;
+    }
 }
 
 /// Incremental [`Graph`] construction.

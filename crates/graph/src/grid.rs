@@ -297,6 +297,13 @@ impl GridGraph {
     pub fn min_cost_per_gcell(&self) -> f64 {
         self.min_cost_per_gcell
     }
+
+    /// Overwrites one edge's capacity in place (see
+    /// [`Graph::set_edge_capacity`]); the derived per-gcell bounds are
+    /// unaffected because they depend only on the spec.
+    pub fn set_edge_capacity(&mut self, e: crate::graph::EdgeId, capacity: f64) {
+        self.graph.set_edge_capacity(e, capacity);
+    }
 }
 
 #[cfg(test)]

@@ -39,10 +39,12 @@
 pub mod dijkstra;
 pub mod graph;
 pub mod grid;
+pub mod shard;
 pub mod steiner;
 pub mod window;
 
 pub use graph::{EdgeAttrs, EdgeId, EdgeKind, Endpoints, Graph, GraphBuilder, VertexId};
 pub use grid::{Direction, GridGraph, GridSpec, LayerSpec, VertexCoord, WireTypeSpec};
+pub use shard::ShardGrid;
 pub use steiner::{RoutingSurface, SteinerGraph};
 pub use window::{window_bounds, EdgeIndex, GridWindow, WindowView};

@@ -1,0 +1,158 @@
+//! Die sharding geometry: a rectangular partition of the gcell plane
+//! into regions ("shards") for region-parallel routing.
+//!
+//! The router classifies each net by the bounding rectangle of its
+//! routing *window* (pins inflated by the window margin, see
+//! [`window_bounds`](crate::window::window_bounds)): a net whose window
+//! lies entirely inside one shard can be routed concurrently with any
+//! net of any other shard without sharing search state, because per-net
+//! results depend only on per-net inputs. Nets whose window crosses a
+//! shard boundary — the "halo" nets — are handled in a separate
+//! reconciliation pass. The geometry here is pure arithmetic over the
+//! shard count and the die dimensions, so a shard id is a deterministic
+//! function of the rectangle alone.
+
+/// A fixed `sx × sy` grid of rectangular shards over an `nx × ny` die.
+///
+/// The shard count is factored as close to square as possible and the
+/// larger factor is oriented along the larger die dimension, which
+/// keeps shard aspect ratios (and therefore the boundary-net fraction)
+/// low. Column/row strips are the standard balanced integer partition
+/// `strip(x) = x·s / n`, so strip widths differ by at most one gcell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardGrid {
+    nx: u32,
+    ny: u32,
+    sx: u32,
+    sy: u32,
+}
+
+impl ShardGrid {
+    /// Partitions an `nx × ny` die into `shards` regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die is empty or `shards` is zero.
+    pub fn new(nx: u32, ny: u32, shards: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "empty die");
+        assert!(shards > 0, "shard count must be positive");
+        let shards = shards as u32;
+        // largest divisor of `shards` that is <= sqrt(shards)
+        let mut small = (shards as f64).sqrt().floor() as u32;
+        while small > 1 && !shards.is_multiple_of(small) {
+            small -= 1;
+        }
+        let small = small.max(1);
+        let large = shards / small;
+        let (sx, sy) = if nx >= ny { (large, small) } else { (small, large) };
+        ShardGrid { nx, ny, sx, sy }
+    }
+
+    /// Total number of shards (`sx × sy`).
+    pub fn num_shards(&self) -> usize {
+        (self.sx * self.sy) as usize
+    }
+
+    /// Column strips × row strips.
+    pub fn dims(&self) -> (u32, u32) {
+        (self.sx, self.sy)
+    }
+
+    /// The column strip containing gcell column `x`.
+    fn strip_x(&self, x: u32) -> u32 {
+        (u64::from(x) * u64::from(self.sx) / u64::from(self.nx)) as u32
+    }
+
+    /// The row strip containing gcell row `y`.
+    fn strip_y(&self, y: u32) -> u32 {
+        (u64::from(y) * u64::from(self.sy) / u64::from(self.ny)) as u32
+    }
+
+    /// The shard containing gcell `(x, y)`.
+    ///
+    /// Coordinates outside the die clamp into the last strip, so the
+    /// result is total (window rectangles are already die-clamped by
+    /// construction).
+    pub fn shard_of(&self, x: u32, y: u32) -> usize {
+        let cx = self.strip_x(x.min(self.nx - 1));
+        let cy = self.strip_y(y.min(self.ny - 1));
+        (cy * self.sx + cx) as usize
+    }
+
+    /// The single shard fully containing the inclusive rectangle
+    /// `[x0, x1] × [y0, y1]`, or `None` when the rectangle crosses a
+    /// shard boundary (a halo net for the reconciliation pass).
+    pub fn shard_of_rect(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> Option<usize> {
+        let a = self.shard_of(x0, y0);
+        if a == self.shard_of(x1, y1) {
+            Some(a)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factoring_is_near_square_with_large_factor_on_large_dim() {
+        assert_eq!(ShardGrid::new(100, 50, 1).dims(), (1, 1));
+        assert_eq!(ShardGrid::new(100, 50, 2).dims(), (2, 1));
+        assert_eq!(ShardGrid::new(50, 100, 2).dims(), (1, 2));
+        assert_eq!(ShardGrid::new(100, 50, 4).dims(), (2, 2));
+        assert_eq!(ShardGrid::new(100, 50, 6).dims(), (3, 2));
+        assert_eq!(ShardGrid::new(100, 50, 8).dims(), (4, 2));
+        assert_eq!(ShardGrid::new(100, 50, 7).dims(), (7, 1));
+        assert_eq!(ShardGrid::new(10, 10, 12).dims(), (4, 3));
+    }
+
+    #[test]
+    fn every_gcell_lands_in_exactly_one_shard_and_all_are_used() {
+        for shards in [1usize, 2, 3, 4, 6, 8] {
+            let g = ShardGrid::new(17, 9, shards);
+            let mut seen = vec![0usize; g.num_shards()];
+            for y in 0..9 {
+                for x in 0..17 {
+                    seen[g.shard_of(x, y)] += 1;
+                }
+            }
+            assert_eq!(seen.iter().sum::<usize>(), 17 * 9);
+            assert!(seen.iter().all(|&c| c > 0), "{shards} shards: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn strips_are_monotone_and_balanced() {
+        let g = ShardGrid::new(10, 10, 4);
+        // 2x2: columns 0-4 strip 0, 5-9 strip 1
+        assert_eq!(g.shard_of(4, 0), 0);
+        assert_eq!(g.shard_of(5, 0), 1);
+        assert_eq!(g.shard_of(0, 4), 0);
+        assert_eq!(g.shard_of(0, 5), 2);
+    }
+
+    #[test]
+    fn rect_classification_detects_boundary_crossings() {
+        let g = ShardGrid::new(10, 10, 4);
+        assert_eq!(g.shard_of_rect(0, 0, 4, 4), Some(0));
+        assert_eq!(g.shard_of_rect(5, 0, 9, 4), Some(1));
+        assert_eq!(g.shard_of_rect(5, 5, 9, 9), Some(3));
+        assert_eq!(g.shard_of_rect(3, 0, 6, 2), None); // crosses x split
+        assert_eq!(g.shard_of_rect(0, 3, 2, 6), None); // crosses y split
+        assert_eq!(g.shard_of_rect(0, 0, 9, 9), None); // die-wide
+    }
+
+    #[test]
+    fn more_shards_than_gcells_still_total() {
+        let g = ShardGrid::new(2, 1, 8);
+        // degenerate but deterministic: every gcell maps somewhere
+        for x in 0..2 {
+            let s = g.shard_of(x, 0);
+            assert!(s < g.num_shards());
+        }
+        // out-of-range coordinates clamp instead of panicking
+        assert_eq!(g.shard_of(100, 100), g.shard_of(1, 0));
+    }
+}

@@ -36,7 +36,6 @@
 //! [`TwoLevelHeap`]: crate::TwoLevelHeap
 //! [`TwoLevelHeap::peek_key`]: crate::TwoLevelHeap::peek_key
 
-use crate::ordered::OrderedF64;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -44,10 +43,39 @@ use std::collections::BinaryHeap;
 /// `NUM_BUCKETS × quantum` live in the overflow heap.
 const NUM_BUCKETS: usize = 4096;
 
-/// A queued label: `(key, search, vertex)` under `Reverse` so each
-/// per-bucket heap (and the overflow heap) is a min-heap in the shared
-/// total order.
-type Entry = Reverse<(OrderedF64, u32, u32)>;
+/// A queued label, packed into one word: the monotone bit image of the
+/// key in the high 64 bits, then `search`, then `vertex`, so `u128`
+/// integer order *is* the shared `(key, search, vertex)` total order
+/// and each slot of a bucket heap is a single 16-byte word instead of
+/// a padded tuple. `Reverse` makes each per-bucket heap (and the
+/// overflow heap) a min-heap in that order.
+type Entry = Reverse<u128>;
+
+/// Monotone order-preserving map from a (non-NaN) `f64` key to the
+/// high word of an [`Entry`]: non-negative keys get their sign bit
+/// set, negative keys get all bits flipped, so unsigned integer order
+/// on the images equals numeric order on the keys. `-0.0` is
+/// canonicalized to `+0.0` *before* mapping: numerically (and under
+/// `OrderedF64`, which both queue backends historically shared)
+/// `-0.0 == +0.0`, so the tie must fall through to `(search, vertex)`
+/// — the raw bit images would instead sort every `-0.0` strictly
+/// first. The canonicalization is invisible to the label slab's
+/// liveness check, which compares keys with `f64` equality.
+#[inline]
+fn pack(key: f64, search: u32, vertex: u32) -> u128 {
+    let b = (key + 0.0).to_bits(); // -0.0 + 0.0 == +0.0; identity otherwise
+    let ord = if b >> 63 == 1 { !b } else { b | (1u64 << 63) };
+    ((ord as u128) << 64) | ((search as u128) << 32) | vertex as u128
+}
+
+/// Exact inverse of [`pack`] (up to the `-0.0 → +0.0`
+/// canonicalization, which `f64` equality cannot observe).
+#[inline]
+fn unpack(e: u128) -> (f64, u32, u32) {
+    let ord = (e >> 64) as u64;
+    let b = if ord >> 63 == 1 { ord ^ (1u64 << 63) } else { !ord };
+    (f64::from_bits(b), (e >> 32) as u32, e as u32)
+}
 
 /// Per-search label slab: best key per vertex, epoch-stamped so
 /// clearing a retired search is an `O(1)` epoch bump and the backing
@@ -311,7 +339,7 @@ impl BucketQueue {
                 }
                 slab.set(vertex, key);
                 let b = self.bucket_of(key);
-                let entry = Reverse((OrderedF64::new(key), search, vertex));
+                let entry = Reverse(pack(key, search, vertex));
                 if b == NUM_BUCKETS {
                     self.overflow.push(entry);
                 } else {
@@ -331,13 +359,13 @@ impl BucketQueue {
     /// entries and advances the scan cursor.
     pub fn peek_key(&mut self) -> Option<f64> {
         self.settle_min().map(|loc| {
-            let Reverse((k, _, _)) = *match loc {
+            let Reverse(e) = *match loc {
                 // INVARIANT: settle_min returns a location only after discarding dead tops and observing a live entry there.
                 Loc::Main(b) => self.buckets[b].peek().expect("settled bucket has a live top"),
                 // INVARIANT: settle_min discards dead overflow tops before returning Loc::Overflow.
                 Loc::Overflow => self.overflow.peek().expect("settled overflow has a live top"),
             };
-            k.get()
+            unpack(e).0
         })
     }
 
@@ -345,18 +373,19 @@ impl BucketQueue {
     /// total `(key, search, vertex)` order.
     pub fn pop(&mut self) -> Option<(u32, u32, f64)> {
         let loc = self.settle_min()?;
-        let Reverse((k, search, vertex)) = match loc {
+        let Reverse(e) = match loc {
             Loc::Main(b) => self.buckets[b].pop(),
             Loc::Overflow => self.overflow.pop(),
         }
         // INVARIANT: settle_min just observed a live top at loc, and nothing popped between.
         .expect("settled location has a live top");
+        let (k, search, vertex) = unpack(e);
         // INVARIANT: a search's slab outlives its queue entries: remove_search clears entries before the slab is freed.
         let slab = self.slabs[search as usize].as_mut().expect("live entry has a live search");
         slab.remove(vertex);
         slab.live -= 1;
         self.len -= 1;
-        Some((search, vertex, k.get()))
+        Some((search, vertex, k))
     }
 
     /// Locates the global minimum live entry, pruning stale entries and
@@ -371,8 +400,9 @@ impl BucketQueue {
         }
         while self.scan_from < NUM_BUCKETS {
             let b = self.scan_from;
-            while let Some(&Reverse((k, s, v))) = self.bucket(b).peek() {
-                if self.is_live(s, v, k.get()) {
+            while let Some(&Reverse(e)) = self.bucket(b).peek() {
+                let (k, s, v) = unpack(e);
+                if self.is_live(s, v, k) {
                     return Some(Loc::Main(b));
                 }
                 self.bucket(b).pop();
@@ -381,8 +411,9 @@ impl BucketQueue {
             self.scans += 1;
         }
         loop {
-            let &Reverse((k, s, v)) = self.overflow.peek()?;
-            if self.is_live(s, v, k.get()) {
+            let &Reverse(e) = self.overflow.peek()?;
+            let (k, s, v) = unpack(e);
+            if self.is_live(s, v, k) {
                 return Some(Loc::Overflow);
             }
             self.overflow.pop();
@@ -498,6 +529,57 @@ mod tests {
         assert_eq!(q.pop(), Some((b, 2, 1.0)));
         assert_eq!(q.pop(), Some((b, 9, 1.0)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn negative_zero_ties_break_on_search_then_vertex() {
+        // -0.0 == +0.0 numerically, so the tie must fall through to
+        // (search, vertex) exactly as TwoLevelHeap resolves it: the
+        // packed-word canonicalization is what keeps the raw bit image
+        // of -0.0 from jumping the queue.
+        let mut q = BucketQueue::new();
+        let mut h = TwoLevelHeap::new();
+        q.begin_solve(1.0);
+        let a = q.add_search();
+        let b = q.add_search();
+        assert_eq!(a, h.add_search());
+        assert_eq!(b, h.add_search());
+        for (s, v, k) in [(b, 4u32, 0.0f64), (a, 9, -0.0), (a, 2, 0.0), (b, 1, -0.0)] {
+            assert_eq!(q.push(s, v, k), h.push(s, v, k));
+        }
+        loop {
+            let (x, y) = (q.pop(), h.pop());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn packed_entries_round_trip_and_order_like_key_tuples() {
+        // the u128 image must be an order isomorphism of the
+        // (key, search, vertex) tuple order over non-NaN keys
+        let keys = [-1.5e300, -2.0, -0.0, 0.0, 1e-300, 0.5, 1.0, 4096.5, 1.5e300];
+        let mut entries = Vec::new();
+        for &k in &keys {
+            for s in [0u32, 1, u32::MAX] {
+                for v in [0u32, 7, u32::MAX] {
+                    let e = pack(k, s, v);
+                    let (k2, s2, v2) = unpack(e);
+                    assert_eq!(k2, k, "key survives the round trip under f64 equality");
+                    assert_eq!((s2, v2), (s, v));
+                    entries.push(((k, s, v), e));
+                }
+            }
+        }
+        for &((ka, sa, va), ea) in &entries {
+            for &((kb, sb, vb), eb) in &entries {
+                let tuple =
+                    (ka, sa, va).partial_cmp(&(kb, sb, vb)).expect("no NaN keys in the table");
+                assert_eq!(ea.cmp(&eb), tuple, "{ka}/{sa}/{va} vs {kb}/{sb}/{vb}");
+            }
+        }
     }
 
     proptest! {

@@ -34,6 +34,27 @@
 //! request <seed> <dbif> <eta> : <x> <y> <l> : <x> <y> <l> ... : <w> ...
 //! ```
 //!
+//! A `cdst/2` document may additionally end with a `state` section — a
+//! mid-run checkpoint of the rip-up loop (see [`StateSection`]) that
+//! `cds-cli route --resume` restores bit-identically:
+//!
+//! ```text
+//! state iter <completed_iterations>                     (first state record)
+//! state stats : <rerouted> ...                          (one count per iteration)
+//! state counters <dirty x6> <recounts> <retimed> <kernel x5>
+//! state usage <offset> : <u> ...                        (chunks of 16, offsets must chain)
+//! state hist <offset> : <h> ...
+//! state prices <offset> : <p> ...                       (omitted for full-reroute runs)
+//! state net <id> <routed> <drift> : <w> ... : <b>|- : <w_ref> ... : <b_ref>|-
+//! state tree <id> <wl> <vias> : <kind vertex parent plen> ... : <edge> ... : <delay> ...
+//! ```
+//!
+//! `state net` records must cover every net in order; `state tree`
+//! records cover exactly the routed nets, strictly increasing. A
+//! truncated or tampered state section is rejected with the offending
+//! line number (chunk offsets must chain; the end-of-document check
+//! requires full ledgers and net coverage).
+//!
 //! `ecap` records override the capacity of single edges of the graph
 //! the grid spec builds (macro depletion, harvested congestion maps);
 //! edge ids refer to the deterministic build order of
@@ -75,12 +96,109 @@ use super::{parse_chain_record, parse_net_record, ParseWorkloadError};
 use crate::{Chain, Chip, Net};
 use cds_delay::Technology;
 use cds_geom::Point;
-use cds_graph::{Direction, EdgeId, GraphBuilder, GridGraph, GridSpec, LayerSpec, WireTypeSpec};
+use cds_graph::{Direction, EdgeId, GridGraph, GridSpec, LayerSpec, WireTypeSpec};
 use std::fmt::Write as _;
 use std::io::BufRead;
 
-/// The version header every chip document starts with.
+/// The version header every stateless chip document starts with.
 pub const FORMAT_VERSION: &str = "cdst/1";
+
+/// The version header of documents carrying a `state` section (mid-run
+/// checkpoints). `cdst/2` is a strict superset of `cdst/1`: every
+/// `cdst/1` document parses unchanged under either header, and the
+/// `state` records described below are the only addition.
+pub const FORMAT_VERSION_STATE: &str = "cdst/2";
+
+/// Per-net scheduler and Lagrangean state at a checkpoint, one record
+/// per net in net order. Arities are validated against the net's sink
+/// count on both read and write.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateNet {
+    /// Whether the dirty tracker has seen this net routed (always true
+    /// after iteration 0 completes, but serialized for totality).
+    pub routed: bool,
+    /// Accumulated window price drift since the net last routed.
+    pub drift: f64,
+    /// Current per-sink delay weights.
+    pub weights: Vec<f64>,
+    /// Current per-sink delay budgets (`None` before the first STA).
+    pub budgets: Option<Vec<f64>>,
+    /// Weights snapshot from the net's last actual route (the dirty
+    /// tracker's reference); empty when unavailable (full-reroute runs).
+    pub weight_ref: Vec<f64>,
+    /// Budgets snapshot from the net's last actual route.
+    pub budget_ref: Option<Vec<f64>>,
+}
+
+/// One routed tree at a checkpoint: node structure (attachment order),
+/// per-node path edges, per-sink delays, and the summary scalars.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateTree {
+    /// Node kinds in attachment order: `-1` root, `-2` Steiner,
+    /// `>= 0` the sink index. Node 0 is always the root.
+    pub kinds: Vec<i64>,
+    /// Grid vertex of each node.
+    pub vertices: Vec<u32>,
+    /// Parent node of each node (attachment order guarantees
+    /// `parent < node`); entry 0 is unused and serialized as 0.
+    pub parents: Vec<u32>,
+    /// Number of path edges from each node to its parent (0 for the
+    /// root).
+    pub path_len: Vec<u32>,
+    /// Concatenated parent-path edge ids, `path_len[v]` per node.
+    pub path_edges: Vec<u32>,
+    /// Per-sink routed delays (arity = the net's sink count).
+    pub sink_delays: Vec<f64>,
+    /// Routed wirelength in gcells.
+    pub wirelength_gcells: f64,
+    /// Via count.
+    pub vias: u64,
+}
+
+/// Deterministic work counters of the completed iterations, serialized
+/// so a resumed run's cumulative statistics continue seamlessly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateStats {
+    /// Nets rerouted per completed iteration (length = the checkpoint's
+    /// iteration counter).
+    pub rerouted_per_iter: Vec<usize>,
+    /// Dirty-cause tallies: fresh, overflow, timing, price, weight,
+    /// budget.
+    pub dirty: [usize; 6],
+    /// Exact usage-ledger recounts performed.
+    pub usage_recounts: usize,
+    /// STA nodes re-timed so far.
+    pub sta_nodes_retimed: usize,
+    /// Kernel op-counters: settled, pushed, popped, decreased,
+    /// bucket scans.
+    pub kernel: [u64; 5],
+}
+
+/// The `cdst/2` `state` section: everything the rip-up loop needs to
+/// resume after `iteration` completed iterations and reproduce the
+/// uninterrupted run's checksum bit-for-bit. Ledger lengths are
+/// validated against the document's grid, per-net arities against its
+/// nets — on both read and write, so checkpoints stay round-trip-total.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StateSection {
+    /// Completed rip-up iterations (≥ 1; a checkpoint is only written
+    /// after an iteration completes).
+    pub iteration: usize,
+    /// Per-edge usage ledger (length = the grid's edge count).
+    pub usage: Vec<f64>,
+    /// Exponentially blended usage history the price schedule reads.
+    pub usage_hist: Vec<f64>,
+    /// Prices of the last completed iteration — the dirty tracker's
+    /// drift reference. Empty for full-reroute (non-incremental) runs.
+    pub prices: Vec<f64>,
+    /// Per-net scheduler/weight state, exactly one per net, in order.
+    pub nets: Vec<StateNet>,
+    /// Routed trees `(net id, tree)`, strictly increasing by net id;
+    /// exactly the nets with `routed` set carry a tree.
+    pub trees: Vec<(usize, StateTree)>,
+    /// Work counters of the completed iterations.
+    pub stats: StateStats,
+}
 
 /// One archived solver-level request: a raw cost-distance instance on
 /// the document's grid (root, sinks and their layers, delay weights,
@@ -134,6 +252,10 @@ pub struct ChipDoc {
     pub budgets: Vec<(usize, Vec<f64>)>,
     /// Archived solver-level requests.
     pub requests: Vec<RequestRecord>,
+    /// Mid-run checkpoint state. `Some` makes this a `cdst/2` document
+    /// (the writer switches headers); `cds-cli route --resume` restores
+    /// it.
+    pub state: Option<StateSection>,
 }
 
 /// Error from serializing a value the format cannot represent (NaN
@@ -247,6 +369,7 @@ impl ChipDoc {
             weights: Vec::new(),
             budgets: Vec::new(),
             requests: Vec::new(),
+            state: None,
         };
         validate_doc(&doc).map_err(werr)?;
         Ok(doc)
@@ -261,23 +384,10 @@ impl ChipDoc {
     /// (e.g. a hand-built `ChipDoc` with out-of-range `ecap` ids).
     pub fn build_chip(&self) -> Chip {
         let mut grid = self.grid.clone().build();
-        if !self.ecap.is_empty() {
-            let graph = grid.graph();
-            let mut b = GraphBuilder::new(graph.num_vertices());
-            let mut overrides = self.ecap.iter().peekable();
-            for e in 0..graph.num_edges() as EdgeId {
-                let ep = graph.endpoints(e);
-                let mut attrs = *graph.edge(e);
-                if let Some(&&(oe, cap)) = overrides.peek() {
-                    if oe == e {
-                        attrs.capacity = cap;
-                        overrides.next();
-                    }
-                }
-                b.add_edge(ep.u, ep.v, attrs);
-            }
-            assert!(overrides.next().is_none(), "ecap edge id out of range");
-            grid = GridGraph::from_parts(self.grid.clone(), b.build());
+        let num_edges = grid.graph().num_edges();
+        for &(e, cap) in &self.ecap {
+            assert!((e as usize) < num_edges, "ecap edge id out of range");
+            grid.set_edge_capacity(e, cap);
         }
         let delay_model = Technology::five_nm_like(self.tech_layers).calibrate(self.grid.gcell_um);
         Chip {
@@ -432,6 +542,174 @@ fn validate_doc(doc: &ChipDoc) -> Result<(), String> {
             }
         }
     }
+    if let Some(state) = &doc.state {
+        let num_vertices = spec.nx as usize * spec.ny as usize * spec.layers.len();
+        validate_state(state, num_edges, num_vertices, &doc.nets)?;
+    }
+    Ok(())
+}
+
+/// Structural validation of a checkpoint section against its document:
+/// ledger lengths match the grid, per-net arities match the nets, trees
+/// are well-formed and cover exactly the routed nets. Shared by the
+/// writer (totality) and the parser's end-of-document check, so a
+/// checkpoint is accepted if and only if it can be re-serialized.
+fn validate_state(
+    state: &StateSection,
+    num_edges: usize,
+    num_vertices: usize,
+    nets: &[Net],
+) -> Result<(), String> {
+    if state.iteration == 0 {
+        return Err("state iteration counter must be at least 1".into());
+    }
+    if state.stats.rerouted_per_iter.len() != state.iteration {
+        return Err(format!(
+            "state stats record {} reroute counts for {} iterations",
+            state.stats.rerouted_per_iter.len(),
+            state.iteration
+        ));
+    }
+    for (label, ledger) in [("usage", &state.usage), ("hist", &state.usage_hist)] {
+        if ledger.len() != num_edges {
+            return Err(format!(
+                "state {label} has {} values for a grid with {num_edges} edges",
+                ledger.len()
+            ));
+        }
+    }
+    if !state.prices.is_empty() && state.prices.len() != num_edges {
+        return Err(format!(
+            "state prices has {} values for a grid with {num_edges} edges",
+            state.prices.len()
+        ));
+    }
+    for ledger in [&state.usage, &state.usage_hist, &state.prices] {
+        for &v in ledger.iter() {
+            finite_or_err(v, "state ledger value")?;
+        }
+    }
+    if state.nets.len() != nets.len() {
+        return Err(format!(
+            "state has {} net records for {} nets (one per net required)",
+            state.nets.len(),
+            nets.len()
+        ));
+    }
+    for (i, n) in state.nets.iter().enumerate() {
+        let sinks = nets[i].sinks.len();
+        finite_or_err(n.drift, "state net drift")?;
+        if n.weights.len() != sinks {
+            return Err(format!("state net {i}: {} weights for {sinks} sinks", n.weights.len()));
+        }
+        if !n.weight_ref.is_empty() && n.weight_ref.len() != sinks {
+            return Err(format!(
+                "state net {i}: {} reference weights for {sinks} sinks",
+                n.weight_ref.len()
+            ));
+        }
+        for (label, budgets) in [("budgets", &n.budgets), ("reference budgets", &n.budget_ref)] {
+            if let Some(b) = budgets {
+                if b.len() != sinks {
+                    return Err(format!("state net {i}: {} {label} for {sinks} sinks", b.len()));
+                }
+            }
+        }
+        for v in n
+            .weights
+            .iter()
+            .chain(n.weight_ref.iter())
+            .chain(n.budgets.iter().flatten())
+            .chain(n.budget_ref.iter().flatten())
+        {
+            finite_or_err(*v, "state net value")?;
+        }
+    }
+    let mut prev_tree = None;
+    for &(id, ref tree) in &state.trees {
+        if prev_tree.is_some_and(|p| id <= p) {
+            return Err("state tree net ids must be strictly increasing".into());
+        }
+        prev_tree = Some(id);
+        if id >= nets.len() {
+            return Err(format!("state tree for unknown net {id}"));
+        }
+        if !state.nets[id].routed {
+            return Err(format!("state tree for net {id}, which is not marked routed"));
+        }
+        validate_state_tree(tree, num_vertices, num_edges, nets[id].sinks.len())
+            .map_err(|m| format!("state tree for net {id}: {m}"))?;
+    }
+    let routed = state.nets.iter().filter(|n| n.routed).count();
+    if state.trees.len() != routed {
+        return Err(format!(
+            "state has {} trees for {routed} routed nets (every routed net needs its tree)",
+            state.trees.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Well-formedness of one checkpoint tree: attachment order, in-range
+/// vertices/edges/sink indices, path-edge framing, sink-delay arity.
+fn validate_state_tree(
+    t: &StateTree,
+    num_vertices: usize,
+    num_edges: usize,
+    num_sinks: usize,
+) -> Result<(), String> {
+    let n = t.kinds.len();
+    if n == 0 {
+        return Err("tree has no nodes".into());
+    }
+    if t.vertices.len() != n || t.parents.len() != n || t.path_len.len() != n {
+        return Err("node arrays disagree on the node count".into());
+    }
+    for (v, &k) in t.kinds.iter().enumerate() {
+        if v == 0 {
+            if k != -1 {
+                return Err("node 0 must be the root (kind -1)".into());
+            }
+            if t.parents[0] != 0 || t.path_len[0] != 0 {
+                return Err("the root has no parent or parent path".into());
+            }
+        } else {
+            if k == -1 {
+                return Err(format!("node {v} repeats the root kind"));
+            }
+            if k != -2 && !(0..num_sinks as i64).contains(&k) {
+                return Err(format!("node {v} kind {k} is not a Steiner node or a sink index"));
+            }
+            if t.parents[v] as usize >= v {
+                return Err(format!(
+                    "node {v} parent {} breaks attachment order (parent must precede node)",
+                    t.parents[v]
+                ));
+            }
+        }
+        if t.vertices[v] as usize >= num_vertices {
+            return Err(format!("node {v} vertex {} outside the grid", t.vertices[v]));
+        }
+    }
+    let total: u64 = t.path_len.iter().map(|&l| u64::from(l)).sum();
+    if total != t.path_edges.len() as u64 {
+        return Err(format!(
+            "{} path edges for a total path length of {total}",
+            t.path_edges.len()
+        ));
+    }
+    for &e in &t.path_edges {
+        if e as usize >= num_edges {
+            return Err(format!("path edge {e} out of range (grid has {num_edges} edges)"));
+        }
+    }
+    if t.sink_delays.len() != num_sinks {
+        return Err(format!("{} sink delays for {num_sinks} sinks", t.sink_delays.len()));
+    }
+    for &d in &t.sink_delays {
+        finite_or_err(d, "sink delay")?;
+    }
+    finite_or_err(t.wirelength_gcells, "tree wirelength")?;
     Ok(())
 }
 
@@ -446,7 +724,8 @@ fn validate_doc(doc: &ChipDoc) -> Result<(), String> {
 pub fn chip_doc_to_string(doc: &ChipDoc) -> Result<String, DocWriteError> {
     validate_doc(doc).map_err(werr)?;
     let mut out = String::new();
-    let _ = writeln!(out, "{FORMAT_VERSION}");
+    let header = if doc.state.is_some() { FORMAT_VERSION_STATE } else { FORMAT_VERSION };
+    let _ = writeln!(out, "{header}");
     let _ = writeln!(
         out,
         "# chip document: {} nets, {} chains, {} capacity overrides, {} requests",
@@ -514,7 +793,83 @@ pub fn chip_doc_to_string(doc: &ChipDoc) -> Result<String, DocWriteError> {
         }
         out.push('\n');
     }
+    if let Some(state) = &doc.state {
+        write_state_section(&mut out, state);
+    }
     Ok(out)
+}
+
+/// Emits the canonical `state` section (assumes [`validate_state`]
+/// passed). Ledgers are chunked 16 values per line so checkpoint files
+/// stay diffable and a truncated write is caught by the chunk-offset
+/// check rather than producing a silently short ledger.
+fn write_state_section(out: &mut String, state: &StateSection) {
+    let _ = writeln!(out, "state iter {}", state.iteration);
+    let s = &state.stats;
+    let _ = write!(out, "state stats :");
+    for r in &s.rerouted_per_iter {
+        let _ = write!(out, " {r}");
+    }
+    out.push('\n');
+    let _ = write!(out, "state counters");
+    for v in s.dirty {
+        let _ = write!(out, " {v}");
+    }
+    let _ = write!(out, " {} {}", s.usage_recounts, s.sta_nodes_retimed);
+    for v in s.kernel {
+        let _ = write!(out, " {v}");
+    }
+    out.push('\n');
+    for (label, ledger) in
+        [("usage", &state.usage), ("hist", &state.usage_hist), ("prices", &state.prices)]
+    {
+        for (ci, chunk) in ledger.chunks(16).enumerate() {
+            let _ = write!(out, "state {label} {} :", ci * 16);
+            for v in chunk {
+                let _ = write!(out, " {v:?}");
+            }
+            out.push('\n');
+        }
+    }
+    let write_opt = |out: &mut String, values: &Option<Vec<f64>>| match values {
+        Some(vs) => {
+            for v in vs {
+                let _ = write!(out, " {v:?}");
+            }
+        }
+        None => out.push_str(" -"),
+    };
+    for (i, n) in state.nets.iter().enumerate() {
+        let _ = write!(out, "state net {i} {} {:?} :", u8::from(n.routed), n.drift);
+        for v in &n.weights {
+            let _ = write!(out, " {v:?}");
+        }
+        out.push_str(" :");
+        write_opt(out, &n.budgets);
+        out.push_str(" :");
+        for v in &n.weight_ref {
+            let _ = write!(out, " {v:?}");
+        }
+        out.push_str(" :");
+        write_opt(out, &n.budget_ref);
+        out.push('\n');
+    }
+    for &(id, ref t) in &state.trees {
+        let _ = write!(out, "state tree {id} {:?} {} :", t.wirelength_gcells, t.vias);
+        for v in 0..t.kinds.len() {
+            let _ =
+                write!(out, " {} {} {} {}", t.kinds[v], t.vertices[v], t.parents[v], t.path_len[v]);
+        }
+        out.push_str(" :");
+        for e in &t.path_edges {
+            let _ = write!(out, " {e}");
+        }
+        out.push_str(" :");
+        for d in &t.sink_delays {
+            let _ = write!(out, " {d:?}");
+        }
+        out.push('\n');
+    }
 }
 
 /// Section ranks of the record kinds; records must appear in
@@ -529,14 +884,26 @@ fn record_rank(kind: &str) -> Option<u8> {
         "chain" => 6,
         "weights" | "budgets" => 7,
         "request" => 8,
+        "state" => 9,
         _ => return None,
     })
+}
+
+/// Where parsed `ecap` overrides go. The owned parse collects them into
+/// the [`ChipDoc`]; the streaming parse builds the [`GridGraph`] as soon
+/// as the layer records complete the spec and applies each override in
+/// place, so the overrides are never materialized as a list.
+enum EcapSink {
+    Collect(Vec<(EdgeId, f64)>),
+    Apply { grid: Option<GridGraph>, applied: usize },
 }
 
 /// Streaming parser state; consumes one trimmed record line at a time.
 struct DocParser {
     rank: u8,
     header_seen: bool,
+    /// Format version from the header (1 or 2); `state` records need 2.
+    version: u8,
     name: Option<String>,
     tech: Option<u8>,
     cell_delay: Option<f64>,
@@ -546,12 +913,20 @@ struct DocParser {
     layers: Vec<LayerSpec>,
     spec: Option<GridSpec>,
     num_edges: usize,
-    ecap: Vec<(EdgeId, f64)>,
+    num_vertices: usize,
+    sink: EcapSink,
+    /// Last `ecap` edge id, for the strict-increase check in both sinks.
+    last_ecap: Option<EdgeId>,
     nets: Vec<Net>,
     chains: Vec<Chain>,
     weights: Vec<(usize, Vec<f64>)>,
     budgets: Vec<(usize, Vec<f64>)>,
     requests: Vec<RequestRecord>,
+    /// Checkpoint section under construction; `Some` once `state iter`
+    /// was seen.
+    state: Option<StateSection>,
+    state_stats_seen: bool,
+    state_counters_seen: bool,
 }
 
 /// Parses the next whitespace token of `it` as `T`.
@@ -593,10 +968,11 @@ fn nan_check(v: f64, line: usize, what: &str) -> Result<(), ParseWorkloadError> 
 }
 
 impl DocParser {
-    fn new() -> Self {
+    fn new(sink: EcapSink) -> Self {
         DocParser {
             rank: 0,
             header_seen: false,
+            version: 0,
             name: None,
             tech: None,
             cell_delay: None,
@@ -605,12 +981,17 @@ impl DocParser {
             layers: Vec::new(),
             spec: None,
             num_edges: 0,
-            ecap: Vec::new(),
+            num_vertices: 0,
+            sink,
+            last_ecap: None,
             nets: Vec::new(),
             chains: Vec::new(),
             weights: Vec::new(),
             budgets: Vec::new(),
             requests: Vec::new(),
+            state: None,
+            state_stats_seen: false,
+            state_counters_seen: false,
         }
     }
 
@@ -625,13 +1006,17 @@ impl DocParser {
         // INVARIANT: the parse loop skips blank lines before calling record, so a first token exists.
         let kind = text.split_whitespace().next().expect("caller skips blank lines");
         if !self.header_seen {
-            if text == FORMAT_VERSION {
+            if text == FORMAT_VERSION || text == FORMAT_VERSION_STATE {
                 self.header_seen = true;
+                self.version = if text == FORMAT_VERSION { 1 } else { 2 };
                 self.rank = 1;
                 return Ok(());
             }
             if kind.starts_with("cdst/") {
-                return Err(perr(line, format!("unsupported version {kind} (want cdst/1)")));
+                return Err(perr(
+                    line,
+                    format!("unsupported version {kind} (want cdst/1 or cdst/2)"),
+                ));
             }
             return Err(perr(line, "missing cdst/1 header before the first record"));
         }
@@ -663,6 +1048,7 @@ impl DocParser {
             "chain" => self.chain(line, rest),
             "weights" | "budgets" => self.weights_budgets(line, rest, kind),
             "request" => self.request(line, rest),
+            "state" => self.state_record(line, rest),
             // INVARIANT: record_rank returned a rank for this kind, and the match above lists every ranked kind.
             _ => unreachable!("record_rank screened the kind"),
         }
@@ -782,6 +1168,13 @@ impl DocParser {
                 gcell_um,
             };
             self.num_edges = spec_num_edges(&spec);
+            self.num_vertices = nx as usize * ny as usize * spec.layers.len();
+            if let EcapSink::Apply { grid, .. } = &mut self.sink {
+                // streaming mode: build the graph the moment the spec is
+                // complete, so ecap overrides apply in place and nets
+                // stream straight into their tables
+                *grid = Some(spec.clone().build());
+            }
             self.spec = Some(spec);
         }
         Ok(())
@@ -798,10 +1191,18 @@ impl DocParser {
                 format!("ecap edge {e} out of range (grid has {} edges)", self.num_edges),
             ));
         }
-        if self.ecap.last().is_some_and(|&(p, _)| e <= p) {
+        if self.last_ecap.is_some_and(|p| e <= p) {
             return Err(perr(line, "ecap edge ids must be strictly increasing"));
         }
-        self.ecap.push((e, cap));
+        self.last_ecap = Some(e);
+        match &mut self.sink {
+            EcapSink::Collect(list) => list.push((e, cap)),
+            EcapSink::Apply { grid, applied } => {
+                // INVARIANT: rank order puts grid before ecap, and spec completion built the graph.
+                grid.as_mut().expect("rank order puts grid before ecap").set_edge_capacity(e, cap);
+                *applied += 1;
+            }
+        }
         Ok(())
     }
 
@@ -946,7 +1347,268 @@ impl DocParser {
         Ok(())
     }
 
-    fn finish(self, lines: usize) -> Result<ChipDoc, ParseWorkloadError> {
+    /// Dispatches a `state <kind> ...` record (cdst/2 checkpoints).
+    fn state_record(&mut self, line: usize, rest: &str) -> Result<(), ParseWorkloadError> {
+        if self.version < 2 {
+            return Err(perr(line, "state records require a cdst/2 header"));
+        }
+        let sub = rest
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| perr(line, "missing state record kind"))?;
+        let tail = rest[rest.find(sub).unwrap_or(0) + sub.len()..].trim_start();
+        if sub != "iter" && self.state.is_none() {
+            return Err(perr(line, "state iter must precede other state records"));
+        }
+        match sub {
+            "iter" => self.state_iter(line, tail),
+            "stats" => self.state_stats(line, tail),
+            "counters" => self.state_counters(line, tail),
+            "usage" | "hist" | "prices" => self.state_ledger(line, tail, sub),
+            "net" => self.state_net(line, tail),
+            "tree" => self.state_tree(line, tail),
+            other => Err(perr(line, format!("unknown state record {other}"))),
+        }
+    }
+
+    fn state_iter(&mut self, line: usize, tail: &str) -> Result<(), ParseWorkloadError> {
+        if self.state.is_some() {
+            return Err(perr(line, "duplicate state iter record"));
+        }
+        let mut it = tail.split_whitespace();
+        let iteration: usize = tok(&mut it, line, "state iteration counter")?;
+        no_more(it, line)?;
+        if iteration == 0 {
+            return Err(perr(line, "state iteration counter must be at least 1"));
+        }
+        self.state = Some(StateSection { iteration, ..Default::default() });
+        Ok(())
+    }
+
+    fn state_stats(&mut self, line: usize, tail: &str) -> Result<(), ParseWorkloadError> {
+        if self.state_stats_seen {
+            return Err(perr(line, "duplicate state stats record"));
+        }
+        self.state_stats_seen = true;
+        let tail = tail.strip_prefix(':').ok_or_else(|| perr(line, "missing ':' separator"))?;
+        let counts: Vec<usize> = tail
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| perr(line, format!("bad reroute count {v}"))))
+            .collect::<Result<_, _>>()?;
+        // INVARIANT: state_record gates every non-iter sub-record on state being set.
+        self.state.as_mut().expect("gated on state iter").stats.rerouted_per_iter = counts;
+        Ok(())
+    }
+
+    fn state_counters(&mut self, line: usize, tail: &str) -> Result<(), ParseWorkloadError> {
+        if self.state_counters_seen {
+            return Err(perr(line, "duplicate state counters record"));
+        }
+        self.state_counters_seen = true;
+        let mut it = tail.split_whitespace();
+        // INVARIANT: state_record gates every non-iter sub-record on state being set.
+        let stats = &mut self.state.as_mut().expect("gated on state iter").stats;
+        for slot in &mut stats.dirty {
+            *slot = tok(&mut it, line, "dirty-cause counter")?;
+        }
+        stats.usage_recounts = tok(&mut it, line, "usage recount counter")?;
+        stats.sta_nodes_retimed = tok(&mut it, line, "STA retime counter")?;
+        for slot in &mut stats.kernel {
+            *slot = tok(&mut it, line, "kernel counter")?;
+        }
+        no_more(it, line)?;
+        Ok(())
+    }
+
+    /// `state usage|hist|prices <start> : <v>...` — ledger values arrive
+    /// in chunks whose declared start offset must equal the values
+    /// already accumulated, so a dropped or reordered chunk is an error
+    /// on the exact line it happens.
+    fn state_ledger(
+        &mut self,
+        line: usize,
+        tail: &str,
+        sub: &str,
+    ) -> Result<(), ParseWorkloadError> {
+        let (head, vals) =
+            tail.split_once(':').ok_or_else(|| perr(line, "missing ':' separator"))?;
+        let start: usize = head
+            .trim()
+            .parse()
+            .map_err(|_| perr(line, format!("bad chunk offset {}", head.trim())))?;
+        let num_edges = self.num_edges;
+        // INVARIANT: state_record gates every non-iter sub-record on state being set.
+        let state = self.state.as_mut().expect("gated on state iter");
+        let ledger = match sub {
+            "usage" => &mut state.usage,
+            "hist" => &mut state.usage_hist,
+            _ => &mut state.prices,
+        };
+        if start != ledger.len() {
+            return Err(perr(
+                line,
+                format!("state {sub} chunk starts at {start}, expected {}", ledger.len()),
+            ));
+        }
+        for v in vals.split_whitespace() {
+            let value: f64 = v.parse().map_err(|_| perr(line, format!("bad {sub} value {v}")))?;
+            nan_check(value, line, "state ledger value")?;
+            if ledger.len() >= num_edges {
+                return Err(perr(
+                    line,
+                    format!("state {sub} has more values than the grid's {num_edges} edges"),
+                ));
+            }
+            ledger.push(value);
+        }
+        Ok(())
+    }
+
+    fn state_net(&mut self, line: usize, tail: &str) -> Result<(), ParseWorkloadError> {
+        let mut sections = tail.split(':');
+        // INVARIANT: split always yields at least one (possibly empty) part.
+        let head = sections.next().expect("split yields at least one part");
+        let w_part =
+            sections.next().ok_or_else(|| perr(line, "missing weights section after ':'"))?;
+        let b_part =
+            sections.next().ok_or_else(|| perr(line, "missing budgets section after ':'"))?;
+        let wr_part = sections
+            .next()
+            .ok_or_else(|| perr(line, "missing reference-weights section after ':'"))?;
+        let br_part = sections
+            .next()
+            .ok_or_else(|| perr(line, "missing reference-budgets section after ':'"))?;
+        if sections.next().is_some() {
+            return Err(perr(line, "too many ':' sections in state net record"));
+        }
+        let mut it = head.split_whitespace();
+        let id: usize = tok(&mut it, line, "net id")?;
+        let routed_raw: u8 = tok(&mut it, line, "routed flag")?;
+        let drift: f64 = ftok(&mut it, line, "drift")?;
+        no_more(it, line)?;
+        let routed = match routed_raw {
+            0 => false,
+            1 => true,
+            other => return Err(perr(line, format!("bad routed flag {other} (want 0 or 1)"))),
+        };
+        let seen = self.state.as_ref().map_or(0, |s| s.nets.len());
+        if id != seen {
+            return Err(perr(line, format!("state net {id} out of order (expected net {seen})")));
+        }
+        if id >= self.nets.len() {
+            return Err(perr(line, format!("state net {id} for unknown net")));
+        }
+        let sinks = self.nets[id].sinks.len();
+        let weights = parse_f64_list(w_part, line, "state net weight")?;
+        let budgets = parse_opt_f64_list(b_part, line, "state net budget")?;
+        let weight_ref = parse_f64_list(wr_part, line, "state net reference weight")?;
+        let budget_ref = parse_opt_f64_list(br_part, line, "state net reference budget")?;
+        if weights.len() != sinks {
+            return Err(perr(
+                line,
+                format!("state net {id}: {} weights for {sinks} sinks", weights.len()),
+            ));
+        }
+        if !weight_ref.is_empty() && weight_ref.len() != sinks {
+            return Err(perr(
+                line,
+                format!("state net {id}: {} reference weights for {sinks} sinks", weight_ref.len()),
+            ));
+        }
+        for (label, list) in [("budgets", &budgets), ("reference budgets", &budget_ref)] {
+            if let Some(b) = list {
+                if b.len() != sinks {
+                    return Err(perr(
+                        line,
+                        format!("state net {id}: {} {label} for {sinks} sinks", b.len()),
+                    ));
+                }
+            }
+        }
+        // INVARIANT: state_record gates every non-iter sub-record on state being set.
+        self.state.as_mut().expect("gated on state iter").nets.push(StateNet {
+            routed,
+            drift,
+            weights,
+            budgets,
+            weight_ref,
+            budget_ref,
+        });
+        Ok(())
+    }
+
+    fn state_tree(&mut self, line: usize, tail: &str) -> Result<(), ParseWorkloadError> {
+        let mut sections = tail.split(':');
+        // INVARIANT: split always yields at least one (possibly empty) part.
+        let head = sections.next().expect("split yields at least one part");
+        let nodes_part =
+            sections.next().ok_or_else(|| perr(line, "missing nodes section after ':'"))?;
+        let edges_part =
+            sections.next().ok_or_else(|| perr(line, "missing path-edges section after ':'"))?;
+        let delays_part =
+            sections.next().ok_or_else(|| perr(line, "missing sink-delays section after ':'"))?;
+        if sections.next().is_some() {
+            return Err(perr(line, "too many ':' sections in state tree record"));
+        }
+        let mut it = head.split_whitespace();
+        let id: usize = tok(&mut it, line, "net id")?;
+        let wirelength_gcells: f64 = ftok(&mut it, line, "tree wirelength")?;
+        let vias: u64 = tok(&mut it, line, "tree via count")?;
+        no_more(it, line)?;
+        if id >= self.nets.len() {
+            return Err(perr(line, format!("state tree for unknown net {id}")));
+        }
+        let sinks = self.nets[id].sinks.len();
+        let node_vals: Vec<i64> = nodes_part
+            .split_whitespace()
+            .map(|v| v.parse().map_err(|_| perr(line, format!("bad tree node value {v}"))))
+            .collect::<Result<_, _>>()?;
+        if node_vals.is_empty() || !node_vals.len().is_multiple_of(4) {
+            return Err(perr(
+                line,
+                "tree nodes must come as non-empty (kind vertex parent pathlen) quadruples",
+            ));
+        }
+        let n = node_vals.len() / 4;
+        let mut tree = StateTree {
+            kinds: Vec::with_capacity(n),
+            vertices: Vec::with_capacity(n),
+            parents: Vec::with_capacity(n),
+            path_len: Vec::with_capacity(n),
+            path_edges: Vec::new(),
+            sink_delays: Vec::new(),
+            wirelength_gcells,
+            vias,
+        };
+        let as_u32 = |v: i64, what: &str| -> Result<u32, ParseWorkloadError> {
+            u32::try_from(v).map_err(|_| perr(line, format!("bad tree node {what} {v}")))
+        };
+        for quad in node_vals.chunks(4) {
+            tree.kinds.push(quad[0]);
+            tree.vertices.push(as_u32(quad[1], "vertex")?);
+            tree.parents.push(as_u32(quad[2], "parent")?);
+            tree.path_len.push(as_u32(quad[3], "path length")?);
+        }
+        for v in edges_part.split_whitespace() {
+            let e: u32 = v.parse().map_err(|_| perr(line, format!("bad path edge {v}")))?;
+            tree.path_edges.push(e);
+        }
+        tree.sink_delays = parse_f64_list(delays_part, line, "sink delay")?;
+        validate_state_tree(&tree, self.num_vertices, self.num_edges, sinks)
+            .map_err(|m| perr(line, format!("state tree for net {id}: {m}")))?;
+        // INVARIANT: state_record gates every non-iter sub-record on state being set.
+        let state = self.state.as_mut().expect("gated on state iter");
+        if state.trees.last().is_some_and(|&(p, _)| id <= p) {
+            return Err(perr(line, "state tree net ids must be strictly increasing"));
+        }
+        state.trees.push((id, tree));
+        Ok(())
+    }
+
+    /// End-of-document completeness checks shared by the owned and
+    /// streaming finishers. `lines` is the physical line count; errors
+    /// report one past it (the EOF position).
+    fn check_complete(&self, lines: usize) -> Result<(), ParseWorkloadError> {
         let eof = lines + 1;
         if !self.header_seen {
             return Err(perr(1, "missing cdst/1 header"));
@@ -955,32 +1617,114 @@ impl DocParser {
         if missing > 0 {
             return Err(perr(eof, format!("missing {missing} layer record(s)")));
         }
-        let Some(grid) = self.spec else {
+        if self.spec.is_none() {
             return Err(perr(eof, "missing grid record"));
-        };
-        let Some(name) = self.name else {
+        }
+        if self.name.is_none() {
             return Err(perr(eof, "missing chip record"));
-        };
-        let Some(tech_layers) = self.tech else {
+        }
+        if self.tech.is_none() {
             return Err(perr(eof, "missing tech record"));
-        };
-        let Some(cell_delay_ps) = self.cell_delay else {
+        }
+        if self.cell_delay.is_none() {
             return Err(perr(eof, "missing celldelay record"));
+        }
+        if let Some(state) = &self.state {
+            // a checkpoint is all-or-nothing: a truncated state section
+            // (short ledger, missing nets or trees) is rejected here
+            validate_state(state, self.num_edges, self.num_vertices, &self.nets)
+                .map_err(|m| perr(eof, format!("incomplete state section: {m}")))?;
+        }
+        Ok(())
+    }
+
+    fn finish(self, lines: usize) -> Result<ChipDoc, ParseWorkloadError> {
+        self.check_complete(lines)?;
+        let EcapSink::Collect(ecap) = self.sink else {
+            // INVARIANT: finish is only called by the owned parse, which constructs the Collect sink.
+            unreachable!("owned parse uses the collect sink")
         };
         Ok(ChipDoc {
-            name,
-            tech_layers,
-            cell_delay_ps,
+            // INVARIANT: check_complete verified the chip record is present.
+            name: self.name.expect("checked complete"),
+            // INVARIANT: check_complete verified the tech record is present.
+            tech_layers: self.tech.expect("checked complete"),
+            // INVARIANT: check_complete verified the celldelay record is present.
+            cell_delay_ps: self.cell_delay.expect("checked complete"),
             config: self.config,
-            grid,
-            ecap: self.ecap,
+            // INVARIANT: check_complete verified the grid record is present.
+            grid: self.spec.expect("checked complete"),
+            ecap,
             nets: self.nets,
             chains: self.chains,
             weights: self.weights,
             budgets: self.budgets,
             requests: self.requests,
+            state: self.state,
         })
     }
+
+    fn finish_streamed(
+        self,
+        lines: usize,
+        mut stats: ReaderStats,
+    ) -> Result<StreamedChip, ParseWorkloadError> {
+        self.check_complete(lines)?;
+        let EcapSink::Apply { grid, applied } = self.sink else {
+            // INVARIANT: finish_streamed is only called by the streaming parse, which constructs the Apply sink.
+            unreachable!("streaming parse uses the apply sink")
+        };
+        stats.ecap_applied = applied;
+        // INVARIANT: check_complete verified the grid record, and spec completion built the graph.
+        let grid = grid.expect("checked complete");
+        // INVARIANT: check_complete verified every required record is present.
+        let tech_layers = self.tech.expect("checked complete");
+        let delay_model = Technology::five_nm_like(tech_layers).calibrate(grid.spec().gcell_um);
+        Ok(StreamedChip {
+            chip: Chip {
+                // INVARIANT: check_complete verified the chip record is present.
+                name: self.name.expect("checked complete"),
+                grid,
+                delay_model,
+                nets: self.nets,
+                chains: self.chains,
+                // INVARIANT: check_complete verified the celldelay record is present.
+                cell_delay_ps: self.cell_delay.expect("checked complete"),
+            },
+            tech_layers,
+            config: self.config,
+            weights: self.weights,
+            budgets: self.budgets,
+            requests: self.requests,
+            state: self.state,
+            stats,
+        })
+    }
+}
+
+/// Parses a `':'`-delimited section as whitespace-separated finite
+/// floats (possibly none).
+fn parse_f64_list(part: &str, line: usize, what: &str) -> Result<Vec<f64>, ParseWorkloadError> {
+    let values: Vec<f64> = part
+        .split_whitespace()
+        .map(|v| v.parse().map_err(|_| perr(line, format!("bad {what} {v}"))))
+        .collect::<Result<_, _>>()?;
+    for &v in &values {
+        nan_check(v, line, what)?;
+    }
+    Ok(values)
+}
+
+/// Like [`parse_f64_list`], but a lone `-` means `None`.
+fn parse_opt_f64_list(
+    part: &str,
+    line: usize,
+    what: &str,
+) -> Result<Option<Vec<f64>>, ParseWorkloadError> {
+    if part.trim() == "-" {
+        return Ok(None);
+    }
+    parse_f64_list(part, line, what).map(Some)
 }
 
 /// Streaming parse from any reader: lines are consumed one at a time
@@ -992,7 +1736,7 @@ impl DocParser {
 /// The first malformed line, with its 1-based line number; reader
 /// errors are reported on the line they interrupted.
 pub fn read_chip_doc<R: BufRead>(mut reader: R) -> Result<ChipDoc, ParseWorkloadError> {
-    let mut parser = DocParser::new();
+    let mut parser = DocParser::new(EcapSink::Collect(Vec::new()));
     let mut buf = String::new();
     let mut line = 0usize;
     loop {
@@ -1006,6 +1750,84 @@ pub fn read_chip_doc<R: BufRead>(mut reader: R) -> Result<ChipDoc, ParseWorkload
         if text.is_empty() || text.starts_with('#') {
             continue;
         }
+        parser.record(line, text)?;
+    }
+}
+
+/// Work counters of one streaming read, for the peak-memory
+/// experiments: the owned parse materializes a [`ChipDoc`] (an `ecap`
+/// list plus a second copy of every net) before building the chip,
+/// while the streaming reader's transient state is one line buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReaderStats {
+    /// Non-blank, non-comment record lines consumed.
+    pub records: usize,
+    /// `ecap` overrides applied in place to the already-built graph.
+    pub ecap_applied: usize,
+    /// Largest single line buffered (bytes) — the reader's only
+    /// transient allocation, so this bounds its working set on top of
+    /// the output.
+    pub peak_line_bytes: usize,
+}
+
+/// Result of [`read_chip_streaming`]: the routable chip plus the
+/// document extras that are not part of [`Chip`], without the
+/// intermediate [`ChipDoc`] the owned parse materializes.
+#[derive(Debug, Clone)]
+pub struct StreamedChip {
+    /// The routable chip (graph built during the parse, `ecap` applied
+    /// in place).
+    pub chip: Chip,
+    /// Metal layer count the delay model was calibrated from.
+    pub tech_layers: u8,
+    /// Router configuration overrides, in document order.
+    pub config: Vec<(String, String)>,
+    /// Per-net delay weights (the harvest archive).
+    pub weights: Vec<(usize, Vec<f64>)>,
+    /// Per-net delay budgets.
+    pub budgets: Vec<(usize, Vec<f64>)>,
+    /// Archived solver-level requests.
+    pub requests: Vec<RequestRecord>,
+    /// Mid-run checkpoint state (cdst/2 documents).
+    pub state: Option<StateSection>,
+    /// Work counters of the read.
+    pub stats: ReaderStats,
+}
+
+/// Streaming parse that feeds records straight into the chip being
+/// built: the grid graph is constructed the moment the layer records
+/// complete the spec, `ecap` overrides are applied to it in place, and
+/// nets/chains accumulate directly in their final tables. Peak memory
+/// is the finished chip plus one line buffer — no intermediate
+/// [`ChipDoc`] (which would hold a second copy of the workload) exists
+/// at any point.
+///
+/// Accepts exactly the documents [`read_chip_doc`] accepts, and rejects
+/// malformed input with the same first-error line number (enforced by
+/// proptest in `tests/chipdoc.rs`).
+///
+/// # Errors
+///
+/// The first malformed line, with its 1-based line number; reader
+/// errors are reported on the line they interrupted.
+pub fn read_chip_streaming<R: BufRead>(mut reader: R) -> Result<StreamedChip, ParseWorkloadError> {
+    let mut parser = DocParser::new(EcapSink::Apply { grid: None, applied: 0 });
+    let mut buf = String::new();
+    let mut line = 0usize;
+    let mut stats = ReaderStats::default();
+    loop {
+        buf.clear();
+        line += 1;
+        let n = reader.read_line(&mut buf).map_err(|e| perr(line, format!("read error: {e}")))?;
+        if n == 0 {
+            return parser.finish_streamed(line - 1, stats);
+        }
+        stats.peak_line_bytes = stats.peak_line_bytes.max(buf.len());
+        let text = buf.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        stats.records += 1;
         parser.record(line, text)?;
     }
 }
@@ -1128,7 +1950,7 @@ mod tests {
     fn parse_errors_carry_line_numbers() {
         let cases: &[(&str, usize, &str)] = &[
             ("chip x\n", 1, "missing cdst/1 header"),
-            ("cdst/2\n", 1, "unsupported version"),
+            ("cdst/3\n", 1, "unsupported version"),
             ("cdst/1\ncdst/1\n", 2, "unknown record"),
             ("cdst/1\n# c\nbogus 1\n", 3, "unknown record"),
             ("cdst/1\nchip a\nchip b\n", 3, "duplicate chip"),
@@ -1232,5 +2054,146 @@ mod tests {
         let noisy: String =
             text.lines().flat_map(|l| [l, "", "# noise"]).collect::<Vec<_>>().join("\n");
         assert_eq!(parse_chip_doc(&noisy).unwrap(), doc);
+    }
+
+    /// A synthetic but fully valid checkpoint over `small_doc`'s nets:
+    /// every net routed, a one-node tree per net rooted at its root
+    /// vertex (zero sinks would be invalid, so sinks get delays and
+    /// sink nodes attached to the root with empty paths).
+    fn doc_with_state() -> ChipDoc {
+        let mut doc = small_doc();
+        let num_edges = spec_num_edges(&doc.grid);
+        let mut state = StateSection {
+            iteration: 2,
+            usage: (0..num_edges).map(|e| (e % 3) as f64 * 0.5).collect(),
+            usage_hist: (0..num_edges).map(|e| (e % 5) as f64 * 0.25).collect(),
+            prices: (0..num_edges).map(|e| 1.0 + (e % 7) as f64).collect(),
+            stats: StateStats {
+                rerouted_per_iter: vec![doc.nets.len(), 3],
+                dirty: [doc.nets.len(), 1, 0, 2, 0, 0],
+                usage_recounts: 1,
+                sta_nodes_retimed: 17,
+                kernel: [100, 90, 80, 7, 3],
+            },
+            ..Default::default()
+        };
+        let vertex = |p: Point| p.y as u32 * doc.grid.nx + p.x as u32;
+        for net in &doc.nets {
+            let k = net.sinks.len();
+            state.nets.push(StateNet {
+                routed: true,
+                drift: 0.125,
+                weights: vec![0.5; k],
+                budgets: Some(vec![250.0; k]),
+                weight_ref: vec![0.5; k],
+                budget_ref: None,
+            });
+        }
+        for (i, net) in doc.nets.iter().enumerate() {
+            let k = net.sinks.len();
+            let mut tree = StateTree {
+                kinds: vec![-1],
+                vertices: vec![vertex(net.root)],
+                parents: vec![0],
+                path_len: vec![0],
+                path_edges: vec![],
+                sink_delays: vec![42.5; k],
+                wirelength_gcells: k as f64,
+                vias: 1,
+            };
+            for (s, &sink) in net.sinks.iter().enumerate() {
+                tree.kinds.push(s as i64);
+                tree.vertices.push(vertex(sink));
+                tree.parents.push(0);
+                tree.path_len.push(0);
+            }
+            state.trees.push((i, tree));
+        }
+        doc.state = Some(state);
+        doc
+    }
+
+    #[test]
+    fn state_section_round_trips_bit_identically() {
+        let doc = doc_with_state();
+        let text = chip_doc_to_string(&doc).unwrap();
+        assert!(text.starts_with("cdst/2\n"), "state docs get the cdst/2 header");
+        let parsed = parse_chip_doc(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(chip_doc_to_string(&parsed).unwrap(), text);
+        // the streaming reader recovers the same state section
+        let streamed = read_chip_streaming(text.as_bytes()).unwrap();
+        assert_eq!(streamed.state, doc.state);
+    }
+
+    #[test]
+    fn state_records_require_the_cdst2_header() {
+        let text = "cdst/1\nchip a\ntech 2\ncelldelay 1.0\n\
+                    grid 4 4 1 1.0 1.0 1.0 1.0\nlayer H : 1.0 1.0 1.0\nstate iter 1\n";
+        let e = parse_chip_doc(text).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("cdst/2"), "{e}");
+    }
+
+    #[test]
+    fn truncated_or_tampered_state_is_rejected_with_line_numbers() {
+        let doc = doc_with_state();
+        let text = chip_doc_to_string(&doc).unwrap();
+
+        // truncation anywhere in the state section: incomplete at EOF
+        let state_start = text.lines().position(|l| l.starts_with("state ")).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        for cut in state_start + 1..lines.len() {
+            let truncated = lines[..cut].join("\n") + "\n";
+            let e = parse_chip_doc(&truncated).unwrap_err();
+            assert_eq!(e.line, cut + 1, "cut at {cut}: {e}");
+            assert!(e.message.contains("incomplete state section"), "cut at {cut}: {e}");
+        }
+
+        // a dropped ledger chunk breaks the offset chain on the next line
+        let usage_lines: Vec<usize> =
+            (0..lines.len()).filter(|&i| lines[i].starts_with("state usage")).collect();
+        if usage_lines.len() >= 2 {
+            let mut dropped = lines.clone();
+            dropped.remove(usage_lines[0]);
+            let e = parse_chip_doc(&(dropped.join("\n") + "\n")).unwrap_err();
+            assert_eq!(e.line, usage_lines[1]); // the old line i+1 is now line i (1-based)
+            assert!(e.message.contains("chunk starts at"), "{e}");
+        }
+
+        // state records under a cdst/1 body position are still ordered:
+        // a net record after the state section is out of section order
+        let with_trailer = text.clone() + "net 0 0 : 1 1\n";
+        let e = parse_chip_doc(&with_trailer).unwrap_err();
+        assert!(e.message.contains("out of section order"), "{e}");
+
+        // tampering a tree record is caught on its own line
+        let tree_line = (0..lines.len()).find(|&i| lines[i].starts_with("state tree")).unwrap();
+        let mut tampered = lines.clone();
+        let bad = lines[tree_line].replacen(" : ", " 9999 : ", 1); // stray token in the head
+        tampered[tree_line] = &bad;
+        let e = parse_chip_doc(&(tampered.join("\n") + "\n")).unwrap_err();
+        assert_eq!(e.line, tree_line + 1);
+        assert!(e.message.contains("unexpected trailing token"), "{e}");
+    }
+
+    #[test]
+    fn streaming_reader_reports_work_counters() {
+        let doc = small_doc();
+        let text = chip_doc_to_string(&doc).unwrap();
+        let streamed = read_chip_streaming(text.as_bytes()).unwrap();
+        assert_eq!(streamed.stats.ecap_applied, doc.ecap.len());
+        assert!(streamed.stats.records > 0);
+        assert!(streamed.stats.peak_line_bytes > 0);
+        // the streamed chip equals the owned build
+        let owned = doc.build_chip();
+        assert_eq!(streamed.chip.nets, owned.nets);
+        assert_eq!(streamed.chip.chains, owned.chains);
+        assert_eq!(streamed.chip.delay_model, owned.delay_model);
+        let (a, b) = (streamed.chip.grid.graph(), owned.grid.graph());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edge_ids() {
+            assert_eq!(a.edge(e).capacity.to_bits(), b.edge(e).capacity.to_bits(), "edge {e}");
+        }
     }
 }

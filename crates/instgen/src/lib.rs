@@ -394,7 +394,7 @@ impl ChipSpec {
                         .iter()
                         .enumerate()
                         .min_by_key(|(_, &s)| s.l1(next_root))
-                        // INVARIANT: generated nets always carry at least one sink, so the minimum exists.
+                        // generated nets always carry at least one sink, so the minimum exists
                         .expect("nets have sinks");
                     Some(best)
                 } else {
@@ -407,7 +407,7 @@ impl ChipSpec {
                         .sinks
                         .iter()
                         .max_by_key(|&&s| s.l1(nets[net].root))
-                        // INVARIANT: generated nets always carry at least one sink, so the maximum exists.
+                        // generated nets always carry at least one sink, so the maximum exists
                         .expect("nets have sinks"),
                 };
                 est_delay += est(nets[net].root, stage_sink) + self.cell_delay();

@@ -50,13 +50,17 @@ pub use oracle::{
 
 use cds_core::{SessionConfig, SolveStats};
 use cds_geom::Point;
-use cds_graph::{EdgeAttrs, EdgeId, EdgeIndex, EdgeKind, GridWindow, RoutingSurface, WindowView};
+use cds_graph::{
+    window_bounds, EdgeAttrs, EdgeId, EdgeIndex, EdgeKind, GridWindow, RoutingSurface, ShardGrid,
+    WindowView,
+};
+use cds_instgen::io::doc::{StateNet, StateSection, StateStats, StateTree};
 use cds_instgen::Chip;
 use cds_metrics::{
     ace4, forest_totals, overflow_flags, wire_congestion, wirelength_meters, RunMetrics,
 };
 use cds_sta::{IncrementalSta, TimingGraph, TimingReport};
-use cds_topo::{BifurcationConfig, RoutedForest, TreeView};
+use cds_topo::{BifurcationConfig, NodeKind, RoutedForest, TreeDump, TreeView};
 use schedule::{DirtyCause, DirtyTracker};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -208,6 +212,23 @@ pub struct RouterConfig {
     /// from each new Steiner terminal. Changes which trees are found —
     /// off by default so the pinned goldens stay put.
     pub batch: bool,
+    /// Region-parallel routing: partition the die into this many
+    /// rectangular shards ([`ShardGrid`]) and schedule each iteration's
+    /// rip-up in two phases — nets whose routing window lies entirely
+    /// inside one shard are claimed a whole shard at a time
+    /// (embarrassingly parallel, good worker locality), then the
+    /// boundary-crossing nets run through the plain per-net work queue.
+    /// Purely a scheduling knob: per-net results depend only on per-net
+    /// inputs and the merge stays in global net order, so results are
+    /// bit-identical across shard counts (pinned alongside the thread
+    /// pins). `1` (the default) is the unsharded work queue.
+    pub shards: usize,
+    /// Emit a resumable checkpoint (`cdst/2` `state` section) after
+    /// every this many completed rip-up iterations, except after the
+    /// final one. `0` (the default) disables checkpointing. A run
+    /// resumed from such a checkpoint reproduces the uninterrupted
+    /// run's checksum bit-for-bit (see [`Router::run_checkpointed`]).
+    pub checkpoint_every: usize,
 }
 
 impl RouterConfig {
@@ -249,6 +270,8 @@ impl RouterConfig {
             "recount_every" => self.recount_every = num(key, value)?,
             "queue" => self.queue = value.parse()?,
             "batch" => self.batch = boolean(key, value)?,
+            "shards" => self.shards = num(key, value)?,
+            "checkpoint_every" => self.checkpoint_every = num(key, value)?,
             _ => return Err(format!("unknown router knob {key}")),
         }
         Ok(())
@@ -274,6 +297,8 @@ impl Default for RouterConfig {
             recount_every: 4,
             queue: QueueKind::default(),
             batch: false,
+            shards: 1,
+            checkpoint_every: 0,
         }
     }
 }
@@ -321,6 +346,53 @@ fn accumulate_usage(forest: &RoutedForest, out: &mut [f64]) {
         for &(e, tracks) in forest.used_edges(slot) {
             out[e as usize] += tracks;
         }
+    }
+}
+
+/// Decodes a serialized checkpoint tree into the forest's structural
+/// dump form (`cdst/2` kind codes: `-1` root, `-2` Steiner, `>= 0` the
+/// sink index). Importing the dump reproduces node ids, CSR layout and
+/// enumeration order bit-for-bit.
+fn state_tree_to_dump(st: &StateTree) -> TreeDump {
+    TreeDump {
+        kinds: st
+            .kinds
+            .iter()
+            .map(|&k| match k {
+                -1 => NodeKind::Root,
+                -2 => NodeKind::Steiner,
+                j if j >= 0 => NodeKind::Sink(j as usize),
+                // INVARIANT: validate_state_tree rejected any code below -2 at parse time.
+                k => panic!("bad checkpoint node kind code {k}"),
+            })
+            .collect(),
+        vertices: st.vertices.clone(),
+        parents: st.parents.clone(),
+        path_len: st.path_len.clone(),
+        path_edges: st.path_edges.clone(),
+    }
+}
+
+/// The inverse of [`state_tree_to_dump`], plus the summary spans the
+/// dump does not carry (delays, wirelength, vias).
+fn dump_to_state_tree(dump: TreeDump, sink_delays: &[f64], wl: f64, vias: usize) -> StateTree {
+    StateTree {
+        kinds: dump
+            .kinds
+            .iter()
+            .map(|k| match k {
+                NodeKind::Root => -1,
+                NodeKind::Steiner => -2,
+                NodeKind::Sink(j) => *j as i64,
+            })
+            .collect(),
+        vertices: dump.vertices,
+        parents: dump.parents,
+        path_len: dump.path_len,
+        path_edges: dump.path_edges,
+        sink_delays: sink_delays.to_vec(),
+        wirelength_gcells: wl,
+        vias: vias as u64,
     }
 }
 
@@ -689,6 +761,37 @@ impl<'a> Router<'a> {
         ctrl: &RunControl,
         progress: &mut dyn FnMut(usize, &RouterStats),
     ) -> RoutingOutcome {
+        self.run_checkpointed(pool, ctrl, progress, None, &mut |_, _| {})
+    }
+
+    /// [`run_with`](Self::run_with) plus the checkpoint/resume surface:
+    ///
+    /// * with [`RouterConfig::checkpoint_every`] set, `on_checkpoint`
+    ///   receives `(completed_iterations, state)` after every K-th
+    ///   completed rip-up iteration (never after the final one — a
+    ///   finished run has nothing to resume). The [`StateSection`] is
+    ///   the `cdst/2` `state` payload: ledgers, per-net scheduler
+    ///   state, every routed tree, and the deterministic work counters.
+    /// * with `resume` set, the loop restores that state and continues
+    ///   from its absolute iteration number — preserving the price
+    ///   schedule (`alpha = price_alpha · iteration`), the recount
+    ///   phase, and the dirty tracker's references — so the resumed
+    ///   run's outcome checksum is bit-for-bit the uninterrupted run's
+    ///   (pinned by `checkpoint_resume_reproduces_the_uninterrupted_checksum`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resume` does not belong to this chip/config (ledger
+    /// or arity mismatch). Parse-level validation (`cdst/2` documents)
+    /// catches malformed state before it gets here.
+    pub fn run_checkpointed(
+        &self,
+        pool: &mut WorkerPool,
+        ctrl: &RunControl,
+        progress: &mut dyn FnMut(usize, &RouterStats),
+        resume: Option<&StateSection>,
+        on_checkpoint: &mut dyn FnMut(usize, StateSection),
+    ) -> RoutingOutcome {
         let start = Instant::now();
         let chip = self.chip;
         let g = chip.grid.graph();
@@ -702,10 +805,6 @@ impl<'a> Router<'a> {
         // the reference path, or held by the incremental engine
         let (tg_template, net_nodes) = self.build_timing_graph();
         let mut tg = tg_template;
-        let mut sta = incremental.then(|| IncrementalSta::new(&tg));
-        // full-reroute mode's report; incremental mode always reads the
-        // engine's (which analyzed fully at construction)
-        let mut report = (!incremental).then(|| tg.analyze());
 
         // Per-sink delay weights (Lagrange multipliers). The floor keeps
         // every sink's delay weakly priced — TNS counts all endpoints, so
@@ -724,6 +823,88 @@ impl<'a> Router<'a> {
         let mut stats = RouterStats::default();
         let mut tracker = incremental
             .then(|| DirtyTracker::new(chip, self.config.window_margin, self.config.price_tol));
+
+        // restore a checkpoint: ledgers and weights verbatim, trees by
+        // structural import (attachment order reproduces node ids and
+        // enumeration bit-for-bit), used-edge spans recomputed from the
+        // imported paths by the same rule the route path uses
+        let start_iter = resume.map_or(0, |s| s.iteration);
+        if let Some(s) = resume {
+            assert!(
+                s.iteration >= 1 && s.usage.len() == m && s.nets.len() == n,
+                "resume state does not match this chip"
+            );
+            usage.copy_from_slice(&s.usage);
+            usage_hist.copy_from_slice(&s.usage_hist);
+            for (i, sn) in s.nets.iter().enumerate() {
+                weights[i].clone_from(&sn.weights);
+                budgets[i].clone_from(&sn.budgets);
+            }
+            for &(id, ref st) in &s.trees {
+                forest.import_tree(id, &state_tree_to_dump(st));
+                forest.set_sink_delays(id, &st.sink_delays);
+                forest.set_used_from_paths(id, |e| (e, Self::tracks(g.edge(e))));
+                forest.set_summary(id, st.wirelength_gcells, st.vias as usize);
+            }
+            stats.rerouted_per_iter.clone_from(&s.stats.rerouted_per_iter);
+            [
+                stats.dirty_fresh,
+                stats.dirty_overflow,
+                stats.dirty_timing,
+                stats.dirty_price,
+                stats.dirty_weight,
+                stats.dirty_budget,
+            ] = s.stats.dirty;
+            stats.usage_recounts = s.stats.usage_recounts;
+            stats.sta_nodes_retimed = s.stats.sta_nodes_retimed as u64;
+            [
+                stats.kernel_settled,
+                stats.kernel_pushed,
+                stats.kernel_popped,
+                stats.kernel_decreased,
+                stats.kernel_bucket_scans,
+            ] = s.stats.kernel;
+            // restored iterations have no wall-clock record; pad so the
+            // per-iteration arrays stay aligned with the counters
+            stats.iter_wall_s.resize(s.iteration, 0.0);
+            // arcs carry exactly the kept routes' delays (every arc was
+            // last written by the iteration that routed its net, whose
+            // route the forest holds), so rebuilding them from the
+            // forest reproduces the engine's timing state
+            for i in 0..n {
+                tg.set_arc_delays(&net_nodes.sink_arc[i], forest.sink_delays(i));
+            }
+        }
+
+        let mut sta = incremental.then(|| IncrementalSta::new(&tg));
+        // full-reroute mode's report; incremental mode always reads the
+        // engine's (which analyzed fully at construction)
+        let mut report = (!incremental).then(|| tg.analyze());
+        // continuity of the cumulative retime counter across a resume:
+        // the engine's deltas after the checkpoint are identical in the
+        // resumed and uninterrupted runs (pure function of arc changes),
+        // so checkpoint value + post-construction deltas matches
+        let (retimed_base, retimed_initial) = match resume {
+            Some(s) => {
+                (s.stats.sta_nodes_retimed as u64, sta.as_ref().map_or(0, |e| e.total_retimed()))
+            }
+            None => (0, 0),
+        };
+        if let (Some(s), Some(t)) = (resume, &mut tracker) {
+            t.prime_prices(&s.prices);
+            for (i, sn) in s.nets.iter().enumerate() {
+                t.restore_net(i, sn.routed, sn.drift, &sn.weight_ref, sn.budget_ref.as_deref());
+            }
+            // the overflow/negative-slack flags are derived state:
+            // recompute them from the restored usage and timing exactly
+            // as the checkpointing iteration's tail did
+            let overflowed = overflow_flags(g, &usage);
+            t.set_overflow_touch(&forest, &overflowed);
+            if let Some(engine) = &sta {
+                t.set_neg_slack(&net_nodes.sink_node, engine.report());
+            }
+        }
+
         // weights/budgets as routed by the *final* iteration, for harvest
         let mut harvest_weights: Vec<Vec<f64>> = Vec::new();
         let mut harvest_budgets: Vec<Option<Vec<f64>>> = Vec::new();
@@ -740,7 +921,7 @@ impl<'a> Router<'a> {
         pool.ensure(self.config.threads.max(1));
         let workers = &mut pool.workers;
 
-        for iter in 0..self.config.iterations {
+        for iter in start_iter..self.config.iterations {
             // cooperative cancellation point: iteration 0 always runs,
             // so even a cancelled outcome has every net routed
             if iter > 0 && ctrl.is_cancelled() {
@@ -857,7 +1038,7 @@ impl<'a> Router<'a> {
                         s.set_arc_delays(&net_nodes.sink_arc[i], forest.sink_delays(i));
                     }
                     s.refresh();
-                    stats.sta_nodes_retimed = s.total_retimed();
+                    stats.sta_nodes_retimed = retimed_base + (s.total_retimed() - retimed_initial);
                 }
                 None => {
                     for i in 0..n {
@@ -923,6 +1104,28 @@ impl<'a> Router<'a> {
             stats.peak_arena_bytes = stats.peak_arena_bytes.max(arena);
             stats.iter_wall_s.push(iter_start.elapsed().as_secs_f64());
             progress(iter, &stats);
+
+            // periodic resumable checkpoint — after the weight/budget
+            // update so the state is exactly the loop's carry into the
+            // next iteration; the final iteration is skipped (a
+            // finished run has nothing to resume)
+            if self.config.checkpoint_every > 0
+                && (iter + 1) % self.config.checkpoint_every == 0
+                && iter + 1 < self.config.iterations
+            {
+                let state = self.export_state(
+                    iter + 1,
+                    &stats,
+                    &usage,
+                    &usage_hist,
+                    if incremental { &prices } else { &[] },
+                    &weights,
+                    &budgets,
+                    &forest,
+                    tracker.as_ref(),
+                );
+                on_checkpoint(iter + 1, state);
+            }
         }
 
         // final usage/price consistency: the returned prices are
@@ -1149,6 +1352,90 @@ impl<'a> Router<'a> {
         (total, kstats)
     }
 
+    /// Snapshots the rip-up loop's carry state after `iteration`
+    /// completed iterations as a `cdst/2` `state` section. Everything
+    /// the loop reads at the top of the next iteration is captured:
+    /// ledgers, current weights/budgets, the dirty tracker's
+    /// references, every routed tree (structure + summary spans), and
+    /// the deterministic work counters.
+    #[allow(clippy::too_many_arguments)]
+    fn export_state(
+        &self,
+        iteration: usize,
+        stats: &RouterStats,
+        usage: &[f64],
+        usage_hist: &[f64],
+        prices: &[f64],
+        weights: &[Vec<f64>],
+        budgets: &[Option<Vec<f64>>],
+        forest: &RoutedForest,
+        tracker: Option<&DirtyTracker>,
+    ) -> StateSection {
+        let n = self.chip.nets.len();
+        let mut nets = Vec::with_capacity(n);
+        let mut trees = Vec::with_capacity(n);
+        for i in 0..n {
+            let (routed, drift, weight_ref, budget_ref) = match tracker {
+                Some(t) => (
+                    t.has_routed(i),
+                    t.drift(i),
+                    t.last_routed_weights(i).to_vec(),
+                    t.last_routed_budgets(i).map(<[f64]>::to_vec),
+                ),
+                // full-reroute mode has no scheduler state: every net
+                // reroutes every iteration regardless
+                None => (true, 0.0, Vec::new(), None),
+            };
+            nets.push(StateNet {
+                routed,
+                drift,
+                weights: weights[i].clone(),
+                budgets: budgets[i].clone(),
+                weight_ref,
+                budget_ref,
+            });
+            if routed {
+                trees.push((
+                    i,
+                    dump_to_state_tree(
+                        forest.export_tree(i),
+                        forest.sink_delays(i),
+                        forest.wirelength_gcells(i),
+                        forest.vias(i),
+                    ),
+                ));
+            }
+        }
+        StateSection {
+            iteration,
+            usage: usage.to_vec(),
+            usage_hist: usage_hist.to_vec(),
+            prices: prices.to_vec(),
+            nets,
+            trees,
+            stats: StateStats {
+                rerouted_per_iter: stats.rerouted_per_iter.clone(),
+                dirty: [
+                    stats.dirty_fresh,
+                    stats.dirty_overflow,
+                    stats.dirty_timing,
+                    stats.dirty_price,
+                    stats.dirty_weight,
+                    stats.dirty_budget,
+                ],
+                usage_recounts: stats.usage_recounts,
+                sta_nodes_retimed: stats.sta_nodes_retimed as usize,
+                kernel: [
+                    stats.kernel_settled,
+                    stats.kernel_pushed,
+                    stats.kernel_popped,
+                    stats.kernel_decreased,
+                    stats.kernel_bucket_scans,
+                ],
+            },
+        }
+    }
+
     /// Routing capacity one use of `e` consumes (wide wire types take
     /// two tracks).
     fn tracks(attrs: &EdgeAttrs) -> f64 {
@@ -1186,6 +1473,9 @@ impl<'a> Router<'a> {
     ) -> (Vec<(usize, usize)>, SolveStats) {
         if ids.is_empty() {
             return (Vec::new(), SolveStats::default());
+        }
+        if self.config.shards > 1 {
+            return self.route_ids_sharded(ids, prices, weights, budgets, bif, workers);
         }
         let threads = self.config.threads.max(1).min(ids.len()).min(workers.len().max(1));
         let oracle = self.oracle.as_ref();
@@ -1238,6 +1528,127 @@ impl<'a> Router<'a> {
         });
         let placements =
             // INVARIANT: each worker writes a placement for every net index it was scheduled before exiting, and all workers were joined above.
+            placements.into_iter().map(|p| p.expect("all scheduled nets routed")).collect();
+        (placements, kernel)
+    }
+
+    /// The region-parallel variant of [`route_ids_into`](Self::route_ids_into)
+    /// (`shards > 1`): classify each scheduled net by its routing
+    /// window's [`ShardGrid`] region, then run two claim phases over
+    /// the same worker set —
+    ///
+    /// 1. **interior nets, a shard at a time**: workers atomically
+    ///    claim whole shard groups and route each group's nets in
+    ///    schedule order, so one worker's consecutive oracle calls
+    ///    share a die region (warm window locality) and never contend
+    ///    with another shard's;
+    /// 2. **boundary nets**: nets whose window crosses a shard split
+    ///    drain through the plain per-net atomic queue (the
+    ///    reconciliation pass).
+    ///
+    /// Worker scratch forests are cleared once up front and survive
+    /// both phases. The returned placements stay aligned with `ids`, so
+    /// the caller's merge runs in global schedule order exactly as in
+    /// the unsharded path — which is why results are bit-identical
+    /// across shard counts: per-net results depend only on per-net
+    /// inputs, and neither the usage fold nor the forest merge ever
+    /// sees the claim order.
+    fn route_ids_sharded(
+        &self,
+        ids: &[usize],
+        prices: &[f64],
+        weights: &[Vec<f64>],
+        budgets: &[Option<Vec<f64>>],
+        bif: BifurcationConfig,
+        workers: &mut [RouteWorker],
+    ) -> (Vec<(usize, usize)>, SolveStats) {
+        let spec = self.chip.grid.spec();
+        let grid = ShardGrid::new(spec.nx, spec.ny, self.config.shards);
+        // classify by window rectangle — the same single source of
+        // truth WindowView::around routes in, so "interior" really
+        // means the net's whole search space is inside one shard
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); grid.num_shards()];
+        let mut boundary: Vec<usize> = Vec::new();
+        let mut pins = Vec::new();
+        for (k, &net_id) in ids.iter().enumerate() {
+            let net = &self.chip.nets[net_id];
+            pins.clear();
+            pins.push(net.root);
+            pins.extend_from_slice(&net.sinks);
+            let (x0, y0, x1, y1) =
+                window_bounds(&pins, self.config.window_margin, spec.nx, spec.ny);
+            match grid.shard_of_rect(x0, y0, x1, y1) {
+                Some(s) => groups[s].push(k),
+                None => boundary.push(k),
+            }
+        }
+        let groups: Vec<Vec<usize>> = groups.into_iter().filter(|g| !g.is_empty()).collect();
+
+        let threads = self.config.threads.max(1).min(ids.len()).min(workers.len().max(1));
+        let oracle = self.oracle.as_ref();
+        let next_group = std::sync::atomic::AtomicUsize::new(0);
+        let next_boundary = std::sync::atomic::AtomicUsize::new(0);
+        let mut placements: Vec<Option<(usize, usize)>> = vec![None; ids.len()];
+        let mut kernel = SolveStats::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .take(threads)
+                .enumerate()
+                .map(|(wi, w)| {
+                    let (next_group, next_boundary) = (&next_group, &next_boundary);
+                    let (groups, boundary) = (&groups, &boundary);
+                    scope.spawn(move || {
+                        w.forest.clear();
+                        let mut routed: Vec<(usize, usize)> = Vec::new();
+                        let mut ksum = SolveStats::default();
+                        let mut route_k = |k: usize, w: &mut RouteWorker| {
+                            let net_id = ids[k];
+                            let slot = w.forest.alloc_slot();
+                            let (_, ks) = self.route_one_into(
+                                net_id,
+                                oracle,
+                                prices,
+                                &weights[net_id],
+                                budgets[net_id].as_deref(),
+                                bif,
+                                &mut w.ws,
+                                &mut w.forest,
+                                slot,
+                            );
+                            ksum.absorb(ks);
+                            routed.push((k, slot));
+                        };
+                        // phase 1: whole shard groups
+                        loop {
+                            let gi = next_group.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(group) = groups.get(gi) else { break };
+                            for &k in group {
+                                route_k(k, w);
+                            }
+                        }
+                        // phase 2: boundary reconciliation, per net
+                        loop {
+                            let bi =
+                                next_boundary.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&k) = boundary.get(bi) else { break };
+                            route_k(k, w);
+                        }
+                        (wi, routed, ksum)
+                    })
+                })
+                .collect();
+            for h in handles {
+                // INVARIANT: join fails only when the worker panicked; re-panicking propagates that failure instead of silently dropping its nets.
+                let (wi, routed, ksum) = h.join().expect("router worker panicked");
+                kernel.absorb(ksum);
+                for (k, slot) in routed {
+                    placements[k] = Some((wi, slot));
+                }
+            }
+        });
+        let placements =
+            // INVARIANT: every scheduled index is in exactly one shard group or the boundary list, each was claimed exactly once, and all workers were joined above.
             placements.into_iter().map(|p| p.expect("all scheduled nets routed")).collect();
         (placements, kernel)
     }
@@ -1444,6 +1855,8 @@ mod tests {
             ("recount_every", "0"),
             ("queue", "heap"),
             ("batch", "on"),
+            ("shards", "4"),
+            ("checkpoint_every", "2"),
         ] {
             c.set_knob(k, v).unwrap_or_else(|e| panic!("{k}: {e}"));
         }
@@ -1455,12 +1868,159 @@ mod tests {
         assert_eq!(c.price_tol, 0.25);
         assert_eq!(c.queue, QueueKind::Heap);
         assert!(c.batch);
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.checkpoint_every, 2);
         c.set_knob("queue", "bucket").unwrap();
         assert_eq!(c.queue, QueueKind::Bucket);
         assert!(c.set_knob("bogus", "1").unwrap_err().contains("unknown"));
         assert!(c.set_knob("oracle", "astar").unwrap_err().contains("astar"));
         assert!(c.set_knob("incremental", "maybe").unwrap_err().contains("boolean"));
         assert!(c.set_knob("queue", "fifo").unwrap_err().contains("fifo"));
+    }
+
+    #[test]
+    fn sharded_routing_is_bit_identical_across_shard_and_thread_counts() {
+        // the tentpole determinism contract: region-parallel scheduling
+        // changes only which worker routes a net and in what order;
+        // merge and usage folds run in global schedule order, so every
+        // shard count × thread count lands on the same checksum (and
+        // the same deterministic stats)
+        let chip = tiny_chip();
+        let mk = |shards, threads| {
+            Router::new(
+                &chip,
+                RouterConfig { shards, threads, iterations: 2, ..Default::default() },
+            )
+            .run()
+        };
+        let base = mk(1, 1);
+        for shards in [2, 4, 8] {
+            for threads in [1, 4] {
+                let out = mk(shards, threads);
+                assert_eq!(base.checksum(), out.checksum(), "{shards} shards × {threads} threads");
+                assert_eq!(base.stats, out.stats, "{shards} shards × {threads} threads");
+                assert_eq!(base.usage, out.usage, "{shards} shards × {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_checksum() {
+        let chip = tiny_chip();
+        for incremental in [true, false] {
+            let cfg = RouterConfig {
+                iterations: 4,
+                checkpoint_every: 2,
+                incremental,
+                ..Default::default()
+            };
+            let router = Router::new(&chip, cfg);
+            let full = router.run();
+            let mut cps: Vec<(usize, StateSection)> = Vec::new();
+            let mut pool = WorkerPool::new();
+            let out = router.run_checkpointed(
+                &mut pool,
+                &RunControl::new(),
+                &mut |_, _| {},
+                None,
+                &mut |it, s| cps.push((it, s)),
+            );
+            // checkpointing changes nothing about the run itself
+            assert_eq!(out.checksum(), full.checksum(), "incremental={incremental}");
+            // 4 iterations every 2: one checkpoint, after iteration 2
+            // (the final iteration never checkpoints)
+            assert_eq!(cps.len(), 1, "incremental={incremental}");
+            let (it, state) = cps.pop().unwrap();
+            assert_eq!(it, 2);
+            assert_eq!(state.iteration, 2);
+            assert_eq!(state.stats.rerouted_per_iter.len(), 2);
+            let resumed = router.run_checkpointed(
+                &mut pool,
+                &RunControl::new(),
+                &mut |_, _| {},
+                Some(&state),
+                &mut |_, _| {},
+            );
+            assert_eq!(resumed.checksum(), full.checksum(), "incremental={incremental}");
+            assert_eq!(resumed.stats, full.stats, "incremental={incremental}");
+            assert_eq!(resumed.usage, full.usage, "incremental={incremental}");
+            assert_eq!(resumed.prices, full.prices, "incremental={incremental}");
+        }
+    }
+
+    #[test]
+    fn resume_after_cancel_matches_uninterrupted() {
+        // the cds-cli `--resume` contract end to end at the library
+        // level: cancel a checkpointing run mid-flight, resume from its
+        // last checkpoint, land on the uninterrupted checksum
+        let chip = tiny_chip();
+        let cfg = RouterConfig { iterations: 5, checkpoint_every: 2, ..Default::default() };
+        let router = Router::new(&chip, cfg);
+        let full = router.run();
+        let ctrl = RunControl::new();
+        let mut pool = WorkerPool::new();
+        let mut cps: Vec<(usize, StateSection)> = Vec::new();
+        let cancelled = router.run_checkpointed(
+            &mut pool,
+            &ctrl,
+            &mut |iter, _| {
+                if iter == 2 {
+                    ctrl.cancel();
+                }
+            },
+            None,
+            &mut |it, s| cps.push((it, s)),
+        );
+        assert!(cancelled.stats.cancelled);
+        assert_eq!(cancelled.stats.iterations_completed(), 3);
+        let (_, state) = cps.last().expect("a checkpoint was written before the cancel");
+        let resumed = router.run_checkpointed(
+            &mut pool,
+            &RunControl::new(),
+            &mut |_, _| {},
+            Some(state),
+            &mut |_, _| {},
+        );
+        assert_eq!(resumed.checksum(), full.checksum());
+        assert_eq!(resumed.stats, full.stats);
+    }
+
+    #[test]
+    fn checkpoint_state_round_trips_through_the_document_format() {
+        // the state section a checkpoint emits must survive the cdst/2
+        // writer/parser loop unchanged — otherwise `--resume` from a
+        // file could diverge from an in-memory resume
+        use cds_instgen::io::doc::{chip_doc_to_string, parse_chip_doc, ChipDoc};
+        let chip = ChipSpec { num_nets: 24, ..ChipSpec::small_test(7) }.generate();
+        let cfg = RouterConfig {
+            iterations: 3,
+            checkpoint_every: 2,
+            harvest: true,
+            ..Default::default()
+        };
+        let router = Router::new(&chip, cfg);
+        let mut cps = Vec::new();
+        let full = router.run_checkpointed(
+            &mut WorkerPool::new(),
+            &RunControl::new(),
+            &mut |_, _| {},
+            None,
+            &mut |_, s| cps.push(s),
+        );
+        let mut doc = ChipDoc::from_chip(&chip).expect("chip documents");
+        doc.state = Some(cps.pop().expect("one checkpoint at iteration 2"));
+        let text = chip_doc_to_string(&doc).expect("checkpointed document serializes");
+        let parsed = parse_chip_doc(&text).expect("checkpointed document parses");
+        let state = parsed.state.expect("state section survived");
+        assert_eq!(Some(&state), doc.state.as_ref());
+        let resumed = router.run_checkpointed(
+            &mut WorkerPool::new(),
+            &RunControl::new(),
+            &mut |_, _| {},
+            Some(&state),
+            &mut |_, _| {},
+        );
+        assert_eq!(resumed.checksum(), full.checksum());
     }
 
     #[test]

@@ -77,14 +77,17 @@ pub fn outcome_json(chip: &Chip, config: &RouterConfig, out: &RoutingOutcome) ->
     let _ = writeln!(
         s,
         "  \"config\": {{\"oracle\": \"{}\", \"threads\": {}, \"iterations\": {}, \
-         \"incremental\": {}, \"price_tol\": {}, \"queue\": \"{}\", \"batch\": {}}},",
+         \"incremental\": {}, \"price_tol\": {}, \"queue\": \"{}\", \"batch\": {}, \
+         \"shards\": {}, \"checkpoint_every\": {}}},",
         config.method,
         config.threads,
         config.iterations,
         config.incremental,
         json_f64(config.price_tol),
         config.queue,
-        config.batch
+        config.batch,
+        config.shards,
+        config.checkpoint_every
     );
     let m = &out.metrics;
     let _ = writeln!(
@@ -155,6 +158,8 @@ mod tests {
             "\"cancelled\": false",
             "\"queue\":",
             "\"batch\": false",
+            "\"shards\": 1",
+            "\"checkpoint_every\": 0",
             "\"kernel\":",
             "\"settled\":",
             "\"bucket_scans\":",

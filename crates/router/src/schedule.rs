@@ -212,6 +212,33 @@ impl DirtyTracker {
         self.routed[i]
     }
 
+    /// Net `i`'s accumulated window price drift since its last route
+    /// (checkpoint serialization).
+    pub(crate) fn drift(&self, i: usize) -> f64 {
+        self.drift[i]
+    }
+
+    /// Restores net `i`'s scheduler state from a checkpoint: the
+    /// routed flag, the accumulated drift, and the weight/budget
+    /// references of its last actual route. The derived flags
+    /// (overflow touch, negative slack) and the price baseline
+    /// ([`prime_prices`](Self::prime_prices)) are restored separately —
+    /// they are recomputable from the restored routing/timing state.
+    pub(crate) fn restore_net(
+        &mut self,
+        i: usize,
+        routed: bool,
+        drift: f64,
+        weight_ref: &[f64],
+        budget_ref: Option<&[f64]>,
+    ) {
+        self.routed[i] = routed;
+        self.drift[i] = drift;
+        self.weight_ref[i].clear();
+        self.weight_ref[i].extend_from_slice(weight_ref);
+        self.budget_ref[i] = budget_ref.map(<[f64]>::to_vec);
+    }
+
     /// The weights net `i` was last routed with (what a harvest must
     /// report for a net whose kept route predates the final iteration).
     pub(crate) fn last_routed_weights(&self, i: usize) -> &[f64] {

@@ -21,7 +21,14 @@
 //! `GET /jobs/:id` reports state plus the per-iteration progress the
 //! router's hook has recorded so far; `GET /jobs/:id/result` returns
 //! the result JSON, rendered by the same `cds_router::report` function
-//! `cds-cli route` prints. `DELETE /jobs/:id` cancels cooperatively:
+//! `cds-cli route` prints. A submission whose (canonical bytes,
+//! resolved config) key matches a job that is still queued or running
+//! does not enqueue a second route: it *coalesces* — the response
+//! carries the in-flight job's id (marked `"coalesced": true`) and
+//! every attached client polls the same job, so one route serves all
+//! of them. This is sound for the same reason the cache is: identical
+//! submissions produce bit-identical results, so a second route could
+//! add nothing but load. `DELETE /jobs/:id` cancels cooperatively:
 //! queued jobs are skipped by the drain, running jobs stop before their
 //! next rip-up iteration and archive their partial (but internally
 //! consistent) outcome — partial results are never cached.
@@ -134,6 +141,9 @@ struct State {
     draining: AtomicBool,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Submissions that attached to an identical in-flight job instead
+    /// of enqueueing a second route.
+    coalesced: AtomicU64,
     active_conns: AtomicUsize,
 }
 
@@ -255,6 +265,7 @@ impl Server {
             draining: AtomicBool::new(false),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             active_conns: AtomicUsize::new(0),
         });
         let mut threads = Vec::with_capacity(config.workers + 1);
@@ -541,6 +552,28 @@ fn submit(state: &Arc<State>, req: &Request) -> Reply {
         r.cached = Some(true);
         return r;
     }
+    // in-flight coalescing: the same key already queued or running
+    // attaches this client to that job instead of routing twice. A
+    // cancel-requested job is excluded — its result (none, or partial)
+    // is not what a fresh submission asks for.
+    if let Some(open) = jobs.iter().position(|j| {
+        j.key == key
+            && !j.cancel_requested
+            && matches!(j.state, JobState::Queued | JobState::Running)
+    }) {
+        state.coalesced.fetch_add(1, Ordering::Relaxed);
+        let st = jobs[open].state.as_str();
+        let mut r = Reply::new(
+            200,
+            format!(
+                "{{\"job\": {open}, \"state\": \"{st}\", \"cached\": false, \
+                 \"coalesced\": true}}"
+            ),
+        );
+        r.cached = Some(false);
+        r.job_state = Some(st);
+        return r;
+    }
     state.cache_misses.fetch_add(1, Ordering::Relaxed);
     let mut queue = lock(&state.queue);
     if queue.len() >= state.config.queue_cap {
@@ -688,12 +721,13 @@ fn healthz(state: &Arc<State>) -> Reply {
         format!(
             "{{\"ok\": true, \"draining\": {}, \"workers\": {}, \"jobs\": {jobs}, \
              \"queued\": {queued}, \"queue_capacity\": {}, \"cache_entries\": {cache_entries}, \
-             \"cache_hits\": {}, \"cache_misses\": {}}}",
+             \"cache_hits\": {}, \"cache_misses\": {}, \"coalesced\": {}}}",
             state.draining.load(Ordering::Acquire),
             state.config.workers,
             state.config.queue_cap,
             state.cache_hits.load(Ordering::Relaxed),
-            state.cache_misses.load(Ordering::Relaxed)
+            state.cache_misses.load(Ordering::Relaxed),
+            state.coalesced.load(Ordering::Relaxed)
         ),
     )
 }
@@ -701,6 +735,7 @@ fn healthz(state: &Arc<State>) -> Reply {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cds_instgen::ChipSpec;
 
     fn test_state() -> Arc<State> {
         Arc::new(State {
@@ -712,6 +747,7 @@ mod tests {
             draining: AtomicBool::new(false),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             active_conns: AtomicUsize::new(0),
         })
     }
@@ -754,5 +790,54 @@ mod tests {
         let reply = status(&state, 0);
         assert_eq!(reply.status, 200);
         assert!(reply.body.contains("\"state\": \"failed\""));
+    }
+
+    fn post_jobs(body: &str, query: &[(&str, &str)]) -> Request {
+        Request {
+            method: "POST".into(),
+            path: "/jobs".into(),
+            query: query.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// The coalescing contract end to end at the handler level: N
+    /// identical submissions while the first is still queued create
+    /// exactly one job, one queue entry, and one route — and every
+    /// attached client reads the same result bytes off that one job.
+    #[test]
+    fn duplicate_inflight_submissions_coalesce_onto_one_route() {
+        let state = test_state();
+        let spec = ChipSpec { num_nets: 8, ..ChipSpec::small_test(2) };
+        let doc = chip_doc_to_string(&ChipDoc::from_chip(&spec.generate()).unwrap()).unwrap();
+        let q = [("iterations", "2")];
+        let first = submit(&state, &post_jobs(&doc, &q));
+        assert_eq!(first.status, 201, "{}", first.body);
+        for _ in 0..3 {
+            let dup = submit(&state, &post_jobs(&doc, &q));
+            assert_eq!(dup.status, 200, "{}", dup.body);
+            assert!(dup.body.contains("\"job\": 0"), "attach to job 0: {}", dup.body);
+            assert!(dup.body.contains("\"coalesced\": true"), "{}", dup.body);
+        }
+        assert_eq!(lock(&state.jobs).len(), 1, "duplicates must not create jobs");
+        assert_eq!(lock(&state.queue).len(), 1, "duplicates must not enqueue");
+        // a different resolved config is not a duplicate
+        let other = submit(&state, &post_jobs(&doc, &[("iterations", "3")]));
+        assert_eq!(other.status, 201, "{}", other.body);
+        // drain job 0 the way a worker would: one route, then every
+        // attached client's result read returns identical bytes
+        let id = lock(&state.queue).pop_front().unwrap();
+        let mut pool = WorkerPool::new();
+        run_job(&state, id, &mut pool);
+        assert_eq!(lock(&state.jobs)[0].state, JobState::Done);
+        let bodies: Vec<String> = (0..4).map(|_| result(&state, 0).body.clone()).collect();
+        assert!(bodies.iter().all(|b| *b == bodies[0]), "responses diverged");
+        assert_eq!(state.coalesced.load(Ordering::Relaxed), 3);
+        // the three attached clients never counted as cache traffic
+        assert_eq!(state.cache_misses.load(Ordering::Relaxed), 2);
+        // once the job is done the cache takes over from coalescing
+        let after = submit(&state, &post_jobs(&doc, &q));
+        assert_eq!(after.status, 200);
+        assert!(after.body.contains("\"cached\": true"), "{}", after.body);
     }
 }

@@ -294,6 +294,63 @@ fn cancelling_a_running_job_keeps_its_partial_result() {
 }
 
 #[test]
+fn duplicate_inflight_submission_attaches_to_the_running_job() {
+    let (handle, addr) = start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    // slow enough (full reroutes, 300 nets) that the duplicate lands
+    // while the first copy is demonstrably still running
+    let spec = ChipSpec {
+        name: "converging".into(),
+        num_nets: 300,
+        utilization: 0.22,
+        ..ChipSpec::small_test(5)
+    };
+    let doc = chip_doc_to_string(&ChipDoc::from_chip(&spec.generate()).unwrap()).unwrap();
+    let path = "/jobs?iterations=4&incremental=false";
+    let resp = client::request(&addr, "POST", path, doc.as_bytes()).unwrap();
+    assert_eq!(resp.status, 201);
+    let job = json_u64(&resp.text(), "job").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::request(&addr, "GET", &format!("/jobs/{job}"), b"").unwrap();
+        let text = resp.text();
+        if json_str(&text, "state") == Some("running") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never started running: {text}");
+        std::thread::sleep(POLL);
+    }
+    // the identical submission coalesces onto the in-flight job
+    let dup = client::request(&addr, "POST", path, doc.as_bytes()).unwrap();
+    assert_eq!(dup.status, 200);
+    let text = dup.text();
+    assert_eq!(json_bool(&text, "coalesced"), Some(true), "attach body: {text}");
+    assert_eq!(json_u64(&text, "job"), Some(job), "attached to the original job");
+    // both clients poll the same job id; one route serves them both
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::request(&addr, "GET", &format!("/jobs/{job}"), b"").unwrap();
+        let text = resp.text();
+        if json_str(&text, "state") == Some("done") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never finished: {text}");
+        std::thread::sleep(POLL);
+    }
+    let a = client::request(&addr, "GET", &format!("/jobs/{job}/result"), b"").unwrap();
+    let b = client::request(&addr, "GET", &format!("/jobs/{job}/result"), b"").unwrap();
+    assert_eq!(a.status, 200);
+    assert_eq!(a.body, b.body, "attached clients must read identical bytes");
+    // the attach is visible in the health counters
+    let resp = client::request(&addr, "GET", "/healthz", b"").unwrap();
+    assert_eq!(json_u64(&resp.text(), "coalesced"), Some(1));
+    // and once the job is done, the cache takes over from coalescing
+    let resp = client::request(&addr, "POST", path, doc.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(json_bool(&resp.text(), "cached"), Some(true));
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_drains_every_accepted_job() {
     let (handle, addr) = start(ServeConfig { workers: 1, ..ServeConfig::default() });
     let doc = smoke_doc();

@@ -398,6 +398,27 @@ impl TreeMeta {
     }
 }
 
+/// A self-contained snapshot of one routed tree in attachment order —
+/// what [`RoutedForest::export_tree`] produces and
+/// [`RoutedForest::import_tree`] consumes. This is the tree's
+/// serialization form for mid-run checkpoints: structure only (no
+/// children CSR, no summary payloads), because attachment order
+/// determines the CSR and the router restores payloads separately.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TreeDump {
+    /// Node kinds; node 0 is always [`NodeKind::Root`].
+    pub kinds: Vec<NodeKind>,
+    /// Graph vertex of each node.
+    pub vertices: Vec<VertexId>,
+    /// Parent of each node (attachment order guarantees
+    /// `parents[v] < v`); entry 0 is unused and exported as 0.
+    pub parents: Vec<NodeId>,
+    /// Parent-path length of each node (0 for the root).
+    pub path_len: Vec<u32>,
+    /// Concatenated parent-path edges, `path_len[v]` per node.
+    pub path_edges: Vec<EdgeId>,
+}
+
 /// Sibling-link scratch used while a tree is open for building; sealed
 /// into the children CSR by [`RoutedForest::finish_tree`].
 #[derive(Debug, Default, Clone)]
@@ -742,6 +763,61 @@ impl RoutedForest {
         self.trees[dst_slot] = Some(self.slabs.copy_tree(&src.slabs, m));
     }
 
+    /// Snapshots the tree in `slot` as an owned [`TreeDump`] — the
+    /// checkpoint serialization form. The children CSR and summary
+    /// payloads are not exported: attachment order reconstructs the
+    /// former, and the router restores the latter separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot holds no tree.
+    pub fn export_tree(&self, slot: usize) -> TreeDump {
+        let m = self.meta(slot);
+        let nodes = m.node_range();
+        TreeDump {
+            kinds: self.slabs.kinds[nodes.clone()].to_vec(),
+            vertices: self.slabs.vertices[nodes.clone()].to_vec(),
+            parents: self.slabs.parents[nodes.clone()]
+                .iter()
+                .map(|&p| if p == NO_NODE { 0 } else { p })
+                .collect(),
+            path_len: self.slabs.path_len[nodes].to_vec(),
+            path_edges: self.slabs.path_edges
+                [m.path_first as usize..(m.path_first + m.path_total) as usize]
+                .to_vec(),
+        }
+    }
+
+    /// Rebuilds the tree in `slot` from a dump, replacing any previous
+    /// tree. Node ids, children order, and path-edge enumeration order
+    /// are identical to the exported original, so
+    /// `import_tree(export_tree(s))` reproduces the tree bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed dump (callers validate dumps when they
+    /// cross a trust boundary — the checkpoint parser does).
+    pub fn import_tree(&mut self, slot: usize, dump: &TreeDump) {
+        let n = dump.kinds.len();
+        assert!(n > 0, "a tree dump needs at least the root");
+        assert!(
+            dump.vertices.len() == n && dump.parents.len() == n && dump.path_len.len() == n,
+            "tree dump arrays disagree on the node count"
+        );
+        assert_eq!(dump.kinds[0], NodeKind::Root, "node 0 must be the root");
+        assert_eq!(dump.path_len[0], 0, "the root has no parent path");
+        self.start_tree(slot, dump.vertices[0]);
+        let mut off = 0usize;
+        for v in 1..n {
+            let len = dump.path_len[v] as usize;
+            let path = &dump.path_edges[off..off + len];
+            off += len;
+            self.add_node(dump.kinds[v], dump.vertices[v], dump.parents[v], path);
+        }
+        assert_eq!(off, dump.path_edges.len(), "path edges disagree with path lengths");
+        self.finish_tree();
+    }
+
     /// Fraction of slab elements held by retired (replaced) trees.
     pub fn garbage_ratio(&self) -> f64 {
         let total = self.slabs.len_total();
@@ -1070,6 +1146,28 @@ mod tests {
         let map: Vec<EdgeId> = (0..4).map(|e| e + 7).collect();
         f.remap_path_edges(0, &map);
         assert_eq!(f.tree_edges(0), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn export_import_round_trips_structure_bit_identically() {
+        let tree = sample_tree();
+        let mut src = RoutedForest::with_slots(1);
+        src.insert_embedded(0, &tree);
+        let dump = src.export_tree(0);
+        let mut dst = RoutedForest::with_slots(2);
+        dst.import_tree(1, &dump);
+        let (a, b) = (src.view(0), dst.view(1));
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        for v in 0..a.num_nodes() as NodeId {
+            assert_eq!(a.node_kind(v), b.node_kind(v));
+            assert_eq!(a.vertex(v), b.vertex(v));
+            assert_eq!(a.parent(v), b.parent(v));
+            assert_eq!(a.children(v), b.children(v));
+            assert_eq!(a.path_edges(v), b.path_edges(v));
+        }
+        assert_eq!(a.edges(), b.edges());
+        // re-export reproduces the dump exactly
+        assert_eq!(dst.export_tree(1), dump);
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod penalty;
 pub mod topology;
 
 pub use embedded::{EmbeddedArc, EmbeddedTree, Evaluation};
-pub use forest::{EvalScratch, EvalTotals, RoutedForest, TreeRead, TreeSink, TreeView};
+pub use forest::{EvalScratch, EvalTotals, RoutedForest, TreeDump, TreeRead, TreeSink, TreeView};
 pub use penalty::{beta, lambda_split, BifurcationConfig};
 pub use topology::{NodeId, NodeKind, Topology};

@@ -4,7 +4,9 @@
 //!    (proptest), every string the writer emits is accepted by the
 //!    parser and recovers the document bit-identically, and
 //!    re-serializing reproduces the string byte-for-byte. Corrupting
-//!    any record line fails with that line's 1-based number.
+//!    any record line fails with that line's 1-based number. The
+//!    streaming reader is observationally identical to the owned parse
+//!    on both counts (same chip, same first error).
 //! 2. **Fixture pinning** — the archived documents under
 //!    `tests/fixtures/` are byte-identical to what the generators
 //!    produce today, routing the archived 300-net converging chip
@@ -16,7 +18,9 @@ use cds_core::{QueueKind, Request, SolveResult, Solver};
 use cds_geom::Point;
 use cds_graph::GridGraph;
 use cds_graph::{Direction, GridSpec, LayerSpec, WireTypeSpec};
-use cds_instgen::io::doc::{chip_doc_to_string, parse_chip_doc, ChipDoc, RequestRecord};
+use cds_instgen::io::doc::{
+    chip_doc_to_string, parse_chip_doc, read_chip_streaming, ChipDoc, RequestRecord,
+};
 use cds_instgen::{Chain, ChainLink, ChipSpec, Net, SinkProfile};
 use cds_router::{Router, RouterConfig, SteinerMethod};
 use cds_topo::BifurcationConfig;
@@ -179,6 +183,7 @@ fn arbitrary_doc(seed: u64) -> ChipDoc {
         weights,
         budgets,
         requests,
+        state: None,
     }
 }
 
@@ -216,6 +221,41 @@ proptest! {
         prop_assert_eq!(parse_chip_doc(&noisy).unwrap(), doc);
     }
 
+    /// The streaming reader is observationally identical to the owned
+    /// parse: same chip (nets, chains, delay model, per-edge capacities
+    /// bit-for-bit), same extras (config, archives, requests, state),
+    /// and every `ecap` override applied in place.
+    #[test]
+    fn streaming_parse_equals_the_owned_parse(seed in 0u64..1 << 48) {
+        let doc = arbitrary_doc(seed);
+        let text = chip_doc_to_string(&doc).unwrap();
+        let sc = read_chip_streaming(text.as_bytes())
+            .unwrap_or_else(|e| panic!("streaming rejected writer output (seed {seed}): {e}"));
+        prop_assert_eq!(sc.tech_layers, doc.tech_layers);
+        prop_assert_eq!(&sc.config, &doc.config);
+        prop_assert_eq!(&sc.requests, &doc.requests);
+        prop_assert_eq!(&sc.state, &doc.state);
+        // archives bit-for-bit (f64 == would conflate 0.0 with -0.0)
+        for (got, want) in [(&sc.weights, &doc.weights), (&sc.budgets, &doc.budgets)] {
+            prop_assert_eq!(got.len(), want.len());
+            for ((gi, gv), (wi, wv)) in got.iter().zip(want) {
+                prop_assert_eq!(gi, wi);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(gv), bits(wv));
+            }
+        }
+        let owned = doc.build_chip();
+        prop_assert_eq!(&sc.chip.nets, &owned.nets);
+        prop_assert_eq!(&sc.chip.chains, &owned.chains);
+        prop_assert_eq!(&sc.chip.delay_model, &owned.delay_model);
+        let (a, b) = (sc.chip.grid.graph(), owned.grid.graph());
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edge_ids() {
+            prop_assert_eq!(a.edge(e).capacity.to_bits(), b.edge(e).capacity.to_bits());
+        }
+        prop_assert_eq!(sc.stats.ecap_applied, doc.ecap.len());
+    }
+
     /// Corrupting any single record line fails the parse with exactly
     /// that line's 1-based number.
     #[test]
@@ -244,6 +284,10 @@ proptest! {
             .collect();
         let e = parse_chip_doc(&corrupted).unwrap_err();
         prop_assert_eq!(e.line, target + 1, "wrong line for {:?}: {}", lines[target], e);
+        // the streaming reader reports the identical first error
+        let se = read_chip_streaming(corrupted.as_bytes()).unwrap_err();
+        prop_assert_eq!(se.line, e.line, "streaming error line diverged: {} vs {}", se, e);
+        prop_assert_eq!(&se.message, &e.message);
     }
 }
 
@@ -301,6 +345,31 @@ fn archived_converging_chip_reproduces_pinned_checksums_for_all_oracles() {
             assert_eq!(
                 got, want,
                 "{method} at {threads} threads drifted: {got:#018x} (pinned {want:#018x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_routing_reproduces_the_unsharded_pinned_checksum() {
+    // `shards=N` is a pure work-partition knob: per-net results depend
+    // only on per-net inputs, and the merge folds in global net order,
+    // so every shard × thread combination must land on the same pinned
+    // checksum as the shards=1 runs above.
+    let doc = parse_chip_doc(&fixture("converging.cdst")).unwrap();
+    let chip = doc.build_chip();
+    let want = 0x074e0d79eecbd350u64; // the Cd shards=1 pin above
+    for shards in [2usize, 4, 8] {
+        for threads in [1usize, 4] {
+            let out = Router::new(
+                &chip,
+                RouterConfig { threads, shards, iterations: 3, ..Default::default() },
+            )
+            .run();
+            let got = out.checksum();
+            assert_eq!(
+                got, want,
+                "shards={shards} threads={threads} drifted: {got:#018x} (pinned {want:#018x})"
             );
         }
     }
